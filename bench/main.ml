@@ -1,0 +1,153 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printing the same rows/series the paper reports) and, via
+   Bechamel, measures the cost of each experiment plus the hot paths of
+   the library itself.
+
+   Usage:
+     dune exec bench/main.exe            # everything: rows + timings
+     dune exec bench/main.exe table1     # one artifact's rows
+     dune exec bench/main.exe fig5 ...   # (table2, fig5, fig6, fig7, extras)
+     dune exec bench/main.exe timings    # bechamel timings only *)
+
+open Bechamel
+open Bechamel.Toolkit
+module Config = Flexl0_arch.Config
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+module Report = Flexl0.Report
+module Mediabench = Flexl0_workloads.Mediabench
+module Kernels = Flexl0_workloads.Kernels
+module Scheme = Flexl0_sched.Scheme
+module Engine = Flexl0_sched.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction rows: one entry per paper artifact. *)
+
+let artifacts : (string * string * (unit -> unit)) list =
+  [
+    ("table2", "machine configuration (Table 2)",
+     fun () -> Report.print_config Config.default);
+    ("table1", "dynamic stride statistics (Table 1)",
+     fun () -> Report.print_table1 (Experiments.table1 ()));
+    ("fig5", "execution time vs L0 size (Figure 5)",
+     fun () -> Report.print_figure (Experiments.fig5 ()));
+    ("fig6", "mapping mix / hit rate / unroll (Figure 6)",
+     fun () -> Report.print_fig6 (Experiments.fig6 ()));
+    ("fig7", "L0 vs MultiVLIW vs word-interleaved (Figure 7)",
+     fun () -> Report.print_figure (Experiments.fig7 ()));
+    ("extras", "Section 5.2 studies",
+     fun () -> Report.print_extras (Experiments.extras ()));
+    ("sensitivity", "L1-latency / cluster / prefetch sweeps (beyond the paper)",
+     fun () ->
+       Report.print_sweep
+         ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
+         ~parameter:"L1 latency"
+         (Experiments.l1_latency_sensitivity ());
+       Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
+         ~parameter:"clusters" (Experiments.cluster_scaling ());
+       Report.print_sweep ~title:"Automatic prefetch distance sweep"
+         ~parameter:"distance"
+         (Experiments.prefetch_distance_sweep ()));
+    ("ablation", "coherence disciplines / specialization / selective flushing",
+     fun () ->
+       Report.print_coherence (Experiments.coherence_ablation ());
+       Report.print_specialization (Experiments.specialization_study ());
+       Report.print_flush (Experiments.flush_study ());
+       Report.print_steering (Experiments.steering_ablation ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing tests: the experiments (on a subset so a quota fits)
+   and the library's hot paths. *)
+
+let subset names = List.map Mediabench.find names
+
+let experiment_tests =
+  [
+    Test.make ~name:"table1"
+      (Staged.stage (fun () -> ignore (Experiments.table1 ())));
+    Test.make ~name:"fig5-subset"
+      (Staged.stage (fun () ->
+           ignore (Experiments.fig5 ~benchmarks:(subset [ "g721dec" ]) ())));
+    Test.make ~name:"fig6-subset"
+      (Staged.stage (fun () ->
+           ignore (Experiments.fig6 ~benchmarks:(subset [ "g721dec" ]) ())));
+    Test.make ~name:"fig7-subset"
+      (Staged.stage (fun () ->
+           ignore (Experiments.fig7 ~benchmarks:(subset [ "g721dec" ]) ())));
+  ]
+
+let hot_path_tests =
+  let cfg = Config.default in
+  let vadd = Kernels.vector_add ~name:"vadd" ~trip:256 ~len:512 Flexl0_ir.Opcode.W2 in
+  let iir = Kernels.iir_inplace ~name:"iir" ~trip:256 ~len:256 in
+  let l0 = Scheme.L0 { selective = true } in
+  let sys = Pipeline.l0_system () in
+  let sch = Pipeline.compile sys vadd in
+  [
+    Test.make ~name:"schedule-vadd-l0"
+      (Staged.stage (fun () -> ignore (Engine.schedule cfg l0 vadd)));
+    Test.make ~name:"schedule-iir-l0"
+      (Staged.stage (fun () -> ignore (Engine.schedule cfg l0 iir)));
+    Test.make ~name:"schedule-vadd-base"
+      (Staged.stage (fun () ->
+           ignore (Engine.schedule cfg Scheme.Base_unified vadd)));
+    Test.make ~name:"simulate-vadd-l0"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.run_schedule sys ~verify:false sch)));
+    Test.make ~name:"compile+simulate-vadd"
+      (Staged.stage (fun () -> ignore (Pipeline.run_loop sys ~repeat:1 vadd)));
+  ]
+
+let run_timings () =
+  Printf.printf "\n== Bechamel timings ==\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let test =
+    Test.make_grouped ~name:"flexl0" (experiment_tests @ hot_path_tests)
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        let rows =
+          Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+          |> List.sort compare
+        in
+        List.iter
+          (fun (name, ols) ->
+            match Analyze.OLS.estimates ols with
+            | Some [ t ] ->
+              Printf.printf "  %-32s %12.0f ns/run\n" name t
+            | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+          rows)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    List.iter (fun (_, _, f) -> f ()) artifacts;
+    run_timings ()
+  | [ "timings" ] -> run_timings ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) artifacts with
+        | Some (_, _, f) -> f ()
+        | None ->
+          Printf.eprintf "unknown artifact %S; known: %s timings\n" name
+            (String.concat " " (List.map (fun (n, _, _) -> n) artifacts));
+          exit 2)
+      names

@@ -1,0 +1,255 @@
+(* flexl0 command-line interface: regenerate any of the paper's tables
+   and figures, or inspect a single benchmark/loop. *)
+
+open Cmdliner
+module Mediabench = Flexl0_workloads.Mediabench
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+module Report = Flexl0.Report
+
+let benchmarks_arg =
+  let doc =
+    "Restrict to the named benchmarks (repeatable). Known: "
+    ^ String.concat ", " Mediabench.names
+  in
+  Arg.(value & opt_all string [] & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let resolve_benchmarks = function
+  | [] -> None
+  | names ->
+    Some
+      (List.map
+         (fun name ->
+           try Mediabench.find name
+           with Not_found ->
+             Printf.eprintf "unknown benchmark %S\n" name;
+             exit 2)
+         names)
+
+let fig5_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_figure (Experiments.fig5 ?benchmarks ())
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"Execution time vs L0 buffer size (Figure 5)")
+    Term.(const run $ benchmarks_arg)
+
+let fig6_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_fig6 (Experiments.fig6 ?benchmarks ())
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:"Subblock mapping mix, L0 hit rate, unroll factors (Figure 6)")
+    Term.(const run $ benchmarks_arg)
+
+let fig7_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_figure (Experiments.fig7 ?benchmarks ())
+  in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:"L0 buffers vs MultiVLIW vs word-interleaved (Figure 7)")
+    Term.(const run $ benchmarks_arg)
+
+let table1_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_table1 (Experiments.table1 ?benchmarks ())
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Dynamic stride statistics (Table 1)")
+    Term.(const run $ benchmarks_arg)
+
+let table2_cmd =
+  let run () = Report.print_config Flexl0_arch.Config.default in
+  Cmd.v (Cmd.info "table2" ~doc:"Machine configuration (Table 2)")
+    Term.(const run $ const ())
+
+let extras_cmd =
+  let run () = Report.print_extras (Experiments.extras ()) in
+  Cmd.v
+    (Cmd.info "extras"
+       ~doc:"Section 5.2 studies: 2-entry buffers, all-candidates, prefetch \
+             distance 2")
+    Term.(const run $ const ())
+
+let sensitivity_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_sweep
+      ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
+      ~parameter:"L1 latency"
+      (Experiments.l1_latency_sensitivity ?benchmarks ());
+    Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
+      ~parameter:"clusters"
+      (Experiments.cluster_scaling ?benchmarks ());
+    Report.print_sweep ~title:"Automatic prefetch distance sweep"
+      ~parameter:"distance"
+      (Experiments.prefetch_distance_sweep ?benchmarks ())
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"L1-latency, cluster-count and prefetch-distance sweeps")
+    Term.(const run $ benchmarks_arg)
+
+let ablation_cmd =
+  let run names =
+    let benchmarks = resolve_benchmarks names in
+    Report.print_coherence (Experiments.coherence_ablation ?benchmarks ());
+    Report.print_specialization (Experiments.specialization_study ());
+    Report.print_flush (Experiments.flush_study ?benchmarks ());
+    Report.print_steering (Experiments.steering_ablation ())
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Coherence disciplines, code specialization, selective flushing")
+    Term.(const run $ benchmarks_arg)
+
+let trace_cmd =
+  let run bench_name loop_name limit =
+    let b =
+      try Mediabench.find bench_name
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %S\n" bench_name;
+        exit 2
+    in
+    let { Mediabench.loop; _ } =
+      match
+        List.find_opt
+          (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name = loop_name)
+          b.Mediabench.loops
+      with
+      | Some wl -> wl
+      | None ->
+        Printf.eprintf "unknown loop %S in %s; loops: %s\n" loop_name bench_name
+          (String.concat ", "
+             (List.map
+                (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name)
+                b.Mediabench.loops));
+        exit 2
+    in
+    let sys = Pipeline.l0_system () in
+    let sch = Pipeline.compile sys loop in
+    Format.printf "%a@." Flexl0_sched.Schedule.pp_kernel sch;
+    let printed = ref 0 in
+    ignore
+      (Flexl0_sim.Exec.run sys.Pipeline.config sch
+         ~hierarchy:(fun ~backing ->
+           sys.Pipeline.make_hierarchy sys.Pipeline.config ~backing)
+         ~on_event:(fun e ->
+           if !printed < limit then begin
+             incr printed;
+             Format.printf "%a@." Flexl0_sim.Exec.pp_trace_event e
+           end)
+         ())
+  in
+  let bench = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let loop = Arg.(required & pos 1 (some string) None & info [] ~docv:"LOOP") in
+  let limit =
+    Arg.(value & opt int 64 & info [ "n"; "limit" ] ~docv:"N"
+           ~doc:"Print at most N memory events.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the kernel and the first memory events of one loop")
+    Term.(const run $ bench $ loop $ limit)
+
+let export_cmd =
+  let run dir names =
+    let benchmarks = resolve_benchmarks names in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let save name contents =
+      let path = Filename.concat dir name in
+      Flexl0.Csv_export.save ~path contents;
+      Printf.printf "wrote %s\n" path
+    in
+    save "fig5.csv" (Flexl0.Csv_export.figure (Experiments.fig5 ?benchmarks ()));
+    save "fig6.csv" (Flexl0.Csv_export.fig6 (Experiments.fig6 ?benchmarks ()));
+    save "fig7.csv" (Flexl0.Csv_export.figure (Experiments.fig7 ?benchmarks ()));
+    save "table1.csv" (Flexl0.Csv_export.table1 (Experiments.table1 ?benchmarks ()));
+    save "l1_latency.csv"
+      (Flexl0.Csv_export.sweep ~parameter:"l1_latency"
+         (Experiments.l1_latency_sensitivity ?benchmarks ()));
+    save "clusters.csv"
+      (Flexl0.Csv_export.sweep ~parameter:"clusters"
+         (Experiments.cluster_scaling ?benchmarks ()));
+    save "prefetch.csv"
+      (Flexl0.Csv_export.sweep ~parameter:"distance"
+         (Experiments.prefetch_distance_sweep ?benchmarks ()));
+    save "coherence.csv"
+      (Flexl0.Csv_export.coherence (Experiments.coherence_ablation ?benchmarks ()))
+  in
+  let dir =
+    Arg.(value & opt string "results" & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Output directory for the CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every experiment's data as CSV files")
+    Term.(const run $ dir $ benchmarks_arg)
+
+let all_cmd =
+  let run () =
+    Report.print_config Flexl0_arch.Config.default;
+    Report.print_table1 (Experiments.table1 ());
+    Report.print_figure (Experiments.fig5 ());
+    Report.print_fig6 (Experiments.fig6 ());
+    Report.print_figure (Experiments.fig7 ());
+    Report.print_extras (Experiments.extras ());
+    Report.print_sweep
+      ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
+      ~parameter:"L1 latency"
+      (Experiments.l1_latency_sensitivity ());
+    Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
+      ~parameter:"clusters" (Experiments.cluster_scaling ());
+    Report.print_sweep ~title:"Automatic prefetch distance sweep"
+      ~parameter:"distance"
+      (Experiments.prefetch_distance_sweep ());
+    Report.print_coherence (Experiments.coherence_ablation ());
+    Report.print_specialization (Experiments.specialization_study ());
+    Report.print_flush (Experiments.flush_study ());
+    Report.print_steering (Experiments.steering_ablation ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation")
+    Term.(const run $ const ())
+
+let schedule_cmd =
+  let run bench_name =
+    let b =
+      try Mediabench.find bench_name
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %S\n" bench_name;
+        exit 2
+    in
+    let sys = Pipeline.l0_system () in
+    List.iter
+      (fun { Mediabench.loop; repeat = _ } ->
+        let sch = Pipeline.compile sys loop in
+        Format.printf "%a@.%a@." Flexl0_sched.Schedule.pp sch
+          Flexl0_sched.Schedule.pp_kernel sch)
+      b.Mediabench.loops
+  in
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Print the L0 schedules of a benchmark's inner loops")
+    Term.(const run $ bench)
+
+let () =
+  let info =
+    Cmd.info "flexl0"
+      ~doc:
+        "Flexible compiler-managed L0 buffers for clustered VLIW processors \
+         (MICRO 2003): reproduce the paper's tables and figures"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd; table2_cmd; extras_cmd;
+            sensitivity_cmd; ablation_cmd; export_cmd; all_cmd; schedule_cmd;
+            trace_cmd;
+          ]))

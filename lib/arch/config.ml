@@ -1,0 +1,154 @@
+type l0_capacity = No_l0 | Entries of int | Unbounded
+
+type l0_params = {
+  capacity : l0_capacity;
+  l0_latency : int;
+  subblock_bytes : int;
+  ports : int;
+  prefetch_distance : int;
+}
+
+type l1_params = {
+  l1_latency : int;
+  size_bytes : int;
+  ways : int;
+  block_bytes : int;
+  interleave_penalty : int;
+}
+
+type l2_params = { l2_latency : int }
+
+type distributed_params = {
+  local_latency : int;
+  remote_latency : int;
+  attraction_entries : int;
+  attraction_latency : int;
+}
+
+type t = {
+  num_clusters : int;
+  int_units : int;
+  mem_units : int;
+  fp_units : int;
+  regs_per_cluster : int;
+  comm_buses : int;
+  comm_latency : int;
+  l0 : l0_params;
+  l1 : l1_params;
+  l2 : l2_params;
+  distributed : distributed_params;
+}
+
+let default =
+  {
+    num_clusters = 4;
+    int_units = 1;
+    mem_units = 1;
+    fp_units = 1;
+    regs_per_cluster = 64;
+    comm_buses = 4;
+    comm_latency = 2;
+    l0 =
+      {
+        capacity = Entries 8;
+        l0_latency = 1;
+        subblock_bytes = 8;
+        ports = 2;
+        prefetch_distance = 1;
+      };
+    l1 =
+      {
+        l1_latency = 6;
+        size_bytes = 8 * 1024;
+        ways = 2;
+        block_bytes = 32;
+        interleave_penalty = 1;
+      };
+    l2 = { l2_latency = 10 };
+    distributed =
+      {
+        local_latency = 2;
+        remote_latency = 6;
+        attraction_entries = 8;
+        attraction_latency = 1;
+      };
+  }
+
+let embedded_small =
+  {
+    default with
+    num_clusters = 2;
+    comm_buses = 2;
+    l0 = { default.l0 with subblock_bytes = 16 };
+    l1 = { default.l1 with size_bytes = 4 * 1024 };
+  }
+
+let wide =
+  {
+    default with
+    num_clusters = 8;
+    l0 = { default.l0 with subblock_bytes = 4 };
+    l1 = { default.l1 with l1_latency = 8 };
+  }
+
+let with_l0 capacity t = { t with l0 = { t.l0 with capacity } }
+
+let with_prefetch_distance prefetch_distance t =
+  { t with l0 = { t.l0 with prefetch_distance } }
+
+let baseline = with_l0 No_l0 default
+
+let l0_entry_count t =
+  match t.l0.capacity with
+  | Entries n -> Some n
+  | Unbounded -> None
+  | No_l0 -> None
+
+let has_l0 t = match t.l0.capacity with No_l0 -> false | Entries _ | Unbounded -> true
+let subblocks_per_block t = t.l1.block_bytes / t.l0.subblock_bytes
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let check cond msg acc =
+    match acc with Error _ -> acc | Ok () -> if cond then Ok () else Error msg
+  in
+  Ok ()
+  |> check (t.num_clusters > 0) "num_clusters must be positive"
+  |> check (is_power_of_two t.num_clusters) "num_clusters must be a power of two"
+  |> check (t.int_units > 0 && t.mem_units > 0 && t.fp_units > 0)
+       "each cluster needs at least one FU of each kind"
+  |> check (t.regs_per_cluster > 0) "regs_per_cluster must be positive"
+  |> check (t.comm_buses > 0 && t.comm_latency > 0) "bus parameters must be positive"
+  |> check (is_power_of_two t.l1.block_bytes) "L1 block size must be a power of two"
+  |> check (is_power_of_two t.l0.subblock_bytes) "subblock size must be a power of two"
+  |> check
+       (t.l1.block_bytes mod t.l0.subblock_bytes = 0)
+       "subblock size must divide the L1 block size"
+  |> check
+       (t.l1.size_bytes mod (t.l1.block_bytes * t.l1.ways) = 0)
+       "L1 size must be a multiple of ways * block size"
+  |> check
+       (match t.l0.capacity with Entries n -> n > 0 | No_l0 | Unbounded -> true)
+       "bounded L0 capacity must be positive"
+  |> check (t.l0.prefetch_distance >= 0)
+       "prefetch distance must be non-negative (0 disables the hints)"
+
+let pp ppf t =
+  let l0_desc =
+    match t.l0.capacity with
+    | No_l0 -> "none"
+    | Entries n -> Printf.sprintf "%d entries" n
+    | Unbounded -> "unbounded entries"
+  in
+  Format.fprintf ppf
+    "@[<v>Clusters: %d (lock-step), %d int + %d mem + %d fp FUs, %d regs each@,\
+     L0 buffers: %s, %d-cycle latency, %d-byte subblocks, %d ports, prefetch \
+     distance %d@,\
+     L1 cache: %d-cycle latency, %d KB, %d-way, %d-byte blocks, +%d interleave@,\
+     L2: %d-cycle latency, always hits@,\
+     Buses: %d register-to-register, %d-cycle latency@]" t.num_clusters t.int_units
+    t.mem_units t.fp_units t.regs_per_cluster l0_desc t.l0.l0_latency
+    t.l0.subblock_bytes t.l0.ports t.l0.prefetch_distance t.l1.l1_latency
+    (t.l1.size_bytes / 1024) t.l1.ways t.l1.block_bytes t.l1.interleave_penalty
+    t.l2.l2_latency t.comm_buses t.comm_latency

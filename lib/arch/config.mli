@@ -1,0 +1,97 @@
+(** Machine description for the clustered VLIW processor (paper Table 2).
+
+    The processor consists of [num_clusters] clusters working in lock-step.
+    Each cluster holds a register file, one integer, one memory and one
+    floating-point functional unit, and (in the proposed architecture) a
+    small fully-associative L0 buffer. The L1 data cache is unified and
+    reached over a per-cluster bus; register values move between clusters
+    over a limited set of register-to-register buses. *)
+
+(** Capacity of one per-cluster L0 buffer, in subblock entries. *)
+type l0_capacity =
+  | No_l0  (** baseline: unified L1 only *)
+  | Entries of int  (** bounded buffer, LRU replacement *)
+  | Unbounded  (** idealized buffer used in Figure 5 *)
+
+type l0_params = {
+  capacity : l0_capacity;
+  l0_latency : int;  (** hit latency in cycles (paper: 1) *)
+  subblock_bytes : int;  (** L0 line size (paper: 8 = L1 block / clusters) *)
+  ports : int;  (** read/write ports per buffer (paper: 2) *)
+  prefetch_distance : int;
+      (** how many subblocks ahead the automatic prefetch hints fetch
+          (paper default 1; the §5.2 study uses 2; 0 makes the hardware
+          ignore the hints — an ablation knob) *)
+}
+
+type l1_params = {
+  l1_latency : int;  (** total hit latency (paper: 6 = 2 comm + 2 access + 2 comm) *)
+  size_bytes : int;  (** paper: 8 KB *)
+  ways : int;  (** paper: 2 *)
+  block_bytes : int;  (** paper: 32 *)
+  interleave_penalty : int;
+      (** extra cycles to shift/shuffle a block mapped interleaved (paper: 1) *)
+}
+
+type l2_params = {
+  l2_latency : int;  (** paper: 10, always hits *)
+}
+
+(** Parameters of the distributed-cache baselines of Section 5.3. *)
+type distributed_params = {
+  local_latency : int;  (** hit in the local L1 bank *)
+  remote_latency : int;  (** word served by a remote bank / home cluster *)
+  attraction_entries : int;  (** Attraction Buffer size (word-interleaved) *)
+  attraction_latency : int;  (** Attraction Buffer hit latency *)
+}
+
+type t = {
+  num_clusters : int;
+  int_units : int;  (** integer FUs per cluster *)
+  mem_units : int;  (** memory FUs per cluster *)
+  fp_units : int;  (** floating-point FUs per cluster *)
+  regs_per_cluster : int;
+  comm_buses : int;  (** register-to-register buses (paper: 4) *)
+  comm_latency : int;  (** bus latency in cycles (paper: 2) *)
+  l0 : l0_params;
+  l1 : l1_params;
+  l2 : l2_params;
+  distributed : distributed_params;
+}
+
+val default : t
+(** Paper Table 2: 4 clusters, 1 int + 1 mem + 1 fp per cluster, 8-entry
+    1-cycle L0 buffers with 8-byte subblocks, 6-cycle 8KB 2-way 32B-block
+    L1 (+1 cycle interleave), 10-cycle always-hit L2, 4 buses of 2 cycles. *)
+
+val embedded_small : t
+(** A smaller DSP-class point: 2 clusters, 4 KB L1, 16-byte subblocks
+    (the block/clusters rule), 2 buses. *)
+
+val wide : t
+(** A wire-limited future point: 8 clusters, 4-byte subblocks, slower
+    L1 (8 cycles). *)
+
+val with_l0 : l0_capacity -> t -> t
+(** Replace the L0 capacity, keeping everything else. *)
+
+val with_prefetch_distance : int -> t -> t
+
+val baseline : t
+(** [default] without L0 buffers — the normalization reference of Figures
+    5 and 7. *)
+
+val l0_entry_count : t -> int option
+(** [Some n] for bounded buffers, [None] for [Unbounded] or [No_l0]. *)
+
+val has_l0 : t -> bool
+
+val subblocks_per_block : t -> int
+(** L1 block bytes / L0 subblock bytes; equals [num_clusters] in the paper. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (positive sizes, power-of-two geometry,
+    subblock divides block, ...). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the configuration as a Table-2-style listing. *)

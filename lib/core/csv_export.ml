@@ -1,0 +1,95 @@
+let escape field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let record fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let float f = Printf.sprintf "%.6f" f
+
+let figure (fig : Experiments.figure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (record [ "bench"; "point"; "total"; "stall" ]);
+  List.iter
+    (fun (r : Experiments.row) ->
+      List.iter
+        (fun (p : Experiments.norm) ->
+          Buffer.add_string buf
+            (record
+               [ r.Experiments.bench; p.Experiments.point;
+                 float p.Experiments.total; float p.Experiments.stall ]))
+        r.Experiments.points)
+    fig.Experiments.rows;
+  List.iter
+    (fun (p : Experiments.norm) ->
+      Buffer.add_string buf
+        (record
+           [ "AMEAN"; p.Experiments.point; float p.Experiments.total;
+             float p.Experiments.stall ]))
+    fig.Experiments.amean;
+  Buffer.contents buf
+
+let fig6 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (record
+       [ "bench"; "linear_fraction"; "interleaved_fraction"; "hit_rate";
+         "avg_unroll"; "seq_fraction" ]);
+  List.iter
+    (fun (r : Experiments.fig6_row) ->
+      Buffer.add_string buf
+        (record
+           [ r.Experiments.f6_bench; float r.Experiments.linear_fraction;
+             float r.Experiments.interleaved_fraction;
+             float r.Experiments.hit_rate; float r.Experiments.avg_unroll;
+             float r.Experiments.seq_fraction ]))
+    rows;
+  Buffer.contents buf
+
+let table1 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (record [ "bench"; "s"; "sg"; "so"; "paper_s"; "paper_sg"; "paper_so" ]);
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      let open Flexl0_workloads.Mediabench in
+      let paper_fields =
+        match r.Experiments.paper with
+        | Some p -> [ float p.s; float p.sg; float p.so ]
+        | None -> [ ""; ""; "" ]
+      in
+      Buffer.add_string buf
+        (record
+           ([ r.Experiments.t1_bench; float r.Experiments.ours.s;
+              float r.Experiments.ours.sg; float r.Experiments.ours.so ]
+           @ paper_fields)))
+    rows;
+  Buffer.contents buf
+
+let sweep ~parameter points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (record [ parameter; "amean" ]);
+  List.iter
+    (fun (p : Experiments.sweep_point) ->
+      Buffer.add_string buf
+        (record [ string_of_int p.Experiments.parameter; float p.Experiments.amean ]))
+    points;
+  Buffer.contents buf
+
+let coherence rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (record [ "bench"; "auto"; "nl0"; "one_cluster"; "psr" ]);
+  List.iter
+    (fun (r : Experiments.coherence_row) ->
+      Buffer.add_string buf
+        (record
+           [ r.Experiments.co_bench; float r.Experiments.auto;
+             float r.Experiments.nl0; float r.Experiments.one_cluster;
+             float r.Experiments.psr ]))
+    rows;
+  Buffer.contents buf
+
+let save ~path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)

@@ -1,0 +1,20 @@
+(** CSV rendering of experiment results, for plotting outside OCaml.
+
+    Values are plain RFC-4180-ish CSV: a header row, one record per
+    benchmark/point, fields quoted only when they contain commas. All
+    functions return the CSV as a string; [save] writes it to a file. *)
+
+val figure : Experiments.figure -> string
+(** Long format: [bench,point,total,stall] plus the AMEAN rows. *)
+
+val fig6 : Experiments.fig6_row list -> string
+(** [bench,linear_fraction,interleaved_fraction,hit_rate,avg_unroll]. *)
+
+val table1 : Experiments.table1_row list -> string
+(** [bench,s,sg,so,paper_s,paper_sg,paper_so]. *)
+
+val sweep : parameter:string -> Experiments.sweep_point list -> string
+
+val coherence : Experiments.coherence_row list -> string
+
+val save : path:string -> string -> unit

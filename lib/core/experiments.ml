@@ -1,0 +1,463 @@
+open Flexl0_workloads
+module Config = Flexl0_arch.Config
+module Stats = Flexl0_util.Stats
+module Exec = Flexl0_sim.Exec
+
+type norm = { point : string; total : float; stall : float }
+
+type row = { bench : string; points : norm list }
+
+type figure = {
+  title : string;
+  point_labels : string list;
+  rows : row list;
+  amean : norm list;
+  total_mismatches : int;
+}
+
+let default_benchmarks () = Mediabench.all ()
+
+(* Normalized execution-time figure over a list of systems. *)
+let normalized_figure ~title ~systems benchmarks =
+  let baseline = Pipeline.baseline_system () in
+  let mismatches = ref 0 in
+  let rows =
+    List.map
+      (fun (b : Mediabench.benchmark) ->
+        let base = Pipeline.run_benchmark baseline b in
+        mismatches := !mismatches + base.Pipeline.mismatches;
+        let base_total, _ =
+          Pipeline.execution_time base ~baseline:base
+            ~scalar_fraction:b.Mediabench.scalar_fraction
+        in
+        let points =
+          List.map
+            (fun (sys : Pipeline.system) ->
+              let run = Pipeline.run_benchmark sys b in
+              mismatches := !mismatches + run.Pipeline.mismatches;
+              let total, stall =
+                Pipeline.execution_time run ~baseline:base
+                  ~scalar_fraction:b.Mediabench.scalar_fraction
+              in
+              {
+                point = sys.Pipeline.label;
+                total = total /. base_total;
+                stall = stall /. base_total;
+              })
+            systems
+        in
+        { bench = b.Mediabench.bname; points })
+      benchmarks
+  in
+  let amean =
+    List.mapi
+      (fun idx (sys : Pipeline.system) ->
+        let totals = List.map (fun r -> (List.nth r.points idx).total) rows in
+        let stalls = List.map (fun r -> (List.nth r.points idx).stall) rows in
+        {
+          point = sys.Pipeline.label;
+          total = Stats.mean totals;
+          stall = Stats.mean stalls;
+        })
+      systems
+  in
+  {
+    title;
+    point_labels = List.map (fun (s : Pipeline.system) -> s.Pipeline.label) systems;
+    rows;
+    amean;
+    total_mismatches = !mismatches;
+  }
+
+let fig5 ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let systems =
+    [
+      Pipeline.l0_system ~capacity:(Config.Entries 4) ();
+      Pipeline.l0_system ~capacity:(Config.Entries 8) ();
+      Pipeline.l0_system ~capacity:(Config.Entries 16) ();
+      Pipeline.l0_system ~capacity:Config.Unbounded ();
+    ]
+  in
+  normalized_figure
+    ~title:"Figure 5: execution time vs L0 buffer size (normalized to no-L0)"
+    ~systems benchmarks
+
+let fig7 ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let systems =
+    [
+      Pipeline.l0_system ~capacity:(Config.Entries 8) ();
+      Pipeline.multivliw_system ();
+      Pipeline.interleaved_system ~locality:false ();
+      Pipeline.interleaved_system ~locality:true ();
+    ]
+  in
+  normalized_figure
+    ~title:
+      "Figure 7: L0 buffers vs MultiVLIW vs word-interleaved cache \
+       (normalized to no-L0 unified)"
+    ~systems benchmarks
+
+type fig6_row = {
+  f6_bench : string;
+  linear_fraction : float;
+  interleaved_fraction : float;
+  hit_rate : float;
+  avg_unroll : float;
+  seq_fraction : float;
+}
+
+let fig6 ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let sys = Pipeline.l0_system ~capacity:(Config.Entries 8) () in
+  List.map
+    (fun (b : Mediabench.benchmark) ->
+      let run = Pipeline.run_benchmark sys b in
+      let counter name =
+        List.fold_left
+          (fun acc (lr : Pipeline.loop_run) ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt name lr.Pipeline.sim.Exec.counters))
+          0 run.Pipeline.loop_runs
+      in
+      let linear = counter "subblocks_linear"
+      and interleaved = counter "subblocks_interleaved"
+      and hits = counter "l0_load_hits"
+      and misses = counter "l0_load_misses" in
+      (* Step 4 prefers SEQ_ACCESS: measure the static SEQ share of the
+         L0-using loads across the suite's schedules. *)
+      let seq = ref 0 and par = ref 0 in
+      List.iter
+        (fun { Mediabench.loop; _ } ->
+          let sch = Pipeline.compile sys loop in
+          Array.iter
+            (fun (p : Flexl0_sched.Schedule.placement) ->
+              match p.Flexl0_sched.Schedule.hints.Flexl0_mem.Hint.access with
+              | Flexl0_mem.Hint.Seq_access -> incr seq
+              | Flexl0_mem.Hint.Par_access ->
+                if p.Flexl0_sched.Schedule.uses_l0 then incr par
+              | Flexl0_mem.Hint.No_access | Flexl0_mem.Hint.Inval_only -> ())
+            sch.Flexl0_sched.Schedule.placements)
+        b.Mediabench.loops;
+      let mapped = linear + interleaved in
+      let weighted_unroll, weight_sum =
+        List.fold_left
+          (fun (acc, wsum) (lr : Pipeline.loop_run) ->
+            ( acc +. (float_of_int lr.Pipeline.unroll_factor *. lr.Pipeline.scaled_cycles),
+              wsum +. lr.Pipeline.scaled_cycles ))
+          (0.0, 0.0) run.Pipeline.loop_runs
+      in
+      {
+        f6_bench = b.Mediabench.bname;
+        linear_fraction = Stats.ratio linear (max 1 mapped);
+        interleaved_fraction = Stats.ratio interleaved (max 1 mapped);
+        hit_rate = Stats.ratio hits (max 1 (hits + misses));
+        avg_unroll =
+          (if weight_sum > 0.0 then weighted_unroll /. weight_sum else 1.0);
+        seq_fraction = Stats.ratio !seq (max 1 (!seq + !par));
+      })
+    benchmarks
+
+type table1_row = {
+  t1_bench : string;
+  ours : Mediabench.stride_stats;
+  paper : Mediabench.stride_stats option;
+}
+
+let table1 ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  List.map
+    (fun (b : Mediabench.benchmark) ->
+      {
+        t1_bench = b.Mediabench.bname;
+        ours = Mediabench.stride_stats b;
+        paper = List.assoc_opt b.Mediabench.bname Mediabench.paper_table1;
+      })
+    benchmarks
+
+type extra = {
+  two_entry_amean : float;
+  all_candidates_penalty : float;
+  prefetch2_epicdec : float;
+  prefetch2_rasta : float;
+}
+
+let amean_of_system sys benchmarks =
+  let baseline = Pipeline.baseline_system () in
+  Stats.mean
+    (List.map
+       (fun (b : Mediabench.benchmark) ->
+         let base = Pipeline.run_benchmark baseline b in
+         let base_total, _ =
+           Pipeline.execution_time base ~baseline:base
+             ~scalar_fraction:b.Mediabench.scalar_fraction
+         in
+         let run = Pipeline.run_benchmark sys b in
+         let total, _ =
+           Pipeline.execution_time run ~baseline:base
+             ~scalar_fraction:b.Mediabench.scalar_fraction
+         in
+         total /. base_total)
+       benchmarks)
+
+let bench_ratio ~num_sys ~den_sys b =
+  let baseline = Pipeline.baseline_system () in
+  let base = Pipeline.run_benchmark baseline b in
+  let time sys =
+    let run = Pipeline.run_benchmark sys b in
+    fst
+      (Pipeline.execution_time run ~baseline:base
+         ~scalar_fraction:b.Mediabench.scalar_fraction)
+  in
+  time num_sys /. time den_sys
+
+let extras () =
+  let benchmarks = default_benchmarks () in
+  let two_entry_amean =
+    amean_of_system (Pipeline.l0_system ~capacity:(Config.Entries 2) ()) benchmarks
+  in
+  let all_candidates_penalty =
+    amean_of_system
+      (Pipeline.l0_system ~capacity:(Config.Entries 4) ~selective:false ())
+      benchmarks
+    /. amean_of_system
+         (Pipeline.l0_system ~capacity:(Config.Entries 4) ())
+         benchmarks
+  in
+  let pf2 = Pipeline.l0_system ~capacity:(Config.Entries 8) ~prefetch_distance:2 ()
+  and pf1 = Pipeline.l0_system ~capacity:(Config.Entries 8) () in
+  let prefetch2_epicdec =
+    bench_ratio ~num_sys:pf2 ~den_sys:pf1 (Mediabench.find "epicdec")
+  in
+  let prefetch2_rasta =
+    bench_ratio ~num_sys:pf2 ~den_sys:pf1 (Mediabench.find "rasta")
+  in
+  { two_entry_amean; all_candidates_penalty; prefetch2_epicdec; prefetch2_rasta }
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity and ablation studies (beyond the paper's figures).       *)
+
+type sweep_point = { parameter : int; amean : float }
+
+let amean_vs_matched_baseline ~make_l0 ~make_base benchmarks parameter =
+  let l0 = make_l0 parameter and base = make_base parameter in
+  let amean =
+    Stats.mean
+      (List.map
+         (fun (b : Mediabench.benchmark) ->
+           let base_run = Pipeline.run_benchmark base b in
+           let base_total, _ =
+             Pipeline.execution_time base_run ~baseline:base_run
+               ~scalar_fraction:b.Mediabench.scalar_fraction
+           in
+           let run = Pipeline.run_benchmark l0 b in
+           let total, _ =
+             Pipeline.execution_time run ~baseline:base_run
+               ~scalar_fraction:b.Mediabench.scalar_fraction
+           in
+           total /. base_total)
+         benchmarks)
+  in
+  { parameter; amean }
+
+let l1_latency_sensitivity ?benchmarks ?(latencies = [ 4; 6; 8; 10; 12 ]) () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let with_l1_latency lat =
+    let d = Config.default in
+    { d with Config.l1 = { d.Config.l1 with Config.l1_latency = lat } }
+  in
+  List.map
+    (amean_vs_matched_baseline benchmarks
+       ~make_l0:(fun lat -> Pipeline.l0_system ~config:(with_l1_latency lat) ())
+       ~make_base:(fun lat ->
+         Pipeline.baseline_system ~config:(with_l1_latency lat) ()))
+    latencies
+
+let cluster_scaling ?benchmarks ?(clusters = [ 2; 4; 8 ]) () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let with_clusters n =
+    let d = Config.default in
+    {
+      d with
+      Config.num_clusters = n;
+      (* The paper's rule: subblock = L1 block / clusters. *)
+      Config.l0 =
+        { d.Config.l0 with Config.subblock_bytes = d.Config.l1.Config.block_bytes / n };
+    }
+  in
+  List.map
+    (amean_vs_matched_baseline benchmarks
+       ~make_l0:(fun n -> Pipeline.l0_system ~config:(with_clusters n) ())
+       ~make_base:(fun n -> Pipeline.baseline_system ~config:(with_clusters n) ()))
+    clusters
+
+let prefetch_distance_sweep ?benchmarks ?(distances = [ 0; 1; 2; 3; 4 ]) () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  List.map
+    (amean_vs_matched_baseline benchmarks
+       ~make_l0:(fun d -> Pipeline.l0_system ~prefetch_distance:d ())
+       ~make_base:(fun _ -> Pipeline.baseline_system ()))
+    distances
+
+type coherence_row = {
+  co_bench : string;
+  auto : float;
+  nl0 : float;
+  one_cluster : float;
+  psr : float;
+}
+
+let coherence_ablation ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let baseline = Pipeline.baseline_system () in
+  List.map
+    (fun (b : Mediabench.benchmark) ->
+      let base = Pipeline.run_benchmark baseline b in
+      let base_total, _ =
+        Pipeline.execution_time base ~baseline:base
+          ~scalar_fraction:b.Mediabench.scalar_fraction
+      in
+      let normalized coherence =
+        let run = Pipeline.run_benchmark (Pipeline.l0_system ~coherence ()) b in
+        let total, _ =
+          Pipeline.execution_time run ~baseline:base
+            ~scalar_fraction:b.Mediabench.scalar_fraction
+        in
+        total /. base_total
+      in
+      {
+        co_bench = b.Mediabench.bname;
+        auto = normalized Flexl0_sched.Engine.Auto;
+        nl0 = normalized Flexl0_sched.Engine.Force_nl0;
+        one_cluster = normalized Flexl0_sched.Engine.Force_1c;
+        psr = normalized Flexl0_sched.Engine.Force_psr;
+      })
+    benchmarks
+
+type specialization_row = {
+  sp_loop : string;
+  conservative_ii : int;
+  aggressive_ii : int;
+  gain_cycles : int;
+}
+
+let specialization_study () =
+  let open Flexl0_ir in
+  let open Flexl0_sched in
+  let kernels =
+    [
+      Flexl0_workloads.Kernels.iir_inplace ~name:"predictor" ~trip:256 ~len:256;
+      Flexl0_workloads.Kernels.stencil3 ~name:"stencil" ~trip:256 ~len:256;
+      Flexl0_workloads.Kernels.saxpy ~name:"saxpy" ~trip:256 ~len:256;
+      Flexl0_workloads.Kernels.fir4 ~name:"fir" ~trip:256 ~len:256;
+    ]
+  in
+  List.map
+    (fun loop ->
+      let sp =
+        Specialize.specialize Config.default (Scheme.L0 { selective = true })
+          loop
+      in
+      {
+        sp_loop = loop.Loop.name;
+        conservative_ii = sp.Specialize.conservative.Schedule.ii;
+        aggressive_ii = sp.Specialize.aggressive.Schedule.ii;
+        gain_cycles = Specialize.gain sp ~trips:loop.Loop.trip_count;
+      })
+    kernels
+
+type flush_row = {
+  fl_bench : string;
+  total_flush_points : int;
+  flushes_needed : int;
+}
+
+let flush_study ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> default_benchmarks ()
+  in
+  let sys = Pipeline.l0_system () in
+  List.map
+    (fun (b : Mediabench.benchmark) ->
+      let schedules =
+        List.map
+          (fun { Mediabench.loop; _ } -> Pipeline.compile sys loop)
+          b.Mediabench.loops
+      in
+      let plan = Flexl0_sched.Interloop.plan sys.Pipeline.config schedules in
+      let total =
+        List.length schedules * sys.Pipeline.config.Config.num_clusters
+      in
+      {
+        fl_bench = b.Mediabench.bname;
+        total_flush_points = total;
+        flushes_needed = total - plan.Flexl0_sched.Interloop.flushes_saved;
+      })
+    benchmarks
+
+type steering_row = {
+  st_loop : string;
+  with_steering_cycles : int;
+  without_steering_cycles : int;
+  with_interleaved : int;  (* interleaved subblocks mapped *)
+  without_interleaved : int;
+}
+
+let steering_ablation () =
+  let open Flexl0_sched in
+  let cfg = Config.default in
+  let kernels =
+    [
+      Flexl0_ir.Unroll.apply ~factor:4
+        (Flexl0_workloads.Kernels.vector_add ~name:"vadd x4" ~trip:512 ~len:1024
+           Flexl0_ir.Opcode.W2);
+      Flexl0_ir.Unroll.apply ~factor:4
+        (Flexl0_workloads.Kernels.block_copy ~name:"copy x4" ~trip:512 ~len:1024
+           Flexl0_ir.Opcode.W2);
+      Flexl0_ir.Unroll.apply ~factor:4
+        (Flexl0_workloads.Kernels.upsample_bytes ~name:"upsample x4" ~trip:512
+           ~len:1024);
+    ]
+  in
+  List.map
+    (fun loop ->
+      let measure steering =
+        let sch =
+          Engine.schedule cfg (Scheme.L0 { selective = true }) ~steering loop
+        in
+        let r =
+          Flexl0_sim.Exec.run cfg sch
+            ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create cfg ~backing)
+            ~invocations:2 ()
+        in
+        ( r.Exec.total_cycles,
+          Option.value ~default:0 (List.assoc_opt "subblocks_interleaved" r.Exec.counters) )
+      in
+      let wc, wi = measure true in
+      let nc, ni = measure false in
+      {
+        st_loop = loop.Flexl0_ir.Loop.name;
+        with_steering_cycles = wc;
+        without_steering_cycles = nc;
+        with_interleaved = wi;
+        without_interleaved = ni;
+      })
+    kernels

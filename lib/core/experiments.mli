@@ -1,0 +1,145 @@
+(** The paper's evaluation, experiment by experiment (see DESIGN.md §5).
+
+    Every function reruns compilation + simulation from scratch and
+    returns typed rows; the bench harness and the CLI render them. Pass a
+    subset of benchmarks to shorten runs (tests do). *)
+
+open Flexl0_workloads
+
+(** One normalized execution-time bar: [total] and its [stall] component,
+    both relative to the unified-L1 no-L0 baseline (= 1.0). *)
+type norm = { point : string; total : float; stall : float }
+
+type row = { bench : string; points : norm list }
+
+type figure = {
+  title : string;
+  point_labels : string list;
+  rows : row list;
+  amean : norm list;
+  total_mismatches : int;  (** coherence violations across all runs: must be 0 *)
+}
+
+val fig5 : ?benchmarks:Mediabench.benchmark list -> unit -> figure
+(** Execution time for 4-, 8-, 16-entry and unbounded L0 buffers,
+    normalized to the no-L0 baseline (paper Figure 5). *)
+
+val fig7 : ?benchmarks:Mediabench.benchmark list -> unit -> figure
+(** 8-entry L0 buffers vs MultiVLIW vs word-interleaved under two
+    scheduling heuristics (paper Figure 7). *)
+
+(** Figure 6 per-benchmark data: subblock mapping mix, L0 hit rate and
+    the average unrolling factor the compiler chose. *)
+type fig6_row = {
+  f6_bench : string;
+  linear_fraction : float;  (** of subblocks mapped, 0..1 *)
+  interleaved_fraction : float;
+  hit_rate : float;  (** L0 load hit rate, 0..1 *)
+  avg_unroll : float;
+  seq_fraction : float;
+      (** static share of L0 loads that got SEQ_ACCESS (step 4 prefers
+          SEQ whenever the next bus cycle is provably free) *)
+}
+
+val fig6 : ?benchmarks:Mediabench.benchmark list -> unit -> fig6_row list
+
+(** Table 1: our synthetic suites' dynamic stride mix next to the
+    paper's. *)
+type table1_row = {
+  t1_bench : string;
+  ours : Mediabench.stride_stats;
+  paper : Mediabench.stride_stats option;
+}
+
+val table1 : ?benchmarks:Mediabench.benchmark list -> unit -> table1_row list
+
+(** Section 5.2's additional studies. *)
+type extra = {
+  two_entry_amean : float;
+      (** normalized exec with 2-entry buffers (paper: ~0.93) *)
+  all_candidates_penalty : float;
+      (** 4-entry all-candidates / 4-entry selective (paper: ~1.06) *)
+  prefetch2_epicdec : float;
+      (** epicdec exec with prefetch distance 2 / distance 1 (paper: ~0.88) *)
+  prefetch2_rasta : float;  (** same for rasta (paper: ~0.96) *)
+}
+
+val extras : unit -> extra
+
+(** {1 Beyond the paper: sensitivity and ablation studies}
+
+    These probe the design choices the paper motivates but does not
+    sweep. *)
+
+(** One sweep point: a parameter value and the 8-entry-L0 AMEAN
+    normalized execution time against a baseline built with the *same*
+    parameter value. *)
+type sweep_point = { parameter : int; amean : float }
+
+val l1_latency_sensitivity :
+  ?benchmarks:Mediabench.benchmark list -> ?latencies:int list -> unit ->
+  sweep_point list
+(** The wire-delay premise: as the unified L1 gets slower (latencies
+    default [4; 6; 8; 10; 12]), the L0 buffers' advantage must grow. *)
+
+val cluster_scaling :
+  ?benchmarks:Mediabench.benchmark list -> ?clusters:int list -> unit ->
+  sweep_point list
+(** Scale the machine to 2 / 4 / 8 clusters (the subblock size follows
+    the paper's rule: L1 block / clusters). *)
+
+val prefetch_distance_sweep :
+  ?benchmarks:Mediabench.benchmark list -> ?distances:int list -> unit ->
+  sweep_point list
+(** AMEAN at automatic-prefetch distances 0..4 (the §5.2 study,
+    generalized; distance 0 disables the POSITIVE/NEGATIVE hints in
+    hardware — the contribution of automatic prefetching). *)
+
+(** Per-benchmark normalized exec under each coherence discipline. *)
+type coherence_row = {
+  co_bench : string;
+  auto : float;
+  nl0 : float;
+  one_cluster : float;
+  psr : float;
+}
+
+val coherence_ablation :
+  ?benchmarks:Mediabench.benchmark list -> unit -> coherence_row list
+(** Force NL0 / 1C / PSR on every coherence set (Section 4.1's
+    qualitative comparison, quantified). *)
+
+(** Code-specialization study (Section 4.1 / [4]). *)
+type specialization_row = {
+  sp_loop : string;
+  conservative_ii : int;
+  aggressive_ii : int;
+  gain_cycles : int;  (** per invocation, net of the runtime check *)
+}
+
+val specialization_study : unit -> specialization_row list
+(** Conservative (may-alias) vs aggressive disambiguation on
+    representative kernels, scheduled for the 8-entry L0 machine. *)
+
+(** Inter-loop flush analysis (Section 4.1, "selective flushing"). *)
+type flush_row = {
+  fl_bench : string;
+  total_flush_points : int;  (** boundaries x clusters *)
+  flushes_needed : int;
+}
+
+val flush_study : ?benchmarks:Mediabench.benchmark list -> unit -> flush_row list
+
+(** Stream-steering ablation: step 8 of Figure 4 recommends clusters so
+    unrolled good-stride streams rotate and the interleaved mapping
+    applies; without it the mapping degrades to per-cluster linear
+    copies. *)
+type steering_row = {
+  st_loop : string;
+  with_steering_cycles : int;
+  without_steering_cycles : int;
+  with_interleaved : int;
+  without_interleaved : int;
+}
+
+val steering_ablation : unit -> steering_row list

@@ -1,0 +1,144 @@
+open Flexl0_ir
+open Flexl0_sched
+open Flexl0_workloads
+module Config = Flexl0_arch.Config
+module Unified = Flexl0_mem.Unified
+module Multivliw = Flexl0_mem.Multivliw
+module Interleaved = Flexl0_mem.Interleaved
+module Exec = Flexl0_sim.Exec
+
+type system = {
+  label : string;
+  config : Config.t;
+  scheme : Scheme.t;
+  coherence : Engine.coherence_mode;
+  make_hierarchy :
+    Config.t -> backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t;
+}
+
+let baseline_system ?(config = Config.default) () =
+  {
+    label = "unified-baseline";
+    config = Config.with_l0 Config.No_l0 config;
+    scheme = Scheme.Base_unified;
+    coherence = Engine.Auto;
+    make_hierarchy = (fun cfg ~backing -> Unified.baseline cfg ~backing);
+  }
+
+let coherence_label = function
+  | Engine.Auto -> ""
+  | Engine.Force_nl0 -> "-nl0"
+  | Engine.Force_1c -> "-1c"
+  | Engine.Force_psr -> "-psr"
+
+let l0_system ?(config = Config.default) ?(capacity = Config.Entries 8)
+    ?(selective = true) ?(prefetch_distance = 1) ?(coherence = Engine.Auto) () =
+  let config =
+    config |> Config.with_l0 capacity
+    |> Config.with_prefetch_distance prefetch_distance
+  in
+  let cap_label =
+    match capacity with
+    | Config.No_l0 -> "none"
+    | Config.Entries n -> string_of_int n
+    | Config.Unbounded -> "unbounded"
+  in
+  {
+    label =
+      Printf.sprintf "l0-%s%s%s%s" cap_label
+        (if selective then "" else "-all")
+        (if prefetch_distance = 1 then ""
+         else Printf.sprintf "-pf%d" prefetch_distance)
+        (coherence_label coherence);
+    config;
+    scheme = Scheme.L0 { selective };
+    coherence;
+    make_hierarchy = (fun cfg ~backing -> Unified.create cfg ~backing);
+  }
+
+let multivliw_system ?(config = Config.default) () =
+  {
+    label = "multivliw";
+    config = Config.with_l0 Config.No_l0 config;
+    scheme = Scheme.Multivliw;
+    coherence = Engine.Auto;
+    make_hierarchy = (fun cfg ~backing -> Multivliw.create cfg ~backing);
+  }
+
+let interleaved_system ?(config = Config.default) ~locality () =
+  {
+    label = (if locality then "interleaved-2" else "interleaved-1");
+    config = Config.with_l0 Config.No_l0 config;
+    scheme =
+      (if locality then Scheme.Interleaved_locality else Scheme.Interleaved_naive);
+    coherence = Engine.Auto;
+    make_hierarchy = (fun cfg ~backing -> Interleaved.create cfg ~backing);
+  }
+
+let compile system loop =
+  Compile.compile system.config system.scheme ~coherence:system.coherence loop
+
+type loop_run = {
+  loop_name : string;
+  ii : int;
+  unroll_factor : int;
+  sim : Exec.result;
+  scaled_cycles : float;
+  scaled_stalls : float;
+}
+
+type bench_run = {
+  bench_name : string;
+  system_label : string;
+  loop_runs : loop_run list;
+  loop_cycles : float;
+  loop_stalls : float;
+  mismatches : int;
+}
+
+let run_schedule system ?(verify = true) ?(invocations = 1) sch =
+  Exec.run system.config sch
+    ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
+    ~invocations ~verify ()
+
+let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ~repeat loop =
+  let sch = compile system loop in
+  let invocations = max 1 (min repeat max_sim_invocations) in
+  let sim =
+    Exec.run system.config sch
+      ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
+      ~invocations ~verify ()
+  in
+  let scale = float_of_int repeat /. float_of_int invocations in
+  {
+    loop_name = loop.Loop.name;
+    ii = sch.Schedule.ii;
+    unroll_factor = sch.Schedule.loop.Loop.unroll_factor;
+    sim;
+    scaled_cycles = float_of_int sim.Exec.total_cycles *. scale;
+    scaled_stalls = float_of_int sim.Exec.stall_cycles *. scale;
+  }
+
+let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =
+  let loop_runs =
+    List.map
+      (fun { Mediabench.loop; repeat } -> run_loop system ~verify ~repeat loop)
+      b.Mediabench.loops
+  in
+  {
+    bench_name = b.Mediabench.bname;
+    system_label = system.label;
+    loop_runs;
+    loop_cycles =
+      List.fold_left (fun acc r -> acc +. r.scaled_cycles) 0.0 loop_runs;
+    loop_stalls =
+      List.fold_left (fun acc r -> acc +. r.scaled_stalls) 0.0 loop_runs;
+    mismatches =
+      List.fold_left (fun acc r -> acc + r.sim.Exec.value_mismatches) 0 loop_runs;
+  }
+
+let execution_time run ~baseline ~scalar_fraction =
+  let scalar =
+    baseline.loop_cycles *. scalar_fraction /. (1.0 -. scalar_fraction)
+  in
+  (run.loop_cycles +. scalar, run.loop_stalls)

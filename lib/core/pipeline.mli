@@ -1,0 +1,82 @@
+(** End-to-end pipeline: compile a loop for a *system* (scheme + machine
+    configuration + hierarchy model) and execute it; run whole synthetic
+    benchmarks and aggregate. *)
+
+open Flexl0_ir
+open Flexl0_sched
+open Flexl0_workloads
+
+type system = {
+  label : string;
+  config : Flexl0_arch.Config.t;
+  scheme : Scheme.t;
+  coherence : Engine.coherence_mode;
+  make_hierarchy :
+    Flexl0_arch.Config.t -> backing:Flexl0_mem.Backing.t ->
+    Flexl0_mem.Hierarchy.t;
+}
+
+val baseline_system : ?config:Flexl0_arch.Config.t -> unit -> system
+(** Unified L1, no L0 buffers — the normalization reference. *)
+
+val l0_system :
+  ?config:Flexl0_arch.Config.t ->
+  ?capacity:Flexl0_arch.Config.l0_capacity ->
+  ?selective:bool ->
+  ?prefetch_distance:int ->
+  ?coherence:Engine.coherence_mode ->
+  unit ->
+  system
+(** The proposed architecture; defaults to 8 entries, selective marking,
+    prefetch distance 1, automatic (1C-else-NL0) coherence. *)
+
+val multivliw_system : ?config:Flexl0_arch.Config.t -> unit -> system
+
+val interleaved_system :
+  ?config:Flexl0_arch.Config.t -> locality:bool -> unit -> system
+(** [locality:false] is "Interleaved 1", [true] is "Interleaved 2". *)
+
+val compile : system -> Loop.t -> Schedule.t
+(** Unroll choice + scheduling + (for L0 systems) hints and prefetches. *)
+
+(** One simulated loop, scaled to its benchmark [repeat] count. *)
+type loop_run = {
+  loop_name : string;
+  ii : int;
+  unroll_factor : int;
+  sim : Flexl0_sim.Exec.result;
+  scaled_cycles : float;
+  scaled_stalls : float;
+}
+
+type bench_run = {
+  bench_name : string;
+  system_label : string;
+  loop_runs : loop_run list;
+  loop_cycles : float;  (** scaled cycles across all loops *)
+  loop_stalls : float;
+  mismatches : int;  (** total value mismatches — must be 0 *)
+}
+
+val run_schedule :
+  system -> ?verify:bool -> ?invocations:int -> Schedule.t ->
+  Flexl0_sim.Exec.result
+(** Execute one specific schedule (no recompilation) on the system's
+    hierarchy. *)
+
+val run_loop :
+  system -> ?verify:bool -> ?max_sim_invocations:int -> repeat:int -> Loop.t ->
+  loop_run
+(** Compiles with {!compile} and simulates [min repeat
+    max_sim_invocations] back-to-back invocations, scaling cycle counts
+    to [repeat] (default cap 4). *)
+
+val run_benchmark :
+  system -> ?verify:bool -> Mediabench.benchmark -> bench_run
+
+val execution_time :
+  bench_run -> baseline:bench_run -> scalar_fraction:float -> float * float
+(** [(total, stall)] execution time in cycles including the non-loop
+    scalar share, which is derived from the *baseline* loop time so it is
+    identical across systems (Section 5.1: modulo-scheduled inner loops
+    are ~80% of the dynamic stream). *)

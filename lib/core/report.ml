@@ -1,0 +1,131 @@
+let print_figure (fig : Experiments.figure) =
+  Printf.printf "\n%s\n" fig.Experiments.title;
+  Printf.printf "%-10s" "bench";
+  List.iter (Printf.printf " | %-22s") fig.Experiments.point_labels;
+  print_newline ();
+  let dashes n = String.make n '-' in
+  Printf.printf "%s\n"
+    (String.concat "-+-"
+       (dashes 10 :: List.map (fun _ -> dashes 22) fig.Experiments.point_labels));
+  let print_row bench points =
+    Printf.printf "%-10s" bench;
+    List.iter
+      (fun (p : Experiments.norm) ->
+        Printf.printf " | %5.3f (stall %5.3f)   " p.Experiments.total
+          p.Experiments.stall)
+      points;
+    print_newline ()
+  in
+  List.iter
+    (fun (r : Experiments.row) -> print_row r.Experiments.bench r.Experiments.points)
+    fig.Experiments.rows;
+  print_row "AMEAN" fig.Experiments.amean;
+  if fig.Experiments.total_mismatches <> 0 then
+    Printf.printf "!! %d coherence value mismatches\n" fig.Experiments.total_mismatches
+
+let print_fig6 rows =
+  Printf.printf
+    "\nFigure 6: subblock mapping mix, L0 hit rate, average unroll factor \
+     (8-entry buffers)\n";
+  Printf.printf "%-10s | %-7s | %-11s | %-8s | %-6s | %-6s\n" "bench" "linear"
+    "interleaved" "hit-rate" "unroll" "SEQ";
+  List.iter
+    (fun (r : Experiments.fig6_row) ->
+      Printf.printf "%-10s | %6.1f%% | %10.1f%% | %7.1f%% | %5.2f | %5.1f%%\n"
+        r.Experiments.f6_bench
+        (100.0 *. r.Experiments.linear_fraction)
+        (100.0 *. r.Experiments.interleaved_fraction)
+        (100.0 *. r.Experiments.hit_rate)
+        r.Experiments.avg_unroll
+        (100.0 *. r.Experiments.seq_fraction))
+    rows
+
+let print_table1 rows =
+  Printf.printf
+    "\nTable 1: dynamic strided memory instructions (ours vs paper)\n";
+  Printf.printf "%-10s | %-17s | %-17s\n" "bench" "ours S/SG/SO" "paper S/SG/SO";
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      let fmt (s : Flexl0_workloads.Mediabench.stride_stats) =
+        Printf.sprintf "%3.0f/%3.0f/%3.0f" s.Flexl0_workloads.Mediabench.s
+          s.Flexl0_workloads.Mediabench.sg s.Flexl0_workloads.Mediabench.so
+      in
+      Printf.printf "%-10s | %-17s | %-17s\n" r.Experiments.t1_bench
+        (fmt r.Experiments.ours)
+        (match r.Experiments.paper with Some p -> fmt p | None -> "-"))
+    rows
+
+let print_extras (e : Experiments.extra) =
+  Printf.printf "\nSection 5.2 extra studies\n";
+  Printf.printf
+    "2-entry L0 buffers, AMEAN normalized exec:          %5.3f (paper ~0.93)\n"
+    e.Experiments.two_entry_amean;
+  Printf.printf
+    "all-candidates vs selective at 4 entries (ratio):   %5.3f (paper ~1.06)\n"
+    e.Experiments.all_candidates_penalty;
+  Printf.printf
+    "prefetch distance 2 vs 1, epicdec (ratio):          %5.3f (paper ~0.88)\n"
+    e.Experiments.prefetch2_epicdec;
+  Printf.printf
+    "prefetch distance 2 vs 1, rasta (ratio):            %5.3f (paper ~0.96)\n"
+    e.Experiments.prefetch2_rasta
+
+let print_config cfg =
+  Printf.printf "\nTable 2: machine configuration\n%s\n"
+    (Format.asprintf "%a" Flexl0_arch.Config.pp cfg)
+
+let print_sweep ~title ~parameter points =
+  Printf.printf "\n%s\n%-12s | %s\n" title parameter
+    "AMEAN normalized exec (L0-8 vs matched baseline)";
+  List.iter
+    (fun (p : Experiments.sweep_point) ->
+      Printf.printf "%12d | %5.3f\n" p.Experiments.parameter p.Experiments.amean)
+    points
+
+let print_coherence rows =
+  Printf.printf
+    "\nCoherence-discipline ablation (normalized exec, 8-entry L0)\n";
+  Printf.printf "%-10s | %-6s | %-6s | %-6s | %-6s\n" "bench" "auto" "NL0" "1C"
+    "PSR";
+  List.iter
+    (fun (r : Experiments.coherence_row) ->
+      Printf.printf "%-10s | %5.3f | %5.3f | %5.3f | %5.3f\n"
+        r.Experiments.co_bench r.Experiments.auto r.Experiments.nl0
+        r.Experiments.one_cluster r.Experiments.psr)
+    rows
+
+let print_specialization rows =
+  Printf.printf "\nCode specialization (Section 4.1): conservative vs aggressive\n";
+  Printf.printf "%-12s | %-7s | %-7s | %s\n" "loop" "cons II" "aggr II"
+    "gain cycles/invocation";
+  List.iter
+    (fun (r : Experiments.specialization_row) ->
+      Printf.printf "%-12s | %7d | %7d | %d\n" r.Experiments.sp_loop
+        r.Experiments.conservative_ii r.Experiments.aggressive_ii
+        r.Experiments.gain_cycles)
+    rows
+
+let print_flush rows =
+  Printf.printf
+    "\nSelective inter-loop flushing (Section 4.1): needed flushes per region\n";
+  Printf.printf "%-10s | %-8s | %-8s | %s\n" "bench" "points" "needed" "saved";
+  List.iter
+    (fun (r : Experiments.flush_row) ->
+      Printf.printf "%-10s | %8d | %8d | %.0f%%\n" r.Experiments.fl_bench
+        r.Experiments.total_flush_points r.Experiments.flushes_needed
+        (100.0
+        *. float_of_int (r.Experiments.total_flush_points - r.Experiments.flushes_needed)
+        /. float_of_int (max 1 r.Experiments.total_flush_points)))
+    rows
+
+let print_steering rows =
+  Printf.printf
+    "\nStream-steering ablation (unrolled good-stride loops, 8-entry L0)\n";
+  Printf.printf "%-14s | %-12s | %-12s | %-11s | %s\n" "loop" "cycles(on)"
+    "cycles(off)" "ilv-subblks" "ilv-subblks(off)";
+  List.iter
+    (fun (r : Experiments.steering_row) ->
+      Printf.printf "%-14s | %12d | %12d | %11d | %d\n" r.Experiments.st_loop
+        r.Experiments.with_steering_cycles r.Experiments.without_steering_cycles
+        r.Experiments.with_interleaved r.Experiments.without_interleaved)
+    rows

@@ -1,0 +1,25 @@
+(** Text rendering of experiment results — the same rows/series the paper
+    reports, printed as aligned tables. *)
+
+val print_figure : Experiments.figure -> unit
+(** Per benchmark: one column per configuration showing normalized
+    execution time with its stall component, plus the AMEAN row. *)
+
+val print_fig6 : Experiments.fig6_row list -> unit
+
+val print_table1 : Experiments.table1_row list -> unit
+
+val print_extras : Experiments.extra -> unit
+
+val print_config : Flexl0_arch.Config.t -> unit
+(** Table 2. *)
+
+val print_sweep : title:string -> parameter:string -> Experiments.sweep_point list -> unit
+
+val print_coherence : Experiments.coherence_row list -> unit
+
+val print_specialization : Experiments.specialization_row list -> unit
+
+val print_flush : Experiments.flush_row list -> unit
+
+val print_steering : Experiments.steering_row list -> unit

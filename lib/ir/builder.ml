@@ -1,0 +1,103 @@
+type value = { reg : Instr.reg; instr : int }
+
+type t = {
+  name : string;
+  trip_count : int;
+  may_alias : bool;
+  weight : float;
+  mutable next_reg : int;
+  mutable next_instr : int;
+  mutable next_array : int;
+  mutable rev_instrs : Instr.t list;
+  mutable rev_arrays : Loop.array_info list;
+  mutable carried : (int * int * int) list;
+}
+
+let create ~name ~trip_count ?(may_alias = false) ?(weight = 1.0) () =
+  {
+    name;
+    trip_count;
+    may_alias;
+    weight;
+    next_reg = 0;
+    next_instr = 0;
+    next_array = 0;
+    rev_instrs = [];
+    rev_arrays = [];
+    carried = [];
+  }
+
+let array t ~name ~elem_bytes ~length =
+  let array_id = t.next_array in
+  t.next_array <- array_id + 1;
+  t.rev_arrays <-
+    { Loop.array_id; array_name = name; elem_bytes; length } :: t.rev_arrays;
+  array_id
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let live_in t = { reg = fresh_reg t; instr = -1 }
+
+let emit t opcode ?dst ?(srcs = []) ?memref () =
+  let id = t.next_instr in
+  t.next_instr <- id + 1;
+  t.rev_instrs <- Instr.make ~id ~opcode ?dst ~srcs ?memref () :: t.rev_instrs;
+  id
+
+let defining t opcode srcs =
+  let dst = fresh_reg t in
+  let instr = emit t opcode ~dst ~srcs () in
+  { reg = dst; instr }
+
+let imove t = defining t Opcode.Imove []
+let iadd t a b = defining t Opcode.Iadd [ a.reg; b.reg ]
+let imul t a b = defining t Opcode.Imul [ a.reg; b.reg ]
+let icmp t a b = defining t Opcode.Icmp [ a.reg; b.reg ]
+let fadd t a b = defining t Opcode.Fadd [ a.reg; b.reg ]
+let fmul t a b = defining t Opcode.Fmul [ a.reg; b.reg ]
+let fdiv t a b = defining t Opcode.Fdiv [ a.reg; b.reg ]
+let unop t opcode a = defining t opcode [ a.reg ]
+
+let load t ~arr ?(offset = 0) ~stride width =
+  let memref =
+    Memref.make ~array_id:arr ~offset ~elem_bytes:(Opcode.bytes_of_width width)
+      ~stride
+  in
+  let dst = fresh_reg t in
+  let instr = emit t (Opcode.Load width) ~dst ~memref () in
+  { reg = dst; instr }
+
+let store t ~arr ?(offset = 0) ~stride width v =
+  let memref =
+    Memref.make ~array_id:arr ~offset ~elem_bytes:(Opcode.bytes_of_width width)
+      ~stride
+  in
+  let instr = emit t (Opcode.Store width) ~srcs:[ v.reg ] ~memref () in
+  { reg = -1; instr }
+
+let carry t ~def ~use ~distance =
+  if def.instr < 0 then
+    invalid_arg "Builder.carry: def must be produced by an in-body instruction";
+  if use.instr < 0 then
+    invalid_arg "Builder.carry: use must be an in-body instruction";
+  t.carried <- (def.instr, use.instr, distance) :: t.carried
+
+let finish t =
+  let loop =
+    {
+      Loop.name = t.name;
+      trip_count = t.trip_count;
+      instrs = List.rev t.rev_instrs;
+      carried = List.rev t.carried;
+      may_alias = t.may_alias;
+      arrays = List.rev t.rev_arrays;
+      unroll_factor = 1;
+      weight = t.weight;
+    }
+  in
+  match Loop.validate loop with
+  | Ok () -> loop
+  | Error msg -> invalid_arg (Printf.sprintf "Builder.finish (%s): %s" t.name msg)

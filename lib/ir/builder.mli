@@ -1,0 +1,63 @@
+(** Imperative DSL for constructing loop bodies.
+
+    Every operation appends an instruction and returns a {!value} — the
+    virtual register it defines together with the id of the defining
+    instruction (so loop-carried edges can be declared with {!carry}).
+
+    Example — [for i: a[i] = b[i] + C] over 2-byte elements:
+    {[
+      let b = Builder.create ~name:"vadd" ~trip_count:1024 () in
+      let src = Builder.array b ~name:"b" ~elem_bytes:2 ~length:4096 in
+      let dst = Builder.array b ~name:"a" ~elem_bytes:2 ~length:4096 in
+      let c = Builder.imove b in
+      let x = Builder.load b ~arr:src ~stride:(Const 1) Opcode.W2 in
+      let sum = Builder.iadd b x c in
+      let _ = Builder.store b ~arr:dst ~stride:(Const 1) Opcode.W2 sum in
+      Builder.finish b
+    ]} *)
+
+type t
+
+type value = { reg : Instr.reg; instr : int }
+
+val create :
+  name:string -> trip_count:int -> ?may_alias:bool -> ?weight:float -> unit -> t
+
+val array : t -> name:string -> elem_bytes:int -> length:int -> int
+(** Declare an array and return its id. *)
+
+val live_in : t -> value
+(** A register with no in-body definition (loop invariant or initialized
+    before the loop). Its [instr] is -1 and cannot anchor a carried edge. *)
+
+val imove : t -> value
+(** Materialize a constant / loop invariant into a register. *)
+
+val iadd : t -> value -> value -> value
+val imul : t -> value -> value -> value
+val icmp : t -> value -> value -> value
+val fadd : t -> value -> value -> value
+val fmul : t -> value -> value -> value
+val fdiv : t -> value -> value -> value
+
+val unop : t -> Opcode.t -> value -> value
+(** Single-source ALU op with an explicit opcode (shifts, conversions...
+    anything mapping onto the coarse opcode set). *)
+
+val load :
+  t -> arr:int -> ?offset:int -> stride:Memref.stride -> Opcode.width -> value
+
+val store :
+  t -> arr:int -> ?offset:int -> stride:Memref.stride -> Opcode.width -> value ->
+  value
+(** Returns a value whose [reg] is -1 (stores define nothing); the [instr]
+    field can still anchor dependence edges. *)
+
+val carry : t -> def:value -> use:value -> distance:int -> unit
+(** Declare that the value produced by [def]'s instruction in iteration
+    [i] is consumed by [use]'s instruction in iteration [i + distance].
+    Typical accumulator: [carry b ~def:acc ~use:acc ~distance:1]. *)
+
+val finish : t -> Loop.t
+(** Freeze into a loop. Raises [Invalid_argument] if {!Loop.validate}
+    fails. *)

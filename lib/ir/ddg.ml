@@ -1,0 +1,256 @@
+type kind = Reg_flow | Mem_flow | Mem_anti | Mem_output
+
+type edge = { src : int; dst : int; kind : kind; distance : int }
+
+type t = {
+  instrs : Instr.t array;
+  edges : edge list;
+  succs : edge list array;
+  preds : edge list array;
+}
+
+let node_count t = Array.length t.instrs
+let instr t i = t.instrs.(i)
+let instrs t = t.instrs
+let edges t = t.edges
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let mem_edges t =
+  List.filter
+    (fun e ->
+      match e.kind with
+      | Mem_flow | Mem_anti | Mem_output -> true
+      | Reg_flow -> false)
+    t.edges
+
+let mem_kind ~(src : Instr.t) ~(dst : Instr.t) =
+  match (Instr.is_store src, Instr.is_store dst) with
+  | true, false -> Mem_flow
+  | false, true -> Mem_anti
+  | true, true -> Mem_output
+  | false, false -> invalid_arg "Ddg: load-load dependence"
+
+let build ~instrs ?(carried = []) ?(may_alias = false) () =
+  let arr = Array.of_list instrs in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      if ins.id <> i then
+        invalid_arg
+          (Printf.sprintf "Ddg.build: instruction ids must be dense (got %d at %d)"
+             ins.id i))
+    arr;
+  let n = Array.length arr in
+  let edges = ref [] in
+  let add e = edges := e :: !edges in
+  (* Intra-iteration register flow: last definition before the use wins. *)
+  for j = 0 to n - 1 do
+    List.iter
+      (fun src_reg ->
+        let rec find_def i =
+          if i < 0 then ()
+          else
+            match arr.(i).dst with
+            | Some d when d = src_reg ->
+              add { src = i; dst = j; kind = Reg_flow; distance = 0 }
+            | _ -> find_def (i - 1)
+        in
+        find_def (j - 1))
+      arr.(j).srcs
+  done;
+  (* Explicit loop-carried register flows. *)
+  List.iter
+    (fun (def_id, use_id, distance) ->
+      if def_id < 0 || def_id >= n || use_id < 0 || use_id >= n then
+        invalid_arg "Ddg.build: carried edge references unknown instruction";
+      if distance < 0 then invalid_arg "Ddg.build: carried edge needs distance >= 0";
+      add { src = def_id; dst = use_id; kind = Reg_flow; distance })
+    carried;
+  (* Memory ordering edges. *)
+  let overlap (a : Instr.t) (b : Instr.t) =
+    if may_alias then true
+    else
+      match (a.memref, b.memref) with
+      | Some ra, Some rb -> Memref.may_overlap ra rb
+      | _ -> true
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        Instr.is_memory_access a && Instr.is_memory_access b
+        && (Instr.is_store a || Instr.is_store b)
+        && overlap a b
+      then begin
+        add { src = i; dst = j; kind = mem_kind ~src:a ~dst:b; distance = 0 };
+        add { src = j; dst = i; kind = mem_kind ~src:b ~dst:a; distance = 1 }
+      end
+    done
+  done;
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    !edges;
+  { instrs = arr; edges = !edges; succs; preds }
+
+let edge_latency ~lat e =
+  match e.kind with
+  | Reg_flow -> lat e.src
+  | Mem_flow | Mem_anti | Mem_output -> 1
+
+type times = { estart : int array; lstart : int array }
+
+(* Iterative relaxation of the modulo-constraint system
+     estart(v) >= estart(u) + lat(u,v) - II * dist(u,v).
+   Graphs are tiny (tens of nodes) so Bellman-Ford-style sweeps suffice;
+   more than n sweeps with changes means a positive-weight recurrence,
+   i.e. the II is infeasible. *)
+let compute_times t ~ii ~lat =
+  let n = node_count t in
+  if n = 0 then Some { estart = [||]; lstart = [||] }
+  else begin
+    let estart = Array.make n 0 in
+    let changed = ref true and sweeps = ref 0 and feasible = ref true in
+    while !changed && !feasible do
+      changed := false;
+      incr sweeps;
+      List.iter
+        (fun e ->
+          let bound = estart.(e.src) + edge_latency ~lat e - (ii * e.distance) in
+          if bound > estart.(e.dst) then begin
+            estart.(e.dst) <- bound;
+            changed := true
+          end)
+        t.edges;
+      if !sweeps > n + 1 then feasible := false
+    done;
+    if not !feasible then None
+    else begin
+      let horizon =
+        Array.to_list estart
+        |> List.mapi (fun i e -> e + lat i)
+        |> List.fold_left max 0
+      in
+      let lstart = Array.make n horizon in
+      (* Nodes keep their as-late-as-possible slot within the horizon. *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun e ->
+            let bound =
+              lstart.(e.dst) - edge_latency ~lat e + (ii * e.distance)
+            in
+            if bound < lstart.(e.src) then begin
+              lstart.(e.src) <- bound;
+              changed := true
+            end)
+          t.edges
+      done;
+      (* Clamp: lstart can exceed what forward constraints require for
+         nodes with no successors; it must never drop below estart. *)
+      Array.iteri (fun i e -> if lstart.(i) < e then lstart.(i) <- e) estart;
+      Some { estart; lstart }
+    end
+  end
+
+let slack times i = times.lstart.(i) - times.estart.(i)
+
+let rec_mii t ~lat =
+  let rec search ii =
+    if ii > 1024 then invalid_arg "Ddg.rec_mii: no feasible II below 1024"
+    else
+      match compute_times t ~ii ~lat with
+      | Some _ -> ii
+      | None -> search (ii + 1)
+  in
+  search 1
+
+(* Tarjan's strongly connected components, returned in reverse finish
+   order which is a topological order of the condensation. *)
+let sccs t =
+  let n = node_count t in
+  let index = Array.make n (-1)
+  and lowlink = Array.make n 0
+  and on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun e ->
+        let w = e.dst in
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      t.succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  !components
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun ins -> Format.fprintf ppf "%a@," Instr.pp ins) t.instrs;
+  List.iter
+    (fun e ->
+      let kind_str =
+        match e.kind with
+        | Reg_flow -> "reg"
+        | Mem_flow -> "mflow"
+        | Mem_anti -> "manti"
+        | Mem_output -> "mout"
+      in
+      Format.fprintf ppf "i%d -%s/%d-> i%d@," e.src kind_str e.distance e.dst)
+    t.edges;
+  Format.fprintf ppf "@]"
+
+let pp_dot ppf t =
+  Format.fprintf ppf "digraph ddg {@\n  node [shape=box, fontname=monospace];@\n";
+  Array.iteri
+    (fun i ins ->
+      Format.fprintf ppf "  n%d [label=%S];@\n" i
+        (Format.asprintf "%a" Instr.pp ins))
+    t.instrs;
+  List.iter
+    (fun e ->
+      let style =
+        match e.kind with
+        | Reg_flow -> "solid"
+        | Mem_flow | Mem_anti | Mem_output -> "dashed"
+      in
+      let label_attr =
+        let kind_str =
+          match e.kind with
+          | Reg_flow -> ""
+          | Mem_flow -> "flow"
+          | Mem_anti -> "anti"
+          | Mem_output -> "out"
+        in
+        if kind_str = "" && e.distance = 0 then ""
+        else if e.distance = 0 then Printf.sprintf ", label=%S" kind_str
+        else Printf.sprintf ", label=\"%s+%d\"" kind_str e.distance
+      in
+      Format.fprintf ppf "  n%d -> n%d [style=%s%s];@\n" e.src e.dst style
+        label_attr)
+    t.edges;
+  Format.fprintf ppf "}@\n"

@@ -1,0 +1,86 @@
+(** Data Dependence Graph of a loop body.
+
+    Nodes are instruction ids (dense, [0 .. n-1]). Edges carry a dependence
+    kind and an iteration [distance]: an edge [u -> v] with distance [d]
+    constrains iteration [i] of [u] to complete before iteration [i + d]
+    of [v] starts. Register flow within an iteration has distance 0;
+    loop-carried flows (accumulators, inductions) and backward memory
+    dependences have distance >= 1 — the paper assumes backward memory
+    dependences have distance 1 (Figure 3) and so do we.
+
+    Edge latencies are *not* stored: a load's latency depends on whether
+    the scheduler assigned it the L0 or the L1 latency, so every analysis
+    takes a [lat : node -> int] producer-latency function. Memory-ordering
+    edges (flow/anti/output between memory accesses) use a fixed latency
+    of 1 so dependent accesses never share a cycle. *)
+
+type kind = Reg_flow | Mem_flow | Mem_anti | Mem_output
+
+type edge = { src : int; dst : int; kind : kind; distance : int }
+
+type t
+
+val node_count : t -> int
+val instr : t -> int -> Instr.t
+val instrs : t -> Instr.t array
+val edges : t -> edge list
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+
+val mem_edges : t -> edge list
+(** Edges of kind [Mem_flow], [Mem_anti] or [Mem_output]. *)
+
+val build :
+  instrs:Instr.t list ->
+  ?carried:(int * int * int) list ->
+  ?may_alias:bool ->
+  unit ->
+  t
+(** [build ~instrs ~carried ()] constructs the DDG:
+    - intra-iteration register flow edges from def to use (distance 0),
+      following program order (an instruction only sees definitions from
+      earlier instructions in the body);
+    - explicit register edges [(def_id, use_id, distance)] — loop-carried
+      flows (distance >= 1), or cross-copy flows introduced by unrolling
+      (distance 0 between instructions of different copies);
+    - memory ordering edges between every pair of may-overlapping memory
+      accesses: a distance-0 edge in program order and a distance-1 edge
+      backwards, with kind flow/anti/output according to load/store-ness.
+      With [~may_alias:true] every same-pair of accesses is assumed to
+      overlap regardless of {!Memref.may_overlap} (the conservative,
+      unspecialized version of the loop).
+
+    Raises [Invalid_argument] if instruction ids are not dense from 0. *)
+
+val edge_latency : lat:(int -> int) -> edge -> int
+(** Producer latency for register flow, 1 for memory ordering edges. *)
+
+(** Result of the modulo longest-path analysis at a given II. *)
+type times = {
+  estart : int array;  (** earliest modulo-feasible start cycle per node *)
+  lstart : int array;  (** latest start cycle given the critical path *)
+}
+
+val compute_times : t -> ii:int -> lat:(int -> int) -> times option
+(** [None] when the II is infeasible (a recurrence has positive weight
+    at this II, i.e. II < RecMII under [lat]). *)
+
+val slack : times -> int -> int
+(** [lstart - estart]; 0 on critical nodes. *)
+
+val rec_mii : t -> lat:(int -> int) -> int
+(** Smallest II at which all recurrences are satisfiable (1 for acyclic
+    graphs). *)
+
+val sccs : t -> int list list
+(** Strongly connected components considering all edges, in topological
+    order of the condensation. Singleton components without a self-loop
+    are not recurrences. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering: nodes labelled with the instruction, solid edges
+    for register flow, dashed for memory ordering, edge labels carrying
+    non-zero iteration distances. Pipe into [dot -Tsvg] to look at a
+    loop's structure. *)

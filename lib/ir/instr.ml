@@ -1,0 +1,40 @@
+type reg = int
+
+type t = {
+  id : int;
+  opcode : Opcode.t;
+  dst : reg option;
+  srcs : reg list;
+  memref : Memref.t option;
+}
+
+let make ~id ~opcode ?dst ?(srcs = []) ?memref () =
+  assert (Opcode.is_memory opcode = false || Opcode.is_load opcode = false
+          || memref <> None);
+  { id; opcode; dst; srcs; memref }
+
+let is_load t = Opcode.is_load t.opcode
+let is_store t = Opcode.is_store t.opcode
+let is_memory_access t = is_load t || is_store t
+
+let is_candidate t =
+  is_memory_access t
+  && match t.memref with Some r -> Memref.is_strided r | None -> false
+
+let pp ppf t =
+  let pp_dst ppf = function
+    | Some r -> Format.fprintf ppf "r%d = " r
+    | None -> ()
+  in
+  let pp_srcs ppf srcs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf r -> Format.fprintf ppf "r%d" r)
+      ppf srcs
+  in
+  Format.fprintf ppf "@[i%d: %a%a(%a)%a@]" t.id pp_dst t.dst Opcode.pp t.opcode
+    pp_srcs t.srcs
+    (fun ppf -> function
+      | Some m -> Format.fprintf ppf " @@ %a" Memref.pp m
+      | None -> ())
+    t.memref

@@ -1,0 +1,31 @@
+(** VLIW instructions over virtual registers.
+
+    Registers are virtual and SSA *within* one loop iteration; loop-carried
+    register flows are expressed as explicit DDG edges with a non-zero
+    iteration distance (see {!Ddg}). *)
+
+type reg = int
+
+type t = {
+  id : int;  (** unique within a loop; DDG node key *)
+  opcode : Opcode.t;
+  dst : reg option;
+  srcs : reg list;
+  memref : Memref.t option;  (** present iff the opcode accesses memory *)
+}
+
+val make :
+  id:int -> opcode:Opcode.t -> ?dst:reg -> ?srcs:reg list -> ?memref:Memref.t ->
+  unit -> t
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory_access : t -> bool
+(** Loads and stores only — the instructions that participate in memory
+    dependences and consume L0/L1 bandwidth for data. *)
+
+val is_candidate : t -> bool
+(** L0 candidate per scheduling step 3: a load or store with a statically
+    known stride. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type array_info = {
+  array_id : int;
+  array_name : string;
+  elem_bytes : int;
+  length : int;
+}
+
+type t = {
+  name : string;
+  trip_count : int;
+  instrs : Instr.t list;
+  carried : (int * int * int) list;
+  may_alias : bool;
+  arrays : array_info list;
+  unroll_factor : int;
+  weight : float;
+}
+
+let ddg t = Ddg.build ~instrs:t.instrs ~carried:t.carried ~may_alias:t.may_alias ()
+
+let array_bytes info = info.elem_bytes * info.length
+
+let block_bytes = 32
+let layout_origin = 0x1000
+
+let layout t =
+  let align n = (n + block_bytes - 1) / block_bytes * block_bytes in
+  let _, assignments =
+    List.fold_left
+      (fun (next, acc) info ->
+        let base = align next in
+        (base + array_bytes info, (info.array_id, base) :: acc))
+      (layout_origin, []) t.arrays
+  in
+  List.rev assignments
+
+let memory_accesses t = List.filter Instr.is_memory_access t.instrs
+
+let validate t =
+  let check cond msg acc =
+    match acc with Error _ -> acc | Ok () -> if cond then Ok () else Error msg
+  in
+  let ids_dense =
+    List.mapi (fun i (ins : Instr.t) -> ins.id = i) t.instrs
+    |> List.for_all (fun x -> x)
+  in
+  let arrays_known =
+    List.for_all
+      (fun (ins : Instr.t) ->
+        match ins.memref with
+        | None -> true
+        | Some r -> List.exists (fun a -> a.array_id = r.Memref.array_id) t.arrays)
+      t.instrs
+  in
+  let offsets_in_bounds =
+    List.for_all
+      (fun (ins : Instr.t) ->
+        match ins.memref with
+        | None -> true
+        | Some r ->
+          List.for_all
+            (fun a ->
+              a.array_id <> r.Memref.array_id
+              || (r.Memref.offset >= 0 && r.Memref.offset < a.length))
+            t.arrays)
+      t.instrs
+  in
+  Ok ()
+  |> check (t.trip_count > 0) "trip count must be positive"
+  |> check ids_dense "instruction ids must be dense from 0"
+  |> check arrays_known "memref references an undeclared array"
+  |> check offsets_in_bounds "memref starting offset outside its array"
+  |> check (t.unroll_factor >= 1) "unroll factor must be >= 1"
+  |> check (t.weight > 0.0) "loop weight must be positive"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>loop %s (trip %d, unroll %d, weight %.2f)@," t.name
+    t.trip_count t.unroll_factor t.weight;
+  List.iter (fun ins -> Format.fprintf ppf "  %a@," Instr.pp ins) t.instrs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Inner loops — the unit the modulo scheduler operates on.
+
+    A loop is a straight-line body of instructions, explicit loop-carried
+    register edges, the arrays it touches and a trip count. Loops are
+    produced with {!Builder} and transformed by {!Unroll}. *)
+
+type array_info = {
+  array_id : int;
+  array_name : string;
+  elem_bytes : int;
+  length : int;  (** in elements *)
+}
+
+type t = {
+  name : string;
+  trip_count : int;  (** iterations of *this* body *)
+  instrs : Instr.t list;
+  carried : (int * int * int) list;
+      (** (def instr, use instr, distance) register edges; distance 0 is a
+          cross-copy edge created by unrolling *)
+  may_alias : bool;  (** conservative memory disambiguation for this loop *)
+  arrays : array_info list;
+  unroll_factor : int;  (** original iterations per body iteration *)
+  weight : float;  (** share of its benchmark's dynamic loop time *)
+}
+
+val ddg : t -> Ddg.t
+(** Build (and memoize per call site — construction is cheap) the DDG. *)
+
+val array_bytes : array_info -> int
+
+val layout : t -> (int * int) list
+(** [layout loop] assigns each array a base byte address: arrays are laid
+    out consecutively, each aligned to an L1 block boundary (32 bytes),
+    starting at a fixed origin. Deterministic. *)
+
+val memory_accesses : t -> Instr.t list
+(** Loads and stores, in program order. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: dense instruction ids, memrefs reference declared
+    arrays, positive trip count, offsets within array bounds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type stride = Const of int | Unknown
+
+type t = { array_id : int; offset : int; elem_bytes : int; stride : stride }
+
+let make ~array_id ~offset ~elem_bytes ~stride =
+  assert (elem_bytes = 1 || elem_bytes = 2 || elem_bytes = 4 || elem_bytes = 8);
+  { array_id; offset; elem_bytes; stride }
+
+let is_strided t = match t.stride with Const _ -> true | Unknown -> false
+
+let stride_class t =
+  match t.stride with
+  | Const s when s = 0 || s = 1 || s = -1 -> `Good
+  | Const _ -> `Other
+  | Unknown -> `Unstrided
+
+let byte_stride t =
+  match t.stride with Const s -> Some (s * t.elem_bytes) | Unknown -> None
+
+(* Two same-array references with equal constant strides access disjoint
+   residue classes iff their byte intervals per iteration never intersect:
+   offsets differ and the stride does not wrap one onto the other. We only
+   prove disjointness in the common unrolled-copy case: equal strides,
+   equal granularity, offset difference not a multiple of the stride. *)
+let may_overlap a b =
+  if a.array_id <> b.array_id then false
+  else
+    match (a.stride, b.stride) with
+    | Unknown, _ | _, Unknown -> true
+    | Const sa, Const sb ->
+      if sa <> sb || a.elem_bytes <> b.elem_bytes then true
+      else if sa = 0 then a.offset = b.offset
+      else (a.offset - b.offset) mod sa = 0
+
+let scale ~factor ~copy t =
+  assert (factor >= 1 && copy >= 0 && copy < factor);
+  match t.stride with
+  | Unknown -> t
+  | Const s -> { t with offset = t.offset + (copy * s); stride = Const (s * factor) }
+
+let pp ppf t =
+  let stride_str =
+    match t.stride with Const s -> string_of_int s | Unknown -> "?"
+  in
+  Format.fprintf ppf "arr%d[%d + %s*i]:%dB" t.array_id t.offset stride_str
+    t.elem_bytes

@@ -1,0 +1,48 @@
+(** Symbolic memory references.
+
+    The scheduler never sees concrete addresses — like the IMPACT-based
+    compiler of the paper it reasons about *static* properties of each
+    memory access: which array it touches, its element granularity, its
+    per-iteration stride and its starting offset. Concrete addresses are
+    only materialized by the simulator's trace generator. *)
+
+(** Per-original-iteration stride, measured in elements of the access
+    granularity. [Unknown] models indirect / data-dependent accesses
+    (e.g. table lookups); such instructions are never L0 candidates. *)
+type stride = Const of int | Unknown
+
+type t = {
+  array_id : int;  (** symbolic base array *)
+  offset : int;  (** starting element index within the array *)
+  elem_bytes : int;  (** access granularity in bytes (1, 2, 4 or 8) *)
+  stride : stride;
+}
+
+val make : array_id:int -> offset:int -> elem_bytes:int -> stride:stride -> t
+
+val is_strided : t -> bool
+(** True when the stride is statically known — the candidate condition of
+    scheduling step 3. *)
+
+val stride_class : t -> [ `Good | `Other | `Unstrided ]
+(** Table 1 classification: [`Good] for strides 0, 1 and -1 at element
+    granularity (they benefit from the mapping and prefetch hints without
+    explicit prefetch instructions), [`Other] for any other constant
+    stride, [`Unstrided] otherwise. *)
+
+val byte_stride : t -> int option
+(** Stride scaled to bytes, when constant. *)
+
+val may_overlap : t -> t -> bool
+(** Conservative static disambiguation used to build memory-dependent
+    sets: references to different arrays never overlap; references to the
+    same array overlap unless their strides are equal and constant and
+    their offsets provably hit disjoint residue classes. [Unknown] strides
+    on the same array always overlap. *)
+
+val scale : factor:int -> copy:int -> t -> t
+(** [scale ~factor ~copy r] rewrites [r] for copy [copy] of a loop body
+    unrolled [factor] times: offset advances by [copy] original
+    iterations and the stride is multiplied by [factor]. *)
+
+val pp : Format.formatter -> t -> unit

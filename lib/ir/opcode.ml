@@ -1,0 +1,68 @@
+type width = W1 | W2 | W4 | W8
+
+let bytes_of_width = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+let width_of_bytes = function
+  | 1 -> W1
+  | 2 -> W2
+  | 4 -> W4
+  | 8 -> W8
+  | n -> invalid_arg (Printf.sprintf "Opcode.width_of_bytes: %d" n)
+
+type t =
+  | Iadd
+  | Imul
+  | Icmp
+  | Imove
+  | Fadd
+  | Fmul
+  | Fdiv
+  | Load of width
+  | Store of width
+  | Prefetch
+  | Invalidate_l0
+  | Comm
+
+type fu_class = Int_fu | Mem_fu | Fp_fu | Bus
+
+let fu_class = function
+  | Iadd | Imul | Icmp | Imove -> Int_fu
+  | Fadd | Fmul | Fdiv -> Fp_fu
+  | Load _ | Store _ | Prefetch | Invalidate_l0 -> Mem_fu
+  | Comm -> Bus
+
+let base_latency = function
+  | Iadd | Icmp | Imove -> 1
+  | Imul -> 3
+  | Fadd | Fmul -> 3
+  | Fdiv -> 8
+  | Load _ -> 1
+  | Store _ -> 1
+  | Prefetch -> 1
+  | Invalidate_l0 -> 1
+  | Comm -> 2
+
+let is_load = function Load _ -> true | _ -> false
+let is_store = function Store _ -> true | _ -> false
+
+let is_memory = function
+  | Load _ | Store _ | Prefetch | Invalidate_l0 -> true
+  | Iadd | Imul | Icmp | Imove | Fadd | Fmul | Fdiv | Comm -> false
+
+let width = function Load w | Store w -> Some w | _ -> None
+
+let to_string = function
+  | Iadd -> "iadd"
+  | Imul -> "imul"
+  | Icmp -> "icmp"
+  | Imove -> "imove"
+  | Fadd -> "fadd"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Load w -> Printf.sprintf "load%d" (bytes_of_width w)
+  | Store w -> Printf.sprintf "store%d" (bytes_of_width w)
+  | Prefetch -> "prefetch"
+  | Invalidate_l0 -> "inval_l0"
+  | Comm -> "comm"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,51 @@
+(** Operations of the VLIW target.
+
+    The instruction set is deliberately small: enough to express the media
+    kernels the paper schedules, the memory operations the L0 buffers react
+    to, and the operations the scheduler itself inserts (inter-cluster
+    copies, explicit prefetches, L0 invalidations). *)
+
+(** Access width of a memory operation, in bytes. Determines the
+    interleaving granularity when a block is mapped [INTERLEAVED_MAP]. *)
+type width = W1 | W2 | W4 | W8
+
+val bytes_of_width : width -> int
+val width_of_bytes : int -> width
+(** Raises [Invalid_argument] on widths other than 1, 2, 4, 8. *)
+
+type t =
+  | Iadd  (** integer add/sub/logic, 1 cycle *)
+  | Imul  (** integer multiply, 3 cycles *)
+  | Icmp  (** compare / select, 1 cycle *)
+  | Imove  (** register move / constant materialization, 1 cycle *)
+  | Fadd  (** floating-point add, 3 cycles *)
+  | Fmul  (** floating-point multiply, 3 cycles *)
+  | Fdiv  (** floating-point divide, 8 cycles, unpipelined in spirit *)
+  | Load of width  (** latency assigned by the scheduler: L0 or L1 *)
+  | Store of width  (** 1 issue cycle; write-through behind the scenes *)
+  | Prefetch  (** explicit software prefetch inserted by scheduler step 5 *)
+  | Invalidate_l0  (** flush the local L0 buffer (inter-loop coherence) *)
+  | Comm  (** inter-cluster register copy over a communication bus *)
+
+(** Functional-unit class an operation issues on. [Comm] occupies a bus
+    slot rather than an FU and is reported as [Bus]. *)
+type fu_class = Int_fu | Mem_fu | Fp_fu | Bus
+
+val fu_class : t -> fu_class
+
+val base_latency : t -> int
+(** Latency assuming the best case for memory operations (L1 handling is
+    the scheduler's business): loads report 1 here and are overridden by
+    the latency-assignment pass. *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory : t -> bool
+(** Loads, stores, prefetches and invalidations — everything that issues
+    on a memory unit. *)
+
+val width : t -> width option
+(** Access width for loads/stores, [None] otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

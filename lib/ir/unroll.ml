@@ -1,0 +1,50 @@
+let apply ~factor (loop : Loop.t) =
+  if factor < 1 then invalid_arg "Unroll.apply: factor must be >= 1";
+  if factor = 1 then loop
+  else begin
+    let body = Array.of_list loop.instrs in
+    let n = Array.length body in
+    let num_regs =
+      Array.fold_left
+        (fun acc (ins : Instr.t) ->
+          let m = match ins.dst with Some d -> d + 1 | None -> 0 in
+          List.fold_left (fun a r -> max a (r + 1)) (max acc m) ins.srcs)
+        0 body
+    in
+    let rename_reg ~copy r = r + (copy * num_regs) in
+    let rename_id ~copy id = id + (copy * n) in
+    let instrs =
+      List.concat_map
+        (fun copy ->
+          Array.to_list body
+          |> List.map (fun (ins : Instr.t) ->
+                 Instr.make ~id:(rename_id ~copy ins.id) ~opcode:ins.opcode
+                   ?dst:(Option.map (rename_reg ~copy) ins.dst)
+                   ~srcs:(List.map (rename_reg ~copy) ins.srcs)
+                   ?memref:(Option.map (Memref.scale ~factor ~copy) ins.memref)
+                   ()))
+        (List.init factor (fun u -> u))
+    in
+    let carried =
+      List.concat_map
+        (fun (def_id, use_id, d) ->
+          List.map
+            (fun u ->
+              let target = u + d in
+              ( rename_id ~copy:u def_id,
+                rename_id ~copy:(target mod factor) use_id,
+                target / factor ))
+            (List.init factor (fun u -> u)))
+        loop.carried
+      (* Distance-0 self-edges are impossible here: d >= 1 in the source
+         loop, so a distance-0 result always crosses into a later copy. *)
+      |> List.filter (fun (a, b, d) -> not (a = b && d = 0))
+    in
+    {
+      loop with
+      instrs;
+      carried;
+      trip_count = max 1 (loop.trip_count / factor);
+      unroll_factor = loop.unroll_factor * factor;
+    }
+  end

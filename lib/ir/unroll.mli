@@ -1,0 +1,23 @@
+(** Loop unrolling (scheduling step 1).
+
+    The compiler chooses between unroll factors 1 and N (the number of
+    clusters): unrolling by N exposes the interleaved mapping of the L0
+    buffers and balances workload across clusters (Section 4.3, step 1).
+    The same transformation is applied to the no-L0 baseline so that
+    comparisons are not biased by unrolling (Section 5.1). *)
+
+val apply : factor:int -> Loop.t -> Loop.t
+(** [apply ~factor loop] replicates the body [factor] times:
+    - instruction ids stay dense, copies emitted in order;
+    - registers are renamed per copy;
+    - constant-stride memrefs of copy [u] advance by [u] original
+      iterations and their stride is multiplied by [factor]
+      ({!Memref.scale});
+    - a carried edge [(def, use, d)] becomes, for each copy [u], an edge
+      from [def]'s copy [u] to [use]'s copy [(u + d) mod factor] at
+      distance [(u + d) / factor];
+    - the trip count is divided by [factor] (the paper assumes the factor
+      divides the trip count; any remainder iterations are dropped);
+    - [unroll_factor] is multiplied by [factor].
+
+    [apply ~factor:1] returns the loop unchanged. *)

@@ -1,0 +1,45 @@
+type geometry = { block_bytes : int; subblock_bytes : int; clusters : int }
+
+let geometry_of_config (cfg : Flexl0_arch.Config.t) =
+  {
+    block_bytes = cfg.l1.block_bytes;
+    subblock_bytes = cfg.l0.subblock_bytes;
+    clusters = cfg.num_clusters;
+  }
+
+let block_base g addr = addr - (addr mod g.block_bytes)
+let block_offset g addr = addr mod g.block_bytes
+let subblock_base g addr = addr - (addr mod g.subblock_bytes)
+
+let lane_of g ~gran addr = block_offset g addr / gran mod g.clusters
+
+let interleaved_slot g ~gran addr =
+  let o = block_offset g addr in
+  let element = o / gran / g.clusters in
+  (element * gran) + (o mod gran)
+
+let covers_linear g ~base ~addr ~width =
+  addr >= base && addr + width <= base + g.subblock_bytes
+
+let covers_interleaved g ~block ~gran ~lane ~addr ~width =
+  (* Degenerate when an element does not fit a lane's share of the
+     block: such data cannot be interleaved at this granularity. *)
+  gran * g.clusters <= g.block_bytes
+  && gran <= g.subblock_bytes
+  && block_base g addr = block
+  && addr + width <= block + g.block_bytes
+  && begin
+       (* Every byte of the access must fall in the lane: true iff the
+          access stays within one granularity-[gran] element of that lane. *)
+       let first = block_offset g addr in
+       let last = first + width - 1 in
+       first / gran = last / gran && first / gran mod g.clusters = lane
+     end
+
+let element_index_linear g ~gran ~addr = addr mod g.subblock_bytes / gran
+
+let element_index_interleaved g ~gran ~addr =
+  block_offset g addr / gran / g.clusters
+
+let elements_per_subblock g ~gran = g.subblock_bytes / gran
+let elements_per_lane g ~gran = g.block_bytes / gran / g.clusters

@@ -1,0 +1,51 @@
+(** Address geometry helpers.
+
+    All functions take the geometry explicitly (block and subblock sizes,
+    cluster count) so the same module serves every hierarchy. Addresses
+    are plain byte indices into the flat simulated memory. *)
+
+type geometry = {
+  block_bytes : int;  (** L1 block size *)
+  subblock_bytes : int;  (** L0 line size *)
+  clusters : int;
+}
+
+val geometry_of_config : Flexl0_arch.Config.t -> geometry
+
+val block_base : geometry -> int -> int
+(** Base address of the L1 block containing an address. *)
+
+val block_offset : geometry -> int -> int
+
+val subblock_base : geometry -> int -> int
+(** Base address of the *linear* subblock containing an address. *)
+
+val lane_of : geometry -> gran:int -> int -> int
+(** [lane_of g ~gran addr]: which interleaved lane (0 .. clusters-1) the
+    byte at [addr] belongs to when its block is split at element
+    granularity [gran]. Lane of byte offset [o] is [(o / gran) mod
+    clusters]. *)
+
+val interleaved_slot : geometry -> gran:int -> int -> int
+(** Byte position of [addr] within its interleaved subblock: element
+    [(o / gran) / clusters] of the lane, plus the intra-element offset. *)
+
+val covers_linear : geometry -> base:int -> addr:int -> width:int -> bool
+(** Does the linear subblock at [base] fully contain [\[addr, addr+width)]? *)
+
+val covers_interleaved :
+  geometry -> block:int -> gran:int -> lane:int -> addr:int -> width:int -> bool
+(** Does lane [lane] of [block] (at granularity [gran]) fully contain the
+    access? False when the access straddles lanes — the mixed-granularity
+    miss case of Section 3.3. *)
+
+val element_index_linear : geometry -> gran:int -> addr:int -> int
+(** Index of the element containing [addr] within its linear subblock
+    (0 .. subblock_bytes/gran - 1); used for the prefetch edge trigger. *)
+
+val element_index_interleaved : geometry -> gran:int -> addr:int -> int
+(** Same for an interleaved subblock: index of the element within the
+    lane (0 .. elements_per_lane - 1). *)
+
+val elements_per_subblock : geometry -> gran:int -> int
+val elements_per_lane : geometry -> gran:int -> int

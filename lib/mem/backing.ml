@@ -1,0 +1,34 @@
+type t = Bytes.t
+
+let create ~size = Bytes.make size '\000'
+let size = Bytes.length
+
+let check t addr width =
+  if addr < 0 || addr + width > Bytes.length t then
+    invalid_arg (Printf.sprintf "Backing: access [%d, %d) out of bounds" addr
+                   (addr + width))
+
+let read t ~addr ~width =
+  check t addr width;
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get t (addr + i))))
+  done;
+  !v
+
+let write t ~addr ~width value =
+  check t addr width;
+  let v = ref value in
+  for i = 0 to width - 1 do
+    Bytes.set t (addr + i) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done
+
+let read_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t addr len
+
+let write_bytes t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t addr (Bytes.length b)

@@ -1,0 +1,23 @@
+(** Flat byte-addressable golden memory.
+
+    Every hierarchy is backed by one of these; because the proposed L0/L1
+    system is write-through at every level we simulate, a store reaches
+    the backing immediately and the backing is always the authoritative
+    value. Loads served by L1 or below read from here; only L0 buffers
+    keep (possibly stale, if the compiler mismanaged coherence) copies. *)
+
+type t
+
+val create : size:int -> t
+(** Zero-initialized memory of [size] bytes. Addresses are absolute; the
+    array layout origin (see {!Flexl0_ir.Loop.layout}) must fit. *)
+
+val size : t -> int
+
+val read : t -> addr:int -> width:int -> int64
+(** Little-endian read of 1, 2, 4 or 8 bytes. *)
+
+val write : t -> addr:int -> width:int -> int64 -> unit
+
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+val write_bytes : t -> addr:int -> Bytes.t -> unit

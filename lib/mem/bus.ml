@@ -1,0 +1,29 @@
+(* Each cluster keeps a sparse set of busy cycles near the present. A
+   hashtable keyed by cycle is plenty: the simulator advances
+   monotonically and old entries are left behind (bounded by total
+   accesses, which the experiment sizes keep small). *)
+
+type t = { busy : (int * int, unit) Hashtbl.t; clusters : int }
+
+let create ~clusters = { busy = Hashtbl.create 4096; clusters }
+
+let check_cluster t cluster =
+  if cluster < 0 || cluster >= t.clusters then
+    invalid_arg (Printf.sprintf "Bus: cluster %d out of range" cluster)
+
+let is_free t ~cluster ~at =
+  check_cluster t cluster;
+  not (Hashtbl.mem t.busy (cluster, at))
+
+let reserve t ~cluster ~at =
+  check_cluster t cluster;
+  Hashtbl.replace t.busy (cluster, at) ()
+
+let request t ~cluster ~now =
+  check_cluster t cluster;
+  let rec find at = if is_free t ~cluster ~at then at else find (at + 1) in
+  let grant = find now in
+  reserve t ~cluster ~at:grant;
+  grant
+
+let reset t = Hashtbl.reset t.busy

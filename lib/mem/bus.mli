@@ -1,0 +1,26 @@
+(** Per-cluster bus between a cluster (its memory unit and L0 buffer) and
+    the unified L1 cache.
+
+    The paper's design deliberately avoids arbitration hardware: the
+    scheduler guarantees at most one scheduled request per cluster per
+    cycle, and a [SEQ_ACCESS] load is only legal when the *next* cycle is
+    also free for its potential miss. The simulator still tracks bus
+    occupancy so that unscheduled traffic (fills, prefetches, contention
+    in memory-pressure pathologies) surfaces as queuing delay. *)
+
+type t
+
+val create : clusters:int -> t
+
+val request : t -> cluster:int -> now:int -> int
+(** [request t ~cluster ~now] grants the earliest free cycle [>= now] on
+    that cluster's bus, marks it busy, and returns the grant time. The
+    returned delay [(grant - now)] is contention. *)
+
+val is_free : t -> cluster:int -> at:int -> bool
+
+val reserve : t -> cluster:int -> at:int -> unit
+(** Mark a specific cycle busy (used when the schedule pre-claims the
+    miss cycle of a SEQ access). *)
+
+val reset : t -> unit

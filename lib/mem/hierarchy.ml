@@ -1,0 +1,24 @@
+type served = L0 | L1 | L2 | Local_bank | Remote_bank | Attraction
+
+type outcome = { ready_at : int; value : int64; served : served }
+
+type t = {
+  name : string;
+  load :
+    now:int -> cluster:int -> addr:int -> width:int -> hints:Hint.t -> outcome;
+  store :
+    now:int -> cluster:int -> addr:int -> width:int -> value:int64 ->
+    hints:Hint.t -> outcome;
+  prefetch : now:int -> cluster:int -> addr:int -> width:int -> unit;
+  invalidate : cluster:int -> unit;
+  counters : Flexl0_util.Stats.Counters.t;
+  backing : Backing.t;
+}
+
+let served_to_string = function
+  | L0 -> "L0"
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | Local_bank -> "local-bank"
+  | Remote_bank -> "remote-bank"
+  | Attraction -> "attraction"

@@ -1,0 +1,37 @@
+(** Common interface the kernel simulator drives, implemented by the
+    proposed architecture ({!Unified}) and the two distributed-cache
+    baselines ({!Multivliw}, {!Interleaved}). *)
+
+(** Which level ultimately served an access. *)
+type served =
+  | L0  (** local L0 buffer (proposed architecture) *)
+  | L1  (** unified L1 hit *)
+  | L2  (** below L1 *)
+  | Local_bank  (** local slice of a distributed L1 *)
+  | Remote_bank  (** remote slice / remote home cluster *)
+  | Attraction  (** attraction buffer hit (word-interleaved baseline) *)
+
+type outcome = {
+  ready_at : int;  (** absolute cycle at which the result is available *)
+  value : int64;  (** loaded value; 0 for stores *)
+  served : served;
+}
+
+type t = {
+  name : string;
+  load :
+    now:int -> cluster:int -> addr:int -> width:int -> hints:Hint.t -> outcome;
+  store :
+    now:int -> cluster:int -> addr:int -> width:int -> value:int64 ->
+    hints:Hint.t -> outcome;
+  prefetch : now:int -> cluster:int -> addr:int -> width:int -> unit;
+      (** explicit software prefetch (linear mapping); no-op for
+          hierarchies without software-visible buffers *)
+  invalidate : cluster:int -> unit;
+      (** the [invalidate_buffer] instruction; no-op for hardware-coherent
+          hierarchies *)
+  counters : Flexl0_util.Stats.Counters.t;
+  backing : Backing.t;
+}
+
+val served_to_string : served -> string

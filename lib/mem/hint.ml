@@ -1,0 +1,34 @@
+type access = No_access | Seq_access | Par_access | Inval_only
+type mapping = Linear_map | Interleaved_map
+type prefetch = No_prefetch | Positive | Negative
+
+type t = { access : access; mapping : mapping; prefetch : prefetch }
+
+let default = { access = No_access; mapping = Linear_map; prefetch = No_prefetch }
+
+let make ?(access = No_access) ?(mapping = Linear_map) ?(prefetch = No_prefetch) () =
+  { access; mapping; prefetch }
+
+let uses_l0 t =
+  match t.access with
+  | Seq_access | Par_access -> true
+  | No_access | Inval_only -> false
+
+let access_to_string = function
+  | No_access -> "NO"
+  | Seq_access -> "SEQ"
+  | Par_access -> "PAR"
+  | Inval_only -> "INV"
+
+let mapping_to_string = function
+  | Linear_map -> "LIN"
+  | Interleaved_map -> "ILV"
+
+let prefetch_to_string = function
+  | No_prefetch -> "-"
+  | Positive -> "P+"
+  | Negative -> "P-"
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s/%s" (access_to_string t.access)
+    (mapping_to_string t.mapping) (prefetch_to_string t.prefetch)

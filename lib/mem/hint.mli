@@ -1,0 +1,47 @@
+(** Compiler hints attached to memory instructions (paper Section 3.2).
+
+    Access hints are *directives* — the hardware must honour them because
+    they govern bus arbitration and coherence. Mapping and prefetch hints
+    are performance hints. *)
+
+(** How the instruction interacts with the L0 buffer of its cluster. *)
+type access =
+  | No_access
+      (** bypass L0 entirely; go straight to L1 and do not allocate *)
+  | Seq_access
+      (** probe L0 first, forward to L1 on a miss; legal for loads only,
+          and only when the scheduler proves the cluster's bus is free in
+          the following cycle *)
+  | Par_access
+      (** access L0 and L1 in parallel; on an L0 hit the L1 reply is
+          discarded. The only option for stores that update L0 *)
+  | Inval_only
+      (** non-primary instance of a partially-replicated store (PSR): just
+          invalidate any local L0 entry holding the address; no L1 access *)
+
+(** How a load that allocates maps data into the buffers. *)
+type mapping =
+  | Linear_map
+      (** one subblock of consecutive bytes, placed in the local buffer *)
+  | Interleaved_map
+      (** the whole L1 block is read, split at the access granularity and
+          distributed round-robin across the clusters starting at the
+          accessing one *)
+
+type prefetch =
+  | No_prefetch
+  | Positive  (** fetch the next subblock when the last element is touched *)
+  | Negative  (** fetch the previous subblock when the first element is touched *)
+
+type t = { access : access; mapping : mapping; prefetch : prefetch }
+
+val default : t
+(** [No_access], [Linear_map], [No_prefetch] — the hint set of a memory
+    instruction the scheduler left on the L1 path. *)
+
+val make : ?access:access -> ?mapping:mapping -> ?prefetch:prefetch -> unit -> t
+
+val uses_l0 : t -> bool
+(** True for [Seq_access] and [Par_access]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+open Flexl0_util
+module Config = Flexl0_arch.Config
+
+let word_bytes = 4
+
+let home_of ~clusters addr = addr / word_bytes mod clusters
+
+(* Hardware-managed attraction buffer: a tiny fully-associative LRU cache
+   of remotely-homed words. Tags only — values are read from the backing
+   store, which the write-through home banks keep current; what matters
+   for the experiments is the locality timing. *)
+module Attraction = struct
+  type t = {
+    capacity : int;
+    mutable words : (int * int) list;  (* (word index, stamp) *)
+    mutable clock : int;
+  }
+
+  let create capacity = { capacity; words = []; clock = 0 }
+
+  let hit t word =
+    match List.assoc_opt word t.words with
+    | Some _ ->
+      t.clock <- t.clock + 1;
+      t.words <-
+        (word, t.clock) :: List.filter (fun (w, _) -> w <> word) t.words;
+      true
+    | None -> false
+
+  let fill t word =
+    t.clock <- t.clock + 1;
+    let kept = List.filter (fun (w, _) -> w <> word) t.words in
+    let kept =
+      if List.length kept >= t.capacity then
+        match List.sort (fun (_, a) (_, b) -> compare a b) kept with
+        | _oldest :: rest -> rest
+        | [] -> []
+      else kept
+    in
+    t.words <- (word, t.clock) :: kept
+
+  let invalidate t word = t.words <- List.filter (fun (w, _) -> w <> word) t.words
+end
+
+(* Each bank caches only its own words. Bank-local addresses compress the
+   interleaved words into a contiguous space so a stock set-associative
+   model applies: word w (homed here) maps to local byte (w / clusters) *
+   word_bytes. *)
+let bank_local_addr ~clusters addr =
+  let word = addr / word_bytes in
+  (word / clusters * word_bytes) + (addr mod word_bytes)
+
+let create (cfg : Config.t) ~backing =
+  let n = cfg.num_clusters in
+  let banks =
+    Array.init n (fun _ ->
+        L1_cache.create
+          ~size_bytes:(cfg.l1.size_bytes / n)
+          ~ways:cfg.l1.ways ~block_bytes:cfg.l1.block_bytes
+          ~hit_latency:cfg.distributed.local_latency
+          ~l2_latency:cfg.l2.l2_latency)
+  in
+  let abs = Array.init n (fun _ -> Attraction.create cfg.distributed.attraction_entries) in
+  let counters = Stats.Counters.create () in
+  let bank_access ~cluster_home ~addr ~write =
+    let local = bank_local_addr ~clusters:n addr in
+    let result = L1_cache.access banks.(cluster_home) ~addr:local ~write in
+    L1_cache.latency banks.(cluster_home) result
+  in
+  let load ~now ~cluster ~addr ~width ~hints:_ =
+    Stats.Counters.incr counters "loads";
+    let value = Backing.read backing ~addr ~width in
+    let home = home_of ~clusters:n addr in
+    if home = cluster then begin
+      Stats.Counters.incr counters "load_local";
+      let lat = bank_access ~cluster_home:home ~addr ~write:false in
+      { Hierarchy.ready_at = now + lat; value; served = Hierarchy.Local_bank }
+    end
+    else begin
+      let word = addr / word_bytes in
+      if Attraction.hit abs.(cluster) word then begin
+        Stats.Counters.incr counters "load_attraction";
+        { Hierarchy.ready_at = now + cfg.distributed.attraction_latency;
+          value; served = Hierarchy.Attraction }
+      end
+      else begin
+        Stats.Counters.incr counters "load_remote";
+        let lat = bank_access ~cluster_home:home ~addr ~write:false in
+        Attraction.fill abs.(cluster) word;
+        { Hierarchy.ready_at = now + cfg.distributed.remote_latency + lat;
+          value; served = Hierarchy.Remote_bank }
+      end
+    end
+  in
+  let store ~now ~cluster ~addr ~width ~value ~hints:_ =
+    Stats.Counters.incr counters "stores";
+    Backing.write backing ~addr ~width value;
+    let home = home_of ~clusters:n addr in
+    let word = addr / word_bytes in
+    Stats.Counters.incr counters
+      (if home = cluster then "store_local" else "store_remote");
+    let _ = bank_access ~cluster_home:home ~addr ~write:true in
+    (* Keep the attraction buffers coherent: the writer's copy stays (the
+       backing store already has the new value), other copies drop. *)
+    Array.iteri (fun c ab -> if c <> cluster then Attraction.invalidate ab word) abs;
+    { Hierarchy.ready_at = now + 1; value = 0L;
+      served = (if home = cluster then Hierarchy.Local_bank else Hierarchy.Remote_bank) }
+  in
+  {
+    Hierarchy.name = "word-interleaved";
+    load;
+    store;
+    prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
+    invalidate = (fun ~cluster:_ -> ());
+    counters;
+    backing;
+  }

@@ -1,0 +1,23 @@
+(** Word-interleaved distributed cache baseline (Gibert et al., MICRO
+    2002; paper Section 5.3).
+
+    The L1 data cache is split in [num_clusters] banks and addresses are
+    statically interleaved at 4-byte word granularity: word [w] lives in
+    the bank of cluster [w mod num_clusters]. An access whose home is the
+    issuing cluster costs [distributed.local_latency]; a remote access
+    costs [distributed.remote_latency] plus the home bank's time. Each
+    cluster additionally has a small hardware-managed *Attraction Buffer*
+    caching remotely-homed words; an AB hit costs
+    [distributed.attraction_latency]. Stores are write-through to the
+    home bank; AB copies in other clusters are invalidated (and the local
+    one updated) so the ABs stay coherent in hardware.
+
+    Compiler hints are ignored; the two Figure-7 variants differ only in
+    scheduling (see {!Flexl0_sched}). *)
+
+val word_bytes : int
+
+val home_of : clusters:int -> int -> int
+(** [home_of ~clusters addr]: home cluster of the word containing [addr]. *)
+
+val create : Flexl0_arch.Config.t -> backing:Backing.t -> Hierarchy.t

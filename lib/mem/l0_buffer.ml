@@ -1,0 +1,146 @@
+type mapping =
+  | Linear of { base : int }
+  | Interleaved of { block : int; gran : int; lane : int }
+
+type entry = {
+  mapping : mapping;
+  data : Bytes.t;
+  gran : int;
+  mutable last_use : int;
+  mutable ready_at : int;
+  mutable prefetch : Hint.prefetch;
+}
+
+type t = {
+  geometry : Addr.geometry;
+  cap : int option;
+  mutable entries : entry list;  (* unordered; LRU via last_use stamps *)
+  mutable clock : int;
+}
+
+let create ~geometry ~capacity =
+  (match capacity with
+  | Some n when n <= 0 -> invalid_arg "L0_buffer.create: capacity must be positive"
+  | _ -> ());
+  { geometry; cap = capacity; entries = []; clock = 0 }
+
+let geometry t = t.geometry
+let entry_count t = List.length t.entries
+let capacity t = t.cap
+
+let covers g mapping ~addr ~width =
+  match mapping with
+  | Linear { base } -> Addr.covers_linear g ~base ~addr ~width
+  | Interleaved { block; gran; lane } ->
+    Addr.covers_interleaved g ~block ~gran ~lane ~addr ~width
+
+let mapping_covers t mapping ~addr ~width = covers t.geometry mapping ~addr ~width
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find_covering t ~addr ~width =
+  List.filter (fun e -> covers t.geometry e.mapping ~addr ~width) t.entries
+  |> List.sort (fun a b -> compare b.last_use a.last_use)
+
+let peek t ~addr ~width =
+  match find_covering t ~addr ~width with [] -> None | e :: _ -> Some e
+
+let lookup t ~now:_ ~addr ~width =
+  match find_covering t ~addr ~width with
+  | [] -> None
+  | e :: _ ->
+    e.last_use <- tick t;
+    Some e
+
+let has_mapping t mapping = List.exists (fun e -> e.mapping = mapping) t.entries
+
+let evict_lru t =
+  match t.entries with
+  | [] -> ()
+  | first :: _ ->
+    let victim =
+      List.fold_left
+        (fun acc e -> if e.last_use < acc.last_use then e else acc)
+        first t.entries
+    in
+    t.entries <- List.filter (fun e -> e != victim) t.entries
+
+let insert t ~now:_ ~mapping ~gran ~prefetch ~ready_at ~data =
+  if Bytes.length data <> t.geometry.Addr.subblock_bytes then
+    invalid_arg "L0_buffer.insert: data must be one subblock";
+  t.entries <- List.filter (fun e -> e.mapping <> mapping) t.entries;
+  (match t.cap with
+  | Some cap -> while List.length t.entries >= cap do evict_lru t done
+  | None -> ());
+  let entry =
+    { mapping; data = Bytes.copy data; gran; last_use = tick t; ready_at; prefetch }
+  in
+  t.entries <- entry :: t.entries
+
+(* Byte position of [addr] inside an entry's data buffer. *)
+let slot g mapping addr =
+  match mapping with
+  | Linear { base } -> addr - base
+  | Interleaved { block = _; gran; lane = _ } -> Addr.interleaved_slot g ~gran addr
+
+let read_entry entry ~geometry ~addr ~width =
+  let off = slot geometry entry.mapping addr in
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get entry.data (off + i))))
+  done;
+  !v
+
+let write_entry entry ~geometry ~addr ~width value =
+  let off = slot geometry entry.mapping addr in
+  let v = ref value in
+  for i = 0 to width - 1 do
+    Bytes.set entry.data (off + i)
+      (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done
+
+let store_update t ~now:_ ~addr ~width ~value =
+  match find_covering t ~addr ~width with
+  | [] -> false
+  | updated :: others ->
+    write_entry updated ~geometry:t.geometry ~addr ~width value;
+    updated.last_use <- tick t;
+    (* One write port: the other covering copies are invalidated rather
+       than updated (Section 4.1, intra-cluster coherence). *)
+    t.entries <- List.filter (fun e -> not (List.memq e others)) t.entries;
+    true
+
+let invalidate_addr t ~addr ~width =
+  let covering = find_covering t ~addr ~width in
+  t.entries <- List.filter (fun e -> not (List.memq e covering)) t.entries;
+  List.length covering
+
+let invalidate_all t = t.entries <- []
+
+let edge_trigger entry ~geometry ~addr =
+  let index, count =
+    match entry.mapping with
+    | Linear _ ->
+      ( Addr.element_index_linear geometry ~gran:entry.gran ~addr,
+        Addr.elements_per_subblock geometry ~gran:entry.gran )
+    | Interleaved { gran; _ } ->
+      ( Addr.element_index_interleaved geometry ~gran ~addr,
+        Addr.elements_per_lane geometry ~gran )
+  in
+  match entry.prefetch with
+  | Hint.No_prefetch -> None
+  | Hint.Positive -> if index = count - 1 then Some `Next else None
+  | Hint.Negative -> if index = 0 then Some `Prev else None
+
+let next_mapping ~geometry ~distance direction mapping =
+  let sign = match direction with `Next -> 1 | `Prev -> -1 in
+  match mapping with
+  | Linear { base } ->
+    Linear { base = base + (sign * distance * geometry.Addr.subblock_bytes) }
+  | Interleaved { block; gran; lane } ->
+    Interleaved
+      { block = block + (sign * distance * geometry.Addr.block_bytes); gran; lane }

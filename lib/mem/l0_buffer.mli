@@ -1,0 +1,86 @@
+(** One per-cluster Flexible Compiler-Managed L0 Buffer (paper Section 3).
+
+    A buffer holds a small number of *subblock* entries (8 bytes with the
+    default geometry), fully associative with LRU replacement. Each entry
+    records how its bytes map back onto an L1 block:
+
+    - [Linear]: the subblock is [subblock_bytes] consecutive bytes;
+    - [Interleaved]: the entry is lane [lane] of an L1 block split at
+      element granularity [gran] — it holds the elements whose index in
+      the block is congruent to [lane] modulo the cluster count.
+
+    The same data may be present under several mappings; a load is
+    satisfied by any covering entry, while a store updates exactly one
+    copy and invalidates the other covering copies (Section 4.1,
+    intra-cluster coherence). Entries are write-through: eviction and
+    invalidation simply discard them.
+
+    Entries can be *in flight*: inserted with a [ready_at] completion
+    time; an access before that time must wait (the machine stalls),
+    which is how too-late prefetches cost time. *)
+
+type mapping =
+  | Linear of { base : int }
+  | Interleaved of { block : int; gran : int; lane : int }
+
+type entry = private {
+  mapping : mapping;
+  data : Bytes.t;
+  gran : int;  (** element granularity used by the prefetch edge trigger *)
+  mutable last_use : int;
+  mutable ready_at : int;
+  mutable prefetch : Hint.prefetch;
+}
+
+type t
+
+val create : geometry:Addr.geometry -> capacity:int option -> t
+(** [capacity = None] models the unbounded buffer of Figure 5. *)
+
+val geometry : t -> Addr.geometry
+val entry_count : t -> int
+val capacity : t -> int option
+
+val mapping_covers : t -> mapping -> addr:int -> width:int -> bool
+
+val lookup : t -> now:int -> addr:int -> width:int -> entry option
+(** Most-recently-used entry fully covering the access, bumping its LRU
+    position. Partial coverage (mixed-granularity case) is a miss. *)
+
+val peek : t -> addr:int -> width:int -> entry option
+(** Like {!lookup} without touching LRU state. *)
+
+val has_mapping : t -> mapping -> bool
+(** Is an entry with exactly this mapping present (or in flight)? Used to
+    squash redundant prefetches. *)
+
+val insert :
+  t -> now:int -> mapping:mapping -> gran:int -> prefetch:Hint.prefetch ->
+  ready_at:int -> data:Bytes.t -> unit
+(** Allocate an entry (replacing any same-mapping entry, evicting LRU when
+    full). [data] must be [subblock_bytes] long. *)
+
+val store_update : t -> now:int -> addr:int -> width:int -> value:int64 -> bool
+(** Write-through local update: patch the bytes of the MRU covering entry
+    and discard every other covering entry. Returns whether a copy was
+    updated. *)
+
+val invalidate_addr : t -> addr:int -> width:int -> int
+(** Discard all covering entries; returns how many were dropped (the PSR
+    non-primary store action). *)
+
+val invalidate_all : t -> unit
+(** The [invalidate_buffer] instruction: constant-latency full flush. *)
+
+val read_entry : entry -> geometry:Addr.geometry -> addr:int -> width:int -> int64
+(** Little-endian read out of an entry's data at the position the mapping
+    assigns to [addr]. The entry must cover the access. *)
+
+val edge_trigger : entry -> geometry:Addr.geometry -> addr:int -> [ `Next | `Prev ] option
+(** Does this access touch the last ([`Next], POSITIVE hint) or first
+    ([`Prev], NEGATIVE hint) element of the subblock, per the entry's
+    prefetch hint? *)
+
+val next_mapping : geometry:Addr.geometry -> distance:int -> [ `Next | `Prev ] -> mapping -> mapping
+(** Mapping of the subblock [distance] subblocks after/before this one —
+    the target of an automatic prefetch. *)

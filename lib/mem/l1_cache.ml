@@ -1,0 +1,87 @@
+type t = {
+  sets : int;
+  ways : int;
+  block_bytes : int;
+  hit_latency : int;
+  l2_latency : int;
+  tags : int array array;  (* [set].(way) = block base, -1 when empty *)
+  stamp : int array array;  (* LRU stamps *)
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~size_bytes ~ways ~block_bytes ~hit_latency ~l2_latency =
+  let sets = size_bytes / (ways * block_bytes) in
+  if sets <= 0 then invalid_arg "L1_cache.create: degenerate geometry";
+  {
+    sets;
+    ways;
+    block_bytes;
+    hit_latency;
+    l2_latency;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    stamp = Array.init sets (fun _ -> Array.make ways 0);
+    clock = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let of_config (cfg : Flexl0_arch.Config.t) =
+  create ~size_bytes:cfg.l1.size_bytes ~ways:cfg.l1.ways
+    ~block_bytes:cfg.l1.block_bytes ~hit_latency:cfg.l1.l1_latency
+    ~l2_latency:cfg.l2.l2_latency
+
+let set_of t addr = addr / t.block_bytes mod t.sets
+let block_base t addr = addr - (addr mod t.block_bytes)
+
+let find_way t set base =
+  let rec go w =
+    if w >= t.ways then None
+    else if t.tags.(set).(w) = base then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let touch t set way =
+  t.clock <- t.clock + 1;
+  t.stamp.(set).(way) <- t.clock
+
+let victim_way t set =
+  let best = ref 0 in
+  for w = 1 to t.ways - 1 do
+    if t.stamp.(set).(w) < t.stamp.(set).(!best) then best := w
+  done;
+  !best
+
+let access t ~addr ~write =
+  let base = block_base t addr in
+  let set = set_of t addr in
+  match find_way t set base with
+  | Some w ->
+    touch t set w;
+    t.hit_count <- t.hit_count + 1;
+    `Hit
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    if not write then begin
+      let w = victim_way t set in
+      t.tags.(set).(w) <- base;
+      touch t set w
+    end;
+    `Miss
+
+let latency t = function
+  | `Hit -> t.hit_latency
+  | `Miss -> t.hit_latency + t.l2_latency
+
+let probe t ~addr =
+  let base = block_base t addr in
+  find_way t (set_of t addr) base <> None
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

@@ -1,0 +1,31 @@
+(** Set-associative L1 data cache timing model (paper Table 2: 8 KB,
+    2-way, 32-byte blocks, 6-cycle hit latency; L2 behind it always hits
+    in 10 cycles).
+
+    The cache tracks tags and LRU only: data always lives in the flat
+    {!Backing} memory, which is legitimate because every simulated store
+    is write-through all the way down, so L1 "always holds the up-to-date
+    value" exactly as Section 3.3 assumes. *)
+
+type t
+
+val create :
+  size_bytes:int -> ways:int -> block_bytes:int -> hit_latency:int ->
+  l2_latency:int -> t
+
+val of_config : Flexl0_arch.Config.t -> t
+
+val access : t -> addr:int -> write:bool -> [ `Hit | `Miss ]
+(** Look up the block containing [addr]; loads allocate on miss, stores
+    are write-through non-allocating (they update LRU on a hit, leave the
+    cache unchanged on a miss). *)
+
+val latency : t -> [ `Hit | `Miss ] -> int
+(** [hit_latency] or [hit_latency + l2_latency]. *)
+
+val probe : t -> addr:int -> bool
+(** Non-destructive presence test. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

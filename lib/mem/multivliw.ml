@@ -1,0 +1,207 @@
+open Flexl0_util
+module Config = Flexl0_arch.Config
+
+module Protocol = struct
+  type state = Modified | Shared
+
+  type line = { mutable base : int; mutable st : state; mutable stamp : int }
+  (* base = -1 encodes an empty way. *)
+
+  type bank = { sets : int; ways : int; lines : line array array }
+
+  type t = {
+    banks : bank array;
+    block_bytes : int;
+    mutable clock : int;
+  }
+
+  let create (cfg : Config.t) =
+    let bank_bytes = cfg.l1.size_bytes / cfg.num_clusters in
+    let sets = bank_bytes / (cfg.l1.ways * cfg.l1.block_bytes) in
+    if sets <= 0 then invalid_arg "Multivliw: bank geometry degenerate";
+    let make_bank () =
+      {
+        sets;
+        ways = cfg.l1.ways;
+        lines =
+          Array.init sets (fun _ ->
+              Array.init cfg.l1.ways (fun _ ->
+                  { base = -1; st = Shared; stamp = 0 }));
+      }
+    in
+    {
+      banks = Array.init cfg.num_clusters (fun _ -> make_bank ());
+      block_bytes = cfg.l1.block_bytes;
+      clock = 0;
+    }
+
+  let block_base t addr = addr - (addr mod t.block_bytes)
+  let set_of t bank addr = addr / t.block_bytes mod bank.sets
+
+  let find t cluster addr =
+    let bank = t.banks.(cluster) in
+    let base = block_base t addr in
+    let set = bank.lines.(set_of t bank addr) in
+    let rec go w =
+      if w >= bank.ways then None
+      else if set.(w).base = base then Some set.(w)
+      else go (w + 1)
+    in
+    go 0
+
+  let touch t line =
+    t.clock <- t.clock + 1;
+    line.stamp <- t.clock
+
+  let victim t cluster addr =
+    let bank = t.banks.(cluster) in
+    let set = bank.lines.(set_of t bank addr) in
+    let best = ref set.(0) in
+    Array.iter (fun l -> if l.base = -1 then best := l) set;
+    if !best.base <> -1 then
+      Array.iter (fun l -> if l.stamp < !best.stamp then best := l) set;
+    !best
+
+  let remote_holder t cluster addr =
+    let n = Array.length t.banks in
+    let rec go c =
+      if c >= n then None
+      else if c <> cluster then
+        match find t c addr with Some line -> Some (c, line) | None -> go (c + 1)
+      else go (c + 1)
+    in
+    go 0
+
+  let allocate t cluster addr st =
+    let line = victim t cluster addr in
+    line.base <- block_base t addr;
+    line.st <- st;
+    touch t line
+
+  let read t ~cluster ~addr =
+    match find t cluster addr with
+    | Some line ->
+      touch t line;
+      `Local
+    | None -> (
+      match remote_holder t cluster addr with
+      | Some (_c, line) ->
+        (* Snoop hit: owner downgrades to Shared and supplies the block. *)
+        line.st <- Shared;
+        allocate t cluster addr Shared;
+        `Remote
+      | None ->
+        allocate t cluster addr Shared;
+        `Memory)
+
+  let invalidate_others t cluster addr =
+    Array.iteri
+      (fun c _bank ->
+        if c <> cluster then
+          match find t c addr with
+          | Some line -> line.base <- -1
+          | None -> ())
+      t.banks
+
+  let write t ~cluster ~addr =
+    match find t cluster addr with
+    | Some line when line.st = Modified ->
+      touch t line;
+      `Local
+    | Some line ->
+      (* Upgrade: invalidate the other sharers. *)
+      invalidate_others t cluster addr;
+      line.st <- Modified;
+      touch t line;
+      `Remote
+    | None -> (
+      let origin =
+        match remote_holder t cluster addr with Some _ -> `Remote | None -> `Memory
+      in
+      invalidate_others t cluster addr;
+      allocate t cluster addr Modified;
+      origin)
+
+  let holders t ~addr =
+    let acc = ref [] in
+    Array.iteri
+      (fun c _ ->
+        match find t c addr with
+        | Some line -> acc := (c, line.st) :: !acc
+        | None -> ())
+      t.banks;
+    List.rev !acc
+
+  let check_invariant t =
+    (* Collect every cached block and check the MSI sharing rule. *)
+    let table : (int, state list) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun bank ->
+        Array.iter
+          (fun set ->
+            Array.iter
+              (fun line ->
+                if line.base <> -1 then
+                  let states =
+                    match Hashtbl.find_opt table line.base with
+                    | Some s -> s
+                    | None -> []
+                  in
+                  Hashtbl.replace table line.base (line.st :: states))
+              set)
+          bank.lines)
+      t.banks;
+    Hashtbl.fold
+      (fun base states acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let modified = List.length (List.filter (( = ) Modified) states) in
+          if modified > 1 then
+            Error (Printf.sprintf "block %#x has %d Modified copies" base modified)
+          else if modified = 1 && List.length states > 1 then
+            Error
+              (Printf.sprintf "block %#x is Modified alongside Shared copies" base)
+          else Ok ())
+      table (Ok ())
+end
+
+let create (cfg : Config.t) ~backing =
+  let protocol = Protocol.create cfg in
+  let counters = Stats.Counters.create () in
+  let latency_of = function
+    | `Local -> (cfg.distributed.local_latency, Hierarchy.Local_bank)
+    | `Remote -> (cfg.distributed.remote_latency, Hierarchy.Remote_bank)
+    | `Memory ->
+      (cfg.distributed.local_latency + cfg.l2.l2_latency, Hierarchy.L2)
+  in
+  let count tag = function
+    | `Local -> Stats.Counters.incr counters (tag ^ "_local")
+    | `Remote -> Stats.Counters.incr counters (tag ^ "_remote")
+    | `Memory -> Stats.Counters.incr counters (tag ^ "_memory")
+  in
+  let load ~now ~cluster ~addr ~width ~hints:_ =
+    Stats.Counters.incr counters "loads";
+    let origin = Protocol.read protocol ~cluster ~addr in
+    count "load" origin;
+    let lat, served = latency_of origin in
+    { Hierarchy.ready_at = now + lat; value = Backing.read backing ~addr ~width;
+      served }
+  in
+  let store ~now ~cluster ~addr ~width ~value ~hints:_ =
+    Stats.Counters.incr counters "stores";
+    Backing.write backing ~addr ~width value;
+    let origin = Protocol.write protocol ~cluster ~addr in
+    count "store" origin;
+    let _, served = latency_of origin in
+    { Hierarchy.ready_at = now + 1; value = 0L; served }
+  in
+  {
+    Hierarchy.name = "multivliw";
+    load;
+    store;
+    prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
+    invalidate = (fun ~cluster:_ -> ());
+    counters;
+    backing;
+  }

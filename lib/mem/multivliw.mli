@@ -1,0 +1,37 @@
+(** MultiVLIW baseline (Sánchez & González, MICRO 2000; paper Section 5.3).
+
+    The L1 data cache is physically distributed among the clusters — each
+    cluster owns one bank of [size/clusters] bytes — and kept coherent
+    with a snoop-based MSI protocol, so any block can be cached (and
+    migrate/replicate) anywhere. Local bank hits are fast
+    ([distributed.local_latency]); requests served by a remote bank cost
+    [distributed.remote_latency]; misses everywhere go to L2.
+
+    Hardware keeps everything coherent, so the compiler hints are ignored
+    and [invalidate]/[prefetch] are no-ops. The scheduler for this
+    machine assumes the local latency for all memory operations. *)
+
+val create : Flexl0_arch.Config.t -> backing:Backing.t -> Hierarchy.t
+
+(** Exposed for protocol-invariant tests. *)
+module Protocol : sig
+  type state = Modified | Shared
+
+  type t
+
+  val create : Flexl0_arch.Config.t -> t
+
+  val read : t -> cluster:int -> addr:int -> [ `Local | `Remote | `Memory ]
+  (** Perform a coherent read, returning where the block was found. *)
+
+  val write : t -> cluster:int -> addr:int -> [ `Local | `Remote | `Memory ]
+  (** Perform a coherent write (invalidates other copies, leaves the
+      writer's copy Modified). *)
+
+  val holders : t -> addr:int -> (int * state) list
+  (** Which clusters currently cache the block, with their MSI state. *)
+
+  val check_invariant : t -> (unit, string) result
+  (** At most one Modified copy of any block, and never Modified and
+      Shared copies of the same block simultaneously. *)
+end

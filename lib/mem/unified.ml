@@ -1,0 +1,351 @@
+open Flexl0_util
+module Config = Flexl0_arch.Config
+
+type state = {
+  cfg : Config.t;
+  geometry : Addr.geometry;
+  buffers : L0_buffer.t array option;  (* None for the no-L0 baseline *)
+  l1 : L1_cache.t;
+  bus : Bus.t;
+  backing : Backing.t;
+  counters : Stats.Counters.t;
+  ports : (int * int, int) Hashtbl.t;
+      (* (cluster, cycle) -> L0 port uses; Table 2 gives each buffer a
+         limited number of read/write ports *)
+}
+
+let in_range st ~addr ~len = addr >= 0 && addr + len <= Backing.size st.backing
+
+(* Claim an L0 port in [cluster] at or after [cycle]; returns the cycle
+   actually granted. Conflicts (more simultaneous buffer accesses than
+   ports — e.g. two fills landing with a probe) slip by a cycle each. *)
+let claim_port st ~cluster ~cycle =
+  let cap = st.cfg.l0.ports in
+  let rec find c =
+    let used = Option.value ~default:0 (Hashtbl.find_opt st.ports (cluster, c)) in
+    if used < cap then c else find (c + 1)
+  in
+  let grant = find cycle in
+  Hashtbl.replace st.ports (cluster, grant)
+    (1 + Option.value ~default:0 (Hashtbl.find_opt st.ports (cluster, grant)));
+  if grant > cycle then
+    Stats.Counters.add st.counters "l0_port_conflicts" (grant - cycle);
+  grant
+
+(* One trip over a cluster's bus to the unified L1, starting no earlier
+   than [start]. Queuing behind earlier traffic surfaces as added
+   latency. *)
+let l1_trip st ~cluster ~start ~addr ~write =
+  let grant = Bus.request st.bus ~cluster ~now:start in
+  let result = L1_cache.access st.l1 ~addr ~write in
+  Stats.Counters.incr st.counters "l1_accesses";
+  Stats.Counters.incr st.counters
+    (match result with `Hit -> "l1_hits" | `Miss -> "l1_misses");
+  let served = match result with `Hit -> Hierarchy.L1 | `Miss -> Hierarchy.L2 in
+  (grant + L1_cache.latency st.l1 result, served)
+
+(* Gather the bytes of a subblock mapping out of the backing memory. *)
+let subblock_data st mapping =
+  let g = st.geometry in
+  let sb = g.Addr.subblock_bytes in
+  match mapping with
+  | L0_buffer.Linear { base } ->
+    if in_range st ~addr:base ~len:sb then
+      Some (Backing.read_bytes st.backing ~addr:base ~len:sb)
+    else None
+  | L0_buffer.Interleaved { block; gran; lane } ->
+    if
+      (not (in_range st ~addr:block ~len:g.Addr.block_bytes))
+      || gran * g.Addr.clusters > g.Addr.block_bytes
+      || gran > g.Addr.subblock_bytes
+    then None
+    else begin
+      let data = Bytes.make sb '\000' in
+      let per_lane = Addr.elements_per_lane g ~gran in
+      for e = 0 to per_lane - 1 do
+        let block_off = ((e * g.Addr.clusters) + lane) * gran in
+        Bytes.blit
+          (Backing.read_bytes st.backing ~addr:(block + block_off) ~len:gran)
+          0 data (e * gran) gran
+      done;
+      Some data
+    end
+
+let buffers_exn st =
+  match st.buffers with
+  | Some b -> b
+  | None -> invalid_arg "Unified: hint requests L0 service on a no-L0 machine"
+
+let count_mapping st = function
+  | L0_buffer.Linear _ -> Stats.Counters.incr st.counters "subblocks_linear"
+  | L0_buffer.Interleaved _ ->
+    Stats.Counters.incr st.counters "subblocks_interleaved"
+
+(* Install the subblock(s) the mapping implies. A linear mapping fills one
+   entry in [cluster]'s buffer; an interleaved mapping reads the whole L1
+   block and scatters one lane per cluster, round-robin from the accessing
+   cluster's lane. The prefetch hint sticks only to the accessing
+   cluster's entry so exactly one instruction drives the prefetch chain
+   (step 4's redundant-prefetch rule). *)
+let install st ~cluster ~gran ~prefetch ~ready_at mapping =
+  let buffers = buffers_exn st in
+  let g = st.geometry in
+  match mapping with
+  | L0_buffer.Linear _ as m ->
+    (match subblock_data st m with
+    | None -> ()
+    | Some data ->
+      count_mapping st m;
+      let ready_at = claim_port st ~cluster ~cycle:ready_at in
+      L0_buffer.insert buffers.(cluster) ~now:ready_at ~mapping:m ~gran ~prefetch
+        ~ready_at ~data)
+  | L0_buffer.Interleaved { block; gran = g_ilv; lane } ->
+    let n = g.Addr.clusters in
+    for l = 0 to n - 1 do
+      let m = L0_buffer.Interleaved { block; gran = g_ilv; lane = l } in
+      match subblock_data st m with
+      | None -> ()
+      | Some data ->
+        let target = (cluster + ((l - lane + n) mod n)) mod n in
+        let entry_prefetch = if l = lane then prefetch else Hint.No_prefetch in
+        count_mapping st m;
+        let ready_at = claim_port st ~cluster:target ~cycle:ready_at in
+        L0_buffer.insert buffers.(target) ~now:ready_at ~mapping:m ~gran
+          ~prefetch:entry_prefetch ~ready_at ~data
+    done
+
+let fill_latency st ~result:(ready, _served) mapping =
+  match mapping with
+  | L0_buffer.Linear _ -> ready
+  | L0_buffer.Interleaved _ -> ready + st.cfg.l1.interleave_penalty
+
+(* Launch a (possibly automatic) prefetch for [mapping]: squashed when the
+   target is already present or in flight, otherwise a bus trip starting
+   the cycle after the triggering access. *)
+let launch_prefetch st ~now ~cluster ~gran ~prefetch mapping =
+  let buffers = buffers_exn st in
+  let already =
+    match mapping with
+    | L0_buffer.Linear _ -> L0_buffer.has_mapping buffers.(cluster) mapping
+    | L0_buffer.Interleaved { lane; _ } ->
+      (* The triggering cluster holds [lane]; presence there means the
+         block distribution already happened. *)
+      ignore lane;
+      L0_buffer.has_mapping buffers.(cluster) mapping
+  in
+  let target_addr =
+    match mapping with
+    | L0_buffer.Linear { base } -> base
+    | L0_buffer.Interleaved { block; _ } -> block
+  in
+  if already then Stats.Counters.incr st.counters "prefetch_squashed"
+  else if not (in_range st ~addr:target_addr ~len:1) then
+    Stats.Counters.incr st.counters "prefetch_out_of_range"
+  else begin
+    Stats.Counters.incr st.counters "prefetch_issued";
+    let result = l1_trip st ~cluster ~start:(now + 1) ~addr:target_addr ~write:false in
+    let ready_at = fill_latency st ~result mapping in
+    install st ~cluster ~gran ~prefetch ~ready_at mapping
+  end
+
+(* After touching [entry], fire its POSITIVE/NEGATIVE hint if the access
+   reached the edge element. *)
+let maybe_autoprefetch st ~now ~cluster ~(entry : L0_buffer.entry) ~addr =
+  if st.cfg.l0.prefetch_distance = 0 then ()
+  else
+  match L0_buffer.edge_trigger entry ~geometry:st.geometry ~addr with
+  | None -> ()
+  | Some direction ->
+    let target =
+      L0_buffer.next_mapping ~geometry:st.geometry
+        ~distance:st.cfg.l0.prefetch_distance direction entry.L0_buffer.mapping
+    in
+    launch_prefetch st ~now ~cluster ~gran:entry.L0_buffer.gran
+      ~prefetch:entry.L0_buffer.prefetch target
+
+let mapping_for st ~cluster:_ ~addr ~width (hints : Hint.t) =
+  match hints.mapping with
+  | Hint.Linear_map -> L0_buffer.Linear { base = Addr.subblock_base st.geometry addr }
+  | Hint.Interleaved_map ->
+    L0_buffer.Interleaved
+      {
+        block = Addr.block_base st.geometry addr;
+        gran = width;
+        lane = Addr.lane_of st.geometry ~gran:width addr;
+      }
+
+let load_l0_hit st ~now ~cluster ~(entry : L0_buffer.entry) ~addr ~width =
+  Stats.Counters.incr st.counters "l0_load_hits";
+  let probe_start = claim_port st ~cluster ~cycle:now in
+  let probe_done = probe_start + st.cfg.l0.l0_latency in
+  let ready_at = max probe_done entry.L0_buffer.ready_at in
+  if ready_at > probe_done then
+    Stats.Counters.add st.counters "late_fill_wait" (ready_at - probe_done);
+  let value = L0_buffer.read_entry entry ~geometry:st.geometry ~addr ~width in
+  maybe_autoprefetch st ~now ~cluster ~entry ~addr;
+  { Hierarchy.ready_at; value; served = Hierarchy.L0 }
+
+let load_l1_path st ~now ~cluster ~start ~addr ~width ~allocate (hints : Hint.t) =
+  let result = l1_trip st ~cluster ~start ~addr ~write:false in
+  let value = Backing.read st.backing ~addr ~width in
+  let ready_at, served =
+    if allocate then begin
+      let mapping = mapping_for st ~cluster ~addr ~width hints in
+      let ready_at = fill_latency st ~result mapping in
+      install st ~cluster ~gran:width ~prefetch:hints.prefetch ~ready_at mapping;
+      (* The element just loaded may itself be the subblock edge. *)
+      (match st.buffers with
+      | Some buffers ->
+        (match L0_buffer.peek buffers.(cluster) ~addr ~width with
+        | Some entry -> maybe_autoprefetch st ~now ~cluster ~entry ~addr
+        | None -> ())
+      | None -> ());
+      (ready_at, snd result)
+    end
+    else result
+  in
+  { Hierarchy.ready_at; value; served }
+
+let load st ~now ~cluster ~addr ~width ~hints =
+  Stats.Counters.incr st.counters "loads";
+  match (hints : Hint.t).access with
+  | Hint.No_access -> load_l1_path st ~now ~cluster ~start:now ~addr ~width
+                        ~allocate:false hints
+  | Hint.Inval_only -> invalid_arg "Unified.load: INVAL_ONLY is a store hint"
+  | Hint.Seq_access -> begin
+    let buffers = buffers_exn st in
+    Stats.Counters.incr st.counters "l0_load_probes";
+    match L0_buffer.lookup buffers.(cluster) ~now ~addr ~width with
+    | Some entry -> load_l0_hit st ~now ~cluster ~entry ~addr ~width
+    | None ->
+      Stats.Counters.incr st.counters "l0_load_misses";
+      (* Miss request leaves on the bus the cycle after the L0 probe —
+         the cycle the scheduler guaranteed free. *)
+      load_l1_path st ~now ~cluster ~start:(now + st.cfg.l0.l0_latency) ~addr
+        ~width ~allocate:true hints
+  end
+  | Hint.Par_access -> begin
+    let buffers = buffers_exn st in
+    Stats.Counters.incr st.counters "l0_load_probes";
+    (* The parallel L1 probe consumes the bus regardless of the outcome. *)
+    match L0_buffer.lookup buffers.(cluster) ~now ~addr ~width with
+    | Some entry ->
+      let _discarded_reply = Bus.request st.bus ~cluster ~now in
+      load_l0_hit st ~now ~cluster ~entry ~addr ~width
+    | None ->
+      Stats.Counters.incr st.counters "l0_load_misses";
+      load_l1_path st ~now ~cluster ~start:now ~addr ~width ~allocate:true hints
+  end
+
+let store st ~now ~cluster ~addr ~width ~value ~hints =
+  Stats.Counters.incr st.counters "stores";
+  match (hints : Hint.t).access with
+  | Hint.Inval_only ->
+    (* PSR non-primary replica: local invalidation only, no L1 traffic. *)
+    let dropped =
+      match st.buffers with
+      | Some buffers -> L0_buffer.invalidate_addr buffers.(cluster) ~addr ~width
+      | None -> 0
+    in
+    Stats.Counters.add st.counters "psr_invalidations" dropped;
+    { Hierarchy.ready_at = now + 1; value = 0L; served = Hierarchy.L0 }
+  | Hint.Seq_access -> invalid_arg "Unified.store: stores cannot be SEQ_ACCESS"
+  | (Hint.No_access | Hint.Par_access) as access ->
+    Backing.write st.backing ~addr ~width value;
+    let _, served = l1_trip st ~cluster ~start:now ~addr ~write:true in
+    if access = Hint.Par_access then begin
+      match st.buffers with
+      | Some buffers ->
+        if L0_buffer.store_update buffers.(cluster) ~now ~addr ~width ~value then begin
+          ignore (claim_port st ~cluster ~cycle:now);
+          Stats.Counters.incr st.counters "l0_store_updates"
+        end
+      | None -> ()
+    end;
+    (* The machine does not wait for write-through completion. *)
+    { Hierarchy.ready_at = now + 1; value = 0L; served }
+
+let explicit_prefetch st ~now ~cluster ~addr ~width =
+  match st.buffers with
+  | None -> ()
+  | Some _ ->
+    if in_range st ~addr ~len:width then begin
+      Stats.Counters.incr st.counters "explicit_prefetches";
+      let mapping = L0_buffer.Linear { base = Addr.subblock_base st.geometry addr } in
+      launch_prefetch st ~now ~cluster ~gran:width ~prefetch:Hint.No_prefetch
+        mapping
+    end
+
+let invalidate st ~cluster =
+  match st.buffers with
+  | None -> ()
+  | Some buffers ->
+    Stats.Counters.incr st.counters "l0_invalidates";
+    L0_buffer.invalidate_all buffers.(cluster)
+
+let make_state (cfg : Config.t) ~backing ~with_l0 =
+  let geometry = Addr.geometry_of_config cfg in
+  let buffers =
+    if not with_l0 then None
+    else
+      match cfg.l0.capacity with
+      | Config.No_l0 -> None
+      | Config.Entries n ->
+        Some
+          (Array.init cfg.num_clusters (fun _ ->
+               L0_buffer.create ~geometry ~capacity:(Some n)))
+      | Config.Unbounded ->
+        Some
+          (Array.init cfg.num_clusters (fun _ ->
+               L0_buffer.create ~geometry ~capacity:None))
+  in
+  {
+    cfg;
+    geometry;
+    buffers;
+    l1 = L1_cache.of_config cfg;
+    bus = Bus.create ~clusters:cfg.num_clusters;
+    backing;
+    counters = Stats.Counters.create ();
+    ports = Hashtbl.create 4096;
+  }
+
+let hierarchy_of_state name st =
+  {
+    Hierarchy.name;
+    load = (fun ~now ~cluster ~addr ~width ~hints ->
+        load st ~now ~cluster ~addr ~width ~hints);
+    store = (fun ~now ~cluster ~addr ~width ~value ~hints ->
+        store st ~now ~cluster ~addr ~width ~value ~hints);
+    prefetch = (fun ~now ~cluster ~addr ~width ->
+        explicit_prefetch st ~now ~cluster ~addr ~width);
+    invalidate = (fun ~cluster -> invalidate st ~cluster);
+    counters = st.counters;
+    backing = st.backing;
+  }
+
+let create cfg ~backing =
+  hierarchy_of_state "unified+L0" (make_state cfg ~backing ~with_l0:true)
+
+let baseline cfg ~backing =
+  let st = make_state cfg ~backing ~with_l0:false in
+  let base_load ~now ~cluster ~addr ~width ~hints:_ =
+    Stats.Counters.incr st.counters "loads";
+    load_l1_path st ~now ~cluster ~start:now ~addr ~width ~allocate:false
+      Hint.default
+  in
+  let base_store ~now ~cluster ~addr ~width ~value ~hints:_ =
+    Stats.Counters.incr st.counters "stores";
+    Backing.write st.backing ~addr ~width value;
+    let _, served = l1_trip st ~cluster ~start:now ~addr ~write:true in
+    { Hierarchy.ready_at = now + 1; value = 0L; served }
+  in
+  {
+    Hierarchy.name = "unified-baseline";
+    load = base_load;
+    store = base_store;
+    prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
+    invalidate = (fun ~cluster:_ -> ());
+    counters = st.counters;
+    backing = st.backing;
+  }

@@ -1,0 +1,31 @@
+(** The proposed architecture: per-cluster flexible compiler-managed L0
+    buffers in front of a unified L1 data cache (paper Section 3).
+
+    Behaviour implemented here, following Sections 3.2–3.3:
+    - [NO_ACCESS] loads/stores bypass L0 and never allocate;
+    - [SEQ_ACCESS] loads probe L0 (1 cycle) and forward to L1 on a miss
+      in the following cycle — the cycle the scheduler proved free;
+    - [PAR_ACCESS] loads probe L0 and L1 together: an L0 hit costs the L0
+      latency and discards the L1 reply, a miss costs the L1 path;
+    - stores are write-through and never write-allocate: they update L1
+      (and the backing memory) always, and additionally patch/invalidate
+      local L0 copies when marked [PAR_ACCESS]; [INVAL_ONLY] instances
+      (PSR replicas) only invalidate local copies;
+    - allocating loads map the missing data linearly (one subblock to the
+      local buffer) or interleaved (the whole block is read, split at the
+      access granularity, distributed round-robin across clusters
+      starting at the accessing one, at +1 cycle shift/shuffle penalty);
+    - POSITIVE/NEGATIVE hints fire an automatic prefetch when the
+      last/first element of a mapped subblock is touched; prefetches are
+      non-blocking and deduplicated against present or in-flight entries;
+      an access arriving before its entry's fill completes stalls until
+      the fill is done (this is the low-II pathology of Section 5.2);
+    - each cluster owns a single bus to L1; unscheduled traffic queues. *)
+
+val create : Flexl0_arch.Config.t -> backing:Backing.t -> Hierarchy.t
+(** Raises [Invalid_argument] if the configuration has no L0 capacity and
+    a hint requests L0 service — use {!baseline} for the no-L0 machine. *)
+
+val baseline : Flexl0_arch.Config.t -> backing:Backing.t -> Hierarchy.t
+(** Unified L1 without L0 buffers: every access takes the L1 path
+    regardless of hints. The Figure 5/7 normalization reference. *)

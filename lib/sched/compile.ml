@@ -1,0 +1,18 @@
+open Flexl0_ir
+
+let estimated_compute (sch : Schedule.t) =
+  Schedule.compute_cycles sch ~trips:sch.loop.Loop.trip_count
+
+let compile_fixed cfg scheme ?coherence ~unroll loop =
+  Engine.schedule cfg scheme ?coherence (Unroll.apply ~factor:unroll loop)
+
+let compile (cfg : Flexl0_arch.Config.t) scheme ?coherence loop =
+  let rolled = compile_fixed cfg scheme ?coherence ~unroll:1 loop in
+  if loop.Loop.trip_count < cfg.num_clusters then rolled
+  else begin
+    let unrolled =
+      compile_fixed cfg scheme ?coherence ~unroll:cfg.num_clusters loop
+    in
+    if estimated_compute unrolled < estimated_compute rolled then unrolled
+    else rolled
+  end

@@ -1,0 +1,29 @@
+(** Top-level compilation entry: unroll choice (step 1) + scheduling.
+
+    The compiler tries unroll factors 1 and N (the cluster count) and
+    keeps the schedule with the lower statically-estimated compute time
+    for the loop's trip count — [(SC - 1 + trips/factor) * II] — exactly
+    the criterion of Section 4.3 step 1. The same heuristic runs for
+    every scheme so that cross-architecture comparisons are not biased by
+    unrolling (Section 5.1). *)
+
+open Flexl0_ir
+
+val compile :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  Loop.t ->
+  Schedule.t
+
+val compile_fixed :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  unroll:int ->
+  Loop.t ->
+  Schedule.t
+(** Force a specific unroll factor (used by tests and ablations). *)
+
+val estimated_compute : Schedule.t -> int
+(** Compute cycles for the schedule's own trip count. *)

@@ -1,0 +1,711 @@
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+module Hint = Flexl0_mem.Hint
+module Interleaved_mem = Flexl0_mem.Interleaved
+
+type coherence_mode = Auto | Force_nl0 | Force_1c | Force_psr
+
+type set_decision = Dec_nl0 | Dec_one_cluster of int option ref | Dec_psr
+
+type st = {
+  cfg : Config.t;
+  scheme : Scheme.t;
+  coherence : coherence_mode;
+  steering : bool;  (* recommended-cluster stream steering (step â) *)
+  loop : Loop.t;
+  ddg : Ddg.t;
+  deps : Memdep.t;
+  ii : int;
+  mrt : Mrt.t;
+  placed : Schedule.placement option array;
+  mutable comms : Schedule.comm list;
+  mutable replicas : Schedule.replica list;
+  free_l0 : int array;
+  lat_assign : bool array;  (* load planned with the L0 latency *)
+  forced_l1 : bool array;  (* NL0 decision pins the load to the L1 latency *)
+  recommended : int option array;
+  decisions : (int, set_decision) Hashtbl.t;
+  store_streams : (int * Memref.stride * int, int) Hashtbl.t;
+      (* MultiVLIW: write stream (array, stride, gran) -> owning cluster,
+         so MSI blocks do not ping-pong between writers *)
+  candidates : int list;  (* candidate load ids, program order *)
+  home : int option array;  (* static home cluster (interleaved baseline) *)
+  usage : int array;  (* placed instructions per cluster (balance) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Latency policy                                                      *)
+
+let distributed_remote_total (cfg : Config.t) =
+  cfg.distributed.remote_latency + cfg.distributed.local_latency
+
+(* Static home cluster of a strided access stream, when the stream's home
+   never changes across iterations (word-interleaved baseline). *)
+let static_home (cfg : Config.t) (loop : Loop.t) (ins : Instr.t) =
+  match ins.memref with
+  | None -> None
+  | Some r -> (
+    match r.Memref.stride with
+    | Memref.Unknown -> None
+    | Memref.Const s ->
+      let byte_stride = s * r.Memref.elem_bytes in
+      let period = Interleaved_mem.word_bytes * cfg.num_clusters in
+      if byte_stride mod period <> 0 then None
+      else
+        match List.assoc_opt r.Memref.array_id (Loop.layout loop) with
+        | None -> None
+        | Some base ->
+          Some
+            (Interleaved_mem.home_of ~clusters:cfg.num_clusters
+               (base + (r.Memref.offset * r.Memref.elem_bytes))))
+
+(* Latency the scheduler plans for an instruction that is not placed yet. *)
+let planned_latency st i =
+  let ins = Ddg.instr st.ddg i in
+  match ins.Instr.opcode with
+  | Opcode.Load _ -> (
+    match st.scheme with
+    | Scheme.Base_unified -> st.cfg.l1.l1_latency
+    | Scheme.Multivliw -> st.cfg.distributed.local_latency
+    | Scheme.Interleaved_naive -> distributed_remote_total st.cfg
+    | Scheme.Interleaved_locality -> (
+      match st.home.(i) with
+      | Some _ -> st.cfg.distributed.local_latency
+      | None -> distributed_remote_total st.cfg)
+    | Scheme.L0 _ ->
+      if st.lat_assign.(i) && not st.forced_l1.(i) then st.cfg.l0.l0_latency
+      else st.cfg.l1.l1_latency)
+  | op -> Opcode.base_latency op
+
+let cur_lat st i =
+  match st.placed.(i) with
+  | Some p -> p.Schedule.assumed_latency
+  | None -> planned_latency st i
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 step 2/➋/➓: slack-driven L0 latency assignment             *)
+
+let total_free st = Array.fold_left ( + ) 0 st.free_l0
+
+let selective st =
+  match st.scheme with
+  | Scheme.L0 { selective } -> selective
+  | _ -> true
+
+let unbounded_l0 st =
+  match st.cfg.l0.capacity with
+  | Config.Unbounded -> true
+  | Config.No_l0 | Config.Entries _ -> false
+
+(* Re-assign L0/L1 latencies to unplaced candidate loads: the [budget]
+   most critical (smallest slack) get the L0 latency. *)
+let reassign_latencies st =
+  if Scheme.uses_l0_buffers st.scheme then begin
+    let budget =
+      if not (selective st) || unbounded_l0 st then max_int else total_free st
+    in
+    let unplaced =
+      List.filter
+        (fun i -> st.placed.(i) = None && not st.forced_l1.(i))
+        st.candidates
+    in
+    (* Slack under the current latency plan; infeasibility here just means
+       the criticality signal is unavailable — order by id instead. *)
+    let slack_of =
+      match Ddg.compute_times st.ddg ~ii:st.ii ~lat:(cur_lat st) with
+      | Some times -> fun i -> Ddg.slack times i
+      | None -> fun _ -> 0
+    in
+    let ranked =
+      List.sort
+        (fun a b -> compare (slack_of a, a) (slack_of b, b))
+        unplaced
+    in
+    List.iteri (fun rank i -> st.lat_assign.(i) <- rank < budget) ranked
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 step ➍: coherence decision per memory-dependent set         *)
+
+let decide_set st (s : Memdep.set) =
+  match Hashtbl.find_opt st.decisions s.Memdep.set_id with
+  | Some d -> d
+  | None ->
+    let d =
+      match st.coherence with
+      | Force_nl0 -> Dec_nl0
+      | Force_1c -> Dec_one_cluster (ref None)
+      | Force_psr -> Dec_psr
+      | Auto ->
+        let has_l0_load =
+          List.exists
+            (fun i -> st.lat_assign.(i) && not st.forced_l1.(i))
+            s.Memdep.loads
+        in
+        if has_l0_load && (total_free st > 0 || not (selective st) || unbounded_l0 st)
+        then Dec_one_cluster (ref None)
+        else Dec_nl0
+    in
+    (match d with
+    | Dec_nl0 ->
+      List.iter
+        (fun i ->
+          st.forced_l1.(i) <- true;
+          st.lat_assign.(i) <- false)
+        s.Memdep.loads
+    | Dec_one_cluster _ | Dec_psr -> ());
+    Hashtbl.replace st.decisions s.Memdep.set_id d;
+    d
+
+let coherence_decision st i =
+  match Memdep.set_of st.deps i with
+  | Some s when Memdep.needs_coherence s -> Some (s, decide_set st s)
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Per-cluster latency and legality of instruction [i]                  *)
+
+(* [None]: this cluster is not allowed; [Some (latency, uses_l0)]. *)
+let options_in_cluster st i cluster =
+  let ins = Ddg.instr st.ddg i in
+  let l0_ok_capacity cluster =
+    (not (selective st)) || unbounded_l0 st || st.free_l0.(cluster) > 0
+  in
+  match ins.Instr.opcode with
+  | Opcode.Load _ when st.scheme = Scheme.Interleaved_locality ->
+    let latency =
+      match st.home.(i) with
+      | Some h when h = cluster -> st.cfg.distributed.local_latency
+      | Some _ | None -> distributed_remote_total st.cfg
+    in
+    Some (latency, false)
+  | Opcode.Load _ when Scheme.uses_l0_buffers st.scheme -> (
+    let want_l0 = st.lat_assign.(i) && not st.forced_l1.(i) in
+    let l1 = Some (st.cfg.l1.l1_latency, false) in
+    if not want_l0 then l1
+    else
+      match coherence_decision st i with
+      | None | Some (_, Dec_psr) ->
+        if l0_ok_capacity cluster then Some (st.cfg.l0.l0_latency, true) else l1
+      | Some (_, Dec_nl0) -> l1
+      | Some (_, Dec_one_cluster chosen) -> (
+        match !chosen with
+        | Some c0 when c0 <> cluster -> l1
+        | Some _ | None ->
+          if l0_ok_capacity cluster then Some (st.cfg.l0.l0_latency, true) else l1))
+  | Opcode.Store _ when st.scheme = Scheme.Multivliw -> (
+    match ins.Instr.memref with
+    | Some r -> (
+      match Hashtbl.find_opt st.store_streams
+              (r.Memref.array_id, r.Memref.stride, r.Memref.elem_bytes)
+      with
+      | Some owner when owner <> cluster -> None
+      | Some _ | None -> Some (1, false))
+    | None -> Some (1, false))
+  | Opcode.Store _ when Scheme.uses_l0_buffers st.scheme -> (
+    match coherence_decision st i with
+    | Some (_, Dec_one_cluster chosen) -> (
+      match !chosen with
+      | Some c0 when c0 <> cluster -> None  (* 1C: stores stay in the set's cluster *)
+      | Some _ | None -> Some (1, false))
+    | Some (_, (Dec_nl0 | Dec_psr)) | None -> Some (1, false))
+  | op -> Some ((match op with Opcode.Load _ -> planned_latency st i | _ -> Opcode.base_latency op), false)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster ordering (step ➏)                                           *)
+
+let comm_cost st i cluster =
+  let cost = ref 0 in
+  let count (e : Ddg.edge) other =
+    if e.kind = Ddg.Reg_flow then
+      match st.placed.(other) with
+      | Some p when p.Schedule.cluster <> cluster -> incr cost
+      | Some _ | None -> ()
+  in
+  List.iter (fun (e : Ddg.edge) -> count e e.src) (Ddg.preds st.ddg i);
+  List.iter (fun (e : Ddg.edge) -> count e e.dst) (Ddg.succs st.ddg i);
+  !cost
+
+let ordered_clusters st i =
+  let n = st.cfg.num_clusters in
+  let clusters = List.init n (fun c -> c) in
+  let ins = Ddg.instr st.ddg i in
+  let score c =
+    match options_in_cluster st i c with
+    | None -> None
+    | Some (latency, uses_l0) ->
+      let rec_bonus = match st.recommended.(i) with Some r when r = c -> 0 | _ -> 1 in
+      let l0_bonus = if uses_l0 then 0 else 1 in
+      let home_bonus =
+        match (st.scheme, st.home.(i)) with
+        | Scheme.Interleaved_locality, Some h when Instr.is_memory_access ins ->
+          if h = c then 0 else 1
+        | _ -> 0
+      in
+      Some ((rec_bonus, l0_bonus, home_bonus, comm_cost st i c, st.usage.(c), c),
+            (latency, uses_l0))
+  in
+  List.filter_map (fun c -> Option.map (fun (key, opt) -> (key, c, opt)) (score c))
+    clusters
+  |> List.sort compare
+  |> List.map (fun (_key, c, opt) -> (c, opt))
+
+(* ------------------------------------------------------------------ *)
+(* Window computation and comm planning                                 *)
+
+let comm_for st producer =
+  List.find_opt (fun (c : Schedule.comm) -> c.producer = producer) st.comms
+
+(* Earliest start in [cluster] implied by the placed predecessors.
+   Optimistic about comms that do not exist yet (they are verified when
+   the cycle is actually tried). *)
+let earliest_start st i cluster =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match st.placed.(e.src) with
+      | None -> acc
+      | Some p ->
+        let lat = Ddg.edge_latency ~lat:(cur_lat st) e in
+        let avail =
+          if e.kind <> Ddg.Reg_flow || p.Schedule.cluster = cluster then
+            p.Schedule.start + lat
+          else
+            match comm_for st e.src with
+            | Some c -> c.Schedule.comm_cycle + st.cfg.comm_latency
+            | None -> p.Schedule.start + lat + st.cfg.comm_latency
+        in
+        max acc (avail - (st.ii * e.distance)))
+    0
+    (Ddg.preds st.ddg i)
+
+(* Latest start implied by the placed successors; [None] when there are
+   no placed successors. *)
+let latest_start st i cluster ~latency =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match st.placed.(e.dst) with
+      | None -> acc
+      | Some s ->
+        let lat =
+          match e.kind with Ddg.Reg_flow -> latency | _ -> 1
+        in
+        let extra =
+          if e.kind = Ddg.Reg_flow && s.Schedule.cluster <> cluster then
+            st.cfg.comm_latency
+          else 0
+        in
+        let bound = s.Schedule.start + (st.ii * e.distance) - lat - extra in
+        Some (match acc with None -> bound | Some b -> min b bound))
+    None
+    (Ddg.succs st.ddg i)
+
+(* Self-recurrences must fit within their distance at this II. *)
+let self_edges_ok st i ~latency =
+  List.for_all
+    (fun (e : Ddg.edge) ->
+      e.dst <> i
+      ||
+      let lat = match e.kind with Ddg.Reg_flow -> latency | _ -> 1 in
+      lat <= st.ii * e.distance)
+    (Ddg.succs st.ddg i)
+
+(* Bus availability including comms tentatively planned in this attempt. *)
+let bus_ok st tentative cycle =
+  let slot c = ((c mod st.ii) + st.ii) mod st.ii in
+  let pending =
+    List.length (List.filter (fun (_, b) -> slot b = slot cycle) tentative)
+  in
+  Mrt.bus_free st.mrt ~cycle && pending = 0
+(* A single new comm per slot per attempt keeps the accounting simple and
+   is conservative w.r.t. the real capacity. *)
+
+let find_bus_slot st tentative ~from_ ~until =
+  let rec go b =
+    if b > until then None
+    else if bus_ok st tentative b then Some b
+    else go (b + 1)
+  in
+  if from_ > until then None else go (max 0 from_)
+
+(* Plan the broadcast comms required to place [i] at [cycle] in
+   [cluster]: one per cross-cluster placed producer without an existing
+   comm, and one for [i] itself if it feeds placed consumers elsewhere. *)
+let plan_comms st i cluster cycle ~latency =
+  let exception Infeasible in
+  try
+    let tentative = ref [] in
+    (* Producer side. *)
+    let budget_by_producer = Hashtbl.create 4 in
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.kind = Ddg.Reg_flow && e.src <> i then
+          match st.placed.(e.src) with
+          | Some p when p.Schedule.cluster <> cluster ->
+            let budget = cycle + (st.ii * e.distance) in
+            let prev =
+              match Hashtbl.find_opt budget_by_producer e.src with
+              | Some b -> min b budget
+              | None -> budget
+            in
+            Hashtbl.replace budget_by_producer e.src prev
+          | Some _ | None -> ())
+      (Ddg.preds st.ddg i);
+    Hashtbl.iter
+      (fun producer budget ->
+        let p = Option.get st.placed.(producer) in
+        match comm_for st producer with
+        | Some c ->
+          if c.Schedule.comm_cycle + st.cfg.comm_latency > budget then
+            raise Infeasible
+        | None -> (
+          let ready = p.Schedule.start + p.Schedule.assumed_latency in
+          match
+            find_bus_slot st !tentative ~from_:ready
+              ~until:(budget - st.cfg.comm_latency)
+          with
+          | Some b -> tentative := (producer, b) :: !tentative
+          | None -> raise Infeasible))
+      budget_by_producer;
+    (* Consumer side: one broadcast for [i] covering all placed
+       cross-cluster consumers. *)
+    let budgets =
+      List.filter_map
+        (fun (e : Ddg.edge) ->
+          if e.kind <> Ddg.Reg_flow || e.dst = i then None
+          else
+            match st.placed.(e.dst) with
+            | Some s when s.Schedule.cluster <> cluster ->
+              Some (s.Schedule.start + (st.ii * e.distance) - st.cfg.comm_latency)
+            | Some _ | None -> None)
+        (Ddg.succs st.ddg i)
+    in
+    (match budgets with
+    | [] -> ()
+    | _ -> (
+      let until = List.fold_left min max_int budgets in
+      match find_bus_slot st !tentative ~from_:(cycle + latency) ~until with
+      | Some b -> tentative := (i, b) :: !tentative
+      | None -> raise Infeasible));
+    Some !tentative
+  with Infeasible -> None
+
+(* ------------------------------------------------------------------ *)
+(* PSR replica insertion                                                *)
+
+let insert_psr_replicas st i cluster cycle =
+  let exception Infeasible in
+  try
+    let taken = ref [] in
+    let replicas =
+      List.filter_map
+        (fun c ->
+          if c = cluster then None
+          else begin
+            (* The replicated address reaches remote clusters one bus
+               transfer after the primary store issues. *)
+            let rec find t =
+              if t > cycle + st.cfg.comm_latency + st.ii then raise Infeasible
+              else if
+                Mrt.fu_free st.mrt ~cluster:c ~fu:Opcode.Mem_fu ~cycle:t
+                && not (List.mem (c, ((t mod st.ii) + st.ii) mod st.ii) !taken)
+              then t
+              else find (t + 1)
+            in
+            let t = find (cycle + st.cfg.comm_latency) in
+            taken := (c, ((t mod st.ii) + st.ii) mod st.ii) :: !taken;
+            Some { Schedule.for_store = i; rep_cluster = c; rep_start = t }
+          end)
+        (List.init st.cfg.num_clusters (fun c -> c))
+    in
+    (* Address broadcast bus slot. *)
+    match find_bus_slot st [] ~from_:(max 0 (cycle - st.cfg.comm_latency))
+            ~until:(cycle + st.ii)
+    with
+    | None -> None
+    | Some b -> Some (replicas, b)
+  with Infeasible -> None
+
+(* ------------------------------------------------------------------ *)
+(* Placing one instruction                                              *)
+
+let commit st i cluster cycle ~latency ~uses_l0 ~new_comms =
+  let ins = Ddg.instr st.ddg i in
+  Mrt.reserve_fu st.mrt ~cluster ~fu:(Opcode.fu_class ins.Instr.opcode) ~cycle;
+  List.iter
+    (fun (producer, b) ->
+      Mrt.reserve_bus st.mrt ~cycle:b;
+      st.comms <- { Schedule.producer; comm_cycle = b } :: st.comms)
+    new_comms;
+  st.placed.(i) <-
+    Some
+      {
+        Schedule.cluster;
+        start = cycle;
+        assumed_latency = latency;
+        uses_l0;
+        hints = Hint.default;
+      };
+  st.usage.(cluster) <- st.usage.(cluster) + 1
+
+let try_cycles st i cluster ~latency ~uses_l0 =
+  if not (self_edges_ok st i ~latency) then false
+  else begin
+    let ins = Ddg.instr st.ddg i in
+    let fu = Opcode.fu_class ins.Instr.opcode in
+    let est = earliest_start st i cluster in
+    let lst = latest_start st i cluster ~latency in
+    let candidates =
+      match lst with
+      | Some l when l < est -> []
+      | Some l ->
+        (* Both directions constrained: narrow window upward. *)
+        List.init (min st.ii (l - est + 1)) (fun k -> est + k)
+      | None -> List.init st.ii (fun k -> est + k)
+    in
+    let rec try_list = function
+      | [] -> false
+      | t :: rest ->
+        if t < 0 then try_list rest
+        else if not (Mrt.fu_free st.mrt ~cluster ~fu ~cycle:t) then try_list rest
+        else begin
+          match plan_comms st i cluster t ~latency with
+          | None -> try_list rest
+          | Some new_comms ->
+            if
+              Instr.is_store ins
+              && (match coherence_decision st i with
+                 | Some (_, Dec_psr) -> true
+                 | _ -> false)
+            then begin
+              match insert_psr_replicas st i cluster t with
+              | None -> try_list rest
+              | Some (replicas, bus_cycle) ->
+                commit st i cluster t ~latency ~uses_l0 ~new_comms;
+                List.iter
+                  (fun (r : Schedule.replica) ->
+                    Mrt.reserve_fu st.mrt ~cluster:r.rep_cluster
+                      ~fu:Opcode.Mem_fu ~cycle:r.rep_start)
+                  replicas;
+                Mrt.reserve_bus st.mrt ~cycle:bus_cycle;
+                st.comms <-
+                  { Schedule.producer = i; comm_cycle = bus_cycle } :: st.comms;
+                st.replicas <- replicas @ st.replicas;
+                true
+            end
+            else begin
+              commit st i cluster t ~latency ~uses_l0 ~new_comms;
+              true
+            end
+        end
+    in
+    try_list candidates
+  end
+
+(* Figure 4 step ➑: after placing a load with the L0 latency, steer its
+   stream siblings towards the rotation the interleaved mapping needs and
+   pin the stores of its coherence set to its cluster. *)
+let mark_related st i cluster ~uses_l0 =
+  let ins = Ddg.instr st.ddg i in
+  if Instr.is_load ins && uses_l0 && st.steering then begin
+    (match ins.Instr.memref with
+    | Some r -> (
+      match r.Memref.stride with
+      | Memref.Const s ->
+        (* Siblings of an unrolled +-N stream rotate across clusters so
+           the interleaved mapping puts each lane where its consumer is;
+           any other same-stride siblings share subblocks and belong in
+           the same cluster. Downward streams start from the top of the
+           array, so their lanes rotate the other way. *)
+        let n = st.cfg.num_clusters in
+        let rotating = abs s = n in
+        let sign = if s < 0 then -1 else 1 in
+        Array.iteri
+          (fun j (other : Instr.t) ->
+            if j <> i && st.placed.(j) = None && Instr.is_load other then
+              match other.Instr.memref with
+              | Some r' when
+                  r'.Memref.array_id = r.Memref.array_id
+                  && r'.Memref.stride = r.Memref.stride
+                  && r'.Memref.elem_bytes = r.Memref.elem_bytes ->
+                if rotating then begin
+                  let d = sign * (r'.Memref.offset - r.Memref.offset) in
+                  let rot = ((d mod n) + n) mod n in
+                  st.recommended.(j) <- Some ((cluster + rot) mod n)
+                end
+                else st.recommended.(j) <- Some cluster
+              | Some _ | None -> ())
+          (Ddg.instrs st.ddg)
+      | Memref.Unknown -> ())
+    | None -> ())
+  end;
+  if Instr.is_load ins && uses_l0 then begin
+    match coherence_decision st i with
+    | Some (s, Dec_one_cluster chosen) ->
+      if !chosen = None then chosen := Some cluster;
+      List.iter
+        (fun store -> if st.placed.(store) = None then st.recommended.(store) <- !chosen)
+        s.Memdep.stores
+    | _ -> ()
+  end;
+  if Instr.is_store ins then begin
+    (match coherence_decision st i with
+    | Some (_, Dec_one_cluster chosen) when !chosen = None -> chosen := Some cluster
+    | _ -> ());
+    if st.scheme = Scheme.Multivliw then
+      match ins.Instr.memref with
+      | Some r ->
+        let key = (r.Memref.array_id, r.Memref.stride, r.Memref.elem_bytes) in
+        if not (Hashtbl.mem st.store_streams key) then
+          Hashtbl.replace st.store_streams key cluster
+      | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* try_schedule: Figure 4                                               *)
+
+let make_state cfg scheme coherence ~steering loop ~ii =
+  let ddg = Loop.ddg loop in
+  let n = Ddg.node_count ddg in
+  let entries_per_cluster =
+    match cfg.Config.l0.capacity with
+    | Config.Entries e -> e
+    | Config.Unbounded -> max_int / 2
+    | Config.No_l0 -> 0
+  in
+  let candidates =
+    List.filter_map
+      (fun i ->
+        let ins = Ddg.instr ddg i in
+        (* Accesses wider than a subblock can never be served by L0. *)
+        let fits =
+          match ins.Instr.memref with
+          | Some r -> r.Memref.elem_bytes <= cfg.Config.l0.subblock_bytes
+          | None -> false
+        in
+        if Instr.is_load ins && Instr.is_candidate ins && fits then Some i
+        else None)
+      (List.init n (fun i -> i))
+  in
+  let st =
+    {
+      cfg;
+      scheme;
+      coherence;
+      steering;
+      loop;
+      ddg;
+      deps = Memdep.compute ddg;
+      ii;
+      mrt = Mrt.create cfg ~ii;
+      placed = Array.make n None;
+      comms = [];
+      replicas = [];
+      free_l0 = Array.make cfg.num_clusters entries_per_cluster;
+      lat_assign = Array.make n false;
+      forced_l1 = Array.make n false;
+      recommended = Array.make n None;
+      decisions = Hashtbl.create 8;
+      store_streams = Hashtbl.create 8;
+      candidates;
+      home = Array.init n (fun i -> static_home cfg loop (Ddg.instr ddg i));
+      usage = Array.make cfg.num_clusters 0;
+    }
+  in
+  reassign_latencies st;
+  st
+
+let debug = Sys.getenv_opt "FLEXL0_DEBUG" <> None
+
+let try_schedule cfg scheme ?(coherence = Auto) ?(steering = true) loop ~ii =
+  let st = make_state cfg scheme coherence ~steering loop ~ii in
+  let order = Sms.order st.ddg ~lat:(cur_lat st) ~ii in
+  let place_one i =
+    let clusters = ordered_clusters st i in
+    if debug then
+      Printf.eprintf "place i%d: %d cluster options\n%!" i (List.length clusters);
+    let rec go = function
+      | [] ->
+        if debug then Printf.eprintf "  i%d: FAILED in all clusters\n%!" i;
+        false
+      | (cluster, (latency, uses_l0)) :: rest ->
+        if try_cycles st i cluster ~latency ~uses_l0 then begin
+          mark_related st i cluster ~uses_l0;
+          if uses_l0 && selective st && not (unbounded_l0 st) then
+            st.free_l0.(cluster) <- st.free_l0.(cluster) - 1;
+          reassign_latencies st;
+          true
+        end
+        else go rest
+    in
+    go clusters
+  in
+  if List.for_all place_one order then
+    Some
+      {
+        Schedule.loop;
+        ddg = st.ddg;
+        scheme;
+        ii;
+        placements = Array.map Option.get st.placed;
+        comms = List.rev st.comms;
+        prefetches = [];
+        replicas = List.rev st.replicas;
+      }
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Register pressure estimate                                           *)
+
+let max_live (cfg : Config.t) (sch : Schedule.t) =
+  let pressure = Array.make cfg.num_clusters 0 in
+  let n = Ddg.node_count sch.ddg in
+  for i = 0 to n - 1 do
+    let ins = Ddg.instr sch.ddg i in
+    if ins.Instr.dst <> None then begin
+      let p = sch.placements.(i) in
+      let last_use = ref (p.Schedule.start + p.Schedule.assumed_latency) in
+      let consumer_clusters = ref [] in
+      List.iter
+        (fun (e : Ddg.edge) ->
+          if e.kind = Ddg.Reg_flow then begin
+            let s = sch.placements.(e.dst) in
+            last_use := max !last_use (s.Schedule.start + (sch.ii * e.distance));
+            if s.Schedule.cluster <> p.Schedule.cluster then
+              consumer_clusters := s.Schedule.cluster :: !consumer_clusters
+          end)
+        (Ddg.succs sch.ddg i);
+      let lifetime = max 1 (!last_use - p.Schedule.start) in
+      let copies = (lifetime + sch.ii - 1) / sch.ii in
+      pressure.(p.Schedule.cluster) <- pressure.(p.Schedule.cluster) + copies;
+      List.iter
+        (fun c -> pressure.(c) <- pressure.(c) + 1)
+        (List.sort_uniq compare !consumer_clusters)
+    end
+  done;
+  pressure
+
+(* ------------------------------------------------------------------ *)
+(* Full search                                                          *)
+
+let initial_mii cfg scheme coherence loop =
+  let st = make_state cfg scheme coherence ~steering:true loop ~ii:1 in
+  Mii.mii cfg st.ddg ~lat:(cur_lat st)
+
+let schedule cfg scheme ?(coherence = Auto) ?(steering = true) ?(max_ii = 256) loop =
+  let mii = initial_mii cfg scheme coherence loop in
+  let rec search ii =
+    if ii > max_ii then
+      failwith
+        (Printf.sprintf "Engine.schedule: no schedule for %s below II=%d"
+           loop.Loop.name max_ii)
+    else
+      match try_schedule cfg scheme ~coherence ~steering loop ~ii with
+      | None -> search (ii + 1)
+      | Some sch ->
+        let pressure = max_live cfg sch in
+        if Array.exists (fun p -> p > cfg.regs_per_cluster) pressure then
+          search (ii + 1)
+        else sch
+  in
+  let sch = search mii in
+  if Scheme.uses_l0_buffers scheme then Hint_assign.apply cfg sch else sch

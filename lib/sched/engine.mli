@@ -1,0 +1,58 @@
+(** The modulo-scheduling engine (paper Section 4.2–4.3, Figure 4).
+
+    One engine serves every scheme. The shared machinery is the BASE
+    algorithm: SMS ordering, iterative II search, per-instruction cluster
+    assignment minimizing inter-cluster communications and balancing
+    workload, with explicit broadcast communications reserved on the
+    register buses. Under [Scheme.L0 _] the engine additionally runs the
+    paper's modifications: slack-driven assignment of the L0 latency to
+    the most critical strided loads without exceeding the per-cluster
+    buffer capacity ([num_free_L0_entries]), per-memory-dependent-set
+    coherence decisions (1C when a set still has an L0-latency load and
+    free entries, NL0 otherwise, optionally PSR), recommended-cluster
+    marking of stream-sibling loads, and latency re-assignment as slack
+    evolves with the partial schedule. *)
+
+open Flexl0_ir
+
+(** How coherence sets (loads+stores) are handled under [Scheme.L0]. *)
+type coherence_mode =
+  | Auto  (** the paper's choice: 1C while profitable, NL0 otherwise *)
+  | Force_nl0
+  | Force_1c
+  | Force_psr  (** partial store replication (ablation; Section 4.1) *)
+
+val try_schedule :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:coherence_mode ->
+  ?steering:bool ->
+  Loop.t ->
+  ii:int ->
+  Schedule.t option
+(** One attempt at a given II; [None] when some instruction cannot be
+    placed (the caller increases the II). Hints are *not* assigned here —
+    see {!Hint_assign} and {!Prefetch_insert}. *)
+
+val schedule :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:coherence_mode ->
+  ?steering:bool ->
+  ?max_ii:int ->
+  Loop.t ->
+  Schedule.t
+(** Full II search from MII upwards, including the register-pressure
+    check (the II is bumped when the estimated MaxLive exceeds the
+    cluster register file). Under [Scheme.L0], runs hint assignment and
+    explicit-prefetch insertion before returning. [steering] (default
+    true) enables the recommended-cluster marking of stream-sibling
+    loads (step 8 of Figure 4); turning it off is an ablation that
+    removes the rotation the interleaved mapping depends on (coherence
+    pinning stays on regardless). Raises [Failure] if no schedule is
+    found below [max_ii] (default 256). *)
+
+val max_live : Flexl0_arch.Config.t -> Schedule.t -> int array
+(** Estimated register pressure per cluster: every value contributes
+    [ceil(lifetime / II)] simultaneous live copies to its producer's
+    cluster, plus one register per cluster that receives it over a bus. *)

@@ -1,0 +1,215 @@
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+module Hint = Flexl0_mem.Hint
+
+type load_info = {
+  id : int;
+  memref : Memref.t;
+  cluster : int;
+  start : int;
+}
+
+let l0_loads (sch : Schedule.t) =
+  Array.to_list (Ddg.instrs sch.ddg)
+  |> List.filter_map (fun (ins : Instr.t) ->
+         let p = sch.placements.(ins.Instr.id) in
+         if Instr.is_load ins && p.Schedule.uses_l0 then
+           match ins.Instr.memref with
+           | Some memref ->
+             Some
+               {
+                 id = ins.Instr.id;
+                 memref;
+                 cluster = p.Schedule.cluster;
+                 start = p.Schedule.start;
+               }
+           | None -> None
+         else None)
+
+(* Interleaved groups: same array / stride / granularity, stride = +-N
+   elements per body iteration, at least two members, clusters following
+   the lane rotation. Returns the member ids of every valid group. *)
+let interleaved_groups (cfg : Config.t) loads =
+  let n = cfg.num_clusters in
+  let key l = (l.memref.Memref.array_id, l.memref.Memref.stride, l.memref.Memref.elem_bytes) in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      let k = key l in
+      Hashtbl.replace groups k
+        (l :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    loads;
+  Hashtbl.fold
+    (fun (_arr, stride, _gran) members acc ->
+      match stride with
+      | Memref.Const s when abs s = n && List.length members >= 2 ->
+        let sign = if s < 0 then -1 else 1 in
+        let rotation_ok =
+          match members with
+          | [] -> false
+          | first :: rest ->
+            List.for_all
+              (fun m ->
+                let d = sign * (m.memref.Memref.offset - first.memref.Memref.offset) in
+                let rot = ((d mod n) + n) mod n in
+                m.cluster = (first.cluster + rot) mod n)
+              rest
+        in
+        if rotation_ok then members :: acc else acc
+      | _ -> acc)
+    groups []
+
+(* Mutable occupancy of memory-unit slots (cluster, cycle mod ii). *)
+module Occupancy = struct
+  type t = { ii : int; table : (int * int, int) Hashtbl.t }
+
+  let slot t c = ((c mod t.ii) + t.ii) mod t.ii
+
+  let of_schedule (sch : Schedule.t) =
+    let t = { ii = sch.ii; table = Hashtbl.create 32 } in
+    let charge cluster cycle =
+      let key = (cluster, slot t cycle) in
+      Hashtbl.replace t.table key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.table key))
+    in
+    Array.iteri
+      (fun i p ->
+        let ins = Ddg.instr sch.ddg i in
+        if Opcode.fu_class ins.Instr.opcode = Opcode.Mem_fu then
+          charge p.Schedule.cluster p.Schedule.start)
+      sch.placements;
+    List.iter
+      (fun (r : Schedule.replica) -> charge r.rep_cluster r.rep_start)
+      sch.replicas;
+    t
+
+  let used t ~cluster ~cycle = Hashtbl.mem t.table (cluster, slot t cycle)
+
+  let charge t ~cluster ~cycle =
+    let key = (cluster, slot t cycle) in
+    Hashtbl.replace t.table key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.table key))
+end
+
+let apply (cfg : Config.t) (sch : Schedule.t) =
+  let loads = l0_loads sch in
+  let groups = interleaved_groups cfg loads in
+  let in_group = Hashtbl.create 8 in
+  List.iter
+    (fun members ->
+      let leader =
+        List.fold_left
+          (fun acc m -> if m.start < acc.start then m else acc)
+          (List.hd members) members
+      in
+      List.iter (fun m -> Hashtbl.replace in_group m.id (leader.id = m.id)) members)
+    groups;
+  (* Same-cluster linear streams share subblocks: only the first
+     instruction of each (array, stride, gran, cluster) stream drives the
+     prefetch chain. *)
+  let stream_leader = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem in_group l.id) then begin
+        let k =
+          (l.memref.Memref.array_id, l.memref.Memref.stride,
+           l.memref.Memref.elem_bytes, l.cluster)
+        in
+        match Hashtbl.find_opt stream_leader k with
+        | Some other when other.start <= l.start -> ()
+        | _ -> Hashtbl.replace stream_leader k l
+      end)
+    loads;
+  let is_stream_leader l =
+    let k =
+      (l.memref.Memref.array_id, l.memref.Memref.stride, l.memref.Memref.elem_bytes,
+       l.cluster)
+    in
+    match Hashtbl.find_opt stream_leader k with
+    | Some leader -> leader.id = l.id
+    | None -> false
+  in
+  let occupancy = Occupancy.of_schedule sch in
+  (* Step 5: explicit prefetches for L0 loads whose stride the hints do
+     not cover. *)
+  let needs_explicit l =
+    match Memref.stride_class l.memref with
+    | `Good -> false
+    | `Unstrided -> false  (* never a candidate in the first place *)
+    | `Other -> not (Hashtbl.mem in_group l.id)
+  in
+  let prefetches = ref [] in
+  List.iter
+    (fun l ->
+      if needs_explicit l then begin
+        let rec find k =
+          if k >= sch.ii then None
+          else if not (Occupancy.used occupancy ~cluster:l.cluster ~cycle:k) then
+            Some k
+          else find (k + 1)
+        in
+        match find 0 with
+        | None -> ()  (* no free slot: the load keeps stalling, like the paper *)
+        | Some cycle ->
+          Occupancy.charge occupancy ~cluster:l.cluster ~cycle;
+          (* Lead sized for the common L1-hit fill; chasing the L2 miss
+             latency instead would keep so many subblocks in flight that
+             small buffers thrash. *)
+          let fill = cfg.l1.l1_latency + 1 in
+          let lead = min 3 (max 1 ((fill + sch.ii - 1) / sch.ii)) in
+          prefetches :=
+            {
+              Schedule.for_instr = l.id;
+              pf_cluster = l.cluster;
+              pf_start = cycle;
+              lead_iterations = lead;
+            }
+            :: !prefetches
+      end)
+    loads;
+  (* Coherence: stores whose set contains an L0-using load must refresh
+     the local copy. *)
+  let deps = Memdep.compute sch.ddg in
+  let store_updates_l0 i =
+    match Memdep.set_of deps i with
+    | Some s ->
+      List.exists (fun load -> sch.placements.(load).Schedule.uses_l0) s.Memdep.loads
+    | None -> false
+  in
+  let hint_for i =
+    let ins = Ddg.instr sch.ddg i in
+    let p = sch.placements.(i) in
+    if Instr.is_load ins && p.Schedule.uses_l0 then begin
+      let l = List.find (fun l -> l.id = i) loads in
+      let mapping =
+        if Hashtbl.mem in_group i then Hint.Interleaved_map else Hint.Linear_map
+      in
+      let direction s = if s > 0 then Hint.Positive else Hint.Negative in
+      let prefetch =
+        match (l.memref.Memref.stride, Hashtbl.find_opt in_group i) with
+        | Memref.Const 0, _ -> Hint.No_prefetch
+        | Memref.Const s, Some is_leader ->
+          if is_leader then direction s else Hint.No_prefetch
+        | Memref.Const s, None when abs s = 1 ->
+          if is_stream_leader l then direction s else Hint.No_prefetch
+        | Memref.Const _, None -> Hint.No_prefetch  (* explicit prefetch covers it *)
+        | Memref.Unknown, _ -> Hint.No_prefetch
+      in
+      let next_cycle = p.Schedule.start + cfg.l0.l0_latency in
+      let access =
+        if Occupancy.used occupancy ~cluster:p.Schedule.cluster ~cycle:next_cycle
+        then Hint.Par_access
+        else Hint.Seq_access
+      in
+      Hint.make ~access ~mapping ~prefetch ()
+    end
+    else if Instr.is_store ins && store_updates_l0 i then
+      Hint.make ~access:Hint.Par_access ()
+    else Hint.default
+  in
+  let placements =
+    Array.mapi
+      (fun i p -> { p with Schedule.hints = hint_for i })
+      sch.placements
+  in
+  { sch with Schedule.placements; prefetches = List.rev !prefetches }

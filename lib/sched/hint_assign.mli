@@ -1,0 +1,25 @@
+(** Steps 4 and 5 of the scheduling algorithm: attach hints to memory
+    instructions and insert explicit software prefetches.
+
+    Mapping hints: loads that were assigned the L0 latency get
+    [INTERLEAVED_MAP] when they form an *interleaved group* — same array,
+    same element granularity, the same per-body-iteration stride of
+    exactly ±N elements (the signature of a good-stride loop unrolled N
+    times), with the members' clusters following the lane rotation —
+    and [LINEAR_MAP] otherwise.
+
+    Prefetch hints: good strides (0, ±1, or ±N inside an interleaved
+    group) prefetch via POSITIVE/NEGATIVE hints; within a group or a
+    same-cluster stream only the instruction scheduled first carries the
+    hint (redundant prefetches are dropped). Any other strided L0 load
+    gets an explicit [Prefetch] operation in a free memory slot of its
+    cluster, running [lead_iterations] ahead; if no slot is free the load
+    keeps its hints and will simply stall (paper Section 4.3, step 5).
+
+    Access hints: an L0 load is [SEQ_ACCESS] when its cluster's memory
+    unit is idle in the following cycle (counting the inserted prefetches
+    and PSR replicas) and [PAR_ACCESS] otherwise; stores of a coherence
+    set containing an L0 load are [PAR_ACCESS] so the local copy stays
+    fresh; everything else is [NO_ACCESS]. *)
+
+val apply : Flexl0_arch.Config.t -> Schedule.t -> Schedule.t

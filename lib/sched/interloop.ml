@@ -1,0 +1,96 @@
+open Flexl0_ir
+module Hint = Flexl0_mem.Hint
+
+type flush_plan = {
+  boundaries : bool array array;
+  flushes_saved : int;
+}
+
+let arrays_cached_in (sch : Schedule.t) ~cluster =
+  Array.to_list (Ddg.instrs sch.Schedule.ddg)
+  |> List.filter_map (fun (ins : Instr.t) ->
+         let p = sch.Schedule.placements.(ins.Instr.id) in
+         if not (Instr.is_load ins && Hint.uses_l0 p.Schedule.hints) then None
+         else
+           match ins.Instr.memref with
+           | None -> None
+           | Some r ->
+             (* Linear fills stay local; interleaved fills scatter one
+                lane into every cluster. *)
+             if
+               p.Schedule.hints.Hint.mapping = Hint.Interleaved_map
+               || p.Schedule.cluster = cluster
+             then Some r.Memref.array_id
+             else None)
+  |> List.sort_uniq compare
+
+let mem_arrays pred (sch : Schedule.t) =
+  Array.to_list (Ddg.instrs sch.Schedule.ddg)
+  |> List.filter_map (fun (ins : Instr.t) ->
+         if pred ins then
+           Option.map (fun r -> r.Memref.array_id) ins.Instr.memref
+         else None)
+  |> List.sort_uniq compare
+
+let arrays_written sch = mem_arrays Instr.is_store sch
+let arrays_read sch = mem_arrays Instr.is_load sch
+
+(* A stale copy only matters if the array is later *written* by another
+   agent and then *read* via L0 from the cached copy, or written from a
+   different cluster than the cached copy lives in. At array granularity
+   the safe rule is: keep cluster [c]'s residue across the boundary only
+   if no later loop (wrapping around the region) stores to any array the
+   residue covers before c's buffer is flushed anyway. *)
+let plan (cfg : Flexl0_arch.Config.t) schedules =
+  let n = List.length schedules in
+  let sched = Array.of_list schedules in
+  let boundaries =
+    Array.init n (fun _ -> Array.make cfg.num_clusters false)
+  in
+  for k = 0 to n - 1 do
+    for c = 0 to cfg.num_clusters - 1 do
+      (* Residue potentially live in cluster c after loop k: arrays cached
+         by loop k or any earlier unflushed loop. Conservative: assume
+         everything loop k caches plus whatever survived its entry (we
+         evaluate boundaries in order, so earlier decisions are known). *)
+      let residue = ref (arrays_cached_in sched.(k) ~cluster:c) in
+      let rec back j =
+        (* Walk backwards while boundary (j-1) kept the buffer. *)
+        let prev = ((j - 1 + n) mod n) in
+        if prev <> k && not boundaries.(prev).(c) then begin
+          residue :=
+            List.sort_uniq compare
+              (!residue @ arrays_cached_in sched.(prev) ~cluster:c);
+          back prev
+        end
+      in
+      back k;
+      (* Does any later loop (wrapping) write an array in the residue
+         before cluster c flushes? Since we are *deciding* the flushes,
+         use the conservative horizon: the rest of the region plus the
+         wrap back to loop k. *)
+      let hazard = ref false in
+      for step = 1 to n do
+        let j = (k + step) mod n in
+        if
+          List.exists (fun a -> List.mem a !residue) (arrays_written sched.(j))
+        then hazard := true
+      done;
+      boundaries.(k).(c) <- !hazard
+    done
+  done;
+  let flushes_saved =
+    Array.fold_left
+      (fun acc row ->
+        acc + Array.fold_left (fun a f -> if f then a else a + 1) 0 row)
+      0 boundaries
+  in
+  { boundaries; flushes_saved }
+
+let always_flush (cfg : Flexl0_arch.Config.t) schedules =
+  {
+    boundaries =
+      Array.init (List.length schedules) (fun _ ->
+          Array.make cfg.num_clusters true);
+    flushes_saved = 0;
+  }

@@ -1,0 +1,41 @@
+(** Inter-loop coherence: where to flush the L0 buffers (Section 4.1).
+
+    The default discipline schedules an [invalidate_buffer] in every
+    cluster when a loop exits. The paper notes the flush can be avoided
+    when (i) no memory dependences connect the loop to the code that
+    follows (up to the next flush point), or (ii) every dependent later
+    access either bypasses L0 or sits in the same cluster as the earlier
+    writer; and that flushing could be restricted to selected clusters.
+    This module implements that analysis over a *region*: an ordered
+    sequence of scheduled loops.
+
+    The decision is per (loop boundary, cluster): cluster [c] must flush
+    after loop [k] iff some entry its buffer may hold (an array cached by
+    an L0-using load of loop [k] or earlier, not yet flushed) can be
+    written by a later loop from a different cluster or read stale.
+    The conservative test works at array granularity. *)
+
+type flush_plan = {
+  boundaries : bool array array;
+      (** [boundaries.(k).(c)]: flush cluster [c] after loop [k] *)
+  flushes_saved : int;  (** vs. the always-flush-everywhere default *)
+}
+
+val arrays_cached_in : Schedule.t -> cluster:int -> int list
+(** Array ids that loads of this schedule may leave in cluster [c]'s L0
+    buffer (L0-using loads placed there; interleaved-mapped loads leave
+    lanes in *every* cluster). *)
+
+val arrays_written : Schedule.t -> int list
+(** Array ids any store of the schedule writes. *)
+
+val arrays_read : Schedule.t -> int list
+
+val plan : Flexl0_arch.Config.t -> Schedule.t list -> flush_plan
+(** Flush decisions for a straight-line region of loops, assuming the
+    region repeats (the last boundary considers the first loop again, as
+    in a benchmark's steady state). Array ids must be drawn from a shared
+    namespace across the region's loops. *)
+
+val always_flush : Flexl0_arch.Config.t -> Schedule.t list -> flush_plan
+(** The default: flush every cluster at every boundary. *)

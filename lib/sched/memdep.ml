@@ -1,0 +1,50 @@
+open Flexl0_ir
+
+type set = {
+  set_id : int;
+  members : int list;
+  loads : int list;
+  stores : int list;
+}
+
+type t = { sets : set list; by_instr : (int, set) Hashtbl.t }
+
+let compute ddg =
+  let n = Ddg.node_count ddg in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter (fun (e : Ddg.edge) -> union e.src e.dst) (Ddg.mem_edges ddg);
+  let groups = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if Instr.is_memory_access (Ddg.instr ddg i) then begin
+      let root = find i in
+      let members =
+        match Hashtbl.find_opt groups root with Some l -> l | None -> []
+      in
+      Hashtbl.replace groups root (i :: members)
+    end
+  done;
+  let by_instr = Hashtbl.create 16 in
+  let sets =
+    Hashtbl.fold (fun _root members acc -> List.sort compare members :: acc)
+      groups []
+    |> List.sort compare
+    |> List.mapi (fun set_id members ->
+           let loads =
+             List.filter (fun i -> Instr.is_load (Ddg.instr ddg i)) members
+           and stores =
+             List.filter (fun i -> Instr.is_store (Ddg.instr ddg i)) members
+           in
+           let s = { set_id; members; loads; stores } in
+           List.iter (fun i -> Hashtbl.replace by_instr i s) members;
+           s)
+  in
+  { sets; by_instr }
+
+let sets t = t.sets
+let set_of t i = Hashtbl.find_opt t.by_instr i
+let needs_coherence s = s.loads <> [] && s.stores <> []

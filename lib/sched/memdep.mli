@@ -1,0 +1,30 @@
+(** Memory-dependent sets Si (paper Section 4.1).
+
+    A set groups the memory instructions of a loop that may depend on each
+    other according to the compiler's disambiguation — the transitive
+    closure over the DDG's memory edges. Singleton sets and store-only
+    sets need no coherence treatment; sets mixing loads and stores are
+    the ones the NL0 / 1C / PSR disciplines exist for. *)
+
+open Flexl0_ir
+
+type set = {
+  set_id : int;
+  members : int list;  (** instruction ids, ascending *)
+  loads : int list;
+  stores : int list;
+}
+
+type t
+
+val compute : Ddg.t -> t
+
+val sets : t -> set list
+
+val set_of : t -> int -> set option
+(** The set containing an instruction id; [None] for non-memory
+    instructions. *)
+
+val needs_coherence : set -> bool
+(** True when the set contains at least one load and one store — the only
+    case where stale L0 copies are possible. *)

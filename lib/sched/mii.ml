@@ -1,0 +1,21 @@
+open Flexl0_ir
+
+let res_mii (cfg : Flexl0_arch.Config.t) ddg =
+  let int_ops = ref 0 and mem_ops = ref 0 and fp_ops = ref 0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      match Opcode.fu_class ins.opcode with
+      | Opcode.Int_fu -> incr int_ops
+      | Opcode.Mem_fu -> incr mem_ops
+      | Opcode.Fp_fu -> incr fp_ops
+      | Opcode.Bus -> ())
+    (Ddg.instrs ddg);
+  let bound ops units =
+    if ops = 0 then 1 else (ops + units - 1) / units
+  in
+  let n = cfg.num_clusters in
+  max
+    (bound !int_ops (cfg.int_units * n))
+    (max (bound !mem_ops (cfg.mem_units * n)) (bound !fp_ops (cfg.fp_units * n)))
+
+let mii cfg ddg ~lat = max (res_mii cfg ddg) (Ddg.rec_mii ddg ~lat)

@@ -1,0 +1,13 @@
+(** Minimum Initiation Interval (Section 4.2).
+
+    [MII = max(ResMII, RecMII)]: the resource bound counts how many
+    instructions of each functional-unit class must issue per iteration
+    against the machine's per-cycle capacity; the recurrence bound is the
+    smallest II at which every dependence cycle fits. *)
+
+open Flexl0_ir
+
+val res_mii : Flexl0_arch.Config.t -> Ddg.t -> int
+
+val mii : Flexl0_arch.Config.t -> Ddg.t -> lat:(int -> int) -> int
+(** [max (res_mii cfg ddg) (Ddg.rec_mii ddg ~lat)], at least 1. *)

@@ -1,0 +1,65 @@
+open Flexl0_ir
+
+type t = {
+  ii : int;
+  capacity_int : int;
+  capacity_mem : int;
+  capacity_fp : int;
+  capacity_bus : int;
+  int_used : int array array;  (* [cycle mod ii].(cluster) *)
+  mem_used : int array array;
+  fp_used : int array array;
+  bus_used : int array;
+}
+
+let create (cfg : Flexl0_arch.Config.t) ~ii =
+  if ii <= 0 then invalid_arg "Mrt.create: II must be positive";
+  let per_cluster () = Array.make_matrix ii cfg.num_clusters 0 in
+  {
+    ii;
+    capacity_int = cfg.int_units;
+    capacity_mem = cfg.mem_units;
+    capacity_fp = cfg.fp_units;
+    capacity_bus = cfg.comm_buses;
+    int_used = per_cluster ();
+    mem_used = per_cluster ();
+    fp_used = per_cluster ();
+    bus_used = Array.make ii 0;
+  }
+
+let ii t = t.ii
+
+let slot t cycle =
+  let m = cycle mod t.ii in
+  if m < 0 then m + t.ii else m
+
+let table_and_cap t fu =
+  match fu with
+  | Opcode.Int_fu -> (t.int_used, t.capacity_int)
+  | Opcode.Mem_fu -> (t.mem_used, t.capacity_mem)
+  | Opcode.Fp_fu -> (t.fp_used, t.capacity_fp)
+  | Opcode.Bus -> invalid_arg "Mrt: Bus is not a per-cluster FU"
+
+let fu_free t ~cluster ~fu ~cycle =
+  match fu with
+  | Opcode.Bus -> t.bus_used.(slot t cycle) < t.capacity_bus
+  | _ ->
+    let table, cap = table_and_cap t fu in
+    table.(slot t cycle).(cluster) < cap
+
+let reserve_fu t ~cluster ~fu ~cycle =
+  if not (fu_free t ~cluster ~fu ~cycle) then
+    invalid_arg "Mrt.reserve_fu: slot full";
+  match fu with
+  | Opcode.Bus -> t.bus_used.(slot t cycle) <- t.bus_used.(slot t cycle) + 1
+  | _ ->
+    let table, _ = table_and_cap t fu in
+    table.(slot t cycle).(cluster) <- table.(slot t cycle).(cluster) + 1
+
+let bus_free t ~cycle = t.bus_used.(slot t cycle) < t.capacity_bus
+
+let reserve_bus t ~cycle =
+  if not (bus_free t ~cycle) then invalid_arg "Mrt.reserve_bus: no bus slot";
+  t.bus_used.(slot t cycle) <- t.bus_used.(slot t cycle) + 1
+
+let mem_slot_used t ~cluster ~cycle = t.mem_used.(slot t cycle).(cluster) > 0

@@ -1,0 +1,27 @@
+(** Modulo Reservation Table.
+
+    Tracks, per schedule cycle modulo II, the functional-unit slots of
+    each cluster and the shared register-to-register bus slots. All
+    queries take *flat* schedule cycles; the table reduces them mod II. *)
+
+open Flexl0_ir
+
+type t
+
+val create : Flexl0_arch.Config.t -> ii:int -> t
+
+val ii : t -> int
+
+val fu_free : t -> cluster:int -> fu:Opcode.fu_class -> cycle:int -> bool
+(** [Bus] class queries the shared bus pool instead of a cluster FU. *)
+
+val reserve_fu : t -> cluster:int -> fu:Opcode.fu_class -> cycle:int -> unit
+(** Raises [Invalid_argument] when the slot is full — callers must check
+    {!fu_free} first. *)
+
+val bus_free : t -> cycle:int -> bool
+val reserve_bus : t -> cycle:int -> unit
+
+val mem_slot_used : t -> cluster:int -> cycle:int -> bool
+(** Is the memory unit of [cluster] busy at [cycle] mod II? Drives the
+    SEQ_ACCESS legality test and explicit-prefetch insertion. *)

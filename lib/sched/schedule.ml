@@ -1,0 +1,342 @@
+open Flexl0_ir
+module Hint = Flexl0_mem.Hint
+
+type placement = {
+  cluster : int;
+  start : int;
+  assumed_latency : int;
+  uses_l0 : bool;
+  hints : Hint.t;
+}
+
+type comm = { producer : int; comm_cycle : int }
+
+type prefetch_op = {
+  for_instr : int;
+  pf_cluster : int;
+  pf_start : int;
+  lead_iterations : int;
+}
+
+type replica = { for_store : int; rep_cluster : int; rep_start : int }
+
+type t = {
+  loop : Loop.t;
+  ddg : Ddg.t;
+  scheme : Scheme.t;
+  ii : int;
+  placements : placement array;
+  comms : comm list;
+  prefetches : prefetch_op list;
+  replicas : replica list;
+}
+
+let makespan t =
+  Array.fold_left (fun acc p -> max acc (p.start + p.assumed_latency)) 0
+    t.placements
+
+let stage_count t =
+  let last_start = Array.fold_left (fun acc p -> max acc p.start) 0 t.placements in
+  (last_start / t.ii) + 1
+
+let compute_cycles t ~trips = (stage_count t - 1 + trips) * t.ii
+
+type utilization = {
+  int_util : float;
+  mem_util : float;
+  fp_util : float;
+  bus_util : float;
+  overall : float;
+}
+
+let fu_utilization (cfg : Flexl0_arch.Config.t) t =
+  let int_ops = ref 0 and mem_ops = ref 0 and fp_ops = ref 0 in
+  Array.iteri
+    (fun i _p ->
+      match Opcode.fu_class (Ddg.instr t.ddg i).Instr.opcode with
+      | Opcode.Int_fu -> incr int_ops
+      | Opcode.Mem_fu -> incr mem_ops
+      | Opcode.Fp_fu -> incr fp_ops
+      | Opcode.Bus -> ())
+    t.placements;
+  mem_ops := !mem_ops + List.length t.prefetches + List.length t.replicas;
+  let n = cfg.num_clusters in
+  let slots per_cluster = float_of_int (t.ii * per_cluster * n) in
+  let ratio ops cap = if cap <= 0.0 then 0.0 else float_of_int ops /. cap in
+  let int_util = ratio !int_ops (slots cfg.int_units) in
+  let mem_util = ratio !mem_ops (slots cfg.mem_units) in
+  let fp_util = ratio !fp_ops (slots cfg.fp_units) in
+  let bus_util =
+    ratio (List.length t.comms) (float_of_int (t.ii * cfg.comm_buses))
+  in
+  let total_ops = !int_ops + !mem_ops + !fp_ops in
+  let total_slots =
+    slots cfg.int_units +. slots cfg.mem_units +. slots cfg.fp_units
+  in
+  {
+    int_util;
+    mem_util;
+    fp_util;
+    bus_util;
+    overall = ratio total_ops total_slots;
+  }
+
+let l0_entries_used t =
+  let n =
+    Array.fold_left (fun acc p -> max acc (p.cluster + 1)) 1 t.placements
+  in
+  let used = Array.make n 0 in
+  Array.iter (fun p -> if p.uses_l0 then used.(p.cluster) <- used.(p.cluster) + 1)
+    t.placements;
+  used
+
+let comm_for t producer =
+  List.find_opt (fun c -> c.producer = producer) t.comms
+
+let validate (cfg : Flexl0_arch.Config.t) t =
+  let errors = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Ddg.node_count t.ddg in
+  if Array.length t.placements <> n then
+    fail "placement table has %d entries for %d instructions"
+      (Array.length t.placements) n;
+  let lat i = t.placements.(i).assumed_latency in
+  (* Dependences. *)
+  List.iter
+    (fun (e : Ddg.edge) ->
+      let p = t.placements.(e.src) and c = t.placements.(e.dst) in
+      let budget = c.start + (t.ii * e.distance) in
+      let needed =
+        if e.kind <> Ddg.Reg_flow || p.cluster = c.cluster then
+          p.start + Ddg.edge_latency ~lat e
+        else
+          match comm_for t e.src with
+          | None ->
+            fail "i%d -> i%d crosses clusters without a comm" e.src e.dst;
+            p.start + Ddg.edge_latency ~lat e
+          | Some comm ->
+            if comm.comm_cycle < p.start + lat e.src then
+              fail "comm for i%d leaves at %d before the value is ready at %d"
+                e.src comm.comm_cycle
+                (p.start + lat e.src);
+            comm.comm_cycle + cfg.comm_latency
+      in
+      if needed > budget then
+        fail "dependence i%d -> i%d violated: needs %d, budget %d" e.src e.dst
+          needed budget)
+    (Ddg.edges t.ddg);
+  (* Resources, modulo II. *)
+  let slot c = ((c mod t.ii) + t.ii) mod t.ii in
+  let fu_use = Hashtbl.create 64 in
+  let charge_fu cluster fu cycle what =
+    let key = (cluster, fu, slot cycle) in
+    let used = match Hashtbl.find_opt fu_use key with Some u -> u | None -> 0 in
+    let cap =
+      match fu with
+      | Opcode.Int_fu -> cfg.int_units
+      | Opcode.Mem_fu -> cfg.mem_units
+      | Opcode.Fp_fu -> cfg.fp_units
+      | Opcode.Bus -> cfg.comm_buses
+    in
+    if used >= cap then
+      fail "%s overflows %s capacity in cluster %d at slot %d" what
+        (match fu with
+        | Opcode.Int_fu -> "int"
+        | Opcode.Mem_fu -> "mem"
+        | Opcode.Fp_fu -> "fp"
+        | Opcode.Bus -> "bus")
+        cluster (slot cycle);
+    Hashtbl.replace fu_use key (used + 1)
+  in
+  Array.iteri
+    (fun i p ->
+      let ins = Ddg.instr t.ddg i in
+      match Opcode.fu_class ins.Instr.opcode with
+      | Opcode.Bus -> fail "i%d: Comm opcodes cannot appear in a loop body" i
+      | fu -> charge_fu p.cluster fu p.start (Printf.sprintf "i%d" i))
+    t.placements;
+  List.iter
+    (fun (c : comm) -> charge_fu 0 Opcode.Bus c.comm_cycle
+        (Printf.sprintf "comm(i%d)" c.producer))
+    t.comms;
+  List.iter
+    (fun (pf : prefetch_op) ->
+      charge_fu pf.pf_cluster Opcode.Mem_fu pf.pf_start
+        (Printf.sprintf "prefetch(i%d)" pf.for_instr))
+    t.prefetches;
+  List.iter
+    (fun (r : replica) ->
+      charge_fu r.rep_cluster Opcode.Mem_fu r.rep_start
+        (Printf.sprintf "replica(i%d)" r.for_store))
+    t.replicas;
+  (* L0 capacity. *)
+  (match (t.scheme, Flexl0_arch.Config.l0_entry_count cfg) with
+  | Scheme.L0 { selective = true }, Some entries ->
+    Array.iteri
+      (fun cluster used ->
+        if used > entries then
+          fail "cluster %d uses %d L0 entries but has %d" cluster used entries)
+      (l0_entries_used t)
+  | _ -> ());
+  (* Hint legality. *)
+  let mem_busy = Hashtbl.create 64 in
+  Array.iteri
+    (fun i p ->
+      let ins = Ddg.instr t.ddg i in
+      if Opcode.fu_class ins.Instr.opcode = Opcode.Mem_fu then
+        Hashtbl.replace mem_busy (p.cluster, slot p.start)
+          (i :: (Option.value ~default:[]
+                   (Hashtbl.find_opt mem_busy (p.cluster, slot p.start)))))
+    t.placements;
+  List.iter
+    (fun (pf : prefetch_op) ->
+      Hashtbl.replace mem_busy (pf.pf_cluster, slot pf.pf_start)
+        (-1 :: (Option.value ~default:[]
+                  (Hashtbl.find_opt mem_busy (pf.pf_cluster, slot pf.pf_start)))))
+    t.prefetches;
+  Array.iteri
+    (fun i p ->
+      let ins = Ddg.instr t.ddg i in
+      let is_load = Instr.is_load ins and is_store = Instr.is_store ins in
+      (match p.hints.Hint.access with
+      | Hint.Seq_access ->
+        if is_store then fail "i%d: stores cannot be SEQ_ACCESS" i;
+        if Hashtbl.mem mem_busy (p.cluster, slot (p.start + cfg.l0.l0_latency))
+        then
+          fail "i%d: SEQ_ACCESS but the memory unit of cluster %d is busy next \
+                cycle" i p.cluster
+      | Hint.Inval_only -> if not is_store then fail "i%d: only stores may be INVAL_ONLY" i
+      | Hint.No_access | Hint.Par_access -> ());
+      if Hint.uses_l0 p.hints && not (Scheme.uses_l0_buffers t.scheme) then
+        fail "i%d: hint requests L0 under scheme %s" i (Scheme.to_string t.scheme);
+      if p.uses_l0 && not (is_load || is_store) then
+        fail "i%d: only memory accesses can use L0" i)
+    t.placements;
+  (* Coherence discipline per memory-dependent set. *)
+  if Scheme.uses_l0_buffers t.scheme then begin
+    let deps = Memdep.compute t.ddg in
+    List.iter
+      (fun (s : Memdep.set) ->
+        if Memdep.needs_coherence s then begin
+          let replicated store =
+            let clusters =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun (r : replica) ->
+                     if r.for_store = store then Some r.rep_cluster else None)
+                   t.replicas)
+            in
+            List.length clusters = cfg.num_clusters - 1
+          in
+          List.iter
+            (fun load ->
+              if Hint.uses_l0 t.placements.(load).hints then
+                List.iter
+                  (fun store ->
+                    let ok_colocated =
+                      t.placements.(store).cluster = t.placements.(load).cluster
+                      && t.placements.(store).hints.Hint.access = Hint.Par_access
+                    in
+                    if not (ok_colocated || replicated store) then
+                      fail
+                        "set %d: load i%d uses L0 in cluster %d but store i%d \
+                         (cluster %d, %s) neither co-located+PAR nor replicated"
+                        s.Memdep.set_id load t.placements.(load).cluster store
+                        t.placements.(store).cluster
+                        (Format.asprintf "%a" Hint.pp t.placements.(store).hints))
+                  s.Memdep.stores)
+            s.Memdep.loads
+        end)
+      (Memdep.sets deps)
+  end;
+  match !errors with
+  | [] -> Ok ()
+  | errs -> Error (String.concat "; " (List.rev errs))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule %s: II=%d SC=%d scheme=%s@," t.loop.Loop.name
+    t.ii (stage_count t) (Scheme.to_string t.scheme);
+  Array.iteri
+    (fun i p ->
+      Format.fprintf ppf "  i%-3d c%d @@%-3d lat=%-2d l0=%b %a  %a@," i p.cluster
+        p.start p.assumed_latency p.uses_l0 Hint.pp p.hints Instr.pp
+        (Ddg.instr t.ddg i))
+    t.placements;
+  List.iter
+    (fun c -> Format.fprintf ppf "  comm(i%d) @@%d@," c.producer c.comm_cycle)
+    t.comms;
+  List.iter
+    (fun (pf : prefetch_op) ->
+      Format.fprintf ppf "  prefetch(i%d) c%d @@%d lead=%d@," pf.for_instr
+        pf.pf_cluster pf.pf_start pf.lead_iterations)
+    t.prefetches;
+  List.iter
+    (fun (r : replica) ->
+      Format.fprintf ppf "  replica(i%d) c%d @@%d@," r.for_store r.rep_cluster
+        r.rep_start)
+    t.replicas;
+  Format.fprintf ppf "@]"
+
+(* Steady-state kernel listing: cycle (mod II) x cluster wide-words. *)
+let pp_kernel ppf t =
+  let clusters =
+    Array.fold_left (fun acc p -> max acc (p.cluster + 1)) 1 t.placements
+  in
+  let slot c = ((c mod t.ii) + t.ii) mod t.ii in
+  (* Collect per (cycle, cluster) the operations issued there. *)
+  let cell : (int * int, string list) Hashtbl.t = Hashtbl.create 32 in
+  let put cycle cluster text =
+    let key = (slot cycle, cluster) in
+    Hashtbl.replace cell key
+      (text :: Option.value ~default:[] (Hashtbl.find_opt cell key))
+  in
+  Array.iteri
+    (fun i p ->
+      let ins = Ddg.instr t.ddg i in
+      let stage = p.start / t.ii in
+      put p.start p.cluster
+        (Printf.sprintf "%s.%d[s%d]" (Opcode.to_string ins.Instr.opcode) i stage))
+    t.placements;
+  List.iter
+    (fun (pf : prefetch_op) ->
+      put pf.pf_start pf.pf_cluster
+        (Printf.sprintf "prefetch(i%d)+%d" pf.for_instr pf.lead_iterations))
+    t.prefetches;
+  List.iter
+    (fun (r : replica) ->
+      put r.rep_start r.rep_cluster (Printf.sprintf "inval(i%d)" r.for_store))
+    t.replicas;
+  let buses : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : comm) ->
+      let key = slot c.comm_cycle in
+      Hashtbl.replace buses key
+        (Printf.sprintf "bcast(i%d)" c.producer
+         :: Option.value ~default:[] (Hashtbl.find_opt buses key)))
+    t.comms;
+  let width = 24 in
+  let pad s = if String.length s >= width then s else s ^ String.make (width - String.length s) ' ' in
+  Format.fprintf ppf "@[<v>kernel %s: II=%d, %d stages@," t.loop.Loop.name t.ii
+    (stage_count t);
+  Format.fprintf ppf "%s" (pad "cycle");
+  for c = 0 to clusters - 1 do
+    Format.fprintf ppf "%s" (pad (Printf.sprintf "cluster %d" c))
+  done;
+  Format.fprintf ppf "buses@,";
+  for cyc = 0 to t.ii - 1 do
+    Format.fprintf ppf "%s" (pad (string_of_int cyc));
+    for c = 0 to clusters - 1 do
+      let ops =
+        Option.value ~default:[] (Hashtbl.find_opt cell (cyc, c))
+        |> List.sort compare
+      in
+      Format.fprintf ppf "%s"
+        (pad (match ops with [] -> "." | _ -> String.concat " " ops))
+    done;
+    let bus_ops =
+      Option.value ~default:[] (Hashtbl.find_opt buses cyc) |> List.sort compare
+    in
+    Format.fprintf ppf "%s@,"
+      (match bus_ops with [] -> "." | _ -> String.concat " " bus_ops);
+  done;
+  Format.fprintf ppf "@]"

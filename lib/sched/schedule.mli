@@ -1,0 +1,99 @@
+(** Modulo schedules and their validity rules.
+
+    A schedule places every instruction at a flat start cycle in some
+    cluster; the kernel repeats every [ii] cycles, so resources are
+    checked modulo [ii] and a dependence with iteration distance [d]
+    relaxes its constraint by [d * ii] cycles. Inter-cluster register
+    traffic is explicit: one broadcast {!comm} per produced value that is
+    consumed outside its cluster. *)
+
+open Flexl0_ir
+
+type placement = {
+  cluster : int;
+  start : int;  (** flat cycle, >= 0 *)
+  assumed_latency : int;  (** what dependence checks assumed *)
+  uses_l0 : bool;  (** memory op assigned the L0 latency *)
+  hints : Flexl0_mem.Hint.t;  (** final hints; {!Flexl0_mem.Hint.default} for non-memory ops *)
+}
+
+type comm = {
+  producer : int;  (** instruction whose value is broadcast *)
+  comm_cycle : int;  (** bus slot (flat); value visible everywhere at
+                         [comm_cycle + comm_latency] *)
+}
+
+(** Explicit software prefetch inserted by scheduling step 5. *)
+type prefetch_op = {
+  for_instr : int;  (** the load it covers *)
+  pf_cluster : int;
+  pf_start : int;
+  lead_iterations : int;  (** how many iterations ahead the address runs *)
+}
+
+(** A store replicated for PSR: the primary instance is the original
+    placement; replicas only invalidate their local L0 buffer. *)
+type replica = { for_store : int; rep_cluster : int; rep_start : int }
+
+type t = {
+  loop : Loop.t;
+  ddg : Ddg.t;
+  scheme : Scheme.t;
+  ii : int;
+  placements : placement array;  (** indexed by instruction id *)
+  comms : comm list;
+  prefetches : prefetch_op list;
+  replicas : replica list;
+}
+
+val makespan : t -> int
+(** Last cycle any instruction finishes (flat), under assumed latencies. *)
+
+val stage_count : t -> int
+(** Number of overlapped iterations: [floor(max start / ii) + 1]. *)
+
+val compute_cycles : t -> trips:int -> int
+(** Lock-step execution time without stalls:
+    [(stage_count - 1 + trips) * ii]. *)
+
+(** Steady-state functional-unit occupancy of the kernel. *)
+type utilization = {
+  int_util : float;  (** fraction of int-unit issue slots filled, 0..1 *)
+  mem_util : float;
+  fp_util : float;
+  bus_util : float;
+  overall : float;  (** all FU slots (buses excluded) *)
+}
+
+val fu_utilization : Flexl0_arch.Config.t -> t -> utilization
+(** Operations per II window divided by available slots — how full the
+    wide instructions are (explicit prefetches and PSR replicas count as
+    memory-slot occupancy; broadcasts count against the buses). *)
+
+val l0_entries_used : t -> int array
+(** Per cluster, how many placements were assigned the L0 latency — the
+    quantity the scheduler must keep within the buffer capacity. *)
+
+val validate : Flexl0_arch.Config.t -> t -> (unit, string) result
+(** Check every rule the paper's architecture imposes:
+    - dependences respected modulo II (with broadcast latency when the
+      producer is in another cluster);
+    - per-cluster FU capacity and shared bus capacity per cycle mod II;
+    - L0 capacity: at most [entries] L0-latency memory ops per cluster;
+    - SEQ_ACCESS legality: a SEQ load has no other memory operation
+      scheduled on its cluster's memory unit in the following cycle;
+    - stores are never SEQ_ACCESS; only stores may be INVAL_ONLY;
+    - hints only request L0 service under an L0 scheme;
+    - coherence: in every memory-dependent set with loads and stores,
+      every L0-using load is co-located with all of the set's stores and
+      those stores update L0 ([PAR_ACCESS]) — unless the store is
+      PSR-replicated into every other cluster. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_kernel : Format.formatter -> t -> unit
+(** Render the steady-state kernel as VLIW wide instructions: one row
+    per cycle modulo II, one column per cluster showing the int / mem /
+    fp slots (with the stage number of each operation), plus the bus
+    column with that cycle's broadcasts. This is what the "assembly" of
+    the software-pipelined loop looks like. *)

@@ -1,0 +1,28 @@
+type t =
+  | Base_unified
+  | L0 of { selective : bool }
+  | Multivliw
+  | Interleaved_naive
+  | Interleaved_locality
+
+let to_string = function
+  | Base_unified -> "base-unified"
+  | L0 { selective = true } -> "l0-selective"
+  | L0 { selective = false } -> "l0-all-candidates"
+  | Multivliw -> "multivliw"
+  | Interleaved_naive -> "interleaved-1"
+  | Interleaved_locality -> "interleaved-2"
+
+let uses_l0_buffers = function
+  | L0 _ -> true
+  | Base_unified | Multivliw | Interleaved_naive | Interleaved_locality -> false
+
+let all =
+  [
+    Base_unified;
+    L0 { selective = true };
+    L0 { selective = false };
+    Multivliw;
+    Interleaved_naive;
+    Interleaved_locality;
+  ]

@@ -1,0 +1,33 @@
+(** Scheduling schemes — one per evaluated architecture.
+
+    All schemes share the same engine (cluster assignment minimizing
+    communications and balancing workload, SMS ordering, II search); they
+    differ in the latency the scheduler assumes for memory instructions
+    and, for [L0], in the whole Section 4.3 machinery. *)
+
+type t =
+  | Base_unified
+      (** unified L1, no L0 buffers: all memory ops use the L1 latency.
+          The normalization baseline. *)
+  | L0 of { selective : bool }
+      (** the paper's scheduler. [selective = true] assigns the L0 latency
+          by slack without overflowing the buffers (step 3); [false] marks
+          *every* candidate — the §5.2 overflow study. *)
+  | Multivliw
+      (** distributed coherent cache: memory ops assume the local-bank
+          latency; hardware migrates data so any cluster works. *)
+  | Interleaved_naive
+      (** word-interleaved cache, locality-blind scheduling ("Interleaved
+          1"): memory ops assume the remote latency; cluster choice by
+          communications/balance only. *)
+  | Interleaved_locality
+      (** word-interleaved cache, locality-aware ("Interleaved 2"):
+          accesses whose home cluster is static are steered there and
+          assume the local latency (an Attraction-Buffer-friendly
+          compromise otherwise). *)
+
+val to_string : t -> string
+
+val uses_l0_buffers : t -> bool
+
+val all : t list

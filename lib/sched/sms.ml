@@ -1,0 +1,38 @@
+open Flexl0_ir
+
+(* The ordering must guarantee that, outside recurrences, every node is
+   placed while its neighbours are on one side only (already-placed
+   predecessors); otherwise the placement window of a node squeezed
+   between placed neighbours does not grow with the II and the search
+   never terminates. A topological order of the SCC condensation gives
+   exactly that guarantee; inside an SCC (a recurrence) sandwiching is
+   unavoidable and the [II * distance] slack of the back edge provides
+   the window instead. Criticality (slack at the target II) orders nodes
+   within each component, which is the part of Swing Modulo Scheduling's
+   intent that matters for our engine. *)
+let order ddg ~lat ~ii =
+  let n = Ddg.node_count ddg in
+  if n = 0 then []
+  else begin
+    let times =
+      let rec feasible ii =
+        match Ddg.compute_times ddg ~ii ~lat with
+        | Some t -> t
+        | None -> feasible (ii + 1)
+      in
+      feasible (max 1 ii)
+    in
+    let slack i = Ddg.slack times i in
+    (* Ddg.sccs returns components in topological order of the
+       condensation (Tarjan, reverse finish order). *)
+    let components = Ddg.sccs ddg in
+    List.concat_map
+      (fun comp ->
+        List.sort
+          (fun a b ->
+            compare
+              (times.Ddg.estart.(a), slack a, a)
+              (times.Ddg.estart.(b), slack b, b))
+          comp)
+      components
+  end

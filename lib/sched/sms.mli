@@ -1,0 +1,20 @@
+(** Swing-Modulo-Scheduling node ordering (step 2; Llosa et al., PACT'96).
+
+    SMS orders the DDG nodes so that (i) recurrence-critical nodes come
+    first and (ii) every node is ordered adjacent to an already-ordered
+    neighbour, which lets the placement loop keep producer and consumer
+    close and so favours low II and low register pressure.
+
+    This implementation keeps the part of the published algorithm our
+    placement engine relies on: nodes are emitted in topological order of
+    the SCC condensation — so outside recurrences an instruction is
+    always placed after its producers and its window only closes on one
+    side — and within each component (recurrence) nodes go by earliest
+    start and criticality (slack), most critical first on ties. *)
+
+open Flexl0_ir
+
+val order : Ddg.t -> lat:(int -> int) -> ii:int -> int list
+(** A permutation of [0 .. node_count - 1]. [ii] is the II at which
+    criticality (slack) is measured — normally the MII. Falls back to a
+    plain criticality sort if [ii] is infeasible. *)

@@ -1,0 +1,51 @@
+open Flexl0_ir
+
+type t = {
+  aggressive : Schedule.t;
+  conservative : Schedule.t;
+  check_overhead_cycles : int;
+}
+
+(* One compare-and-branch per array pair: a few cycles each on the
+   sequential entry path of the loop. *)
+let check_cost (loop : Loop.t) =
+  let arrays = List.length loop.Loop.arrays in
+  2 * arrays * (arrays - 1) / 2
+
+let specialize cfg scheme ?coherence loop =
+  let aggressive =
+    Compile.compile cfg scheme ?coherence { loop with Loop.may_alias = false }
+  in
+  let conservative =
+    Compile.compile cfg scheme ?coherence { loop with Loop.may_alias = true }
+  in
+  { aggressive; conservative; check_overhead_cycles = check_cost loop }
+
+let runtime_check (loop : Loop.t) =
+  (* Arrays are placed back to back by Loop.layout, so distinct arrays
+     never overlap; the guard compares [base, base+bytes) extents. *)
+  let extents =
+    List.map
+      (fun (info : Loop.array_info) ->
+        let base = List.assoc info.Loop.array_id (Loop.layout loop) in
+        (base, base + Loop.array_bytes info))
+      loop.Loop.arrays
+  in
+  let rec disjoint = function
+    | [] -> true
+    | (lo, hi) :: rest ->
+      List.for_all (fun (lo', hi') -> hi <= lo' || hi' <= lo) rest
+      && disjoint rest
+  in
+  disjoint extents
+
+let dispatch t loop = if runtime_check loop then t.aggressive else t.conservative
+
+let gain t ~trips =
+  (* [trips] counts original iterations; each version may have unrolled
+     differently. *)
+  let cycles (sch : Schedule.t) =
+    Schedule.compute_cycles sch
+      ~trips:(max 1 (trips / sch.Schedule.loop.Loop.unroll_factor))
+  in
+  cycles t.conservative - cycles t.aggressive - t.check_overhead_cycles

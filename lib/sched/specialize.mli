@@ -1,0 +1,49 @@
+(** Code specialization (Section 4.1, after Bernstein et al. [4]).
+
+    Benchmarks like epicdec/pgp/rasta carry large memory-dependent sets
+    that are mostly *conservative*: the compiler could not disambiguate
+    the references, but at run time they never alias. Code
+    specialization emits two versions of such a loop —
+
+    - an **aggressive** version scheduled with the precise dependence
+      test ([may_alias = false]), and
+    - a **conservative** version scheduled with every memory pair
+      dependent ([may_alias = true]) —
+
+    plus a cheap runtime check (array bounds comparison) that picks one.
+    The paper observes the aggressive version always runs for the loops
+    they specialized; the simulator here reproduces that check by
+    testing actual array-extent overlap in the loop's layout. *)
+
+open Flexl0_ir
+
+type t = {
+  aggressive : Schedule.t;
+  conservative : Schedule.t;
+  check_overhead_cycles : int;
+      (** cycles of the runtime disambiguation check per loop entry *)
+}
+
+val specialize :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  Loop.t ->
+  t
+(** Compile both versions of the loop (unroll choice included). The
+    aggressive version drops the conservative [may_alias] flag; the
+    conservative version forces it. *)
+
+val runtime_check : Loop.t -> bool
+(** The check the emitted guard performs: [true] when the loop's arrays
+    occupy disjoint address ranges under {!Loop.layout} — in this
+    simulator's layout model, always true, matching the paper's
+    observation that the aggressive version always executes. *)
+
+val dispatch : t -> Loop.t -> Schedule.t
+(** The version the guard selects at run time. *)
+
+val gain : t -> trips:int -> int
+(** Compute-cycle advantage of the aggressive over the conservative
+    version for one invocation of [trips] *original* iterations, net of
+    the check overhead. *)

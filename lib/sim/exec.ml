@@ -1,0 +1,264 @@
+open Flexl0_ir
+open Flexl0_sched
+module Hint = Flexl0_mem.Hint
+module Backing = Flexl0_mem.Backing
+module Hierarchy = Flexl0_mem.Hierarchy
+module Stats = Flexl0_util.Stats
+
+type result = {
+  trips : int;
+  compute_cycles : int;
+  stall_cycles : int;
+  total_cycles : int;
+  loads : int;
+  stores : int;
+  value_mismatches : int;
+  counters : (string * int) list;
+}
+
+let ipc_denominator r = max 1 r.total_cycles
+
+type trace_event = {
+  ev_time : int;
+  ev_iteration : int;
+  ev_instr : int;
+  ev_kind : [ `Load | `Store | `Prefetch | `Replica ];
+  ev_cluster_id : int;
+  ev_addr : int;
+  ev_served : Hierarchy.served option;
+  ev_stall : int;
+}
+
+let pp_trace_event ppf e =
+  Format.fprintf ppf "@[t=%-6d iter=%-4d %-8s i%-3d cluster %d addr %#x%s%s@]"
+    e.ev_time e.ev_iteration
+    (match e.ev_kind with
+    | `Load -> "load"
+    | `Store -> "store"
+    | `Prefetch -> "prefetch"
+    | `Replica -> "replica")
+    e.ev_instr e.ev_cluster_id e.ev_addr
+    (match e.ev_served with
+    | Some s -> " <- " ^ Hierarchy.served_to_string s
+    | None -> "")
+    (if e.ev_stall > 0 then Printf.sprintf " (stall %d)" e.ev_stall else "")
+
+type event_kind =
+  | Ev_access of Instr.t * Schedule.placement
+  | Ev_prefetch of Instr.t * Schedule.prefetch_op
+  | Ev_replica of Instr.t * Schedule.replica
+
+type event = { ev_start : int; ev_cluster : int; ev_order : int; kind : event_kind }
+
+let events_of (sch : Schedule.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      let ins = Ddg.instr sch.ddg i in
+      if Instr.is_memory_access ins then
+        acc :=
+          { ev_start = p.Schedule.start; ev_cluster = p.Schedule.cluster;
+            ev_order = i; kind = Ev_access (ins, p) }
+          :: !acc)
+    sch.placements;
+  List.iter
+    (fun (pf : Schedule.prefetch_op) ->
+      let ins = Ddg.instr sch.ddg pf.for_instr in
+      acc :=
+        { ev_start = pf.pf_start; ev_cluster = pf.pf_cluster;
+          ev_order = 10_000 + pf.for_instr; kind = Ev_prefetch (ins, pf) }
+        :: !acc)
+    sch.prefetches;
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let ins = Ddg.instr sch.ddg r.for_store in
+      acc :=
+        { ev_start = r.rep_start; ev_cluster = r.rep_cluster;
+          ev_order = 20_000 + r.for_store; kind = Ev_replica (ins, r) }
+        :: !acc)
+    sch.replicas;
+  List.sort (fun a b -> compare (a.ev_start, a.ev_cluster, a.ev_order)
+                (b.ev_start, b.ev_cluster, b.ev_order))
+    !acc
+
+(* Unique, deterministic value written by store [i] at iteration [k]. *)
+let store_value i k =
+  Int64.add (Int64.mul (Int64.of_int (i + 1)) 0x1000003L) (Int64.of_int k)
+
+let init_memory backing ~seed =
+  for addr = 0 to Backing.size backing - 1 do
+    Backing.write backing ~addr ~width:1
+      (Int64.of_int (Tracegen.hash_mix seed addr 17 land 0xFF))
+  done
+
+(* Sequential reference replay: expected value of every dynamic load,
+   keyed by (invocation, instruction, iteration). *)
+let reference_loads (sch : Schedule.t) trace ~trips ~invocations ~seed =
+  let size = Tracegen.memory_size sch.loop in
+  let ref_mem = Backing.create ~size in
+  init_memory ref_mem ~seed;
+  let expected = Hashtbl.create (trips * 4) in
+  let accesses = Loop.memory_accesses sch.loop in
+  for inv = 0 to invocations - 1 do
+    for k = 0 to trips - 1 do
+      List.iter
+        (fun (ins : Instr.t) ->
+          let addr = Tracegen.address trace ~instr:ins ~iteration:k in
+          match ins.Instr.opcode with
+          | Opcode.Load w ->
+            let width = Opcode.bytes_of_width w in
+            Hashtbl.replace expected (inv, ins.Instr.id, k)
+              (Backing.read ref_mem ~addr ~width)
+          | Opcode.Store w ->
+            Backing.write ref_mem ~addr ~width:(Opcode.bytes_of_width w)
+              (store_value ins.Instr.id k)
+          | _ -> ())
+        accesses
+    done
+  done;
+  expected
+
+let default_trips (loop : Loop.t) = min loop.Loop.trip_count 2048
+
+let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
+    ?(invocations = 1) ?(seed = 42) ?(verify = true)
+    ?(on_event = fun (_ : trace_event) -> ()) () =
+  let trips = match trips with Some t -> t | None -> default_trips sch.loop in
+  let trace = Tracegen.create sch.loop ~seed in
+  let size = Tracegen.memory_size sch.loop in
+  let backing = Backing.create ~size in
+  init_memory backing ~seed;
+  let hier = hierarchy ~backing in
+  let expected =
+    if verify then reference_loads sch trace ~trips ~invocations ~seed
+    else Hashtbl.create 1
+  in
+  let events = events_of sch in
+  let by_slot = Array.make sch.ii [] in
+  List.iter
+    (fun e -> by_slot.(e.ev_start mod sch.ii) <- e :: by_slot.(e.ev_start mod sch.ii))
+    events;
+  Array.iteri (fun i l -> by_slot.(i) <- List.rev l) by_slot;
+  let max_start = List.fold_left (fun acc e -> max acc e.ev_start) 0 events in
+  let horizon = ((trips - 1) * sch.ii) + max_start in
+  let cum_stall = ref 0 in
+  let loads = ref 0 and stores = ref 0 and mismatches = ref 0 in
+  let fire ~inv now (ev : event) k =
+    match ev.kind with
+    | Ev_access (ins, p) -> (
+      let addr = Tracegen.address trace ~instr:ins ~iteration:k in
+      match ins.Instr.opcode with
+      | Opcode.Load w ->
+        incr loads;
+        let width = Opcode.bytes_of_width w in
+        let outcome =
+          hier.Hierarchy.load ~now ~cluster:ev.ev_cluster ~addr ~width
+            ~hints:p.Schedule.hints
+        in
+        if verify then begin
+          match Hashtbl.find_opt expected (inv, ins.Instr.id, k) with
+          | Some v when v <> outcome.Hierarchy.value -> incr mismatches
+          | Some _ -> ()
+          | None -> incr mismatches
+        end;
+        let deadline = now + p.Schedule.assumed_latency in
+        let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+        on_event
+          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+            ev_kind = `Load; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+            ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
+        stall
+      | Opcode.Store w ->
+        incr stores;
+        let width = Opcode.bytes_of_width w in
+        let outcome =
+          hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
+            ~value:(store_value ins.Instr.id k) ~hints:p.Schedule.hints
+        in
+        let deadline = now + p.Schedule.assumed_latency in
+        let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+        on_event
+          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+            ev_kind = `Store; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+            ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
+        stall
+      | _ -> 0)
+    | Ev_prefetch (ins, pf) ->
+      (* Runs [lead_iterations] ahead of the load it covers. *)
+      let future = k + pf.lead_iterations in
+      let addr = Tracegen.address trace ~instr:ins ~iteration:future in
+      let width =
+        match Opcode.width ins.Instr.opcode with
+        | Some w -> Opcode.bytes_of_width w
+        | None -> 4
+      in
+      hier.Hierarchy.prefetch ~now ~cluster:ev.ev_cluster ~addr ~width;
+      on_event
+        { ev_time = now; ev_iteration = k; ev_instr = pf.for_instr;
+          ev_kind = `Prefetch; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+          ev_served = None; ev_stall = 0 };
+      0
+    | Ev_replica (ins, _r) -> (
+      let addr = Tracegen.address trace ~instr:ins ~iteration:k in
+      match Opcode.width ins.Instr.opcode with
+      | Some w ->
+        let width = Opcode.bytes_of_width w in
+        let outcome =
+          hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
+            ~value:0L
+            ~hints:(Hint.make ~access:Hint.Inval_only ())
+        in
+        ignore outcome;
+        on_event
+          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+            ev_kind = `Replica; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+            ev_served = None; ev_stall = 0 };
+        0
+      | None -> 0)
+  in
+  let invocation_span = Schedule.compute_cycles sch ~trips in
+  for inv = 0 to invocations - 1 do
+    let offset = inv * invocation_span in
+    for t = 0 to horizon do
+      let slot = t mod sch.ii in
+      let cycle_stall = ref 0 in
+      List.iter
+        (fun ev ->
+          if t >= ev.ev_start then begin
+            let k = (t - ev.ev_start) / sch.ii in
+            if k < trips then begin
+              let now = offset + t + !cum_stall in
+              let stall = fire ~inv now ev k in
+              if stall > !cycle_stall then cycle_stall := stall
+            end
+          end)
+        by_slot.(slot);
+      cum_stall := !cum_stall + !cycle_stall
+    done;
+    (* Inter-loop coherence: flush every L0 buffer between invocations
+       and at loop exit (Section 4.1). *)
+    for c = 0 to cfg.num_clusters - 1 do
+      hier.Hierarchy.invalidate ~cluster:c
+    done
+  done;
+  let compute_cycles = invocation_span * invocations in
+  {
+    trips;
+    compute_cycles;
+    stall_cycles = !cum_stall;
+    total_cycles = compute_cycles + !cum_stall;
+    loads = !loads;
+    stores = !stores;
+    value_mismatches = !mismatches;
+    counters = Stats.Counters.to_list hier.Hierarchy.counters;
+  }
+
+let stall_fraction r =
+  if r.total_cycles = 0 then 0.0
+  else float_of_int r.stall_cycles /. float_of_int r.total_cycles
+
+let l0_hit_rate r =
+  let get name = Option.value ~default:0 (List.assoc_opt name r.counters) in
+  let hits = get "l0_load_hits" and misses = get "l0_load_misses" in
+  if hits + misses = 0 then None
+  else Some (float_of_int hits /. float_of_int (hits + misses))

@@ -1,0 +1,78 @@
+(** Timed lock-step execution of a modulo schedule against a memory
+    hierarchy.
+
+    The four clusters run in lock-step, so a memory operation that takes
+    longer than the latency the scheduler assumed freezes the whole
+    machine for the difference. Execution time therefore decomposes as
+
+    [total = compute + stall],
+    [compute = (stage_count - 1 + trips) * II],
+    [stall = sum over cycles of max over that cycle's accesses of
+             (actual latency - assumed latency)].
+
+    Memory operations fire in schedule order with iterations overlapped
+    exactly as the kernel prescribes; inserted explicit prefetches and
+    PSR replicas fire at their slots too. At loop exit every cluster's
+    L0 buffer is invalidated (inter-loop coherence, Section 4.1).
+
+    When [verify] is set the executor also replays the loop *sequentially*
+    against a reference memory — every store writes a value unique to
+    (instruction, iteration) — and compares each load's simulated value
+    with the reference. Mismatches mean the compiler mismanaged
+    coherence; correctly validated schedules must report zero. *)
+
+open Flexl0_sched
+
+type result = {
+  trips : int;
+  compute_cycles : int;
+  stall_cycles : int;
+  total_cycles : int;
+  loads : int;
+  stores : int;
+  value_mismatches : int;
+  counters : (string * int) list;  (** hierarchy counters snapshot *)
+}
+
+(** One observed memory event, for debugging and visualization. *)
+type trace_event = {
+  ev_time : int;  (** issue cycle (stall-adjusted) *)
+  ev_iteration : int;
+  ev_instr : int;  (** instruction id; -1 for explicit prefetches *)
+  ev_kind : [ `Load | `Store | `Prefetch | `Replica ];
+  ev_cluster_id : int;
+  ev_addr : int;
+  ev_served : Flexl0_mem.Hierarchy.served option;  (** None for prefetches *)
+  ev_stall : int;  (** cycles this event froze the machine *)
+}
+
+val pp_trace_event : Format.formatter -> trace_event -> unit
+
+val ipc_denominator : result -> int
+(** [total_cycles], guarded to at least 1 — convenience for rates. *)
+
+val run :
+  Flexl0_arch.Config.t ->
+  Schedule.t ->
+  hierarchy:(backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t) ->
+  ?trips:int ->
+  ?invocations:int ->
+  ?seed:int ->
+  ?verify:bool ->
+  ?on_event:(trace_event -> unit) ->
+  unit ->
+  result
+(** [on_event] observes every memory event as it fires (loads, stores,
+    explicit prefetches, PSR replicas) — wire it to a printer or a
+    collector for cycle-level debugging. [trips] defaults to the loop's
+    trip count capped at 2048 body
+    iterations (plenty for steady-state measurement); [invocations]
+    (default 1) runs the whole loop that many times back to back — the
+    software pipeline drains, every L0 buffer is invalidated (inter-loop
+    coherence) and the loop restarts, while L1 stays warm, modelling an
+    inner loop re-entered repeatedly by its benchmark; [seed] drives
+    unknown-stride address streams; [verify] defaults to [true]. *)
+
+val stall_fraction : result -> float
+val l0_hit_rate : result -> float option
+(** [None] when the hierarchy never probed an L0 buffer. *)

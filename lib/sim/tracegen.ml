@@ -1,0 +1,59 @@
+open Flexl0_ir
+
+type t = {
+  layout : (int * int) list;
+  arrays : (int * Loop.array_info) list;
+  seed : int;
+  top : int;
+}
+
+let create (loop : Loop.t) ~seed =
+  let layout = Loop.layout loop in
+  let arrays = List.map (fun a -> (a.Loop.array_id, a)) loop.Loop.arrays in
+  let top =
+    List.fold_left
+      (fun acc (id, base) ->
+        let info = List.assq id arrays in
+        max acc (base + Loop.array_bytes info))
+      0 layout
+  in
+  { layout; arrays; seed; top }
+
+let footprint_bytes t = t.top
+
+let memory_size loop =
+  let t = create loop ~seed:0 in
+  (* One page of margin keeps edge prefetches in range. *)
+  t.top + 4096
+
+(* Stateless splitmix64-style mix so an (instruction, iteration) pair maps
+   to the same "random" element no matter in which order addresses are
+   queried (the pipelined and sequential replays interleave differently). *)
+let hash_mix a b c =
+  let open Int64 in
+  let z = add (of_int a) (add (mul (of_int b) 0x9E3779B97F4A7C15L)
+                            (mul (of_int c) 0xBF58476D1CE4E5B9L)) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)
+
+let positive_mod a m = ((a mod m) + m) mod m
+
+let address t ~instr ~iteration =
+  match (instr : Instr.t).memref with
+  | None -> invalid_arg "Tracegen.address: instruction has no memref"
+  | Some r ->
+    let base = List.assoc r.Memref.array_id t.layout in
+    let info = List.assq r.Memref.array_id t.arrays in
+    let elem =
+      match r.Memref.stride with
+      | Memref.Const s ->
+        let start =
+          if s < 0 then info.Loop.length - 1 - r.Memref.offset else r.Memref.offset
+        in
+        positive_mod (start + (s * iteration)) info.Loop.length
+      | Memref.Unknown ->
+        hash_mix t.seed instr.Instr.id iteration mod info.Loop.length
+    in
+    base + (elem * r.Memref.elem_bytes)

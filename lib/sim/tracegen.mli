@@ -1,0 +1,31 @@
+(** Concrete address generation for a loop's memory references.
+
+    The scheduler works on symbolic {!Flexl0_ir.Memref} patterns; the
+    simulator turns them into byte addresses using the loop's array
+    {!Flexl0_ir.Loop.layout}. Constant strides walk the array (wrapping at
+    the end so long simulations stay in bounds; negative strides start
+    from the top); [Unknown] strides draw uniformly from the array, from
+    a stateless per-(instruction, iteration) hash so the address is the
+    same however replays are ordered. *)
+
+open Flexl0_ir
+
+type t
+
+val create : Loop.t -> seed:int -> t
+
+val address : t -> instr:Instr.t -> iteration:int -> int
+(** Byte address the memory instruction touches at a given body
+    iteration. Raises [Invalid_argument] for instructions without a
+    memref. *)
+
+val footprint_bytes : t -> int
+(** Total bytes spanned by the layout (for sizing the backing store). *)
+
+val hash_mix : int -> int -> int -> int
+(** The stateless non-negative mixing function behind unknown-stride
+    addresses; also used to fill simulated memories deterministically. *)
+
+val memory_size : Loop.t -> int
+(** Backing size that safely contains the loop's layout, with margin for
+    prefetches running past array ends. *)

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator.
+
+    Experiments must be reproducible across runs and platforms, so all
+    stochastic choices in the workload generators go through this
+    self-contained splitmix64 generator rather than [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each benchmark / loop its own stream so adding a loop
+    does not perturb the others. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] draws a uniform element of [arr], which must be non-empty. *)
+
+val weighted_pick : t -> (float * 'a) list -> 'a
+(** [weighted_pick t choices] draws an element with probability proportional
+    to its weight. Weights must be positive and the list non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,40 @@
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () = Hashtbl.create 32
+
+  let cell t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+  let add t name n = cell t name := !(cell t name) + n
+  let incr t name = add t name 1
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let merge a b =
+    let out = create () in
+    List.iter (fun (name, n) -> add out name n) (to_list a);
+    List.iter (fun (name, n) -> add out name n) (to_list b);
+    out
+end
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+let percent num den = 100.0 *. ratio num den

@@ -1,0 +1,29 @@
+(** Counters and simple descriptive statistics used by the simulators and
+    the experiment reporting code. *)
+
+(** Mutable named counter set. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val merge : t -> t -> t
+  (** Pointwise sum; inputs are not modified. *)
+end
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0. on the empty list. All values must be positive. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num / den] as a float, 0. when [den = 0]. *)
+
+val percent : int -> int -> float
+(** [percent num den] is [100 * num / den], 0. when [den = 0]. *)

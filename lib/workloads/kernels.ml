@@ -1,0 +1,414 @@
+open Flexl0_ir
+
+let const s = Memref.Const s
+let unknown = Memref.Unknown
+
+(* Real media inner loops carry substantial integer work around each
+   memory access — address arithmetic, saturation, rounding, packing.
+   [arith_pad] models it: [count] extra integer operations mixing two
+   inputs, half independent (they widen the loop and raise the resource
+   MII like real code does) and half chained. The combined value is
+   returned so nothing is dead code. *)
+let arith_pad b ~count x y =
+  let rec go n acc alt =
+    if n <= 0 then acc
+    else
+      let v =
+        match n mod 3 with
+        | 0 -> Builder.iadd b acc alt
+        | 1 -> Builder.icmp b alt x  (* saturation-style test *)
+        | _ -> Builder.iadd b alt y  (* independent of the chain *)
+      in
+      if n mod 3 = 2 then go (n - 1) acc v else go (n - 1) v acc
+  in
+  go count x y
+
+let vector_add ~name ~trip ~len width =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let src = Builder.array b ~name:"src" ~elem_bytes:(Opcode.bytes_of_width width) ~length:len in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:(Opcode.bytes_of_width width) ~length:len in
+  let c = Builder.imove b in
+  let x = Builder.load b ~arr:src ~stride:(const 1) width in
+  let sum = Builder.iadd b x c in
+  let out = arith_pad b ~count:12 sum c in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) width out in
+  Builder.finish b
+
+let saxpy ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:4 ~length:len in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:4 ~length:len in
+  let a = Builder.imove b in
+  let x = Builder.load b ~arr:xs ~stride:(const 1) Opcode.W4 in
+  let y = Builder.load b ~arr:ys ~stride:(const 1) Opcode.W4 in
+  let ax = Builder.fmul b a x in
+  let sum = Builder.fadd b ax y in
+  let out = arith_pad b ~count:12 sum a in
+  let _ = Builder.store b ~arr:ys ~stride:(const 1) Opcode.W4 out in
+  Builder.finish b
+
+let dot_product ~name ~trip ~len width =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:(Opcode.bytes_of_width width) ~length:len in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:(Opcode.bytes_of_width width) ~length:len in
+  let x = Builder.load b ~arr:xs ~stride:(const 1) width in
+  let y = Builder.load b ~arr:ys ~stride:(const 1) width in
+  let prod = Builder.imul b x y in
+  let scaled = arith_pad b ~count:10 prod x in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.iadd b scaled acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  Builder.finish b
+
+let fp_mac ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:4 ~length:len in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:4 ~length:len in
+  let x = Builder.load b ~arr:xs ~stride:(const 1) Opcode.W4 in
+  let y = Builder.load b ~arr:ys ~stride:(const 1) Opcode.W4 in
+  let prod = Builder.fmul b x y in
+  let shaped = arith_pad b ~count:14 x y in
+  let mixed = Builder.fadd b prod shaped in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.fadd b mixed acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  Builder.finish b
+
+let fir4 ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:2 ~length:(len + 4) in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:2 ~length:len in
+  let taps = List.init 4 (fun k -> (k, Builder.imove b)) in
+  let products =
+    List.map
+      (fun (k, coeff) ->
+        let x = Builder.load b ~arr:xs ~offset:k ~stride:(const 1) Opcode.W2 in
+        Builder.imul b x coeff)
+      taps
+  in
+  let sum =
+    match products with
+    | first :: rest -> List.fold_left (fun acc p -> Builder.iadd b acc p) first rest
+    | [] -> assert false
+  in
+  let out = arith_pad b ~count:6 sum (List.hd products) in
+  let _ = Builder.store b ~arr:ys ~stride:(const 1) Opcode.W2 out in
+  Builder.finish b
+
+let iir_inplace ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:(len + 1) in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:4 ~length:len in
+  let c = Builder.imove b in
+  let prev = Builder.load b ~arr:a ~offset:0 ~stride:(const 1) Opcode.W4 in
+  let scaled = Builder.imul b prev c in
+  let x = Builder.load b ~arr:xs ~stride:(const 1) Opcode.W4 in
+  let shaped = arith_pad b ~count:10 x c in  (* off the recurrence path *)
+  let next = Builder.iadd b scaled x in
+  let _ = Builder.store b ~arr:a ~offset:1 ~stride:(const 1) Opcode.W4 next in
+  let side = Builder.array b ~name:"gain" ~elem_bytes:4 ~length:len in
+  let _ = Builder.store b ~arr:side ~stride:(const 1) Opcode.W4 shaped in
+  Builder.finish b
+
+let autocorr ~name ~trip ~len ~lag =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:2 ~length:(len + lag) in
+  let x0 = Builder.load b ~arr:xs ~offset:0 ~stride:(const 1) Opcode.W2 in
+  let x1 = Builder.load b ~arr:xs ~offset:lag ~stride:(const 1) Opcode.W2 in
+  let prod = Builder.imul b x0 x1 in
+  let shaped = arith_pad b ~count:16 prod x0 in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.iadd b shaped acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  Builder.finish b
+
+let stencil3 ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:2 ~length:(len + 2) in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:2 ~length:len in
+  let x0 = Builder.load b ~arr:xs ~offset:0 ~stride:(const 1) Opcode.W2 in
+  let x1 = Builder.load b ~arr:xs ~offset:1 ~stride:(const 1) Opcode.W2 in
+  let x2 = Builder.load b ~arr:xs ~offset:2 ~stride:(const 1) Opcode.W2 in
+  let s01 = Builder.iadd b x0 x1 in
+  let sum = Builder.iadd b s01 x2 in
+  let out = arith_pad b ~count:10 sum x1 in
+  let _ = Builder.store b ~arr:ys ~stride:(const 1) Opcode.W2 out in
+  Builder.finish b
+
+let table_lookup ~name ~trip ~len ~table =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let idx = Builder.array b ~name:"idx" ~elem_bytes:2 ~length:len in
+  let lut = Builder.array b ~name:"lut" ~elem_bytes:4 ~length:table in
+  let out = Builder.array b ~name:"out" ~elem_bytes:4 ~length:len in
+  let i = Builder.load b ~arr:idx ~stride:(const 1) Opcode.W2 in
+  let base = Builder.iadd b i i in  (* address computation on the int unit *)
+  let v = Builder.load b ~arr:lut ~stride:unknown Opcode.W4 in
+  let r = Builder.iadd b v base in
+  let shaped = arith_pad b ~count:10 r v in
+  let _ = Builder.store b ~arr:out ~stride:(const 1) Opcode.W4 shaped in
+  Builder.finish b
+
+let histogram ~name ~trip ~len ~buckets =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let idx = Builder.array b ~name:"idx" ~elem_bytes:2 ~length:len in
+  let h = Builder.array b ~name:"hist" ~elem_bytes:4 ~length:buckets in
+  let one = Builder.imove b in
+  let i = Builder.load b ~arr:idx ~stride:(const 1) Opcode.W2 in
+  let count = Builder.load b ~arr:h ~stride:unknown Opcode.W4 in
+  let shaped = arith_pad b ~count:8 i one in
+  let _anchor = Builder.iadd b shaped one in
+  let bumped = Builder.iadd b count one in
+  let _ = Builder.store b ~arr:h ~stride:unknown Opcode.W4 bumped in
+  Builder.finish b
+
+let column_walk ?(cols = 1) ~name ~trip ~len ~row width =
+  assert (cols >= 1);
+  let b = Builder.create ~name ~trip_count:trip () in
+  let bytes = Opcode.bytes_of_width width in
+  let matrices =
+    List.init cols (fun k ->
+        Builder.array b ~name:(Printf.sprintf "m%d" k) ~elem_bytes:bytes
+          ~length:len)
+  in
+  let out = Builder.array b ~name:"out" ~elem_bytes:bytes ~length:len in
+  let c = Builder.imove b in
+  let columns =
+    List.map (fun m -> Builder.load b ~arr:m ~stride:(const row) width) matrices
+  in
+  let combined =
+    match columns with
+    | first :: rest -> List.fold_left (fun acc x -> Builder.iadd b acc x) first rest
+    | [] -> assert false
+  in
+  let t1 = Builder.imul b combined c in
+  let t2 = arith_pad b ~count:16 t1 c in
+  let _ = Builder.store b ~arr:out ~stride:(const 1) width t2 in
+  Builder.finish b
+
+(* Vertical [taps]-tap filter walking down an image column: [taps] loads
+   of the same array at offsets k*row with stride [row]. All the taps
+   belong in one cluster (they are one coherent working set) but every
+   tap occupies its own subblock, so marking all of them overflows a
+   small L0 buffer — the Section 5.2 all-candidates study. *)
+let column_stencil ?(taps = 6) ~name ~trip ~len ~row width =
+  assert (taps >= 2);
+  let b = Builder.create ~name ~trip_count:trip () in
+  let bytes = Opcode.bytes_of_width width in
+  let m = Builder.array b ~name:"img" ~elem_bytes:bytes ~length:len in
+  let out = Builder.array b ~name:"out" ~elem_bytes:bytes ~length:len in
+  let c = Builder.imove b in
+  let loads =
+    List.init taps (fun k ->
+        Builder.load b ~arr:m ~offset:(k * row) ~stride:(const row) width)
+  in
+  let sum =
+    match loads with
+    | first :: rest -> List.fold_left (fun acc x -> Builder.iadd b acc x) first rest
+    | [] -> assert false
+  in
+  let t = Builder.imul b sum c in
+  let shaped = arith_pad b ~count:10 t c in
+  let _ = Builder.store b ~arr:out ~stride:(const 1) width shaped in
+  Builder.finish b
+
+let block_copy ~name ~trip ~len width =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let bytes = Opcode.bytes_of_width width in
+  let src = Builder.array b ~name:"src" ~elem_bytes:bytes ~length:len in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:bytes ~length:len in
+  let x = Builder.load b ~arr:src ~stride:(const 1) width in
+  let guard = Builder.imove b in
+  let shaped = arith_pad b ~count:8 x guard in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) width shaped in
+  Builder.finish b
+
+let memfill ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:4 ~length:len in
+  let v = Builder.imove b in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) Opcode.W4 v in
+  Builder.finish b
+
+let upsample_bytes ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let src = Builder.array b ~name:"src" ~elem_bytes:1 ~length:len in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:2 ~length:len in
+  let gain = Builder.imove b in
+  let x = Builder.load b ~arr:src ~stride:(const 1) Opcode.W1 in
+  let wide = Builder.imul b x gain in
+  let shaped = arith_pad b ~count:12 wide gain in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) Opcode.W2 shaped in
+  Builder.finish b
+
+let dct_short ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let src = Builder.array b ~name:"blk" ~elem_bytes:2 ~length:(len + 1) in
+  let dst = Builder.array b ~name:"coef" ~elem_bytes:2 ~length:len in
+  let c0 = Builder.imove b in
+  let c1 = Builder.imove b in
+  let x0 = Builder.load b ~arr:src ~offset:0 ~stride:(const 1) Opcode.W2 in
+  let x1 = Builder.load b ~arr:src ~offset:1 ~stride:(const 1) Opcode.W2 in
+  let p0 = Builder.imul b x0 c0 in
+  let p1 = Builder.imul b x1 c1 in
+  let s = Builder.iadd b p0 p1 in
+  let r = arith_pad b ~count:10 s c0 in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) Opcode.W2 r in
+  Builder.finish b
+
+let multi_stream ~name ~trip ~len ~streams =
+  assert (streams >= 2);
+  let b = Builder.create ~name ~trip_count:trip () in
+  let arrays =
+    List.init streams (fun k ->
+        Builder.array b ~name:(Printf.sprintf "s%d" k) ~elem_bytes:2 ~length:len)
+  in
+  let out = Builder.array b ~name:"out" ~elem_bytes:2 ~length:len in
+  let values =
+    List.map (fun arr -> Builder.load b ~arr ~stride:(const 1) Opcode.W2) arrays
+  in
+  let sum =
+    match values with
+    | first :: rest -> List.fold_left (fun acc v -> Builder.iadd b acc v) first rest
+    | [] -> assert false
+  in
+  let shaped = arith_pad b ~count:8 sum (List.hd values) in
+  let _ = Builder.store b ~arr:out ~stride:(const 1) Opcode.W2 shaped in
+  Builder.finish b
+
+let pressure_loop ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let a0 = Builder.array b ~name:"a0" ~elem_bytes:2 ~length:len in
+  let a1 = Builder.array b ~name:"a1" ~elem_bytes:2 ~length:len in
+  let m = Builder.array b ~name:"m" ~elem_bytes:2 ~length:len in
+  let out0 = Builder.array b ~name:"out0" ~elem_bytes:2 ~length:len in
+  let out1 = Builder.array b ~name:"out1" ~elem_bytes:2 ~length:len in
+  let x0 = Builder.load b ~arr:a0 ~stride:(const 1) Opcode.W2 in
+  let x1 = Builder.load b ~arr:a1 ~stride:(const 1) Opcode.W2 in
+  let col = Builder.load b ~arr:m ~stride:(const 16) Opcode.W2 in
+  let x3 = Builder.load b ~arr:a0 ~offset:1 ~stride:(const 1) Opcode.W2 in
+  let x4 = Builder.load b ~arr:a1 ~offset:1 ~stride:(const 1) Opcode.W2 in
+  let x5 = Builder.load b ~arr:m ~offset:1 ~stride:(const 16) Opcode.W2 in
+  let s0 = Builder.iadd b x0 x1 in
+  let s1 = Builder.iadd b col x3 in
+  let s2 = Builder.iadd b x4 x5 in
+  let t0 = Builder.iadd b s0 s1 in
+  let _ = Builder.store b ~arr:out0 ~stride:(const 1) Opcode.W2 t0 in
+  let _ = Builder.store b ~arr:out1 ~stride:(const 1) Opcode.W2 s2 in
+  Builder.finish b
+
+let mix_large ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let src = Builder.array b ~name:"big_src" ~elem_bytes:4 ~length:len in
+  let key = Builder.array b ~name:"key" ~elem_bytes:4 ~length:1024 in
+  let dst = Builder.array b ~name:"big_dst" ~elem_bytes:4 ~length:len in
+  let x = Builder.load b ~arr:src ~stride:(const 1) Opcode.W4 in
+  let k = Builder.load b ~arr:key ~stride:unknown Opcode.W4 in
+  let m1 = Builder.imul b x k in
+  let m2 = Builder.iadd b m1 x in
+  let _ = Builder.store b ~arr:dst ~stride:(const 1) Opcode.W4 m2 in
+  Builder.finish b
+
+let fp_filter_low_ii ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:8 ~length:len in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:8 ~length:len in
+  let g = Builder.imove b in
+  let x = Builder.load b ~arr:xs ~stride:(const 1) Opcode.W8 in
+  let scaled = Builder.fmul b x g in
+  let _ = Builder.store b ~arr:ys ~stride:(const 1) Opcode.W8 scaled in
+  Builder.finish b
+
+let transpose ~name ~trip ~len ~row width =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let bytes = Opcode.bytes_of_width width in
+  let src = Builder.array b ~name:"src" ~elem_bytes:bytes ~length:len in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:bytes ~length:len in
+  let x = Builder.load b ~arr:src ~stride:(const 1) width in
+  let guard = Builder.imove b in
+  let shaped = arith_pad b ~count:8 x guard in
+  let _ = Builder.store b ~arr:dst ~stride:(const row) width shaped in
+  Builder.finish b
+
+let conv2d_row ~name ~trip ~len ~row =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let img = Builder.array b ~name:"img" ~elem_bytes:2 ~length:len in
+  let out = Builder.array b ~name:"out" ~elem_bytes:2 ~length:len in
+  let c = Builder.imove b in
+  (* 3x3 kernel: three horizontal taps on three consecutive image rows. *)
+  let taps =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun k ->
+            let x =
+              Builder.load b ~arr:img ~offset:((r * row) + k) ~stride:(const 1)
+                Opcode.W2
+            in
+            Builder.imul b x c)
+          [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let sum =
+    match taps with
+    | first :: rest -> List.fold_left (fun acc t -> Builder.iadd b acc t) first rest
+    | [] -> assert false
+  in
+  let shaped = arith_pad b ~count:6 sum c in
+  let _ = Builder.store b ~arr:out ~stride:(const 1) Opcode.W2 shaped in
+  Builder.finish b
+
+let yuv_to_rgb ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let y = Builder.array b ~name:"y" ~elem_bytes:1 ~length:len in
+  let u = Builder.array b ~name:"u" ~elem_bytes:1 ~length:len in
+  let v = Builder.array b ~name:"v" ~elem_bytes:1 ~length:len in
+  let rgb =
+    List.map
+      (fun n -> Builder.array b ~name:n ~elem_bytes:1 ~length:len)
+      [ "r"; "g"; "bch" ]
+  in
+  let cy = Builder.imove b and cu = Builder.imove b and cv = Builder.imove b in
+  let ly = Builder.load b ~arr:y ~stride:(const 1) Opcode.W1 in
+  let lu = Builder.load b ~arr:u ~stride:(const 1) Opcode.W1 in
+  let lv = Builder.load b ~arr:v ~stride:(const 1) Opcode.W1 in
+  let sy = Builder.imul b ly cy in
+  let su = Builder.imul b lu cu in
+  let sv = Builder.imul b lv cv in
+  let r = Builder.iadd b sy sv in
+  let g0 = Builder.iadd b sy su in
+  let g = Builder.iadd b g0 sv in
+  let bl = Builder.iadd b sy su in
+  let clip x = Builder.icmp b x cy in
+  List.iter2
+    (fun arr value ->
+      let _ = Builder.store b ~arr ~stride:(const 1) Opcode.W1 (clip value) in
+      ())
+    rgb [ r; g; bl ];
+  Builder.finish b
+
+let sad_block ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let cur = Builder.array b ~name:"cur" ~elem_bytes:1 ~length:len in
+  let ref_ = Builder.array b ~name:"ref" ~elem_bytes:1 ~length:len in
+  let c = Builder.load b ~arr:cur ~stride:(const 1) Opcode.W1 in
+  let r = Builder.load b ~arr:ref_ ~stride:(const 1) Opcode.W1 in
+  let diff = Builder.iadd b c r in
+  let abs_ = Builder.icmp b diff c in
+  let shaped = arith_pad b ~count:8 abs_ r in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.iadd b shaped acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  Builder.finish b
+
+let bit_unpack ~name ~trip ~len =
+  let b = Builder.create ~name ~trip_count:trip () in
+  let packed = Builder.array b ~name:"packed" ~elem_bytes:1 ~length:len in
+  let out = Builder.array b ~name:"out" ~elem_bytes:4 ~length:(len * 2) in
+  let mask = Builder.imove b in
+  let byte = Builder.load b ~arr:packed ~stride:(const 1) Opcode.W1 in
+  let hi = Builder.imul b byte mask in
+  let lo = Builder.icmp b byte mask in
+  let merged = Builder.iadd b hi lo in
+  let shaped = arith_pad b ~count:8 merged mask in
+  let _ = Builder.store b ~arr:out ~stride:(const 2) Opcode.W4 shaped in
+  Builder.finish b

@@ -1,0 +1,114 @@
+(** Library of parameterized media-style loop kernels.
+
+    These are the building blocks of the synthetic Mediabench suites:
+    each returns a self-contained {!Flexl0_ir.Loop.t} with a realistic
+    instruction mix for its pattern. All element counts are in elements
+    of the kernel's access width. *)
+
+open Flexl0_ir
+
+val vector_add : name:string -> trip:int -> len:int -> Opcode.width -> Loop.t
+(** [a\[i\] = b\[i\] + C] — the paper's running example; unit stride. *)
+
+val saxpy : name:string -> trip:int -> len:int -> Loop.t
+(** [y\[i\] = a * x\[i\] + y\[i\]] over 4-byte floats: two load streams, one
+    store stream back into one of them. *)
+
+val dot_product : name:string -> trip:int -> len:int -> Opcode.width -> Loop.t
+(** Integer multiply-accumulate with a loop-carried register chain. *)
+
+val fp_mac : name:string -> trip:int -> len:int -> Loop.t
+(** Floating-point multiply-accumulate; the carried fadd bounds the II at
+    the fp latency. *)
+
+val fir4 : name:string -> trip:int -> len:int -> Loop.t
+(** 4-tap FIR: reads [x\[i\] .. x\[i+3\]], writes [y\[i\]] — overlapping
+    subblock reuse across offsets. *)
+
+val iir_inplace : name:string -> trip:int -> len:int -> Loop.t
+(** [a\[i+1\] = a\[i\] * c + x\[i\]] — the Figure-3 pattern: a
+    store-to-load memory recurrence whose II collapses when the load can
+    use the L0 latency, and a load/store coherence set exercising 1C. *)
+
+val autocorr : name:string -> trip:int -> len:int -> lag:int -> Loop.t
+(** [acc += x\[i\] * x\[i+lag\]] — two loads of the same array. *)
+
+val stencil3 : name:string -> trip:int -> len:int -> Loop.t
+(** [b\[i\] = x\[i\] + x\[i+1\] + x\[i+2\]]. *)
+
+val table_lookup : name:string -> trip:int -> len:int -> table:int -> Loop.t
+(** [out\[i\] = lut\[idx\[i\]\]] — the lut access has an unknown stride
+    (never an L0 candidate). *)
+
+val histogram : name:string -> trip:int -> len:int -> buckets:int -> Loop.t
+(** [h\[idx\[i\]\]++] — an unknown-stride load/store coherence set: the
+    scheduler must fall back to NL0. *)
+
+val column_walk :
+  ?cols:int ->
+  name:string -> trip:int -> len:int -> row:int -> Opcode.width -> Loop.t
+(** Walk [cols] matrices by column (stride = [row] elements): "other"
+    strides needing explicit software prefetches to hit in L0. *)
+
+val column_stencil :
+  ?taps:int ->
+  name:string -> trip:int -> len:int -> row:int -> Opcode.width -> Loop.t
+(** Vertical multi-tap filter down an image column: [taps] same-array
+    column streams that belong together in one cluster but each occupy
+    their own subblocks — marking all of them overflows a small buffer
+    (the §5.2 all-candidates study). *)
+
+val block_copy : name:string -> trip:int -> len:int -> Opcode.width -> Loop.t
+(** Straight copy [dst\[i\] = src\[i\]]. *)
+
+val memfill : name:string -> trip:int -> len:int -> Loop.t
+(** Store-only stream (store-only dependence sets need no coherence
+    treatment). *)
+
+val upsample_bytes : name:string -> trip:int -> len:int -> Loop.t
+(** Byte loads widened into 2-byte stores — a 1-byte interleave
+    granularity when unrolled. *)
+
+val dct_short : name:string -> trip:int -> len:int -> Loop.t
+(** Short-trip transform row pass (high stage-count sensitivity):
+    two loads, multiply/add network, one store. *)
+
+val multi_stream : name:string -> trip:int -> len:int -> streams:int -> Loop.t
+(** Sum [streams] parallel unit-stride arrays into one output — with more
+    live streams per cluster than L0 entries this thrashes small buffers
+    (the jpegdec 4-entry pathology). *)
+
+val pressure_loop : name:string -> trip:int -> len:int -> Loop.t
+(** Memory-slot-saturating loop (every memory unit busy every cycle, no
+    room for explicit prefetches) mixing unit and row strides — the
+    jpegdec loop where L0 buffers lose to the plain unified cache. *)
+
+val mix_large : name:string -> trip:int -> len:int -> Loop.t
+(** Streaming transform over arrays far larger than L1 (pegwit-style low
+    L1 hit rate). *)
+
+val fp_filter_low_ii : name:string -> trip:int -> len:int -> Loop.t
+(** Small-body fp filter whose II is low enough that hint prefetches
+    arrive late (the epicdec / rasta stall pathology). *)
+
+val transpose :
+  name:string -> trip:int -> len:int -> row:int -> Opcode.width -> Loop.t
+(** Read a row, write a column: the *store* has the "other" stride.
+    Stores do not allocate in L0, so unlike {!column_walk} this stays
+    cheap under the proposed architecture. *)
+
+val conv2d_row : name:string -> trip:int -> len:int -> row:int -> Loop.t
+(** One output row of a 3x3 convolution: nine loads over three image
+    rows — three same-cluster subblock-sharing streams. *)
+
+val yuv_to_rgb : name:string -> trip:int -> len:int -> Loop.t
+(** Colour-space conversion: three byte load streams, three byte store
+    streams — six unit-stride streams at 1-byte interleave granularity. *)
+
+val sad_block : name:string -> trip:int -> len:int -> Loop.t
+(** Sum of absolute differences (motion estimation): two byte streams
+    into an accumulator chain. *)
+
+val bit_unpack : name:string -> trip:int -> len:int -> Loop.t
+(** Entropy-decoder-style widening: byte loads, 4-byte stores at stride
+    2 (an "other"-stride store stream). *)

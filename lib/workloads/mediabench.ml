@@ -1,0 +1,278 @@
+open Flexl0_ir
+
+type weighted_loop = { loop : Loop.t; repeat : int }
+
+type benchmark = {
+  bname : string;
+  loops : weighted_loop list;
+  scalar_fraction : float;
+}
+
+type stride_stats = { s : float; sg : float; so : float }
+
+let wl ?(repeat = 1) loop = { loop; repeat }
+
+(* Each suite is assembled to hit the benchmark's Table 1 stride mix and
+   the behaviours Section 5 attributes to it. Array lengths keep hot data
+   within reach of the 8KB L1 (except pegwit) and [repeat] models how
+   often the benchmark re-enters the loop. *)
+
+let epicdec () =
+  (* Wavelet decoder: many column walks over the image pyramid (the SO =
+     33% of Table 1) plus low-II filter loops whose hint prefetches run
+     late — the stall pathology of Section 5.2. *)
+  {
+    bname = "epicdec";
+    loops =
+      [
+        wl ~repeat:6 (Kernels.column_walk ~cols:2 ~name:"epic_column" ~trip:512
+                        ~len:1024 ~row:16 Opcode.W2);
+        wl ~repeat:2 (Kernels.column_stencil ~taps:6 ~name:"epic_vfilter"
+                        ~trip:128 ~len:2048 ~row:16 Opcode.W2);
+        wl ~repeat:2 (Kernels.fp_filter_low_ii ~name:"epic_filter" ~trip:1024
+                        ~len:1024);
+        wl ~repeat:6 (Kernels.saxpy ~name:"epic_build" ~trip:512 ~len:1024);
+        wl ~repeat:2 (Kernels.vector_add ~name:"epic_scale" ~trip:512 ~len:1024
+                        Opcode.W2);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let g721 tag =
+  (* ADPCM codec: the predictor update is an in-place store-to-load
+     recurrence over tiny state arrays — 100% good strides and the case
+     where the L0 latency collapses the II. *)
+  {
+    bname = "g721" ^ tag;
+    loops =
+      [
+        wl ~repeat:64 (Kernels.iir_inplace ~name:"g721_predictor" ~trip:64
+                         ~len:64);
+        wl ~repeat:64 (Kernels.iir_inplace ~name:"g721_reconstruct" ~trip:48
+                         ~len:48);
+        wl ~repeat:16 (Kernels.dot_product ~name:"g721_filter" ~trip:32 ~len:32
+                         Opcode.W2);
+        wl ~repeat:16 (Kernels.vector_add ~name:"g721_update" ~trip:32 ~len:32
+                         Opcode.W2);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let gsm tag extra =
+  (* GSM codec: LTP FIR filters and autocorrelation windows over short
+     16-bit sample buffers. *)
+  {
+    bname = "gsm" ^ tag;
+    loops =
+      ([
+         wl ~repeat:32 (Kernels.fir4 ~name:"gsm_fir" ~trip:40 ~len:160);
+         wl ~repeat:32 (Kernels.iir_inplace ~name:"gsm_ltp" ~trip:40 ~len:160);
+       ]
+      @ extra);
+    scalar_fraction = 0.2;
+  }
+
+let gsmdec () =
+  gsm "dec"
+    [ wl ~repeat:16 (Kernels.upsample_bytes ~name:"gsm_expand" ~trip:160 ~len:640) ]
+
+let gsmenc () =
+  gsm "enc"
+    [ wl ~repeat:16 (Kernels.autocorr ~name:"gsm_autocorr" ~trip:120 ~len:160 ~lag:40) ]
+
+let jpegdec () =
+  (* IDCT short-trip rows, Huffman/dequant table lookups (the unstrided
+     40%), a multi-stream merge whose prefetches overflow 4-entry L0
+     buffers, and the memory-pressure loop where L0 buffers lose to the
+     plain cache. *)
+  {
+    bname = "jpegdec";
+    loops =
+      [
+        wl ~repeat:64 (Kernels.dct_short ~name:"jpeg_idct" ~trip:8 ~len:8);
+        wl ~repeat:2 (Kernels.table_lookup ~name:"jpeg_dequant" ~trip:1024
+                        ~len:1024 ~table:256);
+        wl ~repeat:8 (Kernels.multi_stream ~name:"jpeg_merge" ~trip:128 ~len:512
+                        ~streams:3);
+        wl ~repeat:8 (Kernels.pressure_loop ~name:"jpeg_upsample" ~trip:1024
+                        ~len:2048);
+        wl ~repeat:30 (Kernels.histogram ~name:"jpeg_huff" ~trip:1024 ~len:1024
+                         ~buckets:256);
+        wl ~repeat:4 (Kernels.column_walk ~cols:3 ~name:"jpeg_colpass"
+                        ~trip:1024 ~len:4096 ~row:64 Opcode.W2);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let jpegenc () =
+  (* Forward DCT plus heavier entropy-coding table traffic: roughly half
+     the dynamic memory instructions are unstrided. *)
+  {
+    bname = "jpegenc";
+    loops =
+      [
+        wl ~repeat:64 (Kernels.dct_short ~name:"jpeg_fdct" ~trip:8 ~len:8);
+        wl ~repeat:4 (Kernels.table_lookup ~name:"jpeg_quant" ~trip:1024
+                        ~len:1024 ~table:256);
+        wl ~repeat:12 (Kernels.histogram ~name:"jpeg_entropy" ~trip:1024
+                         ~len:1024 ~buckets:256);
+        wl ~repeat:2 (Kernels.vector_add ~name:"jpeg_shift" ~trip:512 ~len:512
+                        Opcode.W2);
+        wl ~repeat:4 (Kernels.column_walk ~name:"jpeg_zigzag" ~trip:512 ~len:4096
+                        ~row:8 Opcode.W2);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let mpeg2dec () =
+  (* Motion compensation walks reference frames by row stride (SO = 54%)
+     at IIs around 5-6; some lookup traffic. *)
+  {
+    bname = "mpeg2dec";
+    loops =
+      [
+        wl ~repeat:8 (Kernels.column_walk ~cols:3 ~name:"mpeg_mc_row" ~trip:512
+                        ~len:2048 ~row:22 Opcode.W2);
+        wl ~repeat:8 (Kernels.column_walk ~cols:2 ~name:"mpeg_mc_col" ~trip:256
+                        ~len:1024 ~row:16 Opcode.W4);
+        wl ~repeat:2 (Kernels.stencil3 ~name:"mpeg_halfpel" ~trip:1024 ~len:1024);
+        wl ~repeat:2 (Kernels.table_lookup ~name:"mpeg_vlc" ~trip:512 ~len:512
+                        ~table:512);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let pegwit tag =
+  (* Elliptic-curve crypto: streaming mixes over buffers much larger than
+     L1 (the low L1 hit rate of Figure 6) and irregular key-dependent
+     lookups — about half the accesses unstrided. *)
+  {
+    bname = "pegwit" ^ tag;
+    loops =
+      [
+        wl (Kernels.mix_large ~name:"pegwit_mix" ~trip:1024 ~len:32768);
+        wl ~repeat:8 (Kernels.histogram ~name:"pegwit_sbox" ~trip:512 ~len:512
+                        ~buckets:512);
+        wl ~repeat:2 (Kernels.block_copy ~name:"pegwit_copy" ~trip:512 ~len:8192
+                        Opcode.W4);
+        wl (Kernels.column_walk ~name:"pegwit_transpose" ~trip:256 ~len:4096
+              ~row:16 Opcode.W4);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let pgpdec () =
+  (* Bignum multiply-accumulate inner loops; nearly everything is a good
+     stride. *)
+  {
+    bname = "pgpdec";
+    loops =
+      [
+        wl ~repeat:64 (Kernels.dot_product ~name:"pgp_mpmul" ~trip:32 ~len:512
+                         Opcode.W4);
+        wl ~repeat:64 (Kernels.iir_inplace ~name:"pgp_carry" ~trip:64 ~len:64);
+        wl ~repeat:32 (Kernels.vector_add ~name:"pgp_add" ~trip:32 ~len:512
+                         Opcode.W4);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let pgpenc () =
+  (* Same arithmetic core plus some table traffic (S = 86%). *)
+  {
+    bname = "pgpenc";
+    loops =
+      [
+        wl ~repeat:64 (Kernels.dot_product ~name:"pgp_mpmul" ~trip:32 ~len:512
+                         Opcode.W4);
+        wl ~repeat:32 (Kernels.iir_inplace ~name:"pgp_carry" ~trip:64 ~len:64);
+        wl ~repeat:8 (Kernels.table_lookup ~name:"pgp_sbox" ~trip:256 ~len:512
+                        ~table:256);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let rasta () =
+  (* Speech analysis: fp filterbanks, some with IIs too small for the
+     prefetch distance (the other stall pathology), a column walk over
+     the spectrogram and light table traffic. *)
+  {
+    bname = "rasta";
+    loops =
+      [
+        wl ~repeat:8 (Kernels.fp_mac ~name:"rasta_bank" ~trip:512 ~len:512);
+        wl ~repeat:8 (Kernels.iir_inplace ~name:"rasta_iir" ~trip:256 ~len:256);
+        wl ~repeat:6 (Kernels.fp_filter_low_ii ~name:"rasta_filter" ~trip:512
+                        ~len:512);
+        wl ~repeat:2 (Kernels.column_walk ~cols:2 ~name:"rasta_spectro" ~trip:256
+                        ~len:2048 ~row:16 Opcode.W4);
+        wl ~repeat:2 (Kernels.table_lookup ~name:"rasta_map" ~trip:256 ~len:256
+                        ~table:256);
+      ];
+    scalar_fraction = 0.2;
+  }
+
+let all () =
+  [
+    epicdec ();
+    g721 "dec";
+    g721 "enc";
+    gsmdec ();
+    gsmenc ();
+    jpegdec ();
+    jpegenc ();
+    mpeg2dec ();
+    pegwit "dec";
+    pegwit "enc";
+    pgpdec ();
+    pgpenc ();
+    rasta ();
+  ]
+
+let names = List.map (fun b -> b.bname) (all ())
+
+let find name =
+  match List.find_opt (fun b -> b.bname = name) (all ()) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let stride_stats b =
+  let strided = ref 0 and good = ref 0 and other = ref 0 and total = ref 0 in
+  List.iter
+    (fun { loop; repeat } ->
+      let dynamic = loop.Loop.trip_count * repeat in
+      List.iter
+        (fun (ins : Instr.t) ->
+          match ins.Instr.memref with
+          | None -> ()
+          | Some r ->
+            total := !total + dynamic;
+            (match Memref.stride_class r with
+            | `Good ->
+              strided := !strided + dynamic;
+              good := !good + dynamic
+            | `Other ->
+              strided := !strided + dynamic;
+              other := !other + dynamic
+            | `Unstrided -> ()))
+        (Loop.memory_accesses loop))
+    b.loops;
+  let pct x = if !total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int !total in
+  { s = pct !strided; sg = pct !good; so = pct !other }
+
+let paper_table1 =
+  [
+    ("epicdec", { s = 99.; sg = 66.; so = 33. });
+    ("g721dec", { s = 100.; sg = 100.; so = 0. });
+    ("g721enc", { s = 100.; sg = 100.; so = 0. });
+    ("gsmdec", { s = 97.; sg = 97.; so = 0. });
+    ("gsmenc", { s = 99.; sg = 99.; so = 0. });
+    ("jpegdec", { s = 60.; sg = 39.; so = 21. });
+    ("jpegenc", { s = 49.; sg = 40.; so = 9. });
+    ("mpeg2dec", { s = 96.; sg = 42.; so = 54. });
+    ("pegwitdec", { s = 50.; sg = 48.; so = 2. });
+    ("pegwitenc", { s = 56.; sg = 54.; so = 2. });
+    ("pgpdec", { s = 99.; sg = 98.; so = 1. });
+    ("pgpenc", { s = 86.; sg = 86.; so = 0. });
+    ("rasta", { s = 95.; sg = 87.; so = 8. });
+  ]

@@ -1,0 +1,48 @@
+(** Synthetic Mediabench suites (substitute for the paper's benchmarks).
+
+    The real evaluation compiled 13 Mediabench programs with IMPACT; here
+    each benchmark is a weighted set of inner loops built from
+    {!Kernels}, chosen so that
+
+    - the *static stride mix* matches Table 1's S / SG / SO columns
+      (fraction of dynamic memory instructions that are strided, have
+      "good" strides 0/+-1, or other strides), and
+    - the per-benchmark behaviours Section 5 discusses are present:
+      recurrence-bound predictor loops in g721, an L0-thrashing
+      multi-stream loop and a memory-pressure loop in jpegdec, low-II
+      prefetch-late loops in epicdec and rasta, L1-capacity-bound
+      streaming in pegwit, column walks in mpeg2dec.
+
+    A loop's [repeat] is how many times the benchmark enters it (the
+    runner simulates a few back-to-back invocations and scales). The
+    [scalar_fraction] is the share of execution outside modulo-scheduled
+    inner loops (the paper reports roughly 20%), executed identically on
+    every configuration. *)
+
+open Flexl0_ir
+
+type weighted_loop = { loop : Loop.t; repeat : int }
+
+type benchmark = {
+  bname : string;
+  loops : weighted_loop list;
+  scalar_fraction : float;
+}
+
+val all : unit -> benchmark list
+(** The 13 benchmarks, in Table 1 order. *)
+
+val names : string list
+
+val find : string -> benchmark
+(** Raises [Not_found] for unknown names. *)
+
+type stride_stats = { s : float; sg : float; so : float }
+(** Percentages of dynamic memory instructions (0..100). *)
+
+val stride_stats : benchmark -> stride_stats
+(** Our Table 1 columns, computed over the suite's dynamic memory
+    instruction mix. *)
+
+val paper_table1 : (string * stride_stats) list
+(** The paper's Table 1 values, for side-by-side reporting. *)

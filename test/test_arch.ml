@@ -1,0 +1,102 @@
+(* Tests for Flexl0_arch.Config: Table 2 parameters and validation. *)
+
+module Config = Flexl0_arch.Config
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok cfg =
+  match Config.validate cfg with
+  | Ok () -> true
+  | Error _ -> false
+
+let test_default_matches_table2 () =
+  let c = Config.default in
+  check_int "4 clusters" 4 c.Config.num_clusters;
+  check_int "1 int FU" 1 c.Config.int_units;
+  check_int "1 mem FU" 1 c.Config.mem_units;
+  check_int "1 fp FU" 1 c.Config.fp_units;
+  check_int "4 buses" 4 c.Config.comm_buses;
+  check_int "2-cycle buses" 2 c.Config.comm_latency;
+  check_int "L0 1 cycle" 1 c.Config.l0.Config.l0_latency;
+  check_int "8-byte subblocks" 8 c.Config.l0.Config.subblock_bytes;
+  check_int "2 ports" 2 c.Config.l0.Config.ports;
+  check_int "L1 6 cycles" 6 c.Config.l1.Config.l1_latency;
+  check_int "L1 8KB" 8192 c.Config.l1.Config.size_bytes;
+  check_int "L1 2-way" 2 c.Config.l1.Config.ways;
+  check_int "32B blocks" 32 c.Config.l1.Config.block_bytes;
+  check_int "1 interleave cycle" 1 c.Config.l1.Config.interleave_penalty;
+  check_int "L2 10 cycles" 10 c.Config.l2.Config.l2_latency;
+  check "8-entry default L0" true (c.Config.l0.Config.capacity = Config.Entries 8)
+
+let test_default_valid () = check "default valid" true (ok Config.default)
+let test_baseline_no_l0 () =
+  check "baseline has no L0" false (Config.has_l0 Config.baseline);
+  check "baseline still valid" true (ok Config.baseline)
+
+let test_with_l0 () =
+  let c = Config.with_l0 (Config.Entries 16) Config.default in
+  Alcotest.(check (option int)) "16 entries" (Some 16) (Config.l0_entry_count c);
+  check "has l0" true (Config.has_l0 c);
+  let u = Config.with_l0 Config.Unbounded Config.default in
+  Alcotest.(check (option int)) "unbounded" None (Config.l0_entry_count u);
+  check "unbounded has l0" true (Config.has_l0 u)
+
+let test_prefetch_distance () =
+  let c = Config.with_prefetch_distance 2 Config.default in
+  check_int "distance 2" 2 c.Config.l0.Config.prefetch_distance;
+  check "still valid" true (ok c)
+
+let test_presets_valid () =
+  check "embedded_small valid" true (ok Config.embedded_small);
+  check "wide valid" true (ok Config.wide);
+  check_int "embedded subblock rule" 2
+    (Config.subblocks_per_block Config.embedded_small);
+  check_int "wide subblock rule" 8 (Config.subblocks_per_block Config.wide)
+
+let test_subblocks_per_block () =
+  check_int "32/8 = 4 = clusters" 4 (Config.subblocks_per_block Config.default)
+
+let test_invalid_configs () =
+  let d = Config.default in
+  check "zero clusters" false (ok { d with Config.num_clusters = 0 });
+  check "non-power-of-two clusters" false (ok { d with Config.num_clusters = 3 });
+  check "no int units" false (ok { d with Config.int_units = 0 });
+  check "zero regs" false (ok { d with Config.regs_per_cluster = 0 });
+  check "zero buses" false (ok { d with Config.comm_buses = 0 });
+  check "zero-entry L0" false (ok (Config.with_l0 (Config.Entries 0) d));
+  check "bad block size" false
+    (ok { d with Config.l1 = { d.Config.l1 with Config.block_bytes = 24 } });
+  check "subblock not dividing block" false
+    (ok { d with Config.l0 = { d.Config.l0 with Config.subblock_bytes = 16;
+                               Config.capacity = Config.Entries 8 };
+          Config.l1 = { d.Config.l1 with Config.block_bytes = 24 } });
+  check "zero prefetch distance disables hints (valid)" true
+    (ok { d with Config.l0 = { d.Config.l0 with Config.prefetch_distance = 0 } });
+  check "negative prefetch distance" false
+    (ok { d with Config.l0 = { d.Config.l0 with Config.prefetch_distance = -1 } })
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pp_mentions_parameters () =
+  let s = Format.asprintf "%a" Config.pp Config.default in
+  check "mentions clusters" true (contains ~needle:"Clusters: 4" s);
+  check "mentions L1" true (contains ~needle:"8 KB" s);
+  check "mentions L2" true (contains ~needle:"10-cycle" s)
+
+let suite =
+  ( "arch",
+    [
+      Alcotest.test_case "default matches Table 2" `Quick test_default_matches_table2;
+      Alcotest.test_case "default valid" `Quick test_default_valid;
+      Alcotest.test_case "baseline has no L0" `Quick test_baseline_no_l0;
+      Alcotest.test_case "with_l0" `Quick test_with_l0;
+      Alcotest.test_case "prefetch distance" `Quick test_prefetch_distance;
+      Alcotest.test_case "presets valid" `Quick test_presets_valid;
+      Alcotest.test_case "subblocks per block" `Quick test_subblocks_per_block;
+      Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
+      Alcotest.test_case "pp renders" `Quick test_pp_mentions_parameters;
+    ] )

@@ -1,0 +1,142 @@
+(* Tests for the experiment drivers (lib/core): the pipeline, the
+   normalized figures and the qualitative shapes the paper reports. Runs
+   on benchmark subsets to stay fast. *)
+
+module Config = Flexl0_arch.Config
+module Mediabench = Flexl0_workloads.Mediabench
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let subset names = List.map Mediabench.find names
+
+let test_system_labels () =
+  Alcotest.(check string) "baseline" "unified-baseline"
+    (Pipeline.baseline_system ()).Pipeline.label;
+  Alcotest.(check string) "l0 default" "l0-8" (Pipeline.l0_system ()).Pipeline.label;
+  Alcotest.(check string) "l0 variants" "l0-4-all-pf2"
+    (Pipeline.l0_system ~capacity:(Config.Entries 4) ~selective:false
+       ~prefetch_distance:2 ())
+      .Pipeline.label;
+  Alcotest.(check string) "interleaved 1" "interleaved-1"
+    (Pipeline.interleaved_system ~locality:false ()).Pipeline.label
+
+let test_run_benchmark_aggregates () =
+  let b = Mediabench.find "g721dec" in
+  let run = Pipeline.run_benchmark (Pipeline.l0_system ()) b in
+  check_int "one run per loop" (List.length b.Mediabench.loops)
+    (List.length run.Pipeline.loop_runs);
+  check "cycles positive" true (run.Pipeline.loop_cycles > 0.0);
+  check_int "no mismatches" 0 run.Pipeline.mismatches;
+  let sum =
+    List.fold_left (fun acc (lr : Pipeline.loop_run) -> acc +. lr.Pipeline.scaled_cycles)
+      0.0 run.Pipeline.loop_runs
+  in
+  check "aggregate = sum of loops" true (abs_float (sum -. run.Pipeline.loop_cycles) < 1.0)
+
+let test_execution_time_scalar_share () =
+  let b = Mediabench.find "g721dec" in
+  let base = Pipeline.run_benchmark (Pipeline.baseline_system ()) b in
+  let total, _ =
+    Pipeline.execution_time base ~baseline:base ~scalar_fraction:0.2
+  in
+  (* With a 20% scalar share, loops are 80% of the baseline total. *)
+  check "loops are 80% of total" true
+    (abs_float ((base.Pipeline.loop_cycles /. total) -. 0.8) < 0.01)
+
+let test_repeat_scaling () =
+  let b = Mediabench.find "g721dec" in
+  let { Mediabench.loop; _ } = List.hd b.Mediabench.loops in
+  let sys = Pipeline.l0_system () in
+  let r1 = Pipeline.run_loop sys ~repeat:4 loop in
+  let r2 = Pipeline.run_loop sys ~repeat:8 loop in
+  (* Both simulate 4 invocations; repeat 8 scales by 2. *)
+  check "8 repeats ~ 2x cycles" true
+    (abs_float (r2.Pipeline.scaled_cycles -. (2.0 *. r1.Pipeline.scaled_cycles))
+     < 0.01 *. r2.Pipeline.scaled_cycles +. 1.0)
+
+let test_fig5_shape () =
+  let benchmarks = subset [ "g721dec"; "gsmdec"; "jpegdec" ] in
+  let fig = Experiments.fig5 ~benchmarks () in
+  check_int "four sizes" 4 (List.length fig.Experiments.point_labels);
+  check_int "three rows" 3 (List.length fig.Experiments.rows);
+  check_int "no coherence violations" 0 fig.Experiments.total_mismatches;
+  List.iter
+    (fun (r : Experiments.row) ->
+      List.iter
+        (fun (p : Experiments.norm) ->
+          check "totals positive" true (p.Experiments.total > 0.0);
+          check "stall below total" true
+            (p.Experiments.stall <= p.Experiments.total +. 1e-9))
+        r.Experiments.points)
+    fig.Experiments.rows;
+  (* g721 (recurrence-bound) must beat the baseline clearly at 8 entries. *)
+  let g721 = List.find (fun (r : Experiments.row) -> r.Experiments.bench = "g721dec")
+      fig.Experiments.rows in
+  let at8 = List.nth g721.Experiments.points 1 in
+  check "g721 improves >= 10%" true (at8.Experiments.total < 0.90)
+
+let test_fig5_monotone_capacity () =
+  (* More entries never hurt (weakly) on the thrash benchmark. *)
+  let fig = Experiments.fig5 ~benchmarks:(subset [ "jpegdec" ]) () in
+  match (List.hd fig.Experiments.rows).Experiments.points with
+  | [ e4; e8; e16; unb ] ->
+    check "8 <= 4" true (e8.Experiments.total <= e4.Experiments.total +. 0.02);
+    check "16 <= 8" true (e16.Experiments.total <= e8.Experiments.total +. 0.02);
+    check "unbounded best" true
+      (unb.Experiments.total <= e16.Experiments.total +. 0.02)
+  | _ -> Alcotest.fail "expected four points"
+
+let test_fig6_ranges () =
+  let rows = Experiments.fig6 ~benchmarks:(subset [ "g721dec"; "gsmdec" ]) () in
+  List.iter
+    (fun (r : Experiments.fig6_row) ->
+      check "fractions sum to 1" true
+        (abs_float (r.Experiments.linear_fraction +. r.Experiments.interleaved_fraction -. 1.0)
+         < 0.01);
+      check "hit rate high on good-stride benchmarks" true
+        (r.Experiments.hit_rate > 0.9);
+      check "unroll within [1,4]" true
+        (r.Experiments.avg_unroll >= 1.0 && r.Experiments.avg_unroll <= 4.0))
+    rows
+
+let test_fig7_shape () =
+  let benchmarks = subset [ "g721dec"; "gsmdec" ] in
+  let fig = Experiments.fig7 ~benchmarks () in
+  check_int "four systems" 4 (List.length fig.Experiments.point_labels);
+  check_int "no coherence violations" 0 fig.Experiments.total_mismatches;
+  (* On recurrence benchmarks the L0 machine beats the word-interleaved
+     cache (the paper's headline Figure 7 claim). *)
+  List.iter
+    (fun (r : Experiments.row) ->
+      match r.Experiments.points with
+      | [ l0; _mv; i1; _i2 ] ->
+        check "L0 beats interleaved-1" true
+          (l0.Experiments.total < i1.Experiments.total)
+      | _ -> Alcotest.fail "expected four points")
+    fig.Experiments.rows
+
+let test_table1 () =
+  let rows = Experiments.table1 () in
+  check_int "13 rows" 13 (List.length rows);
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      check "paper value attached" true (r.Experiments.paper <> None))
+    rows
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "system labels" `Quick test_system_labels;
+      Alcotest.test_case "run_benchmark aggregates" `Quick
+        test_run_benchmark_aggregates;
+      Alcotest.test_case "scalar share" `Quick test_execution_time_scalar_share;
+      Alcotest.test_case "repeat scaling" `Quick test_repeat_scaling;
+      Alcotest.test_case "fig5 shape" `Slow test_fig5_shape;
+      Alcotest.test_case "fig5 capacity monotone" `Slow test_fig5_monotone_capacity;
+      Alcotest.test_case "fig6 ranges" `Slow test_fig6_ranges;
+      Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+      Alcotest.test_case "table1" `Quick test_table1;
+    ] )

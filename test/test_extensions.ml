@@ -1,0 +1,370 @@
+(* Tests for the optional Section 4.1 techniques (code specialization,
+   selective inter-loop flushing) and the sensitivity/ablation studies. *)
+
+open Flexl0_ir
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Kernels = Flexl0_workloads.Kernels
+module Mediabench = Flexl0_workloads.Mediabench
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+
+let cfg = Config.default
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let l0_scheme = Scheme.L0 { selective = true }
+
+(* ------------------------------------------------------------------ *)
+(* Specialize *)
+
+let test_specialize_versions_valid () =
+  let loop = Kernels.iir_inplace ~name:"iir" ~trip:64 ~len:64 in
+  let sp = Specialize.specialize cfg l0_scheme loop in
+  check "aggressive valid" true
+    (Schedule.validate cfg sp.Specialize.aggressive = Ok ());
+  check "conservative valid" true
+    (Schedule.validate cfg sp.Specialize.conservative = Ok ());
+  check "conservative really is may-alias" true
+    sp.Specialize.conservative.Schedule.loop.Loop.may_alias;
+  check "aggressive is not" false
+    sp.Specialize.aggressive.Schedule.loop.Loop.may_alias
+
+let test_specialize_gain_on_false_dependences () =
+  (* saxpy's x and y arrays never alias, but the conservative version
+     must serialize them: the aggressive version wins. *)
+  let loop = Kernels.saxpy ~name:"saxpy" ~trip:128 ~len:128 in
+  let sp = Specialize.specialize cfg l0_scheme loop in
+  check "positive gain" true (Specialize.gain sp ~trips:128 > 0)
+
+let test_specialize_runtime_check_passes () =
+  (* Distinct arrays in our layout never overlap, so the guard always
+     selects the aggressive version — the paper's observation. *)
+  List.iter
+    (fun loop ->
+      check "check passes" true (Specialize.runtime_check loop);
+      let sp = Specialize.specialize cfg l0_scheme loop in
+      check "dispatches aggressive" true
+        (Specialize.dispatch sp loop == sp.Specialize.aggressive))
+    [
+      Kernels.saxpy ~name:"s" ~trip:64 ~len:64;
+      Kernels.fir4 ~name:"f" ~trip:64 ~len:64;
+      Kernels.stencil3 ~name:"st" ~trip:64 ~len:64;
+    ]
+
+let test_specialize_conservative_never_faster () =
+  List.iter
+    (fun loop ->
+      let sp = Specialize.specialize cfg l0_scheme loop in
+      let per_orig (sch : Schedule.t) =
+        float_of_int (Compile.estimated_compute sch)
+        /. float_of_int
+             (sch.Schedule.loop.Loop.trip_count
+              * sch.Schedule.loop.Loop.unroll_factor)
+      in
+      check "aggressive <= conservative per iteration" true
+        (per_orig sp.Specialize.aggressive
+         <= per_orig sp.Specialize.conservative +. 1e-9))
+    [
+      Kernels.saxpy ~name:"s" ~trip:64 ~len:64;
+      Kernels.iir_inplace ~name:"i" ~trip:64 ~len:64;
+      Kernels.vector_add ~name:"v" ~trip:64 ~len:64 Opcode.W2;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Interloop *)
+
+let compile_l0 loop = Engine.schedule cfg l0_scheme loop
+
+let test_arrays_cached_in () =
+  let sch = compile_l0 (Kernels.vector_add ~name:"v" ~trip:64 ~len:256 Opcode.W2) in
+  let any_cached =
+    List.exists
+      (fun c -> Interloop.arrays_cached_in sch ~cluster:c <> [])
+      [ 0; 1; 2; 3 ]
+  in
+  check "stride-1 load caches its array somewhere" true any_cached;
+  (* The destination array is store-only: never cached. *)
+  let dst_id =
+    (List.find (fun a -> a.Loop.array_name = "dst") sch.Schedule.loop.Loop.arrays)
+      .Loop.array_id
+  in
+  List.iter
+    (fun c ->
+      check "store-only array never cached" false
+        (List.mem dst_id (Interloop.arrays_cached_in sch ~cluster:c)))
+    [ 0; 1; 2; 3 ]
+
+let test_read_write_sets () =
+  let sch = compile_l0 (Kernels.saxpy ~name:"s" ~trip:64 ~len:64) in
+  check_int "saxpy reads two arrays" 2 (List.length (Interloop.arrays_read sch));
+  check_int "saxpy writes one array" 1 (List.length (Interloop.arrays_written sch))
+
+let test_flush_plan_read_only_region_never_flushes () =
+  (* Two loops that only read (reductions): nothing can go stale. *)
+  let s1 = compile_l0 (Kernels.dot_product ~name:"d1" ~trip:64 ~len:64 Opcode.W4) in
+  let s2 = compile_l0 (Kernels.autocorr ~name:"d2" ~trip:64 ~len:64 ~lag:4) in
+  let plan = Interloop.plan cfg [ s1; s2 ] in
+  Array.iter
+    (Array.iter (fun f -> check "no flush needed" false f))
+    plan.Interloop.boundaries;
+  check_int "all flushes saved" (2 * cfg.Config.num_clusters)
+    plan.Interloop.flushes_saved
+
+let test_flush_plan_writer_forces_flush () =
+  (* A loop that caches an array it also stores to (the iir recurrence)
+     needs a flush before re-entry — the residue covers a written
+     array. *)
+  let s = compile_l0 (Kernels.iir_inplace ~name:"i" ~trip:64 ~len:64) in
+  let plan = Interloop.plan cfg [ s ] in
+  let flushed = Array.exists (fun f -> f) plan.Interloop.boundaries.(0) in
+  check "recurrence region flushes somewhere" true flushed
+
+let test_flush_plan_saves_vs_default () =
+  let b = Mediabench.find "jpegenc" in
+  let sys = Pipeline.l0_system () in
+  let schedules =
+    List.map (fun { Mediabench.loop; _ } -> Pipeline.compile sys loop)
+      b.Mediabench.loops
+  in
+  let plan = Interloop.plan cfg schedules in
+  let default = Interloop.always_flush cfg schedules in
+  check "analysis saves flushes vs default" true
+    (plan.Interloop.flushes_saved > default.Interloop.flushes_saved)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity / ablation drivers *)
+
+let small = [ Mediabench.find "g721dec" ]
+
+let test_latency_sensitivity_monotone_premise () =
+  (* A faster L1 shrinks the L0 advantage; a slower one grows it (up to
+     stall effects). Compare the endpoints. *)
+  let points =
+    Experiments.l1_latency_sensitivity ~benchmarks:small ~latencies:[ 4; 10 ] ()
+  in
+  match points with
+  | [ fast; slow ] ->
+    check "advantage grows with wire delay" true
+      (slow.Experiments.amean < fast.Experiments.amean)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_cluster_scaling_runs () =
+  let points =
+    Experiments.cluster_scaling ~benchmarks:small ~clusters:[ 2; 4; 8 ] ()
+  in
+  check_int "three points" 3 (List.length points);
+  List.iter
+    (fun (p : Experiments.sweep_point) ->
+      check "sane normalized value" true
+        (p.Experiments.amean > 0.3 && p.Experiments.amean < 1.5))
+    points
+
+let test_prefetch_sweep_runs () =
+  let points =
+    Experiments.prefetch_distance_sweep ~benchmarks:small ~distances:[ 1; 2 ] ()
+  in
+  check_int "two points" 2 (List.length points)
+
+let test_coherence_ablation_auto_not_worse () =
+  let rows = Experiments.coherence_ablation ~benchmarks:small () in
+  List.iter
+    (fun (r : Experiments.coherence_row) ->
+      check "auto <= NL0" true (r.Experiments.auto <= r.Experiments.nl0 +. 0.01);
+      check "auto <= 1C" true
+        (r.Experiments.auto <= r.Experiments.one_cluster +. 0.01))
+    rows
+
+let test_specialization_study_rows () =
+  let rows = Experiments.specialization_study () in
+  check "several rows" true (List.length rows >= 3);
+  List.iter
+    (fun (r : Experiments.specialization_row) ->
+      check "gain computed" true (r.Experiments.gain_cycles > min_int))
+    rows
+
+let test_flush_study_bounds () =
+  let rows = Experiments.flush_study ~benchmarks:small () in
+  List.iter
+    (fun (r : Experiments.flush_row) ->
+      check "needed within bounds" true
+        (r.Experiments.flushes_needed >= 0
+         && r.Experiments.flushes_needed <= r.Experiments.total_flush_points))
+    rows
+
+(* Cluster-count generality: the compiler + simulator stay coherent on
+   2- and 8-cluster machines (subblock = block/clusters). *)
+let test_cluster_generality_value_coherence () =
+  List.iter
+    (fun n ->
+      let d = Config.default in
+      let c =
+        {
+          d with
+          Config.num_clusters = n;
+          Config.l0 =
+            { d.Config.l0 with Config.subblock_bytes = d.Config.l1.Config.block_bytes / n };
+        }
+      in
+      List.iter
+        (fun loop ->
+          let sch = Engine.schedule c l0_scheme loop in
+          (match Schedule.validate c sch with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%d clusters, %s: %s" n loop.Loop.name e);
+          let r =
+            Flexl0_sim.Exec.run c sch
+              ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create c ~backing)
+              ()
+          in
+          if r.Flexl0_sim.Exec.value_mismatches <> 0 then
+            Alcotest.failf "%d clusters, %s: %d stale values" n loop.Loop.name
+              r.Flexl0_sim.Exec.value_mismatches)
+        [
+          Kernels.vector_add ~name:"v" ~trip:64 ~len:256 Opcode.W2;
+          Kernels.iir_inplace ~name:"i" ~trip:64 ~len:64;
+          Kernels.fp_filter_low_ii ~name:"f8" ~trip:64 ~len:64;
+        ])
+    [ 2; 8 ]
+
+let test_steering_ablation () =
+  let rows = Experiments.steering_ablation () in
+  check "rows present" true (List.length rows >= 3);
+  List.iter
+    (fun (r : Experiments.steering_row) ->
+      check "steering produces interleaved subblocks" true
+        (r.Experiments.with_interleaved > 0);
+      check "no steering, no interleaving" true
+        (r.Experiments.without_interleaved = 0))
+    rows
+
+let test_engine_steering_off_still_valid_and_coherent () =
+  let loop =
+    Unroll.apply ~factor:4
+      (Kernels.vector_add ~name:"v" ~trip:64 ~len:256 Opcode.W2)
+  in
+  let sch = Engine.schedule cfg l0_scheme ~steering:false loop in
+  check "valid without steering" true (Schedule.validate cfg sch = Ok ());
+  let r =
+    Flexl0_sim.Exec.run cfg sch
+      ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create cfg ~backing)
+      ()
+  in
+  check_int "coherent without steering" 0 r.Flexl0_sim.Exec.value_mismatches
+
+let test_trace_events_fire () =
+  let loop = Kernels.vector_add ~name:"v" ~trip:16 ~len:64 Opcode.W2 in
+  let sch = Engine.schedule cfg l0_scheme loop in
+  let events = ref [] in
+  ignore
+    (Flexl0_sim.Exec.run cfg sch
+       ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create cfg ~backing)
+       ~on_event:(fun e -> events := e :: !events)
+       ());
+  let loads =
+    List.filter (fun e -> e.Flexl0_sim.Exec.ev_kind = `Load) !events
+  in
+  let stores =
+    List.filter (fun e -> e.Flexl0_sim.Exec.ev_kind = `Store) !events
+  in
+  check_int "one load event per iteration" 16 (List.length loads);
+  check_int "one store event per iteration" 16 (List.length stores);
+  (* Events are causally ordered and stamped. *)
+  List.iter
+    (fun e ->
+      check "time non-negative" true (e.Flexl0_sim.Exec.ev_time >= 0);
+      check "served recorded for accesses" true
+        (e.Flexl0_sim.Exec.ev_served <> None))
+    (loads @ stores);
+  (* The rendering is total. *)
+  List.iter
+    (fun e ->
+      check "printable" true
+        (String.length (Format.asprintf "%a" Flexl0_sim.Exec.pp_trace_event e) > 0))
+    !events
+
+let test_prefetch_distance_zero_disables_hints () =
+  let loop = Kernels.vector_add ~name:"v" ~trip:256 ~len:512 Opcode.W2 in
+  let c0 = Config.with_prefetch_distance 0 cfg in
+  let sch = Engine.schedule c0 l0_scheme loop in
+  let r =
+    Flexl0_sim.Exec.run c0 sch
+      ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create c0 ~backing)
+      ()
+  in
+  check_int "no automatic prefetches issued" 0
+    (Option.value ~default:0
+       (List.assoc_opt "prefetch_issued" r.Flexl0_sim.Exec.counters));
+  check_int "still coherent" 0 r.Flexl0_sim.Exec.value_mismatches
+
+let test_l0_port_contention () =
+  (* Orchestrate a probe landing on the exact cycle a fill arrives: with
+     one port the probe slips a cycle; with the paper's two ports both
+     proceed. *)
+  let module Hint = Flexl0_mem.Hint in
+  let module Hierarchy = Flexl0_mem.Hierarchy in
+  let run_scenario ports =
+    let c = { cfg with Config.l0 = { cfg.Config.l0 with Config.ports } } in
+    let backing = Flexl0_mem.Backing.create ~size:4096 in
+    let hier = Flexl0_mem.Unified.create c ~backing in
+    let seq = Hint.make ~access:Hint.Seq_access () in
+    (* Cache subblock B (fill of B claims a port when it lands). *)
+    ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x100 ~width:2 ~hints:seq);
+    (* Start a cold fill of A: SEQ miss at t=40, bus at 41, L1 miss ->
+       the fill of A lands at t=57. *)
+    ignore (hier.Hierarchy.load ~now:40 ~cluster:0 ~addr:0x200 ~width:2 ~hints:seq);
+    (* Probe the cached B exactly at t=57. *)
+    let r = hier.Hierarchy.load ~now:57 ~cluster:0 ~addr:0x102 ~width:2 ~hints:seq in
+    let conflicts =
+      Flexl0_util.Stats.Counters.get hier.Hierarchy.counters "l0_port_conflicts"
+    in
+    (r, conflicts)
+  in
+  let r1, c1 = run_scenario 1 in
+  let r2, c2 = run_scenario 2 in
+  check "one port: conflict counted" true (c1 > 0);
+  check_int "two ports: no conflict" 0 c2;
+  check "one port: probe delayed past the two-port time" true
+    (r1.Flexl0_mem.Hierarchy.ready_at > r2.Flexl0_mem.Hierarchy.ready_at);
+  check "both still L0 hits" true
+    (r1.Flexl0_mem.Hierarchy.served = Flexl0_mem.Hierarchy.L0
+     && r2.Flexl0_mem.Hierarchy.served = Flexl0_mem.Hierarchy.L0)
+
+let suite =
+  ( "extensions",
+    [
+      Alcotest.test_case "specialize versions valid" `Quick
+        test_specialize_versions_valid;
+      Alcotest.test_case "specialize gain on false deps" `Quick
+        test_specialize_gain_on_false_dependences;
+      Alcotest.test_case "specialize runtime check" `Quick
+        test_specialize_runtime_check_passes;
+      Alcotest.test_case "conservative never faster" `Quick
+        test_specialize_conservative_never_faster;
+      Alcotest.test_case "interloop cached arrays" `Quick test_arrays_cached_in;
+      Alcotest.test_case "interloop read/write sets" `Quick test_read_write_sets;
+      Alcotest.test_case "flush: read-only region" `Quick
+        test_flush_plan_read_only_region_never_flushes;
+      Alcotest.test_case "flush: writer forces flush" `Quick
+        test_flush_plan_writer_forces_flush;
+      Alcotest.test_case "flush: saves vs default" `Quick
+        test_flush_plan_saves_vs_default;
+      Alcotest.test_case "latency sensitivity premise" `Slow
+        test_latency_sensitivity_monotone_premise;
+      Alcotest.test_case "cluster scaling runs" `Slow test_cluster_scaling_runs;
+      Alcotest.test_case "prefetch sweep runs" `Slow test_prefetch_sweep_runs;
+      Alcotest.test_case "coherence ablation: auto wins" `Slow
+        test_coherence_ablation_auto_not_worse;
+      Alcotest.test_case "specialization study rows" `Quick
+        test_specialization_study_rows;
+      Alcotest.test_case "flush study bounds" `Quick test_flush_study_bounds;
+      Alcotest.test_case "2/8-cluster value coherence" `Slow
+        test_cluster_generality_value_coherence;
+      Alcotest.test_case "steering ablation" `Slow test_steering_ablation;
+      Alcotest.test_case "steering off: valid + coherent" `Quick
+        test_engine_steering_off_still_valid_and_coherent;
+      Alcotest.test_case "trace events" `Quick test_trace_events_fire;
+      Alcotest.test_case "prefetch distance 0 disables hints" `Quick
+        test_prefetch_distance_zero_disables_hints;
+      Alcotest.test_case "l0 port contention" `Quick test_l0_port_contention;
+    ] )

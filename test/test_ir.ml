@@ -1,0 +1,394 @@
+(* Tests for Flexl0_ir: opcodes, memrefs, the builder, DDGs and
+   unrolling. *)
+
+open Flexl0_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Opcode *)
+
+let test_width_roundtrip () =
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        "roundtrip" (Opcode.bytes_of_width w)
+        (Opcode.bytes_of_width (Opcode.width_of_bytes (Opcode.bytes_of_width w))))
+    [ Opcode.W1; Opcode.W2; Opcode.W4; Opcode.W8 ];
+  check "bad width rejected" true
+    (try ignore (Opcode.width_of_bytes 3); false with Invalid_argument _ -> true)
+
+let test_fu_classes () =
+  check "load is mem" true (Opcode.fu_class (Opcode.Load Opcode.W4) = Opcode.Mem_fu);
+  check "store is mem" true (Opcode.fu_class (Opcode.Store Opcode.W2) = Opcode.Mem_fu);
+  check "prefetch is mem" true (Opcode.fu_class Opcode.Prefetch = Opcode.Mem_fu);
+  check "invalidate is mem" true (Opcode.fu_class Opcode.Invalidate_l0 = Opcode.Mem_fu);
+  check "iadd is int" true (Opcode.fu_class Opcode.Iadd = Opcode.Int_fu);
+  check "fmul is fp" true (Opcode.fu_class Opcode.Fmul = Opcode.Fp_fu);
+  check "comm is bus" true (Opcode.fu_class Opcode.Comm = Opcode.Bus)
+
+let test_opcode_predicates () =
+  check "load" true (Opcode.is_load (Opcode.Load Opcode.W1));
+  check "store not load" false (Opcode.is_load (Opcode.Store Opcode.W1));
+  check "store" true (Opcode.is_store (Opcode.Store Opcode.W8));
+  check "memory ops" true (Opcode.is_memory Opcode.Prefetch);
+  check "iadd not memory" false (Opcode.is_memory Opcode.Iadd);
+  check "latencies sane" true
+    (Opcode.base_latency Opcode.Iadd = 1 && Opcode.base_latency Opcode.Imul = 3
+     && Opcode.base_latency Opcode.Fdiv = 8)
+
+(* ------------------------------------------------------------------ *)
+(* Memref *)
+
+let mref ?(array_id = 0) ?(offset = 0) ?(elem = 2) stride =
+  Memref.make ~array_id ~offset ~elem_bytes:elem ~stride
+
+let test_stride_classes () =
+  check "0 good" true (Memref.stride_class (mref (Memref.Const 0)) = `Good);
+  check "+1 good" true (Memref.stride_class (mref (Memref.Const 1)) = `Good);
+  check "-1 good" true (Memref.stride_class (mref (Memref.Const (-1))) = `Good);
+  check "4 other" true (Memref.stride_class (mref (Memref.Const 4)) = `Other);
+  check "unknown" true (Memref.stride_class (mref Memref.Unknown) = `Unstrided);
+  check "strided" true (Memref.is_strided (mref (Memref.Const 5)));
+  check "not strided" false (Memref.is_strided (mref Memref.Unknown))
+
+let test_byte_stride () =
+  Alcotest.(check (option int)) "2B elems stride 4" (Some 8)
+    (Memref.byte_stride (mref ~elem:2 (Memref.Const 4)));
+  Alcotest.(check (option int)) "unknown" None
+    (Memref.byte_stride (mref Memref.Unknown))
+
+let test_overlap_rules () =
+  let a0 = mref ~array_id:0 (Memref.Const 1) in
+  let a1 = mref ~array_id:1 (Memref.Const 1) in
+  check "different arrays disjoint" false (Memref.may_overlap a0 a1);
+  check "same everything overlaps" true (Memref.may_overlap a0 a0);
+  (* Unrolled copies: stride 4, offsets 0 and 1 hit disjoint residues. *)
+  let c0 = mref ~offset:0 (Memref.Const 4) and c1 = mref ~offset:1 (Memref.Const 4) in
+  check "disjoint residues" false (Memref.may_overlap c0 c1);
+  let c4 = mref ~offset:4 (Memref.Const 4) in
+  check "same residue overlaps" true (Memref.may_overlap c0 c4);
+  check "unknown always overlaps" true
+    (Memref.may_overlap a0 (mref ~array_id:0 Memref.Unknown));
+  (* Different strides: conservatively dependent. *)
+  check "mixed strides overlap" true
+    (Memref.may_overlap a0 (mref ~array_id:0 (Memref.Const 2)));
+  (* Stride 0: only the same element conflicts. *)
+  let z0 = mref ~offset:3 (Memref.Const 0) and z1 = mref ~offset:4 (Memref.Const 0) in
+  check "distinct scalars disjoint" false (Memref.may_overlap z0 z1);
+  check "same scalar overlaps" true (Memref.may_overlap z0 z0)
+
+let test_scale () =
+  let r = mref ~offset:2 (Memref.Const 1) in
+  let s = Memref.scale ~factor:4 ~copy:3 r in
+  check_int "offset advanced" 5 s.Memref.offset;
+  check "stride multiplied" true (s.Memref.stride = Memref.Const 4);
+  let u = Memref.scale ~factor:4 ~copy:2 (mref Memref.Unknown) in
+  check "unknown unchanged" true (u.Memref.stride = Memref.Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Builder + Loop *)
+
+let simple_loop () =
+  let b = Builder.create ~name:"t" ~trip_count:64 () in
+  let src = Builder.array b ~name:"src" ~elem_bytes:2 ~length:128 in
+  let dst = Builder.array b ~name:"dst" ~elem_bytes:2 ~length:128 in
+  let c = Builder.imove b in
+  let x = Builder.load b ~arr:src ~stride:(Memref.Const 1) Opcode.W2 in
+  let s = Builder.iadd b x c in
+  let _ = Builder.store b ~arr:dst ~stride:(Memref.Const 1) Opcode.W2 s in
+  Builder.finish b
+
+let test_builder_basic () =
+  let loop = simple_loop () in
+  check_int "4 instructions" 4 (List.length loop.Loop.instrs);
+  check_int "2 arrays" 2 (List.length loop.Loop.arrays);
+  check "validates" true (Loop.validate loop = Ok ());
+  check_int "2 memory accesses" 2 (List.length (Loop.memory_accesses loop))
+
+let test_builder_ids_dense () =
+  let loop = simple_loop () in
+  List.iteri
+    (fun i (ins : Instr.t) -> check_int "dense id" i ins.Instr.id)
+    loop.Loop.instrs
+
+let test_layout_aligned_disjoint () =
+  let loop = simple_loop () in
+  let layout = Loop.layout loop in
+  check_int "two arrays laid out" 2 (List.length layout);
+  List.iter (fun (_, base) -> check_int "32B aligned" 0 (base mod 32)) layout;
+  match layout with
+  | [ (_, b0); (_, b1) ] ->
+    check "disjoint" true (abs (b1 - b0) >= 128 * 2)
+  | _ -> Alcotest.fail "expected two arrays"
+
+let test_carry_rejects_live_in () =
+  let b = Builder.create ~name:"t" ~trip_count:4 () in
+  let li = Builder.live_in b in
+  let v = Builder.iadd b li li in
+  check "carry from live-in rejected" true
+    (try Builder.carry b ~def:li ~use:v ~distance:1; false
+     with Invalid_argument _ -> true)
+
+let test_validate_catches_bad_offset () =
+  let b = Builder.create ~name:"bad" ~trip_count:4 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:2 ~length:8 in
+  let _ = Builder.load b ~arr:a ~offset:9 ~stride:(Memref.Const 1) Opcode.W2 in
+  check "offset out of bounds" true
+    (try ignore (Builder.finish b); false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Ddg *)
+
+let test_ddg_reg_flow () =
+  let loop = simple_loop () in
+  let ddg = Loop.ddg loop in
+  (* load (1) -> add (2), imove (0) -> add (2), add (2) -> store (3). *)
+  let has_edge src dst =
+    List.exists (fun (e : Ddg.edge) -> e.Ddg.src = src && e.Ddg.dst = dst)
+      (Ddg.edges ddg)
+  in
+  check "load feeds add" true (has_edge 1 2);
+  check "const feeds add" true (has_edge 0 2);
+  check "add feeds store" true (has_edge 2 3);
+  check "no back edge" false (has_edge 3 1)
+
+let test_ddg_memory_edges () =
+  (* Same-array load/store (the Figure 3 pattern). *)
+  let b = Builder.create ~name:"rmw" ~trip_count:16 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:32 in
+  let x = Builder.load b ~arr:a ~offset:0 ~stride:(Memref.Const 1) Opcode.W4 in
+  let y = Builder.iadd b x x in
+  let _ = Builder.store b ~arr:a ~offset:1 ~stride:(Memref.Const 1) Opcode.W4 y in
+  let loop = Builder.finish b in
+  let ddg = Loop.ddg loop in
+  let mem = Ddg.mem_edges ddg in
+  check_int "forward + backward memory edges" 2 (List.length mem);
+  check "anti forward" true
+    (List.exists
+       (fun (e : Ddg.edge) -> e.Ddg.kind = Ddg.Mem_anti && e.Ddg.distance = 0)
+       mem);
+  check "flow backward at distance 1" true
+    (List.exists
+       (fun (e : Ddg.edge) -> e.Ddg.kind = Ddg.Mem_flow && e.Ddg.distance = 1)
+       mem)
+
+let test_ddg_may_alias_forces_edges () =
+  let b = Builder.create ~name:"alias" ~trip_count:4 ~may_alias:true () in
+  let a0 = Builder.array b ~name:"a" ~elem_bytes:2 ~length:16 in
+  let a1 = Builder.array b ~name:"b" ~elem_bytes:2 ~length:16 in
+  let x = Builder.load b ~arr:a0 ~stride:(Memref.Const 1) Opcode.W2 in
+  let _ = Builder.store b ~arr:a1 ~stride:(Memref.Const 1) Opcode.W2 x in
+  let loop = Builder.finish b in
+  check "conservative edges exist" true (Ddg.mem_edges (Loop.ddg loop) <> [])
+
+let test_rec_mii_acyclic () =
+  let ddg = Loop.ddg (simple_loop ()) in
+  check_int "acyclic RecMII is 1" 1 (Ddg.rec_mii ddg ~lat:(fun _ -> 6))
+
+let test_rec_mii_accumulator () =
+  let b = Builder.create ~name:"acc" ~trip_count:8 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:16 in
+  let x = Builder.load b ~arr:a ~stride:(Memref.Const 1) Opcode.W4 in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.fadd b x acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  let loop = Builder.finish b in
+  let ddg = Loop.ddg loop in
+  (* fadd has latency 3, self-distance 1 -> RecMII = 3. *)
+  check_int "fadd recurrence" 3
+    (Ddg.rec_mii ddg ~lat:(fun i -> Opcode.base_latency (Ddg.instr ddg i).Instr.opcode))
+
+let test_rec_mii_memory_recurrence () =
+  let b = Builder.create ~name:"iir" ~trip_count:8 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:16 in
+  let x = Builder.load b ~arr:a ~offset:0 ~stride:(Memref.Const 1) Opcode.W4 in
+  let y = Builder.imul b x x in
+  let _ = Builder.store b ~arr:a ~offset:1 ~stride:(Memref.Const 1) Opcode.W4 y in
+  let loop = Builder.finish b in
+  let ddg = Loop.ddg loop in
+  let mii_with load_lat =
+    Ddg.rec_mii ddg ~lat:(fun i ->
+        let ins = Ddg.instr ddg i in
+        if Instr.is_load ins then load_lat
+        else Opcode.base_latency ins.Instr.opcode)
+  in
+  (* Cycle: load -> imul(3) -> store, store -(1, dist 1)-> load. *)
+  check_int "L1 latency recurrence" (6 + 3 + 1) (mii_with 6);
+  check_int "L0 latency recurrence" (1 + 3 + 1) (mii_with 1)
+
+let test_compute_times_feasibility () =
+  let b = Builder.create ~name:"acc" ~trip_count:8 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:16 in
+  let x = Builder.load b ~arr:a ~stride:(Memref.Const 1) Opcode.W4 in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.fadd b x acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  let ddg = Loop.ddg (Builder.finish b) in
+  let lat i = Opcode.base_latency (Ddg.instr ddg i).Instr.opcode in
+  check "II=2 infeasible" true (Ddg.compute_times ddg ~ii:2 ~lat = None);
+  check "II=3 feasible" true (Ddg.compute_times ddg ~ii:3 ~lat <> None)
+
+let test_times_respect_edges () =
+  let ddg = Loop.ddg (simple_loop ()) in
+  let lat i = Opcode.base_latency (Ddg.instr ddg i).Instr.opcode in
+  match Ddg.compute_times ddg ~ii:4 ~lat with
+  | None -> Alcotest.fail "acyclic graph must be feasible"
+  | Some times ->
+    List.iter
+      (fun (e : Ddg.edge) ->
+        check "estart respects edge" true
+          (times.Ddg.estart.(e.Ddg.dst) + (4 * e.Ddg.distance)
+           >= times.Ddg.estart.(e.Ddg.src) + Ddg.edge_latency ~lat e))
+      (Ddg.edges ddg);
+    Array.iteri
+      (fun i e -> check "lstart >= estart" true (times.Ddg.lstart.(i) >= e))
+      times.Ddg.estart
+
+let test_sccs () =
+  let b = Builder.create ~name:"acc" ~trip_count:8 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:16 in
+  let x = Builder.load b ~arr:a ~stride:(Memref.Const 1) Opcode.W4 in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.iadd b x acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  let ddg = Loop.ddg (Builder.finish b) in
+  let sccs = Ddg.sccs ddg in
+  check_int "every node in exactly one scc" (Ddg.node_count ddg)
+    (List.length (List.concat sccs));
+  (* Topological: the load's component precedes the accumulator's. *)
+  let index_of node =
+    let rec go i = function
+      | [] -> -1
+      | comp :: rest -> if List.mem node comp then i else go (i + 1) rest
+    in
+    go 0 sccs
+  in
+  check "load before acc" true (index_of 0 < index_of 1)
+
+(* ------------------------------------------------------------------ *)
+(* Unroll *)
+
+let test_unroll_structure () =
+  let loop = simple_loop () in
+  let u = Unroll.apply ~factor:4 loop in
+  check_int "4x instructions" 16 (List.length u.Loop.instrs);
+  check_int "trip divided" 16 u.Loop.trip_count;
+  check_int "unroll factor recorded" 4 u.Loop.unroll_factor;
+  check "ids still dense" true (Loop.validate u = Ok ())
+
+let test_unroll_identity () =
+  let loop = simple_loop () in
+  check "factor 1 is identity" true (Unroll.apply ~factor:1 loop == loop)
+
+let test_unroll_memrefs () =
+  let u = Unroll.apply ~factor:4 (simple_loop ()) in
+  let loads = List.filter Instr.is_load u.Loop.instrs in
+  check_int "4 loads" 4 (List.length loads);
+  List.iteri
+    (fun k (ins : Instr.t) ->
+      match ins.Instr.memref with
+      | Some r ->
+        check_int "offset = copy" k r.Memref.offset;
+        check "stride scaled" true (r.Memref.stride = Memref.Const 4)
+      | None -> Alcotest.fail "load without memref")
+    loads
+
+let test_unroll_carried_edges () =
+  let b = Builder.create ~name:"acc" ~trip_count:16 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:32 in
+  let x = Builder.load b ~arr:a ~stride:(Memref.Const 1) Opcode.W4 in
+  let acc_in = Builder.live_in b in
+  let acc = Builder.iadd b x acc_in in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  let loop = Builder.finish b in
+  let u = Unroll.apply ~factor:4 loop in
+  check_int "one carried edge per copy" 4 (List.length u.Loop.carried);
+  (* Exactly one edge should close the loop (distance 1); the others are
+     distance-0 cross-copy links. *)
+  let d1 = List.filter (fun (_, _, d) -> d = 1) u.Loop.carried in
+  let d0 = List.filter (fun (_, _, d) -> d = 0) u.Loop.carried in
+  check_int "one closing edge" 1 (List.length d1);
+  check_int "three forward links" 3 (List.length d0);
+  (* The unrolled accumulator serializes its copies: the recurrence over
+     4 copies has the same total latency around one original iteration. *)
+  let ddg = Loop.ddg u in
+  check_int "unrolled RecMII = 4 adds" 4 (Ddg.rec_mii ddg ~lat:(fun i ->
+      Opcode.base_latency (Ddg.instr ddg i).Instr.opcode))
+
+let test_unroll_preserves_memory_independence () =
+  (* Unrolled copies of a stride-1 store stream provably do not overlap. *)
+  let b = Builder.create ~name:"st" ~trip_count:16 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:2 ~length:64 in
+  let v = Builder.imove b in
+  let _ = Builder.store b ~arr:a ~stride:(Memref.Const 1) Opcode.W2 v in
+  let u = Unroll.apply ~factor:4 (Builder.finish b) in
+  check_int "no memory edges between copies" 0
+    (List.length (Ddg.mem_edges (Loop.ddg u)))
+
+let test_pp_dot () =
+  let ddg = Loop.ddg (simple_loop ()) in
+  let dot = Format.asprintf "%a" Ddg.pp_dot ddg in
+  let contains needle =
+    let nl = String.length needle and hl = String.length dot in
+    let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph ddg");
+  Alcotest.(check bool) "has nodes" true (contains "n0 [label=");
+  Alcotest.(check bool) "has edges" true (contains "->");
+  Alcotest.(check bool) "closes" true (contains "}")
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"scale preserves residue disjointness" ~count:200
+      QCheck.(triple (int_range 1 8) (int_range 0 7) (int_range 0 7))
+      (fun (stride, c1, c2) ->
+        QCheck.assume (c1 <> c2 && c1 < 4 && c2 < 4);
+        let base = Memref.make ~array_id:0 ~offset:0 ~elem_bytes:2
+            ~stride:(Memref.Const stride) in
+        let r1 = Memref.scale ~factor:4 ~copy:c1 base
+        and r2 = Memref.scale ~factor:4 ~copy:c2 base in
+        (* Copies overlap iff their offsets collide modulo the stride. *)
+        Memref.may_overlap r1 r2 = ((c1 - c2) * stride mod (4 * stride) = 0));
+    QCheck.Test.make ~name:"unroll keeps instruction multiples" ~count:50
+      QCheck.(int_range 1 4)
+      (fun factor ->
+        let u = Unroll.apply ~factor (simple_loop ()) in
+        List.length u.Loop.instrs = factor * 4 && Loop.validate u = Ok ());
+  ]
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "width roundtrip" `Quick test_width_roundtrip;
+      Alcotest.test_case "fu classes" `Quick test_fu_classes;
+      Alcotest.test_case "opcode predicates" `Quick test_opcode_predicates;
+      Alcotest.test_case "stride classes" `Quick test_stride_classes;
+      Alcotest.test_case "byte stride" `Quick test_byte_stride;
+      Alcotest.test_case "overlap rules" `Quick test_overlap_rules;
+      Alcotest.test_case "memref scale" `Quick test_scale;
+      Alcotest.test_case "builder basic" `Quick test_builder_basic;
+      Alcotest.test_case "builder dense ids" `Quick test_builder_ids_dense;
+      Alcotest.test_case "layout aligned/disjoint" `Quick test_layout_aligned_disjoint;
+      Alcotest.test_case "carry rejects live-in" `Quick test_carry_rejects_live_in;
+      Alcotest.test_case "validate offsets" `Quick test_validate_catches_bad_offset;
+      Alcotest.test_case "ddg register flow" `Quick test_ddg_reg_flow;
+      Alcotest.test_case "ddg memory edges" `Quick test_ddg_memory_edges;
+      Alcotest.test_case "may_alias forces edges" `Quick test_ddg_may_alias_forces_edges;
+      Alcotest.test_case "rec_mii acyclic" `Quick test_rec_mii_acyclic;
+      Alcotest.test_case "rec_mii accumulator" `Quick test_rec_mii_accumulator;
+      Alcotest.test_case "rec_mii memory recurrence" `Quick test_rec_mii_memory_recurrence;
+      Alcotest.test_case "compute_times feasibility" `Quick test_compute_times_feasibility;
+      Alcotest.test_case "times respect edges" `Quick test_times_respect_edges;
+      Alcotest.test_case "sccs partition + topo" `Quick test_sccs;
+      Alcotest.test_case "ddg dot export" `Quick test_pp_dot;
+      Alcotest.test_case "unroll structure" `Quick test_unroll_structure;
+      Alcotest.test_case "unroll identity" `Quick test_unroll_identity;
+      Alcotest.test_case "unroll memrefs" `Quick test_unroll_memrefs;
+      Alcotest.test_case "unroll carried edges" `Quick test_unroll_carried_edges;
+      Alcotest.test_case "unroll memory independence" `Quick
+        test_unroll_preserves_memory_independence;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )

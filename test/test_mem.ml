@@ -1,0 +1,810 @@
+(* Tests for Flexl0_mem: address geometry, backing memory, buses, L0
+   buffers, L1, the unified L0 hierarchy and the two distributed-cache
+   baselines. *)
+
+open Flexl0_mem
+module Config = Flexl0_arch.Config
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let geometry = Addr.geometry_of_config Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Addr *)
+
+let test_block_math () =
+  check_int "block base" 0x40 (Addr.block_base geometry 0x55);
+  check_int "block offset" 0x15 (Addr.block_offset geometry 0x55);
+  check_int "subblock base" 0x50 (Addr.subblock_base geometry 0x55)
+
+let test_lanes () =
+  (* 2-byte granularity in a 32-byte block: element k is byte 2k, lane =
+     k mod 4 (Figure 2 of the paper). *)
+  List.iteri
+    (fun k expected ->
+      check_int "lane" expected (Addr.lane_of geometry ~gran:2 (2 * k)))
+    [ 0; 1; 2; 3; 0; 1; 2; 3 ];
+  (* 1-byte granularity: lane = byte mod 4. *)
+  check_int "byte lane" 3 (Addr.lane_of geometry ~gran:1 7)
+
+let test_every_byte_in_exactly_one_lane () =
+  List.iter
+    (fun gran ->
+      for byte = 0 to geometry.Addr.block_bytes - 1 do
+        let lanes =
+          List.filter
+            (fun lane ->
+              Addr.covers_interleaved geometry ~block:0 ~gran ~lane ~addr:byte
+                ~width:1)
+            [ 0; 1; 2; 3 ]
+        in
+        check_int "exactly one lane" 1 (List.length lanes)
+      done)
+    [ 1; 2; 4; 8 ]
+
+let test_interleaved_slot_bijective () =
+  (* Within one lane, distinct covered bytes map to distinct data slots. *)
+  let gran = 2 and lane = 1 in
+  let slots = ref [] in
+  for byte = 0 to geometry.Addr.block_bytes - 1 do
+    if Addr.covers_interleaved geometry ~block:0 ~gran ~lane ~addr:byte ~width:1
+    then slots := Addr.interleaved_slot geometry ~gran byte :: !slots
+  done;
+  let sorted = List.sort_uniq compare !slots in
+  check_int "8 bytes per lane" 8 (List.length !slots);
+  check_int "all slots distinct" 8 (List.length sorted);
+  check "slots within subblock" true
+    (List.for_all (fun s -> s >= 0 && s < geometry.Addr.subblock_bytes) sorted)
+
+let test_covers_linear () =
+  check "inside" true (Addr.covers_linear geometry ~base:0x50 ~addr:0x52 ~width:4);
+  check "straddles" false (Addr.covers_linear geometry ~base:0x50 ~addr:0x56 ~width:4);
+  check "before" false (Addr.covers_linear geometry ~base:0x50 ~addr:0x4e ~width:2)
+
+let test_mixed_granularity_is_partial () =
+  (* A 4-byte access to byte-interleaved data straddles lanes: the
+     Section 3.3 mixed-granularity miss case. *)
+  check "wide access misses byte lanes" false
+    (Addr.covers_interleaved geometry ~block:0 ~gran:1 ~lane:0 ~addr:0 ~width:4);
+  check "matching granularity hits" true
+    (Addr.covers_interleaved geometry ~block:0 ~gran:4 ~lane:0 ~addr:0 ~width:4)
+
+let test_element_indices () =
+  check_int "linear: byte 6 of 2B elems" 3
+    (Addr.element_index_linear geometry ~gran:2 ~addr:6);
+  (* Interleaved lane elements: block offsets (for gran 2, lane 1):
+     2, 10, 18, 26 -> indices 0..3. *)
+  check_int "interleaved first" 0 (Addr.element_index_interleaved geometry ~gran:2 ~addr:2);
+  check_int "interleaved last" 3 (Addr.element_index_interleaved geometry ~gran:2 ~addr:26);
+  check_int "elements per subblock" 4 (Addr.elements_per_subblock geometry ~gran:2);
+  check_int "elements per lane" 4 (Addr.elements_per_lane geometry ~gran:2)
+
+(* ------------------------------------------------------------------ *)
+(* Backing *)
+
+let test_backing_rw () =
+  let m = Backing.create ~size:64 in
+  Backing.write m ~addr:8 ~width:4 0xDEADBEEFL;
+  Alcotest.(check int64) "read back" 0xDEADBEEFL (Backing.read m ~addr:8 ~width:4);
+  Alcotest.(check int64) "little endian low byte" 0xEFL (Backing.read m ~addr:8 ~width:1);
+  Alcotest.(check int64) "unwritten is zero" 0L (Backing.read m ~addr:20 ~width:8)
+
+let test_backing_bytes () =
+  let m = Backing.create ~size:32 in
+  Backing.write_bytes m ~addr:4 (Bytes.of_string "abcd");
+  Alcotest.(check string) "bytes roundtrip" "abcd"
+    (Bytes.to_string (Backing.read_bytes m ~addr:4 ~len:4))
+
+let test_backing_bounds () =
+  let m = Backing.create ~size:16 in
+  check "oob write" true
+    (try Backing.write m ~addr:15 ~width:4 1L; false
+     with Invalid_argument _ -> true);
+  check "negative read" true
+    (try ignore (Backing.read m ~addr:(-1) ~width:1); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bus *)
+
+let test_bus_queuing () =
+  let bus = Bus.create ~clusters:4 in
+  check_int "first grant immediate" 10 (Bus.request bus ~cluster:0 ~now:10);
+  check_int "second queued" 11 (Bus.request bus ~cluster:0 ~now:10);
+  check_int "other cluster free" 10 (Bus.request bus ~cluster:1 ~now:10)
+
+let test_bus_reserve () =
+  let bus = Bus.create ~clusters:4 in
+  Bus.reserve bus ~cluster:2 ~at:5;
+  check "reserved busy" false (Bus.is_free bus ~cluster:2 ~at:5);
+  check_int "request skips it" 6 (Bus.request bus ~cluster:2 ~now:5)
+
+(* ------------------------------------------------------------------ *)
+(* L0 buffer *)
+
+let data_of_string s = Bytes.of_string s
+
+let fresh_buffer ?(capacity = Some 4) () = L0_buffer.create ~geometry ~capacity
+
+let test_l0_insert_lookup () =
+  let buf = fresh_buffer () in
+  L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x50 }) ~gran:2
+    ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "ABCDEFGH");
+  (match L0_buffer.lookup buf ~now:1 ~addr:0x52 ~width:2 with
+  | Some e ->
+    Alcotest.(check int64) "data at slot"
+      (Int64.of_int ((Char.code 'D' lsl 8) lor Char.code 'C'))
+      (L0_buffer.read_entry e ~geometry ~addr:0x52 ~width:2)
+  | None -> Alcotest.fail "expected hit");
+  check "outside subblock misses" true
+    (L0_buffer.lookup buf ~now:2 ~addr:0x58 ~width:2 = None)
+
+let test_l0_capacity_lru () =
+  let buf = fresh_buffer ~capacity:(Some 2) () in
+  let insert base =
+    L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base }) ~gran:2
+      ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "12345678")
+  in
+  insert 0x00;
+  insert 0x08;
+  (* Touch 0x00 so 0x08 is the LRU victim. *)
+  ignore (L0_buffer.lookup buf ~now:1 ~addr:0x00 ~width:2);
+  insert 0x10;
+  check_int "capacity respected" 2 (L0_buffer.entry_count buf);
+  check "0x00 survives (recently used)" true
+    (L0_buffer.peek buf ~addr:0x00 ~width:2 <> None);
+  check "0x08 evicted" true (L0_buffer.peek buf ~addr:0x08 ~width:2 = None);
+  check "0x10 present" true (L0_buffer.peek buf ~addr:0x10 ~width:2 <> None)
+
+let test_l0_unbounded () =
+  let buf = fresh_buffer ~capacity:None () in
+  for k = 0 to 63 do
+    L0_buffer.insert buf ~now:k ~mapping:(L0_buffer.Linear { base = 8 * k })
+      ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:k
+      ~data:(data_of_string "xxxxxxxx")
+  done;
+  check_int "unbounded keeps everything" 64 (L0_buffer.entry_count buf)
+
+let test_l0_same_mapping_replaces () =
+  let buf = fresh_buffer () in
+  let insert data =
+    L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x20 }) ~gran:2
+      ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string data)
+  in
+  insert "AAAAAAAA";
+  insert "BBBBBBBB";
+  check_int "one entry" 1 (L0_buffer.entry_count buf)
+
+let test_l0_store_update_and_intra_cluster_coherence () =
+  let buf = fresh_buffer () in
+  (* The same address mapped twice: linearly and interleaved (the
+     Section 4.1 intra-cluster case). *)
+  L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x00 }) ~gran:2
+    ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "AAAAAAAA");
+  L0_buffer.insert buf ~now:1
+    ~mapping:(L0_buffer.Interleaved { block = 0x00; gran = 2; lane = 0 })
+    ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:1 ~data:(data_of_string "BBBBBBBB");
+  check_int "two entries cover byte 0" 2 (L0_buffer.entry_count buf);
+  let updated = L0_buffer.store_update buf ~now:2 ~addr:0x00 ~width:2 ~value:0x1234L in
+  check "store updated a copy" true updated;
+  check_int "other copy invalidated" 1 (L0_buffer.entry_count buf);
+  match L0_buffer.peek buf ~addr:0x00 ~width:2 with
+  | Some e ->
+    Alcotest.(check int64) "updated value visible" 0x1234L
+      (L0_buffer.read_entry e ~geometry ~addr:0x00 ~width:2)
+  | None -> Alcotest.fail "updated copy must remain"
+
+let test_l0_store_update_misses_cleanly () =
+  let buf = fresh_buffer () in
+  check "no covering entry" false
+    (L0_buffer.store_update buf ~now:0 ~addr:0x40 ~width:2 ~value:1L)
+
+let test_l0_invalidate () =
+  let buf = fresh_buffer () in
+  L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x00 }) ~gran:2
+    ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "AAAAAAAA");
+  L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x08 }) ~gran:2
+    ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "BBBBBBBB");
+  check_int "invalidate_addr drops covering" 1
+    (L0_buffer.invalidate_addr buf ~addr:0x02 ~width:2);
+  check_int "one left" 1 (L0_buffer.entry_count buf);
+  L0_buffer.invalidate_all buf;
+  check_int "flush empties" 0 (L0_buffer.entry_count buf)
+
+let test_l0_interleaved_read () =
+  (* Lane 1 at gran 2 holds block elements 1, 5, 9, 13 (byte offsets
+     2, 10, 18, 26). *)
+  let buf = fresh_buffer () in
+  let data = Bytes.create 8 in
+  List.iteri (fun i c -> Bytes.set data i c)
+    [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g'; 'h' ];
+  L0_buffer.insert buf ~now:0
+    ~mapping:(L0_buffer.Interleaved { block = 0x40; gran = 2; lane = 1 })
+    ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:0 ~data;
+  (match L0_buffer.lookup buf ~now:1 ~addr:(0x40 + 18) ~width:2 with
+  | Some e ->
+    (* Element index 2 of the lane -> data bytes 4,5 = 'e','f'. *)
+    Alcotest.(check int64) "third element"
+      (Int64.of_int ((Char.code 'f' lsl 8) lor Char.code 'e'))
+      (L0_buffer.read_entry e ~geometry ~addr:(0x40 + 18) ~width:2)
+  | None -> Alcotest.fail "lane should cover block offset 18");
+  check "other lane's element misses" true
+    (L0_buffer.lookup buf ~now:2 ~addr:(0x40 + 4) ~width:2 = None)
+
+let test_l0_edge_triggers () =
+  let buf = fresh_buffer () in
+  L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x00 }) ~gran:2
+    ~prefetch:Hint.Positive ~ready_at:0 ~data:(data_of_string "AAAAAAAA");
+  let entry = Option.get (L0_buffer.peek buf ~addr:0x00 ~width:2) in
+  check "first element: no positive trigger" true
+    (L0_buffer.edge_trigger entry ~geometry ~addr:0x00 = None);
+  check "last element triggers next" true
+    (L0_buffer.edge_trigger entry ~geometry ~addr:0x06 = Some `Next);
+  L0_buffer.invalidate_all buf;
+  L0_buffer.insert buf ~now:1 ~mapping:(L0_buffer.Linear { base = 0x08 }) ~gran:2
+    ~prefetch:Hint.Negative ~ready_at:1 ~data:(data_of_string "BBBBBBBB");
+  let entry = Option.get (L0_buffer.peek buf ~addr:0x08 ~width:2) in
+  check "first element triggers prev" true
+    (L0_buffer.edge_trigger entry ~geometry ~addr:0x08 = Some `Prev);
+  check "last element: no negative trigger" true
+    (L0_buffer.edge_trigger entry ~geometry ~addr:0x0e = None)
+
+let test_l0_next_mapping () =
+  let lin = L0_buffer.Linear { base = 0x40 } in
+  check "linear next" true
+    (L0_buffer.next_mapping ~geometry ~distance:1 `Next lin
+     = L0_buffer.Linear { base = 0x48 });
+  check "linear prev distance 2" true
+    (L0_buffer.next_mapping ~geometry ~distance:2 `Prev lin
+     = L0_buffer.Linear { base = 0x30 });
+  let ilv = L0_buffer.Interleaved { block = 0x40; gran = 2; lane = 3 } in
+  check "interleaved next block" true
+    (L0_buffer.next_mapping ~geometry ~distance:1 `Next ilv
+     = L0_buffer.Interleaved { block = 0x60; gran = 2; lane = 3 })
+
+let qcheck_l0_props =
+  [
+    QCheck.Test.make ~name:"L0 never exceeds capacity" ~count:100
+      QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 1 60) (int_range 0 30)))
+      (fun (cap, bases) ->
+        let buf = L0_buffer.create ~geometry ~capacity:(Some cap) in
+        List.iter
+          (fun b ->
+            L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 8 * b })
+              ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:0
+              ~data:(Bytes.make 8 'x'))
+          bases;
+        L0_buffer.entry_count buf <= cap);
+    QCheck.Test.make ~name:"inserted subblock is immediately hittable" ~count:100
+      QCheck.(int_range 0 100)
+      (fun b ->
+        let buf = L0_buffer.create ~geometry ~capacity:(Some 4) in
+        L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 8 * b })
+          ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(Bytes.make 8 'x');
+        L0_buffer.lookup buf ~now:1 ~addr:(8 * b) ~width:2 <> None);
+    QCheck.Test.make ~name:"read_entry agrees with source bytes" ~count:100
+      QCheck.(pair (int_range 0 3) (int_range 0 3))
+      (fun (lane, element) ->
+        (* Fill a block with bytes = their offset; gather lane; check the
+           entry returns the right block bytes. *)
+        let gran = 2 in
+        let block_data = Bytes.init 32 Char.chr in
+        let data = Bytes.create 8 in
+        for e = 0 to 3 do
+          Bytes.blit block_data (((e * 4) + lane) * gran) data (e * gran) gran
+        done;
+        let buf = L0_buffer.create ~geometry ~capacity:(Some 4) in
+        L0_buffer.insert buf ~now:0
+          ~mapping:(L0_buffer.Interleaved { block = 0; gran; lane }) ~gran
+          ~prefetch:Hint.No_prefetch ~ready_at:0 ~data;
+        let addr = ((element * 4) + lane) * gran in
+        match L0_buffer.lookup buf ~now:1 ~addr ~width:gran with
+        | None -> false
+        | Some e ->
+          L0_buffer.read_entry e ~geometry ~addr ~width:gran
+          = Int64.of_int ((addr + 1) * 256 + addr));
+  ]
+
+(* Golden-model properties: under the compiler's contract, every load
+   through the hierarchy returns exactly what a flat memory would. *)
+let qcheck_unified_golden =
+  let op_gen =
+    QCheck.Gen.(
+      triple (int_range 0 63)  (* element of a 128-byte region, 2B elems *)
+        (int_range 0 2)  (* 0 = NO load, 1 = SEQ load, 2 = PAR store *)
+        (int_range 0 1000))
+  in
+  [
+    QCheck.Test.make ~name:"single-cluster PAR-store traffic matches golden"
+      ~count:60
+      QCheck.(make Gen.(list_size (int_range 1 80) op_gen))
+      (fun ops ->
+        (* All traffic in cluster 0 with stores marked PAR: the 1C
+           discipline. Loads must always see golden values. *)
+        let backing = Backing.create ~size:1024 in
+        let golden = Backing.create ~size:1024 in
+        let hier = Unified.create Config.default ~backing in
+        let ok = ref true in
+        List.iteri
+          (fun i (elem, kind, value) ->
+            let addr = 2 * elem and now = i * 20 in
+            match kind with
+            | 2 ->
+              let v = Int64.of_int value in
+              Backing.write golden ~addr ~width:2 v;
+              ignore
+                (hier.Hierarchy.store ~now ~cluster:0 ~addr ~width:2 ~value:v
+                   ~hints:(Hint.make ~access:Hint.Par_access ()))
+            | k ->
+              let hints =
+                if k = 0 then Hint.default
+                else Hint.make ~access:Hint.Seq_access ()
+              in
+              let r = hier.Hierarchy.load ~now ~cluster:0 ~addr ~width:2 ~hints in
+              if r.Hierarchy.value <> Backing.read golden ~addr ~width:2 then
+                ok := false)
+          ops;
+        !ok);
+    QCheck.Test.make ~name:"multi-cluster NO_ACCESS loads always golden"
+      ~count:60
+      QCheck.(make Gen.(list_size (int_range 1 80) (pair op_gen (int_range 0 3))))
+      (fun ops ->
+        (* Stores anywhere (NO_ACCESS); loads bypass L0 entirely: no
+           hint contract needed, values must match the golden memory. *)
+        let backing = Backing.create ~size:1024 in
+        let golden = Backing.create ~size:1024 in
+        let hier = Unified.create Config.default ~backing in
+        let ok = ref true in
+        List.iteri
+          (fun i ((elem, kind, value), cluster) ->
+            let addr = 2 * elem and now = i * 20 in
+            if kind = 2 then begin
+              let v = Int64.of_int value in
+              Backing.write golden ~addr ~width:2 v;
+              ignore
+                (hier.Hierarchy.store ~now ~cluster ~addr ~width:2 ~value:v
+                   ~hints:Hint.default)
+            end
+            else begin
+              let r =
+                hier.Hierarchy.load ~now ~cluster ~addr ~width:2
+                  ~hints:Hint.default
+              in
+              if r.Hierarchy.value <> Backing.read golden ~addr ~width:2 then
+                ok := false
+            end)
+          ops;
+        !ok);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* L1 cache *)
+
+let test_l1_hit_miss () =
+  let l1 = L1_cache.of_config Config.default in
+  check "cold miss" true (L1_cache.access l1 ~addr:0x100 ~write:false = `Miss);
+  check "then hit" true (L1_cache.access l1 ~addr:0x11f ~write:false = `Hit);
+  check "next block misses" true (L1_cache.access l1 ~addr:0x120 ~write:false = `Miss);
+  check_int "hit latency" 6 (L1_cache.latency l1 `Hit);
+  check_int "miss latency" 16 (L1_cache.latency l1 `Miss)
+
+let test_l1_associativity () =
+  let l1 =
+    L1_cache.create ~size_bytes:256 ~ways:2 ~block_bytes:32 ~hit_latency:6
+      ~l2_latency:10
+  in
+  (* 4 sets; addresses 0, 128, 256 share set 0. Two ways hold 0 and 128;
+     256 evicts the LRU (0). *)
+  ignore (L1_cache.access l1 ~addr:0 ~write:false);
+  ignore (L1_cache.access l1 ~addr:128 ~write:false);
+  ignore (L1_cache.access l1 ~addr:256 ~write:false);
+  check "0 evicted" false (L1_cache.probe l1 ~addr:0);
+  check "128 still in" true (L1_cache.probe l1 ~addr:128);
+  check "256 in" true (L1_cache.probe l1 ~addr:256)
+
+let test_l1_stores_non_allocating () =
+  let l1 = L1_cache.of_config Config.default in
+  check "store misses" true (L1_cache.access l1 ~addr:0x200 ~write:true = `Miss);
+  check "not allocated" false (L1_cache.probe l1 ~addr:0x200);
+  ignore (L1_cache.access l1 ~addr:0x200 ~write:false);
+  check "load allocates" true (L1_cache.probe l1 ~addr:0x200);
+  check "store hits now" true (L1_cache.access l1 ~addr:0x200 ~write:true = `Hit)
+
+(* ------------------------------------------------------------------ *)
+(* Unified hierarchy *)
+
+let make_unified ?(capacity = Config.Entries 8) () =
+  let cfg = Config.with_l0 capacity Config.default in
+  let backing = Backing.create ~size:4096 in
+  (Unified.create cfg ~backing, backing, cfg)
+
+let test_unified_seq_hit_timing () =
+  let hier, backing, _ = make_unified () in
+  Backing.write backing ~addr:0x100 ~width:2 0xBEEFL;
+  let hints = Hint.make ~access:Hint.Seq_access ~mapping:Hint.Linear_map () in
+  (* First access: L0 miss, forwarded to L1 (cold -> L2). *)
+  let miss = hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x100 ~width:2 ~hints in
+  check "first from L2" true (miss.Hierarchy.served = Hierarchy.L2);
+  check_int "seq miss latency: 1 + 6 + 10" 17 miss.Hierarchy.ready_at;
+  Alcotest.(check int64) "value correct" 0xBEEFL miss.Hierarchy.value;
+  (* Second access to the same subblock: L0 hit at the L0 latency. *)
+  let hit = hier.Hierarchy.load ~now:100 ~cluster:0 ~addr:0x102 ~width:2 ~hints in
+  check "now from L0" true (hit.Hierarchy.served = Hierarchy.L0);
+  check_int "1-cycle hit" 101 hit.Hierarchy.ready_at
+
+let test_unified_par_miss_timing () =
+  let hier, _, _ = make_unified () in
+  let hints = Hint.make ~access:Hint.Par_access ~mapping:Hint.Linear_map () in
+  let miss = hier.Hierarchy.load ~now:0 ~cluster:1 ~addr:0x80 ~width:2 ~hints in
+  (* Parallel: no serialized L0 probe; cold miss = 6 + 10. *)
+  check_int "par miss latency" 16 miss.Hierarchy.ready_at;
+  let hit = hier.Hierarchy.load ~now:50 ~cluster:1 ~addr:0x82 ~width:2 ~hints in
+  check_int "par hit at L0 latency" 51 hit.Hierarchy.ready_at
+
+let test_unified_no_access_does_not_allocate () =
+  let hier, _, _ = make_unified () in
+  let hints = Hint.default in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints);
+  (* A subsequent SEQ access must still miss L0. *)
+  let seq = Hint.make ~access:Hint.Seq_access () in
+  let r = hier.Hierarchy.load ~now:50 ~cluster:0 ~addr:0x40 ~width:2 ~hints:seq in
+  check "not cached by NO_ACCESS" true (r.Hierarchy.served <> Hierarchy.L0)
+
+let test_unified_interleaved_distribution () =
+  let hier, backing, _ = make_unified () in
+  for i = 0 to 15 do
+    Backing.write backing ~addr:(0x100 + (2 * i)) ~width:2 (Int64.of_int (i * 11))
+  done;
+  let hints =
+    Hint.make ~access:Hint.Par_access ~mapping:Hint.Interleaved_map ()
+  in
+  (* Cluster 2 loads element 0 (lane 0): the whole block is distributed
+     so lane k lives in cluster (2 + k) mod 4. *)
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:2 ~addr:0x100 ~width:2 ~hints);
+  let seq = Hint.make ~access:Hint.Seq_access () in
+  (* Element 1 (lane 1) must now hit in cluster 3. *)
+  let r = hier.Hierarchy.load ~now:100 ~cluster:3 ~addr:0x102 ~width:2 ~hints:seq in
+  check "lane 1 in cluster 3" true (r.Hierarchy.served = Hierarchy.L0);
+  Alcotest.(check int64) "lane data correct" 11L r.Hierarchy.value;
+  (* Element 2 (lane 2) in cluster 0. *)
+  let r = hier.Hierarchy.load ~now:110 ~cluster:0 ~addr:0x104 ~width:2 ~hints:seq in
+  check "lane 2 in cluster 0" true (r.Hierarchy.served = Hierarchy.L0);
+  (* And element 1 is NOT in cluster 2. *)
+  let r = hier.Hierarchy.load ~now:120 ~cluster:2 ~addr:0x102 ~width:2 ~hints:seq in
+  check "lane 1 absent from cluster 2" true (r.Hierarchy.served <> Hierarchy.L0)
+
+let test_unified_interleave_penalty () =
+  let hier, _, _ = make_unified () in
+  let hints =
+    Hint.make ~access:Hint.Par_access ~mapping:Hint.Interleaved_map ()
+  in
+  let r = hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints in
+  (* Cold: 6 + 10 + 1 shift/interleave. *)
+  check_int "interleaved fill pays +1" 17 r.Hierarchy.ready_at
+
+let test_unified_store_write_through () =
+  let hier, backing, _ = make_unified () in
+  let par = Hint.make ~access:Hint.Par_access () in
+  (* Cache a subblock in cluster 0. *)
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2
+            ~hints:(Hint.make ~access:Hint.Seq_access ()));
+  (* PAR store updates both L0 copy and memory. *)
+  ignore (hier.Hierarchy.store ~now:50 ~cluster:0 ~addr:0x40 ~width:2 ~value:0x7777L
+            ~hints:par);
+  Alcotest.(check int64) "memory updated" 0x7777L (Backing.read backing ~addr:0x40 ~width:2);
+  let r = hier.Hierarchy.load ~now:60 ~cluster:0 ~addr:0x40 ~width:2
+      ~hints:(Hint.make ~access:Hint.Seq_access ()) in
+  check "L0 hit" true (r.Hierarchy.served = Hierarchy.L0);
+  Alcotest.(check int64) "L0 copy fresh" 0x7777L r.Hierarchy.value
+
+let test_unified_remote_store_staleness () =
+  (* The hazard the compiler must manage: a store in another cluster does
+     NOT update this cluster's L0 copy (stores never update remote
+     buffers), so a subsequent local L0 hit returns the stale value. *)
+  let hier, _, _ = make_unified () in
+  let seq = Hint.make ~access:Hint.Seq_access () in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints:seq);
+  ignore (hier.Hierarchy.store ~now:50 ~cluster:1 ~addr:0x40 ~width:2 ~value:0x9999L
+            ~hints:(Hint.make ~access:Hint.Par_access ()));
+  let r = hier.Hierarchy.load ~now:60 ~cluster:0 ~addr:0x40 ~width:2 ~hints:seq in
+  check "still served by stale L0" true (r.Hierarchy.served = Hierarchy.L0);
+  check "value is stale (hazard exists)" true (r.Hierarchy.value <> 0x9999L)
+
+let test_unified_inval_only_repairs_staleness () =
+  (* PSR replica semantics: INVAL_ONLY drops the local copy so the next
+     load refetches the up-to-date value. *)
+  let hier, _, _ = make_unified () in
+  let seq = Hint.make ~access:Hint.Seq_access () in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints:seq);
+  ignore (hier.Hierarchy.store ~now:50 ~cluster:1 ~addr:0x40 ~width:2 ~value:0x9999L
+            ~hints:(Hint.make ~access:Hint.Par_access ()));
+  ignore (hier.Hierarchy.store ~now:51 ~cluster:0 ~addr:0x40 ~width:2 ~value:0L
+            ~hints:(Hint.make ~access:Hint.Inval_only ()));
+  let r = hier.Hierarchy.load ~now:60 ~cluster:0 ~addr:0x40 ~width:2 ~hints:seq in
+  check "refetched below L0" true (r.Hierarchy.served <> Hierarchy.L0);
+  Alcotest.(check int64) "fresh value" 0x9999L r.Hierarchy.value
+
+let test_unified_invalidate_instruction () =
+  let hier, _, _ = make_unified () in
+  let seq = Hint.make ~access:Hint.Seq_access () in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:2 ~addr:0x40 ~width:2 ~hints:seq);
+  hier.Hierarchy.invalidate ~cluster:2;
+  let r = hier.Hierarchy.load ~now:50 ~cluster:2 ~addr:0x40 ~width:2 ~hints:seq in
+  check "flushed" true (r.Hierarchy.served <> Hierarchy.L0)
+
+let test_unified_positive_prefetch_chain () =
+  let hier, _, _ = make_unified () in
+  let hints =
+    Hint.make ~access:Hint.Seq_access ~mapping:Hint.Linear_map
+      ~prefetch:Hint.Positive ()
+  in
+  (* Walk subblock 0x40: the last element (0x46) triggers a prefetch of
+     0x48, which should be an L0 hit when touched late enough. *)
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints);
+  ignore (hier.Hierarchy.load ~now:30 ~cluster:0 ~addr:0x46 ~width:2 ~hints);
+  let r = hier.Hierarchy.load ~now:100 ~cluster:0 ~addr:0x48 ~width:2 ~hints in
+  check "prefetched next subblock" true (r.Hierarchy.served = Hierarchy.L0);
+  check_int "prefetch counted" 1
+    (Flexl0_util.Stats.Counters.get hier.Hierarchy.counters "prefetch_issued")
+
+let test_unified_late_prefetch_stalls () =
+  let hier, _, _ = make_unified () in
+  let hints =
+    Hint.make ~access:Hint.Seq_access ~mapping:Hint.Linear_map
+      ~prefetch:Hint.Positive ()
+  in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:2 ~hints);
+  (* Trigger at t=30; fill lands around t=31+16. Touch the next subblock
+     immediately: the entry exists but is in flight -> delayed ready. *)
+  ignore (hier.Hierarchy.load ~now:30 ~cluster:0 ~addr:0x46 ~width:2 ~hints);
+  let r = hier.Hierarchy.load ~now:32 ~cluster:0 ~addr:0x48 ~width:2 ~hints in
+  check "served by (in-flight) L0" true (r.Hierarchy.served = Hierarchy.L0);
+  check "but later than the L0 latency" true (r.Hierarchy.ready_at > 33)
+
+let test_unified_explicit_prefetch () =
+  let hier, _, _ = make_unified () in
+  hier.Hierarchy.prefetch ~now:0 ~cluster:1 ~addr:0x200 ~width:2;
+  let r = hier.Hierarchy.load ~now:100 ~cluster:1 ~addr:0x200 ~width:2
+      ~hints:(Hint.make ~access:Hint.Seq_access ()) in
+  check "explicit prefetch fills L0" true (r.Hierarchy.served = Hierarchy.L0)
+
+let test_unified_prefetch_dedup () =
+  let hier, _, _ = make_unified () in
+  hier.Hierarchy.prefetch ~now:0 ~cluster:0 ~addr:0x80 ~width:2;
+  hier.Hierarchy.prefetch ~now:1 ~cluster:0 ~addr:0x84 ~width:2;
+  check_int "second squashed (same subblock)" 1
+    (Flexl0_util.Stats.Counters.get hier.Hierarchy.counters "prefetch_squashed")
+
+let test_unified_mixed_granularity_miss () =
+  (* Byte-interleaved data accessed with a 4-byte load: partial coverage
+     must miss and go to L1 (Section 3.3). *)
+  let hier, _, _ = make_unified () in
+  let byte_hints =
+    Hint.make ~access:Hint.Par_access ~mapping:Hint.Interleaved_map ()
+  in
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x40 ~width:1 ~hints:byte_hints);
+  let r = hier.Hierarchy.load ~now:50 ~cluster:0 ~addr:0x40 ~width:4
+      ~hints:(Hint.make ~access:Hint.Seq_access ()) in
+  check "wide access misses L0" true (r.Hierarchy.served <> Hierarchy.L0)
+
+let test_unified_bus_contention_queues () =
+  let hier, _, _ = make_unified () in
+  let no = Hint.default in
+  let r1 = hier.Hierarchy.load ~now:10 ~cluster:0 ~addr:0x400 ~width:2 ~hints:no in
+  let r2 = hier.Hierarchy.load ~now:10 ~cluster:0 ~addr:0x600 ~width:2 ~hints:no in
+  check "second request queued behind first" true
+    (r2.Hierarchy.ready_at > r1.Hierarchy.ready_at
+     || r2.Hierarchy.ready_at >= 10 + 1 + 6)
+
+let test_unified_rejects_l0_hints_without_l0 () =
+  let cfg = Config.baseline in
+  let backing = Backing.create ~size:1024 in
+  let hier = Unified.create cfg ~backing in
+  check "seq without L0 rejected" true
+    (try
+       ignore
+         (hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0 ~width:2
+            ~hints:(Hint.make ~access:Hint.Seq_access ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_baseline_ignores_hints () =
+  let backing = Backing.create ~size:1024 in
+  let hier = Unified.baseline Config.default ~backing in
+  let r = hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0 ~width:2
+      ~hints:(Hint.make ~access:Hint.Seq_access ()) in
+  check "baseline serves from L1 path" true (r.Hierarchy.served <> Hierarchy.L0)
+
+(* ------------------------------------------------------------------ *)
+(* MultiVLIW protocol *)
+
+let test_msi_read_sharing () =
+  let p = Multivliw.Protocol.create Config.default in
+  check "cold read from memory" true
+    (Multivliw.Protocol.read p ~cluster:0 ~addr:0x100 = `Memory);
+  check "second cluster snoops" true
+    (Multivliw.Protocol.read p ~cluster:1 ~addr:0x100 = `Remote);
+  check_int "two sharers" 2 (List.length (Multivliw.Protocol.holders p ~addr:0x100));
+  check "invariant holds" true (Multivliw.Protocol.check_invariant p = Ok ())
+
+let test_msi_write_invalidates () =
+  let p = Multivliw.Protocol.create Config.default in
+  ignore (Multivliw.Protocol.read p ~cluster:0 ~addr:0x100);
+  ignore (Multivliw.Protocol.read p ~cluster:1 ~addr:0x100);
+  ignore (Multivliw.Protocol.write p ~cluster:2 ~addr:0x100);
+  (match Multivliw.Protocol.holders p ~addr:0x100 with
+  | [ (2, Multivliw.Protocol.Modified) ] -> ()
+  | holders ->
+    Alcotest.failf "expected only cluster 2 Modified, got %d holders"
+      (List.length holders));
+  check "invariant holds" true (Multivliw.Protocol.check_invariant p = Ok ())
+
+let test_msi_write_local_upgrade () =
+  let p = Multivliw.Protocol.create Config.default in
+  ignore (Multivliw.Protocol.read p ~cluster:0 ~addr:0x40);
+  check "upgrade is a remote transaction" true
+    (Multivliw.Protocol.write p ~cluster:0 ~addr:0x40 = `Remote);
+  check "second write local" true
+    (Multivliw.Protocol.write p ~cluster:0 ~addr:0x40 = `Local)
+
+let qcheck_msi_invariant =
+  QCheck.Test.make ~name:"MSI invariant under random traffic" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 120)
+              (triple (int_range 0 3) (int_range 0 15) bool))
+    (fun ops ->
+      let p = Multivliw.Protocol.create Config.default in
+      List.iter
+        (fun (cluster, block, is_write) ->
+          let addr = block * 32 in
+          if is_write then ignore (Multivliw.Protocol.write p ~cluster ~addr)
+          else ignore (Multivliw.Protocol.read p ~cluster ~addr))
+        ops;
+      Multivliw.Protocol.check_invariant p = Ok ())
+
+let test_multivliw_hierarchy_timing () =
+  let backing = Backing.create ~size:4096 in
+  let hier = Multivliw.create Config.default ~backing in
+  Backing.write backing ~addr:0x100 ~width:4 42L;
+  let cold = hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check_int "cold: local + L2" 12 cold.Hierarchy.ready_at;
+  Alcotest.(check int64) "value" 42L cold.Hierarchy.value;
+  let local = hier.Hierarchy.load ~now:20 ~cluster:0 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check_int "local hit" 22 local.Hierarchy.ready_at;
+  let remote = hier.Hierarchy.load ~now:40 ~cluster:1 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check_int "remote snoop" 46 remote.Hierarchy.ready_at
+
+(* ------------------------------------------------------------------ *)
+(* Word-interleaved + attraction buffers *)
+
+let test_interleaved_homes () =
+  check_int "word 0" 0 (Interleaved.home_of ~clusters:4 0);
+  check_int "word 1" 1 (Interleaved.home_of ~clusters:4 4);
+  check_int "byte within word" 1 (Interleaved.home_of ~clusters:4 7);
+  check_int "wraps" 0 (Interleaved.home_of ~clusters:4 16)
+
+let test_interleaved_local_vs_remote () =
+  let backing = Backing.create ~size:4096 in
+  let hier = Interleaved.create Config.default ~backing in
+  (* addr 0x100 is word 64, home = 0. *)
+  let cold = hier.Hierarchy.load ~now:0 ~cluster:0 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check_int "cold local = 2 + 10" 12 cold.Hierarchy.ready_at;
+  let local = hier.Hierarchy.load ~now:20 ~cluster:0 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check "local bank" true (local.Hierarchy.served = Hierarchy.Local_bank);
+  check_int "local hit" 22 local.Hierarchy.ready_at;
+  let remote = hier.Hierarchy.load ~now:40 ~cluster:1 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check "remote" true (remote.Hierarchy.served = Hierarchy.Remote_bank);
+  check_int "remote = 6 + bank hit 2" 48 remote.Hierarchy.ready_at;
+  (* The remote word is now attracted: next access hits the AB. *)
+  let ab = hier.Hierarchy.load ~now:60 ~cluster:1 ~addr:0x100 ~width:4
+      ~hints:Hint.default in
+  check "attraction hit" true (ab.Hierarchy.served = Hierarchy.Attraction);
+  check_int "1-cycle AB" 61 ab.Hierarchy.ready_at
+
+let test_interleaved_ab_coherence () =
+  let backing = Backing.create ~size:4096 in
+  let hier = Interleaved.create Config.default ~backing in
+  (* Attract word into cluster 1's AB. *)
+  ignore (hier.Hierarchy.load ~now:0 ~cluster:1 ~addr:0x100 ~width:4 ~hints:Hint.default);
+  ignore (hier.Hierarchy.load ~now:10 ~cluster:1 ~addr:0x100 ~width:4 ~hints:Hint.default);
+  (* A store from cluster 2 must invalidate cluster 1's copy. *)
+  ignore (hier.Hierarchy.store ~now:20 ~cluster:2 ~addr:0x100 ~width:4 ~value:7L
+            ~hints:Hint.default);
+  let r = hier.Hierarchy.load ~now:30 ~cluster:1 ~addr:0x100 ~width:4 ~hints:Hint.default in
+  check "AB copy dropped" true (r.Hierarchy.served = Hierarchy.Remote_bank);
+  Alcotest.(check int64) "fresh value" 7L r.Hierarchy.value
+
+let test_interleaved_ab_capacity () =
+  let backing = Backing.create ~size:65536 in
+  let hier = Interleaved.create Config.default ~backing in
+  (* Touch 9 distinct remote words from cluster 1 (home 0): the AB holds
+     8, so the first one is evicted. *)
+  for k = 0 to 8 do
+    ignore (hier.Hierarchy.load ~now:(k * 10) ~cluster:1 ~addr:(k * 16) ~width:4
+              ~hints:Hint.default)
+  done;
+  let r = hier.Hierarchy.load ~now:200 ~cluster:1 ~addr:0 ~width:4 ~hints:Hint.default in
+  check "first word evicted from AB" true (r.Hierarchy.served = Hierarchy.Remote_bank)
+
+let suite =
+  ( "mem",
+    [
+      Alcotest.test_case "block math" `Quick test_block_math;
+      Alcotest.test_case "lanes" `Quick test_lanes;
+      Alcotest.test_case "bytes partition into lanes" `Quick
+        test_every_byte_in_exactly_one_lane;
+      Alcotest.test_case "interleaved slot bijective" `Quick
+        test_interleaved_slot_bijective;
+      Alcotest.test_case "covers linear" `Quick test_covers_linear;
+      Alcotest.test_case "mixed granularity partial" `Quick
+        test_mixed_granularity_is_partial;
+      Alcotest.test_case "element indices" `Quick test_element_indices;
+      Alcotest.test_case "backing read/write" `Quick test_backing_rw;
+      Alcotest.test_case "backing bytes" `Quick test_backing_bytes;
+      Alcotest.test_case "backing bounds" `Quick test_backing_bounds;
+      Alcotest.test_case "bus queuing" `Quick test_bus_queuing;
+      Alcotest.test_case "bus reserve" `Quick test_bus_reserve;
+      Alcotest.test_case "l0 insert/lookup" `Quick test_l0_insert_lookup;
+      Alcotest.test_case "l0 capacity LRU" `Quick test_l0_capacity_lru;
+      Alcotest.test_case "l0 unbounded" `Quick test_l0_unbounded;
+      Alcotest.test_case "l0 same mapping replaces" `Quick
+        test_l0_same_mapping_replaces;
+      Alcotest.test_case "l0 store update + intra-cluster coherence" `Quick
+        test_l0_store_update_and_intra_cluster_coherence;
+      Alcotest.test_case "l0 store miss clean" `Quick test_l0_store_update_misses_cleanly;
+      Alcotest.test_case "l0 invalidate" `Quick test_l0_invalidate;
+      Alcotest.test_case "l0 interleaved read" `Quick test_l0_interleaved_read;
+      Alcotest.test_case "l0 edge triggers" `Quick test_l0_edge_triggers;
+      Alcotest.test_case "l0 next mapping" `Quick test_l0_next_mapping;
+      Alcotest.test_case "l1 hit/miss" `Quick test_l1_hit_miss;
+      Alcotest.test_case "l1 associativity" `Quick test_l1_associativity;
+      Alcotest.test_case "l1 stores non-allocating" `Quick
+        test_l1_stores_non_allocating;
+      Alcotest.test_case "unified SEQ timing" `Quick test_unified_seq_hit_timing;
+      Alcotest.test_case "unified PAR timing" `Quick test_unified_par_miss_timing;
+      Alcotest.test_case "unified NO_ACCESS no allocate" `Quick
+        test_unified_no_access_does_not_allocate;
+      Alcotest.test_case "unified interleaved distribution" `Quick
+        test_unified_interleaved_distribution;
+      Alcotest.test_case "unified interleave penalty" `Quick
+        test_unified_interleave_penalty;
+      Alcotest.test_case "unified store write-through" `Quick
+        test_unified_store_write_through;
+      Alcotest.test_case "unified remote-store staleness hazard" `Quick
+        test_unified_remote_store_staleness;
+      Alcotest.test_case "unified INVAL_ONLY repairs staleness" `Quick
+        test_unified_inval_only_repairs_staleness;
+      Alcotest.test_case "unified invalidate instruction" `Quick
+        test_unified_invalidate_instruction;
+      Alcotest.test_case "unified positive prefetch chain" `Quick
+        test_unified_positive_prefetch_chain;
+      Alcotest.test_case "unified late prefetch stalls" `Quick
+        test_unified_late_prefetch_stalls;
+      Alcotest.test_case "unified explicit prefetch" `Quick
+        test_unified_explicit_prefetch;
+      Alcotest.test_case "unified prefetch dedup" `Quick test_unified_prefetch_dedup;
+      Alcotest.test_case "unified mixed granularity miss" `Quick
+        test_unified_mixed_granularity_miss;
+      Alcotest.test_case "unified bus contention" `Quick
+        test_unified_bus_contention_queues;
+      Alcotest.test_case "unified rejects L0 hints without L0" `Quick
+        test_unified_rejects_l0_hints_without_l0;
+      Alcotest.test_case "baseline ignores hints" `Quick test_baseline_ignores_hints;
+      Alcotest.test_case "msi read sharing" `Quick test_msi_read_sharing;
+      Alcotest.test_case "msi write invalidates" `Quick test_msi_write_invalidates;
+      Alcotest.test_case "msi local upgrade" `Quick test_msi_write_local_upgrade;
+      Alcotest.test_case "multivliw timing" `Quick test_multivliw_hierarchy_timing;
+      Alcotest.test_case "interleaved homes" `Quick test_interleaved_homes;
+      Alcotest.test_case "interleaved local/remote/AB" `Quick
+        test_interleaved_local_vs_remote;
+      Alcotest.test_case "interleaved AB coherence" `Quick test_interleaved_ab_coherence;
+      Alcotest.test_case "interleaved AB capacity" `Quick test_interleaved_ab_capacity;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+        (qcheck_l0_props @ qcheck_unified_golden @ [ qcheck_msi_invariant ]) )

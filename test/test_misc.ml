@@ -1,0 +1,153 @@
+(* Final coverage batch: renderers, small accessors and corner paths not
+   hit elsewhere. *)
+
+open Flexl0_ir
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Hint = Flexl0_mem.Hint
+module Kernels = Flexl0_workloads.Kernels
+module Exec = Flexl0_sim.Exec
+
+let cfg = Config.default
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let l0_scheme = Scheme.L0 { selective = true }
+
+let test_makespan () =
+  let loop = Kernels.vector_add ~name:"v" ~trip:32 ~len:64 Opcode.W2 in
+  let sch = Engine.schedule cfg Scheme.Base_unified loop in
+  let manual =
+    Array.fold_left
+      (fun acc (p : Schedule.placement) ->
+        max acc (p.Schedule.start + p.Schedule.assumed_latency))
+      0 sch.Schedule.placements
+  in
+  check_int "makespan = last completion" manual (Schedule.makespan sch);
+  check "stage count consistent" true
+    (Schedule.stage_count sch >= 1
+     && Schedule.stage_count sch <= (Schedule.makespan sch / sch.Schedule.ii) + 1)
+
+let test_result_accessors () =
+  let loop = Kernels.vector_add ~name:"v" ~trip:16 ~len:64 Opcode.W2 in
+  let sch = Engine.schedule cfg l0_scheme loop in
+  let r =
+    Exec.run cfg sch
+      ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create cfg ~backing)
+      ()
+  in
+  check_int "ipc denominator" r.Exec.total_cycles (Exec.ipc_denominator r);
+  check "stall fraction consistent" true
+    (abs_float
+       (Exec.stall_fraction r
+        -. (float_of_int r.Exec.stall_cycles /. float_of_int r.Exec.total_cycles))
+     < 1e-9)
+
+let test_pp_smoke () =
+  let loop = Kernels.iir_inplace ~name:"iir" ~trip:16 ~len:16 in
+  check "loop pp" true (String.length (Format.asprintf "%a" Loop.pp loop) > 0);
+  check "ddg pp" true
+    (String.length (Format.asprintf "%a" Ddg.pp (Loop.ddg loop)) > 0);
+  let sch = Engine.schedule cfg l0_scheme loop in
+  check "schedule pp" true
+    (String.length (Format.asprintf "%a" Schedule.pp sch) > 0);
+  List.iter
+    (fun (ins : Instr.t) ->
+      check "instr pp" true (String.length (Format.asprintf "%a" Instr.pp ins) > 0))
+    loop.Loop.instrs
+
+let test_two_independent_coherence_sets () =
+  (* Two rmw pairs over different arrays: two separate sets, each 1C in
+     its own cluster, both value-correct. *)
+  let b = Builder.create ~name:"two_rmw" ~trip_count:32 () in
+  let a0 = Builder.array b ~name:"a0" ~elem_bytes:4 ~length:40 in
+  let a1 = Builder.array b ~name:"a1" ~elem_bytes:4 ~length:40 in
+  let c = Builder.imove b in
+  let x0 = Builder.load b ~arr:a0 ~offset:0 ~stride:(Memref.Const 1) Opcode.W4 in
+  let y0 = Builder.imul b x0 c in
+  let _ = Builder.store b ~arr:a0 ~offset:1 ~stride:(Memref.Const 1) Opcode.W4 y0 in
+  let x1 = Builder.load b ~arr:a1 ~offset:0 ~stride:(Memref.Const 1) Opcode.W4 in
+  let y1 = Builder.imul b x1 c in
+  let _ = Builder.store b ~arr:a1 ~offset:1 ~stride:(Memref.Const 1) Opcode.W4 y1 in
+  let loop = Builder.finish b in
+  let deps = Memdep.compute (Loop.ddg loop) in
+  check_int "two coherence sets" 2
+    (List.length (List.filter Memdep.needs_coherence (Memdep.sets deps)));
+  let sch = Engine.schedule cfg l0_scheme loop in
+  check "valid" true (Schedule.validate cfg sch = Ok ());
+  let r =
+    Exec.run cfg sch
+      ~hierarchy:(fun ~backing -> Flexl0_mem.Unified.create cfg ~backing)
+      ()
+  in
+  check_int "coherent" 0 r.Exec.value_mismatches
+
+let test_unbounded_marks_all_candidates () =
+  let loop = Kernels.multi_stream ~name:"m" ~trip:32 ~len:64 ~streams:5 in
+  let c = Config.with_l0 Config.Unbounded cfg in
+  let sch = Engine.schedule c l0_scheme loop in
+  let candidate_loads =
+    List.filter Instr.is_candidate (List.filter Instr.is_load loop.Loop.instrs)
+  in
+  let marked =
+    Array.to_list sch.Schedule.placements
+    |> List.filter (fun (p : Schedule.placement) -> p.Schedule.uses_l0)
+  in
+  check_int "every candidate marked under unbounded buffers"
+    (List.length candidate_loads) (List.length marked)
+
+let test_prefetch_out_of_range_counted () =
+  let backing = Flexl0_mem.Backing.create ~size:256 in
+  let hier = Flexl0_mem.Unified.create cfg ~backing in
+  (* Walk the last subblock with a POSITIVE hint: the next subblock is
+     outside memory and the prefetch must be dropped, counted, harmless. *)
+  let hints =
+    Hint.make ~access:Hint.Seq_access ~mapping:Hint.Linear_map
+      ~prefetch:Hint.Positive ()
+  in
+  ignore
+    (hier.Flexl0_mem.Hierarchy.load ~now:0 ~cluster:0 ~addr:248 ~width:2 ~hints);
+  ignore
+    (hier.Flexl0_mem.Hierarchy.load ~now:50 ~cluster:0 ~addr:254 ~width:2 ~hints);
+  check "out-of-range prefetch counted" true
+    (Flexl0_util.Stats.Counters.get hier.Flexl0_mem.Hierarchy.counters
+       "prefetch_out_of_range"
+     >= 1)
+
+let test_interleaved_baseline_store_local () =
+  let backing = Flexl0_mem.Backing.create ~size:1024 in
+  let hier = Flexl0_mem.Interleaved.create cfg ~backing in
+  (* addr 0x100 is word 64, home 0: a store from cluster 0 is local. *)
+  let r =
+    hier.Flexl0_mem.Hierarchy.store ~now:0 ~cluster:0 ~addr:0x100 ~width:4
+      ~value:5L ~hints:Hint.default
+  in
+  check "store served locally" true
+    (r.Flexl0_mem.Hierarchy.served = Flexl0_mem.Hierarchy.Local_bank);
+  check_int "counted" 1
+    (Flexl0_util.Stats.Counters.get hier.Flexl0_mem.Hierarchy.counters
+       "store_local")
+
+let test_scheme_strings () =
+  List.iter
+    (fun scheme ->
+      check "non-empty label" true (String.length (Scheme.to_string scheme) > 0))
+    Scheme.all;
+  check_int "six schemes" 6 (List.length Scheme.all)
+
+let suite =
+  ( "misc",
+    [
+      Alcotest.test_case "makespan" `Quick test_makespan;
+      Alcotest.test_case "result accessors" `Quick test_result_accessors;
+      Alcotest.test_case "pretty printers" `Quick test_pp_smoke;
+      Alcotest.test_case "two independent coherence sets" `Quick
+        test_two_independent_coherence_sets;
+      Alcotest.test_case "unbounded marks all candidates" `Quick
+        test_unbounded_marks_all_candidates;
+      Alcotest.test_case "out-of-range prefetch" `Quick
+        test_prefetch_out_of_range_counted;
+      Alcotest.test_case "interleaved store local" `Quick
+        test_interleaved_baseline_store_local;
+      Alcotest.test_case "scheme labels" `Quick test_scheme_strings;
+    ] )

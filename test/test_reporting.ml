@@ -1,0 +1,126 @@
+(* Tests for the reporting layer: CSV export, the kernel listing and the
+   text renderers. *)
+
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Kernels = Flexl0_workloads.Kernels
+module Mediabench = Flexl0_workloads.Mediabench
+module Experiments = Flexl0.Experiments
+module Csv_export = Flexl0.Csv_export
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let small = [ Mediabench.find "g721dec" ]
+
+let test_csv_figure_shape () =
+  let fig = Experiments.fig5 ~benchmarks:small () in
+  let csv = Csv_export.figure fig in
+  let ls = lines csv in
+  (* header + 4 points x 1 benchmark + 4 AMEAN rows *)
+  check_int "row count" (1 + 4 + 4) (List.length ls);
+  check "header" true (List.hd ls = "bench,point,total,stall");
+  check "benchmark present" true (contains ~needle:"g721dec,l0-8," csv);
+  check "amean present" true (contains ~needle:"AMEAN,l0-8," csv)
+
+let test_csv_fields_parse_as_floats () =
+  let fig = Experiments.fig5 ~benchmarks:small () in
+  let csv = Csv_export.figure fig in
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match String.split_on_char ',' line with
+        | [ _; _; total; stall ] ->
+          check "total parses" true (float_of_string_opt total <> None);
+          check "stall parses" true (float_of_string_opt stall <> None)
+        | _ -> Alcotest.failf "bad record: %s" line)
+    (lines csv)
+
+let test_csv_table1 () =
+  let csv = Csv_export.table1 (Experiments.table1 ~benchmarks:small ()) in
+  check_int "header + one row" 2 (List.length (lines csv));
+  check "paper columns present" true (contains ~needle:"100.000000" csv)
+
+let test_csv_escaping () =
+  (* Synthetic figure exercising the quoting path. *)
+  let fig =
+    {
+      Experiments.title = "t";
+      point_labels = [ "a,b" ];
+      rows =
+        [ { Experiments.bench = "we\"ird";
+            points = [ { Experiments.point = "a,b"; total = 1.0; stall = 0.0 } ] } ];
+      amean = [];
+      total_mismatches = 0;
+    }
+  in
+  let csv = Csv_export.figure fig in
+  check "comma field quoted" true (contains ~needle:"\"a,b\"" csv);
+  check "quote doubled" true (contains ~needle:"\"we\"\"ird\"" csv)
+
+let test_csv_sweep_and_coherence () =
+  let sweep =
+    Csv_export.sweep ~parameter:"x"
+      [ { Experiments.parameter = 4; amean = 0.9 } ]
+  in
+  check "sweep header" true (contains ~needle:"x,amean" sweep);
+  check "sweep row" true (contains ~needle:"4,0.9" sweep);
+  let co =
+    Csv_export.coherence
+      [ { Experiments.co_bench = "b"; auto = 0.8; nl0 = 1.0; one_cluster = 0.8;
+          psr = 0.81 } ]
+  in
+  check_int "coherence rows" 2 (List.length (lines co))
+
+let test_csv_save_roundtrip () =
+  let path = Filename.temp_file "flexl0" ".csv" in
+  Csv_export.save ~path "a,b\n1,2\n";
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "a,b\n1,2\n" contents
+
+let test_kernel_listing () =
+  let cfg = Config.default in
+  let loop = Kernels.vector_add ~name:"v" ~trip:64 ~len:256 Flexl0_ir.Opcode.W2 in
+  let sch = Engine.schedule cfg (Scheme.L0 { selective = true }) loop in
+  let text = Format.asprintf "%a" Schedule.pp_kernel sch in
+  check "mentions II" true (contains ~needle:(Printf.sprintf "II=%d" sch.Schedule.ii) text);
+  check "mentions cluster 3" true (contains ~needle:"cluster 3" text);
+  check "shows a load" true (contains ~needle:"load2" text);
+  (* Every cycle row is present. *)
+  check_int "rows = II + header + title"
+    (sch.Schedule.ii + 2)
+    (List.length (lines text))
+
+let test_kernel_listing_shows_prefetches () =
+  let cfg = Config.default in
+  let loop = Kernels.column_walk ~name:"c" ~trip:64 ~len:1024 ~row:16
+      Flexl0_ir.Opcode.W2 in
+  let sch = Engine.schedule cfg (Scheme.L0 { selective = true }) loop in
+  let text = Format.asprintf "%a" Schedule.pp_kernel sch in
+  if sch.Schedule.prefetches <> [] then
+    check "prefetch slot rendered" true (contains ~needle:"prefetch(" text)
+
+let suite =
+  ( "reporting",
+    [
+      Alcotest.test_case "csv figure shape" `Slow test_csv_figure_shape;
+      Alcotest.test_case "csv floats parse" `Slow test_csv_fields_parse_as_floats;
+      Alcotest.test_case "csv table1" `Quick test_csv_table1;
+      Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv sweep/coherence" `Quick test_csv_sweep_and_coherence;
+      Alcotest.test_case "csv save roundtrip" `Quick test_csv_save_roundtrip;
+      Alcotest.test_case "kernel listing" `Quick test_kernel_listing;
+      Alcotest.test_case "kernel listing prefetches" `Quick
+        test_kernel_listing_shows_prefetches;
+    ] )

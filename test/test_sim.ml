@@ -1,0 +1,321 @@
+(* Tests for Flexl0_sim: address generation and the timed lock-step
+   executor, including the end-to-end value-coherence matrix over every
+   kernel and scheme. *)
+
+open Flexl0_ir
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Exec = Flexl0_sim.Exec
+module Tracegen = Flexl0_sim.Tracegen
+module Kernels = Flexl0_workloads.Kernels
+module Unified = Flexl0_mem.Unified
+module Multivliw = Flexl0_mem.Multivliw
+module Interleaved = Flexl0_mem.Interleaved
+
+let cfg = Config.default
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let l0_scheme = Scheme.L0 { selective = true }
+
+(* ------------------------------------------------------------------ *)
+(* Tracegen *)
+
+let vadd () = Kernels.vector_add ~name:"vadd" ~trip:64 ~len:256 Opcode.W2
+
+let test_trace_strided_addresses () =
+  let loop = vadd () in
+  let t = Tracegen.create loop ~seed:1 in
+  let load = List.find Instr.is_load loop.Loop.instrs in
+  let a0 = Tracegen.address t ~instr:load ~iteration:0 in
+  let a1 = Tracegen.address t ~instr:load ~iteration:1 in
+  check_int "stride 1 x 2 bytes" 2 (a1 - a0);
+  check_int "aligned to element" 0 (a0 mod 2)
+
+let test_trace_wraps_at_array_end () =
+  let loop = vadd () in
+  let t = Tracegen.create loop ~seed:1 in
+  let load = List.find Instr.is_load loop.Loop.instrs in
+  let a0 = Tracegen.address t ~instr:load ~iteration:0 in
+  let a_wrap = Tracegen.address t ~instr:load ~iteration:256 in
+  check_int "wraps to start" a0 a_wrap
+
+let test_trace_negative_stride_from_top () =
+  let b = Builder.create ~name:"rev" ~trip_count:8 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:2 ~length:16 in
+  let x = Builder.load b ~arr:a ~stride:(Memref.Const (-1)) Opcode.W2 in
+  let _ = Builder.store b ~arr:a ~stride:(Memref.Const (-1)) Opcode.W2 x in
+  let loop = Builder.finish b in
+  let t = Tracegen.create loop ~seed:1 in
+  let load = List.find Instr.is_load loop.Loop.instrs in
+  let a0 = Tracegen.address t ~instr:load ~iteration:0 in
+  let a1 = Tracegen.address t ~instr:load ~iteration:1 in
+  check_int "walks downward" (-2) (a1 - a0)
+
+let test_trace_unknown_deterministic_and_in_bounds () =
+  let loop = Kernels.table_lookup ~name:"lut" ~trip:32 ~len:32 ~table:64 in
+  let t1 = Tracegen.create loop ~seed:9 and t2 = Tracegen.create loop ~seed:9 in
+  let lut_load =
+    List.find
+      (fun (i : Instr.t) ->
+        match i.Instr.memref with
+        | Some r -> r.Memref.stride = Memref.Unknown
+        | None -> false)
+      loop.Loop.instrs
+  in
+  let layout = Loop.layout loop in
+  let info =
+    List.find (fun a -> a.Loop.array_name = "lut") loop.Loop.arrays
+  in
+  let base = List.assoc info.Loop.array_id layout in
+  for k = 0 to 31 do
+    let a1 = Tracegen.address t1 ~instr:lut_load ~iteration:k in
+    let a2 = Tracegen.address t2 ~instr:lut_load ~iteration:k in
+    check_int "pure in (seed, instr, iteration)" a1 a2;
+    check "within the table" true
+      (a1 >= base && a1 + 4 <= base + Loop.array_bytes info)
+  done
+
+let test_trace_different_seeds_differ () =
+  let loop = Kernels.table_lookup ~name:"lut" ~trip:32 ~len:32 ~table:64 in
+  let t1 = Tracegen.create loop ~seed:1 and t2 = Tracegen.create loop ~seed:2 in
+  let lut_load =
+    List.find
+      (fun (i : Instr.t) ->
+        match i.Instr.memref with
+        | Some r -> r.Memref.stride = Memref.Unknown
+        | None -> false)
+      loop.Loop.instrs
+  in
+  let same = ref 0 in
+  for k = 0 to 31 do
+    if
+      Tracegen.address t1 ~instr:lut_load ~iteration:k
+      = Tracegen.address t2 ~instr:lut_load ~iteration:k
+    then incr same
+  done;
+  check "seeds change the stream" true (!same < 20)
+
+let test_memory_size_covers_layout () =
+  let loop = vadd () in
+  let t = Tracegen.create loop ~seed:0 in
+  check "memory size covers footprint + margin" true
+    (Tracegen.memory_size loop >= Tracegen.footprint_bytes t + 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Exec *)
+
+let run_l0 ?(capacity = Config.Entries 8) ?(trips) ?(invocations = 1) loop =
+  let c = Config.with_l0 capacity cfg in
+  let sch = Engine.schedule c l0_scheme loop in
+  ( sch,
+    Exec.run c sch
+      ~hierarchy:(fun ~backing -> Unified.create c ~backing)
+      ?trips ~invocations () )
+
+let run_base ?trips loop =
+  let c = Config.baseline in
+  let sch = Engine.schedule c Scheme.Base_unified loop in
+  ( sch,
+    Exec.run c sch
+      ~hierarchy:(fun ~backing -> Unified.baseline c ~backing)
+      ?trips () )
+
+let test_compute_cycles_formula () =
+  let loop = vadd () in
+  let sch, r = run_base loop in
+  check_int "compute = (SC-1+trips)*II"
+    ((Schedule.stage_count sch - 1 + r.Exec.trips) * sch.Schedule.ii)
+    r.Exec.compute_cycles;
+  check_int "total = compute + stall" r.Exec.total_cycles
+    (r.Exec.compute_cycles + r.Exec.stall_cycles)
+
+let test_all_loads_and_stores_fire () =
+  let loop = vadd () in
+  let _, r = run_base loop in
+  check_int "one load per iteration" r.Exec.trips r.Exec.loads;
+  check_int "one store per iteration" r.Exec.trips r.Exec.stores
+
+let test_no_mismatches_base () =
+  let _, r = run_base (vadd ()) in
+  check_int "value-correct" 0 r.Exec.value_mismatches
+
+let test_invocations_scale () =
+  let loop = vadd () in
+  let _, r1 = run_l0 ~invocations:1 loop in
+  let _, r4 = run_l0 ~invocations:4 loop in
+  check_int "compute scales linearly" (4 * r1.Exec.compute_cycles)
+    r4.Exec.compute_cycles;
+  check_int "loads scale" (4 * r1.Exec.loads) r4.Exec.loads;
+  check_int "still value-correct" 0 r4.Exec.value_mismatches
+
+let test_l0_hit_rate_reported () =
+  let _, r = run_l0 (vadd ()) in
+  match Exec.l0_hit_rate r with
+  | Some rate -> check "high hit rate on stride-1" true (rate > 0.8)
+  | None -> Alcotest.fail "L0 scheme must probe buffers"
+
+let test_baseline_reports_no_l0 () =
+  let _, r = run_base (vadd ()) in
+  check "no L0 probes in baseline" true (Exec.l0_hit_rate r = None)
+
+let test_stall_fraction_bounds () =
+  let _, r = run_l0 (vadd ()) in
+  let f = Exec.stall_fraction r in
+  check "fraction in [0,1)" true (f >= 0.0 && f < 1.0)
+
+let test_warm_l1_reduces_stall () =
+  (* Back-to-back invocations keep L1 warm: later invocations stall less,
+     so 4 invocations stall less than 4x one cold invocation. *)
+  let loop = vadd () in
+  let _, r1 = run_base loop in
+  let c = Config.baseline in
+  let sch = Engine.schedule c Scheme.Base_unified loop in
+  let r4 =
+    Exec.run c sch
+      ~hierarchy:(fun ~backing -> Unified.baseline c ~backing)
+      ~invocations:4 ()
+  in
+  check "warm L1 stalls less than 4x cold" true
+    (r4.Exec.stall_cycles < 4 * max 1 r1.Exec.stall_cycles)
+
+let test_cold_streaming_stalls_l0 () =
+  (* A huge single-pass stream misses L1: L0-latency loads stall. *)
+  let loop = Kernels.mix_large ~name:"big" ~trip:512 ~len:32768 in
+  let _, r = run_l0 loop in
+  check "streaming causes stalls" true (r.Exec.stall_cycles > 0);
+  check_int "and stays value-correct" 0 r.Exec.value_mismatches
+
+(* The centrepiece: every kernel x every system executes value-correctly,
+   i.e. the compiler really did manage coherence. *)
+let integration_kernels () =
+  [
+    vadd ();
+    Kernels.iir_inplace ~name:"iir" ~trip:64 ~len:64;
+    Kernels.histogram ~name:"hist" ~trip:64 ~len:64 ~buckets:64;
+    Kernels.saxpy ~name:"saxpy" ~trip:64 ~len:128;
+    Kernels.dot_product ~name:"dot" ~trip:64 ~len:64 Opcode.W4;
+    Kernels.fir4 ~name:"fir" ~trip:64 ~len:64;
+    Kernels.stencil3 ~name:"stencil" ~trip:64 ~len:64;
+    Kernels.table_lookup ~name:"lut" ~trip:64 ~len:64 ~table:64;
+    Kernels.column_walk ~name:"col" ~trip:64 ~len:1024 ~row:16 Opcode.W2;
+    Kernels.column_stencil ~name:"vsten" ~trip:32 ~len:512 ~row:16 Opcode.W2;
+    Kernels.multi_stream ~name:"merge" ~trip:32 ~len:64 ~streams:3;
+    Kernels.memfill ~name:"fill" ~trip:64 ~len:64;
+    Kernels.upsample_bytes ~name:"up" ~trip:64 ~len:128;
+    Kernels.autocorr ~name:"ac" ~trip:40 ~len:64 ~lag:8;
+    Kernels.block_copy ~name:"copy" ~trip:64 ~len:128 Opcode.W4;
+    Kernels.pressure_loop ~name:"pressure" ~trip:64 ~len:128;
+    Kernels.mix_large ~name:"mix" ~trip:64 ~len:4096;
+    Kernels.transpose ~name:"tr" ~trip:64 ~len:1024 ~row:16 Opcode.W2;
+    Kernels.conv2d_row ~name:"conv" ~trip:64 ~len:1024 ~row:64;
+    Kernels.yuv_to_rgb ~name:"yuv" ~trip:64 ~len:128;
+    Kernels.sad_block ~name:"sad" ~trip:64 ~len:128;
+    Kernels.bit_unpack ~name:"unpack" ~trip:64 ~len:128;
+  ]
+
+let systems () =
+  [
+    ("base", Config.baseline, Scheme.Base_unified,
+     fun c ~backing -> Unified.baseline c ~backing);
+    ("l0-8", Config.default, l0_scheme,
+     fun c ~backing -> Unified.create c ~backing);
+    ("l0-2", Config.with_l0 (Config.Entries 2) Config.default, l0_scheme,
+     fun c ~backing -> Unified.create c ~backing);
+    ("l0-all", Config.with_l0 (Config.Entries 4) Config.default,
+     Scheme.L0 { selective = false },
+     fun c ~backing -> Unified.create c ~backing);
+    ("multivliw", Config.baseline, Scheme.Multivliw,
+     fun c ~backing -> Multivliw.create c ~backing);
+    ("interleaved-1", Config.baseline, Scheme.Interleaved_naive,
+     fun c ~backing -> Interleaved.create c ~backing);
+    ("interleaved-2", Config.baseline, Scheme.Interleaved_locality,
+     fun c ~backing -> Interleaved.create c ~backing);
+  ]
+
+let test_integration_value_coherence () =
+  List.iter
+    (fun (label, c, scheme, make) ->
+      List.iter
+        (fun loop ->
+          let sch = Engine.schedule c scheme loop in
+          (match Schedule.validate c sch with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s/%s invalid: %s" label loop.Loop.name e);
+          let r =
+            Exec.run c sch ~hierarchy:(fun ~backing -> make c ~backing)
+              ~invocations:2 ()
+          in
+          if r.Exec.value_mismatches <> 0 then
+            Alcotest.failf "%s/%s: %d stale values" label loop.Loop.name
+              r.Exec.value_mismatches)
+        (integration_kernels ()))
+    (systems ())
+
+let test_integration_unrolled_value_coherence () =
+  List.iter
+    (fun (label, c, scheme, make) ->
+      List.iter
+        (fun loop ->
+          let u = Unroll.apply ~factor:4 loop in
+          let sch = Engine.schedule c scheme u in
+          let r =
+            Exec.run c sch ~hierarchy:(fun ~backing -> make c ~backing) ()
+          in
+          if r.Exec.value_mismatches <> 0 then
+            Alcotest.failf "%s/%s x4: %d stale values" label loop.Loop.name
+              r.Exec.value_mismatches)
+        (integration_kernels ()))
+    [ List.nth (systems ()) 1 ]
+
+let test_psr_value_coherence () =
+  (* Partial store replication also executes value-correctly. *)
+  let c = Config.default in
+  let loop = Kernels.iir_inplace ~name:"iir" ~trip:64 ~len:64 in
+  let sch = Engine.schedule c l0_scheme ~coherence:Engine.Force_psr loop in
+  let r =
+    Exec.run c sch ~hierarchy:(fun ~backing -> Unified.create c ~backing) ()
+  in
+  check_int "PSR stays coherent" 0 r.Exec.value_mismatches
+
+let test_deterministic_runs () =
+  let loop = Kernels.table_lookup ~name:"lut" ~trip:64 ~len:64 ~table:64 in
+  let _, r1 = run_l0 ~trips:64 loop in
+  let _, r2 = run_l0 ~trips:64 loop in
+  check_int "same totals across runs" r1.Exec.total_cycles r2.Exec.total_cycles;
+  check_int "same stalls" r1.Exec.stall_cycles r2.Exec.stall_cycles
+
+let test_trips_override () =
+  let loop = vadd () in
+  let _, r = run_l0 ~trips:10 loop in
+  check_int "explicit trips honoured" 10 r.Exec.trips;
+  check_int "loads follow" 10 r.Exec.loads
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "trace strided addresses" `Quick test_trace_strided_addresses;
+      Alcotest.test_case "trace wraps" `Quick test_trace_wraps_at_array_end;
+      Alcotest.test_case "trace negative stride" `Quick
+        test_trace_negative_stride_from_top;
+      Alcotest.test_case "trace unknown deterministic" `Quick
+        test_trace_unknown_deterministic_and_in_bounds;
+      Alcotest.test_case "trace seeds differ" `Quick test_trace_different_seeds_differ;
+      Alcotest.test_case "memory size covers layout" `Quick test_memory_size_covers_layout;
+      Alcotest.test_case "compute cycles formula" `Quick test_compute_cycles_formula;
+      Alcotest.test_case "all accesses fire" `Quick test_all_loads_and_stores_fire;
+      Alcotest.test_case "baseline value-correct" `Quick test_no_mismatches_base;
+      Alcotest.test_case "invocations scale" `Quick test_invocations_scale;
+      Alcotest.test_case "l0 hit rate reported" `Quick test_l0_hit_rate_reported;
+      Alcotest.test_case "baseline reports no L0" `Quick test_baseline_reports_no_l0;
+      Alcotest.test_case "stall fraction bounds" `Quick test_stall_fraction_bounds;
+      Alcotest.test_case "warm L1 reduces stalls" `Quick test_warm_l1_reduces_stall;
+      Alcotest.test_case "cold streaming stalls" `Quick test_cold_streaming_stalls_l0;
+      Alcotest.test_case "integration: value coherence (all systems x kernels)"
+        `Slow test_integration_value_coherence;
+      Alcotest.test_case "integration: unrolled value coherence" `Slow
+        test_integration_unrolled_value_coherence;
+      Alcotest.test_case "PSR value coherence" `Quick test_psr_value_coherence;
+      Alcotest.test_case "deterministic runs" `Quick test_deterministic_runs;
+      Alcotest.test_case "trips override" `Quick test_trips_override;
+    ] )

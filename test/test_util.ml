@@ -1,0 +1,149 @@
+(* Tests for Flexl0_util: deterministic RNG and statistics. *)
+
+open Flexl0_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check "different seeds diverge" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check "float in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 11 in
+  let child = Rng.split parent in
+  let child_vals = List.init 10 (fun _ -> Rng.int child 1000) in
+  (* Re-deriving the same child from a fresh parent reproduces it. *)
+  let parent2 = Rng.create 11 in
+  let child2 = Rng.split parent2 in
+  let child2_vals = List.init 10 (fun _ -> Rng.int child2 1000) in
+  Alcotest.(check (list int)) "split reproducible" child_vals child2_vals
+
+let test_rng_pick () =
+  let r = Rng.create 5 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    check "pick member" true (Array.mem (Rng.pick r arr) arr)
+  done
+
+let test_rng_weighted_pick_biased () =
+  let r = Rng.create 6 in
+  let heavy = ref 0 in
+  for _ = 1 to 1000 do
+    match Rng.weighted_pick r [ (9.0, `Heavy); (1.0, `Light) ] with
+    | `Heavy -> incr heavy
+    | `Light -> ()
+  done;
+  check "9:1 weighting dominates" true (!heavy > 700)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 8 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty mean" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  check_float "geomean of 1,4" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  check_float "empty geomean" 0.0 (Stats.geomean [])
+
+let test_ratio_percent () =
+  check_float "ratio" 0.5 (Stats.ratio 1 2);
+  check_float "ratio by zero" 0.0 (Stats.ratio 1 0);
+  check_float "percent" 50.0 (Stats.percent 1 2)
+
+let test_counters () =
+  let c = Stats.Counters.create () in
+  Stats.Counters.incr c "hits";
+  Stats.Counters.add c "hits" 4;
+  Stats.Counters.add c "misses" 2;
+  check_int "hits" 5 (Stats.Counters.get c "hits");
+  check_int "misses" 2 (Stats.Counters.get c "misses");
+  check_int "absent" 0 (Stats.Counters.get c "nothing");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("hits", 5); ("misses", 2) ]
+    (Stats.Counters.to_list c)
+
+let test_counters_merge () =
+  let a = Stats.Counters.create () and b = Stats.Counters.create () in
+  Stats.Counters.add a "x" 3;
+  Stats.Counters.add b "x" 4;
+  Stats.Counters.add b "y" 1;
+  let m = Stats.Counters.merge a b in
+  check_int "merged x" 7 (Stats.Counters.get m "x");
+  check_int "merged y" 1 (Stats.Counters.get m "y");
+  check_int "a untouched" 3 (Stats.Counters.get a "x")
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"rng ints uniform-ish over residues" ~count:50
+      QCheck.(int_range 1 1000)
+      (fun seed ->
+        let r = Rng.create seed in
+        let buckets = Array.make 4 0 in
+        for _ = 1 to 400 do
+          let v = Rng.int r 4 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.for_all (fun b -> b > 40) buckets);
+    QCheck.Test.make ~name:"mean between min and max" ~count:100
+      QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.0 100.0))
+      (fun xs ->
+        let m = Stats.mean xs in
+        let lo = List.fold_left min infinity xs
+        and hi = List.fold_left max neg_infinity xs in
+        m >= lo -. 1e-9 && m <= hi +. 1e-9);
+    QCheck.Test.make ~name:"geomean <= mean (AM-GM)" ~count:100
+      QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.0))
+      (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9);
+  ]
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+      Alcotest.test_case "rng int bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+      Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng pick" `Quick test_rng_pick;
+      Alcotest.test_case "rng weighted pick" `Quick test_rng_weighted_pick_biased;
+      Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "counters merge" `Quick test_counters_merge;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )

@@ -1,0 +1,183 @@
+(* Tests for Flexl0_workloads: every kernel builds a valid loop with the
+   advertised shape, and the Mediabench suites match Table 1. *)
+
+open Flexl0_ir
+module Kernels = Flexl0_workloads.Kernels
+module Mediabench = Flexl0_workloads.Mediabench
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mem_count loop = List.length (Loop.memory_accesses loop)
+
+let class_counts loop =
+  List.fold_left
+    (fun (good, other, unknown) (ins : Instr.t) ->
+      match ins.Instr.memref with
+      | None -> (good, other, unknown)
+      | Some r -> (
+        match Memref.stride_class r with
+        | `Good -> (good + 1, other, unknown)
+        | `Other -> (good, other + 1, unknown)
+        | `Unstrided -> (good, other, unknown + 1)))
+    (0, 0, 0)
+    (Loop.memory_accesses loop)
+
+let test_kernel name loop ~mem ~classes:(g, o, u) () =
+  check (name ^ " validates") true (Loop.validate loop = Ok ());
+  check_int (name ^ " memory accesses") mem (mem_count loop);
+  let g', o', u' = class_counts loop in
+  check_int (name ^ " good strides") g g';
+  check_int (name ^ " other strides") o o';
+  check_int (name ^ " unknown strides") u u'
+
+let kernel_cases =
+  [
+    ("vector_add",
+     Kernels.vector_add ~name:"k" ~trip:32 ~len:64 Opcode.W2, 2, (2, 0, 0));
+    ("saxpy", Kernels.saxpy ~name:"k" ~trip:32 ~len:64, 3, (3, 0, 0));
+    ("dot_product",
+     Kernels.dot_product ~name:"k" ~trip:32 ~len:64 Opcode.W4, 2, (2, 0, 0));
+    ("fp_mac", Kernels.fp_mac ~name:"k" ~trip:32 ~len:64, 2, (2, 0, 0));
+    ("fir4", Kernels.fir4 ~name:"k" ~trip:32 ~len:64, 5, (5, 0, 0));
+    ("iir_inplace", Kernels.iir_inplace ~name:"k" ~trip:32 ~len:64, 4, (4, 0, 0));
+    ("autocorr", Kernels.autocorr ~name:"k" ~trip:32 ~len:64 ~lag:8, 2, (2, 0, 0));
+    ("stencil3", Kernels.stencil3 ~name:"k" ~trip:32 ~len:64, 4, (4, 0, 0));
+    ("table_lookup",
+     Kernels.table_lookup ~name:"k" ~trip:32 ~len:64 ~table:64, 3, (2, 0, 1));
+    ("histogram",
+     Kernels.histogram ~name:"k" ~trip:32 ~len:64 ~buckets:64, 3, (1, 0, 2));
+    ("column_walk",
+     Kernels.column_walk ~name:"k" ~trip:32 ~len:512 ~row:16 Opcode.W2, 2,
+     (1, 1, 0));
+    ("column_walk x3",
+     Kernels.column_walk ~cols:3 ~name:"k" ~trip:32 ~len:512 ~row:16 Opcode.W2,
+     4, (1, 3, 0));
+    ("column_stencil",
+     Kernels.column_stencil ~taps:6 ~name:"k" ~trip:16 ~len:512 ~row:16 Opcode.W2,
+     7, (1, 6, 0));
+    ("block_copy",
+     Kernels.block_copy ~name:"k" ~trip:32 ~len:64 Opcode.W4, 2, (2, 0, 0));
+    ("memfill", Kernels.memfill ~name:"k" ~trip:32 ~len:64, 1, (1, 0, 0));
+    ("upsample_bytes", Kernels.upsample_bytes ~name:"k" ~trip:32 ~len:64, 2,
+     (2, 0, 0));
+    ("dct_short", Kernels.dct_short ~name:"k" ~trip:8 ~len:8, 3, (3, 0, 0));
+    ("multi_stream",
+     Kernels.multi_stream ~name:"k" ~trip:32 ~len:64 ~streams:5, 6, (6, 0, 0));
+    ("pressure_loop", Kernels.pressure_loop ~name:"k" ~trip:32 ~len:64, 8,
+     (6, 2, 0));
+    ("mix_large", Kernels.mix_large ~name:"k" ~trip:32 ~len:4096, 3, (2, 0, 1));
+    ("fp_filter_low_ii", Kernels.fp_filter_low_ii ~name:"k" ~trip:32 ~len:64, 2,
+     (2, 0, 0));
+    ("transpose",
+     Kernels.transpose ~name:"k" ~trip:32 ~len:512 ~row:16 Opcode.W2, 2,
+     (1, 1, 0));
+    ("conv2d_row", Kernels.conv2d_row ~name:"k" ~trip:32 ~len:512 ~row:64, 10,
+     (10, 0, 0));
+    ("yuv_to_rgb", Kernels.yuv_to_rgb ~name:"k" ~trip:32 ~len:64, 6, (6, 0, 0));
+    ("sad_block", Kernels.sad_block ~name:"k" ~trip:32 ~len:64, 2, (2, 0, 0));
+    ("bit_unpack", Kernels.bit_unpack ~name:"k" ~trip:32 ~len:64, 2, (1, 1, 0));
+  ]
+
+let test_thirteen_benchmarks () =
+  check_int "13 benchmarks" 13 (List.length (Mediabench.all ()));
+  Alcotest.(check (list string))
+    "Table 1 order"
+    [ "epicdec"; "g721dec"; "g721enc"; "gsmdec"; "gsmenc"; "jpegdec"; "jpegenc";
+      "mpeg2dec"; "pegwitdec"; "pegwitenc"; "pgpdec"; "pgpenc"; "rasta" ]
+    Mediabench.names
+
+let test_find () =
+  check "find works" true ((Mediabench.find "rasta").Mediabench.bname = "rasta");
+  check "find unknown raises" true
+    (try ignore (Mediabench.find "nope"); false with Not_found -> true)
+
+let test_all_loops_valid () =
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      check ("scalar fraction sane: " ^ b.Mediabench.bname) true
+        (b.Mediabench.scalar_fraction > 0.0 && b.Mediabench.scalar_fraction < 0.5);
+      List.iter
+        (fun { Mediabench.loop; repeat } ->
+          check (loop.Loop.name ^ " valid") true (Loop.validate loop = Ok ());
+          check (loop.Loop.name ^ " repeat positive") true (repeat >= 1))
+        b.Mediabench.loops)
+    (Mediabench.all ())
+
+let test_stride_stats_close_to_paper () =
+  (* Our synthetic suites must land near Table 1 — within 12 points on
+     each column. *)
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      let ours = Mediabench.stride_stats b in
+      match List.assoc_opt b.Mediabench.bname Mediabench.paper_table1 with
+      | None -> Alcotest.failf "no paper row for %s" b.Mediabench.bname
+      | Some paper ->
+        let close a p = abs_float (a -. p) <= 12.0 in
+        if
+          not
+            (close ours.Mediabench.s paper.Mediabench.s
+             && close ours.Mediabench.sg paper.Mediabench.sg
+             && close ours.Mediabench.so paper.Mediabench.so)
+        then
+          Alcotest.failf "%s stride stats %.0f/%.0f/%.0f vs paper %.0f/%.0f/%.0f"
+            b.Mediabench.bname ours.Mediabench.s ours.Mediabench.sg
+            ours.Mediabench.so paper.Mediabench.s paper.Mediabench.sg
+            paper.Mediabench.so)
+    (Mediabench.all ())
+
+let test_stride_stats_consistent () =
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      let s = Mediabench.stride_stats b in
+      check "S = SG + SO" true
+        (abs_float (s.Mediabench.s -. (s.Mediabench.sg +. s.Mediabench.so)) < 0.5);
+      check "percentages bounded" true
+        (s.Mediabench.s >= 0.0 && s.Mediabench.s <= 100.0))
+    (Mediabench.all ())
+
+let test_g721_all_good_strides () =
+  let s = Mediabench.stride_stats (Mediabench.find "g721dec") in
+  Alcotest.(check (float 0.01)) "100% strided" 100.0 s.Mediabench.s;
+  Alcotest.(check (float 0.01)) "100% good" 100.0 s.Mediabench.sg
+
+let test_pegwit_has_large_footprint () =
+  (* The low-L1-hit-rate benchmark really does stream beyond L1. *)
+  let b = Mediabench.find "pegwitdec" in
+  let has_big =
+    List.exists
+      (fun { Mediabench.loop; _ } ->
+        List.exists (fun a -> Loop.array_bytes a > 64 * 1024) loop.Loop.arrays)
+      b.Mediabench.loops
+  in
+  check "array bigger than 64KB" true has_big
+
+let test_jpegdec_has_thrash_and_pressure () =
+  let b = Mediabench.find "jpegdec" in
+  let names =
+    List.map (fun { Mediabench.loop; _ } -> loop.Loop.name) b.Mediabench.loops
+  in
+  check "merge loop present" true (List.mem "jpeg_merge" names);
+  check "pressure loop present" true (List.mem "jpeg_upsample" names)
+
+let suite =
+  ( "workloads",
+    List.map
+      (fun (name, loop, mem, classes) ->
+        Alcotest.test_case ("kernel " ^ name) `Quick
+          (test_kernel name loop ~mem ~classes))
+      kernel_cases
+    @ [
+        Alcotest.test_case "13 benchmarks in order" `Quick test_thirteen_benchmarks;
+        Alcotest.test_case "find" `Quick test_find;
+        Alcotest.test_case "all loops valid" `Quick test_all_loops_valid;
+        Alcotest.test_case "stride stats close to Table 1" `Quick
+          test_stride_stats_close_to_paper;
+        Alcotest.test_case "stride stats consistent" `Quick
+          test_stride_stats_consistent;
+        Alcotest.test_case "g721 all good strides" `Quick test_g721_all_good_strides;
+        Alcotest.test_case "pegwit large footprint" `Quick
+          test_pegwit_has_large_footprint;
+        Alcotest.test_case "jpegdec pathologies present" `Quick
+          test_jpegdec_has_thrash_and_pressure;
+      ] )
