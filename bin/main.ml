@@ -6,6 +6,26 @@ module Mediabench = Flexl0_workloads.Mediabench
 module Pipeline = Flexl0.Pipeline
 module Experiments = Flexl0.Experiments
 module Report = Flexl0.Report
+module Engine = Flexl0_sched.Engine
+module Exec = Flexl0_sim.Exec
+module Fault = Flexl0_sim.Fault
+
+(* Every CLI failure funnels through here: one line on stderr, prefixed
+   with the subcommand, exit code 2. *)
+let die ~cmd fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "flexl0 %s: %s\n" cmd msg;
+      exit 2)
+    fmt
+
+(* Central renderer for the typed error channel: any escaping scheduler,
+   watchdog or configuration failure becomes a [die], not a backtrace. *)
+let protect ~cmd f =
+  try f () with
+  | Engine.Infeasible inf -> die ~cmd "%s" (Engine.infeasible_message inf)
+  | Exec.Watchdog_timeout wd -> die ~cmd "%s" (Exec.watchdog_message wd)
+  | Invalid_argument msg -> die ~cmd "invalid configuration: %s" msg
 
 let benchmarks_arg =
   let doc =
@@ -14,52 +34,62 @@ let benchmarks_arg =
   in
   Arg.(value & opt_all string [] & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
 
-let resolve_benchmarks = function
+let resolve_benchmarks ~cmd = function
   | [] -> None
   | names ->
     Some
       (List.map
          (fun name ->
            try Mediabench.find name
-           with Not_found ->
-             Printf.eprintf "unknown benchmark %S\n" name;
-             exit 2)
+           with Not_found -> die ~cmd "unknown benchmark %S" name)
          names)
 
+let find_benchmark ~cmd name =
+  try Mediabench.find name
+  with Not_found -> die ~cmd "unknown benchmark %S" name
+
 let fig5_cmd =
+  let cmd = "fig5" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_figure (Experiments.fig5 ?benchmarks ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_figure (Experiments.fig5 ?benchmarks ()))
   in
-  Cmd.v (Cmd.info "fig5" ~doc:"Execution time vs L0 buffer size (Figure 5)")
+  Cmd.v (Cmd.info cmd ~doc:"Execution time vs L0 buffer size (Figure 5)")
     Term.(const run $ benchmarks_arg)
 
 let fig6_cmd =
+  let cmd = "fig6" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_fig6 (Experiments.fig6 ?benchmarks ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_fig6 (Experiments.fig6 ?benchmarks ()))
   in
   Cmd.v
-    (Cmd.info "fig6"
+    (Cmd.info cmd
        ~doc:"Subblock mapping mix, L0 hit rate, unroll factors (Figure 6)")
     Term.(const run $ benchmarks_arg)
 
 let fig7_cmd =
+  let cmd = "fig7" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_figure (Experiments.fig7 ?benchmarks ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_figure (Experiments.fig7 ?benchmarks ()))
   in
   Cmd.v
-    (Cmd.info "fig7"
+    (Cmd.info cmd
        ~doc:"L0 buffers vs MultiVLIW vs word-interleaved (Figure 7)")
     Term.(const run $ benchmarks_arg)
 
 let table1_cmd =
+  let cmd = "table1" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_table1 (Experiments.table1 ?benchmarks ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_table1 (Experiments.table1 ?benchmarks ()))
   in
-  Cmd.v (Cmd.info "table1" ~doc:"Dynamic stride statistics (Table 1)")
+  Cmd.v (Cmd.info cmd ~doc:"Dynamic stride statistics (Table 1)")
     Term.(const run $ benchmarks_arg)
 
 let table2_cmd =
@@ -68,82 +98,83 @@ let table2_cmd =
     Term.(const run $ const ())
 
 let extras_cmd =
-  let run () = Report.print_extras (Experiments.extras ()) in
+  let cmd = "extras" in
+  let run () = protect ~cmd (fun () -> Report.print_extras (Experiments.extras ())) in
   Cmd.v
-    (Cmd.info "extras"
+    (Cmd.info cmd
        ~doc:"Section 5.2 studies: 2-entry buffers, all-candidates, prefetch \
              distance 2")
     Term.(const run $ const ())
 
 let sensitivity_cmd =
+  let cmd = "sensitivity" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_sweep
-      ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
-      ~parameter:"L1 latency"
-      (Experiments.l1_latency_sensitivity ?benchmarks ());
-    Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
-      ~parameter:"clusters"
-      (Experiments.cluster_scaling ?benchmarks ());
-    Report.print_sweep ~title:"Automatic prefetch distance sweep"
-      ~parameter:"distance"
-      (Experiments.prefetch_distance_sweep ?benchmarks ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_sweep
+          ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
+          ~parameter:"L1 latency"
+          (Experiments.l1_latency_sensitivity ?benchmarks ());
+        Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
+          ~parameter:"clusters"
+          (Experiments.cluster_scaling ?benchmarks ());
+        Report.print_sweep ~title:"Automatic prefetch distance sweep"
+          ~parameter:"distance"
+          (Experiments.prefetch_distance_sweep ?benchmarks ()))
   in
   Cmd.v
-    (Cmd.info "sensitivity"
+    (Cmd.info cmd
        ~doc:"L1-latency, cluster-count and prefetch-distance sweeps")
     Term.(const run $ benchmarks_arg)
 
 let ablation_cmd =
+  let cmd = "ablation" in
   let run names =
-    let benchmarks = resolve_benchmarks names in
-    Report.print_coherence (Experiments.coherence_ablation ?benchmarks ());
-    Report.print_specialization (Experiments.specialization_study ());
-    Report.print_flush (Experiments.flush_study ?benchmarks ());
-    Report.print_steering (Experiments.steering_ablation ())
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        Report.print_coherence (Experiments.coherence_ablation ?benchmarks ());
+        Report.print_specialization (Experiments.specialization_study ());
+        Report.print_flush (Experiments.flush_study ?benchmarks ());
+        Report.print_steering (Experiments.steering_ablation ()))
   in
   Cmd.v
-    (Cmd.info "ablation"
+    (Cmd.info cmd
        ~doc:"Coherence disciplines, code specialization, selective flushing")
     Term.(const run $ benchmarks_arg)
 
 let trace_cmd =
+  let cmd = "trace" in
   let run bench_name loop_name limit =
-    let b =
-      try Mediabench.find bench_name
-      with Not_found ->
-        Printf.eprintf "unknown benchmark %S\n" bench_name;
-        exit 2
-    in
-    let { Mediabench.loop; _ } =
-      match
-        List.find_opt
-          (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name = loop_name)
-          b.Mediabench.loops
-      with
-      | Some wl -> wl
-      | None ->
-        Printf.eprintf "unknown loop %S in %s; loops: %s\n" loop_name bench_name
-          (String.concat ", "
-             (List.map
-                (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name)
-                b.Mediabench.loops));
-        exit 2
-    in
-    let sys = Pipeline.l0_system () in
-    let sch = Pipeline.compile sys loop in
-    Format.printf "%a@." Flexl0_sched.Schedule.pp_kernel sch;
-    let printed = ref 0 in
-    ignore
-      (Flexl0_sim.Exec.run sys.Pipeline.config sch
-         ~hierarchy:(fun ~backing ->
-           sys.Pipeline.make_hierarchy sys.Pipeline.config ~backing)
-         ~on_event:(fun e ->
-           if !printed < limit then begin
-             incr printed;
-             Format.printf "%a@." Flexl0_sim.Exec.pp_trace_event e
-           end)
-         ())
+    protect ~cmd (fun () ->
+        let b = find_benchmark ~cmd bench_name in
+        let { Mediabench.loop; _ } =
+          match
+            List.find_opt
+              (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name = loop_name)
+              b.Mediabench.loops
+          with
+          | Some wl -> wl
+          | None ->
+            die ~cmd "unknown loop %S in %s; loops: %s" loop_name bench_name
+              (String.concat ", "
+                 (List.map
+                    (fun { Mediabench.loop; _ } -> loop.Flexl0_ir.Loop.name)
+                    b.Mediabench.loops))
+        in
+        let sys = Pipeline.l0_system () in
+        let sch = Pipeline.compile sys loop in
+        Format.printf "%a@." Flexl0_sched.Schedule.pp_kernel sch;
+        let printed = ref 0 in
+        ignore
+          (Exec.run sys.Pipeline.config sch
+             ~hierarchy:(fun ~backing ->
+               sys.Pipeline.make_hierarchy sys.Pipeline.config ~backing)
+             ~on_event:(fun e ->
+               if !printed < limit then begin
+                 incr printed;
+                 Format.printf "%a@." Exec.pp_trace_event e
+               end)
+             ()))
   in
   let bench = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
   let loop = Arg.(required & pos 1 (some string) None & info [] ~docv:"LOOP") in
@@ -152,89 +183,197 @@ let trace_cmd =
            ~doc:"Print at most N memory events.")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info cmd
        ~doc:"Print the kernel and the first memory events of one loop")
     Term.(const run $ bench $ loop $ limit)
 
+let faults_cmd =
+  let cmd = "faults" in
+  let run names specs seed invocations coherence =
+    protect ~cmd (fun () ->
+        let plan =
+          match Fault.plan_of_strings ~seed specs with
+          | Ok p -> p
+          | Error msg -> die ~cmd "%s" msg
+        in
+        if plan.Fault.faults = [] then
+          die ~cmd "no faults given; pass --fault SPEC (e.g. --fault \
+                    corrupt-subblock --fault extra-latency:bus:50:0.5)";
+        let coherence =
+          match coherence with
+          | "auto" -> Engine.Auto
+          | "nl0" -> Engine.Force_nl0
+          | "1c" -> Engine.Force_1c
+          | "psr" -> Engine.Force_psr
+          | s -> die ~cmd "unknown coherence mode %S (want auto|nl0|1c|psr)" s
+        in
+        let benchmarks =
+          match resolve_benchmarks ~cmd names with
+          | Some b -> b
+          | None -> Mediabench.all ()
+        in
+        let breaking =
+          List.exists
+            (fun (f : Fault.fault) -> Fault.is_coherence_breaking f.Fault.kind)
+            plan.Fault.faults
+        in
+        Printf.printf "fault plan (seed %d): %s\n" plan.Fault.seed
+          (String.concat ", " (List.map Fault.fault_to_string plan.Fault.faults));
+        Printf.printf
+          "plan is %s: the verifier %s flag mismatches\n\n"
+          (if breaking then "coherence-breaking" else "timing-only")
+          (if breaking then "should" else "must never");
+        Printf.printf "%-10s %-14s %-10s %s\n" "bench" "loop" "verdict"
+          "detail";
+        let sys = Pipeline.l0_system ~coherence () in
+        let detected = ref 0 and silent = ref 0 and timeouts = ref 0 in
+        List.iter
+          (fun (b : Mediabench.benchmark) ->
+            List.iter
+              (fun { Mediabench.loop; repeat = _ } ->
+                let row verdict detail =
+                  Printf.printf "%-10s %-14s %-10s %s\n" b.Mediabench.bname
+                    loop.Flexl0_ir.Loop.name verdict detail
+                in
+                match Pipeline.compile_result sys loop with
+                | Error inf -> row "SKIPPED" (Engine.infeasible_message inf)
+                | Ok sch -> (
+                  match
+                    Pipeline.run_schedule sys ~invocations ~faults:plan sch
+                  with
+                  | r ->
+                    if r.Exec.value_mismatches > 0 then begin
+                      incr detected;
+                      row "DETECTED"
+                        (Printf.sprintf "%d value mismatches"
+                           r.Exec.value_mismatches)
+                    end
+                    else begin
+                      incr silent;
+                      row "SILENT"
+                        (Printf.sprintf "0 mismatches, %d stall cycles"
+                           r.Exec.stall_cycles)
+                    end
+                  | exception Exec.Watchdog_timeout wd ->
+                    incr timeouts;
+                    row "TIMEOUT" (Exec.watchdog_message wd)))
+              b.Mediabench.loops)
+          benchmarks;
+        Printf.printf "\n%d detected, %d silent, %d timeout\n" !detected
+          !silent !timeouts;
+        if breaking && !detected = 0 && !timeouts = 0 then
+          die ~cmd
+            "coherence-breaking plan went undetected on every loop — the \
+             checker missed it")
+  in
+  let specs =
+    Arg.(value & opt_all string [] & info [ "f"; "fault" ] ~docv:"SPEC"
+           ~doc:"Fault to inject (repeatable): drop-prefetch, \
+                 spurious-l0-evict, corrupt-subblock, skip-invalidate, \
+                 skip-psr-replica, corrupt-hint — each with an optional \
+                 :PROB — or extra-latency:(l0|l1|bus):CYCLES[:PROB].")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the fault decision stream.")
+  in
+  let invocations =
+    Arg.(value & opt int 2 & info [ "invocations" ] ~docv:"N"
+           ~doc:"Back-to-back loop invocations (2+ exercises inter-loop \
+                 coherence).")
+  in
+  let coherence =
+    Arg.(value & opt string "auto" & info [ "coherence" ] ~docv:"MODE"
+           ~doc:"Coherence discipline: auto, nl0, 1c or psr (psr exercises \
+                 skip-psr-replica).")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Inject faults into the memory hierarchy and check that the \
+             differential verifier catches the coherence-breaking ones")
+    Term.(const run $ benchmarks_arg $ specs $ seed $ invocations $ coherence)
+
 let export_cmd =
+  let cmd = "export" in
   let run dir names =
-    let benchmarks = resolve_benchmarks names in
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let save name contents =
-      let path = Filename.concat dir name in
-      Flexl0.Csv_export.save ~path contents;
-      Printf.printf "wrote %s\n" path
-    in
-    save "fig5.csv" (Flexl0.Csv_export.figure (Experiments.fig5 ?benchmarks ()));
-    save "fig6.csv" (Flexl0.Csv_export.fig6 (Experiments.fig6 ?benchmarks ()));
-    save "fig7.csv" (Flexl0.Csv_export.figure (Experiments.fig7 ?benchmarks ()));
-    save "table1.csv" (Flexl0.Csv_export.table1 (Experiments.table1 ?benchmarks ()));
-    save "l1_latency.csv"
-      (Flexl0.Csv_export.sweep ~parameter:"l1_latency"
-         (Experiments.l1_latency_sensitivity ?benchmarks ()));
-    save "clusters.csv"
-      (Flexl0.Csv_export.sweep ~parameter:"clusters"
-         (Experiments.cluster_scaling ?benchmarks ()));
-    save "prefetch.csv"
-      (Flexl0.Csv_export.sweep ~parameter:"distance"
-         (Experiments.prefetch_distance_sweep ?benchmarks ()));
-    save "coherence.csv"
-      (Flexl0.Csv_export.coherence (Experiments.coherence_ablation ?benchmarks ()))
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let save name contents =
+          let path = Filename.concat dir name in
+          Flexl0.Csv_export.save ~path contents;
+          Printf.printf "wrote %s\n" path
+        in
+        save "fig5.csv" (Flexl0.Csv_export.figure (Experiments.fig5 ?benchmarks ()));
+        save "fig6.csv" (Flexl0.Csv_export.fig6 (Experiments.fig6 ?benchmarks ()));
+        save "fig7.csv" (Flexl0.Csv_export.figure (Experiments.fig7 ?benchmarks ()));
+        save "table1.csv" (Flexl0.Csv_export.table1 (Experiments.table1 ?benchmarks ()));
+        save "l1_latency.csv"
+          (Flexl0.Csv_export.sweep ~parameter:"l1_latency"
+             (Experiments.l1_latency_sensitivity ?benchmarks ()));
+        save "clusters.csv"
+          (Flexl0.Csv_export.sweep ~parameter:"clusters"
+             (Experiments.cluster_scaling ?benchmarks ()));
+        save "prefetch.csv"
+          (Flexl0.Csv_export.sweep ~parameter:"distance"
+             (Experiments.prefetch_distance_sweep ?benchmarks ()));
+        save "coherence.csv"
+          (Flexl0.Csv_export.coherence
+             (Experiments.coherence_ablation ?benchmarks ())))
   in
   let dir =
     Arg.(value & opt string "results" & info [ "o"; "output" ] ~docv:"DIR"
            ~doc:"Output directory for the CSV files.")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Write every experiment's data as CSV files")
+    (Cmd.info cmd ~doc:"Write every experiment's data as CSV files")
     Term.(const run $ dir $ benchmarks_arg)
 
 let all_cmd =
+  let cmd = "all" in
   let run () =
-    Report.print_config Flexl0_arch.Config.default;
-    Report.print_table1 (Experiments.table1 ());
-    Report.print_figure (Experiments.fig5 ());
-    Report.print_fig6 (Experiments.fig6 ());
-    Report.print_figure (Experiments.fig7 ());
-    Report.print_extras (Experiments.extras ());
-    Report.print_sweep
-      ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
-      ~parameter:"L1 latency"
-      (Experiments.l1_latency_sensitivity ());
-    Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
-      ~parameter:"clusters" (Experiments.cluster_scaling ());
-    Report.print_sweep ~title:"Automatic prefetch distance sweep"
-      ~parameter:"distance"
-      (Experiments.prefetch_distance_sweep ());
-    Report.print_coherence (Experiments.coherence_ablation ());
-    Report.print_specialization (Experiments.specialization_study ());
-    Report.print_flush (Experiments.flush_study ());
-    Report.print_steering (Experiments.steering_ablation ())
+    protect ~cmd (fun () ->
+        Report.print_config Flexl0_arch.Config.default;
+        Report.print_table1 (Experiments.table1 ());
+        Report.print_figure (Experiments.fig5 ());
+        Report.print_fig6 (Experiments.fig6 ());
+        Report.print_figure (Experiments.fig7 ());
+        Report.print_extras (Experiments.extras ());
+        Report.print_sweep
+          ~title:"L1 latency sensitivity: the L0 advantage vs wire delay"
+          ~parameter:"L1 latency"
+          (Experiments.l1_latency_sensitivity ());
+        Report.print_sweep ~title:"Cluster scaling (subblock = block/clusters)"
+          ~parameter:"clusters" (Experiments.cluster_scaling ());
+        Report.print_sweep ~title:"Automatic prefetch distance sweep"
+          ~parameter:"distance"
+          (Experiments.prefetch_distance_sweep ());
+        Report.print_coherence (Experiments.coherence_ablation ());
+        Report.print_specialization (Experiments.specialization_study ());
+        Report.print_flush (Experiments.flush_study ());
+        Report.print_steering (Experiments.steering_ablation ()))
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation")
+  Cmd.v (Cmd.info cmd ~doc:"Run the complete evaluation")
     Term.(const run $ const ())
 
 let schedule_cmd =
+  let cmd = "schedule" in
   let run bench_name =
-    let b =
-      try Mediabench.find bench_name
-      with Not_found ->
-        Printf.eprintf "unknown benchmark %S\n" bench_name;
-        exit 2
-    in
-    let sys = Pipeline.l0_system () in
-    List.iter
-      (fun { Mediabench.loop; repeat = _ } ->
-        let sch = Pipeline.compile sys loop in
-        Format.printf "%a@.%a@." Flexl0_sched.Schedule.pp sch
-          Flexl0_sched.Schedule.pp_kernel sch)
-      b.Mediabench.loops
+    protect ~cmd (fun () ->
+        let b = find_benchmark ~cmd bench_name in
+        let sys = Pipeline.l0_system () in
+        List.iter
+          (fun { Mediabench.loop; repeat = _ } ->
+            let sch = Pipeline.compile sys loop in
+            Format.printf "%a@.%a@." Flexl0_sched.Schedule.pp sch
+              Flexl0_sched.Schedule.pp_kernel sch)
+          b.Mediabench.loops)
   in
   let bench =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
   in
   Cmd.v
-    (Cmd.info "schedule"
+    (Cmd.info cmd
        ~doc:"Print the L0 schedules of a benchmark's inner loops")
     Term.(const run $ bench)
 
@@ -251,5 +390,5 @@ let () =
           [
             fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd; table2_cmd; extras_cmd;
             sensitivity_cmd; ablation_cmd; export_cmd; all_cmd; schedule_cmd;
-            trace_cmd;
+            trace_cmd; faults_cmd;
           ]))

@@ -5,6 +5,53 @@ let escape field =
 
 let record fields = String.concat "," (List.map escape fields) ^ "\n"
 
+(* RFC 4180 parser, the inverse of [record] applied line-wise: quoted
+   fields may contain commas, doubled quotes and newlines. Accepts both
+   LF and CRLF records. *)
+let parse text =
+  let len = String.length text in
+  let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= len then (if Buffer.length buf > 0 || !fields <> [] then flush_row ())
+    else
+      match text.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '\r' when i + 1 < len && text.[i + 1] = '\n' ->
+        flush_row ();
+        plain (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= len then invalid_arg "Csv_export.parse: unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' when i + 1 < len && text.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
 let float f = Printf.sprintf "%.6f" f
 
 let figure (fig : Experiments.figure) =
@@ -27,6 +74,10 @@ let figure (fig : Experiments.figure) =
            [ "AMEAN"; p.Experiments.point; float p.Experiments.total;
              float p.Experiments.stall ]))
     fig.Experiments.amean;
+  List.iter
+    (fun (bench, reason) ->
+      Buffer.add_string buf (record [ "SKIPPED"; bench; reason; "" ]))
+    fig.Experiments.skipped;
   Buffer.contents buf
 
 let fig6 rows =

@@ -1,11 +1,22 @@
 (** CSV rendering of experiment results, for plotting outside OCaml.
 
-    Values are plain RFC-4180-ish CSV: a header row, one record per
-    benchmark/point, fields quoted only when they contain commas. All
-    functions return the CSV as a string; [save] writes it to a file. *)
+    Values are RFC 4180 CSV: a header row, one record per
+    benchmark/point, fields quoted only when they contain commas, quotes
+    or newlines. All functions return the CSV as a string; [save] writes
+    it to a file. *)
+
+val record : string list -> string
+(** One CSV record, fields escaped, terminated by ["\n"]. *)
+
+val parse : string -> string list list
+(** Inverse of concatenated {!record}s: splits RFC 4180 text (LF or
+    CRLF) into rows of unescaped fields. Raises [Invalid_argument] on an
+    unterminated quoted field. *)
 
 val figure : Experiments.figure -> string
-(** Long format: [bench,point,total,stall] plus the AMEAN rows. *)
+(** Long format: [bench,point,total,stall] plus the AMEAN rows, then a
+    [SKIPPED,bench,reason,] record per skipped benchmark (none on a
+    healthy figure). *)
 
 val fig6 : Experiments.fig6_row list -> string
 (** [bench,linear_fraction,interleaved_fraction,hit_rate,avg_unroll]. *)

@@ -1,0 +1,21 @@
+module Engine = Flexl0_sched.Engine
+module Exec = Flexl0_sim.Exec
+
+type t =
+  | Schedule_infeasible of Engine.infeasible
+  | Watchdog_timeout of Exec.watchdog
+  | Config_invalid of string
+  | Coherence_violation of { loop : string; system : string; mismatches : int }
+
+let of_infeasible inf = Schedule_infeasible inf
+let of_watchdog wd = Watchdog_timeout wd
+
+let to_string = function
+  | Schedule_infeasible inf -> "infeasible: " ^ Engine.infeasible_message inf
+  | Watchdog_timeout wd -> "watchdog: " ^ Exec.watchdog_message wd
+  | Config_invalid msg -> "invalid configuration: " ^ msg
+  | Coherence_violation { loop; system; mismatches } ->
+    Printf.sprintf "coherence violation: %d wrong load value%s in %s on %s"
+      mismatches
+      (if mismatches = 1 then "" else "s")
+      loop system

@@ -1,0 +1,23 @@
+(** The pipeline's typed error channel.
+
+    The lower layers each own the failure type for the stage that can
+    fail — {!Flexl0_sched.Engine.infeasible} for the II search,
+    {!Flexl0_sim.Exec.watchdog} for runaway simulations — because they
+    cannot depend on this library. This module folds them, plus
+    configuration and coherence failures, into one sum that the
+    [Pipeline.*_result] API and the CLI report on. *)
+
+type t =
+  | Schedule_infeasible of Flexl0_sched.Engine.infeasible
+  | Watchdog_timeout of Flexl0_sim.Exec.watchdog
+  | Config_invalid of string
+      (** an [Invalid_argument] escaping construction or validation *)
+  | Coherence_violation of { loop : string; system : string; mismatches : int }
+      (** the differential checker saw wrong values — either a compiler
+          bug or an injected coherence-breaking fault doing its job *)
+
+val of_infeasible : Flexl0_sched.Engine.infeasible -> t
+val of_watchdog : Flexl0_sim.Exec.watchdog -> t
+
+val to_string : t -> string
+(** One-line human-readable rendering, used by error rows and the CLI. *)

@@ -13,42 +13,58 @@ type figure = {
   rows : row list;
   amean : norm list;
   total_mismatches : int;
+  skipped : (string * string) list;
 }
 
 let default_benchmarks () = Mediabench.all ()
 
-(* Normalized execution-time figure over a list of systems. *)
-let normalized_figure ~title ~systems benchmarks =
-  let baseline = Pipeline.baseline_system () in
-  let mismatches = ref 0 in
-  let rows =
-    List.map
-      (fun (b : Mediabench.benchmark) ->
-        let base = Pipeline.run_benchmark baseline b in
-        mismatches := !mismatches + base.Pipeline.mismatches;
-        let base_total, _ =
-          Pipeline.execution_time base ~baseline:base
-            ~scalar_fraction:b.Mediabench.scalar_fraction
-        in
-        let points =
-          List.map
-            (fun (sys : Pipeline.system) ->
-              let run = Pipeline.run_benchmark sys b in
-              mismatches := !mismatches + run.Pipeline.mismatches;
-              let total, stall =
-                Pipeline.execution_time run ~baseline:base
-                  ~scalar_fraction:b.Mediabench.scalar_fraction
-              in
-              {
-                point = sys.Pipeline.label;
-                total = total /. base_total;
-                stall = stall /. base_total;
-              })
-            systems
-        in
-        { bench = b.Mediabench.bname; points })
-      benchmarks
+(* Normalized execution-time figure over a list of systems. A benchmark
+   whose compilation or simulation fails for any system is dropped from
+   the rows and recorded in [skipped] instead of aborting the figure. *)
+let normalized_figure ~title ?baseline ~systems benchmarks =
+  let baseline =
+    match baseline with Some b -> b | None -> Pipeline.baseline_system ()
   in
+  let mismatches = ref 0 in
+  let skipped = ref [] in
+  let skip bname err =
+    skipped := (bname, Errors.to_string err) :: !skipped;
+    None
+  in
+  let row_of_bench (b : Mediabench.benchmark) =
+    match Pipeline.run_benchmark_result baseline b with
+    | Error err -> skip b.Mediabench.bname err
+    | Ok base -> (
+      mismatches := !mismatches + base.Pipeline.mismatches;
+      let base_total, _ =
+        Pipeline.execution_time base ~baseline:base
+          ~scalar_fraction:b.Mediabench.scalar_fraction
+      in
+      let rec points acc = function
+        | [] -> Some (List.rev acc)
+        | (sys : Pipeline.system) :: rest -> (
+          match Pipeline.run_benchmark_result sys b with
+          | Error err -> skip b.Mediabench.bname err
+          | Ok run ->
+            mismatches := !mismatches + run.Pipeline.mismatches;
+            let total, stall =
+              Pipeline.execution_time run ~baseline:base
+                ~scalar_fraction:b.Mediabench.scalar_fraction
+            in
+            points
+              ({
+                 point = sys.Pipeline.label;
+                 total = total /. base_total;
+                 stall = stall /. base_total;
+               }
+              :: acc)
+              rest)
+      in
+      match points [] systems with
+      | None -> None
+      | Some points -> Some { bench = b.Mediabench.bname; points })
+  in
+  let rows = List.filter_map row_of_bench benchmarks in
   let amean =
     List.mapi
       (fun idx (sys : Pipeline.system) ->
@@ -67,40 +83,43 @@ let normalized_figure ~title ~systems benchmarks =
     rows;
     amean;
     total_mismatches = !mismatches;
+    skipped = List.rev !skipped;
   }
 
-let fig5 ?benchmarks () =
+let fig5 ?benchmarks ?max_ii () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
   let systems =
     [
-      Pipeline.l0_system ~capacity:(Config.Entries 4) ();
-      Pipeline.l0_system ~capacity:(Config.Entries 8) ();
-      Pipeline.l0_system ~capacity:(Config.Entries 16) ();
-      Pipeline.l0_system ~capacity:Config.Unbounded ();
+      Pipeline.l0_system ~capacity:(Config.Entries 4) ?max_ii ();
+      Pipeline.l0_system ~capacity:(Config.Entries 8) ?max_ii ();
+      Pipeline.l0_system ~capacity:(Config.Entries 16) ?max_ii ();
+      Pipeline.l0_system ~capacity:Config.Unbounded ?max_ii ();
     ]
   in
   normalized_figure
     ~title:"Figure 5: execution time vs L0 buffer size (normalized to no-L0)"
+    ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
     ~systems benchmarks
 
-let fig7 ?benchmarks () =
+let fig7 ?benchmarks ?max_ii () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
   let systems =
     [
-      Pipeline.l0_system ~capacity:(Config.Entries 8) ();
-      Pipeline.multivliw_system ();
-      Pipeline.interleaved_system ~locality:false ();
-      Pipeline.interleaved_system ~locality:true ();
+      Pipeline.l0_system ~capacity:(Config.Entries 8) ?max_ii ();
+      Pipeline.multivliw_system ?max_ii ();
+      Pipeline.interleaved_system ~locality:false ?max_ii ();
+      Pipeline.interleaved_system ~locality:true ?max_ii ();
     ]
   in
   normalized_figure
     ~title:
       "Figure 7: L0 buffers vs MultiVLIW vs word-interleaved cache \
        (normalized to no-L0 unified)"
+    ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
     ~systems benchmarks
 
 type fig6_row = {

@@ -18,13 +18,30 @@ type figure = {
   rows : row list;
   amean : norm list;
   total_mismatches : int;  (** coherence violations across all runs: must be 0 *)
+  skipped : (string * string) list;
+      (** benchmarks dropped from [rows] because some loop failed to
+          compile or run, as [(bench, reason)] pairs — empty on a healthy
+          figure *)
 }
 
-val fig5 : ?benchmarks:Mediabench.benchmark list -> unit -> figure
-(** Execution time for 4-, 8-, 16-entry and unbounded L0 buffers,
-    normalized to the no-L0 baseline (paper Figure 5). *)
+val normalized_figure :
+  title:string ->
+  ?baseline:Pipeline.system ->
+  systems:Pipeline.system list ->
+  Mediabench.benchmark list ->
+  figure
+(** Normalized execution-time figure over arbitrary systems. A benchmark
+    whose compilation or simulation fails (infeasible II, watchdog, bad
+    config, coherence violation) for the baseline or any system lands in
+    [skipped] instead of raising; [amean] averages the surviving rows. *)
 
-val fig7 : ?benchmarks:Mediabench.benchmark list -> unit -> figure
+val fig5 : ?benchmarks:Mediabench.benchmark list -> ?max_ii:int -> unit -> figure
+(** Execution time for 4-, 8-, 16-entry and unbounded L0 buffers,
+    normalized to the no-L0 baseline (paper Figure 5). [max_ii] tightens
+    the II search ceiling; loops it renders infeasible show up in the
+    figure's [skipped] list. *)
+
+val fig7 : ?benchmarks:Mediabench.benchmark list -> ?max_ii:int -> unit -> figure
 (** 8-entry L0 buffers vs MultiVLIW vs word-interleaved under two
     scheduling heuristics (paper Figure 7). *)
 

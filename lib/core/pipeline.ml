@@ -12,16 +12,20 @@ type system = {
   config : Config.t;
   scheme : Scheme.t;
   coherence : Engine.coherence_mode;
+  max_ii : int;
   make_hierarchy :
     Config.t -> backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t;
 }
 
-let baseline_system ?(config = Config.default) () =
+let default_max_ii = 256
+
+let baseline_system ?(config = Config.default) ?(max_ii = default_max_ii) () =
   {
     label = "unified-baseline";
     config = Config.with_l0 Config.No_l0 config;
     scheme = Scheme.Base_unified;
     coherence = Engine.Auto;
+    max_ii;
     make_hierarchy = (fun cfg ~backing -> Unified.baseline cfg ~backing);
   }
 
@@ -32,7 +36,8 @@ let coherence_label = function
   | Engine.Force_psr -> "-psr"
 
 let l0_system ?(config = Config.default) ?(capacity = Config.Entries 8)
-    ?(selective = true) ?(prefetch_distance = 1) ?(coherence = Engine.Auto) () =
+    ?(selective = true) ?(prefetch_distance = 1) ?(coherence = Engine.Auto)
+    ?(max_ii = default_max_ii) () =
   let config =
     config |> Config.with_l0 capacity
     |> Config.with_prefetch_distance prefetch_distance
@@ -53,30 +58,39 @@ let l0_system ?(config = Config.default) ?(capacity = Config.Entries 8)
     config;
     scheme = Scheme.L0 { selective };
     coherence;
+    max_ii;
     make_hierarchy = (fun cfg ~backing -> Unified.create cfg ~backing);
   }
 
-let multivliw_system ?(config = Config.default) () =
+let multivliw_system ?(config = Config.default) ?(max_ii = default_max_ii) () =
   {
     label = "multivliw";
     config = Config.with_l0 Config.No_l0 config;
     scheme = Scheme.Multivliw;
     coherence = Engine.Auto;
+    max_ii;
     make_hierarchy = (fun cfg ~backing -> Multivliw.create cfg ~backing);
   }
 
-let interleaved_system ?(config = Config.default) ~locality () =
+let interleaved_system ?(config = Config.default) ?(max_ii = default_max_ii)
+    ~locality () =
   {
     label = (if locality then "interleaved-2" else "interleaved-1");
     config = Config.with_l0 Config.No_l0 config;
     scheme =
       (if locality then Scheme.Interleaved_locality else Scheme.Interleaved_naive);
     coherence = Engine.Auto;
+    max_ii;
     make_hierarchy = (fun cfg ~backing -> Interleaved.create cfg ~backing);
   }
 
+let compile_result system loop =
+  Compile.compile_result system.config system.scheme
+    ~coherence:system.coherence ~max_ii:system.max_ii loop
+
 let compile system loop =
-  Compile.compile system.config system.scheme ~coherence:system.coherence loop
+  Compile.compile system.config system.scheme ~coherence:system.coherence
+    ~max_ii:system.max_ii loop
 
 type loop_run = {
   loop_name : string;
@@ -96,18 +110,20 @@ type bench_run = {
   mismatches : int;
 }
 
-let run_schedule system ?(verify = true) ?(invocations = 1) sch =
+let run_schedule system ?(verify = true) ?(invocations = 1) ?max_cycles ?faults
+    sch =
   Exec.run system.config sch
     ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
-    ~invocations ~verify ()
+    ~invocations ~verify ?max_cycles ?faults ()
 
-let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ~repeat loop =
+let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ?max_cycles
+    ?faults ~repeat loop =
   let sch = compile system loop in
   let invocations = max 1 (min repeat max_sim_invocations) in
   let sim =
     Exec.run system.config sch
       ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
-      ~invocations ~verify ()
+      ~invocations ~verify ?max_cycles ?faults ()
   in
   let scale = float_of_int repeat /. float_of_int invocations in
   {
@@ -118,6 +134,23 @@ let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ~repeat loop =
     scaled_cycles = float_of_int sim.Exec.total_cycles *. scale;
     scaled_stalls = float_of_int sim.Exec.stall_cycles *. scale;
   }
+
+let run_loop_result system ?(verify = true) ?max_sim_invocations ?max_cycles
+    ?faults ~repeat loop =
+  match
+    run_loop system ~verify ?max_sim_invocations ?max_cycles ?faults ~repeat
+      loop
+  with
+  | lr ->
+    if verify && lr.sim.Exec.value_mismatches > 0 then
+      Error
+        (Errors.Coherence_violation
+           { loop = loop.Loop.name; system = system.label;
+             mismatches = lr.sim.Exec.value_mismatches })
+    else Ok lr
+  | exception Engine.Infeasible inf -> Error (Errors.of_infeasible inf)
+  | exception Exec.Watchdog_timeout wd -> Error (Errors.of_watchdog wd)
+  | exception Invalid_argument msg -> Error (Errors.Config_invalid msg)
 
 let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =
   let loop_runs =
@@ -136,6 +169,31 @@ let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =
     mismatches =
       List.fold_left (fun acc r -> acc + r.sim.Exec.value_mismatches) 0 loop_runs;
   }
+
+let run_benchmark_result system ?(verify = true) (b : Mediabench.benchmark) =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | { Mediabench.loop; repeat } :: rest -> (
+      match run_loop_result system ~verify ~repeat loop with
+      | Ok lr -> go (lr :: acc) rest
+      | Error _ as e -> e)
+  in
+  Result.map
+    (fun loop_runs ->
+      {
+        bench_name = b.Mediabench.bname;
+        system_label = system.label;
+        loop_runs;
+        loop_cycles =
+          List.fold_left (fun acc r -> acc +. r.scaled_cycles) 0.0 loop_runs;
+        loop_stalls =
+          List.fold_left (fun acc r -> acc +. r.scaled_stalls) 0.0 loop_runs;
+        mismatches =
+          List.fold_left
+            (fun acc r -> acc + r.sim.Exec.value_mismatches)
+            0 loop_runs;
+      })
+    (go [] b.Mediabench.loops)
 
 let execution_time run ~baseline ~scalar_fraction =
   let scalar =

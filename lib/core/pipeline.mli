@@ -11,12 +11,17 @@ type system = {
   config : Flexl0_arch.Config.t;
   scheme : Scheme.t;
   coherence : Engine.coherence_mode;
+  max_ii : int;  (** II search ceiling handed to the scheduler *)
   make_hierarchy :
     Flexl0_arch.Config.t -> backing:Flexl0_mem.Backing.t ->
     Flexl0_mem.Hierarchy.t;
 }
 
-val baseline_system : ?config:Flexl0_arch.Config.t -> unit -> system
+val default_max_ii : int
+(** 256 — the historical scheduler default. *)
+
+val baseline_system :
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> unit -> system
 (** Unified L1, no L0 buffers — the normalization reference. *)
 
 val l0_system :
@@ -25,19 +30,26 @@ val l0_system :
   ?selective:bool ->
   ?prefetch_distance:int ->
   ?coherence:Engine.coherence_mode ->
+  ?max_ii:int ->
   unit ->
   system
 (** The proposed architecture; defaults to 8 entries, selective marking,
     prefetch distance 1, automatic (1C-else-NL0) coherence. *)
 
-val multivliw_system : ?config:Flexl0_arch.Config.t -> unit -> system
+val multivliw_system :
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> unit -> system
 
 val interleaved_system :
-  ?config:Flexl0_arch.Config.t -> locality:bool -> unit -> system
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> locality:bool -> unit ->
+  system
 (** [locality:false] is "Interleaved 1", [true] is "Interleaved 2". *)
 
 val compile : system -> Loop.t -> Schedule.t
-(** Unroll choice + scheduling + (for L0 systems) hints and prefetches. *)
+(** Unroll choice + scheduling + (for L0 systems) hints and prefetches.
+    Raises {!Flexl0_sched.Engine.Infeasible} past the system's [max_ii]. *)
+
+val compile_result :
+  system -> Loop.t -> (Schedule.t, Flexl0_sched.Engine.infeasible) result
 
 (** One simulated loop, scaled to its benchmark [repeat] count. *)
 type loop_run = {
@@ -59,20 +71,34 @@ type bench_run = {
 }
 
 val run_schedule :
-  system -> ?verify:bool -> ?invocations:int -> Schedule.t ->
-  Flexl0_sim.Exec.result
+  system -> ?verify:bool -> ?invocations:int -> ?max_cycles:int ->
+  ?faults:Flexl0_sim.Fault.plan -> Schedule.t -> Flexl0_sim.Exec.result
 (** Execute one specific schedule (no recompilation) on the system's
-    hierarchy. *)
+    hierarchy, optionally under fault injection. *)
 
 val run_loop :
-  system -> ?verify:bool -> ?max_sim_invocations:int -> repeat:int -> Loop.t ->
-  loop_run
+  system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
+  ?faults:Flexl0_sim.Fault.plan -> repeat:int -> Loop.t -> loop_run
 (** Compiles with {!compile} and simulates [min repeat
     max_sim_invocations] back-to-back invocations, scaling cycle counts
     to [repeat] (default cap 4). *)
 
+val run_loop_result :
+  system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
+  ?faults:Flexl0_sim.Fault.plan -> repeat:int -> Loop.t ->
+  (loop_run, Errors.t) result
+(** {!run_loop} with every failure mode in the typed channel:
+    [Schedule_infeasible], [Watchdog_timeout], [Config_invalid], and —
+    when [verify] (the default) sees wrong values —
+    [Coherence_violation]. *)
+
 val run_benchmark :
   system -> ?verify:bool -> Mediabench.benchmark -> bench_run
+
+val run_benchmark_result :
+  system -> ?verify:bool -> Mediabench.benchmark ->
+  (bench_run, Errors.t) result
+(** Stops at the first failing loop. *)
 
 val execution_time :
   bench_run -> baseline:bench_run -> scalar_fraction:float -> float * float

@@ -20,6 +20,9 @@ let print_figure (fig : Experiments.figure) =
     (fun (r : Experiments.row) -> print_row r.Experiments.bench r.Experiments.points)
     fig.Experiments.rows;
   print_row "AMEAN" fig.Experiments.amean;
+  List.iter
+    (fun (bench, reason) -> Printf.printf "!! skipped %s: %s\n" bench reason)
+    fig.Experiments.skipped;
   if fig.Experiments.total_mismatches <> 0 then
     Printf.printf "!! %d coherence value mismatches\n" fig.Experiments.total_mismatches
 

@@ -9,8 +9,9 @@ type t = {
 }
 
 let make ~id ~opcode ?dst ?(srcs = []) ?memref () =
-  assert (Opcode.is_memory opcode = false || Opcode.is_load opcode = false
-          || memref <> None);
+  if Opcode.is_memory opcode && Opcode.is_load opcode && memref = None then
+    invalid_arg
+      (Printf.sprintf "Instr.make: load i%d needs a memory reference" id);
   { id; opcode; dst; srcs; memref }
 
 let is_load t = Opcode.is_load t.opcode

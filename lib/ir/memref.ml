@@ -3,7 +3,11 @@ type stride = Const of int | Unknown
 type t = { array_id : int; offset : int; elem_bytes : int; stride : stride }
 
 let make ~array_id ~offset ~elem_bytes ~stride =
-  assert (elem_bytes = 1 || elem_bytes = 2 || elem_bytes = 4 || elem_bytes = 8);
+  (match elem_bytes with
+  | 1 | 2 | 4 | 8 -> ()
+  | n ->
+    invalid_arg
+      (Printf.sprintf "Memref.make: elem_bytes must be 1/2/4/8, got %d" n));
   { array_id; offset; elem_bytes; stride }
 
 let is_strided t = match t.stride with Const _ -> true | Unknown -> false
@@ -33,7 +37,12 @@ let may_overlap a b =
       else (a.offset - b.offset) mod sa = 0
 
 let scale ~factor ~copy t =
-  assert (factor >= 1 && copy >= 0 && copy < factor);
+  if factor < 1 || copy < 0 || copy >= factor then
+    invalid_arg
+      (Printf.sprintf
+         "Memref.scale: need factor >= 1 and 0 <= copy < factor, got \
+          factor=%d copy=%d"
+         factor copy);
   match t.stride with
   | Unknown -> t
   | Const s -> { t with offset = t.offset + (copy * s); stride = Const (s * factor) }

@@ -3,16 +3,33 @@ open Flexl0_ir
 let estimated_compute (sch : Schedule.t) =
   Schedule.compute_cycles sch ~trips:sch.loop.Loop.trip_count
 
-let compile_fixed cfg scheme ?coherence ~unroll loop =
-  Engine.schedule cfg scheme ?coherence (Unroll.apply ~factor:unroll loop)
+let compile_fixed_result cfg scheme ?coherence ?max_ii ~unroll loop =
+  Engine.schedule_opt cfg scheme ?coherence ?max_ii
+    (Unroll.apply ~factor:unroll loop)
 
-let compile (cfg : Flexl0_arch.Config.t) scheme ?coherence loop =
-  let rolled = compile_fixed cfg scheme ?coherence ~unroll:1 loop in
-  if loop.Loop.trip_count < cfg.num_clusters then rolled
-  else begin
-    let unrolled =
-      compile_fixed cfg scheme ?coherence ~unroll:cfg.num_clusters loop
-    in
-    if estimated_compute unrolled < estimated_compute rolled then unrolled
-    else rolled
-  end
+let compile_fixed cfg scheme ?coherence ?max_ii ~unroll loop =
+  Engine.schedule cfg scheme ?coherence ?max_ii
+    (Unroll.apply ~factor:unroll loop)
+
+let compile_result (cfg : Flexl0_arch.Config.t) scheme ?coherence ?max_ii loop =
+  match compile_fixed_result cfg scheme ?coherence ?max_ii ~unroll:1 loop with
+  | Error _ as e -> e
+  | Ok rolled ->
+    if loop.Loop.trip_count < cfg.num_clusters then Ok rolled
+    else begin
+      (* An infeasible unrolled body is not fatal: fall back to rolled. *)
+      match
+        compile_fixed_result cfg scheme ?coherence ?max_ii
+          ~unroll:cfg.num_clusters loop
+      with
+      | Error _ -> Ok rolled
+      | Ok unrolled ->
+        if estimated_compute unrolled < estimated_compute rolled then
+          Ok unrolled
+        else Ok rolled
+    end
+
+let compile cfg scheme ?coherence ?max_ii loop =
+  match compile_result cfg scheme ?coherence ?max_ii loop with
+  | Ok sch -> sch
+  | Error inf -> raise (Engine.Infeasible inf)

@@ -9,21 +9,44 @@
 
 open Flexl0_ir
 
+val compile_result :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  ?max_ii:int ->
+  Loop.t ->
+  (Schedule.t, Engine.infeasible) result
+(** Returns [Error] only when the rolled body itself has no schedule
+    below [max_ii]; an infeasible unrolled body silently falls back to
+    the rolled schedule. *)
+
 val compile :
   Flexl0_arch.Config.t ->
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
+  ?max_ii:int ->
   Loop.t ->
   Schedule.t
+(** {!compile_result}, raising {!Engine.Infeasible} on failure. *)
 
 val compile_fixed :
   Flexl0_arch.Config.t ->
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
+  ?max_ii:int ->
   unroll:int ->
   Loop.t ->
   Schedule.t
 (** Force a specific unroll factor (used by tests and ablations). *)
+
+val compile_fixed_result :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  ?max_ii:int ->
+  unroll:int ->
+  Loop.t ->
+  (Schedule.t, Engine.infeasible) result
 
 val estimated_compute : Schedule.t -> int
 (** Compute cycles for the schedule's own trip count. *)

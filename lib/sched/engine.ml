@@ -691,13 +691,25 @@ let initial_mii cfg scheme coherence loop =
   let st = make_state cfg scheme coherence ~steering:true loop ~ii:1 in
   Mii.mii cfg st.ddg ~lat:(cur_lat st)
 
-let schedule cfg scheme ?(coherence = Auto) ?(steering = true) ?(max_ii = 256) loop =
+type infeasible = { inf_loop : string; inf_mii : int; inf_max_ii : int }
+
+exception Infeasible of infeasible
+
+let infeasible_message { inf_loop; inf_mii; inf_max_ii } =
+  Printf.sprintf "no schedule for %s between MII=%d and max II=%d" inf_loop
+    inf_mii inf_max_ii
+
+let () =
+  Printexc.register_printer (function
+    | Infeasible inf -> Some ("Engine.Infeasible: " ^ infeasible_message inf)
+    | _ -> None)
+
+let schedule_opt cfg scheme ?(coherence = Auto) ?(steering = true)
+    ?(max_ii = 256) loop =
   let mii = initial_mii cfg scheme coherence loop in
   let rec search ii =
     if ii > max_ii then
-      failwith
-        (Printf.sprintf "Engine.schedule: no schedule for %s below II=%d"
-           loop.Loop.name max_ii)
+      Error { inf_loop = loop.Loop.name; inf_mii = mii; inf_max_ii = max_ii }
     else
       match try_schedule cfg scheme ~coherence ~steering loop ~ii with
       | None -> search (ii + 1)
@@ -705,7 +717,14 @@ let schedule cfg scheme ?(coherence = Auto) ?(steering = true) ?(max_ii = 256) l
         let pressure = max_live cfg sch in
         if Array.exists (fun p -> p > cfg.regs_per_cluster) pressure then
           search (ii + 1)
-        else sch
+        else Ok sch
   in
-  let sch = search mii in
-  if Scheme.uses_l0_buffers scheme then Hint_assign.apply cfg sch else sch
+  Result.map
+    (fun sch ->
+      if Scheme.uses_l0_buffers scheme then Hint_assign.apply cfg sch else sch)
+    (search mii)
+
+let schedule cfg scheme ?coherence ?steering ?max_ii loop =
+  match schedule_opt cfg scheme ?coherence ?steering ?max_ii loop with
+  | Ok sch -> sch
+  | Error inf -> raise (Infeasible inf)

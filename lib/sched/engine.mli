@@ -34,6 +34,33 @@ val try_schedule :
     placed (the caller increases the II). Hints are *not* assigned here —
     see {!Hint_assign} and {!Prefetch_insert}. *)
 
+(** Why the II search gave up: no feasible schedule between the computed
+    MII and the caller's II ceiling. *)
+type infeasible = { inf_loop : string; inf_mii : int; inf_max_ii : int }
+
+exception Infeasible of infeasible
+
+val infeasible_message : infeasible -> string
+
+val schedule_opt :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:coherence_mode ->
+  ?steering:bool ->
+  ?max_ii:int ->
+  Loop.t ->
+  (Schedule.t, infeasible) result
+(** Full II search from MII upwards, including the register-pressure
+    check (the II is bumped when the estimated MaxLive exceeds the
+    cluster register file). Under [Scheme.L0], runs hint assignment and
+    explicit-prefetch insertion before returning. [steering] (default
+    true) enables the recommended-cluster marking of stream-sibling
+    loads (step 8 of Figure 4); turning it off is an ablation that
+    removes the rotation the interleaved mapping depends on (coherence
+    pinning stays on regardless). Returns [Error] when no schedule is
+    found below [max_ii] (default 256) — the typed replacement for the
+    historical [failwith]. *)
+
 val schedule :
   Flexl0_arch.Config.t ->
   Scheme.t ->
@@ -42,15 +69,8 @@ val schedule :
   ?max_ii:int ->
   Loop.t ->
   Schedule.t
-(** Full II search from MII upwards, including the register-pressure
-    check (the II is bumped when the estimated MaxLive exceeds the
-    cluster register file). Under [Scheme.L0], runs hint assignment and
-    explicit-prefetch insertion before returning. [steering] (default
-    true) enables the recommended-cluster marking of stream-sibling
-    loads (step 8 of Figure 4); turning it off is an ablation that
-    removes the rotation the interleaved mapping depends on (coherence
-    pinning stays on regardless). Raises [Failure] if no schedule is
-    found below [max_ii] (default 256). *)
+(** {!schedule_opt} for callers that treat infeasibility as a bug.
+    Raises {!Infeasible} when no schedule is found below [max_ii]. *)
 
 val max_live : Flexl0_arch.Config.t -> Schedule.t -> int array
 (** Estimated register pressure per cluster: every value contributes

@@ -91,6 +91,23 @@ let init_memory backing ~seed =
       (Int64.of_int (Tracegen.hash_mix seed addr 17 land 0xFF))
   done
 
+(* Deterministic inter-invocation scramble: models the rest of the
+   benchmark dirtying memory between two invocations of the loop.
+   Applied identically to the simulated backing and the reference
+   replay, so it is invisible to a coherent machine — but it makes a
+   stale L0 entry (e.g. after a skipped [invalidate_buffer])
+   observable, where the invocation-independent [store_value] would
+   otherwise keep it accidentally correct. Timing is unaffected: cache
+   tags are not touched and loaded values never feed back into
+   addresses or schedules. Salt 23 keeps the stream disjoint from
+   [init_memory]'s salt 17. *)
+let interlude_scramble mem ~seed ~inv =
+  let salt = seed + ((inv + 1) * 1_000_003) in
+  for addr = 0 to Backing.size mem - 1 do
+    Backing.write mem ~addr ~width:1
+      (Int64.of_int (Tracegen.hash_mix salt addr 23 land 0xFF))
+  done
+
 (* Sequential reference replay: expected value of every dynamic load,
    keyed by (invocation, instruction, iteration). *)
 let reference_loads (sch : Schedule.t) trace ~trips ~invocations ~seed =
@@ -114,14 +131,34 @@ let reference_loads (sch : Schedule.t) trace ~trips ~invocations ~seed =
               (store_value ins.Instr.id k)
           | _ -> ())
         accesses
-    done
+    done;
+    if inv < invocations - 1 then interlude_scramble ref_mem ~seed ~inv
   done;
   expected
 
 let default_trips (loop : Loop.t) = min loop.Loop.trip_count 2048
 
+type watchdog = { wd_loop : string; wd_elapsed : int; wd_limit : int }
+
+exception Watchdog_timeout of watchdog
+
+let watchdog_message { wd_loop; wd_elapsed; wd_limit } =
+  Printf.sprintf "%s ran for %d cycles, past the %d-cycle watchdog limit"
+    wd_loop wd_elapsed wd_limit
+
+let () =
+  Printexc.register_printer (function
+    | Watchdog_timeout wd -> Some ("Exec.Watchdog_timeout: " ^ watchdog_message wd)
+    | _ -> None)
+
+(* A healthy run costs [compute + stall] cycles with stall bounded by a
+   small multiple of compute; 1000x compute plus a fixed grace covers
+   every legitimate configuration with orders of magnitude to spare. *)
+let default_max_cycles ~invocation_span ~invocations =
+  (1000 * ((invocation_span * invocations) + 1)) + 1_000_000
+
 let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
-    ?(invocations = 1) ?(seed = 42) ?(verify = true)
+    ?(invocations = 1) ?(seed = 42) ?(verify = true) ?max_cycles ?faults
     ?(on_event = fun (_ : trace_event) -> ()) () =
   let trips = match trips with Some t -> t | None -> default_trips sch.loop in
   let trace = Tracegen.create sch.loop ~seed in
@@ -129,6 +166,9 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
   let backing = Backing.create ~size in
   init_memory backing ~seed;
   let hier = hierarchy ~backing in
+  let hier =
+    match faults with Some plan -> Fault.instrument plan hier | None -> hier
+  in
   let expected =
     if verify then reference_loads sch trace ~trips ~invocations ~seed
     else Hashtbl.create 1
@@ -217,6 +257,11 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
       | None -> 0)
   in
   let invocation_span = Schedule.compute_cycles sch ~trips in
+  let limit =
+    match max_cycles with
+    | Some m -> m
+    | None -> default_max_cycles ~invocation_span ~invocations
+  in
   for inv = 0 to invocations - 1 do
     let offset = inv * invocation_span in
     for t = 0 to horizon do
@@ -233,13 +278,20 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
             end
           end)
         by_slot.(slot);
-      cum_stall := !cum_stall + !cycle_stall
+      cum_stall := !cum_stall + !cycle_stall;
+      let elapsed = offset + t + !cum_stall in
+      if elapsed > limit then
+        raise
+          (Watchdog_timeout
+             { wd_loop = sch.loop.Loop.name; wd_elapsed = elapsed;
+               wd_limit = limit })
     done;
     (* Inter-loop coherence: flush every L0 buffer between invocations
        and at loop exit (Section 4.1). *)
     for c = 0 to cfg.num_clusters - 1 do
       hier.Hierarchy.invalidate ~cluster:c
-    done
+    done;
+    if inv < invocations - 1 then interlude_scramble backing ~seed ~inv
   done;
   let compute_cycles = invocation_span * invocations in
   {
@@ -252,6 +304,15 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
     value_mismatches = !mismatches;
     counters = Stats.Counters.to_list hier.Hierarchy.counters;
   }
+
+let run_result cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
+    ?faults ?on_event () =
+  match
+    run cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
+      ?faults ?on_event ()
+  with
+  | r -> Ok r
+  | exception Watchdog_timeout wd -> Error wd
 
 let stall_fraction r =
   if r.total_cycles = 0 then 0.0

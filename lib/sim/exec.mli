@@ -51,6 +51,14 @@ val pp_trace_event : Format.formatter -> trace_event -> unit
 val ipc_denominator : result -> int
 (** [total_cycles], guarded to at least 1 — convenience for rates. *)
 
+(** The run blew past its cycle budget — under fault injection the
+    usual cause is an [extra-latency] fault stretching every access. *)
+type watchdog = { wd_loop : string; wd_elapsed : int; wd_limit : int }
+
+exception Watchdog_timeout of watchdog
+
+val watchdog_message : watchdog -> string
+
 val run :
   Flexl0_arch.Config.t ->
   Schedule.t ->
@@ -59,6 +67,8 @@ val run :
   ?invocations:int ->
   ?seed:int ->
   ?verify:bool ->
+  ?max_cycles:int ->
+  ?faults:Fault.plan ->
   ?on_event:(trace_event -> unit) ->
   unit ->
   result
@@ -69,9 +79,31 @@ val run :
     iterations (plenty for steady-state measurement); [invocations]
     (default 1) runs the whole loop that many times back to back — the
     software pipeline drains, every L0 buffer is invalidated (inter-loop
-    coherence) and the loop restarts, while L1 stays warm, modelling an
-    inner loop re-entered repeatedly by its benchmark; [seed] drives
-    unknown-stride address streams; [verify] defaults to [true]. *)
+    coherence), the rest of the benchmark scribbles over memory (a
+    deterministic scramble, mirrored in the reference replay) and the
+    loop restarts, while L1 stays warm, modelling an inner loop
+    re-entered repeatedly by its benchmark; [seed] drives unknown-stride
+    address streams; [verify] defaults to [true].
+
+    [faults] wraps the hierarchy in {!Fault.instrument}. [max_cycles]
+    bounds total simulated cycles (default: a generous multiple of the
+    compute time); raises {!Watchdog_timeout} when exceeded. *)
+
+val run_result :
+  Flexl0_arch.Config.t ->
+  Schedule.t ->
+  hierarchy:(backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t) ->
+  ?trips:int ->
+  ?invocations:int ->
+  ?seed:int ->
+  ?verify:bool ->
+  ?max_cycles:int ->
+  ?faults:Fault.plan ->
+  ?on_event:(trace_event -> unit) ->
+  unit ->
+  (result, watchdog) Stdlib.result
+(** {!run} with the watchdog surfaced as [Error] instead of an
+    exception. *)
 
 val stall_fraction : result -> float
 val l0_hit_rate : result -> float option

@@ -1,0 +1,241 @@
+module Hierarchy = Flexl0_mem.Hierarchy
+module Hint = Flexl0_mem.Hint
+module Rng = Flexl0_util.Rng
+module Counters = Flexl0_util.Stats.Counters
+
+type component = L0 | L1 | Bus
+
+type kind =
+  | Drop_prefetch
+  | Spurious_l0_evict
+  | Corrupt_subblock
+  | Skip_invalidate
+  | Skip_psr_replica
+  | Extra_latency of { component : component; cycles : int }
+  | Corrupt_hint
+
+type fault = { kind : kind; prob : float }
+type plan = { seed : int; faults : fault list }
+
+let is_coherence_breaking = function
+  | Corrupt_subblock | Skip_invalidate | Skip_psr_replica | Corrupt_hint ->
+    true
+  | Drop_prefetch | Spurious_l0_evict | Extra_latency _ -> false
+
+let is_timing_only k = not (is_coherence_breaking k)
+
+let validate { seed = _; faults } =
+  let rec go = function
+    | [] -> Ok ()
+    | { kind; prob } :: rest ->
+      if not (prob >= 0.0 && prob <= 1.0) then
+        Error
+          (Printf.sprintf "fault probability must be in [0, 1], got %g" prob)
+      else begin
+        match kind with
+        | Extra_latency { cycles; _ } when cycles < 0 ->
+          Error
+            (Printf.sprintf "extra-latency cycles must be >= 0, got %d" cycles)
+        | _ -> go rest
+      end
+  in
+  go faults
+
+let component_to_string = function L0 -> "l0" | L1 -> "l1" | Bus -> "bus"
+
+let component_of_string = function
+  | "l0" -> Ok L0
+  | "l1" -> Ok L1
+  | "bus" -> Ok Bus
+  | s -> Error (Printf.sprintf "unknown component %S (want l0|l1|bus)" s)
+
+(* %.12g keeps round-tripping exact for every probability a CLI user can
+   plausibly type while avoiding "0.10000000000000001" noise. *)
+let prob_suffix prob = if prob = 1.0 then "" else Printf.sprintf ":%.12g" prob
+
+let fault_to_string { kind; prob } =
+  match kind with
+  | Drop_prefetch -> "drop-prefetch" ^ prob_suffix prob
+  | Spurious_l0_evict -> "spurious-l0-evict" ^ prob_suffix prob
+  | Corrupt_subblock -> "corrupt-subblock" ^ prob_suffix prob
+  | Skip_invalidate -> "skip-invalidate" ^ prob_suffix prob
+  | Skip_psr_replica -> "skip-psr-replica" ^ prob_suffix prob
+  | Corrupt_hint -> "corrupt-hint" ^ prob_suffix prob
+  | Extra_latency { component; cycles } ->
+    Printf.sprintf "extra-latency:%s:%d%s"
+      (component_to_string component)
+      cycles (prob_suffix prob)
+
+let prob_of_string s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+  | _ -> Error (Printf.sprintf "bad probability %S (want a float in [0, 1])" s)
+
+let fault_of_string spec =
+  let ( let* ) = Result.bind in
+  let simple kind = function
+    | [] -> Ok { kind; prob = 1.0 }
+    | [ p ] ->
+      let* prob = prob_of_string p in
+      Ok { kind; prob }
+    | _ -> Error (Printf.sprintf "too many fields in fault spec %S" spec)
+  in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim spec)) with
+  | "drop-prefetch" :: rest -> simple Drop_prefetch rest
+  | "spurious-l0-evict" :: rest -> simple Spurious_l0_evict rest
+  | "corrupt-subblock" :: rest -> simple Corrupt_subblock rest
+  | "skip-invalidate" :: rest -> simple Skip_invalidate rest
+  | "skip-psr-replica" :: rest -> simple Skip_psr_replica rest
+  | "corrupt-hint" :: rest -> simple Corrupt_hint rest
+  | "extra-latency" :: comp :: cycles :: rest ->
+    let* component = component_of_string comp in
+    let* cycles =
+      match int_of_string_opt cycles with
+      | Some c when c >= 0 -> Ok c
+      | _ -> Error (Printf.sprintf "bad cycle count %S in %S" cycles spec)
+    in
+    simple (Extra_latency { component; cycles }) rest
+  | "extra-latency" :: _ ->
+    Error
+      (Printf.sprintf "extra-latency needs component and cycles, got %S" spec)
+  | _ -> Error (Printf.sprintf "unknown fault spec %S" spec)
+
+let plan_of_strings ~seed specs =
+  let rec go acc = function
+    | [] -> Ok { seed; faults = List.rev acc }
+    | s :: rest -> (
+      match fault_of_string s with
+      | Ok f -> go (f :: acc) rest
+      | Error _ as e -> e)
+  in
+  match go [] specs with
+  | Error _ as e -> e
+  | Ok plan -> (
+    match validate plan with Ok () -> Ok plan | Error _ as e -> e)
+
+(* One decision stream for the whole run. Fault decisions are a pure
+   function of (seed, sequence of hierarchy calls): the executor issues
+   the same call sequence no matter how timing shifts, a draw happens
+   for every matching fault whether or not it fires, and no decision
+   reads [now] — so a given seed yields the same injection pattern even
+   when other faults stretch the clock. *)
+let instrument plan (inner : Hierarchy.t) =
+  let rng = Rng.create plan.seed in
+  let fires { prob; _ } = Rng.float rng 1.0 < prob in
+  (* Does any fault matching [pred] fire here? Every matching fault is
+     drawn (no short-circuit) to keep the stream aligned. *)
+  let firing pred =
+    List.fold_left
+      (fun acc f -> if pred f.kind then fires f || acc else acc)
+      false plan.faults
+  in
+  let counters = inner.Hierarchy.counters in
+  let count name = Counters.incr counters name in
+  let delayed served ready_at =
+    List.fold_left
+      (fun ready_at f ->
+        match f.kind with
+        | Extra_latency { component; cycles } ->
+          let applies =
+            match (component, served) with
+            | Bus, _ -> true
+            | L0, (Hierarchy.L0 | Hierarchy.Attraction) -> true
+            | ( L1,
+                ( Hierarchy.L1 | Hierarchy.L2 | Hierarchy.Local_bank
+                | Hierarchy.Remote_bank ) ) ->
+              true
+            | _ -> false
+          in
+          if fires f && applies then begin
+            Counters.add counters "fault_extra_latency_cycles" cycles;
+            ready_at + cycles
+          end
+          else ready_at
+        | _ -> ready_at)
+      ready_at plan.faults
+  in
+  let spurious_evict ~cluster =
+    if firing (function Spurious_l0_evict -> true | _ -> false) then begin
+      count "fault_spurious_evicts";
+      inner.Hierarchy.invalidate ~cluster
+    end
+  in
+  let load ~now ~cluster ~addr ~width ~hints =
+    let outcome = inner.Hierarchy.load ~now ~cluster ~addr ~width ~hints in
+    let corrupt = firing (function Corrupt_subblock -> true | _ -> false) in
+    let outcome =
+      if corrupt && outcome.Hierarchy.served = Hierarchy.L0 then begin
+        count "fault_corrupted_subblocks";
+        { outcome with
+          Hierarchy.value = Int64.logxor outcome.Hierarchy.value 0xFFL }
+      end
+      else outcome
+    in
+    let outcome =
+      { outcome with
+        Hierarchy.ready_at =
+          delayed outcome.Hierarchy.served outcome.Hierarchy.ready_at }
+    in
+    spurious_evict ~cluster;
+    outcome
+  in
+  let store ~now ~cluster ~addr ~width ~value ~hints =
+    let skip_replica =
+      hints.Hint.access = Hint.Inval_only
+      && firing (function Skip_psr_replica -> true | _ -> false)
+    in
+    let corrupt_hint =
+      hints.Hint.access = Hint.Par_access
+      && firing (function Corrupt_hint -> true | _ -> false)
+    in
+    if skip_replica then begin
+      count "fault_skipped_replicas";
+      (* The replica never reaches the hierarchy; its inner counters and
+         invalidations simply don't happen. *)
+      let outcome = { Hierarchy.ready_at = now; value = 0L; served = Hierarchy.L1 } in
+      let outcome =
+        { outcome with
+          Hierarchy.ready_at =
+            delayed outcome.Hierarchy.served outcome.Hierarchy.ready_at }
+      in
+      spurious_evict ~cluster;
+      outcome
+    end
+    else begin
+      let hints =
+        if corrupt_hint then begin
+          count "fault_corrupted_hints";
+          { hints with Hint.access = Hint.No_access }
+        end
+        else hints
+      in
+      let outcome =
+        inner.Hierarchy.store ~now ~cluster ~addr ~width ~value ~hints
+      in
+      let outcome =
+        { outcome with
+          Hierarchy.ready_at =
+            delayed outcome.Hierarchy.served outcome.Hierarchy.ready_at }
+      in
+      spurious_evict ~cluster;
+      outcome
+    end
+  in
+  let prefetch ~now ~cluster ~addr ~width =
+    if firing (function Drop_prefetch -> true | _ -> false) then
+      count "fault_dropped_prefetches"
+    else inner.Hierarchy.prefetch ~now ~cluster ~addr ~width
+  in
+  let invalidate ~cluster =
+    if firing (function Skip_invalidate -> true | _ -> false) then
+      count "fault_skipped_invalidates"
+    else inner.Hierarchy.invalidate ~cluster
+  in
+  {
+    inner with
+    Hierarchy.name = inner.Hierarchy.name ^ "+faults";
+    load;
+    store;
+    prefetch;
+    invalidate;
+  }

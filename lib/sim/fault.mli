@@ -1,0 +1,69 @@
+(** Seeded fault injection for the memory hierarchy.
+
+    A fault plan wraps a {!Flexl0_mem.Hierarchy.t} in a decorator that
+    perturbs its behaviour at the interface boundary, so Unified,
+    Multivliw and Interleaved all inherit injection unchanged. Faults
+    split into two families with opposite contracts:
+
+    - {e coherence-breaking} faults (corrupt-subblock, skip-invalidate,
+      skip-psr-replica, corrupt-hint) violate exactly the invariants the
+      compiler's hint/coherence machinery guarantees. Running a verified
+      schedule under one of these must surface
+      [value_mismatches > 0] — they exist to prove the differential
+      checker has teeth.
+    - {e timing-only} faults (drop-prefetch, spurious-l0-evict,
+      extra-latency) may slow the machine down but must never change a
+      single loaded value.
+
+    All decisions are drawn from a {!Flexl0_util.Rng} stream seeded by
+    the plan, and the decorator draws once per (operation, fault) pair
+    whether or not the fault fires, so a given seed yields the same
+    injection pattern regardless of how timing shifts. *)
+
+(** Where an [Extra_latency] fault attaches. [L0] delays accesses served
+    by an L0/attraction buffer, [L1] delays accesses served by the
+    unified or banked L1 (and below), [Bus] delays every access — it
+    models interconnect contention. *)
+type component = L0 | L1 | Bus
+
+type kind =
+  | Drop_prefetch  (** silently drop explicit software prefetches *)
+  | Spurious_l0_evict
+      (** invalidate the accessing cluster's L0 after an access *)
+  | Corrupt_subblock
+      (** flip the low byte of a load value served from an L0 buffer *)
+  | Skip_invalidate  (** drop [invalidate_buffer] instructions *)
+  | Skip_psr_replica  (** drop [Inval_only] replica stores (PSR) *)
+  | Extra_latency of { component : component; cycles : int }
+  | Corrupt_hint
+      (** downgrade a store's [Par_access] hint to [No_access], leaving
+          stale L0 copies behind *)
+
+type fault = { kind : kind; prob : float }
+type plan = { seed : int; faults : fault list }
+
+val is_coherence_breaking : kind -> bool
+
+val is_timing_only : kind -> bool
+(** Complement of {!is_coherence_breaking}. *)
+
+val validate : plan -> (unit, string) result
+(** Checks every probability is in [0, 1] and latency cycles are
+    non-negative. *)
+
+val fault_to_string : fault -> string
+
+val fault_of_string : string -> (fault, string) result
+(** Specs are colon-separated, lowercase, with a trailing optional
+    probability (default 1): ["drop-prefetch"], ["corrupt-subblock:0.5"],
+    ["extra-latency:bus:50:0.25"]. Inverse of {!fault_to_string}. *)
+
+val plan_of_strings : seed:int -> string list -> (plan, string) result
+
+val instrument : plan -> Flexl0_mem.Hierarchy.t -> Flexl0_mem.Hierarchy.t
+(** Wrap a hierarchy. The decorated hierarchy shares the inner counter
+    set and additionally bumps [fault_*] counters
+    ([fault_dropped_prefetches], [fault_spurious_evicts],
+    [fault_corrupted_subblocks], [fault_skipped_invalidates],
+    [fault_skipped_replicas], [fault_corrupted_hints],
+    [fault_extra_latency_cycles]) each time a fault fires. *)

@@ -17,7 +17,8 @@ let split t =
   { state = seed }
 
 let int t bound =
-  assert (bound > 0);
+  if bound <= 0 then
+    invalid_arg (Printf.sprintf "Rng.int: bound must be positive, got %d" bound);
   let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   raw mod bound
 
@@ -28,12 +29,15 @@ let float t bound =
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let pick t arr =
-  assert (Array.length arr > 0);
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))
 
 let weighted_pick t choices =
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
-  assert (total > 0.0);
+  if not (total > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Rng.weighted_pick: total weight must be positive, got %g"
+         total);
   let target = float t total in
   let rec go acc = function
     | [] -> invalid_arg "Rng.weighted_pick: empty choice list"

@@ -1,0 +1,427 @@
+(* Tests for the fault-injection layer and the typed error channel.
+
+   The contract under test has two directions: every coherence-breaking
+   fault must be *detected* by the differential checker (mismatches > 0
+   on a schedule that is clean without the fault), and every timing-only
+   fault must never change a loaded value, only the clock. On top of
+   that, injection must be deterministic in the plan seed, runaway
+   simulations must hit the watchdog instead of hanging, and every
+   failure mode must surface through [Errors.t]. *)
+
+open Flexl0_ir
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Exec = Flexl0_sim.Exec
+module Fault = Flexl0_sim.Fault
+module Kernels = Flexl0_workloads.Kernels
+module Mediabench = Flexl0_workloads.Mediabench
+module Unified = Flexl0_mem.Unified
+module Hint = Flexl0_mem.Hint
+module Pipeline = Flexl0.Pipeline
+module Errors = Flexl0.Errors
+module Experiments = Flexl0.Experiments
+
+let cfg = Config.default
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let l0_scheme = Scheme.L0 { selective = true }
+
+let plan1 ?(seed = 1) kind =
+  { Fault.seed; faults = [ { Fault.kind; prob = 1.0 } ] }
+
+let run ?invocations ?faults ?max_cycles sch =
+  Exec.run cfg sch
+    ~hierarchy:(fun ~backing -> Unified.create cfg ~backing)
+    ?invocations ?faults ?max_cycles ()
+
+let counter (r : Exec.result) name =
+  Option.value ~default:0 (List.assoc_opt name r.Exec.counters)
+
+let vadd () = Kernels.vector_add ~name:"vadd" ~trip:64 ~len:256 Opcode.W2
+let col () = Kernels.column_walk ~name:"col" ~trip:64 ~len:1024 ~row:16 Opcode.W2
+let iir () = Kernels.iir_inplace ~name:"iir" ~trip:64 ~len:64
+
+(* A kernel built so PSR replicas carry real weight: chain 1 stores a[]
+   from x[], chain 2 re-reads a[] at two lags and stores y[]. The chains
+   share no registers, so the scheduler spreads them over clusters and
+   the a-readers sit away from the a-store — exactly the situation where
+   the store's Inval_only replicas are the only thing keeping the
+   readers' L0 entries honest. *)
+let feedback () =
+  let b = Builder.create ~name:"feedback" ~trip_count:64 () in
+  let a = Builder.array b ~name:"a" ~elem_bytes:4 ~length:72 in
+  let xs = Builder.array b ~name:"x" ~elem_bytes:4 ~length:64 in
+  let ys = Builder.array b ~name:"y" ~elem_bytes:4 ~length:64 in
+  let c = Builder.imove b in
+  let x = Builder.load b ~arr:xs ~stride:(Memref.Const 1) Opcode.W4 in
+  let t1 = Builder.imul b x c in
+  let _ = Builder.store b ~arr:a ~offset:1 ~stride:(Memref.Const 1) Opcode.W4 t1 in
+  let lead = Builder.load b ~arr:a ~offset:4 ~stride:(Memref.Const 1) Opcode.W4 in
+  let trail = Builder.load b ~arr:a ~offset:0 ~stride:(Memref.Const 1) Opcode.W4 in
+  let s = Builder.iadd b lead trail in
+  let s2 = Builder.iadd b s c in
+  let _ = Builder.store b ~arr:ys ~stride:(Memref.Const 1) Opcode.W4 s2 in
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Specs, validation, classification *)
+
+let fault_gen =
+  let open QCheck.Gen in
+  (* k/64 probabilities survive the %.12g round-trip exactly. *)
+  let prob = map (fun k -> float_of_int k /. 64.) (int_range 0 64) in
+  let kind =
+    oneof
+      [
+        return Fault.Drop_prefetch;
+        return Fault.Spurious_l0_evict;
+        return Fault.Corrupt_subblock;
+        return Fault.Skip_invalidate;
+        return Fault.Skip_psr_replica;
+        return Fault.Corrupt_hint;
+        map2
+          (fun component cycles -> Fault.Extra_latency { component; cycles })
+          (oneofl [ Fault.L0; Fault.L1; Fault.Bus ])
+          (int_range 0 500);
+      ]
+  in
+  map2 (fun kind prob -> { Fault.kind; prob }) kind prob
+
+let test_spec_roundtrip =
+  QCheck.Test.make ~name:"fault spec round-trips through its string form"
+    ~count:300 (QCheck.make fault_gen) (fun f ->
+      match Fault.fault_of_string (Fault.fault_to_string f) with
+      | Ok f' -> f' = f
+      | Error e -> QCheck.Test.fail_report e)
+
+let test_spec_rejects_garbage () =
+  let bad s = check s true (Result.is_error (Fault.fault_of_string s)) in
+  bad "";
+  bad "melt-the-bus";
+  bad "extra-latency";
+  bad "extra-latency:dram:5";
+  bad "extra-latency:bus:many";
+  bad "corrupt-subblock:0.5:oops"
+
+let test_validate () =
+  let ok faults = { Fault.seed = 3; faults } in
+  check "good plan accepted" true
+    (Result.is_ok
+       (Fault.validate
+          (ok
+             [
+               { Fault.kind = Fault.Corrupt_subblock; prob = 0.5 };
+               { Fault.kind = Fault.Extra_latency { component = Fault.Bus; cycles = 9 };
+                 prob = 1.0 };
+             ])));
+  check "probability above 1 rejected" true
+    (Result.is_error
+       (Fault.validate (ok [ { Fault.kind = Fault.Drop_prefetch; prob = 1.5 } ])));
+  check "negative probability rejected" true
+    (Result.is_error
+       (Fault.validate (ok [ { Fault.kind = Fault.Drop_prefetch; prob = -0.1 } ])));
+  check "negative latency rejected" true
+    (Result.is_error
+       (Fault.validate
+          (ok
+             [
+               { Fault.kind = Fault.Extra_latency { component = Fault.L0; cycles = -1 };
+                 prob = 0.5 };
+             ])))
+
+let test_plan_of_strings () =
+  (match Fault.plan_of_strings ~seed:7 [ "drop-prefetch"; "extra-latency:l1:4:0.25" ] with
+  | Ok p ->
+    check_int "seed kept" 7 p.Fault.seed;
+    check_int "two faults" 2 (List.length p.Fault.faults)
+  | Error e -> Alcotest.failf "plan_of_strings: %s" e);
+  check "bad spec propagates" true
+    (Result.is_error (Fault.plan_of_strings ~seed:1 [ "drop-prefetch"; "nope" ]))
+
+let test_classification () =
+  let breaking =
+    [ Fault.Corrupt_subblock; Fault.Skip_invalidate; Fault.Skip_psr_replica;
+      Fault.Corrupt_hint ]
+  and timing =
+    [ Fault.Drop_prefetch; Fault.Spurious_l0_evict;
+      Fault.Extra_latency { component = Fault.Bus; cycles = 5 } ]
+  in
+  List.iter
+    (fun k ->
+      check "breaking" true (Fault.is_coherence_breaking k);
+      check "not timing" false (Fault.is_timing_only k))
+    breaking;
+  List.iter
+    (fun k ->
+      check "timing" true (Fault.is_timing_only k);
+      check "not breaking" false (Fault.is_coherence_breaking k))
+    timing
+
+(* ------------------------------------------------------------------ *)
+(* Direction 1: coherence-breaking faults are detected. *)
+
+(* Each scenario pairs a fault with a schedule on which the fault's
+   broken invariant actually protects live data; the run must be clean
+   without the fault and dirty with it, across seeds. *)
+let detection_scenarios () =
+  [
+    ("corrupt-subblock/vadd", Fault.Corrupt_subblock,
+     Engine.schedule cfg l0_scheme (vadd ()), 1, "fault_corrupted_subblocks");
+    ("skip-invalidate/col", Fault.Skip_invalidate,
+     Engine.schedule cfg l0_scheme (col ()), 3, "fault_skipped_invalidates");
+    ("skip-psr-replica/feedback", Fault.Skip_psr_replica,
+     Engine.schedule cfg l0_scheme ~coherence:Engine.Force_psr (feedback ()),
+     1, "fault_skipped_replicas");
+    ("corrupt-hint/iir", Fault.Corrupt_hint,
+     Engine.schedule cfg l0_scheme ~coherence:Engine.Force_1c (iir ()), 1,
+     "fault_corrupted_hints");
+  ]
+
+let test_coherence_faults_detected =
+  let scenarios = lazy (detection_scenarios ()) in
+  QCheck.Test.make ~name:"coherence-breaking faults are always detected"
+    ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      List.for_all
+        (fun (label, kind, sch, invocations, ctr) ->
+          let clean = run ~invocations sch in
+          if clean.Exec.value_mismatches <> 0 then
+            QCheck.Test.fail_reportf "%s: dirty without fault" label;
+          let faulty = run ~invocations ~faults:(plan1 ~seed kind) sch in
+          if counter faulty ctr = 0 then
+            QCheck.Test.fail_reportf "%s: fault never fired" label;
+          if faulty.Exec.value_mismatches = 0 then
+            QCheck.Test.fail_reportf "%s: fault went undetected" label;
+          true)
+        (Lazy.force scenarios))
+
+let test_psr_replicas_present () =
+  (* Guard the scenario itself: the feedback kernel really does force
+     PSR replicas, so skip-psr-replica has something to skip. *)
+  let sch = Engine.schedule cfg l0_scheme ~coherence:Engine.Force_psr (feedback ()) in
+  check "replicas inserted" true (sch.Schedule.replicas <> [])
+
+(* The original regression: a compiler that mismanages hints — here,
+   stores stripped of the Par_access directive after scheduling — must
+   be caught by verify mode, not silently produce wrong timing. *)
+let test_hint_mismanagement_caught () =
+  let sch = Engine.schedule cfg l0_scheme (iir ()) in
+  let strip (p : Schedule.placement) =
+    if p.Schedule.hints.Hint.access = Hint.Par_access then
+      { p with Schedule.hints = { p.Schedule.hints with Hint.access = Hint.No_access } }
+    else p
+  in
+  let placements =
+    Array.mapi
+      (fun i p ->
+        if Instr.is_store (Ddg.instr sch.Schedule.ddg i) then strip p else p)
+      sch.Schedule.placements
+  in
+  let bad = { sch with Schedule.placements } in
+  check_int "honest schedule is clean" 0 (run sch).Exec.value_mismatches;
+  check "stripped store hints are caught" true
+    ((run bad).Exec.value_mismatches > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Direction 2: timing-only faults never change a value. *)
+
+let timing_plans =
+  [
+    ("drop-prefetch", plan1 Fault.Drop_prefetch);
+    ("spurious-evict", plan1 Fault.Spurious_l0_evict);
+    ("latency-l0", plan1 (Fault.Extra_latency { component = Fault.L0; cycles = 3 }));
+    ("latency-l1", plan1 (Fault.Extra_latency { component = Fault.L1; cycles = 7 }));
+    ("latency-bus", plan1 (Fault.Extra_latency { component = Fault.Bus; cycles = 2 }));
+  ]
+
+let test_timing_faults_value_safe =
+  let sch = lazy (Engine.schedule cfg l0_scheme (col ())) in
+  QCheck.Test.make ~name:"timing-only faults never corrupt a value" ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 0 4))
+    (fun (seed, which) ->
+      let name, plan = List.nth timing_plans which in
+      let plan = { plan with Fault.seed = seed } in
+      let r = run ~invocations:2 ~faults:plan (Lazy.force sch) in
+      if r.Exec.value_mismatches <> 0 then
+        QCheck.Test.fail_reportf "%s: %d mismatches" name r.Exec.value_mismatches;
+      true)
+
+let test_timing_faults_fire_and_slow () =
+  (* Value-safety above would hold vacuously if the faults never fired;
+     check the counters and the clock actually move. *)
+  let sch = Engine.schedule cfg l0_scheme (col ()) in
+  check "kernel has prefetches to drop" true (sch.Schedule.prefetches <> []);
+  let base = run ~invocations:2 sch in
+  let dropped = run ~invocations:2 ~faults:(plan1 Fault.Drop_prefetch) sch in
+  check "prefetches dropped" true (counter dropped "fault_dropped_prefetches" > 0);
+  let evicted = run ~invocations:2 ~faults:(plan1 Fault.Spurious_l0_evict) sch in
+  check "evictions fired" true (counter evicted "fault_spurious_evicts" > 0);
+  let slow =
+    run ~invocations:2
+      ~faults:(plan1 (Fault.Extra_latency { component = Fault.Bus; cycles = 5 }))
+      sch
+  in
+  check "latency accounted" true (counter slow "fault_extra_latency_cycles" > 0);
+  check "machine stalls more" true (slow.Exec.stall_cycles > base.Exec.stall_cycles);
+  check_int "compute untouched" base.Exec.compute_cycles slow.Exec.compute_cycles
+
+let test_same_seed_same_run () =
+  (* Injection is a pure function of the plan: two runs under the same
+     seed agree on every observable, including the fault counters. *)
+  let sch = Engine.schedule cfg l0_scheme (col ()) in
+  let plan =
+    { Fault.seed = 42;
+      faults =
+        [
+          { Fault.kind = Fault.Corrupt_subblock; prob = 0.3 };
+          { Fault.kind = Fault.Drop_prefetch; prob = 0.5 };
+          { Fault.kind = Fault.Extra_latency { component = Fault.Bus; cycles = 4 };
+            prob = 0.2 };
+        ] }
+  in
+  let r1 = run ~invocations:2 ~faults:plan sch in
+  let r2 = run ~invocations:2 ~faults:plan sch in
+  check_int "same totals" r1.Exec.total_cycles r2.Exec.total_cycles;
+  check_int "same stalls" r1.Exec.stall_cycles r2.Exec.stall_cycles;
+  check_int "same mismatches" r1.Exec.value_mismatches r2.Exec.value_mismatches;
+  check "same counters" true (r1.Exec.counters = r2.Exec.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog *)
+
+let test_watchdog_on_tiny_budget () =
+  let sch = Engine.schedule cfg l0_scheme (vadd ()) in
+  match
+    Exec.run_result cfg sch
+      ~hierarchy:(fun ~backing -> Unified.create cfg ~backing)
+      ~max_cycles:5 ()
+  with
+  | Error wd ->
+    check_int "limit echoed" 5 wd.Exec.wd_limit;
+    check "elapsed past limit" true (wd.Exec.wd_elapsed > 5);
+    check "message names the loop" true
+      (let m = Exec.watchdog_message wd in
+       String.length m > 0 && wd.Exec.wd_loop = "vadd")
+  | Ok _ -> Alcotest.fail "5-cycle budget should trip the watchdog"
+
+let test_watchdog_reachable_by_latency_fault () =
+  (* A pathological latency fault blows past even the *default* budget:
+     the simulation terminates with a typed error instead of hanging. *)
+  let sch = Engine.schedule cfg l0_scheme (vadd ()) in
+  match
+    Exec.run_result cfg sch
+      ~hierarchy:(fun ~backing -> Unified.create cfg ~backing)
+      ~faults:(plan1 (Fault.Extra_latency { component = Fault.Bus; cycles = 200_000 }))
+      ()
+  with
+  | Error wd -> check "elapsed past limit" true (wd.Exec.wd_elapsed > wd.Exec.wd_limit)
+  | Ok _ -> Alcotest.fail "200k-cycle accesses should trip the default watchdog"
+
+(* ------------------------------------------------------------------ *)
+(* Typed error channel *)
+
+let test_run_loop_result_ok () =
+  match Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:1 (vadd ()) with
+  | Ok lr -> check_int "clean" 0 lr.Pipeline.sim.Exec.value_mismatches
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+
+let test_run_loop_result_coherence_violation () =
+  match
+    Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:1
+      ~faults:(plan1 Fault.Corrupt_subblock) (vadd ())
+  with
+  | Error (Errors.Coherence_violation { mismatches; loop; _ }) ->
+    check "mismatch count carried" true (mismatches > 0);
+    Alcotest.(check string) "loop named" "vadd" loop
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "corrupt-subblock must be detected"
+
+let test_run_loop_result_infeasible () =
+  match
+    Pipeline.run_loop_result (Pipeline.l0_system ~max_ii:1 ()) ~repeat:1 (iir ())
+  with
+  | Error (Errors.Schedule_infeasible inf) ->
+    check_int "ceiling carried" 1 inf.Engine.inf_max_ii
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "II=1 cannot fit a recurrence"
+
+let test_run_loop_result_watchdog () =
+  match
+    Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:1 ~max_cycles:5
+      (vadd ())
+  with
+  | Error (Errors.Watchdog_timeout _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "expected watchdog"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_errors_to_string () =
+  check "infeasible" true
+    (contains ~needle:"infeasible"
+       (Errors.to_string
+          (Errors.Schedule_infeasible
+             { Engine.inf_loop = "l"; inf_mii = 3; inf_max_ii = 2 })));
+  check "watchdog" true
+    (contains ~needle:"watchdog"
+       (Errors.to_string
+          (Errors.Watchdog_timeout
+             { Exec.wd_loop = "l"; wd_elapsed = 10; wd_limit = 5 })));
+  check "config" true
+    (contains ~needle:"invalid configuration"
+       (Errors.to_string (Errors.Config_invalid "bad knob")));
+  check "coherence" true
+    (contains ~needle:"3"
+       (Errors.to_string
+          (Errors.Coherence_violation { loop = "l"; system = "s"; mismatches = 3 })))
+
+let test_fig5_degrades_gracefully () =
+  (* An impossible II ceiling must not abort the figure: every benchmark
+     lands in [skipped] with a reason, and no exception escapes. *)
+  let fig =
+    Experiments.fig5 ~benchmarks:[ Mediabench.find "g721dec" ] ~max_ii:1 ()
+  in
+  check "rows dropped" true (fig.Experiments.rows = []);
+  check "skip recorded" true (fig.Experiments.skipped <> []);
+  List.iter
+    (fun (bench, reason) ->
+      Alcotest.(check string) "bench named" "g721dec" bench;
+      check "reason is the typed error" true (contains ~needle:"infeasible" reason))
+    fig.Experiments.skipped
+
+let suite =
+  ( "faults",
+    [
+      QCheck_alcotest.to_alcotest ~long:false test_spec_roundtrip;
+      Alcotest.test_case "spec rejects garbage" `Quick test_spec_rejects_garbage;
+      Alcotest.test_case "plan validation" `Quick test_validate;
+      Alcotest.test_case "plan of strings" `Quick test_plan_of_strings;
+      Alcotest.test_case "fault classification" `Quick test_classification;
+      QCheck_alcotest.to_alcotest ~long:false test_coherence_faults_detected;
+      Alcotest.test_case "feedback kernel forces replicas" `Quick
+        test_psr_replicas_present;
+      Alcotest.test_case "hint mismanagement caught" `Quick
+        test_hint_mismanagement_caught;
+      QCheck_alcotest.to_alcotest ~long:false test_timing_faults_value_safe;
+      Alcotest.test_case "timing faults fire and slow" `Quick
+        test_timing_faults_fire_and_slow;
+      Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+      Alcotest.test_case "watchdog on tiny budget" `Quick
+        test_watchdog_on_tiny_budget;
+      Alcotest.test_case "watchdog reachable by latency fault" `Quick
+        test_watchdog_reachable_by_latency_fault;
+      Alcotest.test_case "run_loop_result ok" `Quick test_run_loop_result_ok;
+      Alcotest.test_case "run_loop_result coherence violation" `Quick
+        test_run_loop_result_coherence_violation;
+      Alcotest.test_case "run_loop_result infeasible" `Quick
+        test_run_loop_result_infeasible;
+      Alcotest.test_case "run_loop_result watchdog" `Quick
+        test_run_loop_result_watchdog;
+      Alcotest.test_case "errors to_string" `Quick test_errors_to_string;
+      Alcotest.test_case "fig5 degrades gracefully" `Slow
+        test_fig5_degrades_gracefully;
+    ] )

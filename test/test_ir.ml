@@ -87,6 +87,24 @@ let test_scale () =
   let u = Memref.scale ~factor:4 ~copy:2 (mref Memref.Unknown) in
   check "unknown unchanged" true (u.Memref.stride = Memref.Unknown)
 
+let rejects f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_construction_guards () =
+  check "odd elem_bytes rejected" true
+    (rejects (fun () ->
+         Memref.make ~array_id:0 ~offset:0 ~elem_bytes:3 ~stride:(Memref.Const 1)));
+  check "scale factor 0 rejected" true
+    (rejects (fun () -> Memref.scale ~factor:0 ~copy:0 (mref (Memref.Const 1))));
+  check "scale copy out of range rejected" true
+    (rejects (fun () -> Memref.scale ~factor:2 ~copy:2 (mref (Memref.Const 1))));
+  check "load without memref rejected" true
+    (rejects (fun () ->
+         Instr.make ~id:0 ~opcode:(Opcode.Load Opcode.W4) ~dst:0 ()))
+
 (* ------------------------------------------------------------------ *)
 (* Builder + Loop *)
 
@@ -369,6 +387,7 @@ let suite =
       Alcotest.test_case "byte stride" `Quick test_byte_stride;
       Alcotest.test_case "overlap rules" `Quick test_overlap_rules;
       Alcotest.test_case "memref scale" `Quick test_scale;
+      Alcotest.test_case "construction guards" `Quick test_construction_guards;
       Alcotest.test_case "builder basic" `Quick test_builder_basic;
       Alcotest.test_case "builder dense ids" `Quick test_builder_ids_dense;
       Alcotest.test_case "layout aligned/disjoint" `Quick test_layout_aligned_disjoint;

@@ -60,11 +60,51 @@ let test_csv_escaping () =
             points = [ { Experiments.point = "a,b"; total = 1.0; stall = 0.0 } ] } ];
       amean = [];
       total_mismatches = 0;
+      skipped = [];
     }
   in
   let csv = Csv_export.figure fig in
   check "comma field quoted" true (contains ~needle:"\"a,b\"" csv);
   check "quote doubled" true (contains ~needle:"\"we\"\"ird\"" csv)
+
+let test_csv_parse_roundtrip () =
+  (* RFC 4180: commas, quotes and embedded newlines survive a
+     record/parse round trip. *)
+  let rows =
+    [
+      [ "plain"; "a,b"; "she said \"hi\"" ];
+      [ "multi\nline"; ""; ",\",\n" ];
+      [ "trailing" ];
+    ]
+  in
+  let text = String.concat "" (List.map Csv_export.record rows) in
+  Alcotest.(check (list (list string))) "roundtrip" rows (Csv_export.parse text)
+
+let test_csv_parse_crlf_and_errors () =
+  Alcotest.(check (list (list string)))
+    "CRLF records"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv_export.parse "a,b\r\nc,d\r\n");
+  check "unterminated quote rejected" true
+    (try
+       ignore (Csv_export.parse "\"oops");
+       false
+     with Invalid_argument _ -> true)
+
+let csv_roundtrip_prop =
+  (* Any printable field set round-trips; quoting is the parser's
+     problem, not the caller's. *)
+  let field =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'z'; ','; '"'; '\n'; ' '; '7' ])
+        (int_range 0 12))
+  in
+  QCheck.Test.make ~name:"csv record/parse round-trips" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 5) (list_size (int_range 1 6) field)))
+    (fun rows ->
+      let text = String.concat "" (List.map Csv_export.record rows) in
+      Csv_export.parse text = rows)
 
 let test_csv_sweep_and_coherence () =
   let sweep =
@@ -118,6 +158,10 @@ let suite =
       Alcotest.test_case "csv floats parse" `Slow test_csv_fields_parse_as_floats;
       Alcotest.test_case "csv table1" `Quick test_csv_table1;
       Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv parse roundtrip" `Quick test_csv_parse_roundtrip;
+      Alcotest.test_case "csv parse CRLF + errors" `Quick
+        test_csv_parse_crlf_and_errors;
+      QCheck_alcotest.to_alcotest ~long:false csv_roundtrip_prop;
       Alcotest.test_case "csv sweep/coherence" `Quick test_csv_sweep_and_coherence;
       Alcotest.test_case "csv save roundtrip" `Quick test_csv_save_roundtrip;
       Alcotest.test_case "kernel listing" `Quick test_kernel_listing;

@@ -32,6 +32,22 @@ let test_rng_float_bounds () =
     check "float in range" true (v >= 0.0 && v < 2.5)
   done
 
+let rejects f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_rng_guards () =
+  let r = Rng.create 5 in
+  check "zero bound rejected" true (rejects (fun () -> Rng.int r 0));
+  check "negative bound rejected" true (rejects (fun () -> Rng.int r (-3)));
+  check "empty pick rejected" true (rejects (fun () -> Rng.pick r [||]));
+  check "zero total weight rejected" true
+    (rejects (fun () -> Rng.weighted_pick r [ (0.0, `A); (0.0, `B) ]));
+  check "empty weighted pick rejected" true
+    (rejects (fun () -> Rng.weighted_pick r []))
+
 let test_rng_split_independent () =
   let parent = Rng.create 11 in
   let child = Rng.split parent in
@@ -136,6 +152,7 @@ let suite =
       Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
       Alcotest.test_case "rng int bounds" `Quick test_rng_bounds;
       Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+      Alcotest.test_case "rng guards" `Quick test_rng_guards;
       Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
       Alcotest.test_case "rng pick" `Quick test_rng_pick;
       Alcotest.test_case "rng weighted pick" `Quick test_rng_weighted_pick_biased;
