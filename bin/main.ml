@@ -9,6 +9,8 @@ module Report = Flexl0.Report
 module Engine = Flexl0_sched.Engine
 module Exec = Flexl0_sim.Exec
 module Fault = Flexl0_sim.Fault
+module Fuzz = Flexl0_workloads.Fuzz
+module Sanitizer = Flexl0_mem.Sanitizer
 
 (* Every CLI failure funnels through here: one line on stderr, prefixed
    with the subcommand, exit code 2. *)
@@ -293,6 +295,149 @@ let faults_cmd =
              differential verifier catches the coherence-breaking ones")
     Term.(const run $ benchmarks_arg $ specs $ seed $ invocations $ coherence)
 
+let fuzz_cmd =
+  let cmd = "fuzz" in
+  let run seed cases specs fault_seed mode max_seconds repro_out =
+    protect ~cmd (fun () ->
+        let sanitizer =
+          match Sanitizer.mode_of_string mode with
+          | Some m -> m
+          | None -> die ~cmd "unknown sanitizer mode %S (want off|log|strict)" mode
+        in
+        let faults =
+          match specs with
+          | [] -> None
+          | specs -> (
+            match Fault.plan_of_strings ~seed:fault_seed specs with
+            | Ok p -> Some p
+            | Error msg -> die ~cmd "%s" msg)
+        in
+        let breaking =
+          match faults with
+          | Some p ->
+            List.exists
+              (fun (f : Fault.fault) -> Fault.is_coherence_breaking f.Fault.kind)
+              p.Fault.faults
+          | None -> false
+        in
+        let systems = Fuzz.default_systems () in
+        Printf.printf
+          "fuzz: seed %d, %d cases x %d scheme/hierarchy combinations, \
+           sanitizer %s\n"
+          seed cases (List.length systems)
+          (Sanitizer.mode_to_string sanitizer);
+        (match faults with
+        | Some p ->
+          Printf.printf "fault plan (%s, per-case seeds from --seed): %s\n"
+            (if breaking then "coherence-breaking: failures are the \
+                               expected outcome"
+             else "timing-only: values must stay intact")
+            (String.concat ", "
+               (List.map Fault.fault_to_string p.Fault.faults))
+        | None -> ());
+        let start = Sys.time () in
+        let keep_going () =
+          match max_seconds with
+          | None -> true
+          | Some s -> Sys.time () -. start < s
+        in
+        let report =
+          Fuzz.run ?faults ~sanitizer ~keep_going ~seed ~cases ()
+        in
+        Printf.printf
+          "%d cases, %d runs: %d passed, %d skipped (infeasible), %d \
+           failure%s%s\n"
+          report.Fuzz.r_cases report.Fuzz.r_runs report.Fuzz.r_passes
+          report.Fuzz.r_skips
+          (List.length report.Fuzz.r_failures)
+          (if List.length report.Fuzz.r_failures = 1 then "" else "s")
+          (if report.Fuzz.r_early_stop then " (stopped early)" else "");
+        match report.Fuzz.r_failures with
+        | [] ->
+          if breaking then
+            die ~cmd
+              "coherence-breaking plan went undetected across %d runs — the \
+               sanitizer and verifier both missed it"
+              report.Fuzz.r_runs
+          else Printf.printf "all oracles agree: no failures\n"
+        | f :: _ ->
+          Printf.printf "\nfirst failure: case %d on %s: %s\n" f.Fuzz.f_case
+            f.Fuzz.f_system
+            (Fuzz.describe_kind f.Fuzz.f_kind);
+          let shrunk = Fuzz.shrink ~sanitizer f in
+          let instrs = Fuzz.instruction_count shrunk in
+          let comment =
+            Printf.sprintf "shrunk fuzz reproducer: %s on %s (seed %d, case %d)%s"
+              (Fuzz.kind_label f.Fuzz.f_kind)
+              f.Fuzz.f_system seed f.Fuzz.f_case
+              (match f.Fuzz.f_faults with
+              | Some p ->
+                Printf.sprintf ", faults [%s] seed %d"
+                  (String.concat ", "
+                     (List.map Fault.fault_to_string p.Fault.faults))
+                  p.Fault.seed
+              | None -> "")
+          in
+          let source = Fuzz.to_builder_source ~comment shrunk in
+          Printf.printf "\nshrunk reproducer (%d instruction%s):\n\n%s" instrs
+            (if instrs = 1 then "" else "s")
+            source;
+          (match repro_out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc source;
+            close_out oc;
+            Printf.printf "\nreproducer written to %s\n" path
+          | None -> ());
+          if breaking then
+            Printf.printf
+              "\ncoherence-breaking plan detected and shrunk, as it should be\n"
+          else
+            die ~cmd "%d differential failure%s — reproducer above"
+              (List.length report.Fuzz.r_failures)
+              (if List.length report.Fuzz.r_failures = 1 then "" else "s"))
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Master seed; every case derives its kernel and fault-plan \
+                 seeds from independent substreams of it.")
+  in
+  let cases =
+    Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N"
+           ~doc:"Number of random kernels to generate.")
+  in
+  let specs =
+    Arg.(value & opt_all string [] & info [ "f"; "fault" ] ~docv:"SPEC"
+           ~doc:"Fault to inject in every case (repeatable, same specs as \
+                 the faults subcommand). With a coherence-breaking fault \
+                 the run must find failures; finding none is the error.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"Base seed of the fault plan template (per-case seeds are \
+                 derived from --seed).")
+  in
+  let mode =
+    Arg.(value & opt string "strict" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Sanitizer mode: off, log or strict.")
+  in
+  let max_seconds =
+    Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S"
+           ~doc:"Stop starting new cases after S seconds of CPU time \
+                 (time-boxed CI runs).")
+  in
+  let repro_out =
+    Arg.(value & opt (some string) None & info [ "repro-out" ] ~docv:"FILE"
+           ~doc:"Also write the shrunk reproducer to FILE.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Differential fuzzing: random kernels over every scheme and \
+             hierarchy under the invariant sanitizer, with automatic \
+             shrinking of any failure")
+    Term.(const run $ seed $ cases $ specs $ fault_seed $ mode $ max_seconds
+          $ repro_out)
+
 let export_cmd =
   let cmd = "export" in
   let run dir names =
@@ -390,5 +535,5 @@ let () =
           [
             fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd; table2_cmd; extras_cmd;
             sensitivity_cmd; ablation_cmd; export_cmd; all_cmd; schedule_cmd;
-            trace_cmd; faults_cmd;
+            trace_cmd; faults_cmd; fuzz_cmd;
           ]))

@@ -6,6 +6,7 @@ type t =
   | Watchdog_timeout of Exec.watchdog
   | Config_invalid of string
   | Coherence_violation of { loop : string; system : string; mismatches : int }
+  | Sanitizer_violation of Flexl0_mem.Sanitizer.violation
 
 let of_infeasible inf = Schedule_infeasible inf
 let of_watchdog wd = Watchdog_timeout wd
@@ -19,3 +20,5 @@ let to_string = function
       mismatches
       (if mismatches = 1 then "" else "s")
       loop system
+  | Sanitizer_violation v ->
+    "sanitizer violation: " ^ Flexl0_mem.Sanitizer.violation_message v

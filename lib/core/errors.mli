@@ -15,6 +15,10 @@ type t =
   | Coherence_violation of { loop : string; system : string; mismatches : int }
       (** the differential checker saw wrong values — either a compiler
           bug or an injected coherence-breaking fault doing its job *)
+  | Sanitizer_violation of Flexl0_mem.Sanitizer.violation
+      (** a [Strict]-mode sanitizer caught a broken hierarchy invariant
+          at the offending access — strictly earlier than the end-of-run
+          value verifier could have *)
 
 val of_infeasible : Flexl0_sched.Engine.infeasible -> t
 val of_watchdog : Flexl0_sim.Exec.watchdog -> t

@@ -111,19 +111,19 @@ type bench_run = {
 }
 
 let run_schedule system ?(verify = true) ?(invocations = 1) ?max_cycles ?faults
-    sch =
+    ?sanitizer sch =
   Exec.run system.config sch
     ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
-    ~invocations ~verify ?max_cycles ?faults ()
+    ~invocations ~verify ?max_cycles ?faults ?sanitizer ()
 
 let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ?max_cycles
-    ?faults ~repeat loop =
+    ?faults ?sanitizer ~repeat loop =
   let sch = compile system loop in
   let invocations = max 1 (min repeat max_sim_invocations) in
   let sim =
     Exec.run system.config sch
       ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
-      ~invocations ~verify ?max_cycles ?faults ()
+      ~invocations ~verify ?max_cycles ?faults ?sanitizer ()
   in
   let scale = float_of_int repeat /. float_of_int invocations in
   {
@@ -136,10 +136,10 @@ let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ?max_cycles
   }
 
 let run_loop_result system ?(verify = true) ?max_sim_invocations ?max_cycles
-    ?faults ~repeat loop =
+    ?faults ?sanitizer ~repeat loop =
   match
-    run_loop system ~verify ?max_sim_invocations ?max_cycles ?faults ~repeat
-      loop
+    run_loop system ~verify ?max_sim_invocations ?max_cycles ?faults ?sanitizer
+      ~repeat loop
   with
   | lr ->
     if verify && lr.sim.Exec.value_mismatches > 0 then
@@ -150,6 +150,8 @@ let run_loop_result system ?(verify = true) ?max_sim_invocations ?max_cycles
     else Ok lr
   | exception Engine.Infeasible inf -> Error (Errors.of_infeasible inf)
   | exception Exec.Watchdog_timeout wd -> Error (Errors.of_watchdog wd)
+  | exception Flexl0_mem.Sanitizer.Violation v ->
+    Error (Errors.Sanitizer_violation v)
   | exception Invalid_argument msg -> Error (Errors.Config_invalid msg)
 
 let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =

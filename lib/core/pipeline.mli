@@ -72,25 +72,29 @@ type bench_run = {
 
 val run_schedule :
   system -> ?verify:bool -> ?invocations:int -> ?max_cycles:int ->
-  ?faults:Flexl0_sim.Fault.plan -> Schedule.t -> Flexl0_sim.Exec.result
+  ?faults:Flexl0_sim.Fault.plan -> ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  Schedule.t -> Flexl0_sim.Exec.result
 (** Execute one specific schedule (no recompilation) on the system's
-    hierarchy, optionally under fault injection. *)
+    hierarchy, optionally under fault injection and/or the invariant
+    sanitizer. *)
 
 val run_loop :
   system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
-  ?faults:Flexl0_sim.Fault.plan -> repeat:int -> Loop.t -> loop_run
+  ?faults:Flexl0_sim.Fault.plan -> ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  repeat:int -> Loop.t -> loop_run
 (** Compiles with {!compile} and simulates [min repeat
     max_sim_invocations] back-to-back invocations, scaling cycle counts
     to [repeat] (default cap 4). *)
 
 val run_loop_result :
   system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
-  ?faults:Flexl0_sim.Fault.plan -> repeat:int -> Loop.t ->
-  (loop_run, Errors.t) result
+  ?faults:Flexl0_sim.Fault.plan -> ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  repeat:int -> Loop.t -> (loop_run, Errors.t) result
 (** {!run_loop} with every failure mode in the typed channel:
-    [Schedule_infeasible], [Watchdog_timeout], [Config_invalid], and —
-    when [verify] (the default) sees wrong values —
-    [Coherence_violation]. *)
+    [Schedule_infeasible], [Watchdog_timeout], [Config_invalid],
+    [Sanitizer_violation] (a [Strict] sanitizer aborted the run at the
+    offending access), and — when [verify] (the default) sees wrong
+    values — [Coherence_violation]. *)
 
 val run_benchmark :
   system -> ?verify:bool -> Mediabench.benchmark -> bench_run

@@ -11,6 +11,7 @@ type t = {
     hints:Hint.t -> outcome;
   prefetch : now:int -> cluster:int -> addr:int -> width:int -> unit;
   invalidate : cluster:int -> unit;
+  invariants : unit -> string list;
   counters : Flexl0_util.Stats.Counters.t;
   backing : Backing.t;
 }

@@ -30,6 +30,11 @@ type t = {
   invalidate : cluster:int -> unit;
       (** the [invalidate_buffer] instruction; no-op for hardware-coherent
           hierarchies *)
+  invariants : unit -> string list;
+      (** structural self-check: describe every internal invariant the
+          hierarchy currently violates (empty list = healthy). Cheap
+          enough to run after every access; {!Sanitizer} does exactly
+          that. Decorators must forward to the inner hierarchy. *)
   counters : Flexl0_util.Stats.Counters.t;
   backing : Backing.t;
 }

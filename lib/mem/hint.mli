@@ -44,4 +44,6 @@ val make : ?access:access -> ?mapping:mapping -> ?prefetch:prefetch -> unit -> t
 val uses_l0 : t -> bool
 (** True for [Seq_access] and [Par_access]. *)
 
+val access_to_string : access -> string
+
 val pp : Format.formatter -> t -> unit

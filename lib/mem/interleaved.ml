@@ -40,6 +40,27 @@ module Attraction = struct
     t.words <- (word, t.clock) :: kept
 
   let invalidate t word = t.words <- List.filter (fun (w, _) -> w <> word) t.words
+
+  (* Structural self-check for the sanitizer. [is_remote] decides whether
+     a cached word is legal in this buffer (attraction buffers only ever
+     cache remotely-homed words — local words go to the local bank). *)
+  let check ~label ~is_remote t =
+    let errs = ref [] in
+    let add fmt =
+      Printf.ksprintf (fun m -> errs := (label ^ ": " ^ m) :: !errs) fmt
+    in
+    let n = List.length t.words in
+    if n > t.capacity then add "%d words exceed capacity %d" n t.capacity;
+    let words = List.map fst t.words in
+    if List.length (List.sort_uniq compare words) <> n then
+      add "duplicate word entries";
+    List.iter
+      (fun (w, stamp) ->
+        if stamp > t.clock then
+          add "word %d has LRU stamp %d ahead of the clock %d" w stamp t.clock;
+        if not (is_remote w) then add "caches its own home word %d" w)
+      t.words;
+    List.rev !errs
 end
 
 (* Each bank caches only its own words. Bank-local addresses compress the
@@ -106,12 +127,24 @@ let create (cfg : Config.t) ~backing =
     { Hierarchy.ready_at = now + 1; value = 0L;
       served = (if home = cluster then Hierarchy.Local_bank else Hierarchy.Remote_bank) }
   in
+  let invariants () =
+    Array.to_list
+      (Array.mapi
+         (fun c ab ->
+           Attraction.check
+             ~label:(Printf.sprintf "cluster %d attraction buffer" c)
+             ~is_remote:(fun w -> home_of ~clusters:n (w * word_bytes) <> c)
+             ab)
+         abs)
+    |> List.concat
+  in
   {
     Hierarchy.name = "word-interleaved";
     load;
     store;
     prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
     invalidate = (fun ~cluster:_ -> ());
+    invariants;
     counters;
     backing;
   }

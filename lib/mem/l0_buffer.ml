@@ -36,6 +36,25 @@ let covers g mapping ~addr ~width =
 
 let mapping_covers t mapping ~addr ~width = covers t.geometry mapping ~addr ~width
 
+(* An entry holds a byte iff it lies in the subblock (Linear) or in the
+   lane's share of the block (Interleaved). An access *overlaps* an
+   entry when any of its bytes does. Stores and invalidations must use
+   this notion rather than [covers]: an access wider than an entry's
+   granularity covers no entry at all, yet every narrow copy it touches
+   would go stale if left in place. *)
+let holds_byte g mapping addr =
+  match mapping with
+  | Linear { base } -> addr >= base && addr < base + g.Addr.subblock_bytes
+  | Interleaved { block; gran; lane } ->
+    gran * g.Addr.clusters <= g.Addr.block_bytes
+    && gran <= g.Addr.subblock_bytes
+    && Addr.block_base g addr = block
+    && Addr.lane_of g ~gran addr = lane
+
+let overlaps g mapping ~addr ~width =
+  let rec any i = i < width && (holds_byte g mapping (addr + i) || any (i + 1)) in
+  any 0
+
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
@@ -103,21 +122,33 @@ let write_entry entry ~geometry ~addr ~width value =
     v := Int64.shift_right_logical !v 8
   done
 
+let find_overlapping t ~addr ~width =
+  List.filter (fun e -> overlaps t.geometry e.mapping ~addr ~width) t.entries
+
 let store_update t ~now:_ ~addr ~width ~value =
+  let overlapping = find_overlapping t ~addr ~width in
   match find_covering t ~addr ~width with
-  | [] -> false
-  | updated :: others ->
+  | updated :: _ ->
     write_entry updated ~geometry:t.geometry ~addr ~width value;
     updated.last_use <- tick t;
-    (* One write port: the other covering copies are invalidated rather
-       than updated (Section 4.1, intra-cluster coherence). *)
-    t.entries <- List.filter (fun e -> not (List.memq e others)) t.entries;
+    (* One write port: the other overlapping copies are invalidated
+       rather than updated (Section 4.1, intra-cluster coherence). *)
+    t.entries <-
+      List.filter
+        (fun e -> e == updated || not (List.memq e overlapping))
+        t.entries;
     true
+  | [] ->
+    (* No copy holds every byte. Partially-overlapped copies cannot be
+       patched through the one port; drop them so no stale byte
+       survives the write. *)
+    t.entries <- List.filter (fun e -> not (List.memq e overlapping)) t.entries;
+    false
 
 let invalidate_addr t ~addr ~width =
-  let covering = find_covering t ~addr ~width in
-  t.entries <- List.filter (fun e -> not (List.memq e covering)) t.entries;
-  List.length covering
+  let dropped = find_overlapping t ~addr ~width in
+  t.entries <- List.filter (fun e -> not (List.memq e dropped)) t.entries;
+  List.length dropped
 
 let invalidate_all t = t.entries <- []
 
@@ -135,6 +166,44 @@ let edge_trigger entry ~geometry ~addr =
   | Hint.No_prefetch -> None
   | Hint.Positive -> if index = count - 1 then Some `Next else None
   | Hint.Negative -> if index = 0 then Some `Prev else None
+
+let mapping_to_string = function
+  | Linear { base } -> Printf.sprintf "linear@%#x" base
+  | Interleaved { block; gran; lane } ->
+    Printf.sprintf "interleaved@%#x/gran%d/lane%d" block gran lane
+
+let iter_entries t f = List.iter (fun e -> f e) t.entries
+
+let check_invariants ?(label = "L0") t =
+  let errs = ref [] in
+  let add fmt =
+    Printf.ksprintf (fun m -> errs := (label ^ ": " ^ m) :: !errs) fmt
+  in
+  let n = List.length t.entries in
+  (match t.cap with
+  | Some cap when n > cap -> add "%d entries exceed capacity %d" n cap
+  | _ -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.mapping then
+        add "duplicate entries for mapping %s" (mapping_to_string e.mapping)
+      else Hashtbl.add seen e.mapping ();
+      if Bytes.length e.data <> t.geometry.Addr.subblock_bytes then
+        add "entry %s holds %d bytes, subblock is %d"
+          (mapping_to_string e.mapping) (Bytes.length e.data)
+          t.geometry.Addr.subblock_bytes;
+      if e.last_use > t.clock then
+        add "entry %s has LRU stamp %d ahead of the buffer clock %d"
+          (mapping_to_string e.mapping) e.last_use t.clock;
+      if e.gran <= 0 then
+        add "entry %s has non-positive granularity %d"
+          (mapping_to_string e.mapping) e.gran)
+    t.entries;
+  let stamps = List.map (fun e -> e.last_use) t.entries in
+  if List.length (List.sort_uniq compare stamps) <> List.length stamps then
+    add "LRU stamps are not distinct (replacement order is ambiguous)";
+  List.rev !errs
 
 let next_mapping ~geometry ~distance direction mapping =
   let sign = match direction with `Next -> 1 | `Prev -> -1 in

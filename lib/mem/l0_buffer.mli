@@ -62,12 +62,14 @@ val insert :
 
 val store_update : t -> now:int -> addr:int -> width:int -> value:int64 -> bool
 (** Write-through local update: patch the bytes of the MRU covering entry
-    and discard every other covering entry. Returns whether a copy was
-    updated. *)
+    and discard every other {e overlapping} entry — including
+    narrower-granularity copies the access overlaps without covering,
+    which would otherwise go stale. Returns whether a copy was updated
+    (partially-overlapped copies are dropped, not patched). *)
 
 val invalidate_addr : t -> addr:int -> width:int -> int
-(** Discard all covering entries; returns how many were dropped (the PSR
-    non-primary store action). *)
+(** Discard every entry holding any byte of the access; returns how many
+    were dropped (the PSR non-primary store action). *)
 
 val invalidate_all : t -> unit
 (** The [invalidate_buffer] instruction: constant-latency full flush. *)
@@ -84,3 +86,15 @@ val edge_trigger : entry -> geometry:Addr.geometry -> addr:int -> [ `Next | `Pre
 val next_mapping : geometry:Addr.geometry -> distance:int -> [ `Next | `Prev ] -> mapping -> mapping
 (** Mapping of the subblock [distance] subblocks after/before this one —
     the target of an automatic prefetch. *)
+
+val mapping_to_string : mapping -> string
+
+val iter_entries : t -> (entry -> unit) -> unit
+(** Iterate the resident (and in-flight) entries in no particular
+    order — read-only inspection for sanitizers and debuggers. *)
+
+val check_invariants : ?label:string -> t -> string list
+(** Structural self-check: capacity respected, one entry per mapping,
+    every entry exactly one subblock of data, LRU stamps behind the
+    buffer clock and pairwise distinct. Returns one message per violated
+    invariant (prefixed with [label]); healthy buffers return []. *)

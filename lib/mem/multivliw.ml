@@ -202,6 +202,11 @@ let create (cfg : Config.t) ~backing =
     store;
     prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
     invalidate = (fun ~cluster:_ -> ());
+    invariants =
+      (fun () ->
+        match Protocol.check_invariant protocol with
+        | Ok () -> []
+        | Error msg -> [ "MSI: " ^ msg ]);
     counters;
     backing;
   }

@@ -1,0 +1,194 @@
+open Flexl0_util
+
+type mode = Off | Log | Strict
+
+let mode_to_string = function Off -> "off" | Log -> "log" | Strict -> "strict"
+
+let mode_of_string = function
+  | "off" -> Some Off
+  | "log" -> Some Log
+  | "strict" -> Some Strict
+  | _ -> None
+
+type violation = {
+  v_hierarchy : string;
+  v_op : string;
+  v_invariant : string;
+  v_detail : string;
+}
+
+exception Violation of violation
+
+let violation_message v =
+  Printf.sprintf "%s: %s invariant broken during %s: %s" v.v_hierarchy
+    v.v_invariant v.v_op v.v_detail
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some ("Sanitizer.Violation: " ^ violation_message v)
+    | _ -> None)
+
+type log = {
+  mutable recent : violation list;  (* newest first, capped *)
+  mutable total : int;
+}
+
+let log_cap = 64
+
+let create_log () = { recent = []; total = 0 }
+let violation_count log = log.total
+
+let violations log = List.rev log.recent
+
+let record log v =
+  log.total <- log.total + 1;
+  if List.length log.recent < log_cap then log.recent <- v :: log.recent
+
+(* Value of [value] as it will land in memory: a [width]-byte store only
+   writes the low [width] bytes. *)
+let masked_value ~width value =
+  if width >= 8 then value
+  else Int64.logand value (Int64.sub (Int64.shift_left 1L (8 * width)) 1L)
+
+let in_backing backing ~addr ~width =
+  addr >= 0 && addr + width <= Backing.size backing
+
+let wrap ?log mode (inner : Hierarchy.t) =
+  match mode with
+  | Off -> inner
+  | Log | Strict ->
+    let log = match log with Some l -> l | None -> create_log () in
+    let counters = inner.Hierarchy.counters in
+    let backing = inner.Hierarchy.backing in
+    let flag ~op ~invariant detail =
+      Stats.Counters.incr counters "sanitizer_violations";
+      let v =
+        { v_hierarchy = inner.Hierarchy.name; v_op = op; v_invariant = invariant;
+          v_detail = detail }
+      in
+      record log v;
+      if mode = Strict then raise (Violation v)
+    in
+    (* The hierarchy's own structural invariants, re-checked after every
+       operation so a corruption is pinned to the access that caused it. *)
+    let structure op =
+      List.iter
+        (fun msg -> flag ~op ~invariant:"structure" msg)
+        (inner.Hierarchy.invariants ())
+    in
+    let check () = Stats.Counters.incr counters "sanitizer_checks" in
+    let load ~now ~cluster ~addr ~width ~hints =
+      check ();
+      (match (hints : Hint.t).access with
+      | Hint.Inval_only ->
+        flag ~op:"load" ~invariant:"hint-legality"
+          (Printf.sprintf "INVAL_ONLY hint on a load at %#x (store-only hint)"
+             addr)
+      | _ -> ());
+      let outcome = inner.Hierarchy.load ~now ~cluster ~addr ~width ~hints in
+      if outcome.Hierarchy.ready_at < now then
+        flag ~op:"load" ~invariant:"time"
+          (Printf.sprintf "outcome ready at %d, before issue cycle %d"
+             outcome.Hierarchy.ready_at now);
+      (* Serve-time freshness: everything simulated is write-through, so
+         the backing store is authoritative the instant a store executes.
+         Only software-managed copies (L0 subblocks, attraction words) can
+         go stale; whenever one serves a load, its value must still equal
+         memory. PSR's transient replica window is legal precisely because
+         the compiler keeps stale copies from being *read* — so checking
+         at serve time accepts every legal schedule and catches every
+         materialized coherence bug. *)
+      (match outcome.Hierarchy.served with
+      | Hierarchy.L0 ->
+        if not (Hint.uses_l0 hints) then
+          flag ~op:"load" ~invariant:"hint-legality"
+            (Printf.sprintf "load at %#x served by L0 under a %s hint" addr
+               (Hint.access_to_string hints.Hint.access));
+        if in_backing backing ~addr ~width then begin
+          let fresh = Backing.read backing ~addr ~width in
+          if fresh <> outcome.Hierarchy.value then
+            flag ~op:"load" ~invariant:"l0-freshness"
+              (Printf.sprintf
+                 "cluster %d L0 served %Ld at %#x but memory holds %Ld"
+                 cluster outcome.Hierarchy.value addr fresh)
+        end
+      | Hierarchy.Attraction ->
+        if in_backing backing ~addr ~width then begin
+          let fresh = Backing.read backing ~addr ~width in
+          if fresh <> outcome.Hierarchy.value then
+            flag ~op:"load" ~invariant:"attraction-freshness"
+              (Printf.sprintf
+                 "cluster %d attraction buffer served %Ld at %#x but memory \
+                  holds %Ld"
+                 cluster outcome.Hierarchy.value addr fresh)
+        end
+      | _ -> ());
+      structure "load";
+      outcome
+    in
+    let store ~now ~cluster ~addr ~width ~value ~hints =
+      check ();
+      (match (hints : Hint.t).access with
+      | Hint.Seq_access ->
+        flag ~op:"store" ~invariant:"hint-legality"
+          (Printf.sprintf "SEQ_ACCESS hint on a store at %#x" addr)
+      | _ -> ());
+      let before =
+        if
+          (hints : Hint.t).access = Hint.Inval_only
+          && in_backing backing ~addr ~width
+        then Some (Backing.read backing ~addr ~width)
+        else None
+      in
+      let outcome =
+        inner.Hierarchy.store ~now ~cluster ~addr ~width ~value ~hints
+      in
+      (match ((hints : Hint.t).access, before) with
+      | Hint.Inval_only, Some untouched ->
+        (* A PSR replica only invalidates the remote L0 copy; the primary
+           store already wrote memory. A replica that writes is a replica
+           updating a remote buffer's backing — exactly what the paper's
+           single-writer discipline forbids. *)
+        if
+          in_backing backing ~addr ~width
+          && Backing.read backing ~addr ~width <> untouched
+        then
+          flag ~op:"store" ~invariant:"psr-replica"
+            (Printf.sprintf
+               "INVAL_ONLY replica at %#x modified memory (%Ld -> %Ld)" addr
+               untouched
+               (Backing.read backing ~addr ~width))
+      | (Hint.No_access | Hint.Par_access), _ ->
+        (* Write-through visibility: the store's bytes must be in the
+           backing store by the time the operation returns. *)
+        if in_backing backing ~addr ~width then begin
+          let expect = masked_value ~width value in
+          let got = Backing.read backing ~addr ~width in
+          if got <> expect then
+            flag ~op:"store" ~invariant:"write-through"
+              (Printf.sprintf
+                 "store of %Ld at %#x not visible in memory (reads back %Ld)"
+                 expect addr got)
+        end
+      | _ -> ());
+      structure "store";
+      outcome
+    in
+    let prefetch ~now ~cluster ~addr ~width =
+      check ();
+      inner.Hierarchy.prefetch ~now ~cluster ~addr ~width;
+      structure "prefetch"
+    in
+    let invalidate ~cluster =
+      check ();
+      inner.Hierarchy.invalidate ~cluster;
+      structure "invalidate"
+    in
+    {
+      inner with
+      Hierarchy.name = inner.Hierarchy.name ^ "+sanitizer";
+      load;
+      store;
+      prefetch;
+      invalidate;
+    }

@@ -1,0 +1,69 @@
+(** Always-on hierarchy invariant sanitizer.
+
+    The paper's safety argument is that *compiler-guaranteed* coherence
+    needs no hardware checks. This module is the adversarial half of that
+    claim: a {!Hierarchy.t} decorator (same shape as
+    [Flexl0_sim.Fault.instrument]) that re-validates, on every access,
+    the invariants the compiler is supposed to guarantee:
+
+    - {b hint legality} — [INVAL_ONLY] never on loads, [SEQ_ACCESS]
+      never on stores, a [NO_ACCESS] load never served from L0;
+    - {b serve-time freshness} — everything simulated is write-through,
+      so the backing memory is authoritative; whenever a software-managed
+      copy (an L0 subblock or an attraction-buffer word) serves a load,
+      its value must still equal memory. PSR's transient stale-replica
+      window is legal exactly because such copies are never read, so this
+      check accepts every legal schedule and catches every materialized
+      coherence bug;
+    - {b write-through visibility} — a [NO]/[PAR_ACCESS] store's bytes
+      are in memory by the time the operation returns, and an
+      [INVAL_ONLY] replica never writes memory;
+    - {b time sanity} — outcomes never complete before they issue;
+    - {b structure} — the wrapped hierarchy's own
+      {!Hierarchy.t.invariants} (L0 capacity/LRU/mapping consistency, MSI
+      single-writer legality, attraction-buffer residency) re-checked
+      after every operation, pinning a corruption to the access that
+      caused it.
+
+    Checks bump a [sanitizer_checks] counter; violations bump
+    [sanitizer_violations] — both land in the hierarchy's counter
+    snapshot, so [Log]-mode results surface through [Exec.result]. *)
+
+type mode =
+  | Off  (** decorate nothing; zero overhead *)
+  | Log  (** record violations (and count them) but keep running *)
+  | Strict  (** raise {!Violation} at the first broken invariant *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type violation = {
+  v_hierarchy : string;  (** name of the hierarchy that misbehaved *)
+  v_op : string;  (** ["load" | "store" | "prefetch" | "invalidate"] *)
+  v_invariant : string;
+      (** which invariant family: ["hint-legality" | "l0-freshness" |
+          "attraction-freshness" | "write-through" | "psr-replica" |
+          "time" | "structure"] *)
+  v_detail : string;  (** human-readable specifics *)
+}
+
+exception Violation of violation
+(** Raised by [Strict] mode at the moment the invariant breaks — i.e.
+    during the offending access, before any end-of-run verifier runs. *)
+
+val violation_message : violation -> string
+
+(** A violation log shared by one wrapped hierarchy: total count plus the
+    first {!log_cap} violations in chronological order. *)
+type log
+
+val log_cap : int
+val create_log : unit -> log
+val violation_count : log -> int
+val violations : log -> violation list
+
+val wrap : ?log:log -> mode -> Hierarchy.t -> Hierarchy.t
+(** [wrap mode h] returns [h] decorated with the checks above ([h] itself
+    when [mode = Off]). Wrap {e outside} any fault decorator so injected
+    faults are visible to the sanitizer. [?log] shares a log across
+    hierarchies; omitted, each wrap gets its own. *)

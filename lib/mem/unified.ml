@@ -310,6 +310,38 @@ let make_state (cfg : Config.t) ~backing ~with_l0 =
     ports = Hashtbl.create 4096;
   }
 
+(* Structural self-check for the sanitizer: every per-cluster buffer's
+   own invariants plus "each resident mapping addresses bytes inside the
+   backing memory" (a corrupted mapping would read garbage silently). *)
+let state_invariants st () =
+  match st.buffers with
+  | None -> []
+  | Some buffers ->
+    let g = st.geometry in
+    let errs = ref [] in
+    Array.iteri
+      (fun c buf ->
+        let label = Printf.sprintf "cluster %d L0" c in
+        errs := !errs @ L0_buffer.check_invariants ~label buf;
+        L0_buffer.iter_entries buf (fun e ->
+            let ok =
+              match e.L0_buffer.mapping with
+              | L0_buffer.Linear { base } ->
+                in_range st ~addr:base ~len:g.Addr.subblock_bytes
+              | L0_buffer.Interleaved { block; _ } ->
+                in_range st ~addr:block ~len:g.Addr.block_bytes
+            in
+            if not ok then
+              errs :=
+                !errs
+                @ [
+                    Printf.sprintf "%s: entry %s maps outside backing memory"
+                      label
+                      (L0_buffer.mapping_to_string e.L0_buffer.mapping);
+                  ]))
+      buffers;
+    !errs
+
 let hierarchy_of_state name st =
   {
     Hierarchy.name;
@@ -320,6 +352,7 @@ let hierarchy_of_state name st =
     prefetch = (fun ~now ~cluster ~addr ~width ->
         explicit_prefetch st ~now ~cluster ~addr ~width);
     invalidate = (fun ~cluster -> invalidate st ~cluster);
+    invariants = state_invariants st;
     counters = st.counters;
     backing = st.backing;
   }
@@ -346,6 +379,7 @@ let baseline cfg ~backing =
     store = base_store;
     prefetch = (fun ~now:_ ~cluster:_ ~addr:_ ~width:_ -> ());
     invalidate = (fun ~cluster:_ -> ());
+    invariants = (fun () -> []);
     counters = st.counters;
     backing = st.backing;
   }

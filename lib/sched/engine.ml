@@ -256,6 +256,24 @@ let ordered_clusters st i =
 let comm_for st producer =
   List.find_opt (fun (c : Schedule.comm) -> c.producer = producer) st.comms
 
+(* Under PSR the write of a replicated store becomes visible to a remote
+   cluster's L0 only once the invalidating replica lands there, so a
+   dependent load placed in another cluster must start strictly after
+   that cluster's replica — not merely after the store itself. *)
+let psr_store_replicated st i =
+  Instr.is_store (Ddg.instr st.ddg i)
+  && match coherence_decision st i with
+     | Some (_, Dec_psr) -> true
+     | _ -> false
+
+let psr_visibility st ~store ~cluster =
+  List.find_map
+    (fun (r : Schedule.replica) ->
+      if r.Schedule.for_store = store && r.Schedule.rep_cluster = cluster then
+        Some (r.Schedule.rep_start + 1)
+      else None)
+    st.replicas
+
 (* Earliest start in [cluster] implied by the placed predecessors.
    Optimistic about comms that do not exist yet (they are verified when
    the cycle is actually tried). *)
@@ -274,6 +292,17 @@ let earliest_start st i cluster =
             | Some c -> c.Schedule.comm_cycle + st.cfg.comm_latency
             | None -> p.Schedule.start + lat + st.cfg.comm_latency
         in
+        let avail =
+          if
+            e.kind = Ddg.Mem_flow
+            && p.Schedule.cluster <> cluster
+            && psr_store_replicated st e.src
+          then
+            match psr_visibility st ~store:e.src ~cluster with
+            | Some v -> max avail v
+            | None -> avail
+          else avail
+        in
         max acc (avail - (st.ii * e.distance)))
     0
     (Ddg.preds st.ddg i)
@@ -290,8 +319,10 @@ let latest_start st i cluster ~latency =
           match e.kind with Ddg.Reg_flow -> latency | _ -> 1
         in
         let extra =
-          if e.kind = Ddg.Reg_flow && s.Schedule.cluster <> cluster then
-            st.cfg.comm_latency
+          if s.Schedule.cluster <> cluster
+             && (e.kind = Ddg.Reg_flow
+                || (e.kind = Ddg.Mem_flow && psr_store_replicated st i))
+          then st.cfg.comm_latency
           else 0
         in
         let bound = s.Schedule.start + (st.ii * e.distance) - lat - extra in
@@ -392,10 +423,27 @@ let plan_comms st i cluster cycle ~latency =
 (* ------------------------------------------------------------------ *)
 (* PSR replica insertion                                                *)
 
-let insert_psr_replicas st i cluster cycle =
+(* [tentative] carries the bus slots [plan_comms] has already claimed for
+   this placement attempt but not yet committed, so the address
+   broadcast cannot land on one of them. *)
+let insert_psr_replicas st i cluster cycle ~tentative =
   let exception Infeasible in
   try
     let taken = ref [] in
+    (* A replica into cluster [c] must land strictly before any placed
+       dependent load there consumes the stored value, or that load
+       would be served a stale L0 copy. *)
+    let visibility_deadline c =
+      List.fold_left
+        (fun acc (e : Ddg.edge) ->
+          if e.kind <> Ddg.Mem_flow then acc
+          else
+            match st.placed.(e.dst) with
+            | Some s when s.Schedule.cluster = c ->
+              min acc (s.Schedule.start + (st.ii * e.distance) - 1)
+            | Some _ | None -> acc)
+        max_int (Ddg.succs st.ddg i)
+    in
     let replicas =
       List.filter_map
         (fun c ->
@@ -403,8 +451,11 @@ let insert_psr_replicas st i cluster cycle =
           else begin
             (* The replicated address reaches remote clusters one bus
                transfer after the primary store issues. *)
+            let limit =
+              min (cycle + st.cfg.comm_latency + st.ii) (visibility_deadline c)
+            in
             let rec find t =
-              if t > cycle + st.cfg.comm_latency + st.ii then raise Infeasible
+              if t > limit then raise Infeasible
               else if
                 Mrt.fu_free st.mrt ~cluster:c ~fu:Opcode.Mem_fu ~cycle:t
                 && not (List.mem (c, ((t mod st.ii) + st.ii) mod st.ii) !taken)
@@ -418,7 +469,7 @@ let insert_psr_replicas st i cluster cycle =
         (List.init st.cfg.num_clusters (fun c -> c))
     in
     (* Address broadcast bus slot. *)
-    match find_bus_slot st [] ~from_:(max 0 (cycle - st.cfg.comm_latency))
+    match find_bus_slot st tentative ~from_:(max 0 (cycle - st.cfg.comm_latency))
             ~until:(cycle + st.ii)
     with
     | None -> None
@@ -477,7 +528,7 @@ let try_cycles st i cluster ~latency ~uses_l0 =
                  | Some (_, Dec_psr) -> true
                  | _ -> false)
             then begin
-              match insert_psr_replicas st i cluster t with
+              match insert_psr_replicas st i cluster t ~tentative:new_comms with
               | None -> try_list rest
               | Some (replicas, bus_cycle) ->
                 commit st i cluster t ~latency ~uses_l0 ~new_comms;

@@ -159,6 +159,7 @@ let default_max_cycles ~invocation_span ~invocations =
 
 let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
     ?(invocations = 1) ?(seed = 42) ?(verify = true) ?max_cycles ?faults
+    ?(sanitizer = Flexl0_mem.Sanitizer.Off)
     ?(on_event = fun (_ : trace_event) -> ()) () =
   let trips = match trips with Some t -> t | None -> default_trips sch.loop in
   let trace = Tracegen.create sch.loop ~seed in
@@ -169,6 +170,8 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
   let hier =
     match faults with Some plan -> Fault.instrument plan hier | None -> hier
   in
+  (* Sanitizer outermost: it must observe fault-perturbed behaviour. *)
+  let hier = Flexl0_mem.Sanitizer.wrap sanitizer hier in
   let expected =
     if verify then reference_loads sch trace ~trips ~invocations ~seed
     else Hashtbl.create 1
@@ -306,10 +309,10 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
   }
 
 let run_result cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
-    ?faults ?on_event () =
+    ?faults ?sanitizer ?on_event () =
   match
     run cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
-      ?faults ?on_event ()
+      ?faults ?sanitizer ?on_event ()
   with
   | r -> Ok r
   | exception Watchdog_timeout wd -> Error wd

@@ -69,6 +69,7 @@ val run :
   ?verify:bool ->
   ?max_cycles:int ->
   ?faults:Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?on_event:(trace_event -> unit) ->
   unit ->
   result
@@ -85,9 +86,13 @@ val run :
     re-entered repeatedly by its benchmark; [seed] drives unknown-stride
     address streams; [verify] defaults to [true].
 
-    [faults] wraps the hierarchy in {!Fault.instrument}. [max_cycles]
-    bounds total simulated cycles (default: a generous multiple of the
-    compute time); raises {!Watchdog_timeout} when exceeded. *)
+    [faults] wraps the hierarchy in {!Fault.instrument}. [sanitizer]
+    (default [Off]) additionally wraps it — outermost, so injected
+    faults stay visible — in {!Flexl0_mem.Sanitizer.wrap}; [Strict]
+    mode raises {!Flexl0_mem.Sanitizer.Violation} at the offending
+    access. [max_cycles] bounds total simulated cycles (default: a
+    generous multiple of the compute time); raises {!Watchdog_timeout}
+    when exceeded. *)
 
 val run_result :
   Flexl0_arch.Config.t ->
@@ -99,6 +104,7 @@ val run_result :
   ?verify:bool ->
   ?max_cycles:int ->
   ?faults:Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?on_event:(trace_event -> unit) ->
   unit ->
   (result, watchdog) Stdlib.result

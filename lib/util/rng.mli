@@ -2,7 +2,15 @@
 
     Experiments must be reproducible across runs and platforms, so all
     stochastic choices in the workload generators go through this
-    self-contained splitmix64 generator rather than [Stdlib.Random]. *)
+    self-contained splitmix64 generator rather than [Stdlib.Random].
+
+    {b Determinism contract.} A generator's output is a pure function of
+    its seed and the sequence of draws made on it: no global state, no
+    platform or word-size dependence (all arithmetic is on [int64]), no
+    dependence on wall-clock time. Two runs that create generators with
+    equal seeds and make the same draws in the same order observe
+    identical values — this is what makes fuzz cases and fault-injection
+    plans replayable from a single integer. *)
 
 type t
 
@@ -11,9 +19,18 @@ val create : int -> t
     streams. *)
 
 val split : t -> t
-(** [split t] derives an independent generator from [t], advancing [t].
-    Used to give each benchmark / loop its own stream so adding a loop
-    does not perturb the others. *)
+(** [split t] derives an independent generator from [t], advancing [t]
+    by one draw. The child's stream is the splitmix64 sequence seeded by
+    that draw, so it is (statistically) decorrelated from the parent's
+    subsequent output and from every other split child.
+
+    Use one child per logical consumer — per benchmark, per fuzz case,
+    per fault plan — so the number of draws one consumer makes never
+    perturbs another: [split]ting k times then drawing arbitrarily from
+    each child yields the same k child streams regardless of the order
+    or volume of the draws. The fuzzer leans on this to keep kernel
+    generation and fault-plan seeding independent while both replay from
+    the one [--seed]. *)
 
 val int : t -> int -> int
 (** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be

@@ -1,0 +1,710 @@
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+module Rng = Flexl0_util.Rng
+module Scheme = Flexl0_sched.Scheme
+module Engine = Flexl0_sched.Engine
+module Compile = Flexl0_sched.Compile
+module Exec = Flexl0_sim.Exec
+module Fault = Flexl0_sim.Fault
+module Backing = Flexl0_mem.Backing
+module Hierarchy = Flexl0_mem.Hierarchy
+module Sanitizer = Flexl0_mem.Sanitizer
+module Unified = Flexl0_mem.Unified
+module Multivliw = Flexl0_mem.Multivliw
+module Interleaved = Flexl0_mem.Interleaved
+
+(* ------------------------------------------------------------------ *)
+(* Kernel descriptors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type arith = Add | Mul | Cmp | Fadd | Fmul
+
+type op =
+  | Load of { arr : int; offset : int; stride : int option; width : Opcode.width }
+  | Store of {
+      arr : int;
+      offset : int;
+      stride : int option;
+      width : Opcode.width;
+      src : int;
+    }
+  | Arith of { f : arith; a : int; b : int }
+
+type kernel = {
+  k_name : string;
+  k_trip : int;
+  k_arrays : (int * int) array;  (* (elem_bytes, length in elements) *)
+  k_ops : op array;
+  k_carry : (int * int) option;  (* (op-index anchor, distance) *)
+  k_may_alias : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Resolution: descriptor -> concrete program                          *)
+(*                                                                     *)
+(* Operand references in a descriptor are indices resolved *modulo the
+   values available so far* (with an imove materialized on demand when
+   none exist yet), and the carry anchor scans forward for the next
+   arithmetic op. The payoff is that every descriptor — including any
+   mutation the shrinker produces by dropping ops — resolves to a valid
+   SSA body, so shrinking never has to reason about dataflow. *)
+(* ------------------------------------------------------------------ *)
+
+type rstmt =
+  | R_imove of int
+  | R_load of {
+      v : int;
+      arr : int;
+      off : int;
+      stride : int option;
+      w : Opcode.width;
+    }
+  | R_store of {
+      arr : int;
+      off : int;
+      stride : int option;
+      w : Opcode.width;
+      src : int;
+    }
+  | R_arith of { v : int; f : arith; a : int; b : int }
+
+type rprog = {
+  r_name : string;
+  r_trip : int;
+  r_may_alias : bool;
+  r_arrays : (int * int) array;
+  r_stmts : rstmt list;
+  r_carry : (int * int) option;  (* (value id, distance) *)
+}
+
+let resolve k =
+  let n_arr = Array.length k.k_arrays in
+  let n_ops = Array.length k.k_ops in
+  if n_arr = 0 then invalid_arg "Fuzz.resolve: kernel has no arrays";
+  let stmts = ref [] in
+  let next_v = ref 0 in
+  let avail = ref [] in  (* value ids, oldest first *)
+  let fresh () =
+    let v = !next_v in
+    incr next_v;
+    v
+  in
+  let define v =
+    avail := !avail @ [ v ];
+    v
+  in
+  let operand idx =
+    (match !avail with
+    | [] ->
+      let v = define (fresh ()) in
+      stmts := R_imove v :: !stmts
+    | _ -> ());
+    List.nth !avail (abs idx mod List.length !avail)
+  in
+  let produced = Hashtbl.create 8 in  (* op index -> value id *)
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Load { arr; offset; stride; width } ->
+        let arr = abs arr mod n_arr in
+        let len = snd k.k_arrays.(arr) in
+        let v = fresh () in
+        stmts :=
+          R_load { v; arr; off = abs offset mod len; stride; w = width }
+          :: !stmts;
+        ignore (define v);
+        Hashtbl.replace produced i v
+      | Store { arr; offset; stride; width; src } ->
+        let arr = abs arr mod n_arr in
+        let len = snd k.k_arrays.(arr) in
+        let src = operand src in
+        stmts :=
+          R_store { arr; off = abs offset mod len; stride; w = width; src }
+          :: !stmts
+      | Arith { f; a; b } ->
+        let a = operand a in
+        let b = operand b in
+        let v = fresh () in
+        stmts := R_arith { v; f; a; b } :: !stmts;
+        ignore (define v);
+        Hashtbl.replace produced i v)
+    k.k_ops;
+  let r_carry =
+    match k.k_carry with
+    | None -> None
+    | Some (anchor, distance) when n_ops > 0 ->
+      (* Self-carry the first arithmetic op at/after the anchor; a kernel
+         with no arithmetic simply has no recurrence. *)
+      let rec find j steps =
+        if steps >= n_ops then None
+        else
+          let j = j mod n_ops in
+          match k.k_ops.(j) with
+          | Arith _ -> Some (Hashtbl.find produced j)
+          | _ -> find (j + 1) (steps + 1)
+      in
+      Option.map
+        (fun v -> (v, max 1 distance))
+        (find (abs anchor mod n_ops) 0)
+    | Some _ -> None
+  in
+  {
+    r_name = k.k_name;
+    r_trip = max 1 k.k_trip;
+    r_may_alias = k.k_may_alias;
+    r_arrays = k.k_arrays;
+    r_stmts = List.rev !stmts;
+    r_carry;
+  }
+
+let stride_of = function Some s -> Memref.Const s | None -> Memref.Unknown
+
+let materialize k =
+  let rp = resolve k in
+  let b =
+    Builder.create ~name:rp.r_name ~trip_count:rp.r_trip
+      ~may_alias:rp.r_may_alias ()
+  in
+  let arrays =
+    Array.mapi
+      (fun i (elem_bytes, length) ->
+        Builder.array b ~name:(Printf.sprintf "a%d" i) ~elem_bytes ~length)
+      rp.r_arrays
+  in
+  let vals = Hashtbl.create 16 in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | R_imove v -> Hashtbl.replace vals v (Builder.imove b)
+      | R_load { v; arr; off; stride; w } ->
+        Hashtbl.replace vals v
+          (Builder.load b ~arr:arrays.(arr) ~offset:off
+             ~stride:(stride_of stride) w)
+      | R_store { arr; off; stride; w; src } ->
+        ignore
+          (Builder.store b ~arr:arrays.(arr) ~offset:off
+             ~stride:(stride_of stride) w (Hashtbl.find vals src))
+      | R_arith { v; f; a; b = b2 } ->
+        let g =
+          match f with
+          | Add -> Builder.iadd
+          | Mul -> Builder.imul
+          | Cmp -> Builder.icmp
+          | Fadd -> Builder.fadd
+          | Fmul -> Builder.fmul
+        in
+        Hashtbl.replace vals v (g b (Hashtbl.find vals a) (Hashtbl.find vals b2)))
+    rp.r_stmts;
+  (match rp.r_carry with
+  | Some (v, distance) ->
+    let v = Hashtbl.find vals v in
+    Builder.carry b ~def:v ~use:v ~distance
+  | None -> ());
+  Builder.finish b
+
+let instruction_count k = List.length (materialize k).Loop.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Ready-to-paste Builder source for a descriptor                      *)
+(* ------------------------------------------------------------------ *)
+
+let to_builder_source ?comment k =
+  let rp = resolve k in
+  (* Usage pass so unused bindings print with a leading underscore and
+     the snippet compiles warning-clean. *)
+  let uses = Hashtbl.create 16 in
+  let use v = Hashtbl.replace uses v () in
+  List.iter
+    (function
+      | R_store { src; _ } -> use src
+      | R_arith { a; b; _ } ->
+        use a;
+        use b
+      | R_imove _ | R_load _ -> ())
+    rp.r_stmts;
+  (match rp.r_carry with Some (v, _) -> use v | None -> ());
+  let arr_used = Array.make (Array.length rp.r_arrays) false in
+  List.iter
+    (function
+      | R_load { arr; _ } | R_store { arr; _ } -> arr_used.(arr) <- true
+      | R_imove _ | R_arith _ -> ())
+    rp.r_stmts;
+  let vname v =
+    if Hashtbl.mem uses v then Printf.sprintf "v%d" v
+    else Printf.sprintf "_v%d" v
+  in
+  let width_name w = Printf.sprintf "Opcode.W%d" (Opcode.bytes_of_width w) in
+  let stride_src = function
+    | Some s when s < 0 -> Printf.sprintf "(Memref.Const (%d))" s
+    | Some s -> Printf.sprintf "(Memref.Const %d)" s
+    | None -> "Memref.Unknown"
+  in
+  let offset_src off =
+    if off = 0 then "" else Printf.sprintf " ~offset:%d" off
+  in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match comment with Some c -> add "(* %s *)\n" c | None -> ());
+  add "let repro () =\n";
+  add "  let b = Builder.create ~name:%S ~trip_count:%d%s () in\n" rp.r_name
+    rp.r_trip
+    (if rp.r_may_alias then " ~may_alias:true" else "");
+  Array.iteri
+    (fun i (elem_bytes, length) ->
+      add "  let %sa%d = Builder.array b ~name:\"a%d\" ~elem_bytes:%d ~length:%d in\n"
+        (if arr_used.(i) then "" else "_")
+        i i elem_bytes length)
+    rp.r_arrays;
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | R_imove v -> add "  let %s = Builder.imove b in\n" (vname v)
+      | R_load { v; arr; off; stride; w } ->
+        add "  let %s = Builder.load b ~arr:a%d%s ~stride:%s %s in\n" (vname v)
+          arr (offset_src off) (stride_src stride) (width_name w)
+      | R_store { arr; off; stride; w; src } ->
+        add "  let _ = Builder.store b ~arr:a%d%s ~stride:%s %s %s in\n" arr
+          (offset_src off) (stride_src stride) (width_name w)
+          (Printf.sprintf "v%d" src)
+      | R_arith { v; f; a; b } ->
+        let fname =
+          match f with
+          | Add -> "iadd"
+          | Mul -> "imul"
+          | Cmp -> "icmp"
+          | Fadd -> "fadd"
+          | Fmul -> "fmul"
+        in
+        add "  let %s = Builder.%s b v%d v%d in\n" (vname v) fname a b)
+    rp.r_stmts;
+  (match rp.r_carry with
+  | Some (v, distance) ->
+    add "  Builder.carry b ~def:v%d ~use:v%d ~distance:%d;\n" v v distance
+  | None -> ());
+  add "  Builder.finish b\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let widths = [| Opcode.W1; Opcode.W2; Opcode.W4; Opcode.W8 |]
+
+(* Address-range safety: Tracegen wraps element indices modulo the array
+   length and scales by the *access* width, so an access wider than the
+   array's element size would run past the array into its neighbour —
+   cross-array aliasing the dependence analysis (correctly) does not
+   model, and a guaranteed false differential. The generator therefore
+   never accesses an array wider than its element size: mixed
+   granularity always means narrower, which keeps every byte touched
+   inside the array's own storage. *)
+let max_array_len = 256
+
+let gen_stride rng =
+  Rng.weighted_pick rng
+    [
+      (0.45, Some 1);
+      (0.10, Some 2);
+      (0.07, Some 4);
+      (0.08, Some (-1));
+      (0.05, Some (-2));
+      (0.06, Some 0);
+      (0.07, Some 3);
+      (0.12, None);
+    ]
+
+let generate rng ~id =
+  let n_arrays = 1 + Rng.int rng 3 in
+  let arrays =
+    Array.init n_arrays (fun _ ->
+        let eb = Opcode.bytes_of_width (Rng.pick rng widths) in
+        (eb, 32 + Rng.int rng (max_array_len - 31)))
+  in
+  (* Mostly access at the array's own granularity; sometimes narrower
+     (mixed-granularity subblock coverage is where L0 mappings get
+     interesting). Never wider — see the address-range note above. *)
+  let gen_width arr =
+    let eb = fst arrays.(arr) in
+    if Rng.int rng 10 < 8 then Opcode.width_of_bytes eb
+    else
+      Opcode.width_of_bytes
+        (Opcode.bytes_of_width (Rng.pick rng widths) |> min eb)
+  in
+  let n_ops = 3 + Rng.int rng 8 in
+  let ops =
+    Array.init n_ops (fun _ ->
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 | 3 ->
+          let arr = Rng.int rng n_arrays in
+          Load
+            {
+              arr;
+              offset = Rng.int rng 4;
+              stride = gen_stride rng;
+              width = gen_width arr;
+            }
+        | 4 | 5 | 6 ->
+          Arith
+            {
+              f = Rng.pick rng [| Add; Mul; Add; Fadd; Fmul; Cmp |];
+              a = Rng.int rng 8;
+              b = Rng.int rng 8;
+            }
+        | _ ->
+          let arr = Rng.int rng n_arrays in
+          Store
+            {
+              arr;
+              offset = Rng.int rng 4;
+              stride = gen_stride rng;
+              width = gen_width arr;
+              src = Rng.int rng 8;
+            })
+  in
+  let k_carry =
+    if Rng.int rng 10 < 4 then Some (Rng.int rng n_ops, 1 + Rng.int rng 2)
+    else None
+  in
+  {
+    k_name = Printf.sprintf "fuzz%04d" id;
+    k_trip = 8 + Rng.int rng 57;
+    k_arrays = arrays;
+    k_ops = ops;
+    k_carry;
+    k_may_alias = Rng.int rng 10 < 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* System matrix                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type sys_kind = Unified_l0 | Unified_base | Mvliw | Ilv
+
+type sys = {
+  s_label : string;
+  s_kind : sys_kind;
+  s_cfg : Config.t;
+  s_scheme : Scheme.t;
+  s_coherence : Engine.coherence_mode;
+  s_make : Config.t -> backing:Backing.t -> Hierarchy.t;
+}
+
+let default_systems () =
+  let l0 = Config.default in
+  let no_l0 = Config.with_l0 Config.No_l0 Config.default in
+  let l0_sys label coherence =
+    {
+      s_label = label;
+      s_kind = Unified_l0;
+      s_cfg = l0;
+      s_scheme = Scheme.L0 { selective = true };
+      s_coherence = coherence;
+      s_make = (fun cfg ~backing -> Unified.create cfg ~backing);
+    }
+  in
+  [
+    {
+      s_label = "base-unified";
+      s_kind = Unified_base;
+      s_cfg = no_l0;
+      s_scheme = Scheme.Base_unified;
+      s_coherence = Engine.Auto;
+      s_make = (fun cfg ~backing -> Unified.baseline cfg ~backing);
+    };
+    l0_sys "l0-auto" Engine.Auto;
+    l0_sys "l0-nl0" Engine.Force_nl0;
+    l0_sys "l0-1c" Engine.Force_1c;
+    l0_sys "l0-psr" Engine.Force_psr;
+    {
+      s_label = "multivliw";
+      s_kind = Mvliw;
+      s_cfg = no_l0;
+      s_scheme = Scheme.Multivliw;
+      s_coherence = Engine.Auto;
+      s_make = (fun cfg ~backing -> Multivliw.create cfg ~backing);
+    };
+    {
+      s_label = "interleaved-1";
+      s_kind = Ilv;
+      s_cfg = no_l0;
+      s_scheme = Scheme.Interleaved_naive;
+      s_coherence = Engine.Auto;
+      s_make = (fun cfg ~backing -> Interleaved.create cfg ~backing);
+    };
+    {
+      s_label = "interleaved-2";
+      s_kind = Ilv;
+      s_cfg = no_l0;
+      s_scheme = Scheme.Interleaved_locality;
+      s_coherence = Engine.Auto;
+      s_make = (fun cfg ~backing -> Interleaved.create cfg ~backing);
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stat identities of the timed executor                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_identities kind (r : Exec.result) =
+  let get name = Option.value ~default:0 (List.assoc_opt name r.Exec.counters) in
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if r.Exec.total_cycles <> r.Exec.compute_cycles + r.Exec.stall_cycles then
+    add "total_cycles %d <> compute %d + stall %d" r.Exec.total_cycles
+      r.Exec.compute_cycles r.Exec.stall_cycles;
+  if get "loads" <> r.Exec.loads then
+    add "hierarchy counted %d loads, executor issued %d" (get "loads")
+      r.Exec.loads;
+  (* PSR replicas reach the hierarchy as extra Inval_only stores, so the
+     hierarchy may count more stores than the executor — never fewer. *)
+  if get "stores" < r.Exec.stores then
+    add "hierarchy counted %d stores, executor issued %d" (get "stores")
+      r.Exec.stores;
+  (match kind with
+  | Unified_l0 | Unified_base ->
+    let probes = get "l0_load_probes" in
+    let hits = get "l0_load_hits" in
+    let misses = get "l0_load_misses" in
+    if probes <> hits + misses then
+      add "L0 probes %d <> hits %d + misses %d" probes hits misses;
+    let l1 = get "l1_accesses" in
+    if l1 <> get "l1_hits" + get "l1_misses" then
+      add "L1 accesses %d <> hits %d + misses %d" l1 (get "l1_hits")
+        (get "l1_misses");
+    if l1 > get "loads" + get "stores" + get "prefetch_issued" then
+      add "bus bound: %d L1 accesses > %d loads + %d stores + %d prefetches"
+        l1 (get "loads") (get "stores")
+        (get "prefetch_issued")
+  | Mvliw ->
+    let lsum = get "load_local" + get "load_remote" + get "load_memory" in
+    if lsum <> get "loads" then
+      add "bank load origins sum to %d, hierarchy counted %d loads" lsum
+        (get "loads");
+    let ssum = get "store_local" + get "store_remote" + get "store_memory" in
+    if ssum <> get "stores" then
+      add "bank store origins sum to %d, hierarchy counted %d stores" ssum
+        (get "stores")
+  | Ilv ->
+    let lsum = get "load_local" + get "load_attraction" + get "load_remote" in
+    if lsum <> get "loads" then
+      add "interleaved load origins sum to %d, hierarchy counted %d loads"
+        lsum (get "loads");
+    let ssum = get "store_local" + get "store_remote" in
+    if ssum <> get "stores" then
+      add "interleaved store origins sum to %d, hierarchy counted %d stores"
+        ssum (get "stores"));
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Differential runner                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type failure_kind =
+  | Mismatch of int
+  | Sanitizer_trip of Sanitizer.violation
+  | Identity of string
+  | Timeout of string
+  | Crash of string
+
+let kind_label = function
+  | Mismatch _ -> "value-mismatch"
+  | Sanitizer_trip _ -> "sanitizer"
+  | Identity _ -> "stat-identity"
+  | Timeout _ -> "watchdog"
+  | Crash _ -> "crash"
+
+let describe_kind = function
+  | Mismatch n ->
+    Printf.sprintf "%d load value%s diverged from the sequential reference" n
+      (if n = 1 then "" else "s")
+  | Sanitizer_trip v -> Sanitizer.violation_message v
+  | Identity msg -> "stat identity broken: " ^ msg
+  | Timeout msg -> msg
+  | Crash msg -> msg
+
+let same_class a b = kind_label a = kind_label b
+
+type outcome = Pass | Skip of string | Fail of failure_kind
+
+let fuzz_max_ii = 128
+let fuzz_invocations = 2
+
+let run_system ?faults ?(sanitizer = Sanitizer.Strict) sys loop =
+  match
+    Compile.compile_result sys.s_cfg sys.s_scheme ~coherence:sys.s_coherence
+      ~max_ii:fuzz_max_ii loop
+  with
+  | Error inf -> Skip (Engine.infeasible_message inf)
+  | exception Invalid_argument msg -> Fail (Crash ("compile: " ^ msg))
+  | Ok sch -> (
+    match
+      Exec.run sys.s_cfg sch
+        ~hierarchy:(fun ~backing -> sys.s_make sys.s_cfg ~backing)
+        ~invocations:fuzz_invocations ~verify:true ?faults ~sanitizer ()
+    with
+    | r ->
+      if r.Exec.value_mismatches > 0 then Fail (Mismatch r.Exec.value_mismatches)
+      else (
+        match check_identities sys.s_kind r with
+        | [] -> Pass
+        | e :: _ -> Fail (Identity e))
+    | exception Sanitizer.Violation v -> Fail (Sanitizer_trip v)
+    | exception Exec.Watchdog_timeout wd -> Fail (Timeout (Exec.watchdog_message wd))
+    | exception Invalid_argument msg -> Fail (Crash ("run: " ^ msg))
+    | exception Failure msg -> Fail (Crash ("run: " ^ msg)))
+
+let run_case ?faults ?sanitizer ~systems kernel =
+  match materialize kernel with
+  | exception Invalid_argument msg ->
+    List.map
+      (fun s -> (s.s_label, Fail (Crash ("materialize: " ^ msg))))
+      systems
+  | loop ->
+    List.map
+      (fun s -> (s.s_label, run_system ?faults ?sanitizer s loop))
+      systems
+
+type failure = {
+  f_case : int;
+  f_system : string;
+  f_kind : failure_kind;
+  f_kernel : kernel;
+  f_faults : Fault.plan option;  (* the per-case derived plan, replayable *)
+}
+
+type report = {
+  r_cases : int;  (* cases actually generated and run *)
+  r_runs : int;
+  r_passes : int;
+  r_skips : int;
+  r_failures : failure list;  (* chronological *)
+  r_early_stop : bool;
+}
+
+let run ?faults ?(sanitizer = Sanitizer.Strict) ?systems ?(max_failures = 5)
+    ?(keep_going = fun () -> true) ~seed ~cases () =
+  let systems = match systems with Some s -> s | None -> default_systems () in
+  let master = Rng.create seed in
+  let runs = ref 0 and passes = ref 0 and skips = ref 0 in
+  let failures = ref [] in
+  let done_cases = ref 0 in
+  let early = ref false in
+  (try
+     for i = 0 to cases - 1 do
+       if List.length !failures >= max_failures || not (keep_going ()) then begin
+         early := true;
+         raise Exit
+       end;
+       (* Independent substreams (Rng.split): the kernel stream and the
+          fault-plan stream never interfere, so the same --seed replays
+          the same case whether or not faults are enabled. *)
+       let case_rng = Rng.split master in
+       let fault_rng = Rng.split master in
+       let kernel = generate case_rng ~id:i in
+       let case_faults =
+         Option.map
+           (fun (p : Fault.plan) ->
+             { p with Fault.seed = Rng.int fault_rng 1_000_000_000 })
+           faults
+       in
+       List.iter
+         (fun (label, outcome) ->
+           incr runs;
+           match outcome with
+           | Pass -> incr passes
+           | Skip _ -> incr skips
+           | Fail fk ->
+             failures :=
+               {
+                 f_case = i;
+                 f_system = label;
+                 f_kind = fk;
+                 f_kernel = kernel;
+                 f_faults = case_faults;
+               }
+               :: !failures)
+         (run_case ?faults:case_faults ~sanitizer ~systems kernel);
+       incr done_cases
+     done
+   with Exit -> ());
+  {
+    r_cases = !done_cases;
+    r_runs = !runs;
+    r_passes = !passes;
+    r_skips = !skips;
+    r_failures = List.rev !failures;
+    r_early_stop = !early;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let drop_op ops i =
+  Array.of_list
+    (List.filteri (fun j _ -> j <> i) (Array.to_list ops))
+
+let simplify_op = function
+  | Load l -> Load { l with stride = Some 1; offset = 0 }
+  | Store s -> Store { s with stride = Some 1; offset = 0 }
+  | Arith _ as o -> o
+
+(* Candidate mutations, biggest wins first. Each is strictly "smaller"
+   under the measure (op count, trip, carry, alias, stride/offset
+   complexity, array length), so greedy iteration terminates. *)
+let candidates k =
+  let n = Array.length k.k_ops in
+  let drops =
+    List.init n (fun i -> { k with k_ops = drop_op k.k_ops i })
+    |> List.filter (fun c -> Array.length c.k_ops > 0)
+  in
+  let trips = if k.k_trip > 4 then [ { k with k_trip = k.k_trip / 2 } ] else [] in
+  let carry =
+    match k.k_carry with Some _ -> [ { k with k_carry = None } ] | None -> []
+  in
+  let alias = if k.k_may_alias then [ { k with k_may_alias = false } ] else [] in
+  let simpler =
+    List.init n (fun i ->
+        let ops = Array.copy k.k_ops in
+        ops.(i) <- simplify_op ops.(i);
+        { k with k_ops = ops })
+    |> List.filter (fun c -> c.k_ops <> k.k_ops)
+  in
+  let arrays =
+    let shrunk =
+      Array.map (fun (eb, len) -> (eb, max 16 (len / 2))) k.k_arrays
+    in
+    if shrunk <> k.k_arrays then [ { k with k_arrays = shrunk } ] else []
+  in
+  drops @ trips @ carry @ alias @ simpler @ arrays
+
+let shrink ?(sanitizer = Sanitizer.Strict) ?systems ?(max_attempts = 400)
+    (f : failure) =
+  let systems = match systems with Some s -> s | None -> default_systems () in
+  let sys =
+    match List.find_opt (fun s -> s.s_label = f.f_system) systems with
+    | Some s -> s
+    | None -> invalid_arg ("Fuzz.shrink: unknown system " ^ f.f_system)
+  in
+  let reproduces k =
+    match materialize k with
+    | exception Invalid_argument _ -> false
+    | loop -> (
+      match run_system ?faults:f.f_faults ~sanitizer sys loop with
+      | Fail fk -> same_class fk f.f_kind
+      | Pass | Skip _ -> false)
+  in
+  let attempts = ref 0 in
+  let rec fixpoint k =
+    let rec first = function
+      | [] -> None
+      | c :: rest ->
+        if !attempts >= max_attempts then None
+        else begin
+          incr attempts;
+          if reproduces c then Some c else first rest
+        end
+    in
+    match first (candidates k) with Some c -> fixpoint c | None -> k
+  in
+  fixpoint f.f_kernel

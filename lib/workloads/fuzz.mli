@@ -1,0 +1,185 @@
+(** Differential kernel fuzzer with automatic shrinking.
+
+    The fuzzer closes the loop the fault-injection suite opened: instead
+    of hand-written kernels under injected faults, it generates random
+    loop kernels (valid DDGs by construction — mixed strides, carried
+    recurrences, may-alias toggles, mixed access granularities),
+    compiles each one under every scheduling scheme, runs it on all
+    three hierarchies under the {!Flexl0_mem.Sanitizer}, and
+    cross-checks three independent oracles:
+
+    - the functional oracle: every loaded value against the sequential
+      reference replay ([Exec.run ~verify:true]);
+    - the sanitizer: hint legality, serve-time freshness, write-through
+      visibility and each hierarchy's structural invariants, checked at
+      every access;
+    - stat identities of the timed executor: [probes = hits + misses],
+      [l1_accesses = l1_hits + l1_misses], bank/attraction origin
+      counters summing to totals, the bus-transaction bound
+      [l1_accesses <= loads + stores + prefetches], and
+      [total = compute + stall].
+
+    Any failure is auto-shrunk to a minimal reproducer and can be
+    printed as a ready-to-paste [Builder] program.
+
+    Everything is deterministic in one seed: the master stream is
+    {!Flexl0_util.Rng.split} into one child per case for kernel
+    generation and an independent child for the per-case fault-plan
+    seed, so enabling faults never changes which kernels are generated. *)
+
+open Flexl0_ir
+
+(** {1 Kernel descriptors}
+
+    A descriptor is deliberately looser than a [Loop.t]: operand and
+    array references are indices resolved modulo availability when the
+    descriptor is materialized, and the carry anchor scans for the next
+    arithmetic op. Every descriptor — in particular every mutation the
+    shrinker tries — therefore materializes to a valid SSA loop. *)
+
+type arith = Add | Mul | Cmp | Fadd | Fmul
+
+type op =
+  | Load of { arr : int; offset : int; stride : int option; width : Opcode.width }
+  | Store of {
+      arr : int;
+      offset : int;
+      stride : int option;
+      width : Opcode.width;
+      src : int;
+    }
+  | Arith of { f : arith; a : int; b : int }
+
+type kernel = {
+  k_name : string;
+  k_trip : int;
+  k_arrays : (int * int) array;  (** (elem_bytes, length in elements) *)
+  k_ops : op array;
+  k_carry : (int * int) option;
+      (** self-carry the first arithmetic op at/after this op index, at
+          this distance *)
+  k_may_alias : bool;
+}
+
+val generate : Flexl0_util.Rng.t -> id:int -> kernel
+(** Draw a random kernel. Array lengths are bounded so every address any
+    stride/width combination can produce stays inside the simulated
+    memory. *)
+
+val materialize : kernel -> Loop.t
+(** Resolve and build. Raises [Invalid_argument] only if the descriptor
+    is degenerate in a way resolution cannot repair (no arrays). *)
+
+val instruction_count : kernel -> int
+(** Instructions in the materialized body (includes on-demand imoves). *)
+
+val to_builder_source : ?comment:string -> kernel -> string
+(** The kernel as a ready-to-paste [Builder] program ([let repro () =
+    ... Builder.finish b]), warning-clean: unused bindings are
+    underscore-prefixed. *)
+
+(** {1 The scheme × hierarchy matrix} *)
+
+type sys_kind = Unified_l0 | Unified_base | Mvliw | Ilv
+
+type sys = {
+  s_label : string;
+  s_kind : sys_kind;
+  s_cfg : Flexl0_arch.Config.t;
+  s_scheme : Flexl0_sched.Scheme.t;
+  s_coherence : Flexl0_sched.Engine.coherence_mode;
+  s_make :
+    Flexl0_arch.Config.t ->
+    backing:Flexl0_mem.Backing.t ->
+    Flexl0_mem.Hierarchy.t;
+}
+
+val default_systems : unit -> sys list
+(** The full differential matrix: the unified baseline, the L0 machine
+    under Auto/NL0/1C/PSR coherence, MultiVLIW, and both interleaved
+    schemes — 8 combinations. *)
+
+val check_identities : sys_kind -> Flexl0_sim.Exec.result -> string list
+(** Violated stat identities of a completed run (empty = all hold). *)
+
+(** {1 Running} *)
+
+type failure_kind =
+  | Mismatch of int  (** wrong load values vs the sequential reference *)
+  | Sanitizer_trip of Flexl0_mem.Sanitizer.violation
+  | Identity of string  (** a stat identity broke *)
+  | Timeout of string  (** cycle watchdog *)
+  | Crash of string  (** unexpected [Invalid_argument] / [Failure] *)
+
+val kind_label : failure_kind -> string
+val describe_kind : failure_kind -> string
+
+val same_class : failure_kind -> failure_kind -> bool
+(** Same constructor — the equivalence the shrinker preserves. *)
+
+type outcome = Pass | Skip of string  (** infeasible *) | Fail of failure_kind
+
+val run_system :
+  ?faults:Flexl0_sim.Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  sys ->
+  Loop.t ->
+  outcome
+(** Compile (II capped) and run one loop on one system under the
+    sanitizer (default [Strict]), classifying the result. *)
+
+val run_case :
+  ?faults:Flexl0_sim.Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  systems:sys list ->
+  kernel ->
+  (string * outcome) list
+
+type failure = {
+  f_case : int;
+  f_system : string;
+  f_kind : failure_kind;
+  f_kernel : kernel;
+  f_faults : Flexl0_sim.Fault.plan option;
+      (** the per-case derived fault plan — carrying it makes the
+          failure replayable in isolation *)
+}
+
+type report = {
+  r_cases : int;  (** cases actually generated and run *)
+  r_runs : int;  (** case × system executions *)
+  r_passes : int;
+  r_skips : int;  (** infeasible schedules (not failures) *)
+  r_failures : failure list;  (** chronological *)
+  r_early_stop : bool;
+      (** stopped before [cases] — failure budget or [keep_going] *)
+}
+
+val run :
+  ?faults:Flexl0_sim.Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?systems:sys list ->
+  ?max_failures:int ->
+  ?keep_going:(unit -> bool) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** Fuzz [cases] kernels across [systems] (default: the full matrix).
+    [faults] is a plan template whose seed is re-derived per case from
+    an independent substream. [max_failures] (default 5) bounds failure
+    collection; [keep_going] is polled between cases (wire it to a
+    deadline for time-boxed CI runs). *)
+
+val shrink :
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?systems:sys list ->
+  ?max_attempts:int ->
+  failure ->
+  kernel
+(** Greedy fixpoint minimization: try dropping each op, halving the trip
+    count, removing the carry / may-alias, canonicalizing strides and
+    offsets, and halving array lengths; accept any mutation that still
+    fails in the same {!same_class} on the same system (replaying the
+    failure's own fault plan), repeat until no candidate reproduces or
+    [max_attempts] (default 400) re-runs are spent. *)

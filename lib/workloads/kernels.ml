@@ -89,7 +89,9 @@ let fir4 ~name ~trip ~len =
   let sum =
     match products with
     | first :: rest -> List.fold_left (fun acc p -> Builder.iadd b acc p) first rest
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Kernels.fir4 %S: tap list is empty" name)
   in
   let out = arith_pad b ~count:6 sum (List.hd products) in
   let _ = Builder.store b ~arr:ys ~stride:(const 1) Opcode.W2 out in
@@ -178,7 +180,10 @@ let column_walk ?(cols = 1) ~name ~trip ~len ~row width =
   let combined =
     match columns with
     | first :: rest -> List.fold_left (fun acc x -> Builder.iadd b acc x) first rest
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Kernels.column_walk %S: needs at least one column"
+           name)
   in
   let t1 = Builder.imul b combined c in
   let t2 = arith_pad b ~count:16 t1 c in
@@ -204,7 +209,10 @@ let column_stencil ?(taps = 6) ~name ~trip ~len ~row width =
   let sum =
     match loads with
     | first :: rest -> List.fold_left (fun acc x -> Builder.iadd b acc x) first rest
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Kernels.column_stencil %S: needs at least one tap"
+           name)
   in
   let t = Builder.imul b sum c in
   let shaped = arith_pad b ~count:10 t c in
@@ -269,7 +277,10 @@ let multi_stream ~name ~trip ~len ~streams =
   let sum =
     match values with
     | first :: rest -> List.fold_left (fun acc v -> Builder.iadd b acc v) first rest
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Kernels.multi_stream %S: needs at least one stream"
+           name)
   in
   let shaped = arith_pad b ~count:8 sum (List.hd values) in
   let _ = Builder.store b ~arr:out ~stride:(const 1) Opcode.W2 shaped in
@@ -351,7 +362,9 @@ let conv2d_row ~name ~trip ~len ~row =
   let sum =
     match taps with
     | first :: rest -> List.fold_left (fun acc t -> Builder.iadd b acc t) first rest
-    | [] -> assert false
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Kernels.conv2d_row %S: tap grid is empty" name)
   in
   let shaped = arith_pad b ~count:6 sum c in
   let _ = Builder.store b ~arr:out ~stride:(const 1) Opcode.W2 shaped in

@@ -1,0 +1,275 @@
+(* Tests for the hierarchy invariant sanitizer and the differential
+   kernel fuzzer.
+
+   The sanitizer contract: a clean run under [Strict] completes [Ok]
+   while the checks demonstrably execute, and every coherence-breaking
+   fault plan from the fault suite aborts at the offending *access* —
+   surfacing as [Errors.Sanitizer_violation] rather than waiting for the
+   end-of-run value verifier. The fuzzer contract: generation is
+   deterministic in the seed, every generated descriptor materializes to
+   a valid loop, a clean configuration fuzzes clean, and a planted
+   failure shrinks to a handful of instructions that still fail the same
+   way. *)
+
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Exec = Flexl0_sim.Exec
+module Fault = Flexl0_sim.Fault
+module Sanitizer = Flexl0_mem.Sanitizer
+module Fuzz = Flexl0_workloads.Fuzz
+module Pipeline = Flexl0.Pipeline
+module Errors = Flexl0.Errors
+module Rng = Flexl0_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let plan1 ?(seed = 1) kind =
+  { Fault.seed; faults = [ { Fault.kind; prob = 1.0 } ] }
+
+let counter (r : Exec.result) name =
+  Option.value ~default:0 (List.assoc_opt name r.Exec.counters)
+
+(* Same kernels the fault suite uses for its detection scenarios, so the
+   sanitizer is proven on exactly the plans PR 1 established as
+   detectable. *)
+let vadd = Test_faults.vadd
+let col = Test_faults.col
+let iir = Test_faults.iir
+let feedback = Test_faults.feedback
+
+(* ------------------------------------------------------------------ *)
+(* Modes and plumbing *)
+
+let test_mode_strings () =
+  List.iter
+    (fun m ->
+      match Sanitizer.mode_of_string (Sanitizer.mode_to_string m) with
+      | Some m' -> check "mode round-trips" true (m = m')
+      | None -> Alcotest.fail "mode string did not parse back")
+    [ Sanitizer.Off; Sanitizer.Log; Sanitizer.Strict ];
+  check "garbage rejected" true (Sanitizer.mode_of_string "paranoid" = None)
+
+let test_clean_run_strict_ok () =
+  (* [Ok] alone would hold vacuously under [Off]; the check counter
+     proves the sanitizer actually audited every access. *)
+  match
+    Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:2
+      ~sanitizer:Sanitizer.Strict (vadd ())
+  with
+  | Ok lr ->
+    check "checks executed" true (counter lr.Pipeline.sim "sanitizer_checks" > 0);
+    check_int "no violations" 0 (counter lr.Pipeline.sim "sanitizer_violations");
+    check_int "clean values" 0 lr.Pipeline.sim.Exec.value_mismatches
+  | Error e -> Alcotest.failf "clean run aborted: %s" (Errors.to_string e)
+
+let test_off_mode_is_transparent () =
+  let run sanitizer =
+    match
+      Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:1 ~sanitizer
+        (vadd ())
+    with
+    | Ok lr -> lr.Pipeline.sim
+    | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+  in
+  let off = run Sanitizer.Off and strict = run Sanitizer.Strict in
+  check_int "same cycles" off.Exec.total_cycles strict.Exec.total_cycles;
+  check_int "same stalls" off.Exec.stall_cycles strict.Exec.stall_cycles;
+  check_int "off mode has no check counter" 0 (counter off "sanitizer_checks")
+
+(* ------------------------------------------------------------------ *)
+(* Negative direction: every coherence-breaking plan from the fault
+   suite must surface as a sanitizer violation, not reach the verifier. *)
+
+let sanitizer_scenarios () =
+  [
+    ("corrupt-subblock/vadd", plan1 Fault.Corrupt_subblock,
+     Pipeline.l0_system (), vadd (), 1);
+    ("skip-invalidate/col", plan1 Fault.Skip_invalidate,
+     Pipeline.l0_system (), col (), 3);
+    ("skip-psr-replica/feedback", plan1 Fault.Skip_psr_replica,
+     Pipeline.l0_system ~coherence:Engine.Force_psr (), feedback (), 1);
+    ("corrupt-hint/iir", plan1 Fault.Corrupt_hint,
+     Pipeline.l0_system ~coherence:Engine.Force_1c (), iir (), 1);
+  ]
+
+let test_breaking_faults_trip_strict () =
+  List.iter
+    (fun (label, faults, system, loop, repeat) ->
+      match
+        Pipeline.run_loop_result system ~repeat ~faults
+          ~sanitizer:Sanitizer.Strict loop
+      with
+      | Error (Errors.Sanitizer_violation v) ->
+        check (label ^ ": violation names an invariant") true
+          (v.Sanitizer.v_invariant <> "");
+        check (label ^ ": message renders") true
+          (String.length (Sanitizer.violation_message v) > 0)
+      | Error (Errors.Coherence_violation _) ->
+        Alcotest.failf
+          "%s: reached the end-of-run verifier — the sanitizer should have \
+           aborted at the access"
+          label
+      | Error e -> Alcotest.failf "%s: wrong error: %s" label (Errors.to_string e)
+      | Ok _ -> Alcotest.failf "%s: breaking fault went unnoticed" label)
+    (sanitizer_scenarios ())
+
+let test_corrupt_subblock_is_freshness () =
+  (* The corrupted value lives in an L0 subblock, so the violated
+     invariant is pinned down, not just "something tripped". *)
+  match
+    Pipeline.run_loop_result (Pipeline.l0_system ()) ~repeat:1
+      ~faults:(plan1 Fault.Corrupt_subblock) ~sanitizer:Sanitizer.Strict
+      (vadd ())
+  with
+  | Error (Errors.Sanitizer_violation v) ->
+    check_string "invariant family" "l0-freshness" v.Sanitizer.v_invariant;
+    check_string "operation" "load" v.Sanitizer.v_op
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "corrupt-subblock must trip the sanitizer"
+
+let test_log_mode_records_without_abort () =
+  (* Log mode must survive to the end of the run: the verifier still
+     reports the damage while the violation counter shows the sanitizer
+     saw it first. *)
+  let lr =
+    Pipeline.run_loop (Pipeline.l0_system ()) ~repeat:1
+      ~faults:(plan1 Fault.Corrupt_subblock) ~sanitizer:Sanitizer.Log (vadd ())
+  in
+  check "violations counted" true
+    (counter lr.Pipeline.sim "sanitizer_violations" > 0);
+  check "verifier still sees the damage" true
+    (lr.Pipeline.sim.Exec.value_mismatches > 0)
+
+let test_violation_log_captures () =
+  (* Drive a fault-corrupted hierarchy by hand through a [~log] wrapper:
+     the first load allocates the subblock, the second is L0-served with
+     the corrupted value — Log mode records instead of raising. *)
+  let backing = Flexl0_mem.Backing.create ~size:8192 in
+  let inner = Flexl0_mem.Unified.create Config.default ~backing in
+  let faulty = Fault.instrument (plan1 Fault.Corrupt_subblock) inner in
+  let log = Sanitizer.create_log () in
+  let h = Sanitizer.wrap ~log Sanitizer.Log faulty in
+  check_int "fresh log empty" 0 (Sanitizer.violation_count log);
+  let hints = Flexl0_mem.Hint.make ~access:Flexl0_mem.Hint.Seq_access () in
+  let _ = h.Flexl0_mem.Hierarchy.load ~now:0 ~cluster:0 ~addr:64 ~width:4 ~hints in
+  let _ =
+    h.Flexl0_mem.Hierarchy.load ~now:200 ~cluster:0 ~addr:64 ~width:4 ~hints
+  in
+  check "violation recorded" true (Sanitizer.violation_count log > 0);
+  (match Sanitizer.violations log with
+  | v :: _ -> check_string "freshness flagged" "l0-freshness" v.Sanitizer.v_invariant
+  | [] -> Alcotest.fail "log retained nothing")
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer: determinism, validity, clean sweep *)
+
+let test_fuzz_deterministic () =
+  let source seed =
+    let rng = Rng.create seed in
+    Fuzz.to_builder_source (Fuzz.generate rng ~id:0)
+  in
+  check_string "same seed, same kernel" (source 7) (source 7);
+  check "different seeds diverge somewhere" true
+    (List.exists (fun s -> source s <> source 7) [ 8; 9; 10; 11 ])
+
+let test_generated_kernels_materialize () =
+  for seed = 0 to 29 do
+    let rng = Rng.create (1000 + seed) in
+    let k = Fuzz.generate rng ~id:seed in
+    let loop = Fuzz.materialize k in
+    check ("kernel " ^ string_of_int seed ^ " has a body") true
+      (Fuzz.instruction_count k >= 1);
+    check ("kernel " ^ string_of_int seed ^ " names itself") true
+      (String.length loop.Flexl0_ir.Loop.name > 0)
+  done
+
+let test_clean_fuzz_sweep () =
+  let report = Fuzz.run ~seed:11 ~cases:12 () in
+  check_int "all cases ran" 12 report.Fuzz.r_cases;
+  check "runs happened" true (report.Fuzz.r_runs > 0);
+  check "no failures" true (report.Fuzz.r_failures = []);
+  check "did not stop early" true (not report.Fuzz.r_early_stop)
+
+let test_identities_on_result () =
+  (* The identity checker itself: a real run must satisfy them. *)
+  let sys =
+    List.find (fun s -> s.Fuzz.s_label = "l0-auto") (Fuzz.default_systems ())
+  in
+  let rng = Rng.create 5 in
+  let loop = Fuzz.materialize (Fuzz.generate rng ~id:0) in
+  match Fuzz.run_system sys loop with
+  | Fuzz.Pass -> ()
+  | Fuzz.Skip reason -> Alcotest.failf "unexpectedly infeasible: %s" reason
+  | Fuzz.Fail k -> Alcotest.failf "clean kernel failed: %s" (Fuzz.describe_kind k)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let test_shrinker_minimizes_planted_failure () =
+  let faults = plan1 Fault.Corrupt_subblock in
+  let report = Fuzz.run ~faults ~seed:42 ~cases:10 ~max_failures:1 () in
+  match report.Fuzz.r_failures with
+  | [] -> Alcotest.fail "corrupt-subblock found nothing across 10 cases"
+  | f :: _ ->
+    let shrunk = Fuzz.shrink f in
+    let n = Fuzz.instruction_count shrunk in
+    if n > 6 then
+      Alcotest.failf "shrunk reproducer still has %d instructions" n;
+    (* The minimized kernel must fail the same way on the same system
+       under the failure's own fault plan. *)
+    let sys =
+      List.find (fun s -> s.Fuzz.s_label = f.Fuzz.f_system)
+        (Fuzz.default_systems ())
+    in
+    (match Fuzz.run_system ?faults:f.Fuzz.f_faults sys (Fuzz.materialize shrunk) with
+    | Fuzz.Fail k ->
+      check "same failure class" true (Fuzz.same_class k f.Fuzz.f_kind)
+    | Fuzz.Pass -> Alcotest.fail "shrunk kernel no longer fails"
+    | Fuzz.Skip r -> Alcotest.failf "shrunk kernel infeasible: %s" r);
+    (* And the reproducer renders as paste-ready Builder code. *)
+    let src = Fuzz.to_builder_source ~comment:"planted" shrunk in
+    check "source mentions the builder" true
+      (String.length src > 0
+      && Fuzz.instruction_count shrunk = n)
+
+let test_shrink_is_deterministic () =
+  let faults = plan1 Fault.Corrupt_subblock in
+  let shrunk_source () =
+    let report = Fuzz.run ~faults ~seed:42 ~cases:10 ~max_failures:1 () in
+    match report.Fuzz.r_failures with
+    | f :: _ -> Fuzz.to_builder_source (Fuzz.shrink f)
+    | [] -> Alcotest.fail "nothing to shrink"
+  in
+  check_string "same seed shrinks to the same reproducer" (shrunk_source ())
+    (shrunk_source ())
+
+let suite =
+  ( "sanitizer",
+    [
+      Alcotest.test_case "mode strings round-trip" `Quick test_mode_strings;
+      Alcotest.test_case "clean run under strict is ok" `Quick
+        test_clean_run_strict_ok;
+      Alcotest.test_case "off mode is transparent" `Quick
+        test_off_mode_is_transparent;
+      Alcotest.test_case "breaking faults trip strict before the verifier"
+        `Quick test_breaking_faults_trip_strict;
+      Alcotest.test_case "corrupt-subblock pins l0-freshness" `Quick
+        test_corrupt_subblock_is_freshness;
+      Alcotest.test_case "log mode records without abort" `Quick
+        test_log_mode_records_without_abort;
+      Alcotest.test_case "violation log captures" `Quick
+        test_violation_log_captures;
+      Alcotest.test_case "fuzz generation is deterministic" `Quick
+        test_fuzz_deterministic;
+      Alcotest.test_case "generated kernels materialize" `Quick
+        test_generated_kernels_materialize;
+      Alcotest.test_case "clean fuzz sweep" `Slow test_clean_fuzz_sweep;
+      Alcotest.test_case "stat identities hold on a real run" `Quick
+        test_identities_on_result;
+      Alcotest.test_case "shrinker minimizes a planted failure" `Slow
+        test_shrinker_minimizes_planted_failure;
+      Alcotest.test_case "shrinking is deterministic" `Slow
+        test_shrink_is_deterministic;
+    ] )
