@@ -35,6 +35,12 @@ let artifacts : (string * string * (unit -> unit)) list =
      fun () -> Report.print_fig6 (Experiments.fig6 ()));
     ("fig7", "L0 vs MultiVLIW vs word-interleaved (Figure 7)",
      fun () -> Report.print_figure (Experiments.fig7 ()));
+    ("figures-parallel",
+     "figures 5+7 through the supervised runner (4 forked workers)",
+     fun () ->
+       let runner = { Flexl0.Runner.default with jobs = 4 } in
+       Report.print_figure (Experiments.fig5 ~runner ());
+       Report.print_figure (Experiments.fig7 ~runner ()));
     ("extras", "Section 5.2 studies",
      fun () -> Report.print_extras (Experiments.extras ()));
     ("sensitivity", "L1-latency / cluster / prefetch sweeps (beyond the paper)",

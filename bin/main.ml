@@ -11,6 +11,9 @@ module Exec = Flexl0_sim.Exec
 module Fault = Flexl0_sim.Fault
 module Fuzz = Flexl0_workloads.Fuzz
 module Sanitizer = Flexl0_mem.Sanitizer
+module Runner = Flexl0.Runner
+module Campaign = Flexl0.Campaign
+module Csv_export = Flexl0.Csv_export
 
 (* Every CLI failure funnels through here: one line on stderr, prefixed
    with the subcommand, exit code 2. *)
@@ -50,15 +53,97 @@ let find_benchmark ~cmd name =
   try Mediabench.find name
   with Not_found -> die ~cmd "unknown benchmark %S" name
 
+(* ---- supervised-runner flags, shared by figures and fuzz ---------- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker processes. Independent work units run in forked \
+               workers; the output is bit-identical for any value.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S"
+         ~doc:"Kill any single work unit after S seconds of wall clock and \
+               retry it; a unit that keeps failing degrades to a skipped \
+               row instead of aborting the run.")
+
+let retries_arg =
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-run a crashed or timed-out work unit up to N more times \
+               (exponential backoff with jitter) before giving up on it.")
+
+let run_id_arg default =
+  Arg.(value & opt string default & info [ "run-id" ] ~docv:"ID"
+         ~doc:"Name of this run's journal directory under runs/.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Reload the run journal and execute only work units it does \
+               not already record. Only meaningful with the same binary \
+               and parameters as the interrupted run.")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Exit with status 1 if any benchmark row was skipped \
+               (degraded results are failures, e.g. in CI).")
+
+let max_cycles_arg =
+  Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N"
+         ~doc:"Override every simulation's cycle-watchdog budget (default: \
+               each loop's budget scales with its schedule and invocation \
+               count).")
+
+(* Retries and give-ups go to stderr as they happen; normal completion
+   stays quiet so stdout remains the figure. *)
+let runner_progress ~cmd = function
+  | Runner.Job_retry { job; attempt; delay; reason } ->
+    Printf.eprintf "flexl0 %s: %s: attempt %d failed (%s), retrying in %.1fs\n%!"
+      cmd job attempt reason delay
+  | Runner.Job_gave_up sk ->
+    Printf.eprintf "flexl0 %s: %s\n%!" cmd (Runner.skip_message sk)
+  | Runner.Job_started _ | Runner.Job_done _ | Runner.Job_cached _ -> ()
+
+let runner_config ~cmd ~journal_dir jobs timeout retries resume =
+  if jobs < 1 then die ~cmd "--jobs must be at least 1";
+  if retries < 0 then die ~cmd "--retries must not be negative";
+  (match timeout with
+  | Some t when t <= 0.0 -> die ~cmd "--timeout must be positive"
+  | _ -> ());
+  {
+    Runner.default with
+    jobs;
+    timeout;
+    retries;
+    journal_dir;
+    resume;
+    on_progress = runner_progress ~cmd;
+  }
+
+(* --strict: skipped rows are failures. *)
+let check_strict ~cmd ~strict figs =
+  let skipped =
+    List.concat_map (fun (f : Experiments.figure) -> f.Experiments.skipped) figs
+  in
+  if strict && skipped <> [] then begin
+    Printf.eprintf "flexl0 %s: --strict: %d benchmark row%s skipped:\n" cmd
+      (List.length skipped)
+      (if List.length skipped = 1 then "" else "s");
+    List.iter
+      (fun (bench, reason) -> Printf.eprintf "  %s: %s\n" bench reason)
+      skipped;
+    exit 1
+  end
+
 let fig5_cmd =
   let cmd = "fig5" in
-  let run names =
+  let run names strict max_cycles =
     protect ~cmd (fun () ->
         let benchmarks = resolve_benchmarks ~cmd names in
-        Report.print_figure (Experiments.fig5 ?benchmarks ()))
+        let fig = Experiments.fig5 ?benchmarks ?max_cycles () in
+        Report.print_figure fig;
+        check_strict ~cmd ~strict [ fig ])
   in
   Cmd.v (Cmd.info cmd ~doc:"Execution time vs L0 buffer size (Figure 5)")
-    Term.(const run $ benchmarks_arg)
+    Term.(const run $ benchmarks_arg $ strict_arg $ max_cycles_arg)
 
 let fig6_cmd =
   let cmd = "fig6" in
@@ -74,15 +159,64 @@ let fig6_cmd =
 
 let fig7_cmd =
   let cmd = "fig7" in
-  let run names =
+  let run names strict max_cycles =
     protect ~cmd (fun () ->
         let benchmarks = resolve_benchmarks ~cmd names in
-        Report.print_figure (Experiments.fig7 ?benchmarks ()))
+        let fig = Experiments.fig7 ?benchmarks ?max_cycles () in
+        Report.print_figure fig;
+        check_strict ~cmd ~strict [ fig ])
   in
   Cmd.v
     (Cmd.info cmd
        ~doc:"L0 buffers vs MultiVLIW vs word-interleaved (Figure 7)")
-    Term.(const run $ benchmarks_arg)
+    Term.(const run $ benchmarks_arg $ strict_arg $ max_cycles_arg)
+
+(* Both normalized-execution figures on the supervised runner: every
+   (benchmark, system) cell is a forked, timed-out, retried job, and the
+   run journal under runs/ID makes an interrupted campaign resumable. *)
+let figures_cmd =
+  let cmd = "figures" in
+  let run names dir jobs timeout retries run_id resume strict max_cycles =
+    protect ~cmd (fun () ->
+        let benchmarks = resolve_benchmarks ~cmd names in
+        let runner_for part =
+          runner_config ~cmd
+            ~journal_dir:
+              (Some (Filename.concat (Filename.concat "runs" run_id) part))
+            jobs timeout retries resume
+        in
+        let f5 =
+          Experiments.fig5 ?benchmarks ~runner:(runner_for "fig5") ?max_cycles
+            ()
+        in
+        Report.print_figure f5;
+        let f7 =
+          Experiments.fig7 ?benchmarks ~runner:(runner_for "fig7") ?max_cycles
+            ()
+        in
+        Report.print_figure f7;
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let save name contents =
+          let path = Filename.concat dir name in
+          Csv_export.save ~path contents;
+          Printf.printf "wrote %s\n" path
+        in
+        save "fig5.csv" (Csv_export.figure f5);
+        save "fig7.csv" (Csv_export.figure f7);
+        check_strict ~cmd ~strict [ f5; f7 ])
+  in
+  let dir =
+    Arg.(value & opt string "results" & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Output directory for fig5.csv and fig7.csv.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Figures 5 and 7 under the supervised parallel runner: forked \
+             per-cell workers, per-cell timeout and retry, resumable run \
+             journal")
+    Term.(const run $ benchmarks_arg $ dir $ jobs_arg $ timeout_arg
+          $ retries_arg $ run_id_arg "figures" $ resume_arg $ strict_arg
+          $ max_cycles_arg)
 
 let table1_cmd =
   let cmd = "table1" in
@@ -297,7 +431,8 @@ let faults_cmd =
 
 let fuzz_cmd =
   let cmd = "fuzz" in
-  let run seed cases specs fault_seed mode max_seconds repro_out =
+  let run seed cases specs fault_seed mode max_seconds repro_out jobs timeout
+      retries run_id resume =
     protect ~cmd (fun () ->
         let sanitizer =
           match Sanitizer.mode_of_string mode with
@@ -335,15 +470,37 @@ let fuzz_cmd =
             (String.concat ", "
                (List.map Fault.fault_to_string p.Fault.faults))
         | None -> ());
-        let start = Sys.time () in
-        let keep_going () =
-          match max_seconds with
-          | None -> true
-          | Some s -> Sys.time () -. start < s
+        let supervised = jobs > 1 || resume || timeout <> None in
+        let report, gave_up =
+          if supervised then begin
+            if max_seconds <> None then
+              die ~cmd
+                "--max-seconds only applies to the sequential fuzzer; \
+                 time-box supervised runs with --timeout per case instead";
+            let runner =
+              runner_config ~cmd
+                ~journal_dir:(Some (Filename.concat "runs" run_id))
+                jobs timeout retries resume
+            in
+            Campaign.fuzz ?faults ~sanitizer ~runner ~seed ~cases ()
+          end
+          else begin
+            let start = Sys.time () in
+            let keep_going () =
+              match max_seconds with
+              | None -> true
+              | Some s -> Sys.time () -. start < s
+            in
+            (Fuzz.run ?faults ~sanitizer ~keep_going ~seed ~cases (), [])
+          end
         in
-        let report =
-          Fuzz.run ?faults ~sanitizer ~keep_going ~seed ~cases ()
-        in
+        if gave_up <> [] then
+          Printf.printf
+            "%d case batch%s gave up (timeout or crash after retries) and \
+             %s excluded from the tallies below\n"
+            (List.length gave_up)
+            (if List.length gave_up = 1 then "" else "es")
+            (if List.length gave_up = 1 then "is" else "are");
         Printf.printf
           "%d cases, %d runs: %d passed, %d skipped (infeasible), %d \
            failure%s%s\n"
@@ -436,35 +593,39 @@ let fuzz_cmd =
              hierarchy under the invariant sanitizer, with automatic \
              shrinking of any failure")
     Term.(const run $ seed $ cases $ specs $ fault_seed $ mode $ max_seconds
-          $ repro_out)
+          $ repro_out $ jobs_arg $ timeout_arg $ retries_arg
+          $ run_id_arg "fuzz" $ resume_arg)
 
 let export_cmd =
   let cmd = "export" in
-  let run dir names =
+  let run dir names strict =
     protect ~cmd (fun () ->
         let benchmarks = resolve_benchmarks ~cmd names in
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         let save name contents =
           let path = Filename.concat dir name in
-          Flexl0.Csv_export.save ~path contents;
+          Csv_export.save ~path contents;
           Printf.printf "wrote %s\n" path
         in
-        save "fig5.csv" (Flexl0.Csv_export.figure (Experiments.fig5 ?benchmarks ()));
-        save "fig6.csv" (Flexl0.Csv_export.fig6 (Experiments.fig6 ?benchmarks ()));
-        save "fig7.csv" (Flexl0.Csv_export.figure (Experiments.fig7 ?benchmarks ()));
-        save "table1.csv" (Flexl0.Csv_export.table1 (Experiments.table1 ?benchmarks ()));
+        let f5 = Experiments.fig5 ?benchmarks () in
+        let f7 = Experiments.fig7 ?benchmarks () in
+        save "fig5.csv" (Csv_export.figure f5);
+        save "fig6.csv" (Csv_export.fig6 (Experiments.fig6 ?benchmarks ()));
+        save "fig7.csv" (Csv_export.figure f7);
+        save "table1.csv" (Csv_export.table1 (Experiments.table1 ?benchmarks ()));
         save "l1_latency.csv"
-          (Flexl0.Csv_export.sweep ~parameter:"l1_latency"
+          (Csv_export.sweep ~parameter:"l1_latency"
              (Experiments.l1_latency_sensitivity ?benchmarks ()));
         save "clusters.csv"
-          (Flexl0.Csv_export.sweep ~parameter:"clusters"
+          (Csv_export.sweep ~parameter:"clusters"
              (Experiments.cluster_scaling ?benchmarks ()));
         save "prefetch.csv"
-          (Flexl0.Csv_export.sweep ~parameter:"distance"
+          (Csv_export.sweep ~parameter:"distance"
              (Experiments.prefetch_distance_sweep ?benchmarks ()));
         save "coherence.csv"
-          (Flexl0.Csv_export.coherence
-             (Experiments.coherence_ablation ?benchmarks ())))
+          (Csv_export.coherence
+             (Experiments.coherence_ablation ?benchmarks ()));
+        check_strict ~cmd ~strict [ f5; f7 ])
   in
   let dir =
     Arg.(value & opt string "results" & info [ "o"; "output" ] ~docv:"DIR"
@@ -472,7 +633,7 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info cmd ~doc:"Write every experiment's data as CSV files")
-    Term.(const run $ dir $ benchmarks_arg)
+    Term.(const run $ dir $ benchmarks_arg $ strict_arg)
 
 let all_cmd =
   let cmd = "all" in
@@ -533,7 +694,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd; table2_cmd; extras_cmd;
-            sensitivity_cmd; ablation_cmd; export_cmd; all_cmd; schedule_cmd;
-            trace_cmd; faults_cmd; fuzz_cmd;
+            fig5_cmd; fig6_cmd; fig7_cmd; figures_cmd; table1_cmd; table2_cmd;
+            extras_cmd; sensitivity_cmd; ablation_cmd; export_cmd; all_cmd;
+            schedule_cmd; trace_cmd; faults_cmd; fuzz_cmd;
           ]))

@@ -1,0 +1,88 @@
+open Flexl0_workloads
+
+(* Chunk [l] into groups of [per] (the last may be shorter). *)
+let rec chunk per = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | x :: rest -> take (k - 1) (x :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    let b, rest = take per [] l in
+    b :: chunk per rest
+
+let fuzz ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Strict) ?systems
+    ?(max_failures = 5) ?(batch = 1) ~runner ~seed ~cases () =
+  if batch < 1 then invalid_arg "Campaign.fuzz: batch must be >= 1";
+  let systems =
+    match systems with Some s -> s | None -> Fuzz.default_systems ()
+  in
+  let batches = chunk batch (Fuzz.plan_cases ?faults ~seed ~cases ()) in
+  (* One job per batch. The worker inherits the planned cases through
+     fork; only the outcome lists — plain data — cross the pipe back. *)
+  let jobs =
+    List.mapi
+      (fun bi cs ->
+        {
+          Runner.id = Printf.sprintf "fuzz-%06d" bi;
+          work =
+            (fun ~seed:_ ->
+              List.map
+                (fun (c : Fuzz.case) ->
+                  Fuzz.run_case ?faults:c.Fuzz.c_faults ~sanitizer ~systems
+                    c.Fuzz.c_kernel)
+                cs);
+        })
+      batches
+  in
+  let outcomes = Runner.run runner jobs in
+  (* Assemble in case order — identical to the sequential fuzzer's
+     bookkeeping, including where the failure budget stops counting. *)
+  let runs = ref 0 and passes = ref 0 and skips = ref 0 in
+  let failures = ref [] in
+  let done_cases = ref 0 in
+  let early = ref false in
+  let gave_up = ref [] in
+  (try
+     List.iter2
+       (fun cs outcome ->
+         match outcome with
+         | Runner.Gave_up sk -> gave_up := sk :: !gave_up
+         | Runner.Done case_results ->
+           List.iter2
+             (fun (c : Fuzz.case) results ->
+               if List.length !failures >= max_failures then begin
+                 early := true;
+                 raise Exit
+               end;
+               List.iter
+                 (fun (label, o) ->
+                   incr runs;
+                   match o with
+                   | Fuzz.Pass -> incr passes
+                   | Fuzz.Skip _ -> incr skips
+                   | Fuzz.Fail fk ->
+                     failures :=
+                       {
+                         Fuzz.f_case = c.Fuzz.c_index;
+                         f_system = label;
+                         f_kind = fk;
+                         f_kernel = c.Fuzz.c_kernel;
+                         f_faults = c.Fuzz.c_faults;
+                       }
+                       :: !failures)
+                 results;
+               incr done_cases)
+             cs case_results)
+       batches outcomes
+   with Exit -> ());
+  ( {
+      Fuzz.r_cases = !done_cases;
+      r_runs = !runs;
+      r_passes = !passes;
+      r_skips = !skips;
+      r_failures = List.rev !failures;
+      r_early_stop = !early;
+    },
+    List.rev !gave_up )

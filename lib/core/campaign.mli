@@ -1,0 +1,45 @@
+(** Supervised fuzz campaigns: {!Flexl0_workloads.Fuzz} batch execution
+    on top of {!Runner}.
+
+    The sequential fuzzer is one process; a hung simulation or a crash
+    in case 37 kills the whole campaign and loses cases 0–36. This
+    driver plans the full case stream up front
+    ({!Flexl0_workloads.Fuzz.plan_cases} — a pure function of the
+    seed), chunks it into batches, and runs each batch as one
+    supervised {!Runner} job: forked, timed out, retried with backoff,
+    journaled for [--resume]. The report is assembled from the batch
+    results in case order, so for a given seed it is identical to the
+    sequential fuzzer's whatever the worker count — including the
+    failure-budget early stop, which is applied during assembly, not
+    during execution. *)
+
+open Flexl0_workloads
+
+val fuzz :
+  ?faults:Flexl0_sim.Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?systems:Fuzz.sys list ->
+  ?max_failures:int ->
+  ?batch:int ->
+  runner:Runner.config ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  Fuzz.report * Runner.skip list
+(** Run [cases] fuzz cases under the supervised runner. [batch]
+    (default 1) is the number of cases per runner job — raise it to
+    amortize fork overhead when cases are cheap; note the per-job
+    timeout then covers the whole batch. Defaults for [sanitizer]
+    ([Strict]), [systems] (the full matrix) and [max_failures] (5)
+    match {!Flexl0_workloads.Fuzz.run}.
+
+    The returned report covers the batches that completed: a batch
+    whose job gave up (timeout, worker crash — after retries) is
+    excluded from every report counter and returned in the
+    {!Runner.skip} list instead, so one pathological kernel cannot
+    poison the campaign; its job id names the batch for a later
+    [--resume] or sequential replay. [r_early_stop] is set only by the
+    failure budget, exactly as in the sequential fuzzer; cases after
+    the budget trips are not counted even though they may have
+    executed. [keep_going] has no parallel equivalent — time-box
+    campaigns with the per-job timeout instead. *)

@@ -74,11 +74,28 @@ let figure (fig : Experiments.figure) =
            [ "AMEAN"; p.Experiments.point; float p.Experiments.total;
              float p.Experiments.stall ]))
     fig.Experiments.amean;
-  List.iter
-    (fun (bench, reason) ->
-      Buffer.add_string buf (record [ "SKIPPED"; bench; reason; "" ]))
-    fig.Experiments.skipped;
+  if fig.Experiments.skipped <> [] then begin
+    Buffer.add_string buf (record [ "skipped" ]);
+    Buffer.add_string buf (record [ "bench"; "reason" ]);
+    List.iter
+      (fun (bench, reason) -> Buffer.add_string buf (record [ bench; reason ]))
+      fig.Experiments.skipped
+  end;
   Buffer.contents buf
+
+let figure_skipped text =
+  let rec after_marker = function
+    | [] -> []
+    | [ "skipped" ] :: rest -> section rest
+    | _ :: rest -> after_marker rest
+  and section = function
+    | [ "bench"; "reason" ] :: rest -> rows rest
+    | rest -> rows rest
+  and rows = function
+    | [ bench; reason ] :: rest -> (bench, reason) :: rows rest
+    | _ -> []
+  in
+  after_marker (parse text)
 
 let fig6 rows =
   let buf = Buffer.create 512 in

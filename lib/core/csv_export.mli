@@ -14,9 +14,18 @@ val parse : string -> string list list
     unterminated quoted field. *)
 
 val figure : Experiments.figure -> string
-(** Long format: [bench,point,total,stall] plus the AMEAN rows, then a
-    [SKIPPED,bench,reason,] record per skipped benchmark (none on a
-    healthy figure). *)
+(** Long format: [bench,point,total,stall] plus the AMEAN rows. A
+    figure with skipped benchmarks gets a trailing section — a
+    [skipped] marker record, a [bench,reason] header, then one record
+    per skipped benchmark, reasons RFC-4180-escaped (they routinely
+    carry commas, and runner reasons may carry quotes or newlines).
+    Healthy figures have no such section, so their shape is
+    unchanged. *)
+
+val figure_skipped : string -> (string * string) list
+(** The [(bench, reason)] pairs of a {!figure} string's trailing
+    skipped section — [[]] when the figure was healthy. Total inverse
+    of the writer: [figure_skipped (figure f) = f.skipped]. *)
 
 val fig6 : Experiments.fig6_row list -> string
 (** [bench,linear_fraction,interleaved_fraction,hit_rate,avg_unroll]. *)

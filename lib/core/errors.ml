@@ -7,6 +7,7 @@ type t =
   | Config_invalid of string
   | Coherence_violation of { loop : string; system : string; mismatches : int }
   | Sanitizer_violation of Flexl0_mem.Sanitizer.violation
+  | Job_gave_up of { job : string; attempts : int; reason : string }
 
 let of_infeasible inf = Schedule_infeasible inf
 let of_watchdog wd = Watchdog_timeout wd
@@ -22,3 +23,8 @@ let to_string = function
       loop system
   | Sanitizer_violation v ->
     "sanitizer violation: " ^ Flexl0_mem.Sanitizer.violation_message v
+  | Job_gave_up { job; attempts; reason } ->
+    Printf.sprintf "runner gave up: job %s failed %d attempt%s: %s" job
+      attempts
+      (if attempts = 1 then "" else "s")
+      reason

@@ -19,6 +19,11 @@ type t =
       (** a [Strict]-mode sanitizer caught a broken hierarchy invariant
           at the offending access — strictly earlier than the end-of-run
           value verifier could have *)
+  | Job_gave_up of { job : string; attempts : int; reason : string }
+      (** a supervised {!Runner} job (one figure cell, one fuzz batch)
+          exhausted its retries — timeout, worker crash or torn result —
+          and degraded to a skipped row instead of aborting the
+          campaign *)
 
 val of_infeasible : Flexl0_sched.Engine.infeasible -> t
 val of_watchdog : Flexl0_sim.Exec.watchdog -> t

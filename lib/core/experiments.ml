@@ -20,10 +20,49 @@ let default_benchmarks () = Mediabench.all ()
 
 (* Normalized execution-time figure over a list of systems. A benchmark
    whose compilation or simulation fails for any system is dropped from
-   the rows and recorded in [skipped] instead of aborting the figure. *)
-let normalized_figure ~title ?baseline ~systems benchmarks =
+   the rows and recorded in [skipped] instead of aborting the figure.
+
+   Every (benchmark, system) cell — the baseline included — is one
+   independent job. With [runner] set, the cells execute in supervised
+   forked workers (parallel, timed out, retried; a cell whose job gives
+   up skips its benchmark like any other cell failure); without it they
+   run inline, sequentially. Assembly walks the cells in canonical order
+   (benchmark by benchmark, baseline first, then each system), so the
+   figure's bytes are independent of worker count and completion
+   order. *)
+let normalized_figure ~title ?baseline ?runner ?max_cycles ~systems benchmarks
+    =
   let baseline =
     match baseline with Some b -> b | None -> Pipeline.baseline_system ()
+  in
+  let all_systems = baseline :: systems in
+  let cell_jobs (b : Mediabench.benchmark) =
+    List.mapi
+      (fun idx (sys : Pipeline.system) ->
+        {
+          Runner.id =
+            Printf.sprintf "%s/%d-%s" b.Mediabench.bname idx sys.Pipeline.label;
+          work =
+            (fun ~seed:_ -> Pipeline.run_benchmark_result ?max_cycles sys b);
+        })
+      all_systems
+  in
+  let jobs = List.concat_map cell_jobs benchmarks in
+  let outcomes =
+    match runner with
+    | Some cfg -> Runner.run cfg jobs
+    | None -> List.map (fun j -> Runner.Done (j.Runner.work ~seed:0)) jobs
+  in
+  let cell = function
+    | Runner.Done r -> r
+    | Runner.Gave_up sk ->
+      Error
+        (Errors.Job_gave_up
+           {
+             job = sk.Runner.sk_job;
+             attempts = sk.Runner.sk_attempts;
+             reason = sk.Runner.sk_reason;
+           })
   in
   let mismatches = ref 0 in
   let skipped = ref [] in
@@ -31,40 +70,60 @@ let normalized_figure ~title ?baseline ~systems benchmarks =
     skipped := (bname, Errors.to_string err) :: !skipped;
     None
   in
-  let row_of_bench (b : Mediabench.benchmark) =
-    match Pipeline.run_benchmark_result baseline b with
-    | Error err -> skip b.Mediabench.bname err
-    | Ok base -> (
-      mismatches := !mismatches + base.Pipeline.mismatches;
-      let base_total, _ =
-        Pipeline.execution_time base ~baseline:base
-          ~scalar_fraction:b.Mediabench.scalar_fraction
+  let rec chunk per = function
+    | [] -> []
+    | l ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | x :: rest -> take (k - 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
       in
-      let rec points acc = function
-        | [] -> Some (List.rev acc)
-        | (sys : Pipeline.system) :: rest -> (
-          match Pipeline.run_benchmark_result sys b with
-          | Error err -> skip b.Mediabench.bname err
-          | Ok run ->
-            mismatches := !mismatches + run.Pipeline.mismatches;
-            let total, stall =
-              Pipeline.execution_time run ~baseline:base
-                ~scalar_fraction:b.Mediabench.scalar_fraction
-            in
-            points
-              ({
-                 point = sys.Pipeline.label;
-                 total = total /. base_total;
-                 stall = stall /. base_total;
-               }
-              :: acc)
-              rest)
-      in
-      match points [] systems with
-      | None -> None
-      | Some points -> Some { bench = b.Mediabench.bname; points })
+      let cells, rest = take per [] l in
+      cells :: chunk per rest
   in
-  let rows = List.filter_map row_of_bench benchmarks in
+  let row_of_bench (b : Mediabench.benchmark) cells =
+    match List.map cell cells with
+    | [] -> None
+    | base_cell :: sys_cells -> (
+      match base_cell with
+      | Error err -> skip b.Mediabench.bname err
+      | Ok base -> (
+        mismatches := !mismatches + base.Pipeline.mismatches;
+        let base_total, _ =
+          Pipeline.execution_time base ~baseline:base
+            ~scalar_fraction:b.Mediabench.scalar_fraction
+        in
+        let rec points acc syss cells =
+          match (syss, cells) with
+          | [], _ -> Some (List.rev acc)
+          | (_ : Pipeline.system) :: _, [] -> None
+          | (sys : Pipeline.system) :: srest, c :: crest -> (
+            match c with
+            | Error err -> skip b.Mediabench.bname err
+            | Ok run ->
+              mismatches := !mismatches + run.Pipeline.mismatches;
+              let total, stall =
+                Pipeline.execution_time run ~baseline:base
+                  ~scalar_fraction:b.Mediabench.scalar_fraction
+              in
+              points
+                ({
+                   point = sys.Pipeline.label;
+                   total = total /. base_total;
+                   stall = stall /. base_total;
+                 }
+                :: acc)
+                srest crest)
+        in
+        match points [] systems sys_cells with
+        | None -> None
+        | Some points -> Some { bench = b.Mediabench.bname; points }))
+  in
+  let rows =
+    List.filter_map
+      (fun (b, cells) -> row_of_bench b cells)
+      (List.combine benchmarks (chunk (List.length all_systems) outcomes))
+  in
   let amean =
     List.mapi
       (fun idx (sys : Pipeline.system) ->
@@ -86,7 +145,7 @@ let normalized_figure ~title ?baseline ~systems benchmarks =
     skipped = List.rev !skipped;
   }
 
-let fig5 ?benchmarks ?max_ii () =
+let fig5 ?benchmarks ?max_ii ?runner ?max_cycles () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
@@ -101,9 +160,9 @@ let fig5 ?benchmarks ?max_ii () =
   normalized_figure
     ~title:"Figure 5: execution time vs L0 buffer size (normalized to no-L0)"
     ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
-    ~systems benchmarks
+    ?runner ?max_cycles ~systems benchmarks
 
-let fig7 ?benchmarks ?max_ii () =
+let fig7 ?benchmarks ?max_ii ?runner ?max_cycles () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
@@ -120,7 +179,7 @@ let fig7 ?benchmarks ?max_ii () =
       "Figure 7: L0 buffers vs MultiVLIW vs word-interleaved cache \
        (normalized to no-L0 unified)"
     ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
-    ~systems benchmarks
+    ?runner ?max_cycles ~systems benchmarks
 
 type fig6_row = {
   f6_bench : string;

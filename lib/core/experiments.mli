@@ -27,23 +27,51 @@ type figure = {
 val normalized_figure :
   title:string ->
   ?baseline:Pipeline.system ->
+  ?runner:Runner.config ->
+  ?max_cycles:int ->
   systems:Pipeline.system list ->
   Mediabench.benchmark list ->
   figure
 (** Normalized execution-time figure over arbitrary systems. A benchmark
     whose compilation or simulation fails (infeasible II, watchdog, bad
     config, coherence violation) for the baseline or any system lands in
-    [skipped] instead of raising; [amean] averages the surviving rows. *)
+    [skipped] instead of raising; [amean] averages the surviving rows.
 
-val fig5 : ?benchmarks:Mediabench.benchmark list -> ?max_ii:int -> unit -> figure
+    Every (benchmark, system) cell — baseline included — is one
+    independent work unit. With [runner] the cells run in supervised
+    forked workers ({!Runner.run}): parallel up to [jobs], per-cell
+    wall-clock timeout, retry with backoff; a cell whose job finally
+    gives up skips its benchmark with an [Errors.Job_gave_up] reason
+    instead of aborting the figure. Without [runner] the cells run
+    inline, sequentially. Either way the figure is assembled in
+    canonical cell order, so its bytes are identical whatever the
+    worker count or completion order. [max_cycles] overrides every
+    simulation's cycle-watchdog budget
+    ({!Pipeline.run_benchmark_result}). *)
+
+val fig5 :
+  ?benchmarks:Mediabench.benchmark list ->
+  ?max_ii:int ->
+  ?runner:Runner.config ->
+  ?max_cycles:int ->
+  unit ->
+  figure
 (** Execution time for 4-, 8-, 16-entry and unbounded L0 buffers,
     normalized to the no-L0 baseline (paper Figure 5). [max_ii] tightens
     the II search ceiling; loops it renders infeasible show up in the
-    figure's [skipped] list. *)
+    figure's [skipped] list. [runner] and [max_cycles] as in
+    {!normalized_figure}. *)
 
-val fig7 : ?benchmarks:Mediabench.benchmark list -> ?max_ii:int -> unit -> figure
+val fig7 :
+  ?benchmarks:Mediabench.benchmark list ->
+  ?max_ii:int ->
+  ?runner:Runner.config ->
+  ?max_cycles:int ->
+  unit ->
+  figure
 (** 8-entry L0 buffers vs MultiVLIW vs word-interleaved under two
-    scheduling heuristics (paper Figure 7). *)
+    scheduling heuristics (paper Figure 7). [runner] and [max_cycles] as
+    in {!normalized_figure}. *)
 
 (** Figure 6 per-benchmark data: subblock mapping mix, L0 hit rate and
     the average unrolling factor the compiler chose. *)

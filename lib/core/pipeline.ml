@@ -154,10 +154,12 @@ let run_loop_result system ?(verify = true) ?max_sim_invocations ?max_cycles
     Error (Errors.Sanitizer_violation v)
   | exception Invalid_argument msg -> Error (Errors.Config_invalid msg)
 
-let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =
+let run_benchmark system ?(verify = true) ?max_cycles
+    (b : Mediabench.benchmark) =
   let loop_runs =
     List.map
-      (fun { Mediabench.loop; repeat } -> run_loop system ~verify ~repeat loop)
+      (fun { Mediabench.loop; repeat } ->
+        run_loop system ~verify ?max_cycles ~repeat loop)
       b.Mediabench.loops
   in
   {
@@ -172,11 +174,12 @@ let run_benchmark system ?(verify = true) (b : Mediabench.benchmark) =
       List.fold_left (fun acc r -> acc + r.sim.Exec.value_mismatches) 0 loop_runs;
   }
 
-let run_benchmark_result system ?(verify = true) (b : Mediabench.benchmark) =
+let run_benchmark_result system ?(verify = true) ?max_cycles
+    (b : Mediabench.benchmark) =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | { Mediabench.loop; repeat } :: rest -> (
-      match run_loop_result system ~verify ~repeat loop with
+      match run_loop_result system ~verify ?max_cycles ~repeat loop with
       | Ok lr -> go (lr :: acc) rest
       | Error _ as e -> e)
   in

@@ -97,12 +97,18 @@ val run_loop_result :
     values — [Coherence_violation]. *)
 
 val run_benchmark :
-  system -> ?verify:bool -> Mediabench.benchmark -> bench_run
+  system -> ?verify:bool -> ?max_cycles:int -> Mediabench.benchmark ->
+  bench_run
 
 val run_benchmark_result :
-  system -> ?verify:bool -> Mediabench.benchmark ->
+  system -> ?verify:bool -> ?max_cycles:int -> Mediabench.benchmark ->
   (bench_run, Errors.t) result
-(** Stops at the first failing loop. *)
+(** Stops at the first failing loop. [max_cycles] overrides every
+    loop's cycle-watchdog budget; left unset, each loop's budget scales
+    with its schedule and simulated invocation count
+    ({!Flexl0_sim.Exec.default_max_cycles}) rather than being one fixed
+    constant, and a tripped watchdog names the offending loop in the
+    [Watchdog_timeout] payload. *)
 
 val execution_time :
   bench_run -> baseline:bench_run -> scalar_fraction:float -> float * float

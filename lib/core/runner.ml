@@ -1,0 +1,356 @@
+module Journal = Flexl0_util.Journal
+module Rng = Flexl0_util.Rng
+
+type 'a job = { id : string; work : seed:int -> 'a }
+
+type skip = {
+  sk_job : string;
+  sk_seed : int;
+  sk_attempts : int;
+  sk_reason : string;
+}
+
+type 'a outcome = Done of 'a | Gave_up of skip
+
+let skip_message sk =
+  Printf.sprintf "job %s gave up after %d attempt%s: %s" sk.sk_job
+    sk.sk_attempts
+    (if sk.sk_attempts = 1 then "" else "s")
+    sk.sk_reason
+
+type progress =
+  | Job_started of { job : string; attempt : int }
+  | Job_done of string
+  | Job_cached of string
+  | Job_retry of { job : string; attempt : int; delay : float; reason : string }
+  | Job_gave_up of skip
+
+type config = {
+  jobs : int;
+  timeout : float option;
+  retries : int;
+  backoff_base : float;
+  backoff_max : float;
+  seed : int;
+  journal_dir : string option;
+  resume : bool;
+  on_progress : progress -> unit;
+}
+
+let default =
+  {
+    jobs = 1;
+    timeout = None;
+    retries = 2;
+    backoff_base = 0.5;
+    backoff_max = 30.0;
+    seed = 0;
+    journal_dir = None;
+    resume = false;
+    on_progress = ignore;
+  }
+
+let job_seed ~seed id = Rng.int (Rng.keyed ~seed id) 0x3FFFFFFF
+
+let backoff_delay ~base ~max_delay ~jitter ~attempt =
+  if base <= 0.0 then 0.0
+  else
+    let attempt = max 1 attempt in
+    let raw = base *. (2.0 ** float_of_int (attempt - 1)) in
+    let capped = min raw (max max_delay base) in
+    let jitter = min (max jitter 0.0) 0.999_999 in
+    capped *. (1.0 +. (0.5 *. jitter))
+
+(* ------------------------------------------------------------------ *)
+(* Worker protocol: the child runs the job and writes exactly one
+   journal-style frame — Marshal of (Ok result | Error reason) — on its
+   pipe, then _exits without running at_exit handlers (no double
+   flushing of inherited channels). The parent treats anything short of
+   one intact frame (killed worker, torn write, marshal failure) as an
+   attempt failure. *)
+(* ------------------------------------------------------------------ *)
+
+type 'a wire = W_ok of 'a | W_exn of string
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let child_main fd job ~seed =
+  (try
+     let wire =
+       match job.work ~seed with
+       | v -> W_ok v
+       | exception e -> W_exn (Printexc.to_string e)
+     in
+     write_all fd (Journal.encode_frame (Marshal.to_string wire []))
+   with _ -> ());
+  (try Unix.close fd with _ -> ());
+  Unix._exit 0
+
+(* One in-flight worker. *)
+type running = {
+  r_idx : int;
+  r_attempt : int;
+  r_pid : int;
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  r_deadline : float option;
+}
+
+let status_reason = function
+  | Unix.WEXITED 0 -> "worker exited before producing a result"
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let validate cfg jobs =
+  if cfg.jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Runner.run: jobs must be >= 1, got %d" cfg.jobs);
+  if cfg.retries < 0 then
+    invalid_arg
+      (Printf.sprintf "Runner.run: retries must be >= 0, got %d" cfg.retries);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      if Hashtbl.mem seen j.id then
+        invalid_arg ("Runner.run: duplicate job id " ^ j.id);
+      Hashtbl.add seen j.id ())
+    jobs
+
+let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
+  validate cfg jobs;
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results : 'a outcome option array = Array.make n None in
+  (* Resume: satisfy jobs from intact journal entries before running
+     anything. Later entries win (a re-run job supersedes its past). *)
+  let writer =
+    match cfg.journal_dir with
+    | None -> None
+    | Some dir ->
+      mkdir_p dir;
+      let path = Filename.concat dir "journal" in
+      if cfg.resume then begin
+        let by_id = Hashtbl.create 64 in
+        List.iter
+          (fun (e : Journal.entry) -> Hashtbl.replace by_id e.Journal.e_job e)
+          (Journal.load path);
+        Array.iteri
+          (fun i j ->
+            match Hashtbl.find_opt by_id j.id with
+            | None -> ()
+            | Some e ->
+              (match e.Journal.e_status with
+              | Journal.Done -> (
+                match (Marshal.from_string e.Journal.e_payload 0 : 'a) with
+                | v ->
+                  results.(i) <- Some (Done v);
+                  cfg.on_progress (Job_cached j.id)
+                | exception _ -> () (* unreadable payload: re-run *))
+              | Journal.Skipped reason ->
+                results.(i) <-
+                  Some
+                    (Gave_up
+                       {
+                         sk_job = j.id;
+                         sk_seed = e.Journal.e_seed;
+                         sk_attempts = e.Journal.e_attempts;
+                         sk_reason = reason;
+                       });
+                cfg.on_progress (Job_cached j.id)))
+          jobs
+      end;
+      Some (Journal.open_writer ~append:cfg.resume path)
+  in
+  let journal idx attempts status payload =
+    match writer with
+    | None -> ()
+    | Some w ->
+      Journal.append w
+        {
+          Journal.e_job = jobs.(idx).id;
+          e_seed = job_seed ~seed:cfg.seed jobs.(idx).id;
+          e_attempts = attempts;
+          e_status = status;
+          e_payload = payload;
+        }
+  in
+  let now () = Unix.gettimeofday () in
+  let pending = Queue.create () in
+  Array.iteri (fun i _ -> if results.(i) = None then Queue.add (i, 1) pending) jobs;
+  let delayed = ref [] (* (wake_time, idx, attempt) *) in
+  let running = ref [] in
+  let complete idx ~attempts outcome ~payload =
+    results.(idx) <- Some outcome;
+    (match outcome with
+    | Done _ ->
+      journal idx attempts Journal.Done payload;
+      cfg.on_progress (Job_done jobs.(idx).id)
+    | Gave_up sk ->
+      journal idx attempts (Journal.Skipped sk.sk_reason) "";
+      cfg.on_progress (Job_gave_up sk))
+  in
+  let attempt_failed idx ~attempt reason =
+    if attempt > cfg.retries then
+      complete idx ~attempts:attempt ~payload:""
+        (Gave_up
+           {
+             sk_job = jobs.(idx).id;
+             sk_seed = job_seed ~seed:cfg.seed jobs.(idx).id;
+             sk_attempts = attempt;
+             sk_reason = reason;
+           })
+    else begin
+      let jitter =
+        Rng.float
+          (Rng.keyed ~seed:cfg.seed
+             (Printf.sprintf "%s#retry%d" jobs.(idx).id attempt))
+          1.0
+      in
+      let delay =
+        backoff_delay ~base:cfg.backoff_base ~max_delay:cfg.backoff_max
+          ~jitter ~attempt
+      in
+      cfg.on_progress
+        (Job_retry { job = jobs.(idx).id; attempt; delay; reason });
+      delayed := (now () +. delay, idx, attempt + 1) :: !delayed
+    end
+  in
+  let spawn idx attempt =
+    let job = jobs.(idx) in
+    let seed = job_seed ~seed:cfg.seed job.id in
+    let rd, wr = Unix.pipe () in
+    cfg.on_progress (Job_started { job = job.id; attempt });
+    match Unix.fork () with
+    | 0 ->
+      Unix.close rd;
+      child_main wr job ~seed
+    | pid ->
+      Unix.close wr;
+      running :=
+        {
+          r_idx = idx;
+          r_attempt = attempt;
+          r_pid = pid;
+          r_fd = rd;
+          r_buf = Buffer.create 4096;
+          r_deadline = Option.map (fun t -> now () +. t) cfg.timeout;
+        }
+        :: !running
+  in
+  let reap (r : running) =
+    (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
+    let status = waitpid_retry r.r_pid in
+    running := List.filter (fun x -> x.r_pid <> r.r_pid) !running;
+    let data = Buffer.contents r.r_buf in
+    match Journal.decode_frame data ~pos:0 with
+    | Some (payload, _) -> (
+      match (Marshal.from_string payload 0 : 'a wire) with
+      | W_ok v ->
+        (* Journal the bare ['a] (not the wire wrapper) so a resume can
+           unmarshal the payload directly at the job's result type. *)
+        complete r.r_idx ~attempts:r.r_attempt (Done v)
+          ~payload:(Marshal.to_string v [])
+      | W_exn msg -> attempt_failed r.r_idx ~attempt:r.r_attempt msg
+      | exception _ ->
+        attempt_failed r.r_idx ~attempt:r.r_attempt
+          "worker result failed to unmarshal")
+    | None -> attempt_failed r.r_idx ~attempt:r.r_attempt (status_reason status)
+  in
+  let kill_timed_out (r : running) =
+    (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
+    ignore (waitpid_retry r.r_pid);
+    running := List.filter (fun x -> x.r_pid <> r.r_pid) !running;
+    attempt_failed r.r_idx ~attempt:r.r_attempt
+      (Printf.sprintf "timed out after %gs wall clock"
+         (Option.value ~default:0.0 cfg.timeout))
+  in
+  let chunk = Bytes.create 65536 in
+  let all_done () = Array.for_all (fun r -> r <> None) results in
+  while not (all_done ()) do
+    (* Promote retries whose backoff has elapsed. *)
+    let t = now () in
+    let ripe, still = List.partition (fun (w, _, _) -> w <= t) !delayed in
+    delayed := still;
+    List.iter (fun (_, i, a) -> Queue.add (i, a) pending) ripe;
+    (* Fill free worker slots. *)
+    while List.length !running < cfg.jobs && not (Queue.is_empty pending) do
+      let i, a = Queue.pop pending in
+      spawn i a
+    done;
+    if !running = [] then begin
+      (* Nothing in flight: only backoff delays remain. Sleep to the
+         earliest wake-up instead of spinning. *)
+      match !delayed with
+      | [] -> () (* all_done will be true *)
+      | l ->
+        let wake = List.fold_left (fun acc (w, _, _) -> min acc w) infinity l in
+        let d = wake -. now () in
+        if d > 0.0 then Unix.sleepf (min d 1.0)
+    end
+    else begin
+      (* Wait for worker output, the nearest deadline or the nearest
+         backoff wake-up, whichever comes first. *)
+      let horizon =
+        List.fold_left
+          (fun acc (r : running) ->
+            match r.r_deadline with Some d -> min acc d | None -> acc)
+          infinity !running
+      in
+      let horizon =
+        List.fold_left (fun acc (w, _, _) -> min acc w) horizon !delayed
+      in
+      let timeout =
+        if horizon = infinity then 0.5
+        else min 0.5 (max 0.0 (horizon -. now ()))
+      in
+      let fds = List.map (fun r -> r.r_fd) !running in
+      let readable =
+        match Unix.select fds [] [] timeout with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun r -> r.r_fd = fd) !running with
+          | None -> ()
+          | Some r -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> reap r (* EOF: worker finished or died *)
+            | k -> Buffer.add_subbytes r.r_buf chunk 0 k
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        readable;
+      (* Enforce wall-clock deadlines. *)
+      let t = now () in
+      List.iter
+        (fun r ->
+          match r.r_deadline with
+          | Some d when t > d -> kill_timed_out r
+          | _ -> ())
+        !running
+    end
+  done;
+  (match writer with Some w -> Journal.close w | None -> ());
+  Array.to_list (Array.map Option.get results)

@@ -1,0 +1,113 @@
+(** Supervised parallel execution of independent work units.
+
+    A campaign — a figure's (benchmark, system) cells, a fuzz sweep's
+    case batches — is a list of {!job}s. The runner executes each job in
+    a {b forked worker process}, so a hang, out-of-memory kill or crash
+    in one job cannot take down the rest of the campaign:
+
+    - up to [jobs] workers run concurrently ([--jobs N]);
+    - each attempt has an optional {b wall-clock timeout}; a worker that
+      overruns is SIGKILLed (the worker, not the campaign);
+    - a failed attempt (timeout, crash, exception escaping the job, torn
+      result frame) is retried up to [retries] more times, with
+      {b exponential backoff plus deterministic jitter} between attempts;
+    - a job that exhausts its retries degrades to {!Gave_up} — a typed
+      skipped outcome the caller folds into its own error channel
+      (figures turn it into an [Errors.Job_gave_up] skipped row) instead
+      of aborting.
+
+    Results cross the process boundary as [Marshal]ed values in
+    length-prefixed, MD5-checksummed frames (the {!Flexl0_util.Journal}
+    framing), so a worker killed mid-write is detected, not misread. Job
+    results must therefore be marshallable — plain data, no closures;
+    everything the pipeline returns ([bench_run], [Errors.t], fuzz
+    outcomes) qualifies.
+
+    {b Determinism.} Outcomes are returned in job-list order, and a
+    job's work receives a seed derived from its {e stable id} via
+    {!Flexl0_util.Rng.keyed} — never from scheduling or completion
+    order. A campaign whose jobs are pure functions of [(job, seed)]
+    therefore produces bit-identical results whatever [jobs] is set to
+    and however the OS interleaves the workers.
+
+    {b Journal & resume.} With [journal_dir] set, every terminal outcome
+    is appended (and flushed) to [<journal_dir>/journal] as it happens.
+    With [resume] also set, jobs whose ids already have an intact
+    journal entry are not re-executed — their journalled result is
+    returned directly — so a campaign interrupted by SIGKILL, crash or
+    power loss re-runs only its unfinished jobs. The journal tolerates a
+    torn tail (see {!Flexl0_util.Journal.load}); resuming is only
+    meaningful with the same binary and the same campaign parameters
+    (same jobs, same seeds) — use a fresh run id when those change. *)
+
+type 'a job = {
+  id : string;
+      (** stable, campaign-unique id — the journal key and the seed key *)
+  work : seed:int -> 'a;
+      (** runs in a forked child; must return marshallable data. An
+          exception escaping [work] fails the attempt (and is retried);
+          expected failures should be part of ['a] (e.g. a [result]) so
+          they complete the job instead. *)
+}
+
+(** A job that exhausted its retries. *)
+type skip = {
+  sk_job : string;
+  sk_seed : int;
+  sk_attempts : int;  (** attempts consumed, [1 + retries] at most *)
+  sk_reason : string;  (** the last attempt's failure *)
+}
+
+type 'a outcome = Done of 'a | Gave_up of skip
+
+val skip_message : skip -> string
+
+(** Supervision events, for progress reporting. *)
+type progress =
+  | Job_started of { job : string; attempt : int }
+  | Job_done of string
+  | Job_cached of string  (** satisfied from the resume journal *)
+  | Job_retry of {
+      job : string;
+      attempt : int;  (** the attempt that just failed *)
+      delay : float;  (** backoff before the next one *)
+      reason : string;
+    }
+  | Job_gave_up of skip
+
+type config = {
+  jobs : int;  (** concurrent workers, >= 1 *)
+  timeout : float option;  (** per-attempt wall-clock seconds *)
+  retries : int;  (** extra attempts after the first, >= 0 *)
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_max : float;  (** backoff growth cap, seconds *)
+  seed : int;  (** master seed for per-job seeds and jitter *)
+  journal_dir : string option;
+      (** journal at [<dir>/journal]; created if missing *)
+  resume : bool;  (** reuse intact journal entries instead of re-running *)
+  on_progress : progress -> unit;
+}
+
+val default : config
+(** One worker, no timeout, 2 retries, backoff 0.5s doubling to 30s,
+    seed 0, no journal, silent. *)
+
+val job_seed : seed:int -> string -> int
+(** The seed a job's [work] receives: a pure function of the master
+    seed and the job id ({!Flexl0_util.Rng.keyed}), stable across runs,
+    worker counts and resume. *)
+
+val backoff_delay :
+  base:float -> max_delay:float -> jitter:float -> attempt:int -> float
+(** Delay before the retry that follows failed attempt [attempt]
+    (1-based): [min (base * 2^(attempt-1)) max_delay], stretched by the
+    jitter fraction to [capped * (1 + jitter/2)] with [jitter] clamped
+    to [0, 1) — so the delay always lies in [[capped, 1.5 * capped)].
+    Pure, for fake-clock tests; the runner draws [jitter] from
+    [Rng.keyed] on [(seed, job id, attempt)]. *)
+
+val run : config -> 'a job list -> 'a outcome list
+(** Executes the campaign and returns one outcome per job, {b in job
+    list order}. Raises [Invalid_argument] on duplicate job ids or a
+    non-positive worker count. The runner itself never raises on job
+    failure — every failure path ends in [Done] or [Gave_up]. *)

@@ -59,6 +59,14 @@ exception Watchdog_timeout of watchdog
 
 val watchdog_message : watchdog -> string
 
+val default_max_cycles : invocation_span:int -> invocations:int -> int
+(** The watchdog budget {!run} uses when [max_cycles] is not given:
+    1000x the compute time of all simulated invocations plus a fixed
+    grace — i.e. it scales with the schedule and the invocation count
+    (and hence with a benchmark's repeat factor) instead of being one
+    constant for every loop. Exposed so campaign drivers can derive
+    tighter or looser budgets from the same rule. *)
+
 val run :
   Flexl0_arch.Config.t ->
   Schedule.t ->

@@ -1,0 +1,77 @@
+type status = Done | Skipped of string
+
+type entry = {
+  e_job : string;
+  e_seed : int;
+  e_attempts : int;
+  e_status : status;
+  e_payload : string;
+}
+
+let payload_digest e = Digest.to_hex (Digest.string e.e_payload)
+
+(* Frame layout: 4-byte magic, 4-byte big-endian payload length, 16-byte
+   raw MD5 of the payload, payload. Everything needed to detect a torn
+   tail is in front of the payload, so [decode_frame] never reads past
+   what the writer managed to flush. *)
+
+let magic = "FLJ1"
+let header_bytes = 4 + 4 + 16
+
+let encode_frame payload =
+  let len = String.length payload in
+  let b = Buffer.create (header_bytes + len) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_frame s ~pos =
+  if pos < 0 || String.length s - pos < header_bytes then None
+  else if String.sub s pos 4 <> magic then None
+  else
+    let len = Int32.to_int (String.get_int32_be s (pos + 4)) in
+    if len < 0 || String.length s - pos - header_bytes < len then None
+    else
+      let digest = String.sub s (pos + 8) 16 in
+      let payload = String.sub s (pos + header_bytes) len in
+      if Digest.string payload <> digest then None
+      else Some (payload, pos + header_bytes + len)
+
+type writer = { oc : out_channel }
+
+let open_writer ?(append = false) path =
+  let flags =
+    Open_wronly :: Open_creat :: Open_binary
+    :: (if append then [ Open_append ] else [ Open_trunc ])
+  in
+  { oc = open_out_gen flags 0o644 path }
+
+let append w entry =
+  output_string w.oc (encode_frame (Marshal.to_string entry []));
+  flush w.oc
+
+let close w = close_out w.oc
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> []
+  | text ->
+    let rec go acc pos =
+      match decode_frame text ~pos with
+      | None -> List.rev acc
+      | Some (payload, next) -> (
+        (* A digest-intact frame whose payload still fails to unmarshal
+           (e.g. written by an incompatible binary) ends the replay the
+           same way a torn tail does. *)
+        match (Marshal.from_string payload 0 : entry) with
+        | entry -> go (entry :: acc) next
+        | exception _ -> List.rev acc)
+    in
+    go [] 0

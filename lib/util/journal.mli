@@ -1,0 +1,76 @@
+(** Crash-safe append-only run journal.
+
+    A journal is a flat file of self-delimiting binary frames, one per
+    completed job of a campaign. Each frame carries a 4-byte magic, the
+    payload length, an MD5 digest of the payload and the payload itself
+    (a marshalled {!entry}), and every append is flushed before the
+    writer returns — so a process killed mid-write can only ever leave a
+    *truncated or torn tail*, never a silently corrupt prefix.
+
+    {!load} is correspondingly tolerant: it replays frames from the
+    start and stops at the first truncated frame, failed digest or
+    unreadable entry, returning the intact prefix. A campaign resumed
+    after a SIGKILL therefore re-runs at most the one job whose frame
+    was torn, plus whatever had not been journalled yet.
+
+    The journal records {e facts about jobs} (id, per-job seed, attempt
+    count, outcome) with the job's marshalled result as an opaque
+    payload; it knows nothing about what the payload means. Payloads are
+    written and read by the same binary in the same campaign
+    configuration — [Marshal] gives no cross-version or cross-type
+    safety, so a resume against a journal produced by different code or
+    different campaign parameters is undefined (the runner documents
+    this; use a fresh run id when parameters change). *)
+
+(** Terminal status of a journalled job. *)
+type status =
+  | Done  (** the payload is the job's marshalled result *)
+  | Skipped of string
+      (** the job exhausted its retries; the string is the last failure
+          reason and the payload is empty *)
+
+type entry = {
+  e_job : string;  (** stable job id, unique within a campaign *)
+  e_seed : int;  (** the per-job seed the runner derived for it *)
+  e_attempts : int;  (** attempts consumed (1 = first try succeeded) *)
+  e_status : status;
+  e_payload : string;  (** marshalled result; [""] for [Skipped] *)
+}
+
+val payload_digest : entry -> string
+(** Hex MD5 of the entry's payload — the digest stored in its frame. *)
+
+(** {1 Frames}
+
+    The framing is exposed because the runner reuses it verbatim for
+    worker-to-supervisor pipes: the same torn-write tolerance applies to
+    a worker SIGKILLed mid-result. *)
+
+val encode_frame : string -> string
+(** [magic ^ length ^ md5 ^ payload], self-delimiting. *)
+
+val decode_frame : string -> pos:int -> (string * int) option
+(** [decode_frame s ~pos] returns the payload starting at [pos] and the
+    position one past the frame, or [None] when the data at [pos] is
+    truncated, has a wrong magic, or fails its digest. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val open_writer : ?append:bool -> string -> writer
+(** Opens (creating parent-less) the journal at a path. [append]
+    defaults to [false], truncating any previous journal; pass [true]
+    when resuming. *)
+
+val append : writer -> entry -> unit
+(** Appends one frame and flushes. *)
+
+val close : writer -> unit
+
+(** {1 Reading} *)
+
+val load : string -> entry list
+(** All intact entries, in append order, stopping at the first
+    truncated or corrupt frame. Returns [[]] when the file is missing
+    or empty. *)

@@ -16,6 +16,21 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+let keyed ~seed key =
+  (* FNV-1a (64-bit) over the key, seeded: the keyed analogue of [split].
+     The hash only picks the starting point of a splitmix64 stream, so
+     its quality requirements are mild; splitmix's finalizer (applied by
+     the [split] below) does the real mixing. *)
+  let h = ref (Int64.logxor (Int64.of_int seed) 0xCBF29CE484222325L) in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    key;
+  split { state = !h }
+
 let int t bound =
   if bound <= 0 then
     invalid_arg (Printf.sprintf "Rng.int: bound must be positive, got %d" bound);

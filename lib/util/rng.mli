@@ -32,6 +32,15 @@ val split : t -> t
     generation and fault-plan seeding independent while both replay from
     the one [--seed]. *)
 
+val keyed : seed:int -> string -> t
+(** [keyed ~seed key] is the keyed analogue of {!split}: an independent
+    generator that is a pure function of [(seed, key)], regardless of
+    how many other generators were derived before or after it. Use it
+    when consumers are identified by stable string ids rather than by
+    position in a sequence — the parallel experiment runner derives each
+    job's seed this way, so a job's stream does not depend on scheduling
+    order, completion order, or which jobs a resumed campaign skips. *)
+
 val int : t -> int -> int
 (** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be
     positive. *)

@@ -581,51 +581,73 @@ type report = {
   r_early_stop : bool;
 }
 
+type case = {
+  c_index : int;
+  c_kernel : kernel;
+  c_faults : Fault.plan option;
+}
+
+(* The entire case stream is a pure function of [seed]: kernels and
+   per-case fault seeds are drawn from the master stream in case order,
+   before anything executes. Campaign drivers can therefore plan every
+   case up front, farm the execution out in any order, and still replay
+   exactly what the sequential loop would have run. *)
+let plan_cases ?faults ~seed ~cases () =
+  let master = Rng.create seed in
+  let planned = ref [] in
+  for i = 0 to cases - 1 do
+    (* Independent substreams (Rng.split): the kernel stream and the
+       fault-plan stream never interfere, so the same --seed replays
+       the same case whether or not faults are enabled. *)
+    let case_rng = Rng.split master in
+    let fault_rng = Rng.split master in
+    let kernel = generate case_rng ~id:i in
+    let case_faults =
+      Option.map
+        (fun (p : Fault.plan) ->
+          { p with Fault.seed = Rng.int fault_rng 1_000_000_000 })
+        faults
+    in
+    planned := { c_index = i; c_kernel = kernel; c_faults = case_faults }
+               :: !planned
+  done;
+  List.rev !planned
+
 let run ?faults ?(sanitizer = Sanitizer.Strict) ?systems ?(max_failures = 5)
     ?(keep_going = fun () -> true) ~seed ~cases () =
   let systems = match systems with Some s -> s | None -> default_systems () in
-  let master = Rng.create seed in
+  let planned = plan_cases ?faults ~seed ~cases () in
   let runs = ref 0 and passes = ref 0 and skips = ref 0 in
   let failures = ref [] in
   let done_cases = ref 0 in
   let early = ref false in
   (try
-     for i = 0 to cases - 1 do
-       if List.length !failures >= max_failures || not (keep_going ()) then begin
-         early := true;
-         raise Exit
-       end;
-       (* Independent substreams (Rng.split): the kernel stream and the
-          fault-plan stream never interfere, so the same --seed replays
-          the same case whether or not faults are enabled. *)
-       let case_rng = Rng.split master in
-       let fault_rng = Rng.split master in
-       let kernel = generate case_rng ~id:i in
-       let case_faults =
-         Option.map
-           (fun (p : Fault.plan) ->
-             { p with Fault.seed = Rng.int fault_rng 1_000_000_000 })
-           faults
-       in
-       List.iter
-         (fun (label, outcome) ->
-           incr runs;
-           match outcome with
-           | Pass -> incr passes
-           | Skip _ -> incr skips
-           | Fail fk ->
-             failures :=
-               {
-                 f_case = i;
-                 f_system = label;
-                 f_kind = fk;
-                 f_kernel = kernel;
-                 f_faults = case_faults;
-               }
-               :: !failures)
-         (run_case ?faults:case_faults ~sanitizer ~systems kernel);
-       incr done_cases
-     done
+     List.iter
+       (fun c ->
+         if List.length !failures >= max_failures || not (keep_going ())
+         then begin
+           early := true;
+           raise Exit
+         end;
+         List.iter
+           (fun (label, outcome) ->
+             incr runs;
+             match outcome with
+             | Pass -> incr passes
+             | Skip _ -> incr skips
+             | Fail fk ->
+               failures :=
+                 {
+                   f_case = c.c_index;
+                   f_system = label;
+                   f_kind = fk;
+                   f_kernel = c.c_kernel;
+                   f_faults = c.c_faults;
+                 }
+                 :: !failures)
+           (run_case ?faults:c.c_faults ~sanitizer ~systems c.c_kernel);
+         incr done_cases)
+       planned
    with Exit -> ());
   {
     r_cases = !done_cases;

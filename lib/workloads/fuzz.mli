@@ -155,6 +155,22 @@ type report = {
       (** stopped before [cases] — failure budget or [keep_going] *)
 }
 
+(** One planned case: the kernel to run and the fault plan (with its
+    per-case seed already derived) to run it under. *)
+type case = {
+  c_index : int;
+  c_kernel : kernel;
+  c_faults : Flexl0_sim.Fault.plan option;
+}
+
+val plan_cases :
+  ?faults:Flexl0_sim.Fault.plan -> seed:int -> cases:int -> unit -> case list
+(** Precompute the full case stream for [seed] without executing
+    anything. {!run} is exactly [plan_cases] followed by sequential
+    execution, so a campaign driver that farms the planned cases out to
+    parallel workers replays the same kernels and fault plans the
+    sequential fuzzer would — whatever the execution order. *)
+
 val run :
   ?faults:Flexl0_sim.Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->

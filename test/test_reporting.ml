@@ -67,6 +67,41 @@ let test_csv_escaping () =
   check "comma field quoted" true (contains ~needle:"\"a,b\"" csv);
   check "quote doubled" true (contains ~needle:"\"we\"\"ird\"" csv)
 
+let test_csv_skipped_section_roundtrip () =
+  (* The trailing skipped section survives a write/parse round trip even
+     when reasons carry commas, quotes and newlines (runner give-up
+     reasons routinely do). *)
+  let skipped =
+    [
+      ("epicdec", "infeasible: no II <= 4, resources saturated");
+      ("gsm,dec", "worker said \"boom\"\nand died");
+      ("rasta", "plain reason");
+    ]
+  in
+  let fig =
+    {
+      Experiments.title = "t";
+      point_labels = [ "p" ];
+      rows =
+        [ { Experiments.bench = "ok";
+            points = [ { Experiments.point = "p"; total = 1.0; stall = 0.5 } ] } ];
+      amean = [ { Experiments.point = "p"; total = 1.0; stall = 0.5 } ];
+      total_mismatches = 0;
+      skipped;
+    }
+  in
+  let csv = Csv_export.figure fig in
+  check "marker record present" true (contains ~needle:"skipped\nbench,reason\n" csv);
+  Alcotest.(check (list (pair string string)))
+    "writer/parser inverse" skipped
+    (Csv_export.figure_skipped csv);
+  let healthy = Csv_export.figure { fig with Experiments.skipped = [] } in
+  check "healthy figure has no skipped section" false
+    (contains ~needle:"skipped" healthy);
+  Alcotest.(check (list (pair string string)))
+    "healthy parses to empty" []
+    (Csv_export.figure_skipped healthy)
+
 let test_csv_parse_roundtrip () =
   (* RFC 4180: commas, quotes and embedded newlines survive a
      record/parse round trip. *)
@@ -158,6 +193,8 @@ let suite =
       Alcotest.test_case "csv floats parse" `Slow test_csv_fields_parse_as_floats;
       Alcotest.test_case "csv table1" `Quick test_csv_table1;
       Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv skipped section roundtrip" `Quick
+        test_csv_skipped_section_roundtrip;
       Alcotest.test_case "csv parse roundtrip" `Quick test_csv_parse_roundtrip;
       Alcotest.test_case "csv parse CRLF + errors" `Quick
         test_csv_parse_crlf_and_errors;

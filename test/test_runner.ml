@@ -1,0 +1,324 @@
+(* Tests for the supervised parallel runner and its crash-safe journal:
+   backoff arithmetic, worker isolation (crash, hang, SIGKILL), torn
+   journal tails, resume, and bit-identical figures for any worker
+   count. *)
+
+module Journal = Flexl0_util.Journal
+module Runner = Flexl0.Runner
+module Experiments = Flexl0.Experiments
+module Csv_export = Flexl0.Csv_export
+module Mediabench = Flexl0_workloads.Mediabench
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let temp_dir () =
+  let path = Filename.temp_file "flexl0-runner" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+(* A quiet config with fast backoff so failure tests don't sleep. *)
+let quick_config =
+  { Runner.default with backoff_base = 0.02; backoff_max = 0.1 }
+
+(* ---- pure pieces: backoff and per-job seeds ----------------------- *)
+
+let test_backoff_bounds () =
+  (* Fake-clock check of the retry schedule: delay for attempt k is
+     min (base * 2^(k-1)) max capped, stretched into [capped, 1.5*capped)
+     by the jitter fraction. *)
+  let base = 0.5 and max_delay = 30.0 in
+  for attempt = 1 to 10 do
+    let capped = min (base *. (2.0 ** float_of_int (attempt - 1))) max_delay in
+    let lo = Runner.backoff_delay ~base ~max_delay ~jitter:0.0 ~attempt in
+    Alcotest.(check (float 1e-9)) "zero jitter is the capped delay" capped lo;
+    let hi = Runner.backoff_delay ~base ~max_delay ~jitter:0.999 ~attempt in
+    check "jitter stretches upward" true (hi > capped);
+    check "jitter below 1.5x" true (hi < 1.5 *. capped);
+    (* Out-of-range jitter is clamped, never amplified past the bound. *)
+    let wild = Runner.backoff_delay ~base ~max_delay ~jitter:42.0 ~attempt in
+    check "wild jitter clamped" true (wild < 1.5 *. capped)
+  done;
+  (* Growth is monotone until the cap. *)
+  check "doubles before cap" true
+    (Runner.backoff_delay ~base ~max_delay ~jitter:0.0 ~attempt:3
+     > Runner.backoff_delay ~base ~max_delay ~jitter:0.0 ~attempt:2);
+  Alcotest.(check (float 1e-9))
+    "non-positive base never sleeps" 0.0
+    (Runner.backoff_delay ~base:0.0 ~max_delay ~jitter:0.9 ~attempt:5)
+
+let test_job_seeds () =
+  let s1 = Runner.job_seed ~seed:7 "epicdec/0-baseline" in
+  let s2 = Runner.job_seed ~seed:7 "epicdec/0-baseline" in
+  let s3 = Runner.job_seed ~seed:7 "epicdec/1-l0-8" in
+  let s4 = Runner.job_seed ~seed:8 "epicdec/0-baseline" in
+  check_int "stable across calls" s1 s2;
+  check "differs across ids" true (s1 <> s3);
+  check "differs across master seeds" true (s1 <> s4)
+
+(* ---- supervision: happy path, crash, hang ------------------------- *)
+
+let test_parallel_order_and_seeds () =
+  (* 8 jobs on 4 workers: outcomes come back in job-list order carrying
+     the per-job seed, however the OS interleaved the forks. *)
+  let jobs =
+    List.init 8 (fun i ->
+        { Runner.id = Printf.sprintf "job-%d" i;
+          work = (fun ~seed -> (i * i, seed)) })
+  in
+  let outcomes = Runner.run { quick_config with jobs = 4 } jobs in
+  check_int "one outcome per job" 8 (List.length outcomes);
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | Runner.Done (v, seed) ->
+        check_int "job-list order" (i * i) v;
+        check_int "work got its keyed seed"
+          (Runner.job_seed ~seed:0 (Printf.sprintf "job-%d" i))
+          seed
+      | Runner.Gave_up _ -> Alcotest.fail "healthy job gave up")
+    outcomes
+
+let test_duplicate_ids_rejected () =
+  let job = { Runner.id = "dup"; work = (fun ~seed:_ -> 0) } in
+  check "duplicate ids are invalid" true
+    (try
+       ignore (Runner.run quick_config [ job; job ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crashing_job_degrades () =
+  (* An exception escaping one job burns all its attempts and degrades
+     to Gave_up; its neighbours are untouched. *)
+  let jobs =
+    [
+      { Runner.id = "ok-1"; work = (fun ~seed:_ -> 10) };
+      { Runner.id = "boom"; work = (fun ~seed:_ -> failwith "kaboom") };
+      { Runner.id = "ok-2"; work = (fun ~seed:_ -> 20) };
+    ]
+  in
+  let retried = ref 0 in
+  let cfg =
+    { quick_config with
+      jobs = 2;
+      retries = 1;
+      on_progress =
+        (function Runner.Job_retry _ -> incr retried | _ -> ()) }
+  in
+  match Runner.run cfg jobs with
+  | [ Runner.Done 10; Runner.Gave_up sk; Runner.Done 20 ] ->
+    check_int "first try + one retry" 2 sk.Runner.sk_attempts;
+    check_int "retry observed" 1 !retried;
+    check "reason names the exception" true
+      (contains ~needle:"kaboom" sk.Runner.sk_reason)
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+let test_hanging_job_timed_out () =
+  (* A worker sleeping far past the timeout is SIGKILLed, retried, and
+     finally degraded — well before its sleep could finish, and without
+     stalling the healthy job next to it. *)
+  let jobs =
+    [
+      { Runner.id = "sleeper"; work = (fun ~seed:_ -> Unix.sleepf 30.0; 1) };
+      { Runner.id = "healthy"; work = (fun ~seed:_ -> 2) };
+    ]
+  in
+  let cfg =
+    { quick_config with
+      jobs = 2; timeout = Some 0.2; retries = 1; backoff_base = 0.05 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Runner.run cfg jobs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check "killed long before the sleep" true (elapsed < 10.0);
+  match outcomes with
+  | [ Runner.Gave_up sk; Runner.Done 2 ] ->
+    check_int "both attempts timed out" 2 sk.Runner.sk_attempts;
+    check "reason mentions the timeout" true
+      (contains ~needle:"timed out" sk.Runner.sk_reason)
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+(* ---- journal: framing, torn tails, resume ------------------------- *)
+
+let entry i =
+  {
+    Journal.e_job = Printf.sprintf "job-%d" i;
+    e_seed = 100 + i;
+    e_attempts = 1;
+    e_status = (if i mod 2 = 0 then Journal.Done else Journal.Skipped "why");
+    e_payload = String.make (10 + i) (Char.chr (Char.code 'a' + i));
+  }
+
+let test_frame_roundtrip_and_corruption () =
+  let frame = Journal.encode_frame "hello frame" in
+  (match Journal.decode_frame frame ~pos:0 with
+  | Some (payload, next) ->
+    Alcotest.(check string) "payload" "hello frame" payload;
+    check_int "consumes the whole frame" (String.length frame) next
+  | None -> Alcotest.fail "intact frame rejected");
+  (* Truncation and bit-flips are both detected. *)
+  check "truncated frame rejected" true
+    (Journal.decode_frame (String.sub frame 0 (String.length frame - 1)) ~pos:0
+     = None);
+  let flipped = Bytes.of_string frame in
+  Bytes.set flipped (String.length frame - 3) '!';
+  check "corrupt payload rejected" true
+    (Journal.decode_frame (Bytes.to_string flipped) ~pos:0 = None)
+
+let test_journal_tolerates_torn_tail () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "journal" in
+  let w = Journal.open_writer path in
+  List.iter (fun i -> Journal.append w (entry i)) [ 0; 1; 2 ];
+  Journal.close w;
+  check_int "all entries load" 3 (List.length (Journal.load path));
+  (* A worker killed mid-write leaves a torn last frame: chop 5 bytes. *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - 5);
+  Unix.close fd;
+  let entries = Journal.load path in
+  check_int "torn tail dropped, prefix intact" 2 (List.length entries);
+  List.iteri
+    (fun i (e : Journal.entry) ->
+      Alcotest.(check string) "entry id" (Printf.sprintf "job-%d" i) e.Journal.e_job)
+    entries;
+  check_int "missing file loads empty" 0
+    (List.length (Journal.load (Filename.concat dir "nope")))
+
+let test_resume_skips_completed_jobs () =
+  (* First run completes two of four jobs (the others don't exist yet);
+     the resumed run must execute only the new ones. Execution is
+     observed through the filesystem because work runs in a forked
+     child. *)
+  let dir = temp_dir () in
+  let marker id = Filename.concat dir ("exec-" ^ id) in
+  let job id v =
+    {
+      Runner.id;
+      work =
+        (fun ~seed:_ ->
+          let oc = open_out (marker id) in
+          close_out oc;
+          v);
+    }
+  in
+  let cfg = { quick_config with journal_dir = Some dir } in
+  (match Runner.run cfg [ job "a" 1; job "b" 2 ] with
+  | [ Runner.Done 1; Runner.Done 2 ] -> ()
+  | _ -> Alcotest.fail "first run failed");
+  check "first run executed a" true (Sys.file_exists (marker "a"));
+  Sys.remove (marker "a");
+  Sys.remove (marker "b");
+  let cached = ref [] in
+  let resume_cfg =
+    { cfg with
+      resume = true;
+      on_progress =
+        (function Runner.Job_cached id -> cached := id :: !cached | _ -> ()) }
+  in
+  (match
+     Runner.run resume_cfg [ job "a" 1; job "b" 2; job "c" 3; job "d" 4 ]
+   with
+  | [ Runner.Done 1; Runner.Done 2; Runner.Done 3; Runner.Done 4 ] -> ()
+  | _ -> Alcotest.fail "resumed run failed");
+  check "a came from the journal" false (Sys.file_exists (marker "a"));
+  check "b came from the journal" false (Sys.file_exists (marker "b"));
+  check "c executed" true (Sys.file_exists (marker "c"));
+  check "d executed" true (Sys.file_exists (marker "d"));
+  Alcotest.(check (list string)) "cached ids" [ "a"; "b" ] (List.sort compare !cached);
+  (* The journal now also records c and d: a second resume runs nothing. *)
+  Sys.remove (marker "c");
+  Sys.remove (marker "d");
+  (match
+     Runner.run resume_cfg [ job "a" 1; job "b" 2; job "c" 3; job "d" 4 ]
+   with
+  | [ Runner.Done 1; Runner.Done 2; Runner.Done 3; Runner.Done 4 ] -> ()
+  | _ -> Alcotest.fail "second resume failed");
+  check "nothing re-executed" true
+    (not (Sys.file_exists (marker "c")) && not (Sys.file_exists (marker "d")))
+
+let test_gave_up_is_journalled () =
+  (* A give-up is a terminal outcome too: resuming must not retry it. *)
+  let dir = temp_dir () in
+  let cfg = { quick_config with journal_dir = Some dir; retries = 0 } in
+  let bad = { Runner.id = "bad"; work = (fun ~seed:_ -> failwith "nope") } in
+  (match Runner.run cfg [ bad ] with
+  | [ Runner.Gave_up _ ] -> ()
+  | _ -> Alcotest.fail "expected give-up");
+  let ran = ref false in
+  let resumed =
+    Runner.run
+      { cfg with resume = true }
+      [ { Runner.id = "bad"; work = (fun ~seed:_ -> ran := true; 0) } ]
+  in
+  (match resumed with
+  | [ Runner.Gave_up sk ] ->
+    check "reason preserved" true (contains ~needle:"nope" sk.Runner.sk_reason)
+  | _ -> Alcotest.fail "give-up not resumed");
+  check "journalled give-up not re-run" false !ran
+
+(* ---- end to end: figures through the runner ----------------------- *)
+
+let subset = [ Mediabench.find "g721dec"; Mediabench.find "gsmdec" ]
+
+let test_figure_bytes_identical_any_jobs () =
+  (* The acceptance bar: the figure is byte-identical with no runner,
+     one worker, and four workers. *)
+  let inline = Csv_export.figure (Experiments.fig5 ~benchmarks:subset ()) in
+  let with_jobs n =
+    Csv_export.figure
+      (Experiments.fig5 ~benchmarks:subset
+         ~runner:{ quick_config with jobs = n } ())
+  in
+  Alcotest.(check string) "inline = 1 worker" inline (with_jobs 1);
+  Alcotest.(check string) "1 worker = 4 workers" inline (with_jobs 4)
+
+let test_figure_degrades_on_timeout () =
+  (* An impossible per-cell budget: every cell gives up, every benchmark
+     degrades to a typed skipped row, and the figure still comes back. *)
+  let fig =
+    Experiments.fig5
+      ~benchmarks:[ Mediabench.find "g721dec" ]
+      ~runner:{ quick_config with timeout = Some 0.001; retries = 0 }
+      ()
+  in
+  check "no surviving rows" true (fig.Experiments.rows = []);
+  check_int "one skipped benchmark" 1 (List.length fig.Experiments.skipped);
+  let bench, reason = List.hd fig.Experiments.skipped in
+  Alcotest.(check string) "benchmark named" "g721dec" bench;
+  check "reason says the runner gave up" true (contains ~needle:"gave up" reason);
+  check "reason names the cell job" true (contains ~needle:"g721dec/" reason)
+
+let suite =
+  ( "runner",
+    [
+      Alcotest.test_case "backoff bounds" `Quick test_backoff_bounds;
+      Alcotest.test_case "job seeds" `Quick test_job_seeds;
+      Alcotest.test_case "parallel order + seeds" `Quick
+        test_parallel_order_and_seeds;
+      Alcotest.test_case "duplicate ids rejected" `Quick
+        test_duplicate_ids_rejected;
+      Alcotest.test_case "crashing job degrades" `Quick
+        test_crashing_job_degrades;
+      Alcotest.test_case "hanging job timed out" `Quick
+        test_hanging_job_timed_out;
+      Alcotest.test_case "frame roundtrip + corruption" `Quick
+        test_frame_roundtrip_and_corruption;
+      Alcotest.test_case "journal tolerates torn tail" `Quick
+        test_journal_tolerates_torn_tail;
+      Alcotest.test_case "resume skips completed jobs" `Quick
+        test_resume_skips_completed_jobs;
+      Alcotest.test_case "give-up journalled and resumed" `Quick
+        test_gave_up_is_journalled;
+      Alcotest.test_case "figure bytes identical for any jobs" `Slow
+        test_figure_bytes_identical_any_jobs;
+      Alcotest.test_case "figure degrades on timeout" `Quick
+        test_figure_degrades_on_timeout;
+    ] )
