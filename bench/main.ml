@@ -7,7 +7,9 @@
      dune exec bench/main.exe            # everything: rows + timings
      dune exec bench/main.exe table1     # one artifact's rows
      dune exec bench/main.exe fig5 ...   # (table2, fig5, fig6, fig7, extras)
-     dune exec bench/main.exe timings    # bechamel timings only *)
+     dune exec bench/main.exe timings    # bechamel timings only
+     dune exec bench/main.exe perf ...   # staged perf regression harness;
+                                           writes BENCH_PR4.json (see Perf) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -147,13 +149,14 @@ let () =
     List.iter (fun (_, _, f) -> f ()) artifacts;
     run_timings ()
   | [ "timings" ] -> run_timings ()
+  | "perf" :: rest -> Perf.main rest
   | names ->
     List.iter
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) artifacts with
         | Some (_, _, f) -> f ()
         | None ->
-          Printf.eprintf "unknown artifact %S; known: %s timings\n" name
+          Printf.eprintf "unknown artifact %S; known: %s timings perf\n" name
             (String.concat " " (List.map (fun (n, _, _) -> n) artifacts));
           exit 2)
       names

@@ -1,0 +1,265 @@
+(* Performance-regression harness (PR 4).
+
+   Times the pipeline's hot stages on the real evaluation workloads and
+   emits a machine-readable BENCH_PR4.json at the repo root so the perf
+   trajectory of the reproduction is tracked across PRs:
+
+   - scheduler: compile every mediabench loop under every fig5+fig7
+     system (no simulation);
+   - simulator: execute pre-compiled schedules (compilation outside the
+     timed region);
+   - figures:   the full fig5 + fig7 pipeline including CSV rendering —
+     the end-to-end workload the acceptance bar is set on;
+   - fuzz:      the CI smoke campaign (seed 42, 200 cases, 8 systems).
+
+   Each stage records wall time and allocation (Gc.allocated_bytes).
+   "Before" numbers come from bench/perf_baseline_pr4.txt, captured on
+   the pre-optimization tree with --save-baseline; with the baseline
+   present the json carries before/after/speedup per stage. *)
+
+module Config = Flexl0_arch.Config
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+module Csv_export = Flexl0.Csv_export
+module Mediabench = Flexl0_workloads.Mediabench
+module Fuzz = Flexl0_workloads.Fuzz
+
+type sample = { wall_s : float; alloc_bytes : float }
+
+type stage = { sname : string; sample : sample }
+
+let time_stage sname ~repeat f =
+  let best = ref None in
+  for _ = 1 to max 1 repeat do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
+    match !best with
+    | Some b when b.wall_s <= wall -> ()
+    | _ -> best := Some { wall_s = wall; alloc_bytes = alloc }
+  done;
+  { sname; sample = Option.get !best }
+
+(* The nine systems of the two figures: the shared no-L0 baseline, the
+   four fig5 L0 sizes, and fig7's three distributed machines. *)
+let figure_systems () =
+  Pipeline.baseline_system ()
+  :: [
+       Pipeline.l0_system ~capacity:(Config.Entries 4) ();
+       Pipeline.l0_system ~capacity:(Config.Entries 8) ();
+       Pipeline.l0_system ~capacity:(Config.Entries 16) ();
+       Pipeline.l0_system ~capacity:Config.Unbounded ();
+       Pipeline.multivliw_system ();
+       Pipeline.interleaved_system ~locality:false ();
+       Pipeline.interleaved_system ~locality:true ();
+     ]
+
+let scheduler_stage () =
+  let systems = figure_systems () in
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      List.iter
+        (fun sys ->
+          List.iter
+            (fun { Mediabench.loop; _ } ->
+              ignore (Pipeline.compile_result sys loop))
+            b.Mediabench.loops)
+        systems)
+    (Mediabench.all ())
+
+(* Compile outside the timed region; the stage is simulation only. *)
+let simulator_stage () =
+  let sys = Pipeline.l0_system ~capacity:(Config.Entries 8) () in
+  let compiled =
+    List.concat_map
+      (fun (b : Mediabench.benchmark) ->
+        List.filter_map
+          (fun { Mediabench.loop; _ } ->
+            match Pipeline.compile_result sys loop with
+            | Ok sch -> Some sch
+            | Error _ -> None)
+          b.Mediabench.loops)
+      (Mediabench.all ())
+  in
+  fun () ->
+    List.iter (fun sch -> ignore (Pipeline.run_schedule sys sch)) compiled
+
+let figures_stage () =
+  ignore (Csv_export.figure (Experiments.fig5 ()));
+  ignore (Csv_export.figure (Experiments.fig7 ()))
+
+let fuzz_stage () = ignore (Fuzz.run ~seed:42 ~cases:200 ())
+
+(* ------------------------------------------------------------------ *)
+(* Baseline file: one "name wall_s alloc_bytes" line per stage.        *)
+
+let save_baseline path stages =
+  let oc = open_out path in
+  output_string oc
+    "# pre-optimization perf baseline (bench perf --save-baseline)\n";
+  List.iter
+    (fun s ->
+      Printf.fprintf oc "%s %.6f %.0f\n" s.sname s.sample.wall_s
+        s.sample.alloc_bytes)
+    stages;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.split_on_char ' ' line with
+          | [ name; wall; alloc ] ->
+            go
+              ((name,
+                { wall_s = float_of_string wall;
+                  alloc_bytes = float_of_string alloc })
+              :: acc)
+          | _ -> go acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled: fixed schema, no dependency).           *)
+
+let json_sample b = function
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+    Printf.bprintf b "{\"wall_s\": %.6f, \"alloc_mb\": %.3f}" s.wall_s
+      (s.alloc_bytes /. 1048576.)
+
+let json_speedup b = function
+  | None -> Buffer.add_string b "null"
+  | Some r -> Printf.bprintf b "%.3f" r
+
+let emit_json ~path ~baseline stages =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"pr\": 4,\n  \"workloads\": \"mediabench fig5+fig7, fuzz seed=42 cases=200\",\n  \"stages\": [\n";
+  let before name = List.assoc_opt name baseline in
+  let speedup name (after : sample) =
+    match before name with
+    | Some bs when after.wall_s > 0.0 -> Some (bs.wall_s /. after.wall_s)
+    | _ -> None
+  in
+  List.iteri
+    (fun i s ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"before\": " s.sname;
+      json_sample b (before s.sname);
+      Buffer.add_string b ", \"after\": ";
+      json_sample b (Some s.sample);
+      Buffer.add_string b ", \"speedup\": ";
+      json_speedup b (speedup s.sname s.sample);
+      Buffer.add_string b "}";
+      if i < List.length stages - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    stages;
+  Buffer.add_string b "  ],\n";
+  let total_after = List.fold_left (fun a s -> a +. s.sample.wall_s) 0.0 stages in
+  let total_before =
+    if List.for_all (fun s -> before s.sname <> None) stages && stages <> []
+    then
+      Some
+        (List.fold_left
+           (fun a s -> a +. (Option.get (before s.sname)).wall_s)
+           0.0 stages)
+    else None
+  in
+  Buffer.add_string b "  \"end_to_end\": {\"before_wall_s\": ";
+  (match total_before with
+  | Some t -> Printf.bprintf b "%.6f" t
+  | None -> Buffer.add_string b "null");
+  Printf.bprintf b ", \"after_wall_s\": %.6f, \"speedup\": " total_after;
+  json_speedup b
+    (match total_before with
+    | Some t when total_after > 0.0 -> Some (t /. total_after)
+    | _ -> None);
+  Buffer.add_string b "}\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+
+let default_out = "BENCH_PR4.json"
+let default_baseline = "bench/perf_baseline_pr4.txt"
+
+let run ?(out = default_out) ?(baseline = default_baseline)
+    ?(save_baseline_to = None) ?(repeat = 1) () =
+  Printf.printf "== perf: staged wall-time + allocation ==\n%!";
+  let stages =
+    [
+      ("scheduler", fun () -> scheduler_stage ());
+      ("simulator", simulator_stage ());
+      ("figures", fun () -> figures_stage ());
+      ("fuzz", fun () -> fuzz_stage ());
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, f) ->
+        let s = time_stage name ~repeat f in
+        Printf.printf "  %-10s %8.3f s  %10.1f MB allocated\n%!" name
+          s.sample.wall_s
+          (s.sample.alloc_bytes /. 1048576.);
+        s)
+      stages
+  in
+  (match save_baseline_to with
+  | Some path -> save_baseline path measured
+  | None -> ());
+  let base = load_baseline baseline in
+  emit_json ~path:out ~baseline:base measured;
+  List.iter
+    (fun s ->
+      match List.assoc_opt s.sname base with
+      | Some b when s.sample.wall_s > 0.0 ->
+        Printf.printf "  %-10s speedup vs baseline: %.2fx\n%!" s.sname
+          (b.wall_s /. s.sample.wall_s)
+      | _ -> ())
+    measured
+
+let main args =
+  let out = ref default_out in
+  let baseline = ref default_baseline in
+  let save = ref None in
+  let repeat = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--baseline" :: v :: rest ->
+      baseline := v;
+      parse rest
+    | "--save-baseline" :: rest ->
+      save := Some default_baseline;
+      parse rest
+    | "--save-baseline-to" :: v :: rest ->
+      save := Some v;
+      parse rest
+    | "--repeat" :: v :: rest ->
+      repeat := int_of_string v;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf
+        "perf: unknown argument %S (known: --out PATH --baseline PATH \
+         --save-baseline --save-baseline-to PATH --repeat N)\n"
+        a;
+      exit 2
+  in
+  parse args;
+  run ~out:!out ~baseline:!baseline ~save_baseline_to:!save ~repeat:!repeat ()

@@ -203,7 +203,7 @@ let fig6 ?benchmarks () =
           (fun acc (lr : Pipeline.loop_run) ->
             acc
             + Option.value ~default:0
-                (List.assoc_opt name lr.Pipeline.sim.Exec.counters))
+                (Stats.Counters.find lr.Pipeline.sim.Exec.counter_set name))
           0 run.Pipeline.loop_runs
       in
       let linear = counter "subblocks_linear"
@@ -527,7 +527,8 @@ let steering_ablation () =
             ~invocations:2 ()
         in
         ( r.Exec.total_cycles,
-          Option.value ~default:0 (List.assoc_opt "subblocks_interleaved" r.Exec.counters) )
+          Option.value ~default:0
+            (Stats.Counters.find r.Exec.counter_set "subblocks_interleaved") )
       in
       let wc, wi = measure true in
       let nc, ni = measure false in

@@ -102,16 +102,36 @@ let edge_latency ~lat e =
 
 type times = { estart : int array; lstart : int array }
 
+(* Reusable backing for [compute_times]: the scheduler calls the fixpoint
+   after every placement and every II retry, so the two n-sized arrays
+   dominate its allocation. A scratch is grown on demand and the returned
+   [times] aliases it — valid until the next [compute_times] call with
+   the same scratch. *)
+type scratch = { mutable s_estart : int array; mutable s_lstart : int array }
+
+let create_scratch () = { s_estart = [||]; s_lstart = [||] }
+
+let scratch_arrays scratch n =
+  match scratch with
+  | None -> (Array.make n 0, Array.make n 0)
+  | Some s ->
+    if Array.length s.s_estart <> n then begin
+      s.s_estart <- Array.make n 0;
+      s.s_lstart <- Array.make n 0
+    end;
+    (s.s_estart, s.s_lstart)
+
 (* Iterative relaxation of the modulo-constraint system
      estart(v) >= estart(u) + lat(u,v) - II * dist(u,v).
    Graphs are tiny (tens of nodes) so Bellman-Ford-style sweeps suffice;
    more than n sweeps with changes means a positive-weight recurrence,
    i.e. the II is infeasible. *)
-let compute_times t ~ii ~lat =
+let compute_times ?scratch t ~ii ~lat =
   let n = node_count t in
   if n = 0 then Some { estart = [||]; lstart = [||] }
   else begin
-    let estart = Array.make n 0 in
+    let estart, lstart = scratch_arrays scratch n in
+    Array.fill estart 0 n 0;
     let changed = ref true and sweeps = ref 0 and feasible = ref true in
     while !changed && !feasible do
       changed := false;
@@ -128,12 +148,12 @@ let compute_times t ~ii ~lat =
     done;
     if not !feasible then None
     else begin
-      let horizon =
-        Array.to_list estart
-        |> List.mapi (fun i e -> e + lat i)
-        |> List.fold_left max 0
-      in
-      let lstart = Array.make n horizon in
+      let horizon = ref 0 in
+      for i = 0 to n - 1 do
+        let h = estart.(i) + lat i in
+        if h > !horizon then horizon := h
+      done;
+      Array.fill lstart 0 n !horizon;
       (* Nodes keep their as-late-as-possible slot within the horizon. *)
       let changed = ref true in
       while !changed do

@@ -61,9 +61,20 @@ type times = {
   lstart : int array;  (** latest start cycle given the critical path *)
 }
 
-val compute_times : t -> ii:int -> lat:(int -> int) -> times option
+(** Reusable backing arrays for {!compute_times}. The scheduler runs the
+    fixpoint after every placement; a scratch removes the two n-sized
+    allocations per call. *)
+type scratch
+
+val create_scratch : unit -> scratch
+
+val compute_times : ?scratch:scratch -> t -> ii:int -> lat:(int -> int) -> times option
 (** [None] when the II is infeasible (a recurrence has positive weight
-    at this II, i.e. II < RecMII under [lat]). *)
+    at this II, i.e. II < RecMII under [lat]).
+
+    With [?scratch] the returned {!times} aliases the scratch arrays and
+    is only valid until the next [compute_times] call passing the same
+    scratch. *)
 
 val slack : times -> int -> int
 (** [lstart - estart]; 0 on critical nodes. *)

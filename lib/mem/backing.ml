@@ -25,9 +25,19 @@ let write t ~addr ~width value =
     v := Int64.shift_right_logical !v 8
   done
 
+let write8 t ~addr v =
+  check t addr 1;
+  Bytes.unsafe_set t addr (Char.unsafe_chr (v land 0xFF))
+
 let read_bytes t ~addr ~len =
   check t addr len;
   Bytes.sub t addr len
+
+let read_into t ~addr ~len dst ~pos =
+  check t addr len;
+  if pos < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Backing.read_into: destination range out of bounds";
+  Bytes.blit t addr dst pos len
 
 let write_bytes t ~addr b =
   check t addr (Bytes.length b);

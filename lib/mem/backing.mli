@@ -19,5 +19,14 @@ val read : t -> addr:int -> width:int -> int64
 
 val write : t -> addr:int -> width:int -> int64 -> unit
 
+val write8 : t -> addr:int -> int -> unit
+(** Single-byte store of the low 8 bits of an [int] — equivalent to
+    [write ~width:1] without the boxed [int64], for the
+    memory-initialization loops that touch every byte. *)
+
 val read_bytes : t -> addr:int -> len:int -> Bytes.t
 val write_bytes : t -> addr:int -> Bytes.t -> unit
+
+val read_into : t -> addr:int -> len:int -> Bytes.t -> pos:int -> unit
+(** Like {!read_bytes} into a caller-provided buffer at [pos] — the
+    allocation-free variant for hot fill paths. *)

@@ -10,36 +10,70 @@ let home_of ~clusters addr = addr / word_bytes mod clusters
    store, which the write-through home banks keep current; what matters
    for the experiments is the locality timing. *)
 module Attraction = struct
+  (* Word tags and LRU stamps in two parallel dense arrays,
+     [0 .. n-1] newest-touch first (the order the former assoc list
+     kept): a probe is a bounded scan with zero allocation, eviction a
+     min-stamp scan. Capacities are tiny, so the shifts are cheap. *)
   type t = {
     capacity : int;
-    mutable words : (int * int) list;  (* (word index, stamp) *)
+    words : int array;
+    stamps : int array;
+    mutable n : int;
     mutable clock : int;
   }
 
-  let create capacity = { capacity; words = []; clock = 0 }
+  let create capacity =
+    let size = max 1 capacity in
+    {
+      capacity;
+      words = Array.make size 0;
+      stamps = Array.make size 0;
+      n = 0;
+      clock = 0;
+    }
+
+  let find t word =
+    let rec go k = if k >= t.n then -1 else if t.words.(k) = word then k else go (k + 1) in
+    go 0
+
+  let remove_at t k =
+    Array.blit t.words (k + 1) t.words k (t.n - k - 1);
+    Array.blit t.stamps (k + 1) t.stamps k (t.n - k - 1);
+    t.n <- t.n - 1
+
+  let put_front t word stamp =
+    Array.blit t.words 0 t.words 1 t.n;
+    Array.blit t.stamps 0 t.stamps 1 t.n;
+    t.words.(0) <- word;
+    t.stamps.(0) <- stamp;
+    t.n <- t.n + 1
 
   let hit t word =
-    match List.assoc_opt word t.words with
-    | Some _ ->
+    let k = find t word in
+    if k < 0 then false
+    else begin
       t.clock <- t.clock + 1;
-      t.words <-
-        (word, t.clock) :: List.filter (fun (w, _) -> w <> word) t.words;
+      remove_at t k;
+      put_front t word t.clock;
       true
-    | None -> false
+    end
 
   let fill t word =
     t.clock <- t.clock + 1;
-    let kept = List.filter (fun (w, _) -> w <> word) t.words in
-    let kept =
-      if List.length kept >= t.capacity then
-        match List.sort (fun (_, a) (_, b) -> compare a b) kept with
-        | _oldest :: rest -> rest
-        | [] -> []
-      else kept
-    in
-    t.words <- (word, t.clock) :: kept
+    let k = find t word in
+    if k >= 0 then remove_at t k;
+    if t.n >= t.capacity then begin
+      let victim = ref 0 in
+      for j = 1 to t.n - 1 do
+        if t.stamps.(j) < t.stamps.(!victim) then victim := j
+      done;
+      if t.n > 0 then remove_at t !victim
+    end;
+    put_front t word t.clock
 
-  let invalidate t word = t.words <- List.filter (fun (w, _) -> w <> word) t.words
+  let invalidate t word =
+    let k = find t word in
+    if k >= 0 then remove_at t k
 
   (* Structural self-check for the sanitizer. [is_remote] decides whether
      a cached word is legal in this buffer (attraction buffers only ever
@@ -49,17 +83,16 @@ module Attraction = struct
     let add fmt =
       Printf.ksprintf (fun m -> errs := (label ^ ": " ^ m) :: !errs) fmt
     in
-    let n = List.length t.words in
-    if n > t.capacity then add "%d words exceed capacity %d" n t.capacity;
-    let words = List.map fst t.words in
-    if List.length (List.sort_uniq compare words) <> n then
+    if t.n > t.capacity then add "%d words exceed capacity %d" t.n t.capacity;
+    let words = List.init t.n (fun k -> t.words.(k)) in
+    if List.length (List.sort_uniq compare words) <> t.n then
       add "duplicate word entries";
-    List.iter
-      (fun (w, stamp) ->
-        if stamp > t.clock then
-          add "word %d has LRU stamp %d ahead of the clock %d" w stamp t.clock;
-        if not (is_remote w) then add "caches its own home word %d" w)
-      t.words;
+    for k = 0 to t.n - 1 do
+      let w = t.words.(k) and stamp = t.stamps.(k) in
+      if stamp > t.clock then
+        add "word %d has LRU stamp %d ahead of the clock %d" w stamp t.clock;
+      if not (is_remote w) then add "caches its own home word %d" w
+    done;
     List.rev !errs
 end
 

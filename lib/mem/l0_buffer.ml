@@ -11,21 +11,39 @@ type entry = {
   mutable prefetch : Hint.prefetch;
 }
 
+(* Entries live in [slots.(0 .. n-1)], newest insertion first — the same
+   observable order the former list kept — so probes are a bounded scan
+   (capacity is 2–16) with zero allocation, and LRU selection stays a
+   min/max over the distinct [last_use] stamps. The array grows only in
+   the unbounded (Figure 5) configuration. *)
 type t = {
   geometry : Addr.geometry;
   cap : int option;
-  mutable entries : entry list;  (* unordered; LRU via last_use stamps *)
+  mutable slots : entry array;
+  mutable n : int;
   mutable clock : int;
 }
+
+(* Placeholder for free slots; never returned by any probe. *)
+let dummy =
+  {
+    mapping = Linear { base = min_int };
+    data = Bytes.empty;
+    gran = 1;
+    last_use = 0;
+    ready_at = 0;
+    prefetch = Hint.No_prefetch;
+  }
 
 let create ~geometry ~capacity =
   (match capacity with
   | Some n when n <= 0 -> invalid_arg "L0_buffer.create: capacity must be positive"
   | _ -> ());
-  { geometry; cap = capacity; entries = []; clock = 0 }
+  let size = match capacity with Some n -> n | None -> 8 in
+  { geometry; cap = capacity; slots = Array.make size dummy; n = 0; clock = 0 }
 
 let geometry t = t.geometry
-let entry_count t = List.length t.entries
+let entry_count t = t.n
 let capacity t = t.cap
 
 let covers g mapping ~addr ~width =
@@ -59,44 +77,87 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let find_covering t ~addr ~width =
-  List.filter (fun e -> covers t.geometry e.mapping ~addr ~width) t.entries
-  |> List.sort (fun a b -> compare b.last_use a.last_use)
+(* Index of the MRU (max stamp) entry covering the access; -1 on miss.
+   Stamps are distinct so the winner is unique regardless of slot order. *)
+let best_covering t ~addr ~width =
+  let best = ref (-1) in
+  for k = 0 to t.n - 1 do
+    let e = t.slots.(k) in
+    if
+      covers t.geometry e.mapping ~addr ~width
+      && (!best < 0 || t.slots.(!best).last_use < e.last_use)
+    then best := k
+  done;
+  !best
 
 let peek t ~addr ~width =
-  match find_covering t ~addr ~width with [] -> None | e :: _ -> Some e
+  let k = best_covering t ~addr ~width in
+  if k < 0 then None else Some t.slots.(k)
 
 let lookup t ~now:_ ~addr ~width =
-  match find_covering t ~addr ~width with
-  | [] -> None
-  | e :: _ ->
+  let k = best_covering t ~addr ~width in
+  if k < 0 then None
+  else begin
+    let e = t.slots.(k) in
     e.last_use <- tick t;
     Some e
+  end
 
-let has_mapping t mapping = List.exists (fun e -> e.mapping = mapping) t.entries
+let has_mapping t mapping =
+  let rec go k = k < t.n && (t.slots.(k).mapping = mapping || go (k + 1)) in
+  go 0
+
+(* Remove every entry satisfying [pred], keeping slot order; returns how
+   many were dropped. *)
+let remove_if t pred =
+  let w = ref 0 in
+  for r = 0 to t.n - 1 do
+    let e = t.slots.(r) in
+    if not (pred e) then begin
+      t.slots.(!w) <- e;
+      incr w
+    end
+  done;
+  let removed = t.n - !w in
+  for k = !w to t.n - 1 do
+    t.slots.(k) <- dummy
+  done;
+  t.n <- !w;
+  removed
+
+let remove_at t idx =
+  Array.blit t.slots (idx + 1) t.slots idx (t.n - idx - 1);
+  t.n <- t.n - 1;
+  t.slots.(t.n) <- dummy
 
 let evict_lru t =
-  match t.entries with
-  | [] -> ()
-  | first :: _ ->
-    let victim =
-      List.fold_left
-        (fun acc e -> if e.last_use < acc.last_use then e else acc)
-        first t.entries
-    in
-    t.entries <- List.filter (fun e -> e != victim) t.entries
+  if t.n > 0 then begin
+    let victim = ref 0 in
+    for k = 1 to t.n - 1 do
+      if t.slots.(k).last_use < t.slots.(!victim).last_use then victim := k
+    done;
+    remove_at t !victim
+  end
+
+let ensure_room t =
+  if t.n = Array.length t.slots then begin
+    let bigger = Array.make (max 8 (2 * t.n)) dummy in
+    Array.blit t.slots 0 bigger 0 t.n;
+    t.slots <- bigger
+  end
 
 let insert t ~now:_ ~mapping ~gran ~prefetch ~ready_at ~data =
   if Bytes.length data <> t.geometry.Addr.subblock_bytes then
     invalid_arg "L0_buffer.insert: data must be one subblock";
-  t.entries <- List.filter (fun e -> e.mapping <> mapping) t.entries;
+  ignore (remove_if t (fun e -> e.mapping = mapping));
   (match t.cap with
-  | Some cap -> while List.length t.entries >= cap do evict_lru t done
+  | Some cap -> while t.n >= cap do evict_lru t done
   | None -> ());
-  let entry =
-    { mapping; data = Bytes.copy data; gran; last_use = tick t; ready_at; prefetch }
-  in
-  t.entries <- entry :: t.entries
+  ensure_room t;
+  Array.blit t.slots 0 t.slots 1 t.n;
+  t.slots.(0) <-
+    { mapping; data = Bytes.copy data; gran; last_use = tick t; ready_at; prefetch };
+  t.n <- t.n + 1
 
 (* Byte position of [addr] inside an entry's data buffer. *)
 let slot g mapping addr =
@@ -122,35 +183,35 @@ let write_entry entry ~geometry ~addr ~width value =
     v := Int64.shift_right_logical !v 8
   done
 
-let find_overlapping t ~addr ~width =
-  List.filter (fun e -> overlaps t.geometry e.mapping ~addr ~width) t.entries
-
 let store_update t ~now:_ ~addr ~width ~value =
-  let overlapping = find_overlapping t ~addr ~width in
-  match find_covering t ~addr ~width with
-  | updated :: _ ->
+  let ui = best_covering t ~addr ~width in
+  if ui >= 0 then begin
+    let updated = t.slots.(ui) in
     write_entry updated ~geometry:t.geometry ~addr ~width value;
     updated.last_use <- tick t;
     (* One write port: the other overlapping copies are invalidated
        rather than updated (Section 4.1, intra-cluster coherence). *)
-    t.entries <-
-      List.filter
-        (fun e -> e == updated || not (List.memq e overlapping))
-        t.entries;
+    ignore
+      (remove_if t (fun e ->
+           e != updated && overlaps t.geometry e.mapping ~addr ~width));
     true
-  | [] ->
+  end
+  else begin
     (* No copy holds every byte. Partially-overlapped copies cannot be
        patched through the one port; drop them so no stale byte
        survives the write. *)
-    t.entries <- List.filter (fun e -> not (List.memq e overlapping)) t.entries;
+    ignore (remove_if t (fun e -> overlaps t.geometry e.mapping ~addr ~width));
     false
+  end
 
 let invalidate_addr t ~addr ~width =
-  let dropped = find_overlapping t ~addr ~width in
-  t.entries <- List.filter (fun e -> not (List.memq e dropped)) t.entries;
-  List.length dropped
+  remove_if t (fun e -> overlaps t.geometry e.mapping ~addr ~width)
 
-let invalidate_all t = t.entries <- []
+let invalidate_all t =
+  for k = 0 to t.n - 1 do
+    t.slots.(k) <- dummy
+  done;
+  t.n <- 0
 
 let edge_trigger entry ~geometry ~addr =
   let index, count =
@@ -172,20 +233,21 @@ let mapping_to_string = function
   | Interleaved { block; gran; lane } ->
     Printf.sprintf "interleaved@%#x/gran%d/lane%d" block gran lane
 
-let iter_entries t f = List.iter (fun e -> f e) t.entries
+let iter_entries t f =
+  for k = 0 to t.n - 1 do
+    f t.slots.(k)
+  done
 
 let check_invariants ?(label = "L0") t =
   let errs = ref [] in
   let add fmt =
     Printf.ksprintf (fun m -> errs := (label ^ ": " ^ m) :: !errs) fmt
   in
-  let n = List.length t.entries in
   (match t.cap with
-  | Some cap when n > cap -> add "%d entries exceed capacity %d" n cap
+  | Some cap when t.n > cap -> add "%d entries exceed capacity %d" t.n cap
   | _ -> ());
   let seen = Hashtbl.create 8 in
-  List.iter
-    (fun e ->
+  iter_entries t (fun e ->
       if Hashtbl.mem seen e.mapping then
         add "duplicate entries for mapping %s" (mapping_to_string e.mapping)
       else Hashtbl.add seen e.mapping ();
@@ -198,9 +260,8 @@ let check_invariants ?(label = "L0") t =
           (mapping_to_string e.mapping) e.last_use t.clock;
       if e.gran <= 0 then
         add "entry %s has non-positive granularity %d"
-          (mapping_to_string e.mapping) e.gran)
-    t.entries;
-  let stamps = List.map (fun e -> e.last_use) t.entries in
+          (mapping_to_string e.mapping) e.gran);
+  let stamps = List.init t.n (fun k -> t.slots.(k).last_use) in
   if List.length (List.sort_uniq compare stamps) <> List.length stamps then
     add "LRU stamps are not distinct (replacement order is ambiguous)";
   List.rev !errs

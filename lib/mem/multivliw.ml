@@ -156,7 +156,11 @@ module Protocol = struct
         match acc with
         | Error _ -> acc
         | Ok () ->
-          let modified = List.length (List.filter (( = ) Modified) states) in
+          let modified =
+            List.fold_left
+              (fun n st -> if st = Modified then n + 1 else n)
+              0 states
+          in
           if modified > 1 then
             Error (Printf.sprintf "block %#x has %d Modified copies" base modified)
           else if modified = 1 && List.length states > 1 then

@@ -1,6 +1,14 @@
 open Flexl0_util
 module Config = Flexl0_arch.Config
 
+(* Ring size of the per-cluster L0 port accounting (power of two). Port
+   claims land at most a bus wait plus the L1/L2 latency, the interleave
+   penalty and a few conflict slips ahead of the current cycle — orders
+   of magnitude below this window — and the simulator's [now] never
+   decreases within a state's lifetime, so a slot whose tag is not the
+   probed cycle can only be an expired claim. *)
+let port_window = 1024
+
 type state = {
   cfg : Config.t;
   geometry : Addr.geometry;
@@ -9,9 +17,13 @@ type state = {
   bus : Bus.t;
   backing : Backing.t;
   counters : Stats.Counters.t;
-  ports : (int * int, int) Hashtbl.t;
-      (* (cluster, cycle) -> L0 port uses; Table 2 gives each buffer a
-         limited number of read/write ports *)
+  (* L0 port uses per (cluster, cycle): Table 2 gives each buffer a
+     limited number of read/write ports. An int-keyed ring of
+     [port_window] slots per cluster; [port_tag] holds the cycle a
+     slot's count belongs to (tag mismatch = free). *)
+  port_used : int array;
+  port_tag : int array;
+  scratch_sb : Bytes.t;  (* one-subblock staging for fills *)
 }
 
 let in_range st ~addr ~len = addr >= 0 && addr + len <= Backing.size st.backing
@@ -21,13 +33,18 @@ let in_range st ~addr ~len = addr >= 0 && addr + len <= Backing.size st.backing
    ports — e.g. two fills landing with a probe) slip by a cycle each. *)
 let claim_port st ~cluster ~cycle =
   let cap = st.cfg.l0.ports in
+  let base = cluster * port_window in
   let rec find c =
-    let used = Option.value ~default:0 (Hashtbl.find_opt st.ports (cluster, c)) in
-    if used < cap then c else find (c + 1)
+    let k = base + (c land (port_window - 1)) in
+    let used = if st.port_tag.(k) = c then st.port_used.(k) else 0 in
+    if used < cap then begin
+      st.port_tag.(k) <- c;
+      st.port_used.(k) <- used + 1;
+      c
+    end
+    else find (c + 1)
   in
   let grant = find cycle in
-  Hashtbl.replace st.ports (cluster, grant)
-    (1 + Option.value ~default:0 (Hashtbl.find_opt st.ports (cluster, grant)));
   if grant > cycle then
     Stats.Counters.add st.counters "l0_port_conflicts" (grant - cycle);
   grant
@@ -44,14 +61,19 @@ let l1_trip st ~cluster ~start ~addr ~write =
   let served = match result with `Hit -> Hierarchy.L1 | `Miss -> Hierarchy.L2 in
   (grant + L1_cache.latency st.l1 result, served)
 
-(* Gather the bytes of a subblock mapping out of the backing memory. *)
+(* Gather the bytes of a subblock mapping out of the backing memory into
+   the state's staging buffer. The result aliases [st.scratch_sb] and is
+   only valid until the next call — every consumer ({!L0_buffer.insert})
+   copies it immediately. *)
 let subblock_data st mapping =
   let g = st.geometry in
   let sb = g.Addr.subblock_bytes in
   match mapping with
   | L0_buffer.Linear { base } ->
-    if in_range st ~addr:base ~len:sb then
-      Some (Backing.read_bytes st.backing ~addr:base ~len:sb)
+    if in_range st ~addr:base ~len:sb then begin
+      Backing.read_into st.backing ~addr:base ~len:sb st.scratch_sb ~pos:0;
+      Some st.scratch_sb
+    end
     else None
   | L0_buffer.Interleaved { block; gran; lane } ->
     if
@@ -60,13 +82,13 @@ let subblock_data st mapping =
       || gran > g.Addr.subblock_bytes
     then None
     else begin
-      let data = Bytes.make sb '\000' in
+      let data = st.scratch_sb in
+      Bytes.fill data 0 sb '\000';
       let per_lane = Addr.elements_per_lane g ~gran in
       for e = 0 to per_lane - 1 do
         let block_off = ((e * g.Addr.clusters) + lane) * gran in
-        Bytes.blit
-          (Backing.read_bytes st.backing ~addr:(block + block_off) ~len:gran)
-          0 data (e * gran) gran
+        Backing.read_into st.backing ~addr:(block + block_off) ~len:gran data
+          ~pos:(e * gran)
       done;
       Some data
     end
@@ -307,7 +329,9 @@ let make_state (cfg : Config.t) ~backing ~with_l0 =
     bus = Bus.create ~clusters:cfg.num_clusters;
     backing;
     counters = Stats.Counters.create ();
-    ports = Hashtbl.create 4096;
+    port_used = Array.make (cfg.num_clusters * port_window) 0;
+    port_tag = Array.make (cfg.num_clusters * port_window) (-1);
+    scratch_sb = Bytes.create geometry.Addr.subblock_bytes;
   }
 
 (* Structural self-check for the sanitizer: every per-cluster buffer's

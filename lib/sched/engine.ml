@@ -31,6 +31,23 @@ type st = {
   candidates : int list;  (* candidate load ids, program order *)
   home : int option array;  (* static home cluster (interleaved baseline) *)
   usage : int array;  (* placed instructions per cluster (balance) *)
+  (* Timing cache: [cached_times] is the fixpoint of [Ddg.compute_times]
+     at [times_epoch]; [lat_epoch] is bumped by every mutation that can
+     change [cur_lat] of some node, so the cache is valid iff the epochs
+     match. The II is fixed per state, so the epoch only tracks the
+     latency plan. *)
+  mutable lat_epoch : int;
+  mutable times_epoch : int;
+  mutable cached_times : Ddg.times option;
+  scratch : Ddg.scratch;  (* backing for compute_times, shared across IIs *)
+  rank_buf : int array;  (* unplaced-candidate ids for the slack ranking *)
+  (* Generation-stamped slot marks replacing the per-attempt association
+     lists: a mark equals the current generation iff the slot was claimed
+     in the current placement attempt. *)
+  slot_mark : int array;  (* bus slots tentatively claimed; size ii *)
+  mutable slot_gen : int;
+  fu_mark : int array;  (* Mem_fu slots taken by replicas; clusters * ii *)
+  mutable fu_gen : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -97,6 +114,16 @@ let unbounded_l0 st =
   | Config.Unbounded -> true
   | Config.No_l0 | Config.Entries _ -> false
 
+(* The timing fixpoint under the current latency plan, recomputed only
+   when an assignment actually flipped since the cached run. *)
+let current_times st =
+  if st.times_epoch <> st.lat_epoch then begin
+    st.cached_times <-
+      Ddg.compute_times ~scratch:st.scratch st.ddg ~ii:st.ii ~lat:(cur_lat st);
+    st.times_epoch <- st.lat_epoch
+  end;
+  st.cached_times
+
 (* Re-assign L0/L1 latencies to unplaced candidate loads: the [budget]
    most critical (smallest slack) get the L0 latency. *)
 let reassign_latencies st =
@@ -104,24 +131,51 @@ let reassign_latencies st =
     let budget =
       if not (selective st) || unbounded_l0 st then max_int else total_free st
     in
-    let unplaced =
-      List.filter
-        (fun i -> st.placed.(i) = None && not st.forced_l1.(i))
-        st.candidates
-    in
+    let buf = st.rank_buf in
+    let m = ref 0 in
+    List.iter
+      (fun i ->
+        if st.placed.(i) = None && not st.forced_l1.(i) then begin
+          buf.(!m) <- i;
+          incr m
+        end)
+      st.candidates;
+    let m = !m in
     (* Slack under the current latency plan; infeasibility here just means
        the criticality signal is unavailable — order by id instead. *)
     let slack_of =
-      match Ddg.compute_times st.ddg ~ii:st.ii ~lat:(cur_lat st) with
+      match current_times st with
       | Some times -> fun i -> Ddg.slack times i
       | None -> fun _ -> 0
     in
-    let ranked =
-      List.sort
-        (fun a b -> compare (slack_of a, a) (slack_of b, b))
-        unplaced
-    in
-    List.iteri (fun rank i -> st.lat_assign.(i) <- rank < budget) ranked
+    (* In-place insertion sort by (slack, id): same unique total order as
+       the former List.sort over pairs, no tuple or list churn. *)
+    for k = 1 to m - 1 do
+      let x = buf.(k) in
+      let sx = slack_of x in
+      let j = ref (k - 1) in
+      while
+        !j >= 0
+        &&
+        let y = buf.(!j) in
+        let sy = slack_of y in
+        sy > sx || (sy = sx && y > x)
+      do
+        buf.(!j + 1) <- buf.(!j);
+        decr j
+      done;
+      buf.(!j + 1) <- x
+    done;
+    for rank = 0 to m - 1 do
+      let i = buf.(rank) in
+      let v = rank < budget in
+      if st.lat_assign.(i) <> v then begin
+        (* [i] is unplaced and not forced to L1 here, so the flip changes
+           its planned latency: invalidate the timing cache. *)
+        st.lat_assign.(i) <- v;
+        st.lat_epoch <- st.lat_epoch + 1
+      end
+    done
   end
 
 (* ------------------------------------------------------------------ *)
@@ -150,6 +204,11 @@ let decide_set st (s : Memdep.set) =
     | Dec_nl0 ->
       List.iter
         (fun i ->
+          (* Pinning an unplaced load that held the L0 latency changes
+             its planned latency — invalidate the timing cache. Placed
+             loads keep their committed [assumed_latency]. *)
+          if st.lat_assign.(i) && (not st.forced_l1.(i)) && st.placed.(i) = None
+          then st.lat_epoch <- st.lat_epoch + 1;
           st.forced_l1.(i) <- true;
           st.lat_assign.(i) <- false)
         s.Memdep.loads
@@ -340,21 +399,20 @@ let self_edges_ok st i ~latency =
       lat <= st.ii * e.distance)
     (Ddg.succs st.ddg i)
 
-(* Bus availability including comms tentatively planned in this attempt. *)
-let bus_ok st tentative cycle =
-  let slot c = ((c mod st.ii) + st.ii) mod st.ii in
-  let pending =
-    List.length (List.filter (fun (_, b) -> slot b = slot cycle) tentative)
-  in
-  Mrt.bus_free st.mrt ~cycle && pending = 0
-(* A single new comm per slot per attempt keeps the accounting simple and
-   is conservative w.r.t. the real capacity. *)
+let mod_slot st c = ((c mod st.ii) + st.ii) mod st.ii
 
-let find_bus_slot st tentative ~from_ ~until =
+(* Bus availability including comms tentatively planned in this attempt:
+   a slot mark at the current generation is a tentative claim ([claim_slot]
+   below). A single new comm per slot per attempt keeps the accounting
+   simple and is conservative w.r.t. the real capacity. *)
+let bus_ok st cycle =
+  Mrt.bus_free st.mrt ~cycle && st.slot_mark.(mod_slot st cycle) <> st.slot_gen
+
+let claim_slot st cycle = st.slot_mark.(mod_slot st cycle) <- st.slot_gen
+
+let find_bus_slot st ~from_ ~until =
   let rec go b =
-    if b > until then None
-    else if bus_ok st tentative b then Some b
-    else go (b + 1)
+    if b > until then None else if bus_ok st b then Some b else go (b + 1)
   in
   if from_ > until then None else go (max 0 from_)
 
@@ -364,6 +422,8 @@ let find_bus_slot st tentative ~from_ ~until =
 let plan_comms st i cluster cycle ~latency =
   let exception Infeasible in
   try
+    (* New attempt: previous tentative slot claims expire wholesale. *)
+    st.slot_gen <- st.slot_gen + 1;
     let tentative = ref [] in
     (* Producer side. *)
     let budget_by_producer = Hashtbl.create 4 in
@@ -391,10 +451,11 @@ let plan_comms st i cluster cycle ~latency =
         | None -> (
           let ready = p.Schedule.start + p.Schedule.assumed_latency in
           match
-            find_bus_slot st !tentative ~from_:ready
-              ~until:(budget - st.cfg.comm_latency)
+            find_bus_slot st ~from_:ready ~until:(budget - st.cfg.comm_latency)
           with
-          | Some b -> tentative := (producer, b) :: !tentative
+          | Some b ->
+            claim_slot st b;
+            tentative := (producer, b) :: !tentative
           | None -> raise Infeasible))
       budget_by_producer;
     (* Consumer side: one broadcast for [i] covering all placed
@@ -414,8 +475,10 @@ let plan_comms st i cluster cycle ~latency =
     | [] -> ()
     | _ -> (
       let until = List.fold_left min max_int budgets in
-      match find_bus_slot st !tentative ~from_:(cycle + latency) ~until with
-      | Some b -> tentative := (i, b) :: !tentative
+      match find_bus_slot st ~from_:(cycle + latency) ~until with
+      | Some b ->
+        claim_slot st b;
+        tentative := (i, b) :: !tentative
       | None -> raise Infeasible));
     Some !tentative
   with Infeasible -> None
@@ -423,13 +486,14 @@ let plan_comms st i cluster cycle ~latency =
 (* ------------------------------------------------------------------ *)
 (* PSR replica insertion                                                *)
 
-(* [tentative] carries the bus slots [plan_comms] has already claimed for
-   this placement attempt but not yet committed, so the address
-   broadcast cannot land on one of them. *)
-let insert_psr_replicas st i cluster cycle ~tentative =
+(* The slot marks of the current generation carry the bus slots
+   [plan_comms] has already claimed for this placement attempt but not
+   yet committed, so the address broadcast cannot land on one of them —
+   the generation is deliberately NOT bumped here. *)
+let insert_psr_replicas st i cluster cycle =
   let exception Infeasible in
   try
-    let taken = ref [] in
+    st.fu_gen <- st.fu_gen + 1;
     (* A replica into cluster [c] must land strictly before any placed
        dependent load there consumes the stored value, or that load
        would be served a stale L0 copy. *)
@@ -458,18 +522,18 @@ let insert_psr_replicas st i cluster cycle ~tentative =
               if t > limit then raise Infeasible
               else if
                 Mrt.fu_free st.mrt ~cluster:c ~fu:Opcode.Mem_fu ~cycle:t
-                && not (List.mem (c, ((t mod st.ii) + st.ii) mod st.ii) !taken)
+                && st.fu_mark.((c * st.ii) + mod_slot st t) <> st.fu_gen
               then t
               else find (t + 1)
             in
             let t = find (cycle + st.cfg.comm_latency) in
-            taken := (c, ((t mod st.ii) + st.ii) mod st.ii) :: !taken;
+            st.fu_mark.((c * st.ii) + mod_slot st t) <- st.fu_gen;
             Some { Schedule.for_store = i; rep_cluster = c; rep_start = t }
           end)
         (List.init st.cfg.num_clusters (fun c -> c))
     in
     (* Address broadcast bus slot. *)
-    match find_bus_slot st tentative ~from_:(max 0 (cycle - st.cfg.comm_latency))
+    match find_bus_slot st ~from_:(max 0 (cycle - st.cfg.comm_latency))
             ~until:(cycle + st.ii)
     with
     | None -> None
@@ -481,6 +545,10 @@ let insert_psr_replicas st i cluster cycle ~tentative =
 
 let commit st i cluster cycle ~latency ~uses_l0 ~new_comms =
   let ins = Ddg.instr st.ddg i in
+  (* The cluster may have imposed a latency other than the planned one
+     (capacity exhausted, non-home cluster, 1C elsewhere): [cur_lat i]
+     changes with the commit, so the timing cache must be invalidated. *)
+  if latency <> planned_latency st i then st.lat_epoch <- st.lat_epoch + 1;
   Mrt.reserve_fu st.mrt ~cluster ~fu:(Opcode.fu_class ins.Instr.opcode) ~cycle;
   List.iter
     (fun (producer, b) ->
@@ -504,52 +572,50 @@ let try_cycles st i cluster ~latency ~uses_l0 =
     let ins = Ddg.instr st.ddg i in
     let fu = Opcode.fu_class ins.Instr.opcode in
     let est = earliest_start st i cluster in
-    let lst = latest_start st i cluster ~latency in
-    let candidates =
-      match lst with
-      | Some l when l < est -> []
-      | Some l ->
-        (* Both directions constrained: narrow window upward. *)
-        List.init (min st.ii (l - est + 1)) (fun k -> est + k)
-      | None -> List.init st.ii (fun k -> est + k)
+    (* Candidate cycles are the integer range the old list enumerated:
+       est upward, II slots at most, capped by the latest start. *)
+    let last =
+      match latest_start st i cluster ~latency with
+      | Some l when l < est -> est - 1 (* empty window *)
+      | Some l -> est + min st.ii (l - est + 1) - 1
+      | None -> est + st.ii - 1
     in
-    let rec try_list = function
-      | [] -> false
-      | t :: rest ->
-        if t < 0 then try_list rest
-        else if not (Mrt.fu_free st.mrt ~cluster ~fu ~cycle:t) then try_list rest
-        else begin
-          match plan_comms st i cluster t ~latency with
-          | None -> try_list rest
-          | Some new_comms ->
-            if
-              Instr.is_store ins
-              && (match coherence_decision st i with
-                 | Some (_, Dec_psr) -> true
-                 | _ -> false)
-            then begin
-              match insert_psr_replicas st i cluster t ~tentative:new_comms with
-              | None -> try_list rest
-              | Some (replicas, bus_cycle) ->
-                commit st i cluster t ~latency ~uses_l0 ~new_comms;
-                List.iter
-                  (fun (r : Schedule.replica) ->
-                    Mrt.reserve_fu st.mrt ~cluster:r.rep_cluster
-                      ~fu:Opcode.Mem_fu ~cycle:r.rep_start)
-                  replicas;
-                Mrt.reserve_bus st.mrt ~cycle:bus_cycle;
-                st.comms <-
-                  { Schedule.producer = i; comm_cycle = bus_cycle } :: st.comms;
-                st.replicas <- replicas @ st.replicas;
-                true
-            end
-            else begin
+    let rec try_from t =
+      if t > last then false
+      else if t < 0 then try_from (t + 1)
+      else if not (Mrt.fu_free st.mrt ~cluster ~fu ~cycle:t) then try_from (t + 1)
+      else begin
+        match plan_comms st i cluster t ~latency with
+        | None -> try_from (t + 1)
+        | Some new_comms ->
+          if
+            Instr.is_store ins
+            && (match coherence_decision st i with
+               | Some (_, Dec_psr) -> true
+               | _ -> false)
+          then begin
+            match insert_psr_replicas st i cluster t with
+            | None -> try_from (t + 1)
+            | Some (replicas, bus_cycle) ->
               commit st i cluster t ~latency ~uses_l0 ~new_comms;
+              List.iter
+                (fun (r : Schedule.replica) ->
+                  Mrt.reserve_fu st.mrt ~cluster:r.rep_cluster
+                    ~fu:Opcode.Mem_fu ~cycle:r.rep_start)
+                replicas;
+              Mrt.reserve_bus st.mrt ~cycle:bus_cycle;
+              st.comms <-
+                { Schedule.producer = i; comm_cycle = bus_cycle } :: st.comms;
+              st.replicas <- replicas @ st.replicas;
               true
-            end
-        end
+          end
+          else begin
+            commit st i cluster t ~latency ~uses_l0 ~new_comms;
+            true
+          end
+      end
     in
-    try_list candidates
+    try_from est
   end
 
 (* Figure 4 step ➑: after placing a load with the L0 latency, steer its
@@ -614,15 +680,21 @@ let mark_related st i cluster ~uses_l0 =
 (* ------------------------------------------------------------------ *)
 (* try_schedule: Figure 4                                               *)
 
-let make_state cfg scheme coherence ~steering loop ~ii =
+(* Per-(cfg, loop) preparation shared across all II retries of a search:
+   the DDG build is O(n^2) and memory-dependence sets, candidate loads
+   and static homes are II-independent, so recomputing them on every II
+   bump was pure waste. The compute_times scratch rides along. *)
+type prep = {
+  p_ddg : Ddg.t;
+  p_deps : Memdep.t;
+  p_candidates : int list;
+  p_home : int option array;
+  p_scratch : Ddg.scratch;
+}
+
+let make_prep (cfg : Config.t) loop =
   let ddg = Loop.ddg loop in
   let n = Ddg.node_count ddg in
-  let entries_per_cluster =
-    match cfg.Config.l0.capacity with
-    | Config.Entries e -> e
-    | Config.Unbounded -> max_int / 2
-    | Config.No_l0 -> 0
-  in
   let candidates =
     List.filter_map
       (fun i ->
@@ -637,6 +709,23 @@ let make_state cfg scheme coherence ~steering loop ~ii =
         else None)
       (List.init n (fun i -> i))
   in
+  {
+    p_ddg = ddg;
+    p_deps = Memdep.compute ddg;
+    p_candidates = candidates;
+    p_home = Array.init n (fun i -> static_home cfg loop (Ddg.instr ddg i));
+    p_scratch = Ddg.create_scratch ();
+  }
+
+let make_state cfg scheme coherence ~steering ~prep loop ~ii =
+  let ddg = prep.p_ddg in
+  let n = Ddg.node_count ddg in
+  let entries_per_cluster =
+    match cfg.Config.l0.capacity with
+    | Config.Entries e -> e
+    | Config.Unbounded -> max_int / 2
+    | Config.No_l0 -> 0
+  in
   let st =
     {
       cfg;
@@ -645,7 +734,7 @@ let make_state cfg scheme coherence ~steering loop ~ii =
       steering;
       loop;
       ddg;
-      deps = Memdep.compute ddg;
+      deps = prep.p_deps;
       ii;
       mrt = Mrt.create cfg ~ii;
       placed = Array.make n None;
@@ -657,9 +746,18 @@ let make_state cfg scheme coherence ~steering loop ~ii =
       recommended = Array.make n None;
       decisions = Hashtbl.create 8;
       store_streams = Hashtbl.create 8;
-      candidates;
-      home = Array.init n (fun i -> static_home cfg loop (Ddg.instr ddg i));
+      candidates = prep.p_candidates;
+      home = prep.p_home;
       usage = Array.make cfg.num_clusters 0;
+      lat_epoch = 0;
+      times_epoch = -1;
+      cached_times = None;
+      scratch = prep.p_scratch;
+      rank_buf = Array.make (List.length prep.p_candidates) 0;
+      slot_mark = Array.make ii 0;
+      slot_gen = 0;
+      fu_mark = Array.make (cfg.num_clusters * ii) 0;
+      fu_gen = 0;
     }
   in
   reassign_latencies st;
@@ -667,9 +765,9 @@ let make_state cfg scheme coherence ~steering loop ~ii =
 
 let debug = Sys.getenv_opt "FLEXL0_DEBUG" <> None
 
-let try_schedule cfg scheme ?(coherence = Auto) ?(steering = true) loop ~ii =
-  let st = make_state cfg scheme coherence ~steering loop ~ii in
-  let order = Sms.order st.ddg ~lat:(cur_lat st) ~ii in
+let try_schedule_prep cfg scheme ~coherence ~steering ~prep loop ~ii =
+  let st = make_state cfg scheme coherence ~steering ~prep loop ~ii in
+  let order = Sms.order ?times:(current_times st) st.ddg ~lat:(cur_lat st) ~ii in
   let place_one i =
     let clusters = ordered_clusters st i in
     if debug then
@@ -703,6 +801,10 @@ let try_schedule cfg scheme ?(coherence = Auto) ?(steering = true) loop ~ii =
         replicas = List.rev st.replicas;
       }
   else None
+
+let try_schedule cfg scheme ?(coherence = Auto) ?(steering = true) loop ~ii =
+  try_schedule_prep cfg scheme ~coherence ~steering ~prep:(make_prep cfg loop)
+    loop ~ii
 
 (* ------------------------------------------------------------------ *)
 (* Register pressure estimate                                           *)
@@ -738,8 +840,8 @@ let max_live (cfg : Config.t) (sch : Schedule.t) =
 (* ------------------------------------------------------------------ *)
 (* Full search                                                          *)
 
-let initial_mii cfg scheme coherence loop =
-  let st = make_state cfg scheme coherence ~steering:true loop ~ii:1 in
+let initial_mii cfg scheme coherence ~prep loop =
+  let st = make_state cfg scheme coherence ~steering:true ~prep loop ~ii:1 in
   Mii.mii cfg st.ddg ~lat:(cur_lat st)
 
 type infeasible = { inf_loop : string; inf_mii : int; inf_max_ii : int }
@@ -757,12 +859,13 @@ let () =
 
 let schedule_opt cfg scheme ?(coherence = Auto) ?(steering = true)
     ?(max_ii = 256) loop =
-  let mii = initial_mii cfg scheme coherence loop in
+  let prep = make_prep cfg loop in
+  let mii = initial_mii cfg scheme coherence ~prep loop in
   let rec search ii =
     if ii > max_ii then
       Error { inf_loop = loop.Loop.name; inf_mii = mii; inf_max_ii = max_ii }
     else
-      match try_schedule cfg scheme ~coherence ~steering loop ~ii with
+      match try_schedule_prep cfg scheme ~coherence ~steering ~prep loop ~ii with
       | None -> search (ii + 1)
       | Some sch ->
         let pressure = max_live cfg sch in

@@ -10,17 +10,23 @@ open Flexl0_ir
    the window instead. Criticality (slack at the target II) orders nodes
    within each component, which is the part of Swing Modulo Scheduling's
    intent that matters for our engine. *)
-let order ddg ~lat ~ii =
+let order ?times ddg ~lat ~ii =
   let n = Ddg.node_count ddg in
   if n = 0 then []
   else begin
     let times =
-      let rec feasible ii =
-        match Ddg.compute_times ddg ~ii ~lat with
-        | Some t -> t
-        | None -> feasible (ii + 1)
-      in
-      feasible (max 1 ii)
+      (* A caller that already ran the fixpoint at this (II, lat) — the
+         engine caches it — passes the result in; recomputing here would
+         yield the same arrays. *)
+      match times with
+      | Some t -> t
+      | None ->
+        let rec feasible ii =
+          match Ddg.compute_times ddg ~ii ~lat with
+          | Some t -> t
+          | None -> feasible (ii + 1)
+        in
+        feasible (max 1 ii)
     in
     let slack i = Ddg.slack times i in
     (* Ddg.sccs returns components in topological order of the

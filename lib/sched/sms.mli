@@ -14,7 +14,8 @@
 
 open Flexl0_ir
 
-val order : Ddg.t -> lat:(int -> int) -> ii:int -> int list
+val order : ?times:Ddg.times -> Ddg.t -> lat:(int -> int) -> ii:int -> int list
 (** A permutation of [0 .. node_count - 1]. [ii] is the II at which
     criticality (slack) is measured — normally the MII. Falls back to a
-    plain criticality sort if [ii] is infeasible. *)
+    plain criticality sort if [ii] is infeasible. [?times] short-circuits
+    the fixpoint when the caller already computed it at this (II, lat). *)

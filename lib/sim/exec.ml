@@ -14,6 +14,7 @@ type result = {
   stores : int;
   value_mismatches : int;
   counters : (string * int) list;
+  counter_set : Stats.Counters.t;
 }
 
 let ipc_denominator r = max 1 r.total_cycles
@@ -87,8 +88,7 @@ let store_value i k =
 
 let init_memory backing ~seed =
   for addr = 0 to Backing.size backing - 1 do
-    Backing.write backing ~addr ~width:1
-      (Int64.of_int (Tracegen.hash_mix seed addr 17 land 0xFF))
+    Backing.write8 backing ~addr (Tracegen.hash_mix seed addr 17)
   done
 
 (* Deterministic inter-invocation scramble: models the rest of the
@@ -104,8 +104,7 @@ let init_memory backing ~seed =
 let interlude_scramble mem ~seed ~inv =
   let salt = seed + ((inv + 1) * 1_000_003) in
   for addr = 0 to Backing.size mem - 1 do
-    Backing.write mem ~addr ~width:1
-      (Int64.of_int (Tracegen.hash_mix salt addr 23 land 0xFF))
+    Backing.write8 mem ~addr (Tracegen.hash_mix salt addr 23)
   done
 
 (* Sequential reference replay: expected value of every dynamic load,
@@ -306,6 +305,7 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
     stores = !stores;
     value_mismatches = !mismatches;
     counters = Stats.Counters.to_list hier.Hierarchy.counters;
+    counter_set = hier.Hierarchy.counters;
   }
 
 let run_result cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
@@ -322,7 +322,7 @@ let stall_fraction r =
   else float_of_int r.stall_cycles /. float_of_int r.total_cycles
 
 let l0_hit_rate r =
-  let get name = Option.value ~default:0 (List.assoc_opt name r.counters) in
+  let get name = Option.value ~default:0 (Stats.Counters.find r.counter_set name) in
   let hits = get "l0_load_hits" and misses = get "l0_load_misses" in
   if hits + misses = 0 then None
   else Some (float_of_int hits /. float_of_int (hits + misses))

@@ -31,7 +31,11 @@ type result = {
   loads : int;
   stores : int;
   value_mismatches : int;
-  counters : (string * int) list;  (** hierarchy counters snapshot *)
+  counters : (string * int) list;  (** hierarchy counters snapshot, sorted *)
+  counter_set : Flexl0_util.Stats.Counters.t;
+      (** the hierarchy's counter set itself — O(1) lookups via
+          {!Flexl0_util.Stats.Counters.find} without scanning the
+          [counters] snapshot *)
 }
 
 (** One observed memory event, for debugging and visualization. *)

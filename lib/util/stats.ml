@@ -13,6 +13,7 @@ module Counters = struct
 
   let add t name n = cell t name := !(cell t name) + n
   let incr t name = add t name 1
+  let find t name = Option.map ( ! ) (Hashtbl.find_opt t name)
   let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
   let to_list t =

@@ -8,6 +8,10 @@ module Counters : sig
   val create : unit -> t
   val incr : t -> string -> unit
   val add : t -> string -> int -> unit
+  val find : t -> string -> int option
+  (** [None] when the counter was never touched — a single hash probe,
+      unlike scanning a {!to_list} snapshot. *)
+
   val get : t -> string -> int
   val to_list : t -> (string * int) list
   (** Sorted by name. *)

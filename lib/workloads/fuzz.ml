@@ -446,7 +446,10 @@ let default_systems () =
 (* ------------------------------------------------------------------ *)
 
 let check_identities kind (r : Exec.result) =
-  let get name = Option.value ~default:0 (List.assoc_opt name r.Exec.counters) in
+  let get name =
+    Option.value ~default:0
+      (Flexl0_util.Stats.Counters.find r.Exec.counter_set name)
+  in
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
   if r.Exec.total_cycles <> r.Exec.compute_cycles + r.Exec.stall_cycles then

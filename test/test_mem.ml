@@ -263,6 +263,93 @@ let test_l0_next_mapping () =
     (L0_buffer.next_mapping ~geometry ~distance:1 `Next ilv
      = L0_buffer.Interleaved { block = 0x60; gran = 2; lane = 3 })
 
+(* The array-backed buffer must evict in exact LRU order under churn:
+   after scrambling the recency order with lookups, each insertion past
+   capacity must drop precisely the least-recently-touched survivor. *)
+let test_l0_lru_eviction_order () =
+  let buf = fresh_buffer ~capacity:(Some 4) () in
+  let insert base =
+    L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base }) ~gran:2
+      ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "12345678")
+  in
+  let present base = L0_buffer.peek buf ~addr:base ~width:2 <> None in
+  List.iter insert [ 0x00; 0x08; 0x10; 0x18 ];
+  (* Recency (oldest first) is now 0x00 0x08 0x10 0x18; touch them into
+     the order 0x18 0x00 0x10 0x08. *)
+  List.iter
+    (fun base -> ignore (L0_buffer.lookup buf ~now:1 ~addr:base ~width:2))
+    [ 0x00; 0x10; 0x08 ];
+  List.iteri
+    (fun i (fresh, victim) ->
+      insert fresh;
+      check_int "still at capacity" 4 (L0_buffer.entry_count buf);
+      check (Printf.sprintf "eviction %d drops the LRU entry" i) false
+        (present victim))
+    [ (0x20, 0x18); (0x28, 0x00); (0x30, 0x10); (0x38, 0x08) ];
+  check "latest insertions survive" true
+    (List.for_all present [ 0x20; 0x28; 0x30; 0x38 ]);
+  check "invariants clean after churn" true
+    (L0_buffer.check_invariants buf = [])
+
+(* Eviction pressure across the growth path: a bounded buffer holds the
+   cap most-recent mappings, an unbounded one grows past its initial
+   slot array without dropping or corrupting anything. *)
+let test_l0_capacity_pressure () =
+  let churn capacity rounds =
+    let buf = fresh_buffer ~capacity () in
+    for k = 0 to rounds - 1 do
+      L0_buffer.insert buf ~now:k ~mapping:(L0_buffer.Linear { base = 8 * k })
+        ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:k
+        ~data:(data_of_string "abcdefgh")
+    done;
+    buf
+  in
+  let bounded = churn (Some 3) 40 in
+  check_int "bounded holds cap entries" 3 (L0_buffer.entry_count bounded);
+  for k = 37 to 39 do
+    check "survivors are the most recent" true
+      (L0_buffer.peek bounded ~addr:(8 * k) ~width:2 <> None)
+  done;
+  check "older mappings evicted" true
+    (L0_buffer.peek bounded ~addr:(8 * 36) ~width:2 = None);
+  check "bounded invariants clean" true (L0_buffer.check_invariants bounded = []);
+  let unbounded = churn None 40 in
+  check_int "unbounded grew past initial slots" 40
+    (L0_buffer.entry_count unbounded);
+  check "growth preserved oldest entry" true
+    (L0_buffer.peek unbounded ~addr:0 ~width:2 <> None);
+  check "unbounded invariants clean" true
+    (L0_buffer.check_invariants unbounded = [])
+
+(* Overlap vs cover (Section 4.1): a store wider than an entry's
+   granularity covers none of the narrow copies — store_update must
+   report a miss yet still drop every copy it overlaps, while leaving
+   disjoint entries alone. *)
+let test_l0_overlap_vs_cover_invalidation () =
+  let buf = fresh_buffer ~capacity:(Some 8) () in
+  for lane = 0 to 3 do
+    L0_buffer.insert buf ~now:lane
+      ~mapping:(L0_buffer.Interleaved { block = 0x00; gran = 1; lane })
+      ~gran:1 ~prefetch:Hint.No_prefetch ~ready_at:lane
+      ~data:(data_of_string "pqrstuvw")
+  done;
+  L0_buffer.insert buf ~now:4 ~mapping:(L0_buffer.Linear { base = 0x40 }) ~gran:2
+    ~prefetch:Hint.No_prefetch ~ready_at:4 ~data:(data_of_string "12345678");
+  check_int "four lane copies plus a disjoint subblock" 5
+    (L0_buffer.entry_count buf);
+  (* A 4-byte store to byte-interleaved data: covered by no lane copy
+     (each holds one byte in four), but overlapping all of them. *)
+  check "wide store over narrow copies misses" false
+    (L0_buffer.store_update buf ~now:5 ~addr:0x00 ~width:4 ~value:0xAABBCCDDL);
+  check_int "every overlapped narrow copy dropped" 1 (L0_buffer.entry_count buf);
+  check "disjoint subblock untouched" true
+    (L0_buffer.peek buf ~addr:0x40 ~width:2 <> None);
+  (* invalidate_addr uses the same overlap notion. *)
+  check_int "invalidate overlapping subblock" 1
+    (L0_buffer.invalidate_addr buf ~addr:0x42 ~width:4);
+  check_int "buffer empty" 0 (L0_buffer.entry_count buf);
+  check "invariants clean" true (L0_buffer.check_invariants buf = [])
+
 let qcheck_l0_props =
   [
     QCheck.Test.make ~name:"L0 never exceeds capacity" ~count:100
@@ -762,6 +849,11 @@ let suite =
       Alcotest.test_case "l0 interleaved read" `Quick test_l0_interleaved_read;
       Alcotest.test_case "l0 edge triggers" `Quick test_l0_edge_triggers;
       Alcotest.test_case "l0 next mapping" `Quick test_l0_next_mapping;
+      Alcotest.test_case "l0 LRU eviction order" `Quick test_l0_lru_eviction_order;
+      Alcotest.test_case "l0 capacity pressure + growth" `Quick
+        test_l0_capacity_pressure;
+      Alcotest.test_case "l0 overlap vs cover invalidation" `Quick
+        test_l0_overlap_vs_cover_invalidation;
       Alcotest.test_case "l1 hit/miss" `Quick test_l1_hit_miss;
       Alcotest.test_case "l1 associativity" `Quick test_l1_associativity;
       Alcotest.test_case "l1 stores non-allocating" `Quick

@@ -1,0 +1,132 @@
+(* Differential byte-identity pin for the PR 4 hot-path overhaul.
+
+   The optimizations (incremental scheduler timing, array-backed
+   buffers, ring-buffer port accounting) must not change a single byte
+   of output. These goldens were captured from the pre-optimization
+   tree on the existing deterministic seeds; every test recomputes the
+   artifact on the current tree and compares digests, so any
+   semantic drift in the scheduler, the memory system, or the
+   simulator fails loudly here before it can skew a figure.
+
+   To re-capture after an *intentional* output change, run the suite
+   and copy the "actual" digest from the failure message. *)
+
+module Config = Flexl0_arch.Config
+module Pipeline = Flexl0.Pipeline
+module Experiments = Flexl0.Experiments
+module Csv_export = Flexl0.Csv_export
+module Mediabench = Flexl0_workloads.Mediabench
+module Fuzz = Flexl0_workloads.Fuzz
+module Schedule = Flexl0_sched.Schedule
+module Exec = Flexl0_sim.Exec
+
+let md5 s = Digest.to_hex (Digest.string s)
+let check = Alcotest.(check string)
+
+(* Captured from the pre-PR4 tree (seed state: 300 tests green). *)
+let golden_schedules = "785e59d058bc821c6826310f83b2a15f"
+let golden_stats = "e4004f3fcd7b6ac1d34fcc9cb126a4ea"
+let golden_fig5 = "946421fd8eb0673c24c0a2dfcdb789a2"
+let golden_fig7 = "a08c382923d86093275ad3a39f315a2d"
+
+let golden_fuzz_summary =
+  "cases=200 runs=1600 passes=1600 skips=0 early_stop=false\n"
+
+(* The nine systems of the two figures (shared no-L0 baseline, fig5's
+   four L0 sizes, fig7's three distributed machines). *)
+let figure_systems () =
+  [
+    Pipeline.baseline_system ();
+    Pipeline.l0_system ~capacity:(Config.Entries 4) ();
+    Pipeline.l0_system ~capacity:(Config.Entries 8) ();
+    Pipeline.l0_system ~capacity:(Config.Entries 16) ();
+    Pipeline.l0_system ~capacity:Config.Unbounded ();
+    Pipeline.multivliw_system ();
+    Pipeline.interleaved_system ~locality:false ();
+    Pipeline.interleaved_system ~locality:true ();
+  ]
+
+let test_schedules () =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      List.iter
+        (fun (sys : Pipeline.system) ->
+          List.iter
+            (fun { Mediabench.loop; _ } ->
+              match Pipeline.compile_result sys loop with
+              | Ok sch ->
+                Buffer.add_string buf
+                  (Format.asprintf "%s|%a\n" sys.Pipeline.label Schedule.pp sch)
+              | Error inf ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s|infeasible %s\n" sys.Pipeline.label
+                     (Flexl0_sched.Engine.infeasible_message inf)))
+            b.Mediabench.loops)
+        (figure_systems ()))
+    (Mediabench.all ());
+  check "schedule dump digest" golden_schedules (md5 (Buffer.contents buf))
+
+let render_result buf (r : Exec.result) =
+  Printf.bprintf buf
+    "trips=%d compute=%d stall=%d total=%d loads=%d stores=%d mismatches=%d\n"
+    r.Exec.trips r.Exec.compute_cycles r.Exec.stall_cycles r.Exec.total_cycles
+    r.Exec.loads r.Exec.stores r.Exec.value_mismatches;
+  List.iter
+    (fun (name, v) -> Printf.bprintf buf "  %s=%d\n" name v)
+    r.Exec.counters
+
+let test_stats () =
+  let sys = Pipeline.l0_system ~capacity:(Config.Entries 8) () in
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (b : Mediabench.benchmark) ->
+      let run = Pipeline.run_benchmark sys b in
+      Printf.bprintf buf "%s cycles=%.3f stalls=%.3f\n" run.Pipeline.bench_name
+        run.Pipeline.loop_cycles run.Pipeline.loop_stalls;
+      List.iter
+        (fun (lr : Pipeline.loop_run) ->
+          Printf.bprintf buf "%s ii=%d unroll=%d\n" lr.Pipeline.loop_name
+            lr.Pipeline.ii lr.Pipeline.unroll_factor;
+          render_result buf lr.Pipeline.sim)
+        run.Pipeline.loop_runs)
+    (Mediabench.all ());
+  check "simulator stats digest" golden_stats (md5 (Buffer.contents buf))
+
+let test_fig5 () =
+  check "fig5 CSV digest" golden_fig5 (md5 (Csv_export.figure (Experiments.fig5 ())))
+
+let test_fig7 () =
+  check "fig7 CSV digest" golden_fig7 (md5 (Csv_export.figure (Experiments.fig7 ())))
+
+(* The 200-case CI fuzz campaign doubles as the equivalence oracle for
+   the array-backed buffers: every case cross-checks the optimized
+   hierarchies against the sequential reference replay and the
+   sanitizer's structural invariants, and the rendered report must be
+   byte-identical to the pre-optimization run. *)
+let fuzz_summary (r : Fuzz.report) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "cases=%d runs=%d passes=%d skips=%d early_stop=%b\n"
+    r.Fuzz.r_cases r.Fuzz.r_runs r.Fuzz.r_passes r.Fuzz.r_skips
+    r.Fuzz.r_early_stop;
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Printf.bprintf b "failure case=%d system=%s kind=%s\n" f.Fuzz.f_case
+        f.Fuzz.f_system
+        (Fuzz.kind_label f.Fuzz.f_kind))
+    r.Fuzz.r_failures;
+  Buffer.contents b
+
+let test_fuzz () =
+  let report = Fuzz.run ~seed:42 ~cases:200 () in
+  check "fuzz report" golden_fuzz_summary (fuzz_summary report)
+
+let suite =
+  ( "perf-diff",
+    [
+      Alcotest.test_case "schedules byte-identical" `Slow test_schedules;
+      Alcotest.test_case "stats byte-identical" `Slow test_stats;
+      Alcotest.test_case "fig5 CSV byte-identical" `Slow test_fig5;
+      Alcotest.test_case "fig7 CSV byte-identical" `Slow test_fig7;
+      Alcotest.test_case "fuzz report byte-identical" `Slow test_fuzz;
+    ] )
