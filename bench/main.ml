@@ -9,7 +9,9 @@
      dune exec bench/main.exe fig5 ...   # (table2, fig5, fig6, fig7, extras)
      dune exec bench/main.exe timings    # bechamel timings only
      dune exec bench/main.exe perf ...   # staged perf regression harness;
-                                           writes BENCH_PR4.json (see Perf) *)
+                                           writes BENCH_PR4.json (see Perf)
+     dune exec bench/main.exe serve ...  # daemon throughput/latency/cache;
+                                           writes BENCH_PR5.json (Serve_perf) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -150,13 +152,15 @@ let () =
     run_timings ()
   | [ "timings" ] -> run_timings ()
   | "perf" :: rest -> Perf.main rest
+  | "serve" :: rest -> Serve_perf.main rest
   | names ->
     List.iter
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) artifacts with
         | Some (_, _, f) -> f ()
         | None ->
-          Printf.eprintf "unknown artifact %S; known: %s timings perf\n" name
+          Printf.eprintf "unknown artifact %S; known: %s timings perf serve\n"
+            name
             (String.concat " " (List.map (fun (n, _, _) -> n) artifacts));
           exit 2)
       names

@@ -1,0 +1,250 @@
+(* Daemon performance stage (PR 5).
+
+   Boots a real daemon on a private socket, then drives it with the
+   full figure workload twice over one connection-per-request client:
+
+   - cold: every (benchmark x system) cell and every per-loop compile
+     request once — all cache misses, every request forks a worker;
+   - warm: the identical request stream again — all content-addressed
+     cache hits, served straight from the LRU without touching the
+     scheduler or simulator.
+
+   Each pass records wall time, p50/p99 request latency and request
+   throughput; the daemon's own health counters supply the cache hit
+   rate. Results go to BENCH_PR5.json at the repo root; "before"
+   numbers come from bench/perf_baseline_pr5.txt (captured with
+   --save-baseline), matching the PR 4 perf-harness conventions. *)
+
+module Mediabench = Flexl0_workloads.Mediabench
+module Proto = Flexl0_serve.Proto
+module Server = Flexl0_serve.Server
+module Client = Flexl0_serve.Client
+
+type pass = {
+  pname : string;
+  wall_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  req_s : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let spec name =
+  match Proto.spec_of_string name with
+  | Ok s -> s
+  | Error msg -> failwith msg
+
+(* The figure workload as daemon requests: both headline systems' cells
+   for every benchmark, plus one compile request per inner loop. *)
+let requests () =
+  let l0 = spec "l0" and base = spec "baseline" in
+  List.concat_map
+    (fun (b : Mediabench.benchmark) ->
+      Proto.Cell { spec = l0; bench = b.Mediabench.bname; max_cycles = None }
+      :: Proto.Cell
+           { spec = base; bench = b.Mediabench.bname; max_cycles = None }
+      :: List.map
+           (fun { Mediabench.loop; _ } -> Proto.Compile { spec = l0; loop })
+           b.Mediabench.loops)
+    (Mediabench.all ())
+
+let run_pass ~socket pname reqs =
+  let lat = Array.make (List.length reqs) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i req ->
+      let r0 = Unix.gettimeofday () in
+      (match Client.request ~socket req with
+      | Ok _ -> ()
+      | Error msg ->
+        failwith (Printf.sprintf "%s: %s" (Proto.request_label req) msg));
+      lat.(i) <- (Unix.gettimeofday () -. r0) *. 1000.0)
+    reqs;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  let p =
+    {
+      pname;
+      wall_s;
+      p50_ms = percentile lat 0.50;
+      p99_ms = percentile lat 0.99;
+      req_s = float_of_int (List.length reqs) /. wall_s;
+    }
+  in
+  Printf.printf
+    "  %-5s %7.3f s  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms\n%!" p.pname
+    p.wall_s p.req_s p.p50_ms p.p99_ms;
+  p
+
+let daemon_health ~socket =
+  match Client.request ~socket Proto.Health with
+  | Ok (Proto.Health_report h) -> h
+  | Ok _ -> failwith "health request did not return a report"
+  | Error msg -> failwith ("health: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline file: one "name wall_s req_s p50_ms p99_ms" line per pass. *)
+
+let save_baseline path passes =
+  let oc = open_out path in
+  output_string oc "# serve daemon perf baseline (bench serve --save-baseline)\n";
+  List.iter
+    (fun p ->
+      Printf.fprintf oc "%s %.6f %.1f %.3f %.3f\n" p.pname p.wall_s p.req_s
+        p.p50_ms p.p99_ms)
+    passes;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.split_on_char ' ' line with
+          | [ name; wall; rps; p50; p99 ] ->
+            go
+              ((name,
+                {
+                  pname = name;
+                  wall_s = float_of_string wall;
+                  req_s = float_of_string rps;
+                  p50_ms = float_of_string p50;
+                  p99_ms = float_of_string p99;
+                })
+              :: acc)
+          | _ -> go acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  end
+
+let json_pass b = function
+  | None -> Buffer.add_string b "null"
+  | Some p ->
+    Printf.bprintf b
+      "{\"wall_s\": %.6f, \"req_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": \
+       %.3f}"
+      p.wall_s p.req_s p.p50_ms p.p99_ms
+
+let emit_json ~path ~baseline ~hits ~misses ~warm_speedup passes =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "{\n  \"pr\": 5,\n  \"workloads\": \"daemon: mediabench cells (l0 + \
+     baseline) and per-loop compiles, cold then warm\",\n  \"passes\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"before\": " p.pname;
+      json_pass b (List.assoc_opt p.pname baseline);
+      Buffer.add_string b ", \"after\": ";
+      json_pass b (Some p);
+      Buffer.add_string b "}";
+      if i < List.length passes - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    passes;
+  Buffer.add_string b "  ],\n";
+  let total = hits + misses in
+  Printf.bprintf b
+    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n" hits
+    misses
+    (if total = 0 then 0.0 else float_of_int hits /. float_of_int total);
+  Printf.bprintf b "  \"warm_speedup\": %.2f\n}\n" warm_speedup;
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+
+let default_out = "BENCH_PR5.json"
+let default_baseline = "bench/perf_baseline_pr5.txt"
+
+let with_daemon f =
+  let socket = Filename.temp_file "flexl0-bench" ".sock" in
+  Sys.remove socket;
+  match Unix.fork () with
+  | 0 ->
+    Server.run
+      {
+        (Server.default ~socket) with
+        Server.workers = 2;
+        cache_capacity = 1024;
+      };
+    Stdlib.exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        if not (Client.wait_ready ~socket ()) then
+          failwith "daemon never became ready";
+        f ~socket)
+
+let run ?(out = default_out) ?(baseline = default_baseline)
+    ?(save_baseline_to = None) () =
+  Printf.printf "== serve: daemon throughput, latency and cache ==\n%!";
+  let reqs = requests () in
+  Printf.printf "  %d requests per pass\n%!" (List.length reqs);
+  let cold, warm, h =
+    with_daemon (fun ~socket ->
+        let cold = run_pass ~socket "cold" reqs in
+        let warm = run_pass ~socket "warm" reqs in
+        (cold, warm, daemon_health ~socket))
+  in
+  let counter name =
+    match List.assoc_opt name h.Proto.h_counters with Some n -> n | None -> 0
+  in
+  let warm_speedup =
+    if warm.wall_s > 0.0 then cold.wall_s /. warm.wall_s else 0.0
+  in
+  Printf.printf "  warm speedup %.1fx, cache %d hits / %d misses\n%!"
+    warm_speedup (counter "cache_hits") (counter "cache_misses");
+  let passes = [ cold; warm ] in
+  (match save_baseline_to with
+  | Some path -> save_baseline path passes
+  | None -> ());
+  emit_json ~path:out ~baseline:(load_baseline baseline)
+    ~hits:(counter "cache_hits") ~misses:(counter "cache_misses")
+    ~warm_speedup passes
+
+let main args =
+  let out = ref default_out in
+  let baseline = ref default_baseline in
+  let save = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--baseline" :: v :: rest ->
+      baseline := v;
+      parse rest
+    | "--save-baseline" :: rest ->
+      save := Some default_baseline;
+      parse rest
+    | "--save-baseline-to" :: v :: rest ->
+      save := Some v;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf
+        "serve: unknown argument %S (known: --out PATH --baseline PATH \
+         --save-baseline --save-baseline-to PATH)\n"
+        a;
+      exit 2
+  in
+  parse args;
+  run ~out:!out ~baseline:!baseline ~save_baseline_to:!save ()

@@ -14,6 +14,10 @@ module Sanitizer = Flexl0_mem.Sanitizer
 module Runner = Flexl0.Runner
 module Campaign = Flexl0.Campaign
 module Csv_export = Flexl0.Csv_export
+module Errors = Flexl0.Errors
+module Proto = Flexl0_serve.Proto
+module Server = Flexl0_serve.Server
+module Client = Flexl0_serve.Client
 
 (* Every CLI failure funnels through here: one line on stderr, prefixed
    with the subcommand, exit code 2. *)
@@ -456,11 +460,10 @@ let fuzz_cmd =
           | None -> false
         in
         let systems = Fuzz.default_systems () in
-        Printf.printf
-          "fuzz: seed %d, %d cases x %d scheme/hierarchy combinations, \
-           sanitizer %s\n"
-          seed cases (List.length systems)
-          (Sanitizer.mode_to_string sanitizer);
+        (* shared with the daemon's fuzz responses: byte-identical *)
+        print_string
+          (Proto.fuzz_header ~seed ~cases ~systems:(List.length systems)
+             ~sanitizer);
         (match faults with
         | Some p ->
           Printf.printf "fault plan (%s, per-case seeds from --seed): %s\n"
@@ -501,14 +504,7 @@ let fuzz_cmd =
             (List.length gave_up)
             (if List.length gave_up = 1 then "" else "es")
             (if List.length gave_up = 1 then "is" else "are");
-        Printf.printf
-          "%d cases, %d runs: %d passed, %d skipped (infeasible), %d \
-           failure%s%s\n"
-          report.Fuzz.r_cases report.Fuzz.r_runs report.Fuzz.r_passes
-          report.Fuzz.r_skips
-          (List.length report.Fuzz.r_failures)
-          (if List.length report.Fuzz.r_failures = 1 then "" else "s")
-          (if report.Fuzz.r_early_stop then " (stopped early)" else "");
+        print_string (Proto.fuzz_summary report);
         match report.Fuzz.r_failures with
         | [] ->
           if breaking then
@@ -516,11 +512,9 @@ let fuzz_cmd =
               "coherence-breaking plan went undetected across %d runs — the \
                sanitizer and verifier both missed it"
               report.Fuzz.r_runs
-          else Printf.printf "all oracles agree: no failures\n"
+          else print_string (Proto.fuzz_verdict report)
         | f :: _ ->
-          Printf.printf "\nfirst failure: case %d on %s: %s\n" f.Fuzz.f_case
-            f.Fuzz.f_system
-            (Fuzz.describe_kind f.Fuzz.f_kind);
+          print_string (Proto.fuzz_verdict report);
           let shrunk = Fuzz.shrink ~sanitizer f in
           let instrs = Fuzz.instruction_count shrunk in
           let comment =
@@ -662,17 +656,35 @@ let all_cmd =
   Cmd.v (Cmd.info cmd ~doc:"Run the complete evaluation")
     Term.(const run $ const ())
 
+(* ---- service layer: shared request plumbing ----------------------- *)
+
+(* Every subcommand below renders through [Proto.handle] / the Proto
+   renderers — the same code path the daemon's workers run — so daemon
+   responses and direct CLI output are byte-identical by construction. *)
+
+let system_arg =
+  let doc = "Target system: " ^ String.concat ", " Proto.spec_names ^ "." in
+  Arg.(value & opt string "l0" & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc)
+
+let resolve_spec ~cmd s =
+  match Proto.spec_of_string s with
+  | Ok spec -> spec
+  | Error msg -> die ~cmd "%s" msg
+
+let print_response ~cmd = function
+  | Proto.Text s -> print_string s
+  | Proto.Health_report h -> print_string (Proto.render_health h)
+  | Proto.Failed e -> die ~cmd "%s" (Errors.to_string e)
+
 let schedule_cmd =
   let cmd = "schedule" in
-  let run bench_name =
+  let run bench_name system =
     protect ~cmd (fun () ->
         let b = find_benchmark ~cmd bench_name in
-        let sys = Pipeline.l0_system () in
+        let spec = resolve_spec ~cmd system in
         List.iter
           (fun { Mediabench.loop; repeat = _ } ->
-            let sch = Pipeline.compile sys loop in
-            Format.printf "%a@.%a@." Flexl0_sched.Schedule.pp sch
-              Flexl0_sched.Schedule.pp_kernel sch)
+            print_response ~cmd (Proto.handle (Proto.Compile { spec; loop })))
           b.Mediabench.loops)
   in
   let bench =
@@ -680,8 +692,159 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info cmd
-       ~doc:"Print the L0 schedules of a benchmark's inner loops")
-    Term.(const run $ bench)
+       ~doc:"Print the schedules of a benchmark's inner loops")
+    Term.(const run $ bench $ system_arg)
+
+let cell_cmd =
+  let cmd = "cell" in
+  let run bench system max_cycles =
+    protect ~cmd (fun () ->
+        let spec = resolve_spec ~cmd system in
+        print_response ~cmd
+          (Proto.handle (Proto.Cell { spec; bench; max_cycles })))
+  in
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Compile and simulate one benchmark x system figure cell")
+    Term.(const run $ bench $ system_arg $ max_cycles_arg)
+
+let socket_arg =
+  Arg.(value & opt string "flexl0.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Path of the daemon's Unix-domain socket.")
+
+let serve_cmd =
+  let cmd = "serve" in
+  let run socket workers cache timeout retries seed quiet =
+    protect ~cmd (fun () ->
+        if workers < 1 then die ~cmd "--workers must be at least 1";
+        if cache < 1 then die ~cmd "--cache must be at least 1";
+        if retries < 0 then die ~cmd "--retries must not be negative";
+        (match timeout with
+        | Some t when t <= 0.0 -> die ~cmd "--timeout must be positive"
+        | _ -> ());
+        let on_log =
+          if quiet then ignore
+          else fun line -> Printf.eprintf "flexl0 serve: %s\n%!" line
+        in
+        Server.run
+          {
+            Server.socket; workers; cache_capacity = cache; timeout; retries;
+            seed; on_log;
+          })
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Concurrent forked compute workers.")
+  in
+  let cache =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+           ~doc:"Capacity of the content-addressed LRU result cache.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed of the retry-jitter stream.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Suppress the per-request log on stderr.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Run the compile/simulate daemon: a Unix-domain-socket service \
+             with a content-addressed schedule cache in front of a \
+             supervised worker pool. SIGTERM drains gracefully: in-flight \
+             requests finish, new connections are refused.")
+    Term.(const run $ socket_arg $ workers $ cache $ timeout_arg
+          $ retries_arg $ seed $ quiet)
+
+let client_cmd =
+  let cmd = "client" in
+  let run socket action bench loop_name system max_cycles seed cases mode =
+    protect ~cmd (fun () ->
+        let spec () = resolve_spec ~cmd system in
+        let need_bench () =
+          match bench with
+          | Some b -> b
+          | None -> die ~cmd "%s needs --bench NAME" action
+        in
+        let requests =
+          match action with
+          | "health" -> [ Proto.Health ]
+          | "cell" ->
+            [ Proto.Cell { spec = spec (); bench = need_bench (); max_cycles } ]
+          | "compile" ->
+            let b = find_benchmark ~cmd (need_bench ()) in
+            let loops =
+              match loop_name with
+              | None -> b.Mediabench.loops
+              | Some name -> (
+                match
+                  List.find_opt
+                    (fun { Mediabench.loop; _ } ->
+                      loop.Flexl0_ir.Loop.name = name)
+                    b.Mediabench.loops
+                with
+                | Some wl -> [ wl ]
+                | None ->
+                  die ~cmd "unknown loop %S in %s" name b.Mediabench.bname)
+            in
+            List.map
+              (fun { Mediabench.loop; repeat = _ } ->
+                Proto.Compile { spec = spec (); loop })
+              loops
+          | "fuzz" ->
+            let sanitizer =
+              match Sanitizer.mode_of_string mode with
+              | Some m -> m
+              | None ->
+                die ~cmd "unknown sanitizer mode %S (want off|log|strict)"
+                  mode
+            in
+            [ Proto.Fuzz_batch { seed; cases; sanitizer } ]
+          | a ->
+            die ~cmd "unknown action %S (want health|compile|cell|fuzz)" a
+        in
+        List.iter
+          (fun req ->
+            match Client.request ~socket req with
+            | Ok resp -> print_response ~cmd resp
+            | Error msg -> die ~cmd "%s" msg)
+          requests)
+  in
+  let action =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
+           ~doc:"health, compile, cell or fuzz.")
+  in
+  let bench =
+    Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME"
+           ~doc:"Benchmark for compile and cell requests.")
+  in
+  let loop_name =
+    Arg.(value & opt (some string) None & info [ "loop" ] ~docv:"NAME"
+           ~doc:"Restrict a compile request to one loop (default: every \
+                 loop of the benchmark, one request each).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Fuzz request: master seed.")
+  in
+  let cases =
+    Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N"
+           ~doc:"Fuzz request: number of random kernels.")
+  in
+  let mode =
+    Arg.(value & opt string "strict" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Fuzz request: sanitizer mode (off, log or strict).")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Send one typed request to a running daemon and print the \
+             response — byte-identical to the matching direct subcommand")
+    Term.(const run $ socket_arg $ action $ bench $ loop_name $ system_arg
+          $ max_cycles_arg $ seed $ cases $ mode)
 
 let () =
   let info =
@@ -696,5 +859,6 @@ let () =
           [
             fig5_cmd; fig6_cmd; fig7_cmd; figures_cmd; table1_cmd; table2_cmd;
             extras_cmd; sensitivity_cmd; ablation_cmd; export_cmd; all_cmd;
-            schedule_cmd; trace_cmd; faults_cmd; fuzz_cmd;
+            schedule_cmd; cell_cmd; trace_cmd; faults_cmd; fuzz_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -8,6 +8,7 @@ type t =
   | Coherence_violation of { loop : string; system : string; mismatches : int }
   | Sanitizer_violation of Flexl0_mem.Sanitizer.violation
   | Job_gave_up of { job : string; attempts : int; reason : string }
+  | Protocol_error of string
 
 let of_infeasible inf = Schedule_infeasible inf
 let of_watchdog wd = Watchdog_timeout wd
@@ -28,3 +29,4 @@ let to_string = function
       attempts
       (if attempts = 1 then "" else "s")
       reason
+  | Protocol_error msg -> "protocol error: " ^ msg

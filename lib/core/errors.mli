@@ -20,10 +20,14 @@ type t =
           at the offending access — strictly earlier than the end-of-run
           value verifier could have *)
   | Job_gave_up of { job : string; attempts : int; reason : string }
-      (** a supervised {!Runner} job (one figure cell, one fuzz batch)
-          exhausted its retries — timeout, worker crash or torn result —
-          and degraded to a skipped row instead of aborting the
-          campaign *)
+      (** a supervised {!Runner} job (one figure cell, one fuzz batch,
+          one serve request) exhausted its retries — timeout, worker
+          crash or torn result — and degraded to a skipped row (or an
+          error response) instead of aborting the campaign *)
+  | Protocol_error of string
+      (** a serve-protocol frame was truncated, failed its digest, or
+          carried a payload the daemon cannot interpret (unknown
+          benchmark, unmarshallable request) *)
 
 val of_infeasible : Flexl0_sched.Engine.infeasible -> t
 val of_watchdog : Flexl0_sim.Exec.watchdog -> t

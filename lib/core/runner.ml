@@ -1,4 +1,5 @@
 module Journal = Flexl0_util.Journal
+module Frame = Flexl0_util.Frame
 module Rng = Flexl0_util.Rng
 
 type 'a job = { id : string; work : seed:int -> 'a }
@@ -83,17 +84,40 @@ let write_all fd s =
   in
   go 0
 
-let child_main fd job ~seed =
+let child_main fd work =
   (try
      let wire =
-       match job.work ~seed with
+       match work () with
        | v -> W_ok v
        | exception e -> W_exn (Printexc.to_string e)
      in
-     write_all fd (Journal.encode_frame (Marshal.to_string wire []))
+     write_all fd (Frame.encode (Marshal.to_string wire []))
    with _ -> ());
   (try Unix.close fd with _ -> ());
   Unix._exit 0
+
+(* Exposed worker primitives: the serve daemon runs the same
+   fork-one-frame-exit protocol, but supervises workers from its own
+   socket select loop instead of [run]'s batch loop. *)
+
+let fork_worker work =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rd;
+    child_main wr work
+  | pid ->
+    Unix.close wr;
+    (pid, rd)
+
+let read_result data =
+  match Frame.decode data ~pos:0 with
+  | Some (payload, _) -> (
+    match (Marshal.from_string payload 0 : 'a wire) with
+    | W_ok v -> Ok v
+    | W_exn msg -> Error msg
+    | exception _ -> Error "worker result failed to unmarshal")
+  | None -> Error "worker exited before producing an intact result frame"
 
 (* One in-flight worker. *)
 type running = {
@@ -240,15 +264,9 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
   let spawn idx attempt =
     let job = jobs.(idx) in
     let seed = job_seed ~seed:cfg.seed job.id in
-    let rd, wr = Unix.pipe () in
     cfg.on_progress (Job_started { job = job.id; attempt });
-    match Unix.fork () with
-    | 0 ->
-      Unix.close rd;
-      child_main wr job ~seed
-    | pid ->
-      Unix.close wr;
-      running :=
+    let pid, rd = fork_worker (fun () -> job.work ~seed) in
+    running :=
         {
           r_idx = idx;
           r_attempt = attempt;
@@ -264,7 +282,7 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
     let status = waitpid_retry r.r_pid in
     running := List.filter (fun x -> x.r_pid <> r.r_pid) !running;
     let data = Buffer.contents r.r_buf in
-    match Journal.decode_frame data ~pos:0 with
+    match Frame.decode data ~pos:0 with
     | Some (payload, _) -> (
       match (Marshal.from_string payload 0 : 'a wire) with
       | W_ok v ->

@@ -106,6 +106,31 @@ val backoff_delay :
     Pure, for fake-clock tests; the runner draws [jitter] from
     [Rng.keyed] on [(seed, job id, attempt)]. *)
 
+(** {1 Worker primitives}
+
+    The fork / one-result-frame / exit protocol [run] supervises its
+    workers with, exposed so the serve daemon can drive the same workers
+    from its own socket select loop (incremental dispatch, per-request
+    deadlines) instead of [run]'s batch loop. The [Marshal] contract is
+    the journal's: same binary on both ends, caller fixes ['a]. *)
+
+val fork_worker : (unit -> 'a) -> int * Unix.file_descr
+(** Forks a child that runs the thunk, writes exactly one
+    {!Flexl0_util.Frame}-encoded marshalled result (or the escaping
+    exception's rendering) on the returned pipe and [_exit]s without
+    running [at_exit] handlers. Returns [(pid, read_end)]; the caller
+    owns both — read to EOF, then [waitpid]. *)
+
+val read_result : string -> ('a, string) result
+(** Decode everything a worker wrote on its pipe: [Ok] the job's value,
+    or [Error reason] for an exception inside the worker, a torn or
+    missing result frame (killed worker), or an unmarshallable
+    payload. *)
+
+val status_reason : Unix.process_status -> string
+(** Human-readable rendering of a worker's exit status, used as the
+    attempt-failure reason when the pipe carried no intact frame. *)
+
 val run : config -> 'a job list -> 'a outcome list
 (** Executes the campaign and returns one outcome per job, {b in job
     list order}. Raises [Invalid_argument] on duplicate job ids or a

@@ -23,6 +23,7 @@ type state = {
      slot's count belongs to (tag mismatch = free). *)
   port_used : int array;
   port_tag : int array;
+  mutable port_hi : int;  (* highest cycle ever granted a port claim *)
   scratch_sb : Bytes.t;  (* one-subblock staging for fills *)
 }
 
@@ -34,10 +35,30 @@ let in_range st ~addr ~len = addr >= 0 && addr + len <= Backing.size st.backing
 let claim_port st ~cluster ~cycle =
   let cap = st.cfg.l0.ports in
   let base = cluster * port_window in
+  (* Window invariant, checked in debug builds (plain [assert]s, compiled
+     out under [--release]): the ring is collision-free exactly when every
+     cycle that can still be probed lies within [port_window] of every
+     cycle that still holds a live claim. Two consequences are asserted:
+
+     1. a probe never starts more than [port_window - 1] cycles below the
+        highest grant ever made ([port_hi]) — otherwise the slot for this
+        cycle may already have been recycled by a claim [>= port_window]
+        cycles above it, silently resetting its count;
+     2. a slot is only ever overwritten downward in ring position but
+        upward in cycle: the evicted tag must be strictly older than the
+        claiming cycle. Overwriting a *newer* tag would erase a live
+        future claim that the wraparound aliased onto this slot.
+
+     Both hold because claims land at most a bus wait plus the L1/L2
+     latency, the interleave penalty and a few conflict slips ahead of
+     the simulator's monotone [now] — orders of magnitude below the
+     window. *)
+  assert (st.port_hi - cycle < port_window);
   let rec find c =
     let k = base + (c land (port_window - 1)) in
     let used = if st.port_tag.(k) = c then st.port_used.(k) else 0 in
     if used < cap then begin
+      assert (st.port_tag.(k) <= c);
       st.port_tag.(k) <- c;
       st.port_used.(k) <- used + 1;
       c
@@ -45,6 +66,7 @@ let claim_port st ~cluster ~cycle =
     else find (c + 1)
   in
   let grant = find cycle in
+  if grant > st.port_hi then st.port_hi <- grant;
   if grant > cycle then
     Stats.Counters.add st.counters "l0_port_conflicts" (grant - cycle);
   grant
@@ -331,6 +353,7 @@ let make_state (cfg : Config.t) ~backing ~with_l0 =
     counters = Stats.Counters.create ();
     port_used = Array.make (cfg.num_clusters * port_window) 0;
     port_tag = Array.make (cfg.num_clusters * port_window) (-1);
+    port_hi = 0;
     scratch_sb = Bytes.create geometry.Addr.subblock_bytes;
   }
 

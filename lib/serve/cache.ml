@@ -1,0 +1,94 @@
+(* String -> string LRU with an intrusive doubly-linked recency list:
+   [mru] is the head, [lru] the tail, every table entry is on the list
+   exactly once. *)
+
+type node = {
+  n_key : string;
+  mutable n_value : string;
+  mutable n_prev : node option;  (* toward the MRU end *)
+  mutable n_next : node option;  (* toward the LRU end *)
+}
+
+type t = {
+  cap : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Cache.create: capacity must be >= 1, got %d" capacity);
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.mru <- n.n_next);
+  (match n.n_next with
+  | Some s -> s.n_prev <- n.n_prev
+  | None -> t.lru <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_next <- t.mru;
+  n.n_prev <- None;
+  (match t.mru with
+  | Some m -> m.n_prev <- Some n
+  | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.n_value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.n_value <- value;
+    unlink t n;
+    push_front t n
+  | None ->
+    let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    if Hashtbl.length t.tbl > t.cap then (
+      match t.lru with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.tbl victim.n_key;
+        t.evictions <- t.evictions + 1
+      | None -> assert false (* table non-empty => list non-empty *))
+
+let keys_mru t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.n_key :: acc) n.n_next
+  in
+  go [] t.mru

@@ -1,0 +1,36 @@
+(** Content-addressed LRU result cache.
+
+    The daemon's headline component: responses are keyed by a canonical
+    digest of everything that determines their bytes ({!Key}), so a
+    repeated request is served from here without forking a worker — the
+    cache-hit path never touches the scheduler or the simulator.
+
+    Plain string -> string: keys are digest hex, values are marshalled
+    response payloads. A doubly-linked recency list gives O(1) touch and
+    O(1) eviction of the genuinely least-recently-used entry. Not
+    thread-safe; the daemon owns it from its single supervising loop. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find : t -> string -> string option
+(** Looks the key up, counts a hit or a miss, and on a hit moves the
+    entry to the most-recently-used position. *)
+
+val add : t -> string -> string -> unit
+(** Inserts (or refreshes) the binding at the most-recently-used
+    position, evicting the least-recently-used entry when the capacity
+    is exceeded. *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val keys_mru : t -> string list
+(** Keys in recency order, most recent first — exposed so tests can pin
+    the eviction order. *)

@@ -1,0 +1,31 @@
+let request ~socket req =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot reach daemon at %s: %s" socket
+               (Unix.error_message e))
+        | () -> (
+          match Proto.write_all fd (Proto.encode_request req) with
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "send: %s" (Unix.error_message e))
+          | () ->
+            Result.bind (Proto.read_frame fd) Proto.decode_response))
+
+let wait_ready ~socket ?(attempts = 100) ?(interval = 0.05) () =
+  let rec go n =
+    n > 0
+    &&
+    match request ~socket Proto.Health with
+    | Ok _ -> true
+    | Error _ ->
+      Unix.sleepf interval;
+      go (n - 1)
+  in
+  go attempts

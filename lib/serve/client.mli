@@ -1,0 +1,15 @@
+(** Client side of the serve protocol: one connection per request. *)
+
+val request :
+  socket:string -> Proto.request -> (Proto.response, string) result
+(** Connect to the daemon at [socket], send the framed request, and
+    block for the framed response. [Error] covers connection failures
+    (no daemon, draining daemon refusing connections) and wire failures
+    (corrupt or truncated response frame) — a request the {e daemon}
+    rejected comes back as [Ok (Failed _)] instead. *)
+
+val wait_ready : socket:string -> ?attempts:int -> ?interval:float ->
+  unit -> bool
+(** Poll until a daemon accepts a {!Proto.Health} request — for tests
+    and scripts that just started one. Default: 100 attempts, 50ms
+    apart. *)

@@ -1,0 +1,100 @@
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+
+let version = "flexl0-serve-key-v1"
+
+let stride = function
+  | Memref.Const s -> Printf.sprintf "c%d" s
+  | Memref.Unknown -> "u"
+
+let memref b (m : Memref.t) =
+  Printf.bprintf b "@%d+%d*%d/%s" m.Memref.array_id m.Memref.offset
+    m.Memref.elem_bytes (stride m.Memref.stride)
+
+let instr b (i : Instr.t) =
+  Printf.bprintf b "i%d:%s:d%s:s[%s]" i.Instr.id
+    (Flexl0_ir.Opcode.to_string i.Instr.opcode)
+    (match i.Instr.dst with None -> "-" | Some r -> string_of_int r)
+    (String.concat "," (List.map string_of_int i.Instr.srcs));
+  (match i.Instr.memref with None -> () | Some m -> memref b m);
+  Buffer.add_char b ';'
+
+(* Everything semantically relevant, with every list in a canonical
+   order: the same loop assembled in a different instruction order (or
+   with its arrays / carried edges declared in a different order) keys
+   identically. *)
+let loop (l : Loop.t) =
+  let {
+    Loop.name;
+    trip_count;
+    instrs;
+    carried;
+    may_alias;
+    arrays;
+    unroll_factor;
+    weight;
+  } =
+    l
+  in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "loop:%s:t%d:u%d:a%b:w%.17g|" name trip_count unroll_factor
+    may_alias weight;
+  List.iter (instr b)
+    (List.sort (fun (a : Instr.t) c -> compare a.Instr.id c.Instr.id) instrs);
+  Buffer.add_char b '|';
+  List.iter
+    (fun (d, u, dist) -> Printf.bprintf b "c%d>%d@%d;" d u dist)
+    (List.sort compare carried);
+  Buffer.add_char b '|';
+  List.iter
+    (fun (a : Loop.array_info) ->
+      Printf.bprintf b "arr%d:%s:e%d:n%d;" a.Loop.array_id a.Loop.array_name
+        a.Loop.elem_bytes a.Loop.length)
+    (List.sort
+       (fun (a : Loop.array_info) c -> compare a.Loop.array_id c.Loop.array_id)
+       arrays);
+  Buffer.contents b
+
+let config (c : Config.t) =
+  let {
+    Config.num_clusters;
+    int_units;
+    mem_units;
+    fp_units;
+    regs_per_cluster;
+    comm_buses;
+    comm_latency;
+    l0 = { Config.capacity; l0_latency; subblock_bytes; ports; prefetch_distance };
+    l1 = { Config.l1_latency; size_bytes; ways; block_bytes; interleave_penalty };
+    l2 = { Config.l2_latency };
+    distributed =
+      { Config.local_latency; remote_latency; attraction_entries;
+        attraction_latency };
+  } =
+    c
+  in
+  Printf.sprintf
+    "cfg:cl%d:iu%d:mu%d:fu%d:r%d:cb%d:cy%d|l0:%s:lat%d:sb%d:p%d:pf%d|l1:lat%d:sz%d:w%d:b%d:ip%d|l2:lat%d|d:ll%d:rl%d:ae%d:al%d"
+    num_clusters int_units mem_units fp_units regs_per_cluster comm_buses
+    comm_latency
+    (match capacity with
+    | Config.No_l0 -> "none"
+    | Config.Entries n -> Printf.sprintf "e%d" n
+    | Config.Unbounded -> "unbounded")
+    l0_latency subblock_bytes ports prefetch_distance l1_latency size_bytes
+    ways block_bytes interleave_penalty l2_latency local_latency remote_latency
+    attraction_entries attraction_latency
+
+let scheme = Flexl0_sched.Scheme.to_string
+
+let coherence = function
+  | Flexl0_sched.Engine.Auto -> "auto"
+  | Flexl0_sched.Engine.Force_nl0 -> "nl0"
+  | Flexl0_sched.Engine.Force_1c -> "1c"
+  | Flexl0_sched.Engine.Force_psr -> "psr"
+
+let digest parts =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%d:%s" (String.length version) version;
+  List.iter (fun p -> Printf.bprintf b "%d:%s" (String.length p) p) parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))

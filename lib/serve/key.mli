@@ -1,0 +1,33 @@
+(** Canonical cache-key serialization.
+
+    The content-addressed cache is only correct if two requests that
+    must produce the same bytes digest to the same key, and any request
+    difference that could change a single response byte changes the key.
+    [Marshal] output is unsuitable (it preserves list order and sharing
+    accidents), so each input is rendered to a canonical text:
+
+    - a {!Flexl0_ir.Loop.t} with its instructions, carried edges and
+      arrays {e sorted} — the same loop assembled in a different
+      instruction-list order keys identically;
+    - a {!Flexl0_arch.Config.t} field by field (record destructuring
+      keeps this exhaustive: adding a field breaks the build here rather
+      than silently aliasing configurations);
+    - scheme, coherence mode and hierarchy identity as explicit tags.
+
+    Keys are the hex MD5 of a version-tagged, length-prefixed
+    concatenation of the parts, so part boundaries cannot alias. *)
+
+val version : string
+(** Bump when any canonical rendering changes meaning. *)
+
+val loop : Flexl0_ir.Loop.t -> string
+(** Order-insensitive canonical text of a loop. *)
+
+val config : Flexl0_arch.Config.t -> string
+
+val scheme : Flexl0_sched.Scheme.t -> string
+
+val coherence : Flexl0_sched.Engine.coherence_mode -> string
+
+val digest : string list -> string
+(** Hex MD5 over [version] plus the length-prefixed parts. *)

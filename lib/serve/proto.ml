@@ -1,0 +1,339 @@
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+module Engine = Flexl0_sched.Engine
+module Schedule = Flexl0_sched.Schedule
+module Exec = Flexl0_sim.Exec
+module Sanitizer = Flexl0_mem.Sanitizer
+module Mediabench = Flexl0_workloads.Mediabench
+module Fuzz = Flexl0_workloads.Fuzz
+module Pipeline = Flexl0.Pipeline
+module Errors = Flexl0.Errors
+module Frame = Flexl0_util.Frame
+
+type system_spec =
+  | Spec_baseline
+  | Spec_l0 of {
+      capacity : Config.l0_capacity;
+      selective : bool;
+      prefetch_distance : int;
+      coherence : Engine.coherence_mode;
+    }
+  | Spec_multivliw
+  | Spec_interleaved of { locality : bool }
+
+let default_l0 =
+  Spec_l0
+    {
+      capacity = Config.Entries 8;
+      selective = true;
+      prefetch_distance = 1;
+      coherence = Engine.Auto;
+    }
+
+let spec_names =
+  [
+    "baseline"; "l0"; "l0-4"; "l0-8"; "l0-16"; "l0-unbounded"; "multivliw";
+    "interleaved1"; "interleaved2";
+  ]
+
+let l0_entries n =
+  match default_l0 with
+  | Spec_l0 s -> Spec_l0 { s with capacity = Config.Entries n }
+  | _ -> assert false
+
+let spec_of_string = function
+  | "baseline" -> Ok Spec_baseline
+  | "l0" | "l0-8" -> Ok (l0_entries 8)
+  | "l0-4" -> Ok (l0_entries 4)
+  | "l0-16" -> Ok (l0_entries 16)
+  | "l0-unbounded" -> (
+    match default_l0 with
+    | Spec_l0 s -> Ok (Spec_l0 { s with capacity = Config.Unbounded })
+    | _ -> assert false)
+  | "multivliw" -> Ok Spec_multivliw
+  | "interleaved1" -> Ok (Spec_interleaved { locality = false })
+  | "interleaved2" -> Ok (Spec_interleaved { locality = true })
+  | s ->
+    Error
+      (Printf.sprintf "unknown system %S (want %s)" s
+         (String.concat "|" spec_names))
+
+let spec_to_string = function
+  | Spec_baseline -> "baseline"
+  | Spec_l0 { capacity; selective; prefetch_distance; coherence } ->
+    (* the named shorthands render back to their flag spelling; anything
+       off the beaten path gets an explicit, unambiguous form *)
+    let base =
+      match capacity with
+      | Config.Entries 8 -> "l0"
+      | Config.Entries n -> Printf.sprintf "l0-%d" n
+      | Config.Unbounded -> "l0-unbounded"
+      | Config.No_l0 -> "l0-none"
+    in
+    let extras =
+      (if selective then [] else [ "all-candidates" ])
+      @ (if prefetch_distance = 1 then []
+         else [ Printf.sprintf "pf%d" prefetch_distance ])
+      @
+      match coherence with
+      | Engine.Auto -> []
+      | Engine.Force_nl0 -> [ "nl0" ]
+      | Engine.Force_1c -> [ "1c" ]
+      | Engine.Force_psr -> [ "psr" ]
+    in
+    String.concat "+" (base :: extras)
+  | Spec_multivliw -> "multivliw"
+  | Spec_interleaved { locality = false } -> "interleaved1"
+  | Spec_interleaved { locality = true } -> "interleaved2"
+
+let system = function
+  | Spec_baseline -> Pipeline.baseline_system ()
+  | Spec_l0 { capacity; selective; prefetch_distance; coherence } ->
+    Pipeline.l0_system ~capacity ~selective ~prefetch_distance ~coherence ()
+  | Spec_multivliw -> Pipeline.multivliw_system ()
+  | Spec_interleaved { locality } -> Pipeline.interleaved_system ~locality ()
+
+type request =
+  | Compile of { spec : system_spec; loop : Loop.t }
+  | Cell of { spec : system_spec; bench : string; max_cycles : int option }
+  | Fuzz_batch of { seed : int; cases : int; sanitizer : Sanitizer.mode }
+  | Health
+
+type health = {
+  h_pid : int;
+  h_uptime_s : float;
+  h_draining : bool;
+  h_queue_depth : int;
+  h_busy_workers : int;
+  h_cache_entries : int;
+  h_cache_capacity : int;
+  h_counters : (string * int) list;
+}
+
+type response =
+  | Text of string
+  | Failed of Errors.t
+  | Health_report of health
+
+let request_label = function
+  | Compile { spec; loop } ->
+    Printf.sprintf "compile %s on %s" loop.Loop.name (spec_to_string spec)
+  | Cell { spec; bench; max_cycles } ->
+    Printf.sprintf "cell %s on %s%s" bench (spec_to_string spec)
+      (match max_cycles with
+      | None -> ""
+      | Some n -> Printf.sprintf " max-cycles %d" n)
+  | Fuzz_batch { seed; cases; sanitizer } ->
+    Printf.sprintf "fuzz seed %d, %d cases, sanitizer %s" seed cases
+      (Sanitizer.mode_to_string sanitizer)
+  | Health -> "health"
+
+(* ---- cache keys --------------------------------------------------- *)
+
+(* Everything that determines the response bytes, through the canonical
+   {!Key} renderings: system identity is the *expanded* configuration,
+   scheme, coherence mode and II ceiling (not the spec name, so two
+   spellings of the same system share cache entries). *)
+let system_parts spec =
+  let sys = system spec in
+  [
+    Key.config sys.Pipeline.config;
+    Key.scheme sys.Pipeline.scheme;
+    Key.coherence sys.Pipeline.coherence;
+    Printf.sprintf "maxii%d" sys.Pipeline.max_ii;
+    (* the hierarchy constructor is a closure; its identity is the spec
+       constructor, which is what selects it *)
+    (match spec with
+    | Spec_baseline -> "h:unified"
+    | Spec_l0 _ -> "h:l0"
+    | Spec_multivliw -> "h:multivliw"
+    | Spec_interleaved { locality } ->
+      Printf.sprintf "h:interleaved%b" locality);
+  ]
+
+let bench_part name =
+  match Mediabench.find name with
+  | b ->
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf "bench:%s:sf%.17g|" b.Mediabench.bname
+      b.Mediabench.scalar_fraction;
+    List.iter
+      (fun { Mediabench.loop; repeat } ->
+        Printf.bprintf buf "r%d{%s}" repeat (Key.loop loop))
+      b.Mediabench.loops;
+    Buffer.contents buf
+  | exception Not_found -> "bench-unknown:" ^ name
+
+let cache_key = function
+  | Compile { spec; loop } ->
+    Some (Key.digest ("compile" :: Key.loop loop :: system_parts spec))
+  | Cell { spec; bench; max_cycles } ->
+    Some
+      (Key.digest
+         ("cell" :: bench_part bench
+         :: (match max_cycles with
+            | None -> "mc:default"
+            | Some n -> Printf.sprintf "mc:%d" n)
+         :: system_parts spec))
+  | Fuzz_batch { seed; cases; sanitizer } ->
+    (* the fuzzer is deterministic in (seed, cases, sanitizer, systems);
+       the system matrix is fixed in this build *)
+    Some
+      (Key.digest
+         [
+           "fuzz";
+           Printf.sprintf "seed%d" seed;
+           Printf.sprintf "cases%d" cases;
+           Sanitizer.mode_to_string sanitizer;
+         ])
+  | Health -> None
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let render_schedule sch =
+  Format.asprintf "%a@.%a@." Schedule.pp sch Schedule.pp_kernel sch
+
+let render_cell (br : Pipeline.bench_run) =
+  let b = Buffer.create 512 in
+  let loops = List.length br.Pipeline.loop_runs in
+  Printf.bprintf b "%s on %s: %d loop%s\n" br.Pipeline.bench_name
+    br.Pipeline.system_label loops
+    (if loops = 1 then "" else "s");
+  Printf.bprintf b "%-14s %4s %7s %14s %14s\n" "loop" "ii" "unroll"
+    "scaled-cycles" "scaled-stalls";
+  List.iter
+    (fun (lr : Pipeline.loop_run) ->
+      Printf.bprintf b "%-14s %4d %7d %14.1f %14.1f\n" lr.Pipeline.loop_name
+        lr.Pipeline.ii lr.Pipeline.unroll_factor lr.Pipeline.scaled_cycles
+        lr.Pipeline.scaled_stalls)
+    br.Pipeline.loop_runs;
+  Printf.bprintf b "total: %.1f cycles, %.1f stall cycles, %d value mismatch%s\n"
+    br.Pipeline.loop_cycles br.Pipeline.loop_stalls br.Pipeline.mismatches
+    (if br.Pipeline.mismatches = 1 then "" else "es");
+  Buffer.contents b
+
+(* The sequential fuzz subcommand's three prints, verbatim — the daemon
+   reuses them so its fuzz responses match the CLI byte for byte. *)
+let fuzz_header ~seed ~cases ~systems ~sanitizer =
+  Printf.sprintf
+    "fuzz: seed %d, %d cases x %d scheme/hierarchy combinations, sanitizer \
+     %s\n"
+    seed cases systems
+    (Sanitizer.mode_to_string sanitizer)
+
+let fuzz_summary (r : Fuzz.report) =
+  Printf.sprintf
+    "%d cases, %d runs: %d passed, %d skipped (infeasible), %d failure%s%s\n"
+    r.Fuzz.r_cases r.Fuzz.r_runs r.Fuzz.r_passes r.Fuzz.r_skips
+    (List.length r.Fuzz.r_failures)
+    (if List.length r.Fuzz.r_failures = 1 then "" else "s")
+    (if r.Fuzz.r_early_stop then " (stopped early)" else "")
+
+let fuzz_verdict (r : Fuzz.report) =
+  match r.Fuzz.r_failures with
+  | [] -> "all oracles agree: no failures\n"
+  | f :: _ ->
+    Printf.sprintf "\nfirst failure: case %d on %s: %s\n" f.Fuzz.f_case
+      f.Fuzz.f_system
+      (Fuzz.describe_kind f.Fuzz.f_kind)
+
+let render_health h =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "daemon pid %d, up %.1fs%s\n" h.h_pid h.h_uptime_s
+    (if h.h_draining then ", draining" else "");
+  Printf.bprintf b "queue depth %d, busy workers %d\n" h.h_queue_depth
+    h.h_busy_workers;
+  Printf.bprintf b "cache: %d/%d entries\n" h.h_cache_entries h.h_cache_capacity;
+  List.iter (fun (k, v) -> Printf.bprintf b "  %s: %d\n" k v) h.h_counters;
+  Buffer.contents b
+
+(* ---- the shared compute path -------------------------------------- *)
+
+let guard f =
+  try f () with
+  | Engine.Infeasible inf -> Failed (Errors.Schedule_infeasible inf)
+  | Exec.Watchdog_timeout wd -> Failed (Errors.Watchdog_timeout wd)
+  | Sanitizer.Violation v -> Failed (Errors.Sanitizer_violation v)
+  | Invalid_argument msg -> Failed (Errors.Config_invalid msg)
+
+let handle req =
+  guard (fun () ->
+      match req with
+      | Compile { spec; loop } -> (
+        match Pipeline.compile_result (system spec) loop with
+        | Ok sch -> Text (render_schedule sch)
+        | Error inf -> Failed (Errors.Schedule_infeasible inf))
+      | Cell { spec; bench; max_cycles } -> (
+        match Mediabench.find bench with
+        | b -> (
+          match
+            Pipeline.run_benchmark_result (system spec) ?max_cycles b
+          with
+          | Ok br -> Text (render_cell br)
+          | Error e -> Failed e)
+        | exception Not_found ->
+          Failed
+            (Errors.Protocol_error
+               (Printf.sprintf "unknown benchmark %S (known: %s)" bench
+                  (String.concat ", " Mediabench.names))))
+      | Fuzz_batch { seed; cases; sanitizer } ->
+        let systems = Fuzz.default_systems () in
+        let report = Fuzz.run ~sanitizer ~systems ~seed ~cases () in
+        Text
+          (fuzz_header ~seed ~cases ~systems:(List.length systems) ~sanitizer
+          ^ fuzz_summary report ^ fuzz_verdict report)
+      | Health ->
+        Failed
+          (Errors.Protocol_error
+             "health requests are answered by the daemon itself, not the \
+              compute path"))
+
+(* ---- wire helpers ------------------------------------------------- *)
+
+let encode_request (req : request) =
+  Frame.encode (Marshal.to_string req [])
+
+let decode_request payload =
+  match (Marshal.from_string payload 0 : request) with
+  | req -> Ok req
+  | exception _ -> Error "request payload failed to unmarshal"
+
+let encode_response (resp : response) = Marshal.to_string resp []
+
+let decode_response payload =
+  match (Marshal.from_string payload 0 : response) with
+  | resp -> Ok resp
+  | exception _ -> Error "response payload failed to unmarshal"
+
+let rec write_all fd s =
+  let len = String.length s in
+  let n =
+    try Unix.write_substring fd s 0 len
+    with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  in
+  if n < len then write_all fd (String.sub s n (len - n))
+
+let rec read_retry fd chunk =
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd chunk
+
+let read_frame fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match Frame.check (Buffer.contents buf) ~pos:0 with
+    | Frame.Frame (payload, _) -> Ok payload
+    | Frame.Corrupt msg -> Error msg
+    | Frame.Partial ->
+      let n = read_retry fd chunk in
+      if n = 0 then
+        Error
+          (if Buffer.length buf = 0 then "connection closed before any frame"
+           else "connection closed mid-frame")
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      end
+  in
+  loop ()

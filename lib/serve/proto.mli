@@ -1,0 +1,130 @@
+(** The serve protocol: typed requests and responses, canonical cache
+    keys, the shared compute path, and the framed wire format.
+
+    {b Wire format.} One request per connection: the client sends a
+    single {!Flexl0_util.Frame} whose payload is the marshalled
+    {!request}, the daemon answers with a single frame whose payload is
+    the marshalled {!response}, then the connection closes. Frames are
+    length-prefixed and MD5-digest-checked, so a truncated or corrupted
+    request is rejected with a typed [Errors.Protocol_error] instead of
+    being misread. [Marshal] carries plain data only — the contract is
+    the {!Flexl0_util.Journal} one: both ends come from the same build.
+
+    {b Byte identity.} {!handle} is the single compute-and-render path:
+    the daemon's forked workers call it and the direct CLI subcommands
+    call the very same function, so a daemon response and the direct CLI
+    output are byte-identical by construction — there is no second
+    rendering to drift. *)
+
+open Flexl0_ir
+
+(** A marshallable description of a {!Flexl0.Pipeline.system}
+    ([Pipeline.system] itself carries a closure and cannot cross the
+    wire). *)
+type system_spec =
+  | Spec_baseline  (** unified L1, no L0 — the normalization reference *)
+  | Spec_l0 of {
+      capacity : Flexl0_arch.Config.l0_capacity;
+      selective : bool;
+      prefetch_distance : int;
+      coherence : Flexl0_sched.Engine.coherence_mode;
+    }
+  | Spec_multivliw
+  | Spec_interleaved of { locality : bool }
+
+val spec_of_string : string -> (system_spec, string) result
+(** Accepts [baseline], [l0], [l0-4], [l0-8], [l0-16], [l0-unbounded],
+    [multivliw], [interleaved1], [interleaved2]. *)
+
+val spec_to_string : system_spec -> string
+val spec_names : string list
+(** The flag spellings {!spec_of_string} accepts, for CLI docs. *)
+
+val system : system_spec -> Flexl0.Pipeline.system
+
+type request =
+  | Compile of { spec : system_spec; loop : Loop.t }
+      (** modulo-schedule one loop for one system; the response text is
+          the schedule dump the [schedule] subcommand prints *)
+  | Cell of { spec : system_spec; bench : string; max_cycles : int option }
+      (** one benchmark x system figure cell: compile and simulate every
+          loop of the named Mediabench suite *)
+  | Fuzz_batch of {
+      seed : int;
+      cases : int;
+      sanitizer : Flexl0_mem.Sanitizer.mode;
+    }  (** a sequential differential-fuzz batch *)
+  | Health  (** daemon stats; never cached, never forked *)
+
+(** Daemon self-description returned for {!Health}. *)
+type health = {
+  h_pid : int;
+  h_uptime_s : float;
+  h_draining : bool;
+  h_queue_depth : int;  (** requests accepted but not yet in a worker *)
+  h_busy_workers : int;
+  h_cache_entries : int;
+  h_cache_capacity : int;
+  h_counters : (string * int) list;
+      (** sorted: request/latency/retry counters plus [cache_hits],
+          [cache_misses], [cache_evictions] *)
+}
+
+type response =
+  | Text of string
+      (** the rendered result — exactly the bytes the direct CLI path
+          prints for the same request *)
+  | Failed of Flexl0.Errors.t
+  | Health_report of health
+
+val request_label : request -> string
+(** Stable human-readable id, used in logs and [Job_gave_up] payloads. *)
+
+val cache_key : request -> string option
+(** The content digest this request is cached under ({!Key}): loop IR /
+    benchmark content, full machine configuration, scheme, coherence,
+    hierarchy identity, II ceiling and cycle budget. [None] for
+    {!Health}. *)
+
+(** {1 The shared compute path} *)
+
+val handle : request -> response
+(** Compute and render. Deterministic; never raises — every failure
+    lands in [Failed]. [Health] requests yield
+    [Failed (Protocol_error _)]: only the daemon can answer them. *)
+
+val render_schedule : Flexl0_sched.Schedule.t -> string
+val render_cell : Flexl0.Pipeline.bench_run -> string
+
+val fuzz_header :
+  seed:int -> cases:int -> systems:int ->
+  sanitizer:Flexl0_mem.Sanitizer.mode -> string
+
+val fuzz_summary : Flexl0_workloads.Fuzz.report -> string
+val fuzz_verdict : Flexl0_workloads.Fuzz.report -> string
+(** The three parts of the fuzz report the sequential [fuzz] subcommand
+    prints (header, tally line, verdict/first-failure line) — shared so
+    the daemon's fuzz responses are byte-identical to the CLI's. *)
+
+val render_health : health -> string
+
+(** {1 Wire helpers} *)
+
+val encode_request : request -> string
+(** The framed bytes, ready to write. *)
+
+val decode_request : string -> (request, string) result
+(** Unmarshal one frame payload. *)
+
+val encode_response : response -> string
+(** Marshal only (not framed): the daemon caches these bytes and frames
+    them on the way out. *)
+
+val decode_response : string -> (response, string) result
+
+val write_all : Unix.file_descr -> string -> unit
+(** Loops over partial writes and EINTR. *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** Blocking-read a socket until one intact frame arrives; [Error] on a
+    corrupt frame or EOF before the frame completes. *)

@@ -1,0 +1,436 @@
+module Errors = Flexl0.Errors
+module Runner = Flexl0.Runner
+module Stats = Flexl0_util.Stats
+module Rng = Flexl0_util.Rng
+module Frame = Flexl0_util.Frame
+
+type config = {
+  socket : string;
+  workers : int;
+  cache_capacity : int;
+  timeout : float option;
+  retries : int;
+  seed : int;
+  on_log : string -> unit;
+}
+
+let default ~socket =
+  {
+    socket;
+    workers = 2;
+    cache_capacity = 256;
+    timeout = None;
+    retries = 2;
+    seed = 0;
+    on_log = ignore;
+  }
+
+(* An accepted connection still assembling its request frame. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  c_t0 : float;  (** accept time, for the latency counters *)
+}
+
+(* A decoded request waiting for (or being retried toward) a worker.
+   Concurrent identical requests coalesce: every client that asked for
+   the same cache key while the first was still computing is a waiter
+   on the one task, and all are answered from its single result. *)
+type task = {
+  t_req : Proto.request;
+  t_key : string option;
+  t_label : string;
+  mutable t_conns : conn list;  (** waiters, newest first *)
+  mutable t_attempt : int;  (** attempts already consumed *)
+}
+
+type worker = {
+  w_pid : int;
+  w_fd : Unix.file_descr;
+  w_buf : Buffer.t;
+  w_task : task;
+  w_deadline : float option;
+  mutable w_timed_out : bool;
+}
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable listening : bool;
+  mutable conns : conn list;
+  queue : task Queue.t;
+  mutable delayed : (float * task) list;  (** (retry-at, task) *)
+  mutable workers : worker list;
+  cache : Cache.t;
+  counters : Stats.Counters.t;
+  t_start : float;
+  draining : bool ref;
+}
+
+let request_kind = function
+  | Proto.Compile _ -> "compile"
+  | Proto.Cell _ -> "cell"
+  | Proto.Fuzz_batch _ -> "fuzz"
+  | Proto.Health -> "health"
+
+(* ---- responding --------------------------------------------------- *)
+
+(* The peer may already be gone (it crashed, or gave up waiting); a dead
+   connection must not take the daemon down, so EPIPE-class write errors
+   are swallowed here and SIGPIPE is ignored for the whole process. *)
+let send_and_close st conn payload =
+  (try Proto.write_all conn.c_fd (Frame.encode payload)
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+     ());
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  let ms = int_of_float ((Unix.gettimeofday () -. conn.c_t0) *. 1000.0) in
+  Stats.Counters.incr st.counters "responses";
+  Stats.Counters.add st.counters "latency_ms_total" ms;
+  if ms > Stats.Counters.get st.counters "latency_ms_max" then
+    Stats.Counters.add st.counters "latency_ms_max"
+      (ms - Stats.Counters.get st.counters "latency_ms_max")
+
+let respond st conn (resp : Proto.response) =
+  (match resp with
+  | Proto.Failed _ -> Stats.Counters.incr st.counters "responses_error"
+  | Proto.Text _ | Proto.Health_report _ -> ());
+  send_and_close st conn (Proto.encode_response resp)
+
+let respond_all st task (resp : Proto.response) =
+  List.iter (fun conn -> respond st conn resp) (List.rev task.t_conns)
+
+let protocol_failure st conn msg =
+  Stats.Counters.incr st.counters "protocol_errors";
+  respond st conn (Proto.Failed (Errors.Protocol_error msg))
+
+(* ---- health ------------------------------------------------------- *)
+
+let health st =
+  let counters =
+    Stats.Counters.to_list st.counters
+    @ [
+        ("cache_hits", Cache.hits st.cache);
+        ("cache_misses", Cache.misses st.cache);
+        ("cache_evictions", Cache.evictions st.cache);
+      ]
+  in
+  {
+    Proto.h_pid = Unix.getpid ();
+    h_uptime_s = Unix.gettimeofday () -. st.t_start;
+    h_draining = !(st.draining);
+    h_queue_depth = Queue.length st.queue + List.length st.delayed;
+    h_busy_workers = List.length st.workers;
+    h_cache_entries = Cache.length st.cache;
+    h_cache_capacity = Cache.capacity st.cache;
+    h_counters = List.sort compare counters;
+  }
+
+(* ---- dispatch ----------------------------------------------------- *)
+
+let dispatch st conn req =
+  Stats.Counters.incr st.counters "requests";
+  Stats.Counters.incr st.counters ("requests_" ^ request_kind req);
+  match req with
+  | Proto.Health -> respond st conn (Proto.Health_report (health st))
+  | _ -> (
+    let key = Proto.cache_key req in
+    match Option.bind key (Cache.find st.cache) with
+    | Some payload ->
+      (* the headline path: an identical request was computed before, so
+         the stored response bytes go straight back out — no fork, no
+         scheduler, no simulator *)
+      send_and_close st conn payload
+    | None -> (
+      (* coalesce with an identical request already in flight: one
+         worker computes, every waiter gets the result *)
+      let same_key t =
+        match key with Some k -> t.t_key = Some k | None -> false
+      in
+      let in_flight =
+        match
+          List.find_opt (fun w -> same_key w.w_task) st.workers
+        with
+        | Some w -> Some w.w_task
+        | None -> (
+          match Queue.fold
+                  (fun acc t -> if same_key t then Some t else acc)
+                  None st.queue
+          with
+          | Some t -> Some t
+          | None ->
+            Option.map snd
+              (List.find_opt (fun (_, t) -> same_key t) st.delayed))
+      in
+      match in_flight with
+      | Some t ->
+        Stats.Counters.incr st.counters "coalesced";
+        t.t_conns <- conn :: t.t_conns
+      | None ->
+        Queue.add
+          { t_req = req; t_key = key; t_label = Proto.request_label req;
+            t_conns = [ conn ]; t_attempt = 0 }
+          st.queue))
+
+(* ---- workers ------------------------------------------------------ *)
+
+let start_worker st task =
+  task.t_attempt <- task.t_attempt + 1;
+  Stats.Counters.incr st.counters "worker_starts";
+  let req = task.t_req in
+  let pid, rd = Runner.fork_worker (fun () -> Proto.handle req) in
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. t) st.cfg.timeout
+  in
+  st.workers <-
+    { w_pid = pid; w_fd = rd; w_buf = Buffer.create 4096; w_task = task;
+      w_deadline = deadline; w_timed_out = false }
+    :: st.workers;
+  st.cfg.on_log
+    (Printf.sprintf "start [%s] attempt %d (pid %d)" task.t_label
+       task.t_attempt pid)
+
+(* Keep every worker slot busy: started here, reaped in the select loop. *)
+let pump st =
+  while
+    List.length st.workers < st.cfg.workers && not (Queue.is_empty st.queue)
+  do
+    start_worker st (Queue.take st.queue)
+  done
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let retry_or_give_up st task reason =
+  if task.t_attempt <= st.cfg.retries then begin
+    let jitter =
+      Rng.float
+        (Rng.keyed ~seed:st.cfg.seed
+           (Printf.sprintf "%s#%d" task.t_label task.t_attempt))
+        1.0
+    in
+    let delay =
+      Runner.backoff_delay ~base:0.5 ~max_delay:30.0 ~jitter
+        ~attempt:task.t_attempt
+    in
+    Stats.Counters.incr st.counters "worker_retries";
+    st.cfg.on_log
+      (Printf.sprintf "retry [%s] attempt %d failed (%s), next in %.1fs"
+         task.t_label task.t_attempt reason delay);
+    st.delayed <- (Unix.gettimeofday () +. delay, task) :: st.delayed
+  end
+  else begin
+    Stats.Counters.incr st.counters "worker_gave_up";
+    st.cfg.on_log
+      (Printf.sprintf "gave up [%s] after %d attempts (%s)" task.t_label
+         task.t_attempt reason);
+    respond_all st task
+      (Proto.Failed
+         (Errors.Job_gave_up
+            { job = task.t_label; attempts = task.t_attempt; reason }))
+  end
+
+(* The worker's pipe hit EOF: reap it and either answer (caching the
+   deterministic result) or schedule a retry. *)
+let finish_worker st w =
+  st.workers <- List.filter (fun w' -> w'.w_pid <> w.w_pid) st.workers;
+  (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+  let status = waitpid_retry w.w_pid in
+  match
+    (Runner.read_result (Buffer.contents w.w_buf)
+      : (Proto.response, string) result)
+  with
+  | Ok resp ->
+    st.cfg.on_log (Printf.sprintf "done [%s]" w.w_task.t_label);
+    let payload = Proto.encode_response resp in
+    (match w.w_task.t_key with
+    | Some key -> Cache.add st.cache key payload
+    | None -> ());
+    let is_error = match resp with Proto.Failed _ -> true | _ -> false in
+    List.iter
+      (fun conn ->
+        if is_error then Stats.Counters.incr st.counters "responses_error";
+        send_and_close st conn payload)
+      (List.rev w.w_task.t_conns)
+  | Error reason ->
+    let reason =
+      if w.w_timed_out then begin
+        Stats.Counters.incr st.counters "worker_timeouts";
+        Printf.sprintf "timed out after %.1fs wall clock (worker killed)"
+          (Option.value st.cfg.timeout ~default:0.0)
+      end
+      else Printf.sprintf "%s (%s)" reason (Runner.status_reason status)
+    in
+    retry_or_give_up st w.w_task reason
+
+let kill_overdue st now =
+  List.iter
+    (fun w ->
+      match w.w_deadline with
+      | Some d when now >= d && not w.w_timed_out ->
+        w.w_timed_out <- true;
+        (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+        (* the pipe EOF that follows drives the normal reap path *)
+      | _ -> ())
+    st.workers
+
+(* ---- connection reads --------------------------------------------- *)
+
+let read_conn st conn =
+  let chunk = Bytes.create 65536 in
+  let n =
+    try Unix.read conn.c_fd chunk 0 (Bytes.length chunk)
+    with
+    | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+  in
+  if n < 0 then ()
+  else if n = 0 then begin
+    st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
+    protocol_failure st conn
+      (if Buffer.length conn.c_buf = 0 then
+         "connection closed before a request frame"
+       else "truncated request: connection closed mid-frame")
+  end
+  else begin
+    Buffer.add_subbytes conn.c_buf chunk 0 n;
+    match Frame.check (Buffer.contents conn.c_buf) ~pos:0 with
+    | Frame.Partial -> ()
+    | Frame.Corrupt msg ->
+      st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
+      protocol_failure st conn msg
+    | Frame.Frame (payload, _) -> (
+      st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
+      match Proto.decode_request payload with
+      | Ok req -> dispatch st conn req
+      | Error msg -> protocol_failure st conn msg)
+  end
+
+let accept_conn st =
+  match Unix.accept st.listen_fd with
+  | fd, _ ->
+    st.conns <-
+      { c_fd = fd; c_buf = Buffer.create 1024; c_t0 = Unix.gettimeofday () }
+      :: st.conns
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+
+(* ---- the select loop ---------------------------------------------- *)
+
+let stop_listening st =
+  if st.listening then begin
+    st.listening <- false;
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink st.cfg.socket with Unix.Unix_error _ -> ());
+    st.cfg.on_log "draining: listening socket closed"
+  end
+
+let promote_delayed st now =
+  let due, later = List.partition (fun (at, _) -> at <= now) st.delayed in
+  st.delayed <- later;
+  List.iter (fun (_, task) -> Queue.add task st.queue) due
+
+let idle st =
+  st.conns = [] && st.workers = [] && st.delayed = []
+  && Queue.is_empty st.queue
+
+let next_wakeup st now =
+  let candidates =
+    List.filter_map (fun w -> w.w_deadline) st.workers
+    @ List.map fst st.delayed
+  in
+  match candidates with
+  | [] -> -1.0 (* select forever; signals interrupt with EINTR *)
+  | ts -> Float.max 0.0 (List.fold_left Float.min Float.infinity ts -. now)
+
+let serve_loop st =
+  let continue = ref true in
+  while !continue do
+    if !(st.draining) then stop_listening st;
+    if !(st.draining) && idle st then continue := false
+    else begin
+      let now = Unix.gettimeofday () in
+      promote_delayed st now;
+      kill_overdue st now;
+      pump st;
+      let read_fds =
+        (if st.listening then [ st.listen_fd ] else [])
+        @ List.map (fun c -> c.c_fd) st.conns
+        @ List.map (fun w -> w.w_fd) st.workers
+      in
+      match Unix.select read_fds [] [] (next_wakeup st now) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if st.listening && fd = st.listen_fd then accept_conn st
+            else
+              match List.find_opt (fun w -> w.w_fd = fd) st.workers with
+              | Some w ->
+                let chunk = Bytes.create 65536 in
+                let n =
+                  try Unix.read fd chunk 0 (Bytes.length chunk)
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+                in
+                if n = 0 then finish_worker st w
+                else if n > 0 then Buffer.add_subbytes w.w_buf chunk 0 n
+              | None -> (
+                match
+                  List.find_opt (fun c -> c.c_fd = fd) st.conns
+                with
+                | Some conn -> read_conn st conn
+                | None -> ()))
+          ready
+    end
+  done
+
+let run (cfg : config) =
+  if cfg.workers < 1 then
+    invalid_arg "Server.run: workers must be at least 1";
+  if cfg.cache_capacity < 1 then
+    invalid_arg "Server.run: cache capacity must be at least 1";
+  (* a stale socket file from a dead daemon would make bind fail; a live
+     daemon is indistinguishable from a dead one by the file alone, so
+     last-started wins — the deployment contract is one daemon per path *)
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let draining = ref false in
+  let previous_handlers =
+    List.map
+      (fun signal ->
+        ( signal,
+          Sys.signal signal
+            (Sys.Signal_handle (fun _ -> draining := true)) ))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let st =
+    {
+      cfg;
+      listen_fd;
+      listening = true;
+      conns = [];
+      queue = Queue.create ();
+      delayed = [];
+      workers = [];
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      counters = Stats.Counters.create ();
+      t_start = Unix.gettimeofday ();
+      draining;
+    }
+  in
+  cfg.on_log
+    (Printf.sprintf "listening on %s (pid %d, %d workers, cache %d)"
+       cfg.socket (Unix.getpid ()) cfg.workers cfg.cache_capacity);
+  Fun.protect
+    ~finally:(fun () ->
+      stop_listening st;
+      List.iter (fun (s, h) -> Sys.set_signal s h) previous_handlers;
+      Sys.set_signal Sys.sigpipe previous_pipe)
+    (fun () -> serve_loop st);
+  cfg.on_log "drained: all in-flight requests answered"

@@ -1,0 +1,41 @@
+(** The flexl0 daemon: a Unix-domain-socket service around the shared
+    compute path, with a content-addressed result cache in front of a
+    supervised worker pool.
+
+    One single-threaded [select] loop owns everything: it accepts
+    connections, assembles request frames, serves cache hits directly
+    (the hit path never forks and never touches the scheduler), and
+    dispatches misses to forked workers driven by {!Flexl0.Runner}'s
+    primitives — per-attempt wall-clock deadline, SIGKILL on overrun,
+    exponential backoff with deterministic jitter between retries, and a
+    typed [Errors.Job_gave_up] response when a request exhausts its
+    retries. Worker results are cached under the request's {!Key} digest
+    and replayed byte-for-byte for every later identical request.
+    Concurrent identical requests {b coalesce}: clients that ask for a
+    key already being computed become waiters on the in-flight task and
+    are all answered from its single worker run.
+
+    SIGTERM and SIGINT start a {b graceful drain}: the listening socket
+    is closed and unlinked immediately (new connections are refused),
+    every already-accepted request — queued, delayed for retry, or in a
+    worker — runs to completion and is answered, then {!run} returns. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain listening socket *)
+  workers : int;  (** concurrent forked workers, >= 1 *)
+  cache_capacity : int;  (** LRU entries, >= 1 *)
+  timeout : float option;  (** per-attempt wall-clock seconds *)
+  retries : int;  (** extra attempts after the first, >= 0 *)
+  seed : int;  (** retry-jitter seed, as in {!Flexl0.Runner} *)
+  on_log : string -> unit;  (** one line per lifecycle event *)
+}
+
+val default : socket:string -> config
+(** 2 workers, 256 cache entries, no timeout, 2 retries, seed 0,
+    silent. *)
+
+val run : config -> unit
+(** Binds [config.socket] (replacing a stale socket file left by a dead
+    daemon), serves until a drain completes, and removes the socket.
+    Raises [Invalid_argument] on a non-positive worker count or cache
+    capacity; [Unix.Unix_error] if the socket cannot be bound. *)

@@ -1,0 +1,47 @@
+(* Frame layout: 4-byte magic, 4-byte big-endian payload length, 16-byte
+   raw MD5 of the payload, payload. Everything needed to detect a torn
+   tail is in front of the payload, so a reader never consumes past what
+   the writer managed to flush. *)
+
+let magic = "FLJ1"
+let header_bytes = 4 + 4 + 16
+
+let encode payload =
+  let len = String.length payload in
+  let b = Buffer.create (header_bytes + len) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type check =
+  | Frame of string * int
+  | Partial
+  | Corrupt of string
+
+let check s ~pos =
+  if pos < 0 then Corrupt "negative frame position"
+  else
+    let avail = String.length s - pos in
+    if avail <= 0 then Partial
+    else if avail < 4 then
+      if String.sub s pos avail = String.sub magic 0 avail then Partial
+      else Corrupt "bad frame magic"
+    else if String.sub s pos 4 <> magic then Corrupt "bad frame magic"
+    else if avail < header_bytes then Partial
+    else
+      let len = Int32.to_int (String.get_int32_be s (pos + 4)) in
+      if len < 0 then Corrupt "negative frame length"
+      else if avail - header_bytes < len then Partial
+      else
+        let digest = String.sub s (pos + 8) 16 in
+        let payload = String.sub s (pos + header_bytes) len in
+        if Digest.string payload <> digest then
+          Corrupt "frame payload failed its MD5 digest"
+        else Frame (payload, pos + header_bytes + len)
+
+let decode s ~pos =
+  match check s ~pos with
+  | Frame (payload, next) -> Some (payload, next)
+  | Partial | Corrupt _ -> None

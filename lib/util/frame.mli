@@ -1,0 +1,43 @@
+(** Self-delimiting, digest-checked binary frames.
+
+    One framing implementation, three consumers: the crash-safe
+    {!Journal} file, the {!Flexl0.Runner} worker→supervisor result
+    pipes, and the serve daemon's request/response protocol. A frame is
+
+    {v magic (4) | payload length (4, big-endian) | MD5 (16) | payload v}
+
+    Everything needed to detect a torn tail sits in front of the
+    payload, so a reader never consumes past what a killed writer
+    managed to flush, and a flipped byte anywhere in the payload fails
+    the digest instead of being misread. *)
+
+val magic : string
+(** ["FLJ1"] — shared by every consumer so journals written by earlier
+    binaries keep loading. *)
+
+val header_bytes : int
+(** Bytes before the payload: 4 magic + 4 length + 16 digest. *)
+
+val encode : string -> string
+(** [magic ^ length ^ md5 ^ payload], self-delimiting. *)
+
+val decode : string -> pos:int -> (string * int) option
+(** [decode s ~pos] returns the payload starting at [pos] and the
+    position one past the frame, or [None] when the data at [pos] is
+    truncated, has a wrong magic, or fails its digest. Journal replay
+    wants exactly this coarse answer: any defect ends the intact
+    prefix. *)
+
+type check =
+  | Frame of string * int  (** intact payload and one-past-frame position *)
+  | Partial  (** a valid prefix — more bytes may still arrive *)
+  | Corrupt of string
+      (** never completes into a valid frame: wrong magic, negative
+          length, or a complete frame whose digest does not match *)
+
+val check : string -> pos:int -> check
+(** Like {!decode} but distinguishes "keep reading" from "give up" — the
+    serve protocol needs the difference to reject a corrupted request
+    with a typed error instead of waiting forever for bytes that cannot
+    repair it. A well-formed header whose payload has not fully arrived
+    is [Partial]; a complete frame with a failing digest is [Corrupt]. *)

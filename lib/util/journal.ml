@@ -10,34 +10,12 @@ type entry = {
 
 let payload_digest e = Digest.to_hex (Digest.string e.e_payload)
 
-(* Frame layout: 4-byte magic, 4-byte big-endian payload length, 16-byte
-   raw MD5 of the payload, payload. Everything needed to detect a torn
-   tail is in front of the payload, so [decode_frame] never reads past
-   what the writer managed to flush. *)
+(* The frame codec itself lives in {!Frame} — one implementation shared
+   with the runner's result pipes and the serve protocol. The journal
+   only needs the coarse decode: any defect ends the intact prefix. *)
 
-let magic = "FLJ1"
-let header_bytes = 4 + 4 + 16
-
-let encode_frame payload =
-  let len = String.length payload in
-  let b = Buffer.create (header_bytes + len) in
-  Buffer.add_string b magic;
-  Buffer.add_int32_be b (Int32.of_int len);
-  Buffer.add_string b (Digest.string payload);
-  Buffer.add_string b payload;
-  Buffer.contents b
-
-let decode_frame s ~pos =
-  if pos < 0 || String.length s - pos < header_bytes then None
-  else if String.sub s pos 4 <> magic then None
-  else
-    let len = Int32.to_int (String.get_int32_be s (pos + 4)) in
-    if len < 0 || String.length s - pos - header_bytes < len then None
-    else
-      let digest = String.sub s (pos + 8) 16 in
-      let payload = String.sub s (pos + header_bytes) len in
-      if Digest.string payload <> digest then None
-      else Some (payload, pos + header_bytes + len)
+let encode_frame = Frame.encode
+let decode_frame = Frame.decode
 
 type writer = { oc : out_channel }
 

@@ -42,17 +42,18 @@ val payload_digest : entry -> string
 
 (** {1 Frames}
 
-    The framing is exposed because the runner reuses it verbatim for
-    worker-to-supervisor pipes: the same torn-write tolerance applies to
-    a worker SIGKILLed mid-result. *)
+    The codec is {!Frame} — one implementation shared with the runner's
+    worker-to-supervisor pipes (the same torn-write tolerance applies to
+    a worker SIGKILLed mid-result) and the serve protocol. These two are
+    kept as aliases for the journal's historical API. *)
 
 val encode_frame : string -> string
-(** [magic ^ length ^ md5 ^ payload], self-delimiting. *)
+(** {!Frame.encode}: [magic ^ length ^ md5 ^ payload], self-delimiting. *)
 
 val decode_frame : string -> pos:int -> (string * int) option
-(** [decode_frame s ~pos] returns the payload starting at [pos] and the
-    position one past the frame, or [None] when the data at [pos] is
-    truncated, has a wrong magic, or fails its digest. *)
+(** {!Frame.decode}: the payload starting at [pos] and the position one
+    past the frame, or [None] when the data at [pos] is truncated, has a
+    wrong magic, or fails its digest. *)
 
 (** {1 Writing} *)
 

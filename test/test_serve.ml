@@ -1,0 +1,512 @@
+(* Tests for the serve subsystem: the shared frame codec's
+   truncation/corruption verdicts, protocol round-trips for every
+   message type, canonical cache keys, LRU mechanics, and a live daemon
+   exercised by concurrent clients — responses byte-identical to the
+   shared compute path — through a graceful SIGTERM drain. *)
+
+module Frame = Flexl0_util.Frame
+module Errors = Flexl0.Errors
+module Mediabench = Flexl0_workloads.Mediabench
+module Sanitizer = Flexl0_mem.Sanitizer
+module Loop = Flexl0_ir.Loop
+module Proto = Flexl0_serve.Proto
+module Server = Flexl0_serve.Server
+module Client = Flexl0_serve.Client
+module Cache = Flexl0_serve.Cache
+module Key = Flexl0_serve.Key
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let first_loop bench =
+  match (Mediabench.find bench).Mediabench.loops with
+  | { Mediabench.loop; _ } :: _ -> loop
+  | [] -> assert false
+
+(* ---- the shared frame codec --------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let payload = "serve payload \x00\xff with binary bytes" in
+  let framed = Frame.encode payload in
+  (match Frame.check framed ~pos:0 with
+  | Frame.Frame (p, next) ->
+    check_str "payload back" payload p;
+    check_int "consumed whole frame" (String.length framed) next
+  | Frame.Partial | Frame.Corrupt _ -> Alcotest.fail "intact frame rejected");
+  match Frame.decode framed ~pos:0 with
+  | Some (p, _) -> check_str "decode agrees" payload p
+  | None -> Alcotest.fail "decode rejected an intact frame"
+
+let test_frame_truncation_vs_corruption () =
+  let framed = Frame.encode "0123456789" in
+  (* every proper prefix is Partial: keep reading, never give up *)
+  for cut = 0 to String.length framed - 1 do
+    match Frame.check (String.sub framed 0 cut) ~pos:0 with
+    | Frame.Partial -> ()
+    | Frame.Frame _ -> Alcotest.fail "prefix parsed as a full frame"
+    | Frame.Corrupt msg ->
+      Alcotest.failf "prefix of %d bytes called corrupt: %s" cut msg
+  done;
+  (* a flipped payload byte fails the digest *)
+  let corrupt = Bytes.of_string framed in
+  let last = Bytes.length corrupt - 1 in
+  Bytes.set corrupt last (Char.chr (Char.code (Bytes.get corrupt last) lxor 1));
+  (match Frame.check (Bytes.to_string corrupt) ~pos:0 with
+  | Frame.Corrupt msg -> check "names the digest" true (contains ~needle:"digest" msg)
+  | Frame.Frame _ -> Alcotest.fail "digest-corrupted frame accepted"
+  | Frame.Partial -> Alcotest.fail "digest-corrupted frame called partial");
+  (* a wrong magic is corrupt immediately, even as a short prefix *)
+  (match Frame.check "XLJ1" ~pos:0 with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "wrong magic not called corrupt");
+  match Frame.check "X" ~pos:0 with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "wrong one-byte magic prefix not called corrupt"
+
+(* ---- protocol round-trips ----------------------------------------- *)
+
+let roundtrip req =
+  let framed = Proto.encode_request req in
+  match Frame.check framed ~pos:0 with
+  | Frame.Frame (payload, _) -> (
+    match Proto.decode_request payload with
+    | Ok req' -> req'
+    | Error msg -> Alcotest.failf "decode_request: %s" msg)
+  | _ -> Alcotest.fail "encoded request is not one intact frame"
+
+let test_request_roundtrips () =
+  let loop = first_loop "epicdec" in
+  let reqs =
+    [
+      Proto.Compile
+        { spec = Proto.Spec_interleaved { locality = true }; loop };
+      Proto.Cell
+        {
+          spec =
+            (match Proto.spec_of_string "l0-4" with
+            | Ok s -> s
+            | Error e -> Alcotest.fail e);
+          bench = "gsmdec";
+          max_cycles = Some 12345;
+        };
+      Proto.Fuzz_batch { seed = 9; cases = 17; sanitizer = Sanitizer.Log };
+      Proto.Health;
+    ]
+  in
+  List.iter
+    (fun req ->
+      check ("request survives the wire: " ^ Proto.request_label req) true
+        (roundtrip req = req))
+    reqs
+
+let test_response_roundtrips () =
+  let resps =
+    [
+      Proto.Text "some rendered schedule\n";
+      Proto.Failed (Errors.Protocol_error "truncated request");
+      Proto.Health_report
+        {
+          Proto.h_pid = 42; h_uptime_s = 1.5; h_draining = false;
+          h_queue_depth = 3; h_busy_workers = 2; h_cache_entries = 7;
+          h_cache_capacity = 256; h_counters = [ ("requests", 10) ];
+        };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Proto.decode_response (Proto.encode_response resp) with
+      | Ok resp' -> check "response survives the wire" true (resp' = resp)
+      | Error msg -> Alcotest.failf "decode_response: %s" msg)
+    resps
+
+let test_spec_spellings () =
+  List.iter
+    (fun name ->
+      match Proto.spec_of_string name with
+      | Error msg -> Alcotest.failf "own spelling rejected: %s" msg
+      | Ok spec ->
+        let canonical =
+          (* "l0-8" is the default and renders back to its shorthand *)
+          if name = "l0-8" then "l0" else name
+        in
+        check_str ("spelling round-trips: " ^ name) canonical
+          (Proto.spec_to_string spec))
+    Proto.spec_names;
+  match Proto.spec_of_string "vaporware" with
+  | Error msg -> check "lists the spellings" true (contains ~needle:"baseline" msg)
+  | Ok _ -> Alcotest.fail "unknown system accepted"
+
+(* ---- canonical cache keys ----------------------------------------- *)
+
+let test_key_canonicalization () =
+  let loop = first_loop "epicdec" in
+  let shuffled =
+    {
+      loop with
+      Loop.instrs = List.rev loop.Loop.instrs;
+      carried = List.rev loop.Loop.carried;
+      arrays = List.rev loop.Loop.arrays;
+    }
+  in
+  check_str "instruction order is canonicalized away" (Key.loop loop)
+    (Key.loop shuffled);
+  let spec =
+    match Proto.spec_of_string "l0" with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let key l = Proto.cache_key (Proto.Compile { spec; loop = l }) in
+  check "shuffled loop shares the cache entry" true (key loop = key shuffled);
+  let renamed = { loop with Loop.name = "other" } in
+  check "different content, different key" true (key loop <> key renamed);
+  let spec16 =
+    match Proto.spec_of_string "l0-16" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  check "different system, different key" true
+    (key loop <> Proto.cache_key (Proto.Compile { spec = spec16; loop }));
+  check "health is uncacheable" true (Proto.cache_key Proto.Health = None);
+  (* request kinds never alias even over the same inputs *)
+  check "compile and cell keys disjoint" true
+    (Proto.cache_key
+       (Proto.Cell { spec; bench = "epicdec"; max_cycles = None })
+    <> key loop)
+
+let test_digest_part_boundaries () =
+  (* length prefixes keep part boundaries from aliasing *)
+  check "parts do not concatenate-alias" true
+    (Key.digest [ "ab"; "c" ] <> Key.digest [ "a"; "bc" ]);
+  check "empty part is significant" true
+    (Key.digest [ "ab" ] <> Key.digest [ "ab"; "" ])
+
+(* ---- LRU cache mechanics ------------------------------------------ *)
+
+let test_cache_lru_eviction_order () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" "1";
+  Cache.add c "b" "2";
+  Cache.add c "c" "3";
+  Alcotest.(check (list string)) "MRU order" [ "c"; "b"; "a" ] (Cache.keys_mru c);
+  (* touching [a] protects it; [b] becomes the victim *)
+  check "hit" true (Cache.find c "a" = Some "1");
+  Cache.add c "d" "4";
+  Alcotest.(check (list string)) "b evicted" [ "d"; "a"; "c" ] (Cache.keys_mru c);
+  check "evicted key misses" true (Cache.find c "b" = None);
+  check_int "one eviction" 1 (Cache.evictions c);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c);
+  (* refreshing an existing key replaces in place, no eviction *)
+  Cache.add c "c" "3'";
+  Alcotest.(check (list string)) "refresh moves to front" [ "c"; "d"; "a" ]
+    (Cache.keys_mru c);
+  check "refreshed value" true (Cache.find c "c" = Some "3'");
+  check_int "still one eviction" 1 (Cache.evictions c);
+  check_int "length capped" 3 (Cache.length c)
+
+let test_cache_capacity_one () =
+  let c = Cache.create ~capacity:1 in
+  Cache.add c "a" "1";
+  Cache.add c "b" "2";
+  check "only the newest survives" true
+    (Cache.find c "b" = Some "2" && Cache.find c "a" = None);
+  check "zero capacity rejected" true
+    (match Cache.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- a live daemon ------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "flexl0-serve" ".sock" in
+  Sys.remove path;
+  path
+
+(* Fork a daemon; the child never returns. *)
+let start_daemon ?(workers = 2) ?(cache = 64) socket =
+  match Unix.fork () with
+  | 0 ->
+    Server.run
+      { (Server.default ~socket) with Server.workers; cache_capacity = cache };
+    Stdlib.exit 0
+  | pid ->
+    if not (Client.wait_ready ~socket ()) then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      Alcotest.fail "daemon never became ready"
+    end;
+    pid
+
+let stop_daemon pid socket =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec wait_exit tries =
+    if tries = 0 then Alcotest.fail "daemon did not exit on SIGTERM";
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      Unix.sleepf 0.05;
+      wait_exit (tries - 1)
+    | _, Unix.WEXITED 0 -> ()
+    | _, status ->
+      Alcotest.failf "daemon exited abnormally (%s)"
+        (Flexl0.Runner.status_reason status)
+  in
+  wait_exit 200;
+  check "drain unlinked the socket" false (Sys.file_exists socket)
+
+let expect_ok ~socket req =
+  match Client.request ~socket req with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.failf "client: %s" msg
+
+let health ~socket =
+  match expect_ok ~socket Proto.Health with
+  | Proto.Health_report h -> h
+  | _ -> Alcotest.fail "health request did not return a report"
+
+let counter h name =
+  match List.assoc_opt name h.Proto.h_counters with Some n -> n | None -> 0
+
+let test_daemon_byte_identity_and_cache () =
+  let socket = temp_socket () in
+  let pid = start_daemon socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let loop = first_loop "gsmdec" in
+      let spec =
+        match Proto.spec_of_string "l0" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let reqs =
+        [
+          Proto.Compile { spec; loop };
+          Proto.Cell { spec; bench = "gsmdec"; max_cycles = None };
+          Proto.Cell
+            { spec; bench = "nonesuch"; max_cycles = None }
+          (* the error path is part of the byte-identity contract *);
+        ]
+      in
+      (* daemon responses equal the shared compute path, twice over: the
+         second pass is served from the cache and must not drift *)
+      let expected = List.map Proto.handle reqs in
+      for pass = 1 to 2 do
+        List.iter2
+          (fun req want ->
+            let got = expect_ok ~socket req in
+            check
+              (Printf.sprintf "pass %d: %s matches the direct path" pass
+                 (Proto.request_label req))
+              true (got = want))
+          reqs expected
+      done;
+      let h = health ~socket in
+      check_int "every repeat hit the cache" (List.length reqs)
+        (counter h "cache_hits");
+      check_int "first pass missed" (List.length reqs)
+        (counter h "cache_misses");
+      (* the cache-hit path forked nothing: one worker per unique request *)
+      check_int "no worker ran twice" (List.length reqs)
+        (counter h "worker_starts");
+      check_int "all requests counted"
+        (2 * List.length reqs)
+        (counter h "requests" - counter h "requests_health");
+      stop_daemon pid socket)
+
+let test_daemon_concurrent_clients () =
+  let socket = temp_socket () in
+  let pid = start_daemon ~workers:3 socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let spec =
+        match Proto.spec_of_string "baseline" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let reqs =
+        List.concat_map
+          (fun bench ->
+            [
+              Proto.Cell { spec; bench; max_cycles = None };
+              Proto.Compile { spec; loop = first_loop bench };
+            ])
+          [ "gsmdec"; "g721dec"; "epicdec" ]
+      in
+      let expected = List.map Proto.handle reqs in
+      (* every client is its own process hammering the daemon at once;
+         each checks its response against the shared compute path *)
+      let clients =
+        List.map2
+          (fun req want ->
+            match Unix.fork () with
+            | 0 ->
+              let ok =
+                match Client.request ~socket req with
+                | Ok got -> got = want
+                | Error _ -> false
+              in
+              Stdlib.exit (if ok then 0 else 1)
+            | pid -> pid)
+          reqs expected
+      in
+      List.iter
+        (fun cpid ->
+          match Unix.waitpid [] cpid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, status ->
+            Alcotest.failf "concurrent client failed (%s)"
+              (Flexl0.Runner.status_reason status))
+        clients;
+      let h = health ~socket in
+      check_int "all concurrent requests answered" (List.length reqs)
+        (counter h "requests" - counter h "requests_health");
+      stop_daemon pid socket)
+
+let test_daemon_coalesces_identical_requests () =
+  let socket = temp_socket () in
+  let pid = start_daemon ~workers:3 socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let spec =
+        match Proto.spec_of_string "l0" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let req = Proto.Cell { spec; bench = "epicdec"; max_cycles = None } in
+      let want = Proto.handle req in
+      (* four clients fire the same request at once; whether each lands
+         while the first is computing (coalesced), after it finished
+         (cache hit) or first (the one miss), exactly one worker runs *)
+      let clients =
+        List.init 4 (fun _ ->
+            match Unix.fork () with
+            | 0 ->
+              let ok =
+                match Client.request ~socket req with
+                | Ok got -> got = want
+                | Error _ -> false
+              in
+              Stdlib.exit (if ok then 0 else 1)
+            | cpid -> cpid)
+      in
+      List.iter
+        (fun cpid ->
+          match Unix.waitpid [] cpid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, status ->
+            Alcotest.failf "coalesced client failed (%s)"
+              (Flexl0.Runner.status_reason status))
+        clients;
+      let h = health ~socket in
+      check_int "exactly one worker ran" 1 (counter h "worker_starts");
+      check_int "every client answered" 4 (counter h "requests_cell");
+      check_int "miss + coalesced + hits account for all" 3
+        (counter h "coalesced" + counter h "cache_hits");
+      stop_daemon pid socket)
+
+let test_daemon_rejects_corrupt_and_truncated () =
+  let socket = temp_socket () in
+  let pid = start_daemon socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let raw bytes =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            Proto.write_all fd bytes;
+            Unix.shutdown fd Unix.SHUTDOWN_SEND;
+            match Result.bind (Proto.read_frame fd) Proto.decode_response with
+            | Ok resp -> resp
+            | Error msg -> Alcotest.failf "raw exchange: %s" msg)
+      in
+      let framed = Proto.encode_request Proto.Health in
+      (* digest corruption -> typed protocol error naming the digest *)
+      let corrupt = Bytes.of_string framed in
+      let last = Bytes.length corrupt - 1 in
+      Bytes.set corrupt last
+        (Char.chr (Char.code (Bytes.get corrupt last) lxor 1));
+      (match raw (Bytes.to_string corrupt) with
+      | Proto.Failed (Errors.Protocol_error msg) ->
+        check "corruption names the digest" true (contains ~needle:"digest" msg)
+      | _ -> Alcotest.fail "corrupt frame not rejected with Protocol_error");
+      (* truncation (EOF mid-frame) -> typed protocol error *)
+      (match raw (String.sub framed 0 (String.length framed - 3)) with
+      | Proto.Failed (Errors.Protocol_error msg) ->
+        check "truncation reported" true (contains ~needle:"closed" msg)
+      | _ -> Alcotest.fail "truncated frame not rejected with Protocol_error");
+      (* an intact frame whose payload is not a request *)
+      (match raw (Frame.encode "not a marshalled request") with
+      | Proto.Failed (Errors.Protocol_error _) -> ()
+      | _ -> Alcotest.fail "garbage payload not rejected with Protocol_error");
+      (* the daemon survived all three abuses *)
+      let h = health ~socket in
+      check_int "three protocol errors counted" 3 (counter h "protocol_errors");
+      stop_daemon pid socket)
+
+let test_daemon_drain_refuses_new_connections () =
+  let socket = temp_socket () in
+  let pid = start_daemon socket in
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec wait_gone tries =
+    if tries = 0 then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      Alcotest.fail "socket still present after SIGTERM"
+    end;
+    if Sys.file_exists socket then begin
+      Unix.sleepf 0.02;
+      wait_gone (tries - 1)
+    end
+  in
+  wait_gone 200;
+  (* with the socket unlinked, a new client cannot connect *)
+  (match Client.request ~socket Proto.Health with
+  | Error msg -> check "connection refused" true (contains ~needle:"daemon" msg)
+  | Ok _ -> Alcotest.fail "draining daemon accepted a new connection");
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, status ->
+    Alcotest.failf "daemon exited abnormally (%s)"
+      (Flexl0.Runner.status_reason status)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+      Alcotest.test_case "frame truncation vs corruption" `Quick
+        test_frame_truncation_vs_corruption;
+      Alcotest.test_case "request roundtrips" `Quick test_request_roundtrips;
+      Alcotest.test_case "response roundtrips" `Quick test_response_roundtrips;
+      Alcotest.test_case "spec spellings" `Quick test_spec_spellings;
+      Alcotest.test_case "key canonicalization" `Quick
+        test_key_canonicalization;
+      Alcotest.test_case "digest part boundaries" `Quick
+        test_digest_part_boundaries;
+      Alcotest.test_case "cache LRU eviction order" `Quick
+        test_cache_lru_eviction_order;
+      Alcotest.test_case "cache capacity one" `Quick test_cache_capacity_one;
+      Alcotest.test_case "daemon byte identity + cache" `Quick
+        test_daemon_byte_identity_and_cache;
+      Alcotest.test_case "daemon concurrent clients" `Quick
+        test_daemon_concurrent_clients;
+      Alcotest.test_case "daemon coalesces identical requests" `Quick
+        test_daemon_coalesces_identical_requests;
+      Alcotest.test_case "daemon rejects corrupt frames" `Quick
+        test_daemon_rejects_corrupt_and_truncated;
+      Alcotest.test_case "daemon SIGTERM drain" `Quick
+        test_daemon_drain_refuses_new_connections;
+    ] )
