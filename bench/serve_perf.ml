@@ -1,19 +1,25 @@
-(* Daemon performance stage (PR 5).
+(* Daemon performance stage (PR 5, restart pass added in PR 6).
 
    Boots a real daemon on a private socket, then drives it with the
-   full figure workload twice over one connection-per-request client:
+   full figure workload over one connection-per-request client:
 
    - cold: every (benchmark x system) cell and every per-loop compile
      request once — all cache misses, every request forks a worker;
    - warm: the identical request stream again — all content-addressed
      cache hits, served straight from the LRU without touching the
-     scheduler or simulator.
+     scheduler or simulator;
+   - restart: the daemon is drained and a fresh process is started on
+     the same persistent store, then the stream runs a third time —
+     every request is a store hit, so the restarted daemon forks zero
+     workers. This prices the crash-recovery path: how much a restart
+     costs when the persistent cache does its job.
 
    Each pass records wall time, p50/p99 request latency and request
-   throughput; the daemon's own health counters supply the cache hit
-   rate. Results go to BENCH_PR5.json at the repo root; "before"
-   numbers come from bench/perf_baseline_pr5.txt (captured with
-   --save-baseline), matching the PR 4 perf-harness conventions. *)
+   throughput; the daemon's own health counters supply the cache and
+   store hit rates and the zero-fork check. Results go to
+   BENCH_PR6.json at the repo root; "before" numbers come from
+   bench/perf_baseline_pr6.txt (captured with --save-baseline),
+   matching the PR 4 perf-harness conventions. *)
 
 module Mediabench = Flexl0_workloads.Mediabench
 module Proto = Flexl0_serve.Proto
@@ -140,11 +146,12 @@ let json_pass b = function
        %.3f}"
       p.wall_s p.req_s p.p50_ms p.p99_ms
 
-let emit_json ~path ~baseline ~hits ~misses ~warm_speedup passes =
+let emit_json ~path ~baseline ~hits ~misses ~warm_speedup ~restart passes =
   let b = Buffer.create 2048 in
   Buffer.add_string b
-    "{\n  \"pr\": 5,\n  \"workloads\": \"daemon: mediabench cells (l0 + \
-     baseline) and per-loop compiles, cold then warm\",\n  \"passes\": [\n";
+    "{\n  \"pr\": 6,\n  \"workloads\": \"daemon: mediabench cells (l0 + \
+     baseline) and per-loop compiles — cold, warm, then a restart on the \
+     persistent store\",\n  \"passes\": [\n";
   List.iteri
     (fun i p ->
       Printf.bprintf b "    {\"name\": \"%s\", \"before\": " p.pname;
@@ -161,6 +168,11 @@ let emit_json ~path ~baseline ~hits ~misses ~warm_speedup passes =
     "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n" hits
     misses
     (if total = 0 then 0.0 else float_of_int hits /. float_of_int total);
+  let restart_loaded, restart_hits, restart_forks = restart in
+  Printf.bprintf b
+    "  \"restart\": {\"store_loaded\": %d, \"store_hits\": %d, \
+     \"worker_forks\": %d},\n"
+    restart_loaded restart_hits restart_forks;
   Printf.bprintf b "  \"warm_speedup\": %.2f\n}\n" warm_speedup;
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -169,10 +181,10 @@ let emit_json ~path ~baseline ~hits ~misses ~warm_speedup passes =
 
 (* ------------------------------------------------------------------ *)
 
-let default_out = "BENCH_PR5.json"
-let default_baseline = "bench/perf_baseline_pr5.txt"
+let default_out = "BENCH_PR6.json"
+let default_baseline = "bench/perf_baseline_pr6.txt"
 
-let with_daemon f =
+let with_daemon ?store f =
   let socket = Filename.temp_file "flexl0-bench" ".sock" in
   Sys.remove socket;
   match Unix.fork () with
@@ -182,6 +194,7 @@ let with_daemon f =
         (Server.default ~socket) with
         Server.workers = 2;
         cache_capacity = 1024;
+        store;
       };
     Stdlib.exit 0
   | pid ->
@@ -199,27 +212,57 @@ let run ?(out = default_out) ?(baseline = default_baseline)
   Printf.printf "== serve: daemon throughput, latency and cache ==\n%!";
   let reqs = requests () in
   Printf.printf "  %d requests per pass\n%!" (List.length reqs);
-  let cold, warm, h =
-    with_daemon (fun ~socket ->
-        let cold = run_pass ~socket "cold" reqs in
-        let warm = run_pass ~socket "warm" reqs in
-        (cold, warm, daemon_health ~socket))
-  in
-  let counter name =
-    match List.assoc_opt name h.Proto.h_counters with Some n -> n | None -> 0
-  in
-  let warm_speedup =
-    if warm.wall_s > 0.0 then cold.wall_s /. warm.wall_s else 0.0
-  in
-  Printf.printf "  warm speedup %.1fx, cache %d hits / %d misses\n%!"
-    warm_speedup (counter "cache_hits") (counter "cache_misses");
-  let passes = [ cold; warm ] in
-  (match save_baseline_to with
-  | Some path -> save_baseline path passes
-  | None -> ());
-  emit_json ~path:out ~baseline:(load_baseline baseline)
-    ~hits:(counter "cache_hits") ~misses:(counter "cache_misses")
-    ~warm_speedup passes
+  let store_dir = Filename.temp_file "flexl0-bench" ".store" in
+  Sys.remove store_dir;
+  Unix.mkdir store_dir 0o755;
+  let store = Filename.concat store_dir "store" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote store_dir))))
+    (fun () ->
+      let cold, warm, h =
+        with_daemon ~store (fun ~socket ->
+            let cold = run_pass ~socket "cold" reqs in
+            let warm = run_pass ~socket "warm" reqs in
+            (cold, warm, daemon_health ~socket))
+      in
+      (* drain the daemon, then restart a fresh process on the same
+         store: the identical stream must be all store hits, no forks *)
+      let restart, h2 =
+        with_daemon ~store (fun ~socket ->
+            let p = run_pass ~socket "restart" reqs in
+            (p, daemon_health ~socket))
+      in
+      let counter h name =
+        match List.assoc_opt name h.Proto.h_counters with
+        | Some n -> n
+        | None -> 0
+      in
+      let warm_speedup =
+        if warm.wall_s > 0.0 then cold.wall_s /. warm.wall_s else 0.0
+      in
+      Printf.printf "  warm speedup %.1fx, cache %d hits / %d misses\n%!"
+        warm_speedup (counter h "cache_hits") (counter h "cache_misses");
+      Printf.printf
+        "  restart: %d store entries reloaded, %d store hits, %d worker \
+         forks\n%!"
+        h2.Proto.h_store_loaded (counter h2 "store_hits")
+        (counter h2 "worker_starts");
+      if counter h2 "worker_starts" > 0 then
+        failwith "restarted daemon forked workers for persisted keys";
+      let passes = [ cold; warm; restart ] in
+      (match save_baseline_to with
+      | Some path -> save_baseline path passes
+      | None -> ());
+      emit_json ~path:out ~baseline:(load_baseline baseline)
+        ~hits:(counter h "cache_hits") ~misses:(counter h "cache_misses")
+        ~warm_speedup
+        ~restart:
+          ( h2.Proto.h_store_loaded,
+            counter h2 "store_hits",
+            counter h2 "worker_starts" )
+        passes)
 
 let main args =
   let out = ref default_out in

@@ -18,6 +18,7 @@ module Errors = Flexl0.Errors
 module Proto = Flexl0_serve.Proto
 module Server = Flexl0_serve.Server
 module Client = Flexl0_serve.Client
+module Fleet = Flexl0_serve.Fleet
 
 (* Every CLI failure funnels through here: one line on stderr, prefixed
    with the subcommand, exit code 2. *)
@@ -715,16 +716,35 @@ let socket_arg =
   Arg.(value & opt string "flexl0.sock" & info [ "socket" ] ~docv:"PATH"
          ~doc:"Path of the daemon's Unix-domain socket.")
 
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Concurrent forked compute workers.")
+
+let cache_arg =
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+         ~doc:"Capacity of the content-addressed LRU result cache.")
+
+let serve_seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Seed of the retry-jitter stream.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ]
+         ~doc:"Suppress the lifecycle log on stderr.")
+
+let serve_checks ~cmd workers cache timeout retries =
+  if workers < 1 then die ~cmd "--workers must be at least 1";
+  if cache < 1 then die ~cmd "--cache must be at least 1";
+  if retries < 0 then die ~cmd "--retries must not be negative";
+  match timeout with
+  | Some t when t <= 0.0 -> die ~cmd "--timeout must be positive"
+  | _ -> ()
+
 let serve_cmd =
   let cmd = "serve" in
-  let run socket workers cache timeout retries seed quiet =
+  let run socket workers cache timeout retries seed store quiet =
     protect ~cmd (fun () ->
-        if workers < 1 then die ~cmd "--workers must be at least 1";
-        if cache < 1 then die ~cmd "--cache must be at least 1";
-        if retries < 0 then die ~cmd "--retries must not be negative";
-        (match timeout with
-        | Some t when t <= 0.0 -> die ~cmd "--timeout must be positive"
-        | _ -> ());
+        serve_checks ~cmd workers cache timeout retries;
         let on_log =
           if quiet then ignore
           else fun line -> Printf.eprintf "flexl0 serve: %s\n%!" line
@@ -732,24 +752,15 @@ let serve_cmd =
         Server.run
           {
             Server.socket; workers; cache_capacity = cache; timeout; retries;
-            seed; on_log;
+            seed; store; generation = 0; on_log;
           })
   in
-  let workers =
-    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
-           ~doc:"Concurrent forked compute workers.")
-  in
-  let cache =
-    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
-           ~doc:"Capacity of the content-addressed LRU result cache.")
-  in
-  let seed =
-    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
-           ~doc:"Seed of the retry-jitter stream.")
-  in
-  let quiet =
-    Arg.(value & flag & info [ "q"; "quiet" ]
-           ~doc:"Suppress the per-request log on stderr.")
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH"
+           ~doc:"Crash-safe persistent result store: every cached result is \
+                 also appended here, and a restarted daemon replays it to \
+                 serve previously computed keys without recompiling (warm \
+                 restart). Tolerates torn tails and corrupt frames.")
   in
   Cmd.v
     (Cmd.info cmd
@@ -757,13 +768,160 @@ let serve_cmd =
              with a content-addressed schedule cache in front of a \
              supervised worker pool. SIGTERM drains gracefully: in-flight \
              requests finish, new connections are refused.")
-    Term.(const run $ socket_arg $ workers $ cache $ timeout_arg
-          $ retries_arg $ seed $ quiet)
+    Term.(const run $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
+          $ retries_arg $ serve_seed_arg $ store $ quiet_arg)
+
+let fleet_cmd =
+  let cmd = "fleet" in
+  let run socket shards store workers cache timeout retries seed
+      restart_budget quiet =
+    protect ~cmd (fun () ->
+        if shards < 1 then die ~cmd "--shards must be at least 1";
+        if restart_budget < 0 then
+          die ~cmd "--restart-budget must not be negative";
+        serve_checks ~cmd workers cache timeout retries;
+        let on_log =
+          if quiet then ignore
+          else fun line -> Printf.eprintf "flexl0 fleet: %s\n%!" line
+        in
+        Fleet.run
+          {
+            (Fleet.default ~prefix:socket ~shards) with
+            Fleet.store_root = store; workers; cache_capacity = cache;
+            timeout; retries; seed; restart_budget; on_log;
+          })
+  in
+  let shards =
+    Arg.(value & opt int 3 & info [ "n"; "shards" ] ~docv:"N"
+           ~doc:"Number of shard daemons. Shard $(i,i) listens at \
+                 SOCKET.shard$(i,i); clients route by rendezvous-hashing \
+                 the content-addressed request key over the shards.")
+  in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Root of the per-shard persistent stores \
+                 (DIR/shard$(i,N)/store). A restarted shard replays its \
+                 store and comes back warm.")
+  in
+  let restart_budget =
+    Arg.(value & opt int 5 & info [ "restart-budget" ] ~docv:"N"
+           ~doc:"Restarts tolerated per shard within the flap window before \
+                 the shard is marked degraded and its keyspace spills to \
+                 its neighbors.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Run a fault-tolerant fleet of N shard daemons: consistent-hash \
+             routing, crash detection and health heartbeats, bounded-backoff \
+             restarts with warm persistent-store recovery, graceful \
+             degradation past the restart budget, SIGTERM drains every \
+             shard.")
+    Term.(const run $ socket_arg $ shards $ store $ workers_arg $ cache_arg
+          $ timeout_arg $ retries_arg $ serve_seed_arg $ restart_budget
+          $ quiet_arg)
+
+let chaos_cmd =
+  let cmd = "chaos" in
+  let run socket store shards benches systems seed quiet =
+    protect ~cmd (fun () ->
+        if shards < 2 then die ~cmd "--shards must be at least 2";
+        let tmp_root = ref None in
+        let store_root =
+          match store with
+          | Some dir -> dir
+          | None ->
+            let dir = Filename.temp_file "flexl0-chaos" ".store" in
+            Sys.remove dir;
+            Unix.mkdir dir 0o755;
+            tmp_root := Some dir;
+            dir
+        in
+        let prefix =
+          match socket with
+          | "flexl0.sock" ->
+            let path = Filename.temp_file "flexl0-chaos" ".sock" in
+            Sys.remove path;
+            path
+          | path -> path
+        in
+        let on_log =
+          if quiet then ignore
+          else fun line -> Printf.eprintf "flexl0 chaos: %s\n%!" line
+        in
+        let cfg =
+          {
+            (Flexl0_serve.Chaos.default ~prefix ~store_root) with
+            Flexl0_serve.Chaos.shards;
+            seed;
+            on_log;
+            benches =
+              (if benches = [] then [ "g721dec"; "gsmdec" ] else benches);
+            systems =
+              (if systems = [] then [ "l0"; "baseline" ] else systems);
+          }
+        in
+        let o = Flexl0_serve.Chaos.run cfg in
+        Printf.printf
+          "chaos verdict: %s — %d/%d byte-identical, %d kill -9, %d store \
+           bit-flips, %d wire corruptions, %d fallback serves, warm restart \
+           generation %d with %d store hit(s)\n"
+          (if Flexl0_serve.Chaos.passed o then "PASS" else "FAIL")
+          o.Flexl0_serve.Chaos.o_matches o.Flexl0_serve.Chaos.o_requests
+          o.Flexl0_serve.Chaos.o_kills o.Flexl0_serve.Chaos.o_store_flips
+          o.Flexl0_serve.Chaos.o_wire_corruptions
+          o.Flexl0_serve.Chaos.o_spilled
+          o.Flexl0_serve.Chaos.o_warm_generation
+          o.Flexl0_serve.Chaos.o_warm_store_hits;
+        List.iter
+          (fun msg -> Printf.eprintf "flexl0 chaos: FAIL: %s\n" msg)
+          o.Flexl0_serve.Chaos.o_failures;
+        (* keep a user-supplied store for inspection; clean our temp one *)
+        (match !tmp_root with
+        | Some dir when Flexl0_serve.Chaos.passed o ->
+          ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+        | _ -> ());
+        if not (Flexl0_serve.Chaos.passed o) then exit 1)
+  in
+  let shards =
+    Arg.(value & opt int 3 & info [ "n"; "shards" ] ~docv:"N"
+           ~doc:"Fleet size under attack (at least 2, so failover has \
+                 somewhere to go).")
+  in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Store root to use (kept afterwards for inspection); \
+                 default: a temporary directory, removed on success.")
+  in
+  let systems =
+    Arg.(value & opt_all string [] & info [ "s"; "system" ] ~docv:"SYSTEM"
+           ~doc:"Systems in the campaign (repeatable; default l0 and \
+                 baseline).")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for chaos target selection and client jitter.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Run the chaos harness: boot a real fleet, kill -9 random \
+             shards mid-campaign, flip bits in a persistent store, inject \
+             corrupt frames on the wire — and fail unless every campaign \
+             response stays byte-identical to the direct CLI and the killed \
+             shard comes back warm (store hits, zero worker forks). Exits 1 \
+             on any violation.")
+    Term.(const run $ socket_arg $ store $ shards $ benchmarks_arg
+          $ systems $ seed $ quiet_arg)
 
 let client_cmd =
   let cmd = "client" in
-  let run socket action bench loop_name system max_cycles seed cases mode =
+  let run socket action bench loop_name system max_cycles seed cases mode
+      shards deadline sweeps =
     protect ~cmd (fun () ->
+        if shards < 1 then die ~cmd "--shards must be at least 1";
+        if sweeps < 1 then die ~cmd "--sweeps must be at least 1";
+        (match deadline with
+        | Some d when d <= 0.0 -> die ~cmd "--deadline must be positive"
+        | _ -> ());
         let spec () = resolve_spec ~cmd system in
         let need_bench () =
           match bench with
@@ -807,12 +965,37 @@ let client_cmd =
           | a ->
             die ~cmd "unknown action %S (want health|compile|cell|fuzz)" a
         in
-        List.iter
-          (fun req ->
-            match Client.request ~socket req with
-            | Ok resp -> print_response ~cmd resp
-            | Error msg -> die ~cmd "%s" msg)
-          requests)
+        if shards = 1 then
+          List.iter
+            (fun req ->
+              let deadline =
+                Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+              in
+              match Client.request_deadline ?deadline ~socket req with
+              | Ok resp -> print_response ~cmd resp
+              | Error msg -> die ~cmd "%s" msg)
+            requests
+        else
+          let fl =
+            let base =
+              Client.fleet
+                ~sockets:
+                  (Array.init shards (Fleet.socket_path ~prefix:socket))
+            in
+            { base with Client.f_sweeps = sweeps; f_deadline = deadline }
+          in
+          List.iter
+            (fun req ->
+              match Client.request_fleet fl req with
+              | Ok served ->
+                if not served.Client.s_primary then
+                  Printf.eprintf
+                    "flexl0 %s: served by fallback shard %d after %d \
+                     attempt(s)\n%!"
+                    cmd served.Client.s_shard served.Client.s_attempts;
+                print_response ~cmd served.Client.s_resp
+              | Error err -> die ~cmd "%s" (Errors.to_string err))
+            requests)
   in
   let action =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
@@ -839,12 +1022,31 @@ let client_cmd =
     Arg.(value & opt string "strict" & info [ "mode" ] ~docv:"MODE"
            ~doc:"Fuzz request: sanitizer mode (off, log or strict).")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "n"; "shards" ] ~docv:"N"
+           ~doc:"Talk to a fleet of N shards instead of a single daemon: \
+                 the socket argument becomes the fleet prefix, requests \
+                 route by rendezvous hashing and fail over to replica \
+                 shards with retry and backoff.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline across all attempts (default: 60s \
+                 in fleet mode, none in single-daemon mode).")
+  in
+  let sweeps =
+    Arg.(value & opt int 3 & info [ "sweeps" ] ~docv:"N"
+           ~doc:"Fleet mode: passes over the replica ring, with backoff \
+                 in between, before giving up with a shard-down error.")
+  in
   Cmd.v
     (Cmd.info cmd
-       ~doc:"Send one typed request to a running daemon and print the \
+       ~doc:"Send one typed request to a running daemon — or, with \
+             --shards N, to a fault-tolerant fleet — and print the \
              response — byte-identical to the matching direct subcommand")
     Term.(const run $ socket_arg $ action $ bench $ loop_name $ system_arg
-          $ max_cycles_arg $ seed $ cases $ mode)
+          $ max_cycles_arg $ seed $ cases $ mode $ shards $ deadline
+          $ sweeps)
 
 let () =
   let info =
@@ -860,5 +1062,5 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; figures_cmd; table1_cmd; table2_cmd;
             extras_cmd; sensitivity_cmd; ablation_cmd; export_cmd; all_cmd;
             schedule_cmd; cell_cmd; trace_cmd; faults_cmd; fuzz_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; client_cmd; fleet_cmd; chaos_cmd;
           ]))

@@ -9,6 +9,8 @@ type t =
   | Sanitizer_violation of Flexl0_mem.Sanitizer.violation
   | Job_gave_up of { job : string; attempts : int; reason : string }
   | Protocol_error of string
+  | Shard_down of { shard : int; attempts : int; reason : string }
+  | Shard_degraded of { shard : int; restarts : int; reason : string }
 
 let of_infeasible inf = Schedule_infeasible inf
 let of_watchdog wd = Watchdog_timeout wd
@@ -30,3 +32,16 @@ let to_string = function
       (if attempts = 1 then "" else "s")
       reason
   | Protocol_error msg -> "protocol error: " ^ msg
+  | Shard_down { shard; attempts; reason } ->
+    Printf.sprintf
+      "shard %d down: request failed on every replica after %d attempt%s: %s"
+      shard attempts
+      (if attempts = 1 then "" else "s")
+      reason
+  | Shard_degraded { shard; restarts; reason } ->
+    Printf.sprintf
+      "shard %d degraded after %d restart%s (%s): keyspace spills to its \
+       neighbors"
+      shard restarts
+      (if restarts = 1 then "" else "s")
+      reason

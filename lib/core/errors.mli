@@ -28,6 +28,15 @@ type t =
       (** a serve-protocol frame was truncated, failed its digest, or
           carried a payload the daemon cannot interpret (unknown
           benchmark, unmarshallable request) *)
+  | Shard_down of { shard : int; attempts : int; reason : string }
+      (** a fleet client exhausted its failover budget: the request's
+          primary shard [shard] and every fallback replica failed every
+          attempt — the whole fleet is unreachable, not just one daemon *)
+  | Shard_degraded of { shard : int; restarts : int; reason : string }
+      (** the fleet supervisor stopped restarting a shard that flapped
+          past its retry budget; its keyspace spills to neighboring
+          shards (clients keep succeeding, warm hits for its keys are
+          lost) *)
 
 val of_infeasible : Flexl0_sched.Engine.infeasible -> t
 val of_watchdog : Flexl0_sim.Exec.watchdog -> t

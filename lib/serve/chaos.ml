@@ -1,0 +1,376 @@
+module Errors = Flexl0.Errors
+module Rng = Flexl0_util.Rng
+module Frame = Flexl0_util.Frame
+module Mediabench = Flexl0_workloads.Mediabench
+
+type config = {
+  prefix : string;
+  store_root : string;
+  shards : int;
+  benches : string list;
+  systems : string list;
+  seed : int;
+  on_log : string -> unit;
+}
+
+let default ~prefix ~store_root =
+  {
+    prefix;
+    store_root;
+    shards = 3;
+    benches = [ "g721dec"; "gsmdec" ];
+    systems = [ "l0"; "baseline" ];
+    seed = 0;
+    on_log = ignore;
+  }
+
+type outcome = {
+  o_requests : int;
+  o_matches : int;
+  o_kills : int;
+  o_store_flips : int;
+  o_wire_corruptions : int;
+  o_spilled : int;
+  o_warm_generation : int;
+  o_warm_store_hits : int;
+  o_failures : string list;
+}
+
+let passed o = o.o_failures = [] && o.o_matches = o.o_requests
+
+(* ---- the campaign ------------------------------------------------- *)
+
+let requests cfg =
+  let specs =
+    List.map
+      (fun name ->
+        match Proto.spec_of_string name with
+        | Ok s -> s
+        | Error msg -> invalid_arg ("Chaos.run: " ^ msg))
+      cfg.systems
+  in
+  List.concat_map
+    (fun bench ->
+      let b =
+        try Mediabench.find bench
+        with Not_found -> invalid_arg ("Chaos.run: unknown benchmark " ^ bench)
+      in
+      List.concat_map
+        (fun spec ->
+          Proto.Cell { spec; bench; max_cycles = None }
+          :: List.map
+               (fun { Mediabench.loop; _ } -> Proto.Compile { spec; loop })
+               b.Mediabench.loops)
+        specs)
+    cfg.benches
+
+(* ---- shard plumbing ----------------------------------------------- *)
+
+let shard_pid cfg i =
+  match open_in (Fleet.pid_path ~prefix:cfg.prefix i) with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match int_of_string_opt (String.trim (input_line ic)) with
+        | pid -> pid
+        | exception End_of_file -> None)
+
+let kill9 cfg i =
+  match shard_pid cfg i with
+  | Some pid ->
+    cfg.on_log (Printf.sprintf "chaos: kill -9 shard %d (pid %d)" i pid);
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    true
+  | None ->
+    cfg.on_log (Printf.sprintf "chaos: shard %d has no pidfile, skipping kill" i);
+    false
+
+(* Flip one bit in the middle of a shard's persistent store — the replay
+   must drop the damaged record and keep everything it can resync to. *)
+let flip_store_bit cfg i =
+  let path = Fleet.store_path ~root:cfg.store_root i in
+  match Unix.openfile path [ Unix.O_RDWR ] 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size = 0 then false
+        else begin
+          let off = size / 2 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 <> 1 then false
+          else begin
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1);
+            cfg.on_log
+              (Printf.sprintf
+                 "chaos: flipped a bit at offset %d of shard %d's store \
+                  (%d bytes)" off i size);
+            true
+          end
+        end)
+
+(* Inject garbage on the wire: a frame whose digest cannot match. The
+   shard must answer with a typed protocol error and keep serving. *)
+let corrupt_wire cfg i =
+  let socket = Fleet.socket_path ~prefix:cfg.prefix i in
+  let framed = Bytes.of_string (Proto.encode_request Proto.Health) in
+  let last = Bytes.length framed - 1 in
+  Bytes.set framed last (Char.chr (Char.code (Bytes.get framed last) lxor 1));
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> Error "socket"
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Proto.write_all fd (Bytes.to_string framed);
+          Result.bind (Proto.read_frame fd) Proto.decode_response
+        with
+        | Ok (Proto.Failed (Errors.Protocol_error _)) ->
+          cfg.on_log
+            (Printf.sprintf
+               "chaos: shard %d rejected a corrupt wire frame with a typed \
+                error" i);
+          Ok ()
+        | Ok _ -> Error "corrupt frame was not rejected with a protocol error"
+        | Error msg -> Error ("corrupt-frame exchange failed: " ^ msg)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("corrupt-frame exchange failed: " ^ Unix.error_message e))
+
+let health cfg i =
+  match
+    Client.request ~socket:(Fleet.socket_path ~prefix:cfg.prefix i)
+      Proto.Health
+  with
+  | Ok (Proto.Health_report h) -> Some h
+  | Ok _ | Error _ -> None
+
+let counter h name =
+  match List.assoc_opt name h.Proto.h_counters with Some n -> n | None -> 0
+
+let wait_generation cfg i ~at_least =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then None
+    else
+      match health cfg i with
+      | Some h when h.Proto.h_generation >= at_least -> Some h
+      | Some _ | None ->
+        Unix.sleepf 0.1;
+        go ()
+  in
+  go ()
+
+(* ---- the harness -------------------------------------------------- *)
+
+let run cfg =
+  if cfg.shards < 2 then
+    invalid_arg "Chaos.run: chaos needs at least 2 shards to fail over";
+  let reqs = requests cfg in
+  let n = List.length reqs in
+  cfg.on_log
+    (Printf.sprintf
+       "chaos: %d requests against %d shards, comparing against the direct \
+        compute path" n cfg.shards);
+  (* ground truth first: the very bytes the direct CLI would print *)
+  let expected = List.map Proto.handle reqs in
+  (* the fleet runs as a child process, exactly as production would *)
+  let fleet_cfg =
+    {
+      (Fleet.default ~prefix:cfg.prefix ~shards:cfg.shards) with
+      Fleet.store_root = Some cfg.store_root;
+      backoff_base = 0.1;
+      backoff_max = 1.0;
+      seed = cfg.seed;
+      on_log = (fun line -> cfg.on_log ("fleet: " ^ line));
+    }
+  in
+  let fleet_pid =
+    match Unix.fork () with
+    | 0 ->
+      (try Fleet.run fleet_cfg
+       with e ->
+         Printf.eprintf "fleet: fatal: %s\n%!" (Printexc.to_string e);
+         Stdlib.exit 1);
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  let sockets = Fleet.sockets fleet_cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill fleet_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] fleet_pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      Array.iter
+        (fun socket ->
+          if not (Client.wait_ready ~socket ~attempts:200 ()) then
+            failwith ("chaos: shard never became ready: " ^ socket))
+        sockets;
+      let fl =
+        {
+          (Client.fleet ~sockets) with
+          Client.f_deadline = Some 120.0;
+          f_sweeps = 8;
+          f_backoff_base = 0.1;
+          f_backoff_max = 1.0;
+          f_seed = cfg.seed;
+        }
+      in
+      let rng = Rng.keyed ~seed:cfg.seed "chaos-targets" in
+      let home_of req =
+        match Proto.cache_key req with
+        | Some k -> List.hd (Client.rank ~shards:cfg.shards k)
+        | None -> 0
+      in
+      let req0 = List.hd reqs in
+      let home0 = home_of req0 in
+      (* the warm-restart probe at the end targets req0's home shard;
+         the mid-campaign bit flip must hit a different store so the
+         probe measures recovery, not the flip *)
+      let other_than avoid =
+        let pick = Rng.int rng (cfg.shards - 1) in
+        if pick >= avoid then pick + 1 else pick
+      in
+      let kill_at = max 1 (n / 4) in
+      let flip_at = max 2 (n / 2) in
+      let wire_at = max 3 (3 * n / 4) in
+      let kills = ref 0
+      and flips = ref 0
+      and wires = ref 0
+      and spilled = ref 0
+      and matches = ref 0
+      and failures = ref [] in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            cfg.on_log ("chaos: FAIL: " ^ msg);
+            failures := msg :: !failures)
+          fmt
+      in
+      List.iteri
+        (fun i (req, want) ->
+          if i = kill_at then begin
+            let victim = Rng.int rng cfg.shards in
+            if kill9 cfg victim then incr kills
+          end;
+          if i >= flip_at && !flips = 0 then begin
+            (* corrupt a store that already holds records — any shard but
+               req0's home — then kill -9 its shard so the restart has to
+               replay the damaged file. Retried every request until a
+               non-empty store exists. *)
+            let first = other_than home0 in
+            let rec scan j =
+              if j >= cfg.shards then ()
+              else
+                let victim = (first + j) mod cfg.shards in
+                if victim <> home0 && flip_store_bit cfg victim then begin
+                  incr flips;
+                  if kill9 cfg victim then incr kills
+                end
+                else scan (j + 1)
+            in
+            scan 0
+          end;
+          if i >= wire_at && !wires = 0 then begin
+            (* the probe needs a live shard — some may be mid-restart, so
+               walk the ring until one accepts the connection *)
+            let first = Rng.int rng cfg.shards in
+            let rec try_shard j last_err =
+              if j >= cfg.shards then last_err
+              else
+                match corrupt_wire cfg ((first + j) mod cfg.shards) with
+                | Ok () ->
+                  incr wires;
+                  None
+                | Error msg -> try_shard (j + 1) (Some msg)
+            in
+            ignore (try_shard 0 None)
+          end;
+          match Client.request_fleet fl req with
+          | Ok served ->
+            if not served.Client.s_primary then incr spilled;
+            if served.Client.s_resp = want then incr matches
+            else
+              fail "response %d (%s) diverged from the direct path" i
+                (Proto.request_label req)
+          | Error e ->
+            fail "request %d (%s): %s" i (Proto.request_label req)
+              (Errors.to_string e))
+        (List.combine reqs expected);
+      if !flips = 0 then
+        fail "no store bit-flip landed: every candidate store stayed empty";
+      if !wires = 0 then
+        fail "wire corruption probe never reached a live shard";
+      (* ---- warm-restart probe ------------------------------------- *)
+      (* req0 was computed and persisted on its home shard. Kill that
+         shard, wait for the supervisor to bring it back, and demand the
+         replay made the restart warm: the repeat request must be served
+         from the persistent store without forking a worker. *)
+      let before_gen =
+        match health cfg home0 with
+        | Some h -> h.Proto.h_generation
+        | None -> 0
+      in
+      if kill9 cfg home0 then incr kills;
+      let warm_generation, warm_store_hits =
+        match wait_generation cfg home0 ~at_least:(before_gen + 1) with
+        | None ->
+          fail "shard %d did not come back within the recovery budget" home0;
+          (0, 0)
+        | Some h0 ->
+          if h0.Proto.h_store_loaded = 0 then
+            fail "shard %d restarted cold: no store entries reloaded" home0;
+          let socket = Fleet.socket_path ~prefix:cfg.prefix home0 in
+          (match Client.request ~socket req0 with
+          | Ok resp ->
+            if resp <> List.hd expected then
+              fail "post-restart response diverged from the direct path"
+          | Error msg -> fail "post-restart request failed: %s" msg);
+          (match health cfg home0 with
+          | None -> fail "shard %d lost after its warm restart" home0; (0, 0)
+          | Some h1 ->
+            if counter h1 "worker_starts" > counter h0 "worker_starts" then
+              fail
+                "warm restart forked a worker for a previously cached key \
+                 (%d -> %d starts)"
+                (counter h0 "worker_starts")
+                (counter h1 "worker_starts");
+            if counter h1 "store_hits" = 0 then
+              fail "warm restart served no store hits";
+            cfg.on_log
+              (Printf.sprintf
+                 "chaos: warm restart verified on shard %d: generation %d, \
+                  %d store entries reloaded, %d store hit(s), 0 new worker \
+                  forks" home0 h1.Proto.h_generation h1.Proto.h_store_loaded
+                 (counter h1 "store_hits"));
+            (h1.Proto.h_generation, counter h1 "store_hits"))
+      in
+      let o =
+        {
+          o_requests = n;
+          o_matches = !matches;
+          o_kills = !kills;
+          o_store_flips = !flips;
+          o_wire_corruptions = !wires;
+          o_spilled = !spilled;
+          o_warm_generation = warm_generation;
+          o_warm_store_hits = warm_store_hits;
+          o_failures = List.rev !failures;
+        }
+      in
+      cfg.on_log
+        (Printf.sprintf
+           "chaos: %d/%d responses byte-identical to the direct path (%d \
+            kill -9, %d store bit-flips, %d wire corruptions, %d served by \
+            fallback replicas)"
+           o.o_matches o.o_requests o.o_kills o.o_store_flips
+           o.o_wire_corruptions o.o_spilled);
+      o)

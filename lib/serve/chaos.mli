@@ -1,0 +1,59 @@
+(** The chaos harness: boot a real fleet, attack it mid-campaign, and
+    demand byte-identical results anyway.
+
+    {!run} computes a figure campaign's ground truth through the direct
+    compute path ({!Proto.handle} — the same bytes the daemon-less CLI
+    prints), then replays the campaign against a forked {!Fleet} while
+    injecting the three failure families the serve stack claims to
+    survive:
+
+    - {b kill -9} of shards mid-campaign (supervisor must restart them,
+      clients must fail over to replicas in the meantime);
+    - {b store corruption}: a bit flipped in the middle of a shard's
+      persistent store followed by kill -9, so the restart must replay
+      the damaged file, drop only the broken record, and stay warm;
+    - {b wire corruption}: a frame whose digest cannot match, which the
+      shard must reject with a typed protocol error and keep serving.
+
+    Every campaign response must equal the direct path's response;
+    being served by a fallback replica is a degraded success, never a
+    mismatch. The harness ends with the {b warm-restart probe}: it
+    kills the first request's home shard once more, waits for the
+    supervisor to bring it back, and verifies via cache counters that
+    the repeat request is answered from the persistent store with
+    {e zero} worker forks — the restarted-shard-comes-back-warm
+    contract of the ISSUE. *)
+
+type config = {
+  prefix : string;  (** fleet socket prefix, as in {!Fleet} *)
+  store_root : string;  (** per-shard persistent stores live here *)
+  shards : int;  (** >= 2: failover needs a neighbor *)
+  benches : string list;  (** Mediabench suites in the campaign *)
+  systems : string list;  (** {!Proto.spec_of_string} spellings *)
+  seed : int;  (** chaos target selection and client jitter *)
+  on_log : string -> unit;
+}
+
+val default : prefix:string -> store_root:string -> config
+(** 3 shards, g721dec + gsmdec on l0 + baseline, seed 0, silent. *)
+
+type outcome = {
+  o_requests : int;
+  o_matches : int;  (** responses byte-identical to the direct path *)
+  o_kills : int;  (** kill -9 events delivered *)
+  o_store_flips : int;  (** store files bit-flipped *)
+  o_wire_corruptions : int;  (** corrupt frames rejected with typed errors *)
+  o_spilled : int;  (** responses served by a fallback replica *)
+  o_warm_generation : int;  (** probe shard's generation after the probe *)
+  o_warm_store_hits : int;  (** its store hits serving the repeat request *)
+  o_failures : string list;  (** empty iff the harness passed *)
+}
+
+val passed : outcome -> bool
+(** No failures and every response matched. *)
+
+val run : config -> outcome
+(** Never raises on an injected failure — those land in [o_failures];
+    raises [Invalid_argument] on a malformed config (fewer than 2
+    shards, unknown benchmark or system) and [Failure] when the fleet
+    cannot be booted at all. *)

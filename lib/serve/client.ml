@@ -1,4 +1,14 @@
-let request ~socket req =
+module Errors = Flexl0.Errors
+module Runner = Flexl0.Runner
+module Rng = Flexl0_util.Rng
+
+(* ---- one exchange with one daemon --------------------------------- *)
+
+(* [deadline] is absolute. Socket send/receive timeouts are set to the
+   remaining budget, so a shard that accepts the connection and then
+   hangs (as opposed to one that is plain dead) still cannot hold the
+   client past its deadline. *)
+let request_deadline ?deadline ~socket req =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "socket: %s" (Unix.error_message e))
@@ -6,17 +16,38 @@ let request ~socket req =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        match Unix.connect fd (Unix.ADDR_UNIX socket) with
-        | exception Unix.Unix_error (e, _, _) ->
-          Error
-            (Printf.sprintf "cannot reach daemon at %s: %s" socket
-               (Unix.error_message e))
-        | () -> (
-          match Proto.write_all fd (Proto.encode_request req) with
+        let expired () = Error "request deadline expired" in
+        match deadline with
+        | Some d when d -. Unix.gettimeofday () <= 0.0 -> expired ()
+        | _ -> (
+          (match deadline with
+          | Some d ->
+            let remaining = d -. Unix.gettimeofday () in
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO remaining;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO remaining
+          | None -> ());
+          match Unix.connect fd (Unix.ADDR_UNIX socket) with
           | exception Unix.Unix_error (e, _, _) ->
-            Error (Printf.sprintf "send: %s" (Unix.error_message e))
-          | () ->
-            Result.bind (Proto.read_frame fd) Proto.decode_response))
+            Error
+              (Printf.sprintf "cannot reach daemon at %s: %s" socket
+                 (Unix.error_message e))
+          | () -> (
+            match Proto.write_all fd (Proto.encode_request req) with
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              expired ()
+            | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "send: %s" (Unix.error_message e))
+            | () -> (
+              match Result.bind (Proto.read_frame fd) Proto.decode_response with
+              | result -> result
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                expired ()
+              | exception Unix.Unix_error (e, _, _) ->
+                Error (Printf.sprintf "receive: %s" (Unix.error_message e))))))
+
+let request ~socket req = request_deadline ~socket req
 
 let wait_ready ~socket ?(attempts = 100) ?(interval = 0.05) () =
   let rec go n =
@@ -29,3 +60,135 @@ let wait_ready ~socket ?(attempts = 100) ?(interval = 0.05) () =
       go (n - 1)
   in
   go attempts
+
+(* ---- fleet routing ------------------------------------------------ *)
+
+(* Rendezvous (highest-random-weight) hashing: every (key, shard) pair
+   gets a deterministic weight and the replicas are ranked by descending
+   weight. Adding or losing one shard remaps only the keys whose top
+   weight involved that shard — the consistent-hashing property — and
+   the rank order doubles as the failover order: replica 2 for a key is
+   the shard that key would live on if replica 1 vanished, so spilled
+   work lands exactly where it stays useful. *)
+let rank ~shards key =
+  if shards < 1 then
+    invalid_arg
+      (Printf.sprintf "Client.rank: need at least 1 shard, got %d" shards);
+  List.init shards (fun i ->
+      (Digest.string (Printf.sprintf "%s|shard%d" key i), i))
+  |> List.sort (fun (wa, _) (wb, _) -> compare wb wa)
+  |> List.map snd
+
+let route_key req =
+  match Proto.cache_key req with
+  | Some k -> k
+  | None ->
+    (* keyless requests (Health) still need a stable home *)
+    Proto.request_label req
+
+type fleet = {
+  f_sockets : string array;
+  f_deadline : float option;
+  f_sweeps : int;
+  f_backoff_base : float;
+  f_backoff_max : float;
+  f_seed : int;
+}
+
+let fleet ~sockets =
+  {
+    f_sockets = sockets;
+    f_deadline = Some 60.0;
+    f_sweeps = 3;
+    f_backoff_base = 0.2;
+    f_backoff_max = 2.0;
+    f_seed = 0;
+  }
+
+type served = {
+  s_resp : Proto.response;
+  s_shard : int;
+  s_primary : bool;
+  s_attempts : int;
+}
+
+let request_fleet fl req =
+  let n = Array.length fl.f_sockets in
+  if n < 1 then invalid_arg "Client.request_fleet: empty socket list";
+  if fl.f_sweeps < 1 then
+    invalid_arg "Client.request_fleet: need at least one sweep";
+  let key = route_key req in
+  let order = rank ~shards:n key in
+  let primary = List.hd order in
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. d) fl.f_deadline
+  in
+  let out_of_time () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false
+  in
+  let attempts = ref 0 in
+  let last_err = ref "no shard attempted" in
+  (* one sweep walks the whole replica ring in rank order; a down
+     primary is a spill to its neighbor, not an error *)
+  let try_sweep () =
+    let rec go = function
+      | [] -> None
+      | shard :: rest ->
+        if out_of_time () then begin
+          last_err := "request deadline expired";
+          None
+        end
+        else begin
+          incr attempts;
+          match
+            request_deadline ?deadline ~socket:fl.f_sockets.(shard) req
+          with
+          | Ok resp ->
+            Some
+              {
+                s_resp = resp;
+                s_shard = shard;
+                s_primary = shard = primary;
+                s_attempts = !attempts;
+              }
+          | Error msg ->
+            last_err := Printf.sprintf "shard %d: %s" shard msg;
+            go rest
+        end
+    in
+    go order
+  in
+  let rec sweeps sweep =
+    match try_sweep () with
+    | Some served -> Ok served
+    | None ->
+      if sweep >= fl.f_sweeps || out_of_time () then
+        Error
+          (Errors.Shard_down
+             { shard = primary; attempts = !attempts; reason = !last_err })
+      else begin
+        (* the whole ring failed: everything is restarting or the fleet
+           is gone — back off (deterministically jittered, like the
+           runner) before sweeping again so N clients do not stampede
+           the recovering shards *)
+        let jitter =
+          Rng.float
+            (Rng.keyed ~seed:fl.f_seed (Printf.sprintf "%s#%d" key sweep))
+            1.0
+        in
+        let delay =
+          Runner.backoff_delay ~base:fl.f_backoff_base
+            ~max_delay:fl.f_backoff_max ~jitter ~attempt:sweep
+        in
+        let delay =
+          match deadline with
+          | Some d -> Float.min delay (Float.max 0.0 (d -. Unix.gettimeofday ()))
+          | None -> delay
+        in
+        Unix.sleepf delay;
+        sweeps (sweep + 1)
+      end
+  in
+  sweeps 1

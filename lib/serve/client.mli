@@ -1,4 +1,16 @@
-(** Client side of the serve protocol: one connection per request. *)
+(** Client side of the serve protocol: one connection per request, plus
+    fleet routing with deadlines and failover.
+
+    {b Single daemon.} {!request} talks to one socket and reports
+    failures as strings. {b Fleet.} {!request_fleet} routes a request to
+    its home shard by rendezvous-hashing the content-addressed cache
+    key over the shard sockets, fails over along the replica ranking
+    when shards are down or restarting, retries whole-ring failures
+    with jittered exponential backoff, enforces a per-request deadline
+    end to end, and reports terminal failure as a typed
+    [Errors.Shard_down]. A request served by a fallback replica is a
+    {e degraded success} ([s_primary = false]), never an error — the
+    graceful-degradation contract of the fleet. *)
 
 val request :
   socket:string -> Proto.request -> (Proto.response, string) result
@@ -8,8 +20,58 @@ val request :
     (corrupt or truncated response frame) — a request the {e daemon}
     rejected comes back as [Ok (Failed _)] instead. *)
 
+val request_deadline :
+  ?deadline:float ->
+  socket:string -> Proto.request -> (Proto.response, string) result
+(** {!request} with an {e absolute} deadline ([Unix.gettimeofday]
+    clock). The remaining budget becomes the socket send/receive
+    timeout, so a shard that accepts the connection and then hangs
+    cannot hold the client past it; expiry is an [Error]. *)
+
 val wait_ready : socket:string -> ?attempts:int -> ?interval:float ->
   unit -> bool
 (** Poll until a daemon accepts a {!Proto.Health} request — for tests
     and scripts that just started one. Default: 100 attempts, 50ms
     apart. *)
+
+(** {1 Fleet routing} *)
+
+val rank : shards:int -> string -> int list
+(** Rendezvous (highest-random-weight) ranking of the [shards] shard
+    indices for a key: the head is the key's home shard, the tail the
+    failover order. Consistent — removing one shard remaps only the
+    keys it owned, each to the next replica in its own ranking — and
+    deterministic across processes, so every client and the chaos
+    harness agree on placement without any coordination service. *)
+
+type fleet = {
+  f_sockets : string array;  (** socket path per shard, index = shard id *)
+  f_deadline : float option;  (** per-request seconds, end to end *)
+  f_sweeps : int;  (** full passes over the replica ring, >= 1 *)
+  f_backoff_base : float;  (** delay after the first failed sweep *)
+  f_backoff_max : float;
+  f_seed : int;  (** jitter seed *)
+}
+
+val fleet : sockets:string array -> fleet
+(** 60s deadline, 3 sweeps, backoff 0.2s doubling to 2s, seed 0. *)
+
+(** A fleet response and how it was obtained. *)
+type served = {
+  s_resp : Proto.response;
+  s_shard : int;  (** the shard that answered *)
+  s_primary : bool;
+      (** [false] when the home shard was unavailable and a fallback
+          replica answered — a degraded success, not an error *)
+  s_attempts : int;  (** exchanges attempted, across all sweeps *)
+}
+
+val request_fleet :
+  fleet -> Proto.request -> (served, Flexl0.Errors.t) result
+(** Route by {!rank} over the request's cache key (keyless requests
+    hash their label), trying each replica in rank order; when the
+    whole ring fails, back off and sweep again up to [f_sweeps] times
+    within the deadline. [Error (Shard_down _)] only when every replica
+    failed every sweep — one healthy shard anywhere in the ring is
+    enough for success. Raises [Invalid_argument] on an empty socket
+    array or a non-positive sweep count. *)

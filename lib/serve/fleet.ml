@@ -1,0 +1,261 @@
+module Errors = Flexl0.Errors
+module Runner = Flexl0.Runner
+module Rng = Flexl0_util.Rng
+
+type config = {
+  prefix : string;
+  shards : int;
+  store_root : string option;
+  workers : int;
+  cache_capacity : int;
+  timeout : float option;
+  retries : int;
+  seed : int;
+  restart_budget : int;
+  flap_window : float;
+  backoff_base : float;
+  backoff_max : float;
+  heartbeat_interval : float;
+  heartbeat_deadline : float;
+  on_log : string -> unit;
+}
+
+let default ~prefix ~shards =
+  {
+    prefix;
+    shards;
+    store_root = None;
+    workers = 2;
+    cache_capacity = 256;
+    timeout = None;
+    retries = 2;
+    seed = 0;
+    restart_budget = 5;
+    flap_window = 60.0;
+    backoff_base = 0.2;
+    backoff_max = 5.0;
+    heartbeat_interval = 1.0;
+    heartbeat_deadline = 5.0;
+    on_log = ignore;
+  }
+
+(* ---- naming ------------------------------------------------------- *)
+
+let socket_path ~prefix i = Printf.sprintf "%s.shard%d" prefix i
+let pid_path ~prefix i = socket_path ~prefix i ^ ".pid"
+let store_path ~root i = Filename.concat root (Printf.sprintf "shard%d" i) ^ "/store"
+
+let sockets cfg = Array.init cfg.shards (fun i -> socket_path ~prefix:cfg.prefix i)
+
+(* ---- per-shard supervision state ---------------------------------- *)
+
+type phase =
+  | Running of int  (** live pid *)
+  | Backoff of float  (** respawn not before this time *)
+  | Degraded
+
+type shard = {
+  s_id : int;
+  mutable s_phase : phase;
+  mutable s_generation : int;  (** of the current/next incarnation *)
+  mutable s_restarts : float list;  (** restart times inside the flap window *)
+  mutable s_last_beat : float;  (** last successful health heartbeat *)
+}
+
+(* ---- spawning ----------------------------------------------------- *)
+
+let write_pidfile cfg shard pid =
+  let path = pid_path ~prefix:cfg.prefix shard in
+  let oc = open_out path in
+  Printf.fprintf oc "%d\n" pid;
+  close_out oc
+
+let remove_file path = try Sys.remove path with Sys_error _ -> ()
+
+let server_config cfg (sh : shard) =
+  {
+    Server.socket = socket_path ~prefix:cfg.prefix sh.s_id;
+    workers = cfg.workers;
+    cache_capacity = cfg.cache_capacity;
+    timeout = cfg.timeout;
+    retries = cfg.retries;
+    (* decorrelated jitter streams per shard *)
+    seed = cfg.seed + (1000 * (sh.s_id + 1));
+    store =
+      Option.map (fun root -> store_path ~root sh.s_id) cfg.store_root;
+    generation = sh.s_generation;
+    on_log =
+      (fun line -> cfg.on_log (Printf.sprintf "shard %d: %s" sh.s_id line));
+  }
+
+let spawn cfg (sh : shard) =
+  let scfg = server_config cfg sh in
+  match Unix.fork () with
+  | 0 ->
+    (* the child is a plain daemon: drop the fleet's signal handlers so
+       Server.run installs its own drain handlers from a clean slate *)
+    List.iter
+      (fun s -> Sys.set_signal s Sys.Signal_default)
+      [ Sys.sigterm; Sys.sigint ];
+    (try Server.run scfg
+     with e ->
+       Printf.eprintf "shard %d: fatal: %s\n%!" sh.s_id (Printexc.to_string e);
+       Stdlib.exit 1);
+    Stdlib.exit 0
+  | pid ->
+    write_pidfile cfg sh.s_id pid;
+    sh.s_phase <- Running pid;
+    sh.s_last_beat <- Unix.gettimeofday ();
+    if Client.wait_ready ~socket:scfg.Server.socket ~attempts:200 () then begin
+      (match Client.request ~socket:scfg.Server.socket Proto.Health with
+      | Ok (Proto.Health_report h) ->
+        if sh.s_generation = 0 then
+          cfg.on_log
+            (Printf.sprintf "shard %d up (pid %d, cold start)" sh.s_id pid)
+        else
+          cfg.on_log
+            (Printf.sprintf
+               "shard %d restarted (pid %d, generation %d, warm cache: %d \
+                store entries reloaded)"
+               sh.s_id pid sh.s_generation h.Proto.h_store_loaded)
+      | Ok _ | Error _ ->
+        cfg.on_log
+          (Printf.sprintf "shard %d up (pid %d, health unavailable)" sh.s_id
+             pid));
+      true
+    end
+    else begin
+      cfg.on_log
+        (Printf.sprintf "shard %d (pid %d) never became ready" sh.s_id pid);
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      false
+    end
+
+(* ---- crash accounting --------------------------------------------- *)
+
+let note_crash cfg (sh : shard) reason =
+  let now = Unix.gettimeofday () in
+  sh.s_restarts <-
+    now :: List.filter (fun t -> now -. t <= cfg.flap_window) sh.s_restarts;
+  let restarts = List.length sh.s_restarts in
+  if restarts > cfg.restart_budget then begin
+    sh.s_phase <- Degraded;
+    (* leaving no stale socket behind makes clients fail over instantly
+       instead of waiting out a connect to a dead path *)
+    remove_file (socket_path ~prefix:cfg.prefix sh.s_id);
+    remove_file (pid_path ~prefix:cfg.prefix sh.s_id);
+    cfg.on_log
+      (Errors.to_string
+         (Errors.Shard_degraded { shard = sh.s_id; restarts; reason }))
+  end
+  else begin
+    let jitter =
+      Rng.float
+        (Rng.keyed ~seed:cfg.seed
+           (Printf.sprintf "fleet-shard%d#%d" sh.s_id restarts))
+        1.0
+    in
+    let delay =
+      Runner.backoff_delay ~base:cfg.backoff_base ~max_delay:cfg.backoff_max
+        ~jitter ~attempt:restarts
+    in
+    sh.s_phase <- Backoff (now +. delay);
+    sh.s_generation <- sh.s_generation + 1;
+    cfg.on_log
+      (Printf.sprintf "shard %d died (%s): restart %d/%d in %.1fs" sh.s_id
+         reason restarts cfg.restart_budget delay)
+  end
+
+(* ---- the supervision loop ----------------------------------------- *)
+
+let run cfg =
+  if cfg.shards < 1 then invalid_arg "Fleet.run: shards must be at least 1";
+  if cfg.restart_budget < 0 then
+    invalid_arg "Fleet.run: restart budget must not be negative";
+  let draining = ref false in
+  let previous_handlers =
+    List.map
+      (fun signal ->
+        ( signal,
+          Sys.signal signal (Sys.Signal_handle (fun _ -> draining := true)) ))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  let shards =
+    Array.init cfg.shards (fun i ->
+        {
+          s_id = i;
+          s_phase = Backoff 0.0;
+          s_generation = 0;
+          s_restarts = [];
+          s_last_beat = 0.0;
+        })
+  in
+  cfg.on_log
+    (Printf.sprintf "fleet of %d shards on %s.shard* (supervisor pid %d)"
+       cfg.shards cfg.prefix (Unix.getpid ()));
+  let reap (sh : shard) pid =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> ()
+    | _, status -> note_crash cfg sh (Runner.status_reason status)
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      note_crash cfg sh "lost: not a child anymore"
+  in
+  let heartbeat now (sh : shard) pid =
+    if now -. sh.s_last_beat >= cfg.heartbeat_interval then begin
+      let socket = socket_path ~prefix:cfg.prefix sh.s_id in
+      match
+        Client.request_deadline
+          ~deadline:(now +. cfg.heartbeat_deadline) ~socket Proto.Health
+      with
+      | Ok _ -> sh.s_last_beat <- Unix.gettimeofday ()
+      | Error msg ->
+        (* unresponsive but alive: a hung select loop or a wedged
+           worker pool. SIGKILL and let the reap path restart it. *)
+        cfg.on_log
+          (Printf.sprintf "shard %d (pid %d) failed its heartbeat (%s): \
+                           killing" sh.s_id pid msg);
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (s, h) -> Sys.set_signal s h) previous_handlers)
+    (fun () ->
+      while not !draining do
+        let now = Unix.gettimeofday () in
+        Array.iter
+          (fun sh ->
+            match sh.s_phase with
+            | Running pid ->
+              reap sh pid;
+              (match sh.s_phase with
+              | Running pid -> heartbeat now sh pid
+              | _ -> ())
+            | Backoff at ->
+              if now >= at && not !draining then
+                if not (spawn cfg sh) then
+                  note_crash cfg sh "failed to become ready"
+            | Degraded -> ())
+          shards;
+        if not !draining then Unix.sleepf 0.05
+      done;
+      (* drain: forward SIGTERM, then wait for every shard to finish
+         answering what it already accepted *)
+      cfg.on_log "draining: stopping all shards";
+      Array.iter
+        (fun sh ->
+          match sh.s_phase with
+          | Running pid ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          | Backoff _ | Degraded -> ())
+        shards;
+      Array.iter
+        (fun sh ->
+          (match sh.s_phase with
+          | Running pid -> (
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          | Backoff _ | Degraded -> ());
+          remove_file (pid_path ~prefix:cfg.prefix sh.s_id))
+        shards;
+      cfg.on_log "fleet drained: all shards stopped")

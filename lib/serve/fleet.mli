@@ -1,0 +1,76 @@
+(** The fleet supervisor: N shard daemons under one crash-tolerant
+    parent.
+
+    [run] spawns one {!Server} per shard — shard [i] listens at
+    [prefix ^ ".shard" ^ i], persists to [store_root/shard<i>/store]
+    when a store root is set, and reports generation [g] after its
+    [g]-th restart. Clients place keys with {!Client.rank} (rendezvous
+    hashing on the content-addressed key digest), so each schedule is
+    compiled exactly once fleet-wide and no coordination service is
+    needed: the socket naming convention {e is} the topology.
+
+    Supervision combines two signals. {b Exit detection}: a shard that
+    dies (crash, OOM kill, [kill -9]) is reaped with [WNOHANG] and
+    respawned after {!Flexl0.Runner}-style exponential backoff with
+    deterministic jitter; its persistent store makes the respawn a warm
+    restart. {b Health heartbeats}: a shard that is alive but
+    unresponsive — wedged select loop — fails its periodic
+    {!Proto.Health} probe and is SIGKILLed into the same respawn path.
+    A shard that flaps past [restart_budget] restarts inside
+    [flap_window] seconds is marked {e degraded}
+    ([Errors.Shard_degraded] in the log): the supervisor stops
+    restarting it, removes its stale socket so clients fail over
+    instantly, and its keyspace spills to the neighboring replicas in
+    each key's ranking — clients keep succeeding, never an error.
+
+    Each spawn writes [prefix ^ ".shard" ^ i ^ ".pid"] so external
+    tooling (the chaos harness, ops scripts) can target individual
+    shards. SIGTERM/SIGINT drain the whole fleet: every shard gets
+    SIGTERM, finishes answering what it accepted, and [run] returns. *)
+
+type config = {
+  prefix : string;  (** socket prefix; shard [i] listens at [.shard<i>] *)
+  shards : int;  (** number of shard daemons, >= 1 *)
+  store_root : string option;
+      (** per-shard persistent stores under this directory; [None]
+          disables persistence (cold restarts) *)
+  workers : int;  (** forked compute workers per shard *)
+  cache_capacity : int;  (** LRU entries per shard *)
+  timeout : float option;  (** per-attempt worker deadline, per shard *)
+  retries : int;  (** worker retries, per shard *)
+  seed : int;  (** jitter seed; shards derive decorrelated streams *)
+  restart_budget : int;
+      (** restarts tolerated inside [flap_window] before degrading *)
+  flap_window : float;  (** seconds of restart history considered *)
+  backoff_base : float;  (** first respawn delay *)
+  backoff_max : float;  (** respawn delay cap *)
+  heartbeat_interval : float;  (** seconds between health probes *)
+  heartbeat_deadline : float;
+      (** a probe slower than this marks the shard unresponsive *)
+  on_log : string -> unit;  (** supervisor and shard lifecycle lines *)
+}
+
+val default : prefix:string -> shards:int -> config
+(** 2 workers and 256 LRU entries per shard, no store, no worker
+    timeout, 2 worker retries, restart budget 5 per 60s window, backoff
+    0.2s doubling to 5s, heartbeat every 1s with a 5s deadline,
+    silent. *)
+
+val socket_path : prefix:string -> int -> string
+(** [prefix ^ ".shard" ^ i] — the naming convention shared by the
+    supervisor, clients and the chaos harness. *)
+
+val pid_path : prefix:string -> int -> string
+(** [socket_path ^ ".pid"], rewritten on every (re)spawn. *)
+
+val store_path : root:string -> int -> string
+(** [root/shard<i>/store]. *)
+
+val sockets : config -> string array
+(** The shard socket paths in shard order — exactly what
+    {!Client.fleet} wants. *)
+
+val run : config -> unit
+(** Spawn, supervise, and on SIGTERM/SIGINT drain every shard before
+    returning. Raises [Invalid_argument] on a non-positive shard count
+    or negative restart budget. *)

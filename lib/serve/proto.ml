@@ -103,10 +103,14 @@ type health = {
   h_pid : int;
   h_uptime_s : float;
   h_draining : bool;
+  h_generation : int;
   h_queue_depth : int;
   h_busy_workers : int;
   h_cache_entries : int;
   h_cache_capacity : int;
+  h_store_entries : int;
+  h_store_bytes : int;
+  h_store_loaded : int;
   h_counters : (string * int) list;
 }
 
@@ -239,11 +243,15 @@ let fuzz_verdict (r : Fuzz.report) =
 
 let render_health h =
   let b = Buffer.create 256 in
-  Printf.bprintf b "daemon pid %d, up %.1fs%s\n" h.h_pid h.h_uptime_s
+  Printf.bprintf b "daemon pid %d, up %.1fs, generation %d%s\n" h.h_pid
+    h.h_uptime_s h.h_generation
     (if h.h_draining then ", draining" else "");
   Printf.bprintf b "queue depth %d, busy workers %d\n" h.h_queue_depth
     h.h_busy_workers;
   Printf.bprintf b "cache: %d/%d entries\n" h.h_cache_entries h.h_cache_capacity;
+  Printf.bprintf b "store: %d entries, %d bytes, %d loaded at boot%s\n"
+    h.h_store_entries h.h_store_bytes h.h_store_loaded
+    (if h.h_store_loaded > 0 then " (warm restart)" else "");
   List.iter (fun (k, v) -> Printf.bprintf b "  %s: %d\n" k v) h.h_counters;
   Buffer.contents b
 

@@ -56,18 +56,30 @@ type request =
     }  (** a sequential differential-fuzz batch *)
   | Health  (** daemon stats; never cached, never forked *)
 
-(** Daemon self-description returned for {!Health}. *)
+(** Daemon self-description returned for {!Health}. The
+    restart-generation counter and the persistent-store gauges are what
+    let the fleet supervisor (and [client health]) tell a warm restart —
+    generation above zero, store entries reloaded at boot — from a cold
+    start. *)
 type health = {
   h_pid : int;
   h_uptime_s : float;
   h_draining : bool;
+  h_generation : int;
+      (** how many times the fleet supervisor has restarted this shard;
+          0 for the initial spawn and for a standalone daemon *)
   h_queue_depth : int;  (** requests accepted but not yet in a worker *)
   h_busy_workers : int;
   h_cache_entries : int;
   h_cache_capacity : int;
+  h_store_entries : int;  (** live bindings in the persistent store *)
+  h_store_bytes : int;  (** store file size on disk *)
+  h_store_loaded : int;
+      (** records recovered when the store was replayed at boot — a
+          positive count is the signature of a warm restart *)
   h_counters : (string * int) list;
       (** sorted: request/latency/retry counters plus [cache_hits],
-          [cache_misses], [cache_evictions] *)
+          [cache_misses], [cache_evictions], [store_hits] *)
 }
 
 type response =

@@ -11,6 +11,8 @@ type config = {
   timeout : float option;
   retries : int;
   seed : int;
+  store : string option;
+  generation : int;
   on_log : string -> unit;
 }
 
@@ -22,6 +24,8 @@ let default ~socket =
     timeout = None;
     retries = 2;
     seed = 0;
+    store = None;
+    generation = 0;
     on_log = ignore;
   }
 
@@ -62,6 +66,7 @@ type state = {
   mutable delayed : (float * task) list;  (** (retry-at, task) *)
   mutable workers : worker list;
   cache : Cache.t;
+  store : Store.t option;
   counters : Stats.Counters.t;
   t_start : float;
   draining : bool ref;
@@ -118,10 +123,16 @@ let health st =
     Proto.h_pid = Unix.getpid ();
     h_uptime_s = Unix.gettimeofday () -. st.t_start;
     h_draining = !(st.draining);
+    h_generation = st.cfg.generation;
     h_queue_depth = Queue.length st.queue + List.length st.delayed;
     h_busy_workers = List.length st.workers;
     h_cache_entries = Cache.length st.cache;
     h_cache_capacity = Cache.capacity st.cache;
+    h_store_entries =
+      (match st.store with Some s -> Store.entries s | None -> 0);
+    h_store_bytes = (match st.store with Some s -> Store.bytes s | None -> 0);
+    h_store_loaded =
+      (match st.store with Some s -> Store.loaded s | None -> 0);
     h_counters = List.sort compare counters;
   }
 
@@ -134,11 +145,27 @@ let dispatch st conn req =
   | Proto.Health -> respond st conn (Proto.Health_report (health st))
   | _ -> (
     let key = Proto.cache_key req in
-    match Option.bind key (Cache.find st.cache) with
+    let store_find k =
+      match Option.bind st.store (fun s -> Store.find s k) with
+      | Some payload ->
+        (* lazy promotion: a key that proved hot after the restart earns
+           its LRU slot; cold store entries never crowd the LRU *)
+        Stats.Counters.incr st.counters "store_hits";
+        Cache.add st.cache k payload;
+        Some payload
+      | None -> None
+    in
+    match
+      Option.bind key (fun k ->
+          match Cache.find st.cache k with
+          | Some payload -> Some payload
+          | None -> store_find k)
+    with
     | Some payload ->
-      (* the headline path: an identical request was computed before, so
-         the stored response bytes go straight back out — no fork, no
-         scheduler, no simulator *)
+      (* the headline path: an identical request was computed before
+         (possibly by a previous incarnation of this shard, via the
+         persistent store), so the stored response bytes go straight
+         back out — no fork, no scheduler, no simulator *)
       send_and_close st conn payload
     | None -> (
       (* coalesce with an identical request already in flight: one
@@ -252,7 +279,12 @@ let finish_worker st w =
       (fun conn ->
         if is_error then Stats.Counters.incr st.counters "responses_error";
         send_and_close st conn payload)
-      (List.rev w.w_task.t_conns)
+      (List.rev w.w_task.t_conns);
+    (* write-behind: the durable append happens after every waiter has
+       its bytes, so persistence never adds to response latency *)
+    (match (w.w_task.t_key, st.store) with
+    | Some key, Some store -> Store.add store key payload
+    | _ -> ())
   | Error reason ->
     let reason =
       if w.w_timed_out then begin
@@ -409,6 +441,7 @@ let run (cfg : config) =
       [ Sys.sigterm; Sys.sigint ]
   in
   let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let store = Option.map Store.open_ cfg.store in
   let st =
     {
       cfg;
@@ -419,6 +452,7 @@ let run (cfg : config) =
       delayed = [];
       workers = [];
       cache = Cache.create ~capacity:cfg.cache_capacity;
+      store;
       counters = Stats.Counters.create ();
       t_start = Unix.gettimeofday ();
       draining;
@@ -427,9 +461,20 @@ let run (cfg : config) =
   cfg.on_log
     (Printf.sprintf "listening on %s (pid %d, %d workers, cache %d)"
        cfg.socket (Unix.getpid ()) cfg.workers cfg.cache_capacity);
+  (match store with
+  | Some s ->
+    cfg.on_log
+      (Printf.sprintf
+         "store %s: %d entries reloaded (%d frames dropped) — %s start, \
+          generation %d"
+         (Store.path s) (Store.loaded s) (Store.dropped s)
+         (if Store.loaded s > 0 then "warm" else "cold")
+         cfg.generation)
+  | None -> ());
   Fun.protect
     ~finally:(fun () ->
       stop_listening st;
+      (match store with Some s -> Store.close s | None -> ());
       List.iter (fun (s, h) -> Sys.set_signal s h) previous_handlers;
       Sys.set_signal Sys.sigpipe previous_pipe)
     (fun () -> serve_loop st);

@@ -27,12 +27,23 @@ type config = {
   timeout : float option;  (** per-attempt wall-clock seconds *)
   retries : int;  (** extra attempts after the first, >= 0 *)
   seed : int;  (** retry-jitter seed, as in {!Flexl0.Runner} *)
+  store : string option;
+      (** path of the crash-safe persistent result store ({!Store}).
+          When set, every cached insert is also appended there
+          (write-behind, after the waiters are answered) and an LRU miss
+          falls through to it (lazy promotion on hit) — so a restarted
+          daemon serves previously computed keys without forking a
+          worker. [None]: in-memory LRU only, the PR5 behavior. *)
+  generation : int;
+      (** restart-generation counter reported in [Health]; the fleet
+          supervisor bumps it on every respawn, a standalone daemon
+          leaves it 0 *)
   on_log : string -> unit;  (** one line per lifecycle event *)
 }
 
 val default : socket:string -> config
-(** 2 workers, 256 cache entries, no timeout, 2 retries, seed 0,
-    silent. *)
+(** 2 workers, 256 cache entries, no timeout, 2 retries, seed 0, no
+    persistent store, generation 0, silent. *)
 
 val run : config -> unit
 (** Binds [config.socket] (replacing a stale socket file left by a dead

@@ -1,0 +1,148 @@
+module Frame = Flexl0_util.Frame
+
+(* One record per insert: the cache key and the response payload it maps
+   to, marshalled together inside one digest-checked frame. Replay is
+   last-write-wins, so refreshing a key is just another append. *)
+type record = { r_key : string; r_payload : string }
+
+type t = {
+  path : string;
+  tbl : (string, string) Hashtbl.t;
+  mutable oc : out_channel;
+  mutable frames : int;  (** live + dead frames currently in the file *)
+  mutable loaded : int;
+  mutable dropped : int;
+  mutable appends : int;
+}
+
+let path t = t.path
+let entries t = Hashtbl.length t.tbl
+let loaded t = t.loaded
+let dropped t = t.dropped
+let appends t = t.appends
+
+let bytes t =
+  try (Unix.stat t.path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* ---- replay ------------------------------------------------------- *)
+
+(* Find the next possible frame start at or after [pos]: the byte offset
+   of the next magic occurrence. Resynchronization is what separates
+   this store from the journal's stop-at-first-defect replay — a
+   bit-flipped record in the *middle* of the file loses that one record,
+   not everything behind it. *)
+let next_magic text pos =
+  let n = String.length text in
+  let m0 = Frame.magic.[0] in
+  let rec go i =
+    if i >= n then None
+    else
+      match String.index_from_opt text i m0 with
+      | None -> None
+      | Some j ->
+        if
+          j + String.length Frame.magic <= n
+          && String.sub text j (String.length Frame.magic) = Frame.magic
+        then Some j
+        else go (j + 1)
+  in
+  go pos
+
+let replay tbl text =
+  let frames = ref 0 and loaded = ref 0 and dropped = ref 0 in
+  let skip_to pos =
+    incr dropped;
+    next_magic text pos
+  in
+  let rec go pos =
+    if pos < String.length text then
+      match Frame.check text ~pos with
+      | Frame.Frame (payload, next) ->
+        incr frames;
+        (match (Marshal.from_string payload 0 : record) with
+        | { r_key; r_payload } ->
+          incr loaded;
+          Hashtbl.replace tbl r_key r_payload
+        | exception _ -> incr dropped);
+        go next
+      | Frame.Corrupt _ -> (
+        (* a corrupt frame never repairs itself: drop it and hunt for
+           the next magic *)
+        match skip_to (pos + 1) with None -> () | Some p -> go p)
+      | Frame.Partial -> (
+        (* at the true end of the file this is the classic torn tail; in
+           the middle it is a length prefix corrupted into pointing past
+           EOF — either way the bytes from here to the next magic (if
+           any) are unusable *)
+        match skip_to (pos + 1) with None -> () | Some p -> go p)
+  in
+  go 0;
+  (!frames, !loaded, !dropped)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- writing ------------------------------------------------------ *)
+
+let encode_record key payload =
+  Frame.encode (Marshal.to_string { r_key = key; r_payload = payload } [])
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
+
+(* Rewrite the file with only the live bindings, via write-to-temp +
+   atomic rename so a crash mid-compaction leaves the old file intact. *)
+let compact t =
+  let tmp = t.path ^ ".compact" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  Hashtbl.iter (fun k v -> output_string oc (encode_record k v)) t.tbl;
+  flush oc;
+  close_out oc;
+  close_out_noerr t.oc;
+  Sys.rename tmp t.path;
+  t.oc <- open_append t.path;
+  t.frames <- Hashtbl.length t.tbl
+
+let rec mkdir_p dir =
+  match dir with
+  | "" | "." | "/" -> ()
+  | _ ->
+    if not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+let open_ path =
+  mkdir_p (Filename.dirname path);
+  let tbl = Hashtbl.create 64 in
+  let frames, loaded, dropped = replay tbl (read_file path) in
+  let t =
+    { path; tbl; oc = open_append path; frames; loaded; dropped; appends = 0 }
+  in
+  (* Heal as we go: when replay skipped corrupt bytes, or overwrites and
+     drops have left the file more than half dead, rewrite it — a store
+     that only ever grows would replay ever more garbage on every
+     restart. *)
+  if dropped > 0 || frames > 2 * max 1 (Hashtbl.length tbl) then compact t;
+  t
+
+let find t key = Hashtbl.find_opt t.tbl key
+
+let add t key payload =
+  (* refreshing a key with the byte-identical payload would only grow
+     the file; the binding is already durable *)
+  if Hashtbl.find_opt t.tbl key <> Some payload then begin
+    Hashtbl.replace t.tbl key payload;
+    output_string t.oc (encode_record key payload);
+    flush t.oc;
+    t.frames <- t.frames + 1;
+    t.appends <- t.appends + 1
+  end
+
+let fold f t init = Hashtbl.fold f t.tbl init
+let close t = close_out_noerr t.oc

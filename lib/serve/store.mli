@@ -1,0 +1,65 @@
+(** Crash-safe persistent result store: the durable layer under the
+    daemon's in-memory LRU.
+
+    An append-only file of {!Flexl0_util.Frame}-encoded [(key, payload)]
+    records. Every {!add} is appended and flushed before it returns, so
+    a shard killed at any instant — including mid-write — loses at most
+    the one record being written. Replay on {!open_} is last-write-wins
+    and {e resynchronizing}: a torn tail, a bit-flipped byte, or a
+    corrupted length prefix drops the damaged record and rescans for the
+    next frame magic, so one bad byte in the middle of the file costs
+    one record, not the whole store. Compare {!Flexl0_util.Journal.load},
+    which deliberately stops at the first defect: a run journal's intact
+    {e prefix} is its value, while a cache's records are independent.
+
+    A restarted shard opens its store and serves every previously
+    computed key without forking a worker — the warm-restart path the
+    fleet supervisor relies on. When replay dropped corrupt frames, or
+    superseded duplicates have left the file more than half dead, the
+    store compacts itself on open (write-to-temp + atomic rename; a
+    crash mid-compaction leaves the old file intact).
+
+    Not thread-safe: owned by one daemon process from its single
+    supervising loop, like {!Cache}. *)
+
+type t
+
+val open_ : string -> t
+(** [open_ path] creates or replays the store file at [path] (creating
+    its parent directory if missing) and opens it for appending. *)
+
+val find : t -> string -> string option
+
+val add : t -> string -> string -> unit
+(** Upsert: appends a record and flushes it to the OS before returning.
+    Appending the byte-identical payload a key already maps to is a
+    no-op (the binding is already durable). *)
+
+val fold : (string -> string -> 'a -> 'a) -> t -> 'a -> 'a
+
+val compact : t -> unit
+(** Rewrite the file with only the live bindings, atomically. Called
+    automatically by {!open_} when the replayed file carried corruption
+    or was more than half dead frames. *)
+
+val close : t -> unit
+
+(** {1 Introspection} — surfaced through the daemon's [Health] report. *)
+
+val path : t -> string
+
+val entries : t -> int
+(** Live bindings. *)
+
+val bytes : t -> int
+(** Current file size on disk. *)
+
+val loaded : t -> int
+(** Records recovered by the last replay — how warm this store made the
+    restart. *)
+
+val dropped : t -> int
+(** Torn, corrupt or unreadable frames skipped by the last replay. *)
+
+val appends : t -> int
+(** Records appended since open. *)

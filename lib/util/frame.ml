@@ -6,8 +6,18 @@
 let magic = "FLJ1"
 let header_bytes = 4 + 4 + 16
 
+(* 64 MiB. The largest real payload (a full fuzz report or figure
+   campaign rendering) is under a megabyte; anything bigger is a corrupt
+   length prefix, and believing it would make a reader buffer without
+   bound waiting for bytes that will never arrive. *)
+let max_payload = 64 * 1024 * 1024
+
 let encode payload =
   let len = String.length payload in
+  if len > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: payload of %d bytes exceeds the %d-byte \
+                       frame limit" len max_payload);
   let b = Buffer.create (header_bytes + len) in
   Buffer.add_string b magic;
   Buffer.add_int32_be b (Int32.of_int len);
@@ -29,11 +39,18 @@ let check s ~pos =
       if String.sub s pos avail = String.sub magic 0 avail then Partial
       else Corrupt "bad frame magic"
     else if String.sub s pos 4 <> magic then Corrupt "bad frame magic"
-    else if avail < header_bytes then Partial
+    else if avail < 8 then Partial
     else
+      (* validate the length as soon as its field is readable: an absurd
+         value must not keep a reader buffering for the rest of a header
+         that will never arrive *)
       let len = Int32.to_int (String.get_int32_be s (pos + 4)) in
       if len < 0 then Corrupt "negative frame length"
-      else if avail - header_bytes < len then Partial
+      else if len > max_payload then
+        Corrupt
+          (Printf.sprintf "frame length %d exceeds the %d-byte limit" len
+             max_payload)
+      else if avail < header_bytes || avail - header_bytes < len then Partial
       else
         let digest = String.sub s (pos + 8) 16 in
         let payload = String.sub s (pos + header_bytes) len in

@@ -18,8 +18,16 @@ val magic : string
 val header_bytes : int
 (** Bytes before the payload: 4 magic + 4 length + 16 digest. *)
 
+val max_payload : int
+(** Upper bound on a payload's length (64 MiB). A decoded length prefix
+    above it is treated as corruption, not as an instruction to buffer
+    gigabytes waiting for a frame that will never complete — a single
+    flipped high bit in the length field must not become an unbounded
+    allocation. *)
+
 val encode : string -> string
-(** [magic ^ length ^ md5 ^ payload], self-delimiting. *)
+(** [magic ^ length ^ md5 ^ payload], self-delimiting. Raises
+    [Invalid_argument] when the payload exceeds {!max_payload}. *)
 
 val decode : string -> pos:int -> (string * int) option
 (** [decode s ~pos] returns the payload starting at [pos] and the
@@ -32,8 +40,9 @@ type check =
   | Frame of string * int  (** intact payload and one-past-frame position *)
   | Partial  (** a valid prefix — more bytes may still arrive *)
   | Corrupt of string
-      (** never completes into a valid frame: wrong magic, negative
-          length, or a complete frame whose digest does not match *)
+      (** never completes into a valid frame: wrong magic, negative or
+          over-{!max_payload} length, or a complete frame whose digest
+          does not match *)
 
 val check : string -> pos:int -> check
 (** Like {!decode} but distinguishes "keep reading" from "give up" — the

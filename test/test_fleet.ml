@@ -1,0 +1,495 @@
+(* Tests for the crash-safe fleet layer: persistent store recovery
+   (torn tails, bit flips, last-write-wins, compaction), the frame
+   decoder's length bound, rendezvous routing, client failover across a
+   live fleet, supervisor restarts with warm stores, graceful
+   degradation past the restart budget, and the full chaos harness. *)
+
+module Frame = Flexl0_util.Frame
+module Errors = Flexl0.Errors
+module Proto = Flexl0_serve.Proto
+module Client = Flexl0_serve.Client
+module Cache = Flexl0_serve.Cache
+module Store = Flexl0_serve.Store
+module Fleet = Flexl0_serve.Fleet
+module Chaos = Flexl0_serve.Chaos
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let temp_path suffix =
+  let path = Filename.temp_file "flexl0-fleet" suffix in
+  Sys.remove path;
+  path
+
+let temp_dir () =
+  let dir = temp_path ".dir" in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rm_rf path =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote path)))
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* ---- persistent store recovery ------------------------------------ *)
+
+let with_store f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f (dir ^ "/store"))
+
+let test_store_roundtrip_and_dedup () =
+  with_store (fun path ->
+      let s = Store.open_ path in
+      Store.add s "k1" "payload one";
+      Store.add s "k2" "payload two \x00\xff binary";
+      check "find k1" true (Store.find s "k1" = Some "payload one");
+      check_int "two appends" 2 (Store.appends s);
+      (* re-adding the identical binding is a no-op: already durable *)
+      let size = Store.bytes s in
+      Store.add s "k1" "payload one";
+      check_int "identical re-add not appended" 2 (Store.appends s);
+      check_int "file did not grow" size (Store.bytes s);
+      Store.close s;
+      let s' = Store.open_ path in
+      check_int "both records reloaded" 2 (Store.loaded s');
+      check_int "nothing dropped" 0 (Store.dropped s');
+      check "k2 survives reopen" true
+        (Store.find s' "k2" = Some "payload two \x00\xff binary");
+      Store.close s')
+
+let test_store_torn_tail () =
+  with_store (fun path ->
+      let s = Store.open_ path in
+      Store.add s "a" (String.make 200 'A');
+      Store.add s "b" (String.make 200 'B');
+      Store.add s "c" (String.make 200 'C');
+      Store.close s;
+      (* the crash tore the last record in half *)
+      let size = file_size path in
+      Unix.truncate path (size - 100);
+      let s' = Store.open_ path in
+      check "a survives" true (Store.find s' "a" = Some (String.make 200 'A'));
+      check "b survives" true (Store.find s' "b" = Some (String.make 200 'B'));
+      check "torn record dropped" true (Store.find s' "c" = None);
+      check_int "one frame dropped" 1 (Store.dropped s');
+      check_int "two reloaded" 2 (Store.loaded s');
+      (* the store stays writable after recovery *)
+      Store.add s' "d" "after the crash";
+      Store.close s';
+      let s'' = Store.open_ path in
+      check "post-recovery append durable" true
+        (Store.find s'' "d" = Some "after the crash");
+      check_int "recovery compacted the damage away" 0 (Store.dropped s'');
+      Store.close s'')
+
+let test_store_bit_flip_resyncs () =
+  with_store (fun path ->
+      let s = Store.open_ path in
+      Store.add s "a" (String.make 300 'A');
+      let end_a = Store.bytes s in
+      Store.add s "b" (String.make 300 'B');
+      Store.add s "c" (String.make 300 'C');
+      Store.close s;
+      (* flip one bit inside record b's payload: its digest cannot match *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let off = end_a + 60 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let byte = Bytes.create 1 in
+      check_int "read the victim byte" 1 (Unix.read fd byte 0 1);
+      Bytes.set byte 0 (Char.chr (Char.code (Bytes.get byte 0) lxor 0x10));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd byte 0 1);
+      Unix.close fd;
+      let s' = Store.open_ path in
+      check "record before the flip survives" true
+        (Store.find s' "a" = Some (String.make 300 'A'));
+      check "damaged record dropped" true (Store.find s' "b" = None);
+      check "replay resynced past the damage" true
+        (Store.find s' "c" = Some (String.make 300 'C'));
+      check "drop was counted" true (Store.dropped s' >= 1);
+      Store.close s')
+
+let test_store_last_write_wins () =
+  with_store (fun path ->
+      let s = Store.open_ path in
+      Store.add s "k" "first";
+      Store.add s "k" "second";
+      Store.add s "k" "third";
+      check "live binding is the newest" true (Store.find s "k" = Some "third");
+      Store.close s;
+      let s' = Store.open_ path in
+      check "replay is last-write-wins" true (Store.find s' "k" = Some "third");
+      check_int "one live binding" 1 (Store.entries s');
+      Store.close s')
+
+let test_store_compaction () =
+  with_store (fun path ->
+      let s = Store.open_ path in
+      (* 9 superseded frames + 1 live: more than half dead *)
+      for i = 1 to 10 do
+        Store.add s "k" (Printf.sprintf "version %d" i)
+      done;
+      let bloated = Store.bytes s in
+      Store.close s;
+      (* reopen auto-compacts the mostly-dead file *)
+      let s' = Store.open_ path in
+      check "compaction kept the live binding" true
+        (Store.find s' "k" = Some "version 10");
+      check "compaction shrank the file" true (Store.bytes s' < bloated);
+      Store.close s';
+      let s'' = Store.open_ path in
+      check_int "compacted store reloads cleanly" 1 (Store.loaded s'');
+      check_int "no drops after compaction" 0 (Store.dropped s'');
+      Store.close s'')
+
+let test_store_lru_promotion_after_reload () =
+  (* mirror the daemon's layering: a store hit is lazily promoted into
+     the LRU, so after a reload the cache order reflects access order,
+     not replay order *)
+  with_store (fun path ->
+      let s = Store.open_ path in
+      Store.add s "a" "1";
+      Store.add s "b" "2";
+      Store.add s "c" "3";
+      Store.close s;
+      let s' = Store.open_ path in
+      let cache = Cache.create ~capacity:2 in
+      let lookup k =
+        match Cache.find cache k with
+        | Some v -> Some v
+        | None ->
+          Option.map
+            (fun v ->
+              Cache.add cache k v;
+              v)
+            (Store.find s' k)
+      in
+      check "c from store" true (lookup "c" = Some "3");
+      check "a from store" true (lookup "a" = Some "1");
+      Alcotest.(check (list string))
+        "promotion follows access order" [ "a"; "c" ] (Cache.keys_mru cache);
+      (* a hits the cache now; the store was only read once for it *)
+      check "a now cached" true (lookup "a" = Some "1");
+      check_int "cache hit recorded" 1 (Cache.hits cache);
+      (* b was never asked for: not promoted, still durable *)
+      check "unasked key not promoted" true (Cache.find cache "b" = None);
+      check "unasked key still in store" true (Store.find s' "b" = Some "2");
+      Store.close s')
+
+(* ---- frame length bound ------------------------------------------- *)
+
+let test_frame_length_bound () =
+  (* a header advertising an over-limit payload must be Corrupt, not an
+     unbounded allocation waiting for bytes that never come *)
+  let header len =
+    let b = Buffer.create 8 in
+    Buffer.add_string b "FLJ1";
+    Buffer.add_int32_be b (Int32.of_int len);
+    Buffer.contents b
+  in
+  (match Frame.check (header (Frame.max_payload + 1)) ~pos:0 with
+  | Frame.Corrupt msg -> check "names the limit" true (contains ~needle:"limit" msg)
+  | Frame.Partial -> Alcotest.fail "over-limit length treated as partial"
+  | Frame.Frame _ -> Alcotest.fail "over-limit length accepted");
+  (* at the limit it is an ordinary incomplete frame *)
+  (match Frame.check (header Frame.max_payload) ~pos:0 with
+  | Frame.Partial -> ()
+  | _ -> Alcotest.fail "at-limit length should be partial");
+  match Frame.encode (String.make (Frame.max_payload + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode accepted an over-limit payload"
+
+(* ---- rendezvous routing ------------------------------------------- *)
+
+let test_rank_is_consistent () =
+  let keys = List.init 50 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun key ->
+      let r = Client.rank ~shards:5 key in
+      Alcotest.(check (list int))
+        ("deterministic: " ^ key) r
+        (Client.rank ~shards:5 key);
+      Alcotest.(check (list int))
+        ("permutation: " ^ key)
+        [ 0; 1; 2; 3; 4 ]
+        (List.sort compare r);
+      (* consistency: adding a 6th shard either leaves the ranking of
+         the old 5 in place or inserts shard 5 — old relative order is
+         preserved, so only keys that move to the new shard remap *)
+      let r6 = List.filter (fun i -> i < 5) (Client.rank ~shards:6 key) in
+      Alcotest.(check (list int)) ("stable under growth: " ^ key) r r6)
+    keys;
+  (* keys actually spread: every shard is some key's home *)
+  let homes =
+    List.sort_uniq compare
+      (List.map (fun k -> List.hd (Client.rank ~shards:5 k)) keys)
+  in
+  check_int "all shards used" 5 (List.length homes)
+
+(* ---- a live fleet -------------------------------------------------- *)
+
+let fleet_config ?(shards = 2) ?(restart_budget = 5) ?store_root prefix =
+  {
+    (Fleet.default ~prefix ~shards) with
+    Fleet.store_root;
+    restart_budget;
+    backoff_base = 0.05;
+    backoff_max = 0.5;
+    heartbeat_interval = 0.2;
+    heartbeat_deadline = 5.0;
+  }
+
+let start_fleet cfg =
+  match Unix.fork () with
+  | 0 ->
+    (try Fleet.run cfg with _ -> Stdlib.exit 1);
+    Stdlib.exit 0
+  | pid ->
+    let ready =
+      Array.for_all
+        (fun socket -> Client.wait_ready ~socket ~attempts:200 ())
+        (Fleet.sockets cfg)
+    in
+    if not ready then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      Alcotest.fail "fleet never became ready"
+    end;
+    pid
+
+let stop_fleet pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, status ->
+    Alcotest.failf "fleet exited abnormally (%s)"
+      (Flexl0.Runner.status_reason status)
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+(* On any exit path, SIGTERM (not SIGKILL) the supervisor and wait: a
+   killed supervisor leaks its shard daemons, and an orphaned shard
+   holding the test harness's stdout open wedges the whole run. *)
+let drain_fleet pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let shard_pid cfg i =
+  let ic = open_in (Fleet.pid_path ~prefix:cfg.Fleet.prefix i) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> int_of_string (String.trim (input_line ic)))
+
+let health ~socket =
+  match Client.request ~socket Proto.Health with
+  | Ok (Proto.Health_report h) -> Some h
+  | Ok _ | Error _ -> None
+
+let test_fleet_failover_and_warm_restart () =
+  let prefix = temp_path ".sock" in
+  let store_root = temp_dir () in
+  let cfg = fleet_config ~store_root prefix in
+  let pid = start_fleet cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      drain_fleet pid;
+      rm_rf store_root)
+    (fun () ->
+      let fl =
+        {
+          (Client.fleet ~sockets:(Fleet.sockets cfg)) with
+          Client.f_deadline = Some 60.0;
+          f_backoff_base = 0.05;
+          f_backoff_max = 0.5;
+        }
+      in
+      let req = Proto.Cell { spec = Proto.Spec_baseline; bench = "g721dec";
+                             max_cycles = None } in
+      let want = Proto.handle req in
+      let home =
+        match Proto.cache_key req with
+        | Some k -> List.hd (Client.rank ~shards:2 k)
+        | None -> Alcotest.fail "cell request has no cache key"
+      in
+      (* primary serve lands on the home shard and is persisted there *)
+      (match Client.request_fleet fl req with
+      | Ok served ->
+        check "first serve from the home shard" true served.Client.s_primary;
+        check_int "routed to the rendezvous home" home served.Client.s_shard;
+        check "byte-identical to the direct path" true
+          (served.Client.s_resp = want)
+      | Error e -> Alcotest.failf "fleet request: %s" (Errors.to_string e));
+      (* one health round-trip syncs with the write-behind persist: the
+         shard's loop is single-threaded, so any later response proves
+         the earlier store append completed — without it the SIGKILL
+         below can race ahead of the flush *)
+      let home_socket = Fleet.socket_path ~prefix home in
+      (match health ~socket:home_socket with
+      | Some h ->
+        check "result persisted before the crash" true
+          (h.Proto.h_store_entries >= 1)
+      | None -> Alcotest.fail "home shard health unavailable");
+      (* kill -9 the home shard: the very next request must fail over *)
+      let victim_pid = shard_pid cfg home in
+      Unix.kill victim_pid Sys.sigkill;
+      (match Client.request_fleet fl req with
+      | Ok served ->
+        check "fallback replica answered" false served.Client.s_primary;
+        check "failover result byte-identical" true
+          (served.Client.s_resp = want)
+      | Error e -> Alcotest.failf "failover request: %s" (Errors.to_string e));
+      (* the supervisor restarts the victim; its store makes it warm *)
+      let socket = Fleet.socket_path ~prefix home in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec wait_restarted () =
+        match health ~socket with
+        | Some h when h.Proto.h_generation >= 1 -> h
+        | _ ->
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "home shard did not restart in time";
+          Unix.sleepf 0.1;
+          wait_restarted ()
+      in
+      let h = wait_restarted () in
+      check "restart reloaded the persisted result" true
+        (h.Proto.h_store_loaded >= 1);
+      (* the repeat request is a store hit: no worker forked *)
+      (match Client.request ~socket req with
+      | Ok resp -> check "warm serve byte-identical" true (resp = want)
+      | Error msg -> Alcotest.failf "warm request: %s" msg);
+      (match health ~socket with
+      | Some h' ->
+        check_int "zero worker forks after restart" 0
+          (match List.assoc_opt "worker_starts" h'.Proto.h_counters with
+          | Some n -> n
+          | None -> 0);
+        check "store hit served the repeat" true
+          (match List.assoc_opt "store_hits" h'.Proto.h_counters with
+          | Some n -> n >= 1
+          | None -> false)
+      | None -> Alcotest.fail "restarted shard lost");
+      stop_fleet pid)
+
+let test_fleet_degrades_past_restart_budget () =
+  let prefix = temp_path ".sock" in
+  (* budget 0: the first crash already exceeds it *)
+  let cfg = fleet_config ~restart_budget:0 prefix in
+  let pid = start_fleet cfg in
+  Fun.protect
+    ~finally:(fun () -> drain_fleet pid)
+    (fun () ->
+      Unix.kill (shard_pid cfg 0) Sys.sigkill;
+      (* the supervisor must remove the dead shard's socket, not respawn *)
+      let socket0 = Fleet.socket_path ~prefix 0 in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Sys.file_exists socket0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.05
+      done;
+      check "degraded shard's socket removed" false (Sys.file_exists socket0);
+      (* clients keep succeeding on the surviving replica — never an error *)
+      let fl =
+        {
+          (Client.fleet ~sockets:(Fleet.sockets cfg)) with
+          Client.f_deadline = Some 30.0;
+          f_backoff_base = 0.05;
+          f_backoff_max = 0.5;
+        }
+      in
+      let rec try_keys i =
+        if i >= 50 then Alcotest.fail "no key homed on the degraded shard";
+        let req = Proto.Fuzz_batch { seed = i; cases = 1;
+                                     sanitizer = Flexl0_mem.Sanitizer.Off } in
+        match Proto.cache_key req with
+        | Some k when List.hd (Client.rank ~shards:2 k) = 0 -> req
+        | _ -> try_keys (i + 1)
+      in
+      let req = try_keys 0 in
+      (match Client.request_fleet fl req with
+      | Ok served ->
+        check "spilled to the surviving neighbor" false served.Client.s_primary;
+        check_int "served by shard 1" 1 served.Client.s_shard
+      | Error e ->
+        Alcotest.failf "degraded fleet returned an error: %s"
+          (Errors.to_string e));
+      stop_fleet pid)
+
+let test_client_shard_down_error () =
+  (* nobody listening anywhere: the typed terminal failure *)
+  let prefix = temp_path ".sock" in
+  let sockets = Array.init 2 (Fleet.socket_path ~prefix) in
+  let fl =
+    {
+      (Client.fleet ~sockets) with
+      Client.f_deadline = Some 5.0;
+      f_sweeps = 2;
+      f_backoff_base = 0.01;
+      f_backoff_max = 0.05;
+    }
+  in
+  match Client.request_fleet fl Proto.Health with
+  | Ok _ -> Alcotest.fail "empty fleet answered"
+  | Error (Errors.Shard_down { attempts; _ } as e) ->
+    check_int "every replica tried every sweep" 4 attempts;
+    check "renders as a shard-down error" true
+      (contains ~needle:"down" (Errors.to_string e))
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+
+(* ---- the chaos harness -------------------------------------------- *)
+
+let test_chaos_harness_passes () =
+  let prefix = temp_path ".sock" in
+  let store_root = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf store_root)
+    (fun () ->
+      let o =
+        Chaos.run
+          {
+            (Chaos.default ~prefix ~store_root) with
+            Chaos.benches = [ "g721dec" ];
+            systems = [ "l0" ];
+          }
+      in
+      List.iter (fun msg -> Printf.eprintf "chaos failure: %s\n%!" msg)
+        o.Chaos.o_failures;
+      check "chaos harness passed" true (Chaos.passed o);
+      check_int "every response matched" o.Chaos.o_requests o.Chaos.o_matches;
+      check "kills were delivered" true (o.Chaos.o_kills >= 2);
+      check_int "a store was bit-flipped" 1 o.Chaos.o_store_flips;
+      check_int "a corrupt wire frame was rejected" 1
+        o.Chaos.o_wire_corruptions;
+      check "the killed home came back a generation up" true
+        (o.Chaos.o_warm_generation >= 1);
+      check "the warm restart served from the store" true
+        (o.Chaos.o_warm_store_hits >= 1))
+
+let suite =
+  ( "fleet",
+    [
+      Alcotest.test_case "store roundtrip + dedup" `Quick
+        test_store_roundtrip_and_dedup;
+      Alcotest.test_case "store torn tail" `Quick test_store_torn_tail;
+      Alcotest.test_case "store bit flip resyncs" `Quick
+        test_store_bit_flip_resyncs;
+      Alcotest.test_case "store last write wins" `Quick
+        test_store_last_write_wins;
+      Alcotest.test_case "store compaction" `Quick test_store_compaction;
+      Alcotest.test_case "store LRU promotion after reload" `Quick
+        test_store_lru_promotion_after_reload;
+      Alcotest.test_case "frame length bound" `Quick test_frame_length_bound;
+      Alcotest.test_case "rendezvous rank consistency" `Quick
+        test_rank_is_consistent;
+      Alcotest.test_case "fleet failover + warm restart" `Quick
+        test_fleet_failover_and_warm_restart;
+      Alcotest.test_case "fleet degrades past restart budget" `Quick
+        test_fleet_degrades_past_restart_budget;
+      Alcotest.test_case "client shard-down error" `Quick
+        test_client_shard_down_error;
+      Alcotest.test_case "chaos harness passes" `Quick
+        test_chaos_harness_passes;
+    ] )

@@ -115,8 +115,10 @@ let test_response_roundtrips () =
       Proto.Health_report
         {
           Proto.h_pid = 42; h_uptime_s = 1.5; h_draining = false;
-          h_queue_depth = 3; h_busy_workers = 2; h_cache_entries = 7;
-          h_cache_capacity = 256; h_counters = [ ("requests", 10) ];
+          h_generation = 3; h_queue_depth = 3; h_busy_workers = 2;
+          h_cache_entries = 7; h_cache_capacity = 256; h_store_entries = 5;
+          h_store_bytes = 4096; h_store_loaded = 5;
+          h_counters = [ ("requests", 10) ];
         };
     ]
   in
