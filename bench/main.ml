@@ -10,8 +10,8 @@
      dune exec bench/main.exe timings    # bechamel timings only
      dune exec bench/main.exe perf ...   # staged perf regression harness;
                                            writes BENCH_PR4.json (see Perf)
-     dune exec bench/main.exe serve ...  # daemon throughput/latency/cache;
-                                           writes BENCH_PR5.json (Serve_perf) *)
+     dune exec bench/main.exe serve ...  # daemon + fleet batch perf;
+                                           writes BENCH_PR7.json (Serve_perf) *)
 
 open Bechamel
 open Bechamel.Toolkit

@@ -1,4 +1,5 @@
-(* Daemon performance stage (PR 5, restart pass added in PR 6).
+(* Daemon performance stage (PR 5; restart pass PR 6; batched wire
+   protocol PR 7).
 
    Boots a real daemon on a private socket, then drives it with the
    full figure workload over one connection-per-request client:
@@ -8,23 +9,33 @@
    - warm: the identical request stream again — all content-addressed
      cache hits, served straight from the LRU without touching the
      scheduler or simulator;
+   - batch: the identical (warm) stream once more as a single
+     pipelined Batch frame — one round-trip for the whole campaign
+     against the warm pass's one round-trip per request. This prices
+     the wire protocol alone: same cache hits, n-fold fewer frames;
    - restart: the daemon is drained and a fresh process is started on
-     the same persistent store, then the stream runs a third time —
-     every request is a store hit, so the restarted daemon forks zero
-     workers. This prices the crash-recovery path: how much a restart
-     costs when the persistent cache does its job.
+     the same persistent store, then the stream runs again — every
+     request is a store hit, so the restarted daemon forks zero
+     workers;
+   - fleet-cold / fleet-batch: a 2-shard fleet serves the campaign via
+     request_fleet_batch — items split by rendezvous home, one
+     pipelined batch per shard, streams multiplexed. The warm pass
+     must cost at most one batch frame per shard; the run hard-fails
+     unless that is at least 5x fewer round-trips than one per item.
 
-   Each pass records wall time, p50/p99 request latency and request
-   throughput; the daemon's own health counters supply the cache and
-   store hit rates and the zero-fork check. Results go to
-   BENCH_PR6.json at the repo root; "before" numbers come from
-   bench/perf_baseline_pr6.txt (captured with --save-baseline),
-   matching the PR 4 perf-harness conventions. *)
+   Each pass records wall time, p50/p99 request latency (amortized
+   per-item for batch passes) and request throughput; the daemons' own
+   health counters supply cache/store hit rates and per-shard shed
+   counts. Results go to BENCH_PR7.json at the repo root; "before"
+   numbers come from bench/perf_baseline_pr7.txt (captured with
+   --save-baseline), matching the PR 4 perf-harness conventions. *)
 
 module Mediabench = Flexl0_workloads.Mediabench
 module Proto = Flexl0_serve.Proto
 module Server = Flexl0_serve.Server
 module Client = Flexl0_serve.Client
+module Fleet = Flexl0_serve.Fleet
+module Errors = Flexl0.Errors
 
 type pass = {
   pname : string;
@@ -88,6 +99,54 @@ let run_pass ~socket pname reqs =
     p.wall_s p.req_s p.p50_ms p.p99_ms;
   p
 
+(* One pipelined batch over an open stream: the whole request list is a
+   single round-trip. Latency percentiles degenerate to the amortized
+   per-item cost. *)
+let finish_batch_pass pname ~n ~t0 ~round_trips =
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let per_item = wall_s *. 1000.0 /. float_of_int (max n 1) in
+  let p =
+    {
+      pname;
+      wall_s;
+      p50_ms = per_item;
+      p99_ms = per_item;
+      req_s = float_of_int n /. wall_s;
+    }
+  in
+  Printf.printf
+    "  %-11s %7.3f s  %8.1f req/s  %7.3f ms/item  %d round-trip(s)\n%!"
+    p.pname p.wall_s p.req_s per_item round_trips;
+  p
+
+let run_batch_pass ~socket pname reqs =
+  let n = List.length reqs in
+  let t0 = Unix.gettimeofday () in
+  (match Client.request_batch ~socket reqs with
+  | Error msg -> failwith (pname ^ ": " ^ msg)
+  | Ok arr ->
+    Array.iter
+      (function
+        | Proto.Failed e -> failwith (pname ^ ": " ^ Errors.to_string e)
+        | _ -> ())
+      arr);
+  (finish_batch_pass pname ~n ~t0 ~round_trips:1, 1)
+
+let run_fleet_batch_pass fl pname reqs =
+  let n = List.length reqs in
+  let t0 = Unix.gettimeofday () in
+  match Client.request_fleet_batch fl reqs with
+  | Error e -> failwith (pname ^ ": " ^ Errors.to_string e)
+  | Ok served ->
+    Array.iter
+      (function
+        | Proto.Failed e -> failwith (pname ^ ": " ^ Errors.to_string e)
+        | _ -> ())
+      served.Client.b_results;
+    ( finish_batch_pass pname ~n ~t0
+        ~round_trips:served.Client.b_round_trips,
+      served )
+
 let daemon_health ~socket =
   match Client.request ~socket Proto.Health with
   | Ok (Proto.Health_report h) -> h
@@ -146,12 +205,14 @@ let json_pass b = function
        %.3f}"
       p.wall_s p.req_s p.p50_ms p.p99_ms
 
-let emit_json ~path ~baseline ~hits ~misses ~warm_speedup ~restart passes =
-  let b = Buffer.create 2048 in
+let emit_json ~path ~baseline ~hits ~misses ~warm_speedup ~restart ~n_requests
+    ~batch_round_trips ~fleet ~shard_healths passes =
+  let b = Buffer.create 4096 in
   Buffer.add_string b
-    "{\n  \"pr\": 6,\n  \"workloads\": \"daemon: mediabench cells (l0 + \
-     baseline) and per-loop compiles — cold, warm, then a restart on the \
-     persistent store\",\n  \"passes\": [\n";
+    "{\n  \"pr\": 7,\n  \"workloads\": \"daemon: mediabench cells (l0 + \
+     baseline) and per-loop compiles — cold, warm, one pipelined batch, a \
+     restart on the persistent store, then a 2-shard fleet batch\",\n  \
+     \"passes\": [\n";
   List.iteri
     (fun i p ->
       Printf.bprintf b "    {\"name\": \"%s\", \"before\": " p.pname;
@@ -173,6 +234,37 @@ let emit_json ~path ~baseline ~hits ~misses ~warm_speedup ~restart passes =
     "  \"restart\": {\"store_loaded\": %d, \"store_hits\": %d, \
      \"worker_forks\": %d},\n"
     restart_loaded restart_hits restart_forks;
+  Printf.bprintf b
+    "  \"batch\": {\"round_trips\": %d, \"sequential_round_trips\": %d, \
+     \"ratio\": %.1f},\n"
+    batch_round_trips n_requests
+    (float_of_int n_requests /. float_of_int (max batch_round_trips 1));
+  let served = (fleet : Client.batch_served) in
+  Printf.bprintf b
+    "  \"fleet\": {\"round_trips\": %d, \"sequential_round_trips\": %d, \
+     \"ratio\": %.1f, \"spilled\": %d, \"shed_retries\": %d,\n    \
+     \"shards\": [\n"
+    served.Client.b_round_trips n_requests
+    (float_of_int n_requests
+    /. float_of_int (max served.Client.b_round_trips 1))
+    served.Client.b_spilled served.Client.b_shed_retries;
+  let n_shards = List.length shard_healths in
+  List.iteri
+    (fun i h ->
+      let counter name =
+        match List.assoc_opt name h.Proto.h_counters with
+        | Some v -> v
+        | None -> 0
+      in
+      Printf.bprintf b
+        "      {\"shard\": %d, \"requests\": %d, \"cache_hit_rate\": %.4f, \
+         \"store_hit_rate\": %.4f, \"shed_overload\": %d, \"shed_slow\": \
+         %d}%s\n"
+        i (counter "requests") h.Proto.h_cache_hit_rate
+        h.Proto.h_store_hit_rate h.Proto.h_shed_overload h.Proto.h_shed_slow
+        (if i < n_shards - 1 then "," else ""))
+    shard_healths;
+  Buffer.add_string b "    ]},\n";
   Printf.bprintf b "  \"warm_speedup\": %.2f\n}\n" warm_speedup;
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -181,8 +273,8 @@ let emit_json ~path ~baseline ~hits ~misses ~warm_speedup ~restart passes =
 
 (* ------------------------------------------------------------------ *)
 
-let default_out = "BENCH_PR6.json"
-let default_baseline = "bench/perf_baseline_pr6.txt"
+let default_out = "BENCH_PR7.json"
+let default_baseline = "bench/perf_baseline_pr7.txt"
 
 let with_daemon ?store f =
   let socket = Filename.temp_file "flexl0-bench" ".sock" in
@@ -207,6 +299,47 @@ let with_daemon ?store f =
           failwith "daemon never became ready";
         f ~socket)
 
+(* Boot a 2-shard fleet, run the campaign cold (populates both shards
+   along rendezvous placement) and then as the warm fleet batch whose
+   round-trip count the JSON reports, and collect per-shard health. *)
+let run_fleet reqs =
+  let prefix = Filename.temp_file "flexl0-bench" ".fleet" in
+  Sys.remove prefix;
+  let cfg =
+    {
+      (Fleet.default ~prefix ~shards:2) with
+      Fleet.workers = 2;
+      cache_capacity = 1024;
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+    (try Fleet.run cfg with _ -> Stdlib.exit 1);
+    Stdlib.exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun () ->
+        let sockets = Fleet.sockets cfg in
+        if
+          not
+            (Array.for_all
+               (fun socket -> Client.wait_ready ~socket ~attempts:200 ())
+               sockets)
+        then failwith "fleet never became ready";
+        let fl =
+          { (Client.fleet ~sockets) with Client.f_deadline = Some 600.0 }
+        in
+        let fleet_cold, _ = run_fleet_batch_pass fl "fleet-cold" reqs in
+        let fleet_batch, served = run_fleet_batch_pass fl "fleet-batch" reqs in
+        let shard_healths =
+          Array.to_list
+            (Array.map (fun socket -> daemon_health ~socket) sockets)
+        in
+        (fleet_cold, fleet_batch, served, shard_healths))
+
 let run ?(out = default_out) ?(baseline = default_baseline)
     ?(save_baseline_to = None) () =
   Printf.printf "== serve: daemon throughput, latency and cache ==\n%!";
@@ -221,11 +354,15 @@ let run ?(out = default_out) ?(baseline = default_baseline)
       ignore
         (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote store_dir))))
     (fun () ->
-      let cold, warm, h =
+      let n = List.length reqs in
+      let cold, warm, batch, batch_round_trips, h =
         with_daemon ~store (fun ~socket ->
             let cold = run_pass ~socket "cold" reqs in
             let warm = run_pass ~socket "warm" reqs in
-            (cold, warm, daemon_health ~socket))
+            (* the same warm stream as one pipelined frame: identical
+               cache hits, one round-trip instead of one per request *)
+            let batch, rt = run_batch_pass ~socket "batch" reqs in
+            (cold, warm, batch, rt, daemon_health ~socket))
       in
       (* drain the daemon, then restart a fresh process on the same
          store: the identical stream must be all store hits, no forks *)
@@ -234,6 +371,10 @@ let run ?(out = default_out) ?(baseline = default_baseline)
             let p = run_pass ~socket "restart" reqs in
             (p, daemon_health ~socket))
       in
+      (* a 2-shard fleet serves the campaign as per-shard batches: cold
+         to populate, then the warm fleet batch whose round-trip count
+         is the headline number *)
+      let fleet_cold, fleet_batch, served, shard_healths = run_fleet reqs in
       let counter h name =
         match List.assoc_opt name h.Proto.h_counters with
         | Some n -> n
@@ -251,7 +392,26 @@ let run ?(out = default_out) ?(baseline = default_baseline)
         (counter h2 "worker_starts");
       if counter h2 "worker_starts" > 0 then
         failwith "restarted daemon forked workers for persisted keys";
-      let passes = [ cold; warm; restart ] in
+      Printf.printf
+        "  batch: %d requests in %d round-trip(s); fleet batch: %d \
+         round-trip(s), %d spilled, %d shed retries\n%!"
+        n batch_round_trips served.Client.b_round_trips
+        served.Client.b_spilled served.Client.b_shed_retries;
+      (* the protocol's reason to exist: the campaign must cost at least
+         5x fewer round-trips than one frame per request *)
+      if batch_round_trips * 5 > n then
+        failwith
+          (Printf.sprintf
+             "batch pass took %d round-trips for %d requests — less than \
+              the required 5x reduction"
+             batch_round_trips n);
+      if served.Client.b_round_trips * 5 > n then
+        failwith
+          (Printf.sprintf
+             "fleet batch took %d round-trips for %d requests — less than \
+              the required 5x reduction"
+             served.Client.b_round_trips n);
+      let passes = [ cold; warm; batch; restart; fleet_cold; fleet_batch ] in
       (match save_baseline_to with
       | Some path -> save_baseline path passes
       | None -> ());
@@ -262,7 +422,7 @@ let run ?(out = default_out) ?(baseline = default_baseline)
           ( h2.Proto.h_store_loaded,
             counter h2 "store_hits",
             counter h2 "worker_starts" )
-        passes)
+        ~n_requests:n ~batch_round_trips ~fleet:served ~shard_healths passes)
 
 let main args =
   let out = ref default_out in

@@ -732,6 +732,13 @@ let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ]
          ~doc:"Suppress the lifecycle log on stderr.")
 
+let max_queue_arg =
+  Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Admission high-water mark per daemon: once this many \
+               accepted requests are queued or running, new work is shed \
+               with a typed overloaded error carrying retry advice, \
+               instead of growing the queue without bound.")
+
 let serve_checks ~cmd workers cache timeout retries =
   if workers < 1 then die ~cmd "--workers must be at least 1";
   if cache < 1 then die ~cmd "--cache must be at least 1";
@@ -742,17 +749,19 @@ let serve_checks ~cmd workers cache timeout retries =
 
 let serve_cmd =
   let cmd = "serve" in
-  let run socket workers cache timeout retries seed store quiet =
+  let run socket workers cache timeout retries seed store max_queue quiet =
     protect ~cmd (fun () ->
         serve_checks ~cmd workers cache timeout retries;
+        if max_queue < 1 then die ~cmd "--max-queue must be at least 1";
         let on_log =
           if quiet then ignore
           else fun line -> Printf.eprintf "flexl0 serve: %s\n%!" line
         in
         Server.run
           {
-            Server.socket; workers; cache_capacity = cache; timeout; retries;
-            seed; store; generation = 0; on_log;
+            (Server.default ~socket) with
+            Server.workers; cache_capacity = cache; timeout; retries;
+            seed; store; max_queue; on_log;
           })
   in
   let store =
@@ -766,20 +775,26 @@ let serve_cmd =
     (Cmd.info cmd
        ~doc:"Run the compile/simulate daemon: a Unix-domain-socket service \
              with a content-addressed schedule cache in front of a \
-             supervised worker pool. SIGTERM drains gracefully: in-flight \
-             requests finish, new connections are refused.")
+             supervised worker pool. Batched requests stream their items \
+             back as they complete; past the admission mark new work is \
+             shed with typed retry advice; slow and dead clients are shed \
+             on read/write deadlines, never stalling the loop. SIGTERM \
+             drains gracefully: in-flight requests finish, new connections \
+             are refused.")
     Term.(const run $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
-          $ retries_arg $ serve_seed_arg $ store $ quiet_arg)
+          $ retries_arg $ serve_seed_arg $ store $ max_queue_arg
+          $ quiet_arg)
 
 let fleet_cmd =
   let cmd = "fleet" in
-  let run socket shards store workers cache timeout retries seed
+  let run socket shards store workers cache timeout retries seed max_queue
       restart_budget quiet =
     protect ~cmd (fun () ->
         if shards < 1 then die ~cmd "--shards must be at least 1";
         if restart_budget < 0 then
           die ~cmd "--restart-budget must not be negative";
         serve_checks ~cmd workers cache timeout retries;
+        if max_queue < 1 then die ~cmd "--max-queue must be at least 1";
         let on_log =
           if quiet then ignore
           else fun line -> Printf.eprintf "flexl0 fleet: %s\n%!" line
@@ -788,7 +803,7 @@ let fleet_cmd =
           {
             (Fleet.default ~prefix:socket ~shards) with
             Fleet.store_root = store; workers; cache_capacity = cache;
-            timeout; retries; seed; restart_budget; on_log;
+            timeout; retries; seed; max_queue; restart_budget; on_log;
           })
   in
   let shards =
@@ -817,14 +832,15 @@ let fleet_cmd =
              degradation past the restart budget, SIGTERM drains every \
              shard.")
     Term.(const run $ socket_arg $ shards $ store $ workers_arg $ cache_arg
-          $ timeout_arg $ retries_arg $ serve_seed_arg $ restart_budget
-          $ quiet_arg)
+          $ timeout_arg $ retries_arg $ serve_seed_arg $ max_queue_arg
+          $ restart_budget $ quiet_arg)
 
 let chaos_cmd =
   let cmd = "chaos" in
-  let run socket store shards benches systems seed quiet =
+  let run socket store shards benches systems seed overload quiet =
     protect ~cmd (fun () ->
-        if shards < 2 then die ~cmd "--shards must be at least 2";
+        if (not overload) && shards < 2 then
+          die ~cmd "--shards must be at least 2";
         let tmp_root = ref None in
         let store_root =
           match store with
@@ -860,6 +876,27 @@ let chaos_cmd =
               (if systems = [] then [ "l0"; "baseline" ] else systems);
           }
         in
+        if overload then begin
+          let v = Flexl0_serve.Chaos.overload cfg in
+          Printf.printf
+            "overload verdict: %s — %d/%d byte-identical, %d typed sheds \
+             retried, %d slow connections shed, %d kill -9, worst health \
+             probe %.2fs\n"
+            (if Flexl0_serve.Chaos.overload_passed v then "PASS" else "FAIL")
+            v.Flexl0_serve.Chaos.v_matches v.Flexl0_serve.Chaos.v_requests
+            v.Flexl0_serve.Chaos.v_shed v.Flexl0_serve.Chaos.v_slow_conns
+            v.Flexl0_serve.Chaos.v_kills v.Flexl0_serve.Chaos.v_max_stall_s;
+          List.iter
+            (fun msg -> Printf.eprintf "flexl0 chaos: FAIL: %s\n" msg)
+            v.Flexl0_serve.Chaos.v_failures;
+          (match !tmp_root with
+          | Some dir when Flexl0_serve.Chaos.overload_passed v ->
+            ignore
+              (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+          | _ -> ());
+          if not (Flexl0_serve.Chaos.overload_passed v) then exit 1
+        end
+        else begin
         let o = Flexl0_serve.Chaos.run cfg in
         Printf.printf
           "chaos verdict: %s — %d/%d byte-identical, %d kill -9, %d store \
@@ -880,7 +917,18 @@ let chaos_cmd =
         | Some dir when Flexl0_serve.Chaos.passed o ->
           ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
         | _ -> ());
-        if not (Flexl0_serve.Chaos.passed o) then exit 1)
+        if not (Flexl0_serve.Chaos.passed o) then exit 1
+        end)
+  in
+  let overload =
+    Arg.(value & flag & info [ "overload" ]
+           ~doc:"Run the overload pass instead of the failover pass: flood \
+                 one deliberately tiny daemon with the whole campaign as a \
+                 batch, hold slow-loris connections open, kill -9 a client \
+                 mid-batch — and fail unless shed requests come back as \
+                 typed overloaded errors (retried to completion, \
+                 byte-identical), slow clients are shed on their deadlines, \
+                 and the daemon never stalls or crashes.")
   in
   let shards =
     Arg.(value & opt int 3 & info [ "n"; "shards" ] ~docv:"N"
@@ -907,52 +955,67 @@ let chaos_cmd =
              shards mid-campaign, flip bits in a persistent store, inject \
              corrupt frames on the wire — and fail unless every campaign \
              response stays byte-identical to the direct CLI and the killed \
-             shard comes back warm (store hits, zero worker forks). Exits 1 \
-             on any violation.")
+             shard comes back warm (store hits, zero worker forks). With \
+             --overload, attack one daemon with floods, slow lorises and a \
+             mid-batch kill -9 instead. Exits 1 on any violation.")
     Term.(const run $ socket_arg $ store $ shards $ benchmarks_arg
-          $ systems $ seed $ quiet_arg)
+          $ systems $ seed $ overload $ quiet_arg)
 
 let client_cmd =
   let cmd = "client" in
-  let run socket action bench loop_name system max_cycles seed cases mode
-      shards deadline sweeps =
+  let run socket action benches loop_name system max_cycles seed cases mode
+      shards deadline sweeps batch =
     protect ~cmd (fun () ->
         if shards < 1 then die ~cmd "--shards must be at least 1";
         if sweeps < 1 then die ~cmd "--sweeps must be at least 1";
         (match deadline with
         | Some d when d <= 0.0 -> die ~cmd "--deadline must be positive"
         | _ -> ());
+        (* a daemon that sheds this client mid-exchange must surface as a
+           typed error, not kill the process *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         let spec () = resolve_spec ~cmd system in
-        let need_bench () =
-          match bench with
-          | Some b -> b
-          | None -> die ~cmd "%s needs --bench NAME" action
+        let bench_list () =
+          match benches with
+          | _ :: _ -> benches
+          | [] ->
+            if batch && action = "cell" then
+              (* the batch sweet spot: every Mediabench cell in one
+                 round-trip *)
+              Mediabench.names
+            else die ~cmd "%s needs --bench NAME" action
         in
         let requests =
           match action with
           | "health" -> [ Proto.Health ]
           | "cell" ->
-            [ Proto.Cell { spec = spec (); bench = need_bench (); max_cycles } ]
-          | "compile" ->
-            let b = find_benchmark ~cmd (need_bench ()) in
-            let loops =
-              match loop_name with
-              | None -> b.Mediabench.loops
-              | Some name -> (
-                match
-                  List.find_opt
-                    (fun { Mediabench.loop; _ } ->
-                      loop.Flexl0_ir.Loop.name = name)
-                    b.Mediabench.loops
-                with
-                | Some wl -> [ wl ]
-                | None ->
-                  die ~cmd "unknown loop %S in %s" name b.Mediabench.bname)
-            in
             List.map
-              (fun { Mediabench.loop; repeat = _ } ->
-                Proto.Compile { spec = spec (); loop })
-              loops
+              (fun bench -> Proto.Cell { spec = spec (); bench; max_cycles })
+              (bench_list ())
+          | "compile" ->
+            List.concat_map
+              (fun bench_name ->
+                let b = find_benchmark ~cmd bench_name in
+                let loops =
+                  match loop_name with
+                  | None -> b.Mediabench.loops
+                  | Some name -> (
+                    match
+                      List.find_opt
+                        (fun { Mediabench.loop; _ } ->
+                          loop.Flexl0_ir.Loop.name = name)
+                        b.Mediabench.loops
+                    with
+                    | Some wl -> [ wl ]
+                    | None ->
+                      die ~cmd "unknown loop %S in %s" name
+                        b.Mediabench.bname)
+                in
+                List.map
+                  (fun { Mediabench.loop; repeat = _ } ->
+                    Proto.Compile { spec = spec (); loop })
+                  loops)
+              (bench_list ())
           | "fuzz" ->
             let sanitizer =
               match Sanitizer.mode_of_string mode with
@@ -965,7 +1028,42 @@ let client_cmd =
           | a ->
             die ~cmd "unknown action %S (want health|compile|cell|fuzz)" a
         in
-        if shards = 1 then
+        if batch then
+          (* one pipelined round-trip per shard; items stream back out of
+             order and are printed in request order *)
+          if shards = 1 then begin
+            let deadline =
+              Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+            in
+            match Client.request_batch ?deadline ~socket requests with
+            | Ok responses ->
+              Printf.eprintf "flexl0 %s: %d item(s) in 1 batch round-trip\n%!"
+                cmd (Array.length responses);
+              Array.iter (print_response ~cmd) responses
+            | Error msg -> die ~cmd "%s" msg
+          end
+          else begin
+            let fl =
+              let base =
+                Client.fleet
+                  ~sockets:
+                    (Array.init shards (Fleet.socket_path ~prefix:socket))
+              in
+              { base with Client.f_sweeps = sweeps; f_deadline = deadline }
+            in
+            match Client.request_fleet_batch fl requests with
+            | Ok served ->
+              Printf.eprintf
+                "flexl0 %s: %d item(s) in %d batch round-trip(s), %d served \
+                 by fallback replicas, %d shed-and-retried\n%!"
+                cmd
+                (Array.length served.Client.b_results)
+                served.Client.b_round_trips served.Client.b_spilled
+                served.Client.b_shed_retries;
+              Array.iter (print_response ~cmd) served.Client.b_results
+            | Error err -> die ~cmd "%s" (Errors.to_string err)
+          end
+        else if shards = 1 then
           List.iter
             (fun req ->
               let deadline =
@@ -1002,8 +1100,10 @@ let client_cmd =
            ~doc:"health, compile, cell or fuzz.")
   in
   let bench =
-    Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME"
-           ~doc:"Benchmark for compile and cell requests.")
+    Arg.(value & opt_all string [] & info [ "b"; "bench" ] ~docv:"NAME"
+           ~doc:"Benchmark for compile and cell requests (repeatable). \
+                 With --batch and no --bench, a cell request covers every \
+                 Mediabench suite.")
   in
   let loop_name =
     Arg.(value & opt (some string) None & info [ "loop" ] ~docv:"NAME"
@@ -1039,14 +1139,23 @@ let client_cmd =
            ~doc:"Fleet mode: passes over the replica ring, with backoff \
                  in between, before giving up with a shard-down error.")
   in
+  let batch =
+    Arg.(value & flag & info [ "batch" ]
+           ~doc:"Send every request as one pipelined batch (one per shard \
+                 in fleet mode) instead of one round-trip each: the daemon \
+                 streams items back as they complete, out of order, and \
+                 they print in request order. Typed overload sheds are \
+                 retried automatically after the advised delay.")
+  in
   Cmd.v
     (Cmd.info cmd
-       ~doc:"Send one typed request to a running daemon — or, with \
-             --shards N, to a fault-tolerant fleet — and print the \
-             response — byte-identical to the matching direct subcommand")
+       ~doc:"Send one typed request — or, with --batch, a whole pipelined \
+             campaign — to a running daemon or, with --shards N, to a \
+             fault-tolerant fleet, and print the response — byte-identical \
+             to the matching direct subcommand")
     Term.(const run $ socket_arg $ action $ bench $ loop_name $ system_arg
           $ max_cycles_arg $ seed $ cases $ mode $ shards $ deadline
-          $ sweeps)
+          $ sweeps $ batch)
 
 let () =
   let info =

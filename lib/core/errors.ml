@@ -11,6 +11,7 @@ type t =
   | Protocol_error of string
   | Shard_down of { shard : int; attempts : int; reason : string }
   | Shard_degraded of { shard : int; restarts : int; reason : string }
+  | Overloaded of { retry_after : float }
 
 let of_infeasible inf = Schedule_infeasible inf
 let of_watchdog wd = Watchdog_timeout wd
@@ -45,3 +46,7 @@ let to_string = function
       shard restarts
       (if restarts = 1 then "" else "s")
       reason
+  | Overloaded { retry_after } ->
+    Printf.sprintf
+      "overloaded: request shed by admission control, retry after %.1fs"
+      retry_after

@@ -37,6 +37,12 @@ type t =
           past its retry budget; its keyspace spills to neighboring
           shards (clients keep succeeding, warm hits for its keys are
           lost) *)
+  | Overloaded of { retry_after : float }
+      (** the daemon's admission queue passed its high-water mark and
+          this request (or batch item) was shed instead of accepted —
+          bounded memory under overload, never silent queue growth. The
+          client should retry after [retry_after] seconds; the fleet
+          client honors it automatically. *)
 
 val of_infeasible : Flexl0_sched.Engine.infeasible -> t
 val of_watchdog : Flexl0_sim.Exec.watchdog -> t

@@ -174,6 +174,12 @@ let wait_generation cfg i ~at_least =
 let run cfg =
   if cfg.shards < 2 then
     invalid_arg "Chaos.run: chaos needs at least 2 shards to fail over";
+  (* shards under kill -9 can vanish mid-exchange: the write must come
+     back as EPIPE, not kill the harness *)
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe previous_pipe)
+  @@ fun () ->
   let reqs = requests cfg in
   let n = List.length reqs in
   cfg.on_log
@@ -373,4 +379,292 @@ let run cfg =
             fallback replicas)"
            o.o_matches o.o_requests o.o_kills o.o_store_flips
            o.o_wire_corruptions o.o_spilled);
+      o)
+
+(* ---- the overload pass -------------------------------------------- *)
+
+type overload_outcome = {
+  v_requests : int;
+  v_matches : int;
+  v_shed : int;
+  v_slow_conns : int;
+  v_kills : int;
+  v_max_stall_s : float;
+  v_failures : string list;
+}
+
+let overload_passed o =
+  o.v_failures = [] && o.v_matches = o.v_requests && o.v_shed > 0
+
+let overload cfg =
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe previous_pipe)
+  @@ fun () ->
+  let socket = cfg.prefix ^ ".overload" in
+  let reqs = Array.of_list (requests cfg) in
+  let n = Array.length reqs in
+  cfg.on_log
+    (Printf.sprintf
+       "overload: %d-item campaign against one tiny daemon (admission mark \
+        4), plus slow lorises and a kill -9 mid-batch"
+       n);
+  (* ground truth first, as in the failover pass *)
+  let expected = Array.map Proto.handle reqs in
+  (* a deliberately tiny daemon: overload must actually happen. The
+     small SO_SNDBUF makes write backpressure reachable, the short
+     deadlines keep the pass time-boxed. *)
+  let write_deadline = 2.0 in
+  let scfg =
+    {
+      (Server.default ~socket) with
+      Server.workers = 2;
+      cache_capacity = 64;
+      max_queue = 4;
+      retry_after = 0.2;
+      read_deadline = 1.0;
+      write_deadline;
+      sndbuf = Some 4096;
+      on_log = (fun line -> cfg.on_log ("daemon: " ^ line));
+    }
+  in
+  let daemon_pid =
+    match Unix.fork () with
+    | 0 ->
+      List.iter
+        (fun s -> Sys.set_signal s Sys.Signal_default)
+        [ Sys.sigterm; Sys.sigint ];
+      (try Server.run scfg
+       with e ->
+         Printf.eprintf "overload daemon: fatal: %s\n%!" (Printexc.to_string e);
+         Stdlib.exit 1);
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill daemon_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] daemon_pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      if not (Client.wait_ready ~socket ~attempts:200 ()) then
+        failwith "overload: daemon never became ready";
+      let failures = ref [] in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            cfg.on_log ("overload: FAIL: " ^ msg);
+            failures := msg :: !failures)
+          fmt
+      in
+      (* --- attack 1: slow lorises ----------------------------------- *)
+      (* each holds a connection with one byte of a valid frame and
+         never finishes; the read deadline must shed every one with a
+         typed error instead of letting them camp in the select loop *)
+      let n_lorises = 4 in
+      let lorises =
+        List.filter_map
+          (fun _ ->
+            match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+            | exception Unix.Unix_error _ -> None
+            | fd -> (
+              match Unix.connect fd (Unix.ADDR_UNIX socket) with
+              | exception Unix.Unix_error _ ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                None
+              | () ->
+                let byte = String.sub (Proto.encode_request Proto.Health) 0 1 in
+                (try ignore (Unix.write_substring fd byte 0 1)
+                 with Unix.Unix_error _ -> ());
+                Some fd))
+          (List.init n_lorises Fun.id)
+      in
+      if List.length lorises < n_lorises then
+        fail "only %d of %d slow-loris connections opened"
+          (List.length lorises) n_lorises;
+      (* --- attack 2: a client killed -9 mid-batch -------------------- *)
+      (* it sends a batch of ballast work, never reads, and dies -9 with
+         its responses still owed: the daemon must see EPIPE and drop the
+         conn, not crash or stall. The ballast is deliberately disjoint
+         from the campaign (colliding keys are filtered out) so the dead
+         client cannot warm the campaign's cache — the flood below must
+         find a cold daemon for its sheds to be deterministic. *)
+      let ballast =
+        let campaign_keys =
+          List.filter_map Proto.cache_key (Array.to_list reqs)
+        in
+        List.filter
+          (fun r ->
+            match Proto.cache_key r with
+            | Some k -> not (List.mem k campaign_keys)
+            | None -> false)
+          (List.concat_map
+             (fun bench ->
+               List.filter_map
+                 (fun name ->
+                   match Proto.spec_of_string name with
+                   | Ok spec ->
+                     Some (Proto.Cell { spec; bench; max_cycles = None })
+                   | Error _ -> None)
+                 [ "l0-16"; "interleaved2" ])
+             [ "jpegdec"; "epicdec"; "rasta" ])
+      in
+      let victim_pid =
+        match Unix.fork () with
+        | 0 ->
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          (try
+             match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+             | exception Unix.Unix_error _ -> ()
+             | fd -> (
+               match Unix.connect fd (Unix.ADDR_UNIX socket) with
+               | exception Unix.Unix_error _ -> ()
+               | () ->
+                 Proto.write_all fd
+                   (Proto.encode_request (Proto.batch ballast));
+                 Unix.sleep 600)
+           with _ -> ());
+          Stdlib.exit 0
+        | pid -> pid
+      in
+      Unix.sleepf 0.3;
+      (try Unix.kill victim_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] victim_pid) with Unix.Unix_error _ -> ());
+      cfg.on_log "overload: killed -9 a client mid-batch";
+      (* --- attack 2b: a client that vanishes before its response ----- *)
+      (* one uncached request, then an immediate close: whenever the
+         daemon gets around to answering — it has to fork and compute
+         first — the write must EPIPE into a typed connection drop, the
+         trace the final health check demands *)
+      (match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> fail "vanishing client: no socket"
+      | fd -> (
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          fail "vanishing client could not connect"
+        | () ->
+          (try
+             Proto.write_all fd
+               (Proto.encode_request
+                  (Proto.Fuzz_batch
+                     {
+                       seed = 424242;
+                       cases = 2;
+                       sanitizer = Flexl0_mem.Sanitizer.Off;
+                     }))
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())));
+      (* --- attack 3: flood, then retry what was shed ----------------- *)
+      let results = Array.make n None in
+      let shed = ref 0 in
+      let max_stall = ref 0.0 in
+      let stall_budget = write_deadline +. 5.0 in
+      let probe_stall () =
+        (* a health probe must stay answerable mid-storm: its latency is
+           the direct measure of "the daemon never stalls on one slow
+           client" *)
+        let t0 = Unix.gettimeofday () in
+        (match
+           Client.request_deadline
+             ~deadline:(t0 +. stall_budget) ~socket Proto.Health
+         with
+        | Ok (Proto.Health_report _) -> ()
+        | Ok _ -> fail "health probe got a non-health response"
+        | Error msg -> fail "health probe failed mid-storm: %s" msg);
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt > !max_stall then max_stall := dt
+      in
+      let rec rounds attempt pending =
+        if pending <> [] then
+          if attempt > 100 then
+            fail "shed-then-retry did not converge: %d items still pending"
+              (List.length pending)
+          else begin
+            let deadline = Unix.gettimeofday () +. 120.0 in
+            match
+              Client.request_batch ~deadline ~socket
+                (List.map (fun i -> reqs.(i)) pending)
+            with
+            | Error msg ->
+              fail "batch round %d failed: %s" attempt msg
+            | Ok arr ->
+              let again = ref [] in
+              let wait = ref 0.0 in
+              List.iteri
+                (fun k i ->
+                  match arr.(k) with
+                  | Proto.Failed (Errors.Overloaded { retry_after }) ->
+                    incr shed;
+                    if retry_after > !wait then wait := retry_after;
+                    again := i :: !again
+                  | resp -> results.(i) <- Some resp)
+                pending;
+              probe_stall ();
+              if !again <> [] then Unix.sleepf !wait;
+              rounds (attempt + 1) (List.rev !again)
+          end
+      in
+      rounds 1 (List.init n Fun.id);
+      let matches = ref 0 in
+      Array.iteri
+        (fun i got ->
+          match got with
+          | Some resp when resp = expected.(i) -> incr matches
+          | Some _ ->
+            fail "item %d (%s) diverged from the direct path" i
+              (Proto.request_label reqs.(i))
+          | None ->
+            fail "item %d (%s) was never answered" i
+              (Proto.request_label reqs.(i)))
+        results;
+      if !shed = 0 then
+        fail
+          "admission control never shed: the flood did not overload a \
+           4-deep queue";
+      (* --- verify the lorises were shed with typed errors ------------ *)
+      List.iter
+        (fun fd ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO (stall_budget +. 2.0);
+          (match Result.bind (Proto.read_frame fd) Proto.decode_response with
+          | Ok (Proto.Failed (Errors.Protocol_error _)) -> ()
+          | Ok _ -> fail "a slow loris got a non-protocol-error response"
+          | Error msg -> fail "a slow loris read no typed shed: %s" msg);
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        lorises;
+      (* --- final health: the daemon survived and accounted the storm - *)
+      let slow_conns, dropped =
+        match
+          Client.request_deadline
+            ~deadline:(Unix.gettimeofday () +. stall_budget) ~socket
+            Proto.Health
+        with
+        | Ok (Proto.Health_report h) ->
+          if h.Proto.h_shed_overload = 0 then
+            fail "daemon health reports no overload sheds";
+          (h.Proto.h_shed_slow, counter h "conns_dropped")
+        | Ok _ | Error _ ->
+          fail "daemon unreachable after the storm";
+          (0, 0)
+      in
+      if slow_conns < List.length lorises then
+        fail "daemon shed %d slow connections, expected at least %d"
+          slow_conns (List.length lorises);
+      if dropped = 0 then
+        fail "the kill -9 mid-batch left no dropped-connection trace";
+      let o =
+        {
+          v_requests = n;
+          v_matches = !matches;
+          v_shed = !shed;
+          v_slow_conns = slow_conns;
+          v_kills = 1;
+          v_max_stall_s = !max_stall;
+          v_failures = List.rev !failures;
+        }
+      in
+      cfg.on_log
+        (Printf.sprintf
+           "overload: %d/%d responses byte-identical after %d typed sheds \
+            (%d slow connections shed, worst mid-storm health probe %.2fs)"
+           o.v_matches o.v_requests o.v_shed o.v_slow_conns o.v_max_stall_s);
       o)

@@ -57,3 +57,41 @@ val run : config -> outcome
     raises [Invalid_argument] on a malformed config (fewer than 2
     shards, unknown benchmark or system) and [Failure] when the fleet
     cannot be booted at all. *)
+
+(** {1 The overload pass}
+
+    {!overload} attacks a single deliberately tiny daemon (2 workers,
+    admission mark 4, 1s read / 2s write deadlines, 4 KiB [SO_SNDBUF])
+    with the overload failure family: slow-loris connections that never
+    finish their request frame, a client killed -9 mid-batch with the
+    responses to its ballast work still owed (the ballast's cache keys
+    are disjoint from the campaign's, so the dead client never warms
+    the cache the flood is about to miss), and a flood — the whole
+    campaign as one batch against a 4-deep admission queue, retrying
+    typed [Errors.Overloaded] sheds after the advised delay until every
+    item completes. A campaign larger than the admission mark therefore
+    sheds deterministically. Between rounds a health probe measures the worst-case
+    daemon stall. The pass demands: every completed item byte-identical
+    to the direct path, every loris shed with a typed error, the kill
+    leaving a dropped-connection trace (never a crash), shedding
+    actually observed, and no probe blocked past the write deadline
+    plus slack. *)
+
+type overload_outcome = {
+  v_requests : int;
+  v_matches : int;  (** responses byte-identical to the direct path *)
+  v_shed : int;  (** typed [Overloaded] sheds that were then retried *)
+  v_slow_conns : int;  (** connections the daemon shed as slow/wedged *)
+  v_kills : int;  (** clients killed -9 mid-batch *)
+  v_max_stall_s : float;  (** worst mid-storm health-probe latency *)
+  v_failures : string list;  (** empty iff the pass passed *)
+}
+
+val overload_passed : overload_outcome -> bool
+(** No failures, every item matched, and shedding was observed — an
+    overload pass that never sheds proves nothing. *)
+
+val overload : config -> overload_outcome
+(** Uses the config's campaign (benches x systems) and [prefix] for the
+    daemon socket; [shards]/[store_root] are not used. Never raises on
+    an injected failure; [Failure] when the daemon cannot be booted. *)

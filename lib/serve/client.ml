@@ -1,8 +1,15 @@
 module Errors = Flexl0.Errors
 module Runner = Flexl0.Runner
 module Rng = Flexl0_util.Rng
+module Frame = Flexl0_util.Frame
 
 (* ---- one exchange with one daemon --------------------------------- *)
+
+let rec connect_retry fd addr =
+  match Unix.connect fd addr with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> connect_retry fd addr
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
 (* [deadline] is absolute. Socket send/receive timeouts are set to the
    remaining budget, so a shard that accepts the connection and then
@@ -26,16 +33,18 @@ let request_deadline ?deadline ~socket req =
             Unix.setsockopt_float fd Unix.SO_RCVTIMEO remaining;
             Unix.setsockopt_float fd Unix.SO_SNDTIMEO remaining
           | None -> ());
-          match Unix.connect fd (Unix.ADDR_UNIX socket) with
-          | exception Unix.Unix_error (e, _, _) ->
+          match connect_retry fd (Unix.ADDR_UNIX socket) with
+          | Error msg ->
             Error
-              (Printf.sprintf "cannot reach daemon at %s: %s" socket
-                 (Unix.error_message e))
-          | () -> (
+              (Printf.sprintf "cannot reach daemon at %s: %s" socket msg)
+          | Ok () -> (
             match Proto.write_all fd (Proto.encode_request req) with
             | exception
                 Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
               expired ()
+            | exception
+                Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+              Error "daemon closed the connection while sending (shed?)"
             | exception Unix.Unix_error (e, _, _) ->
               Error (Printf.sprintf "send: %s" (Unix.error_message e))
             | () -> (
@@ -60,6 +69,117 @@ let wait_ready ~socket ?(attempts = 100) ?(interval = 0.05) () =
       go (n - 1)
   in
   go attempts
+
+(* ---- batch streams ------------------------------------------------ *)
+
+(* Reassemble one batch response stream: item frames land by index (any
+   order), a plain response frame is a batch-level failure fanned out to
+   every still-unanswered slot, EOF before the count is met is an
+   error. *)
+let read_batch_responses fd ~count =
+  if count < 0 then invalid_arg "Client.read_batch_responses: negative count";
+  let results = Array.make (max count 1) None in
+  let answered = ref 0 in
+  let buf = Buffer.create 4096 in
+  let pos = ref 0 in
+  let chunk = Bytes.create 65536 in
+  let place it =
+    let i = Proto.item_index it in
+    if i < 0 || i >= count then
+      Error
+        (Printf.sprintf "batch item index %d out of range (batch of %d)" i
+           count)
+    else if Option.is_some results.(i) then
+      Error (Printf.sprintf "duplicate response for batch item %d" i)
+    else
+      Result.map
+        (fun resp ->
+          results.(i) <- Some resp;
+          incr answered)
+        (Proto.item_response it)
+  in
+  let fan_out resp =
+    for i = 0 to count - 1 do
+      if Option.is_none results.(i) then begin
+        results.(i) <- Some resp;
+        incr answered
+      end
+    done
+  in
+  let rec drain () =
+    if !answered >= count then Ok ()
+    else
+      match Frame.check (Buffer.contents buf) ~pos:!pos with
+      | Frame.Partial -> read_more ()
+      | Frame.Corrupt msg -> Error msg
+      | Frame.Frame (payload, next) ->
+        pos := next;
+        if Proto.is_item_payload payload then
+          match Result.bind (Proto.decode_item payload) place with
+          | Ok () -> drain ()
+          | Error msg -> Error msg
+        else (
+          (* batch-level failure: one plain frame answers everyone *)
+          match Proto.decode_response payload with
+          | Ok resp ->
+            fan_out resp;
+            Ok ()
+          | Error msg -> Error msg)
+  and read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_more ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "batch deadline expired while reading the stream"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "receive: %s" (Unix.error_message e))
+    | 0 ->
+      Error
+        (Printf.sprintf
+           "daemon closed the batch stream with %d of %d items unanswered"
+           (count - !answered) count)
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  Result.map
+    (fun () -> Array.init count (fun i -> Option.get results.(i)))
+    (drain ())
+
+let request_batch ?deadline ~socket items =
+  let count = List.length items in
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match deadline with
+        | Some d when d -. Unix.gettimeofday () <= 0.0 ->
+          Error "batch deadline expired"
+        | _ -> (
+          (match deadline with
+          | Some d ->
+            let remaining = d -. Unix.gettimeofday () in
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO remaining;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO remaining
+          | None -> ());
+          match connect_retry fd (Unix.ADDR_UNIX socket) with
+          | Error msg ->
+            Error (Printf.sprintf "cannot reach daemon at %s: %s" socket msg)
+          | Ok () -> (
+            match
+              Proto.write_all fd (Proto.encode_request (Proto.batch items))
+            with
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              Error "batch deadline expired while sending"
+            | exception
+                Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+              Error "daemon closed the connection while sending (shed?)"
+            | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "send: %s" (Unix.error_message e))
+            | () -> read_batch_responses fd ~count)))
 
 (* ---- fleet routing ------------------------------------------------ *)
 
@@ -133,7 +253,7 @@ let request_fleet fl req =
   (* one sweep walks the whole replica ring in rank order; a down
      primary is a spill to its neighbor, not an error *)
   let try_sweep () =
-    let rec go = function
+    let rec go retried_shed = function
       | [] -> None
       | shard :: rest ->
         if out_of_time () then begin
@@ -145,6 +265,20 @@ let request_fleet fl req =
           match
             request_deadline ?deadline ~socket:fl.f_sockets.(shard) req
           with
+          | Ok (Proto.Failed (Errors.Overloaded { retry_after })) ->
+            (* a typed shed is the shard asking for patience, not a
+               down shard: honor the hint and retry it once before
+               spilling to the next replica *)
+            last_err :=
+              Printf.sprintf "shard %d: shed by admission control" shard;
+            Unix.sleepf
+              (match deadline with
+              | Some d ->
+                Float.min retry_after
+                  (Float.max 0.0 (d -. Unix.gettimeofday ()))
+              | None -> retry_after);
+            if retried_shed then go false rest
+            else go true (shard :: rest)
           | Ok resp ->
             Some
               {
@@ -155,10 +289,10 @@ let request_fleet fl req =
               }
           | Error msg ->
             last_err := Printf.sprintf "shard %d: %s" shard msg;
-            go rest
+            go false rest
         end
     in
-    go order
+    go false order
   in
   let rec sweeps sweep =
     match try_sweep () with
@@ -192,3 +326,346 @@ let request_fleet fl req =
       end
   in
   sweeps 1
+
+(* ---- pipelined fleet batches -------------------------------------- *)
+
+type batch_served = {
+  b_results : Proto.response array;
+  b_round_trips : int;
+  b_spilled : int;
+  b_shed_retries : int;
+}
+
+(* Per-item routing state across rounds. *)
+type item_state = {
+  i_req : Proto.request;
+  i_order : int array;  (* replica ranking, head = home shard *)
+  mutable i_pos : int;  (* current position in [i_order] *)
+  mutable i_tries : int;
+  mutable i_overloads : int;  (* consecutive sheds on the current shard *)
+  mutable i_result : Proto.response option;
+  mutable i_spilled : bool;
+}
+
+(* One in-flight per-shard sub-batch during a round's read phase. *)
+type live = {
+  l_fd : Unix.file_descr;
+  l_shard : int;
+  l_buf : Buffer.t;
+  mutable l_pos : int;
+  l_globals : int array;  (* local item index -> index into states *)
+  l_done : bool array;
+  mutable l_remaining : int;
+  mutable l_closed : bool;
+}
+
+let request_fleet_batch fl items =
+  let n = Array.length fl.f_sockets in
+  if n < 1 then invalid_arg "Client.request_fleet_batch: empty socket list";
+  if fl.f_sweeps < 1 then
+    invalid_arg "Client.request_fleet_batch: need at least one sweep";
+  let states =
+    Array.of_list
+      (List.map
+         (fun req ->
+           {
+             i_req = req;
+             i_order = Array.of_list (rank ~shards:n (route_key req));
+             i_pos = 0;
+             i_tries = 0;
+             i_overloads = 0;
+             i_result = None;
+             i_spilled = false;
+           })
+         items)
+  in
+  let count = Array.length states in
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. d) fl.f_deadline
+  in
+  let remaining () =
+    match deadline with
+    | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+    | None -> Float.infinity
+  in
+  let out_of_time () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false
+  in
+  let max_tries = n * fl.f_sweeps in
+  let round_trips = ref 0 in
+  let shed_retries = ref 0 in
+  let last_err = ref "no shard attempted" in
+  let retry_at = ref 0.0 in
+  (* the shard failed this item (down, dropped us, garbled stream):
+     spill to the next replica in its own ranking *)
+  let fail_over st msg =
+    st.i_tries <- st.i_tries + 1;
+    st.i_overloads <- 0;
+    st.i_pos <- (st.i_pos + 1) mod n;
+    last_err := msg
+  in
+  (* the shard shed this item with a typed retry hint: wait it out and
+     retry the same shard once — a second consecutive shed spills *)
+  let shed st after =
+    incr shed_retries;
+    st.i_tries <- st.i_tries + 1;
+    st.i_overloads <- st.i_overloads + 1;
+    if st.i_overloads >= 2 then begin
+      st.i_overloads <- 0;
+      st.i_pos <- (st.i_pos + 1) mod n
+    end;
+    retry_at := Float.max !retry_at (Unix.gettimeofday () +. after);
+    last_err := "shed by admission control"
+  in
+  let settle st shard resp =
+    st.i_result <- Some resp;
+    st.i_spilled <- shard <> st.i_order.(0)
+  in
+  let conn_fail l msg =
+    if not l.l_closed then begin
+      l.l_closed <- true;
+      (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+      Array.iteri
+        (fun li g ->
+          if not l.l_done.(li) then
+            fail_over states.(g) (Printf.sprintf "shard %d: %s" l.l_shard msg))
+        l.l_globals
+    end
+  in
+  let close_live l =
+    if not l.l_closed then begin
+      l.l_closed <- true;
+      try Unix.close l.l_fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let rec drain l =
+    if (not l.l_closed) && l.l_remaining > 0 then
+      match Frame.check (Buffer.contents l.l_buf) ~pos:l.l_pos with
+      | Frame.Partial -> ()
+      | Frame.Corrupt msg -> conn_fail l msg
+      | Frame.Frame (payload, next) ->
+        l.l_pos <- next;
+        if Proto.is_item_payload payload then (
+          match Proto.decode_item payload with
+          | Error msg -> conn_fail l msg
+          | Ok it ->
+            let li = Proto.item_index it in
+            if li < 0 || li >= Array.length l.l_globals || l.l_done.(li) then
+              conn_fail l "bad item index in batch stream"
+            else begin
+              l.l_done.(li) <- true;
+              l.l_remaining <- l.l_remaining - 1;
+              let st = states.(l.l_globals.(li)) in
+              (match it with
+              | Proto.Item_failed
+                  { error = Errors.Overloaded { retry_after }; _ } ->
+                shed st retry_after
+              | _ -> (
+                match Proto.item_response it with
+                | Ok resp -> settle st l.l_shard resp
+                | Error msg ->
+                  fail_over st (Printf.sprintf "shard %d: %s" l.l_shard msg)));
+              if l.l_remaining = 0 then close_live l;
+              drain l
+            end)
+        else
+          (* a plain response frame mid-batch is a batch-level failure:
+             every unanswered item of this sub-batch fails over *)
+          conn_fail l
+            (match Proto.decode_response payload with
+            | Ok (Proto.Failed e) -> Errors.to_string e
+            | Ok _ -> "unexpected non-item frame in batch stream"
+            | Error msg -> msg)
+  in
+  let handle_readable l =
+    let chunk = Bytes.create 65536 in
+    match Unix.read l.l_fd chunk 0 (Bytes.length chunk) with
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error (e, _, _) ->
+      conn_fail l (Unix.error_message e)
+    | 0 ->
+      if l.l_remaining > 0 then conn_fail l "daemon closed mid-stream"
+      else close_live l
+    | nread ->
+      Buffer.add_subbytes l.l_buf chunk 0 nread;
+      drain l
+  in
+  (* multiplexed read phase: every shard's stream drains as its items
+     complete — one busy shard never blocks reading the others *)
+  let rec read_round lives =
+    let open_lives = List.filter (fun l -> not l.l_closed) lives in
+    if open_lives <> [] then begin
+      if out_of_time () then
+        List.iter (fun l -> conn_fail l "batch deadline expired") open_lives
+      else begin
+        let timeout =
+          match deadline with Some _ -> remaining () | None -> -1.0
+        in
+        match
+          Unix.select (List.map (fun l -> l.l_fd) open_lives) [] [] timeout
+        with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_round lives
+        | [], _, _ ->
+          List.iter
+            (fun l -> conn_fail l "batch deadline expired")
+            open_lives
+        | ready, _, _ ->
+          List.iter
+            (fun l -> if List.mem l.l_fd ready then handle_readable l)
+            open_lives;
+          read_round lives
+      end
+    end
+  in
+  let send_group shard globals =
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Unix.error_message e)
+    | fd -> (
+      let fail msg =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error msg
+      in
+      (match deadline with
+      | Some _ -> (
+        try Unix.setsockopt_float fd Unix.SO_SNDTIMEO (remaining ())
+        with Unix.Unix_error _ -> ())
+      | None -> ());
+      match connect_retry fd (Unix.ADDR_UNIX fl.f_sockets.(shard)) with
+      | Error msg -> fail msg
+      | Ok () -> (
+        let reqs = List.map (fun g -> states.(g).i_req) (Array.to_list globals) in
+        match Proto.write_all fd (Proto.encode_request (Proto.batch reqs)) with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          fail "deadline expired while sending"
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          fail "connection closed while sending"
+        | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+        | () ->
+          incr round_trips;
+          Ok
+            {
+              l_fd = fd;
+              l_shard = shard;
+              l_buf = Buffer.create 4096;
+              l_pos = 0;
+              l_globals = globals;
+              l_done = Array.make (Array.length globals) false;
+              l_remaining = Array.length globals;
+              l_closed = false;
+            }))
+  in
+  let rec rounds round_no =
+    let pending = ref [] in
+    Array.iteri
+      (fun g st -> if Option.is_none st.i_result then pending := g :: !pending)
+      states;
+    let pending = List.rev !pending in
+    if pending = [] then
+      Ok
+        {
+          b_results = Array.map (fun st -> Option.get st.i_result) states;
+          b_round_trips = !round_trips;
+          b_spilled =
+            Array.fold_left
+              (fun acc st -> if st.i_spilled then acc + 1 else acc)
+              0 states;
+          b_shed_retries = !shed_retries;
+        }
+    else
+      match
+        List.find_opt (fun g -> states.(g).i_tries >= max_tries) pending
+      with
+      | Some g ->
+        let st = states.(g) in
+        Error
+          (Errors.Shard_down
+             {
+               shard = st.i_order.(0);
+               attempts = st.i_tries;
+               reason = !last_err;
+             })
+      | None ->
+        if out_of_time () then
+          let st = states.(List.hd pending) in
+          Error
+            (Errors.Shard_down
+               {
+                 shard = st.i_order.(0);
+                 attempts = st.i_tries;
+                 reason = "batch deadline expired";
+               })
+        else begin
+          let settled_before =
+            Array.fold_left
+              (fun acc st -> if Option.is_some st.i_result then acc + 1 else acc)
+              0 states
+          in
+          retry_at := 0.0;
+          (* group this round's items by their current shard and send
+             one pipelined sub-batch per shard *)
+          let groups = Hashtbl.create 8 in
+          List.iter
+            (fun g ->
+              let st = states.(g) in
+              let shard = st.i_order.(st.i_pos) in
+              Hashtbl.replace groups shard
+                (g :: (try Hashtbl.find groups shard with Not_found -> [])))
+            pending;
+          let lives =
+            Hashtbl.fold
+              (fun shard globals acc ->
+                let globals = Array.of_list (List.rev globals) in
+                match send_group shard globals with
+                | Ok live -> live :: acc
+                | Error msg ->
+                  Array.iter
+                    (fun g ->
+                      fail_over states.(g)
+                        (Printf.sprintf "shard %d: %s" shard msg))
+                    globals;
+                  acc)
+              groups []
+          in
+          read_round lives;
+          let settled_after =
+            Array.fold_left
+              (fun acc st -> if Option.is_some st.i_result then acc + 1 else acc)
+              0 states
+          in
+          let now = Unix.gettimeofday () in
+          if !retry_at > now then
+            (* at least one shard shed with a retry hint: honor it *)
+            Unix.sleepf (Float.min (!retry_at -. now) (remaining ()))
+          else if settled_after = settled_before then begin
+            (* a whole round of failures: the ring is down or
+               restarting — jittered backoff before sweeping again *)
+            let jitter =
+              Rng.float
+                (Rng.keyed ~seed:fl.f_seed (Printf.sprintf "batch#%d" round_no))
+                1.0
+            in
+            let delay =
+              Runner.backoff_delay ~base:fl.f_backoff_base
+                ~max_delay:fl.f_backoff_max ~jitter ~attempt:round_no
+            in
+            Unix.sleepf (Float.min delay (remaining ()))
+          end;
+          rounds (round_no + 1)
+        end
+  in
+  if count = 0 then
+    Ok
+      {
+        b_results = [||];
+        b_round_trips = 0;
+        b_spilled = 0;
+        b_shed_retries = 0;
+      }
+  else rounds 1

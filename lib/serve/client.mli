@@ -34,6 +34,28 @@ val wait_ready : socket:string -> ?attempts:int -> ?interval:float ->
     and scripts that just started one. Default: 100 attempts, 50ms
     apart. *)
 
+(** {1 Batches} *)
+
+val request_batch :
+  ?deadline:float ->
+  socket:string ->
+  Proto.request list -> (Proto.response array, string) result
+(** Send the whole list as one {!Proto.Batch} over one connection and
+    reassemble the streamed item frames; slot [i] of the result answers
+    item [i] no matter what order the daemon streamed them in. A
+    batch-level failure (one plain response frame) fans out to every
+    unanswered slot; per-item failures — including
+    [Failed (Overloaded _)] sheds — land in their own slot without
+    disturbing their siblings. [Error] only for transport-level
+    trouble: no daemon, corrupt stream, deadline expiry, or EOF before
+    every item was answered. *)
+
+val read_batch_responses :
+  Unix.file_descr -> count:int -> (Proto.response array, string) result
+(** The stream-reassembly half of {!request_batch}, reading a batch
+    response stream of [count] items from an already-connected socket —
+    exposed for tests that drive the wire format directly. *)
+
 (** {1 Fleet routing} *)
 
 val rank : shards:int -> string -> int list
@@ -71,7 +93,39 @@ val request_fleet :
 (** Route by {!rank} over the request's cache key (keyless requests
     hash their label), trying each replica in rank order; when the
     whole ring fails, back off and sweep again up to [f_sweeps] times
-    within the deadline. [Error (Shard_down _)] only when every replica
-    failed every sweep — one healthy shard anywhere in the ring is
-    enough for success. Raises [Invalid_argument] on an empty socket
-    array or a non-positive sweep count. *)
+    within the deadline. A typed [Overloaded] shed is honored: the
+    client sleeps the advised [retry_after] and retries the shedding
+    shard once before spilling to the next replica.
+    [Error (Shard_down _)] only when every replica failed every sweep —
+    one healthy shard anywhere in the ring is enough for success.
+    Raises [Invalid_argument] on an empty socket array or a
+    non-positive sweep count. *)
+
+(** A fleet batch response and what it cost. *)
+type batch_served = {
+  b_results : Proto.response array;  (** slot [i] answers item [i] *)
+  b_round_trips : int;
+      (** batch frames sent, across every shard and retry round — the
+          figure the serve bench compares against one round-trip per
+          item *)
+  b_spilled : int;
+      (** items answered by a replica other than their home shard *)
+  b_shed_retries : int;
+      (** items that were shed with [Overloaded] and retried after the
+          advised backoff *)
+}
+
+val request_fleet_batch :
+  fleet -> Proto.request list -> (batch_served, Flexl0.Errors.t) result
+(** The whole-campaign path: split the items by rendezvous home shard,
+    send one pipelined {!Proto.Batch} per shard, and reassemble the
+    streams with a multiplexed reader (one busy shard never blocks
+    draining the others). Items a shard sheds with [Overloaded] are
+    retried on the same shard after the advised delay (a second
+    consecutive shed spills to the next replica); items lost to a down
+    or garbled shard fail over along their own replica ranking, with
+    jittered backoff between whole-ring failures. [Error (Shard_down _)]
+    only when some item exhausted [f_sweeps] passes over every replica
+    or the deadline expired with items unanswered. Raises
+    [Invalid_argument] on an empty socket array or a non-positive sweep
+    count. *)

@@ -11,6 +11,7 @@ type config = {
   timeout : float option;
   retries : int;
   seed : int;
+  max_queue : int;
   restart_budget : int;
   flap_window : float;
   backoff_base : float;
@@ -30,6 +31,7 @@ let default ~prefix ~shards =
     timeout = None;
     retries = 2;
     seed = 0;
+    max_queue = 256;
     restart_budget = 5;
     flap_window = 60.0;
     backoff_base = 0.2;
@@ -74,13 +76,14 @@ let remove_file path = try Sys.remove path with Sys_error _ -> ()
 
 let server_config cfg (sh : shard) =
   {
-    Server.socket = socket_path ~prefix:cfg.prefix sh.s_id;
-    workers = cfg.workers;
+    (Server.default ~socket:(socket_path ~prefix:cfg.prefix sh.s_id)) with
+    Server.workers = cfg.workers;
     cache_capacity = cfg.cache_capacity;
     timeout = cfg.timeout;
     retries = cfg.retries;
     (* decorrelated jitter streams per shard *)
     seed = cfg.seed + (1000 * (sh.s_id + 1));
+    max_queue = cfg.max_queue;
     store =
       Option.map (fun root -> store_path ~root sh.s_id) cfg.store_root;
     generation = sh.s_generation;
@@ -181,6 +184,9 @@ let run cfg =
           Sys.signal signal (Sys.Signal_handle (fun _ -> draining := true)) ))
       [ Sys.sigterm; Sys.sigint ]
   in
+  (* a heartbeat written into a shard that dies mid-exchange must come
+     back as EPIPE, not kill the supervisor *)
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let shards =
     Array.init cfg.shards (fun i ->
         {
@@ -220,7 +226,8 @@ let run cfg =
   in
   Fun.protect
     ~finally:(fun () ->
-      List.iter (fun (s, h) -> Sys.set_signal s h) previous_handlers)
+      List.iter (fun (s, h) -> Sys.set_signal s h) previous_handlers;
+      Sys.set_signal Sys.sigpipe previous_pipe)
     (fun () ->
       while not !draining do
         let now = Unix.gettimeofday () in

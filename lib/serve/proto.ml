@@ -98,6 +98,10 @@ type request =
   | Cell of { spec : system_spec; bench : string; max_cycles : int option }
   | Fuzz_batch of { seed : int; cases : int; sanitizer : Sanitizer.mode }
   | Health
+  | Batch of { version : int; items : request list }
+
+let batch_version = 1
+let batch items = Batch { version = batch_version; items }
 
 type health = {
   h_pid : int;
@@ -111,6 +115,10 @@ type health = {
   h_store_entries : int;
   h_store_bytes : int;
   h_store_loaded : int;
+  h_shed_overload : int;
+  h_shed_slow : int;
+  h_cache_hit_rate : float;
+  h_store_hit_rate : float;
   h_counters : (string * int) list;
 }
 
@@ -118,6 +126,13 @@ type response =
   | Text of string
   | Failed of Errors.t
   | Health_report of health
+
+type item =
+  | Item_done of { index : int; payload : string }
+  | Item_failed of { index : int; error : Errors.t }
+
+let item_index = function
+  | Item_done { index; _ } | Item_failed { index; _ } -> index
 
 let request_label = function
   | Compile { spec; loop } ->
@@ -131,6 +146,9 @@ let request_label = function
     Printf.sprintf "fuzz seed %d, %d cases, sanitizer %s" seed cases
       (Sanitizer.mode_to_string sanitizer)
   | Health -> "health"
+  | Batch { version; items } ->
+    Printf.sprintf "batch v%d of %d item%s" version (List.length items)
+      (if List.length items = 1 then "" else "s")
 
 (* ---- cache keys --------------------------------------------------- *)
 
@@ -191,6 +209,10 @@ let cache_key = function
            Sanitizer.mode_to_string sanitizer;
          ])
   | Health -> None
+  | Batch _ ->
+    (* a batch is a container, not a result: its items are cached
+       individually so they coalesce with non-batched requests *)
+    None
 
 (* ---- rendering ---------------------------------------------------- *)
 
@@ -252,6 +274,10 @@ let render_health h =
   Printf.bprintf b "store: %d entries, %d bytes, %d loaded at boot%s\n"
     h.h_store_entries h.h_store_bytes h.h_store_loaded
     (if h.h_store_loaded > 0 then " (warm restart)" else "");
+  Printf.bprintf b "hit rates: cache %.4f, store %.4f\n" h.h_cache_hit_rate
+    h.h_store_hit_rate;
+  Printf.bprintf b "shed: %d overload, %d slow-client\n" h.h_shed_overload
+    h.h_shed_slow;
   List.iter (fun (k, v) -> Printf.bprintf b "  %s: %d\n" k v) h.h_counters;
   Buffer.contents b
 
@@ -294,7 +320,12 @@ let handle req =
         Failed
           (Errors.Protocol_error
              "health requests are answered by the daemon itself, not the \
-              compute path"))
+              compute path")
+      | Batch _ ->
+        Failed
+          (Errors.Protocol_error
+             "batch requests are unpacked by the daemon; workers only \
+              compute individual items"))
 
 (* ---- wire helpers ------------------------------------------------- *)
 
@@ -312,6 +343,32 @@ let decode_response payload =
   match (Marshal.from_string payload 0 : response) with
   | resp -> Ok resp
   | exception _ -> Error "response payload failed to unmarshal"
+
+(* A batch response stream interleaves two frame kinds on one
+   connection: item frames (tagged with their batch index) and at most
+   one plain response frame for a batch-level failure. Item payloads
+   carry a leading ['I'] so the two can never be confused: a marshalled
+   value always starts with the Marshal magic byte (0x84), never 'I'. *)
+
+let item_tag = 'I'
+
+let is_item_payload payload =
+  String.length payload > 0 && payload.[0] = item_tag
+
+let encode_item (it : item) =
+  Frame.encode (String.make 1 item_tag ^ Marshal.to_string it [])
+
+let decode_item payload =
+  if not (is_item_payload payload) then
+    Error "frame payload is not a batch item"
+  else
+    match (Marshal.from_string payload 1 : item) with
+    | it -> Ok it
+    | exception _ -> Error "batch item payload failed to unmarshal"
+
+let item_response = function
+  | Item_failed { error; _ } -> Ok (Failed error)
+  | Item_done { payload; _ } -> decode_response payload
 
 let rec write_all fd s =
   let len = String.length s in

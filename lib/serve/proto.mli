@@ -1,14 +1,27 @@
 (** The serve protocol: typed requests and responses, canonical cache
     keys, the shared compute path, and the framed wire format.
 
-    {b Wire format.} One request per connection: the client sends a
-    single {!Flexl0_util.Frame} whose payload is the marshalled
-    {!request}, the daemon answers with a single frame whose payload is
-    the marshalled {!response}, then the connection closes. Frames are
-    length-prefixed and MD5-digest-checked, so a truncated or corrupted
-    request is rejected with a typed [Errors.Protocol_error] instead of
-    being misread. [Marshal] carries plain data only — the contract is
-    the {!Flexl0_util.Journal} one: both ends come from the same build.
+    {b Wire format.} The client sends a single {!Flexl0_util.Frame}
+    whose payload is the marshalled {!request}, the daemon answers with
+    one frame whose payload is the marshalled {!response}, then the
+    connection closes. Frames are length-prefixed and
+    MD5-digest-checked, so a truncated or corrupted request is rejected
+    with a typed [Errors.Protocol_error] instead of being misread.
+    [Marshal] carries plain data only — the contract is the
+    {!Flexl0_util.Journal} one: both ends come from the same build.
+
+    {b Batches.} A {!Batch} request carries many items over one
+    round-trip. The daemon answers with a {e stream} of item frames —
+    each item as it completes (cache hits immediately, worker results
+    as they land), tagged with its index in the batch, so responses
+    arrive out of order and partial failure is per-item
+    ([Item_failed] with the typed error) rather than whole-batch. Item
+    frames start with an ['I'] tag byte ({!encode_item}) so they can
+    never be confused with a plain marshalled response; a batch-level
+    failure (bad version, unreadable frame) is one plain {!response}
+    frame, which clients fan out to every unanswered item. The stream
+    ends when every item is answered and the daemon closes the
+    connection.
 
     {b Byte identity.} {!handle} is the single compute-and-render path:
     the daemon's forked workers call it and the direct CLI subcommands
@@ -55,6 +68,18 @@ type request =
       sanitizer : Flexl0_mem.Sanitizer.mode;
     }  (** a sequential differential-fuzz batch *)
   | Health  (** daemon stats; never cached, never forked *)
+  | Batch of { version : int; items : request list }
+      (** a whole campaign in one round-trip: the daemon streams one
+          item frame per element of [items] (answered as they complete,
+          out of order), plus nothing else. Nested batches and versions
+          other than {!batch_version} are rejected per-item / per-batch
+          with typed protocol errors. *)
+
+val batch_version : int
+(** The batch framing version this build speaks (currently 1). *)
+
+val batch : request list -> request
+(** [Batch] at {!batch_version}. *)
 
 (** Daemon self-description returned for {!Health}. The
     restart-generation counter and the persistent-store gauges are what
@@ -77,9 +102,20 @@ type health = {
   h_store_loaded : int;
       (** records recovered when the store was replayed at boot — a
           positive count is the signature of a warm restart *)
+  h_shed_overload : int;
+      (** requests/items refused with [Errors.Overloaded] because the
+          admission queue passed its high-water mark *)
+  h_shed_slow : int;
+      (** connections shed for missing a read or write deadline — slow
+          lorises and wedged/dead readers *)
+  h_cache_hit_rate : float;  (** hits / (hits + misses); 0 when idle *)
+  h_store_hit_rate : float;
+      (** store hits / cache misses — how often the persistent store
+          saved a fork after the LRU missed *)
   h_counters : (string * int) list;
       (** sorted: request/latency/retry counters plus [cache_hits],
-          [cache_misses], [cache_evictions], [store_hits] *)
+          [cache_misses], [cache_evictions], [store_hits], [batches],
+          [shed_overload], [shed_slow_client], [conns_dropped] *)
 }
 
 type response =
@@ -88,6 +124,15 @@ type response =
           prints for the same request *)
   | Failed of Flexl0.Errors.t
   | Health_report of health
+
+(** One element of a batch response stream. *)
+type item =
+  | Item_done of { index : int; payload : string }
+      (** [payload] is the marshalled {!response} — the daemon streams
+          its cached bytes without re-rendering *)
+  | Item_failed of { index : int; error : Flexl0.Errors.t }
+
+val item_index : item -> int
 
 val request_label : request -> string
 (** Stable human-readable id, used in logs and [Job_gave_up] payloads. *)
@@ -133,6 +178,21 @@ val encode_response : response -> string
     them on the way out. *)
 
 val decode_response : string -> (response, string) result
+
+val encode_item : item -> string
+(** One framed batch-stream element, ['I']-tagged and ready to write. *)
+
+val decode_item : string -> (item, string) result
+(** Decode one ['I']-tagged frame payload. *)
+
+val is_item_payload : string -> bool
+(** Whether a frame payload is an item ({!decode_item}) or a plain
+    marshalled {!response} ({!decode_response}) — the dispatch a batch
+    client performs on every frame of the stream. *)
+
+val item_response : item -> (response, string) result
+(** The response a stream element stands for: the unmarshalled payload
+    of an [Item_done], or [Failed error] for an [Item_failed]. *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Loops over partial writes and EINTR. *)

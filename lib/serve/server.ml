@@ -13,6 +13,12 @@ type config = {
   seed : int;
   store : string option;
   generation : int;
+  max_queue : int;
+  retry_after : float;
+  read_deadline : float;
+  write_deadline : float;
+  max_out_buffer : int;
+  sndbuf : int option;
   on_log : string -> unit;
 }
 
@@ -26,25 +32,51 @@ let default ~socket =
     seed = 0;
     store = None;
     generation = 0;
+    max_queue = 256;
+    retry_after = 0.5;
+    read_deadline = 30.0;
+    write_deadline = 10.0;
+    max_out_buffer = 16 * 1024 * 1024;
+    sndbuf = None;
     on_log = ignore;
   }
 
-(* An accepted connection still assembling its request frame. *)
+(* An accepted connection, owned by the select loop for its whole life:
+   first assembling its request frame (bounded by the read deadline, so
+   a slow loris cannot camp), then carrying queued response bytes out
+   through non-blocking writes (bounded by the write deadline and the
+   outgoing-buffer cap, so a wedged or dead reader cannot stall the
+   daemon or grow memory without bound). *)
 type conn = {
   c_fd : Unix.file_descr;
-  c_buf : Buffer.t;
+  c_id : int;  (** unique for the daemon's lifetime — fds get reused *)
+  c_buf : Buffer.t;  (** incoming request bytes *)
   c_t0 : float;  (** accept time, for the latency counters *)
+  mutable c_reading : bool;
+  mutable c_read_deadline : float;  (** absolute; infinity once read *)
+  c_out : Buffer.t;  (** outgoing bytes not yet written *)
+  mutable c_off : int;  (** prefix of [c_out] already written *)
+  mutable c_write_deadline : float;
+      (** absolute, reset on every write that makes progress; infinity
+          while nothing is pending *)
+  mutable c_outstanding : int;
+      (** responses not yet enqueued: batch items still computing, 1
+          for a plain request, -1 while the request is being read *)
+  mutable c_shed_slow : bool;  (** already counted as a slow-client shed *)
+  mutable c_dead : bool;
 }
 
 (* A decoded request waiting for (or being retried toward) a worker.
-   Concurrent identical requests coalesce: every client that asked for
-   the same cache key while the first was still computing is a waiter
-   on the one task, and all are answered from its single result. *)
+   Concurrent identical requests coalesce: every client (or batch item)
+   that asked for the same cache key while the first was still
+   computing is a waiter on the one task, and all are answered from its
+   single result. A waiter's [int option] is its index in its batch —
+   [None] for a plain single-request connection. *)
 type task = {
   t_req : Proto.request;
   t_key : string option;
   t_label : string;
-  mutable t_conns : conn list;  (** waiters, newest first *)
+  mutable t_waiters : (conn * int option) list;  (** newest first *)
   mutable t_attempt : int;  (** attempts already consumed *)
 }
 
@@ -62,6 +94,7 @@ type state = {
   listen_fd : Unix.file_descr;
   mutable listening : bool;
   mutable conns : conn list;
+  mutable next_conn_id : int;
   queue : task Queue.t;
   mutable delayed : (float * task) list;  (** (retry-at, task) *)
   mutable workers : worker list;
@@ -77,45 +110,141 @@ let request_kind = function
   | Proto.Cell _ -> "cell"
   | Proto.Fuzz_batch _ -> "fuzz"
   | Proto.Health -> "health"
+  | Proto.Batch _ -> "batch"
+
+let pending conn = Buffer.length conn.c_out - conn.c_off > 0
+
+(* ---- connection lifecycle ----------------------------------------- *)
+
+let remove_conn st conn =
+  st.conns <- List.filter (fun c -> c.c_id <> conn.c_id) st.conns
+
+(* Everything owed to this connection has been written: close it and
+   account the end-to-end latency. *)
+let finish_conn st conn =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    remove_conn st conn;
+    let ms = int_of_float ((Unix.gettimeofday () -. conn.c_t0) *. 1000.0) in
+    Stats.Counters.add st.counters "latency_ms_total" ms;
+    if ms > Stats.Counters.get st.counters "latency_ms_max" then
+      Stats.Counters.add st.counters "latency_ms_max"
+        (ms - Stats.Counters.get st.counters "latency_ms_max")
+  end
+
+(* The peer is gone or too slow to keep: shed the connection. Waiters it
+   left on in-flight tasks are skipped when those tasks complete (the
+   results still land in the cache), so a shed client costs the daemon
+   nothing beyond the work already admitted. *)
+let drop_conn st conn ~slow reason =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    remove_conn st conn;
+    Stats.Counters.incr st.counters "conns_dropped";
+    if slow && not conn.c_shed_slow then begin
+      conn.c_shed_slow <- true;
+      Stats.Counters.incr st.counters "shed_slow_client"
+    end;
+    st.cfg.on_log (Printf.sprintf "shed connection: %s" reason)
+  end
+
+(* Non-blocking write of whatever the kernel will take. Progress resets
+   the write deadline; EPIPE/ECONNRESET means the client died (these
+   arrive as errors, not signals: SIGPIPE is ignored process-wide). *)
+let rec try_flush st conn =
+  if not conn.c_dead then begin
+    let len = Buffer.length conn.c_out - conn.c_off in
+    if len = 0 then begin
+      Buffer.clear conn.c_out;
+      conn.c_off <- 0;
+      conn.c_write_deadline <- Float.infinity;
+      if conn.c_outstanding = 0 && not conn.c_reading then finish_conn st conn
+    end
+    else begin
+      let chunk = min len 65536 in
+      let s = Buffer.sub conn.c_out conn.c_off chunk in
+      match Unix.write_substring conn.c_fd s 0 chunk with
+      | n ->
+        if n > 0 then begin
+          conn.c_off <- conn.c_off + n;
+          conn.c_write_deadline <-
+            Unix.gettimeofday () +. st.cfg.write_deadline
+        end;
+        if n = chunk then try_flush st conn
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush st conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+        drop_conn st conn ~slow:false
+          "client went away mid-response (EPIPE/ECONNRESET)"
+    end
+  end
+
+let enqueue st conn bytes =
+  if not conn.c_dead then begin
+    Buffer.add_string conn.c_out bytes;
+    if Buffer.length conn.c_out - conn.c_off > st.cfg.max_out_buffer then
+      drop_conn st conn ~slow:true
+        (Printf.sprintf "outgoing buffer passed %d bytes: client not reading"
+           st.cfg.max_out_buffer)
+    else begin
+      if conn.c_write_deadline = Float.infinity then
+        conn.c_write_deadline <- Unix.gettimeofday () +. st.cfg.write_deadline;
+      try_flush st conn
+    end
+  end
 
 (* ---- responding --------------------------------------------------- *)
 
-(* The peer may already be gone (it crashed, or gave up waiting); a dead
-   connection must not take the daemon down, so EPIPE-class write errors
-   are swallowed here and SIGPIPE is ignored for the whole process. *)
-let send_and_close st conn payload =
-  (try Proto.write_all conn.c_fd (Frame.encode payload)
-   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-     ());
-  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-  let ms = int_of_float ((Unix.gettimeofday () -. conn.c_t0) *. 1000.0) in
-  Stats.Counters.incr st.counters "responses";
-  Stats.Counters.add st.counters "latency_ms_total" ms;
-  if ms > Stats.Counters.get st.counters "latency_ms_max" then
-    Stats.Counters.add st.counters "latency_ms_max"
-      (ms - Stats.Counters.get st.counters "latency_ms_max")
+(* [idx = None]: a plain single-request connection, answered with one
+   framed response. [idx = Some i]: item [i] of a batch, answered with
+   an 'I'-tagged item frame so the stream can interleave out of order. *)
+let answer ?(is_error = false) st conn idx payload =
+  if not conn.c_dead then begin
+    Stats.Counters.incr st.counters "responses";
+    if is_error then Stats.Counters.incr st.counters "responses_error";
+    if conn.c_outstanding > 0 then
+      conn.c_outstanding <- conn.c_outstanding - 1;
+    let bytes =
+      match idx with
+      | None -> Frame.encode payload
+      | Some index -> Proto.encode_item (Proto.Item_done { index; payload })
+    in
+    enqueue st conn bytes
+  end
 
-let respond st conn (resp : Proto.response) =
-  (match resp with
-  | Proto.Failed _ -> Stats.Counters.incr st.counters "responses_error"
-  | Proto.Text _ | Proto.Health_report _ -> ());
-  send_and_close st conn (Proto.encode_response resp)
-
-let respond_all st task (resp : Proto.response) =
-  List.iter (fun conn -> respond st conn resp) (List.rev task.t_conns)
+let answer_error st conn idx error =
+  if not conn.c_dead then begin
+    Stats.Counters.incr st.counters "responses";
+    Stats.Counters.incr st.counters "responses_error";
+    if conn.c_outstanding > 0 then
+      conn.c_outstanding <- conn.c_outstanding - 1;
+    let bytes =
+      match idx with
+      | None -> Frame.encode (Proto.encode_response (Proto.Failed error))
+      | Some index -> Proto.encode_item (Proto.Item_failed { index; error })
+    in
+    enqueue st conn bytes
+  end
 
 let protocol_failure st conn msg =
   Stats.Counters.incr st.counters "protocol_errors";
-  respond st conn (Proto.Failed (Errors.Protocol_error msg))
+  conn.c_outstanding <- 1;
+  answer_error st conn None (Errors.Protocol_error msg)
 
 (* ---- health ------------------------------------------------------- *)
 
 let health st =
+  let hits = Cache.hits st.cache and misses = Cache.misses st.cache in
   let counters =
     Stats.Counters.to_list st.counters
     @ [
-        ("cache_hits", Cache.hits st.cache);
-        ("cache_misses", Cache.misses st.cache);
+        ("cache_hits", hits);
+        ("cache_misses", misses);
         ("cache_evictions", Cache.evictions st.cache);
       ]
   in
@@ -133,17 +262,35 @@ let health st =
     h_store_bytes = (match st.store with Some s -> Store.bytes s | None -> 0);
     h_store_loaded =
       (match st.store with Some s -> Store.loaded s | None -> 0);
+    h_shed_overload = Stats.Counters.get st.counters "shed_overload";
+    h_shed_slow = Stats.Counters.get st.counters "shed_slow_client";
+    h_cache_hit_rate = Stats.ratio hits (hits + misses);
+    h_store_hit_rate =
+      Stats.ratio (Stats.Counters.get st.counters "store_hits") misses;
     h_counters = List.sort compare counters;
   }
 
 (* ---- dispatch ----------------------------------------------------- *)
 
-let dispatch st conn req =
-  Stats.Counters.incr st.counters "requests";
-  Stats.Counters.incr st.counters ("requests_" ^ request_kind req);
+(* Admitted-but-unfinished work: the queue, retry-delayed tasks, and
+   running workers. Cache hits, store hits and coalesced waiters never
+   count — they cost no new computation, so they are never shed. *)
+let load st =
+  Queue.length st.queue + List.length st.delayed + List.length st.workers
+
+let dispatch_item st conn idx req =
   match req with
-  | Proto.Health -> respond st conn (Proto.Health_report (health st))
+  | Proto.Batch _ ->
+    Stats.Counters.incr st.counters "protocol_errors";
+    answer_error st conn idx
+      (Errors.Protocol_error "nested batches are not allowed")
+  | Proto.Health ->
+    Stats.Counters.incr st.counters "requests";
+    Stats.Counters.incr st.counters "requests_health";
+    answer st conn idx (Proto.encode_response (Proto.Health_report (health st)))
   | _ -> (
+    Stats.Counters.incr st.counters "requests";
+    Stats.Counters.incr st.counters ("requests_" ^ request_kind req);
     let key = Proto.cache_key req in
     let store_find k =
       match Option.bind st.store (fun s -> Store.find s k) with
@@ -166,7 +313,7 @@ let dispatch st conn req =
          (possibly by a previous incarnation of this shard, via the
          persistent store), so the stored response bytes go straight
          back out — no fork, no scheduler, no simulator *)
-      send_and_close st conn payload
+      answer st conn idx payload
     | None -> (
       (* coalesce with an identical request already in flight: one
          worker computes, every waiter gets the result *)
@@ -174,14 +321,13 @@ let dispatch st conn req =
         match key with Some k -> t.t_key = Some k | None -> false
       in
       let in_flight =
-        match
-          List.find_opt (fun w -> same_key w.w_task) st.workers
-        with
+        match List.find_opt (fun w -> same_key w.w_task) st.workers with
         | Some w -> Some w.w_task
         | None -> (
-          match Queue.fold
-                  (fun acc t -> if same_key t then Some t else acc)
-                  None st.queue
+          match
+            Queue.fold
+              (fun acc t -> if same_key t then Some t else acc)
+              None st.queue
           with
           | Some t -> Some t
           | None ->
@@ -191,12 +337,43 @@ let dispatch st conn req =
       match in_flight with
       | Some t ->
         Stats.Counters.incr st.counters "coalesced";
-        t.t_conns <- conn :: t.t_conns
+        t.t_waiters <- (conn, idx) :: t.t_waiters
       | None ->
-        Queue.add
-          { t_req = req; t_key = key; t_label = Proto.request_label req;
-            t_conns = [ conn ]; t_attempt = 0 }
-          st.queue))
+        if load st >= st.cfg.max_queue then begin
+          (* admission control: past the high-water mark new work is
+             refused with a typed retry hint instead of growing the
+             queue without bound *)
+          Stats.Counters.incr st.counters "shed_overload";
+          answer_error st conn idx
+            (Errors.Overloaded { retry_after = st.cfg.retry_after })
+        end
+        else
+          Queue.add
+            {
+              t_req = req;
+              t_key = key;
+              t_label = Proto.request_label req;
+              t_waiters = [ (conn, idx) ];
+              t_attempt = 0;
+            }
+            st.queue))
+
+let handle_request st conn req =
+  match req with
+  | Proto.Batch { version; items } ->
+    Stats.Counters.incr st.counters "batches";
+    if version <> Proto.batch_version then
+      protocol_failure st conn
+        (Printf.sprintf "unsupported batch version %d (this daemon speaks %d)"
+           version Proto.batch_version)
+    else begin
+      conn.c_outstanding <- List.length items;
+      if items = [] then finish_conn st conn
+      else List.iteri (fun i item -> dispatch_item st conn (Some i) item) items
+    end
+  | _ ->
+    conn.c_outstanding <- 1;
+    dispatch_item st conn None req
 
 (* ---- workers ------------------------------------------------------ *)
 
@@ -252,10 +429,13 @@ let retry_or_give_up st task reason =
     st.cfg.on_log
       (Printf.sprintf "gave up [%s] after %d attempts (%s)" task.t_label
          task.t_attempt reason);
-    respond_all st task
-      (Proto.Failed
-         (Errors.Job_gave_up
-            { job = task.t_label; attempts = task.t_attempt; reason }))
+    let error =
+      Errors.Job_gave_up
+        { job = task.t_label; attempts = task.t_attempt; reason }
+    in
+    List.iter
+      (fun (conn, idx) -> answer_error st conn idx error)
+      (List.rev task.t_waiters)
   end
 
 (* The worker's pipe hit EOF: reap it and either answer (caching the
@@ -276,10 +456,8 @@ let finish_worker st w =
     | None -> ());
     let is_error = match resp with Proto.Failed _ -> true | _ -> false in
     List.iter
-      (fun conn ->
-        if is_error then Stats.Counters.incr st.counters "responses_error";
-        send_and_close st conn payload)
-      (List.rev w.w_task.t_conns);
+      (fun (conn, idx) -> answer ~is_error st conn idx payload)
+      (List.rev w.w_task.t_waiters);
     (* write-behind: the durable append happens after every waiter has
        its bytes, so persistence never adds to response latency *)
     (match (w.w_task.t_key, st.store) with
@@ -307,47 +485,105 @@ let kill_overdue st now =
       | _ -> ())
     st.workers
 
+(* ---- connection deadlines ----------------------------------------- *)
+
+let shed_overdue_conns st now =
+  List.iter
+    (fun conn ->
+      if not conn.c_dead then
+        if conn.c_reading && now >= conn.c_read_deadline then begin
+          (* slow loris: the request frame never completed in time. The
+             shed is answered with a typed error (best effort — the
+             write path's own deadline bounds how long even that can
+             linger). *)
+          conn.c_reading <- false;
+          conn.c_read_deadline <- Float.infinity;
+          conn.c_shed_slow <- true;
+          Stats.Counters.incr st.counters "shed_slow_client";
+          protocol_failure st conn
+            (Printf.sprintf
+               "request not received within the %.1fs read deadline"
+               st.cfg.read_deadline)
+        end
+        else if pending conn && now >= conn.c_write_deadline then
+          drop_conn st conn ~slow:true
+            (Printf.sprintf "no write progress within %.1fs: client wedged"
+               st.cfg.write_deadline))
+    (* the sweep mutates st.conns (drops remove themselves) *)
+    st.conns
+
 (* ---- connection reads --------------------------------------------- *)
 
 let read_conn st conn =
-  let chunk = Bytes.create 65536 in
-  let n =
-    try Unix.read conn.c_fd chunk 0 (Bytes.length chunk)
-    with
-    | Unix.Unix_error (Unix.EINTR, _, _) -> -1
-    | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
-  in
-  if n < 0 then ()
-  else if n = 0 then begin
-    st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
-    protocol_failure st conn
-      (if Buffer.length conn.c_buf = 0 then
-         "connection closed before a request frame"
-       else "truncated request: connection closed mid-frame")
-  end
-  else begin
-    Buffer.add_subbytes conn.c_buf chunk 0 n;
-    match Frame.check (Buffer.contents conn.c_buf) ~pos:0 with
-    | Frame.Partial -> ()
-    | Frame.Corrupt msg ->
-      st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
-      protocol_failure st conn msg
-    | Frame.Frame (payload, _) -> (
-      st.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) st.conns;
-      match Proto.decode_request payload with
-      | Ok req -> dispatch st conn req
-      | Error msg -> protocol_failure st conn msg)
+  if conn.c_reading && not conn.c_dead then begin
+    let chunk = Bytes.create 65536 in
+    match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_conn st conn ~slow:false "connection reset while reading"
+    | 0 ->
+      (* EOF before the frame completed. (EOF after a complete frame is
+         a legal half-close and never lands here: decoding the frame
+         cleared [c_reading].) *)
+      conn.c_reading <- false;
+      conn.c_read_deadline <- Float.infinity;
+      protocol_failure st conn
+        (if Buffer.length conn.c_buf = 0 then
+           "connection closed before a request frame"
+         else "truncated request: connection closed mid-frame")
+    | n -> (
+      Buffer.add_subbytes conn.c_buf chunk 0 n;
+      match Frame.check (Buffer.contents conn.c_buf) ~pos:0 with
+      | Frame.Partial -> ()
+      | Frame.Corrupt msg ->
+        conn.c_reading <- false;
+        conn.c_read_deadline <- Float.infinity;
+        protocol_failure st conn msg
+      | Frame.Frame (payload, _) -> (
+        conn.c_reading <- false;
+        conn.c_read_deadline <- Float.infinity;
+        Buffer.clear conn.c_buf;
+        match Proto.decode_request payload with
+        | Ok req -> handle_request st conn req
+        | Error msg -> protocol_failure st conn msg))
   end
 
 let accept_conn st =
   match Unix.accept st.listen_fd with
   | fd, _ ->
+    Unix.set_nonblock fd;
+    (match st.cfg.sndbuf with
+    | Some n -> (
+      try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+      with Unix.Unix_error _ -> ())
+    | None -> ());
+    st.next_conn_id <- st.next_conn_id + 1;
+    let now = Unix.gettimeofday () in
     st.conns <-
-      { c_fd = fd; c_buf = Buffer.create 1024; c_t0 = Unix.gettimeofday () }
-      :: st.conns
+      {
+        c_fd = fd;
+        c_id = st.next_conn_id;
+        c_buf = Buffer.create 1024;
+        c_t0 = now;
+        c_reading = true;
+        c_read_deadline = now +. st.cfg.read_deadline;
+        c_out = Buffer.create 1024;
+        c_off = 0;
+        c_write_deadline = Float.infinity;
+        c_outstanding = -1;
+        c_shed_slow = false;
+        c_dead = false;
+      }
+      :: st.conns;
+    true
   | exception
-      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-    ()
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+    ->
+    false
 
 (* ---- the select loop ---------------------------------------------- *)
 
@@ -369,9 +605,18 @@ let idle st =
   && Queue.is_empty st.queue
 
 let next_wakeup st now =
+  let conn_deadlines =
+    List.concat_map
+      (fun c ->
+        (if c.c_reading then [ c.c_read_deadline ] else [])
+        @ if pending c then [ c.c_write_deadline ] else [])
+      st.conns
+  in
   let candidates =
-    List.filter_map (fun w -> w.w_deadline) st.workers
-    @ List.map fst st.delayed
+    List.filter
+      (fun t -> t < Float.infinity)
+      (List.filter_map (fun w -> w.w_deadline) st.workers
+      @ List.map fst st.delayed @ conn_deadlines)
   in
   match candidates with
   | [] -> -1.0 (* select forever; signals interrupt with EINTR *)
@@ -386,18 +631,34 @@ let serve_loop st =
       let now = Unix.gettimeofday () in
       promote_delayed st now;
       kill_overdue st now;
+      shed_overdue_conns st now;
       pump st;
       let read_fds =
         (if st.listening then [ st.listen_fd ] else [])
-        @ List.map (fun c -> c.c_fd) st.conns
+        @ List.filter_map
+            (fun c -> if c.c_reading then Some c.c_fd else None)
+            st.conns
         @ List.map (fun w -> w.w_fd) st.workers
       in
-      match Unix.select read_fds [] [] (next_wakeup st now) with
+      let write_fds =
+        List.filter_map
+          (fun c -> if pending c then Some c.c_fd else None)
+          st.conns
+      in
+      match Unix.select read_fds write_fds [] (next_wakeup st now) with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
+      | ready_r, ready_w, _ ->
+        (* writes first: draining output frees buffer space and may
+           finish connections before their deadlines fire *)
         List.iter
           (fun fd ->
-            if st.listening && fd = st.listen_fd then accept_conn st
+            match List.find_opt (fun c -> c.c_fd = fd) st.conns with
+            | Some conn when not conn.c_dead -> try_flush st conn
+            | _ -> ())
+          ready_w;
+        List.iter
+          (fun fd ->
+            if st.listening && fd = st.listen_fd then ()
             else
               match List.find_opt (fun w -> w.w_fd = fd) st.workers with
               | Some w ->
@@ -409,12 +670,16 @@ let serve_loop st =
                 if n = 0 then finish_worker st w
                 else if n > 0 then Buffer.add_subbytes w.w_buf chunk 0 n
               | None -> (
-                match
-                  List.find_opt (fun c -> c.c_fd = fd) st.conns
-                with
+                match List.find_opt (fun c -> c.c_fd = fd) st.conns with
                 | Some conn -> read_conn st conn
                 | None -> ()))
-          ready
+          ready_r;
+        (* accepts last, so a fd closed above cannot be confused with a
+           fresh accept reusing the same number within this round *)
+        if st.listening && List.mem st.listen_fd ready_r then
+          while accept_conn st do
+            ()
+          done
     end
   done
 
@@ -423,6 +688,14 @@ let run (cfg : config) =
     invalid_arg "Server.run: workers must be at least 1";
   if cfg.cache_capacity < 1 then
     invalid_arg "Server.run: cache capacity must be at least 1";
+  if cfg.max_queue < 1 then
+    invalid_arg "Server.run: admission queue must hold at least 1 task";
+  if cfg.retry_after <= 0.0 then
+    invalid_arg "Server.run: retry_after must be positive";
+  if cfg.read_deadline <= 0.0 || cfg.write_deadline <= 0.0 then
+    invalid_arg "Server.run: read and write deadlines must be positive";
+  if cfg.max_out_buffer < 65536 then
+    invalid_arg "Server.run: outgoing buffer cap below one write chunk";
   (* a stale socket file from a dead daemon would make bind fail; a live
      daemon is indistinguishable from a dead one by the file alone, so
      last-started wins — the deployment contract is one daemon per path *)
@@ -448,6 +721,7 @@ let run (cfg : config) =
       listen_fd;
       listening = true;
       conns = [];
+      next_conn_id = 0;
       queue = Queue.create ();
       delayed = [];
       workers = [];
@@ -459,8 +733,10 @@ let run (cfg : config) =
     }
   in
   cfg.on_log
-    (Printf.sprintf "listening on %s (pid %d, %d workers, cache %d)"
-       cfg.socket (Unix.getpid ()) cfg.workers cfg.cache_capacity);
+    (Printf.sprintf
+       "listening on %s (pid %d, %d workers, cache %d, admission %d)"
+       cfg.socket (Unix.getpid ()) cfg.workers cfg.cache_capacity
+       cfg.max_queue);
   (match store with
   | Some s ->
     cfg.on_log

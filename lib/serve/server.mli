@@ -11,14 +11,38 @@
     typed [Errors.Job_gave_up] response when a request exhausts its
     retries. Worker results are cached under the request's {!Key} digest
     and replayed byte-for-byte for every later identical request.
-    Concurrent identical requests {b coalesce}: clients that ask for a
-    key already being computed become waiters on the in-flight task and
-    are all answered from its single worker run.
+    Concurrent identical requests {b coalesce}: clients (and batch
+    items) that ask for a key already being computed become waiters on
+    the in-flight task and are all answered from its single worker run.
+
+    {b Batches} ({!Proto.Batch}) are unpacked by the loop: each item is
+    dispatched independently (hit, coalesce, admit, or shed) and
+    answered with its own ['I']-tagged item frame the moment its result
+    exists, so responses stream back out of order and one infeasible
+    loop cannot fail its siblings.
+
+    {b Overload safety.} The loop never blocks on a client:
+
+    - {e Admission control}: once admitted-but-unfinished work (queue +
+      retry-delayed + running workers) reaches [max_queue], new items
+      are refused with typed [Errors.Overloaded { retry_after }] instead
+      of growing the queue. Cache/store hits and coalesced waiters are
+      always admitted — they cost no new work.
+    - {e Write backpressure}: responses go into a bounded per-connection
+      buffer drained by non-blocking writes when [select] reports
+      writability. A connection that makes no write progress for
+      [write_deadline] seconds, or whose buffer passes [max_out_buffer]
+      bytes, is shed. Dead clients surface as EPIPE/ECONNRESET (SIGPIPE
+      is ignored) and are dropped, never crashed on.
+    - {e Read deadlines}: a connection that has not delivered a complete
+      request frame within [read_deadline] seconds (a slow loris) is
+      answered with a typed protocol error and shed.
 
     SIGTERM and SIGINT start a {b graceful drain}: the listening socket
     is closed and unlinked immediately (new connections are refused),
     every already-accepted request — queued, delayed for retry, or in a
-    worker — runs to completion and is answered, then {!run} returns. *)
+    worker — runs to completion and is answered, then {!run} returns.
+    Slow readers cannot hold the drain open past their write deadline. *)
 
 type config = {
   socket : string;  (** path of the Unix-domain listening socket *)
@@ -38,15 +62,39 @@ type config = {
       (** restart-generation counter reported in [Health]; the fleet
           supervisor bumps it on every respawn, a standalone daemon
           leaves it 0 *)
+  max_queue : int;
+      (** admission high-water mark, >= 1: the most
+          admitted-but-unfinished tasks before new work is shed with
+          [Errors.Overloaded] *)
+  retry_after : float;
+      (** seconds of backoff advice carried in [Errors.Overloaded], > 0 *)
+  read_deadline : float;
+      (** seconds a connection may take to deliver its complete request
+          frame before it is shed as a slow loris, > 0 *)
+  write_deadline : float;
+      (** seconds without write progress before a connection is shed as
+          wedged, > 0; also bounds how long a drain can wait on a slow
+          reader *)
+  max_out_buffer : int;
+      (** bytes of pending responses a connection may buffer before it
+          is shed, >= 65536 *)
+  sndbuf : int option;
+      (** [SO_SNDBUF] for accepted connections; [None] keeps the kernel
+          default. Small values (tests, chaos) make write backpressure
+          trigger early. *)
   on_log : string -> unit;  (** one line per lifecycle event *)
 }
 
 val default : socket:string -> config
 (** 2 workers, 256 cache entries, no timeout, 2 retries, seed 0, no
-    persistent store, generation 0, silent. *)
+    persistent store, generation 0, admission mark 256, retry advice
+    0.5s, read deadline 30s, write deadline 10s, 16 MiB output cap,
+    kernel-default [SO_SNDBUF], silent. *)
 
 val run : config -> unit
 (** Binds [config.socket] (replacing a stale socket file left by a dead
     daemon), serves until a drain completes, and removes the socket.
-    Raises [Invalid_argument] on a non-positive worker count or cache
-    capacity; [Unix.Unix_error] if the socket cannot be bound. *)
+    Raises [Invalid_argument] on a non-positive worker count, cache
+    capacity or admission mark, a non-positive deadline, or an output
+    cap below one write chunk; [Unix.Unix_error] if the socket cannot
+    be bound. *)

@@ -439,6 +439,115 @@ let test_client_shard_down_error () =
       (contains ~needle:"down" (Errors.to_string e))
   | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
 
+(* ---- fleet-wide batches ------------------------------------------- *)
+
+let test_fleet_batch_pipelines_campaign () =
+  let prefix = temp_path ".sock" in
+  let cfg = fleet_config prefix in
+  let pid = start_fleet cfg in
+  Fun.protect
+    ~finally:(fun () -> drain_fleet pid)
+    (fun () ->
+      let fl =
+        {
+          (Client.fleet ~sockets:(Fleet.sockets cfg)) with
+          Client.f_deadline = Some 60.0;
+          f_backoff_base = 0.05;
+          f_backoff_max = 0.5;
+        }
+      in
+      let l0 =
+        match Proto.spec_of_string "l0" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let items =
+        List.concat_map
+          (fun bench ->
+            [
+              Proto.Cell { spec = Proto.Spec_baseline; bench;
+                           max_cycles = None };
+              Proto.Cell { spec = l0; bench; max_cycles = None };
+            ])
+          [ "g721dec"; "gsmdec"; "epicdec" ]
+      in
+      let expected = List.map Proto.handle items in
+      (match Client.request_fleet_batch fl items with
+      | Error e -> Alcotest.failf "fleet batch: %s" (Errors.to_string e)
+      | Ok served ->
+        check_int "every slot answered" (List.length items)
+          (Array.length served.Client.b_results);
+        List.iteri
+          (fun i want ->
+            check
+              (Printf.sprintf "item %d byte-identical to the direct path" i)
+              true
+              (served.Client.b_results.(i) = want))
+          expected;
+        (* the whole 6-item campaign costs at most one batch frame per
+           shard — that is the point of pipelining *)
+        check "pipelining beat one round-trip per item" true
+          (served.Client.b_round_trips <= cfg.Fleet.shards);
+        check_int "healthy fleet, nothing spilled" 0 served.Client.b_spilled);
+      (* the repeat campaign is pure cache hits, still batched *)
+      (match Client.request_fleet_batch fl items with
+      | Error e -> Alcotest.failf "repeat fleet batch: %s" (Errors.to_string e)
+      | Ok served ->
+        List.iteri
+          (fun i want ->
+            check
+              (Printf.sprintf "repeat item %d byte-identical" i)
+              true
+              (served.Client.b_results.(i) = want))
+          expected);
+      (* rendezvous placement actually split the campaign: both shards
+         served items (otherwise this test proves nothing about
+         multiplexed reassembly) *)
+      let shard_requests socket =
+        match health ~socket with
+        | Some h ->
+          (match List.assoc_opt "requests_cell" h.Proto.h_counters with
+          | Some n -> n
+          | None -> 0)
+        | None -> 0
+      in
+      let per_shard =
+        List.init cfg.Fleet.shards (fun i ->
+            shard_requests (Fleet.socket_path ~prefix i))
+      in
+      check "every shard served part of the campaign" true
+        (List.for_all (fun n -> n > 0) per_shard);
+      check_int "no item computed twice fleet-wide"
+        (2 * List.length items)
+        (List.fold_left ( + ) 0 per_shard);
+      stop_fleet pid)
+
+let test_fleet_batch_survives_empty_and_down () =
+  (* the empty batch is legal and free *)
+  let prefix = temp_path ".sock" in
+  let sockets = Array.init 2 (Fleet.socket_path ~prefix) in
+  let fl =
+    {
+      (Client.fleet ~sockets) with
+      Client.f_deadline = Some 5.0;
+      f_sweeps = 2;
+      f_backoff_base = 0.01;
+      f_backoff_max = 0.05;
+    }
+  in
+  (match Client.request_fleet_batch fl [] with
+  | Ok served ->
+    check_int "empty batch, empty results" 0
+      (Array.length served.Client.b_results);
+    check_int "empty batch costs nothing" 0 served.Client.b_round_trips
+  | Error e -> Alcotest.failf "empty batch: %s" (Errors.to_string e));
+  (* nobody listening: the typed terminal failure, same as the
+     single-request path *)
+  match Client.request_fleet_batch fl [ Proto.Health ] with
+  | Ok _ -> Alcotest.fail "empty fleet answered a batch"
+  | Error (Errors.Shard_down _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+
 (* ---- the chaos harness -------------------------------------------- *)
 
 let test_chaos_harness_passes () =
@@ -468,6 +577,35 @@ let test_chaos_harness_passes () =
       check "the warm restart served from the store" true
         (o.Chaos.o_warm_store_hits >= 1))
 
+let test_chaos_overload_passes () =
+  let prefix = temp_path ".sock" in
+  let store_root = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf store_root)
+    (fun () ->
+      (* g721dec x l0 is 5 distinct items (1 cell + 4 loops) against the
+         overload daemon's admission mark of 4: at least one typed shed
+         is guaranteed, which overload_passed demands *)
+      let v =
+        Chaos.overload
+          {
+            (Chaos.default ~prefix ~store_root) with
+            Chaos.benches = [ "g721dec" ];
+            systems = [ "l0" ];
+          }
+      in
+      List.iter
+        (fun msg -> Printf.eprintf "overload failure: %s\n%!" msg)
+        v.Chaos.v_failures;
+      check "overload pass passed" true (Chaos.overload_passed v);
+      check_int "every item byte-identical" v.Chaos.v_requests
+        v.Chaos.v_matches;
+      check "typed sheds were retried to completion" true (v.Chaos.v_shed > 0);
+      check "slow lorises were shed" true (v.Chaos.v_slow_conns >= 1);
+      check_int "one client killed mid-batch" 1 v.Chaos.v_kills;
+      check "no health probe stalled past the write deadline" true
+        (v.Chaos.v_max_stall_s < 7.0))
+
 let suite =
   ( "fleet",
     [
@@ -490,6 +628,12 @@ let suite =
         test_fleet_degrades_past_restart_budget;
       Alcotest.test_case "client shard-down error" `Quick
         test_client_shard_down_error;
+      Alcotest.test_case "fleet batch pipelines a campaign" `Quick
+        test_fleet_batch_pipelines_campaign;
+      Alcotest.test_case "fleet batch empty + down" `Quick
+        test_fleet_batch_survives_empty_and_down;
       Alcotest.test_case "chaos harness passes" `Quick
         test_chaos_harness_passes;
+      Alcotest.test_case "chaos overload passes" `Quick
+        test_chaos_overload_passes;
     ] )

@@ -99,6 +99,12 @@ let test_request_roundtrips () =
         };
       Proto.Fuzz_batch { seed = 9; cases = 17; sanitizer = Sanitizer.Log };
       Proto.Health;
+      Proto.batch
+        [
+          Proto.Health;
+          Proto.Cell { spec = Proto.Spec_baseline; bench = "gsmdec";
+                       max_cycles = None };
+        ];
     ]
   in
   List.iter
@@ -117,7 +123,8 @@ let test_response_roundtrips () =
           Proto.h_pid = 42; h_uptime_s = 1.5; h_draining = false;
           h_generation = 3; h_queue_depth = 3; h_busy_workers = 2;
           h_cache_entries = 7; h_cache_capacity = 256; h_store_entries = 5;
-          h_store_bytes = 4096; h_store_loaded = 5;
+          h_store_bytes = 4096; h_store_loaded = 5; h_shed_overload = 2;
+          h_shed_slow = 1; h_cache_hit_rate = 0.75; h_store_hit_rate = 0.5;
           h_counters = [ ("requests", 10) ];
         };
     ]
@@ -128,6 +135,79 @@ let test_response_roundtrips () =
       | Ok resp' -> check "response survives the wire" true (resp' = resp)
       | Error msg -> Alcotest.failf "decode_response: %s" msg)
     resps
+
+(* ---- batch item codec --------------------------------------------- *)
+
+let test_item_codec () =
+  let payload = Proto.encode_response (Proto.Text "binary \x00\xff bytes") in
+  (* a plain marshalled response can never be mistaken for an item:
+     Marshal's magic is not the item tag *)
+  check "plain response payload is not an item" false
+    (Proto.is_item_payload payload);
+  (match Proto.decode_item payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "plain response decoded as an item");
+  let items =
+    [
+      Proto.Item_done { index = 3; payload };
+      Proto.Item_failed
+        { index = 0; error = Errors.Overloaded { retry_after = 0.5 } };
+      Proto.Item_failed
+        { index = 7; error = Errors.Protocol_error "nested batch" };
+    ]
+  in
+  List.iter
+    (fun it ->
+      let framed = Proto.encode_item it in
+      match Frame.check framed ~pos:0 with
+      | Frame.Frame (p, _) -> (
+        check "item payload is tagged" true (Proto.is_item_payload p);
+        match Proto.decode_item p with
+        | Ok it' ->
+          check "item survives the wire" true (it' = it);
+          check_int "index preserved" (Proto.item_index it)
+            (Proto.item_index it')
+        | Error msg -> Alcotest.failf "decode_item: %s" msg)
+      | _ -> Alcotest.fail "encoded item is not one intact frame")
+    items;
+  (match Proto.item_response (Proto.Item_done { index = 1; payload }) with
+  | Ok (Proto.Text _) -> ()
+  | _ -> Alcotest.fail "Item_done payload did not decode to its response");
+  match
+    Proto.item_response
+      (Proto.Item_failed
+         { index = 1; error = Errors.Overloaded { retry_after = 1.0 } })
+  with
+  | Ok (Proto.Failed (Errors.Overloaded _)) -> ()
+  | _ -> Alcotest.fail "Item_failed did not map to a Failed response"
+
+let test_item_stream_truncation_vs_corruption () =
+  (* a batch response is a multi-frame stream: the verdicts must hold at
+     non-zero offsets, mid-stream *)
+  let payload = Proto.encode_response (Proto.Text "x") in
+  let f1 = Proto.encode_item (Proto.Item_done { index = 0; payload }) in
+  let f2 = Proto.encode_item (Proto.Item_done { index = 1; payload }) in
+  let stream = f1 ^ f2 in
+  let off = String.length f1 in
+  (match Frame.check stream ~pos:off with
+  | Frame.Frame (_, next) ->
+    check_int "second frame ends the stream" (String.length stream) next
+  | _ -> Alcotest.fail "second frame did not parse at its offset");
+  (* a truncated tail is Partial — keep reading — never corrupt *)
+  for cut = off to String.length stream - 1 do
+    match Frame.check (String.sub stream 0 cut) ~pos:off with
+    | Frame.Partial -> ()
+    | Frame.Frame _ -> Alcotest.fail "truncated second frame parsed"
+    | Frame.Corrupt msg ->
+      Alcotest.failf "truncation at %d called corrupt: %s" cut msg
+  done;
+  (* a flipped byte mid-stream is corrupt, never partial *)
+  let corrupt = Bytes.of_string stream in
+  let last = Bytes.length corrupt - 1 in
+  Bytes.set corrupt last (Char.chr (Char.code (Bytes.get corrupt last) lxor 1));
+  match Frame.check (Bytes.to_string corrupt) ~pos:off with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt second frame accepted"
 
 let test_spec_spellings () =
   List.iter
@@ -231,11 +311,22 @@ let temp_socket () =
   path
 
 (* Fork a daemon; the child never returns. *)
-let start_daemon ?(workers = 2) ?(cache = 64) socket =
+let start_daemon ?(workers = 2) ?(cache = 64) ?max_queue ?read_deadline
+    ?write_deadline ?sndbuf socket =
   match Unix.fork () with
   | 0 ->
+    let d = Server.default ~socket in
     Server.run
-      { (Server.default ~socket) with Server.workers; cache_capacity = cache };
+      {
+        d with
+        Server.workers;
+        cache_capacity = cache;
+        max_queue = Option.value max_queue ~default:d.Server.max_queue;
+        read_deadline = Option.value read_deadline ~default:d.Server.read_deadline;
+        write_deadline =
+          Option.value write_deadline ~default:d.Server.write_deadline;
+        sndbuf = (match sndbuf with Some _ -> sndbuf | None -> d.Server.sndbuf);
+      };
     Stdlib.exit 0
   | pid ->
     if not (Client.wait_ready ~socket ()) then begin
@@ -460,6 +551,264 @@ let test_daemon_rejects_corrupt_and_truncated () =
       check_int "three protocol errors counted" 3 (counter h "protocol_errors");
       stop_daemon pid socket)
 
+(* ---- batched requests against a live daemon ----------------------- *)
+
+let test_daemon_batch_byte_identity () =
+  let socket = temp_socket () in
+  let pid = start_daemon socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let loop = first_loop "gsmdec" in
+      let spec =
+        match Proto.spec_of_string "l0" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let items =
+        [
+          Proto.Compile { spec; loop };
+          Proto.Cell { spec; bench = "gsmdec"; max_cycles = None };
+          Proto.Compile { spec; loop }
+          (* the duplicate coalesces inside its own batch *);
+          Proto.Cell
+            { spec; bench = "nonesuch"; max_cycles = None }
+          (* per-item failure: the bad item fails, its neighbors don't *);
+        ]
+      in
+      let expected = List.map Proto.handle items in
+      (* two passes: the second is served entirely from the cache and
+         must not drift by a byte either *)
+      for pass = 1 to 2 do
+        match Client.request_batch ~socket items with
+        | Error msg -> Alcotest.failf "batch pass %d: %s" pass msg
+        | Ok got ->
+          check_int "every slot answered" (List.length items)
+            (Array.length got);
+          List.iteri
+            (fun i want ->
+              check
+                (Printf.sprintf "pass %d item %d matches the direct path" pass
+                   i)
+                true (got.(i) = want))
+            expected
+      done;
+      let h = health ~socket in
+      check_int "two batch envelopes" 2 (counter h "batches");
+      (* batch items land in the same per-kind counters as plain requests *)
+      check_int "compile items counted" 4 (counter h "requests_compile");
+      check_int "cell items counted" 4 (counter h "requests_cell");
+      check_int "one worker per unique item" 3 (counter h "worker_starts");
+      check_int "in-batch duplicate coalesced" 1 (counter h "coalesced");
+      check "hit rate reported" true (h.Proto.h_cache_hit_rate > 0.0);
+      check_int "nothing shed" 0 (counter h "shed_overload");
+      stop_daemon pid socket)
+
+let test_batch_out_of_order_reassembly () =
+  (* the daemon may finish items in any order; the client reassembles by
+     index.  A socketpair stands in for the daemon. *)
+  let payload i = Proto.encode_response (Proto.Text (Printf.sprintf "#%d" i)) in
+  let stream order =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    List.iter
+      (fun i ->
+        Proto.write_all b
+          (Proto.encode_item (Proto.Item_done { index = i; payload = payload i })))
+      order;
+    (a, b)
+  in
+  let a, b = stream [ 2; 0; 1 ] in
+  Unix.close b;
+  (match Client.read_batch_responses a ~count:3 with
+  | Ok got ->
+    Array.iteri
+      (fun i resp ->
+        check
+          (Printf.sprintf "slot %d holds its own response" i)
+          true
+          (resp = Proto.Text (Printf.sprintf "#%d" i)))
+      got
+  | Error msg -> Alcotest.failf "out-of-order reassembly: %s" msg);
+  Unix.close a;
+  (* EOF before the count is met is an error naming the missing items *)
+  let a, b = stream [ 1 ] in
+  Unix.close b;
+  (match Client.read_batch_responses a ~count:3 with
+  | Error msg ->
+    check "truncated stream names the gap" true
+      (contains ~needle:"2 of 3" msg)
+  | Ok _ -> Alcotest.fail "truncated batch stream accepted");
+  Unix.close a;
+  (* a plain (non-item) failure frame fans out to every open slot *)
+  let a, b = stream [ 0 ] in
+  Proto.write_all b
+    (Frame.encode
+       (Proto.encode_response (Proto.Failed (Errors.Protocol_error "boom"))));
+  Unix.close b;
+  (match Client.read_batch_responses a ~count:3 with
+  | Ok got ->
+    check "answered slot kept its response" true (got.(0) = Proto.Text "#0");
+    for i = 1 to 2 do
+      match got.(i) with
+      | Proto.Failed (Errors.Protocol_error _) -> ()
+      | _ -> Alcotest.failf "slot %d did not inherit the batch failure" i
+    done
+  | Error msg -> Alcotest.failf "fan-out stream: %s" msg);
+  Unix.close a;
+  (* duplicate and out-of-range indices are protocol errors *)
+  let a, b = stream [ 0; 0 ] in
+  Unix.close b;
+  (match Client.read_batch_responses a ~count:2 with
+  | Error msg -> check "duplicate rejected" true (contains ~needle:"duplicate" msg)
+  | Ok _ -> Alcotest.fail "duplicate item index accepted");
+  Unix.close a;
+  let a, b = stream [ 5 ] in
+  Unix.close b;
+  (match Client.read_batch_responses a ~count:2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range item index accepted");
+  Unix.close a
+
+let test_daemon_sheds_overload_deterministically () =
+  let socket = temp_socket () in
+  (* queue of 2 and a single worker: a batch of 5 distinct items must
+     admit exactly the first two and shed the other three, every time —
+     admission runs synchronously before any worker is pumped *)
+  let pid = start_daemon ~workers:1 ~max_queue:2 socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let spec =
+        match Proto.spec_of_string "baseline" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let items =
+        List.map
+          (fun bench -> Proto.Compile { spec; loop = first_loop bench })
+          [ "gsmdec"; "g721dec"; "epicdec"; "jpegdec"; "rasta" ]
+      in
+      (match Client.request_batch ~socket items with
+      | Error msg -> Alcotest.failf "overloaded batch: %s" msg
+      | Ok got ->
+        let expected = Array.of_list (List.map Proto.handle items) in
+        for i = 0 to 1 do
+          check
+            (Printf.sprintf "admitted item %d matches the direct path" i)
+            true
+            (got.(i) = expected.(i))
+        done;
+        for i = 2 to 4 do
+          match got.(i) with
+          | Proto.Failed (Errors.Overloaded { retry_after }) ->
+            check
+              (Printf.sprintf "shed item %d advises a positive delay" i)
+              true (retry_after > 0.0)
+          | _ -> Alcotest.failf "item %d past the mark was not shed" i
+        done);
+      let h = health ~socket in
+      check_int "exactly three sheds counted" 3 (counter h "shed_overload");
+      check_int "shed report agrees" 3 h.Proto.h_shed_overload;
+      (* shedding is a retry hint, not a verdict: resubmitting the shed
+         items (paced, as the typed error advises) drains the backlog —
+         each round admits up to the mark and sheds the rest *)
+      let expected = Array.of_list (List.map Proto.handle items) in
+      let rec settle attempts pending =
+        if attempts > 20 then Alcotest.fail "shed items never settled";
+        match
+          Client.request_batch ~socket (List.map (fun (_, r) -> r) pending)
+        with
+        | Error msg -> Alcotest.failf "retry batch: %s" msg
+        | Ok got ->
+          let again = ref [] in
+          List.iteri
+            (fun slot (i, req) ->
+              match got.(slot) with
+              | Proto.Failed (Errors.Overloaded _) ->
+                again := (i, req) :: !again
+              | resp ->
+                check
+                  (Printf.sprintf "retried item %d matches the direct path" i)
+                  true
+                  (resp = expected.(i)))
+            pending;
+          if !again <> [] then begin
+            Unix.sleepf 0.1;
+            settle (attempts + 1) (List.rev !again)
+          end
+      in
+      settle 0 (List.mapi (fun i req -> (i, req)) items);
+      stop_daemon pid socket)
+
+let test_daemon_sheds_slow_loris () =
+  let socket = temp_socket () in
+  let pid = start_daemon ~read_deadline:0.3 socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* one byte of a valid frame, then silence: the daemon must shed
+         the connection with a typed error at the read deadline instead
+         of holding the slot forever *)
+      let framed = Proto.encode_request Proto.Health in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Proto.write_all fd (String.sub framed 0 1);
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+          match Result.bind (Proto.read_frame fd) Proto.decode_response with
+          | Ok (Proto.Failed (Errors.Protocol_error msg)) ->
+            check "shed names the deadline" true (contains ~needle:"deadline" msg)
+          | Ok _ -> Alcotest.fail "slow loris not shed with a typed error"
+          | Error msg -> Alcotest.failf "loris read: %s" msg);
+      (* the daemon is still fully alive for honest clients *)
+      let h = health ~socket in
+      check_int "one slow connection shed" 1 h.Proto.h_shed_slow;
+      check_int "counter agrees" 1 (counter h "shed_slow_client");
+      stop_daemon pid socket)
+
+let test_daemon_survives_dead_client () =
+  let socket = temp_socket () in
+  let pid = start_daemon socket in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let spec =
+        match Proto.spec_of_string "l0" with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let req = Proto.Cell { spec; bench = "gsmdec"; max_cycles = None } in
+      (* send a real request and vanish before the response: the write
+         must EPIPE in the daemon, not kill it *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Proto.write_all fd (Proto.encode_request req);
+      Unix.close fd;
+      (* the drop registers when the daemon tries to answer *)
+      let rec wait_drop tries =
+        if tries = 0 then
+          Alcotest.fail "dead client never registered as dropped";
+        if counter (health ~socket) "conns_dropped" < 1 then begin
+          Unix.sleepf 0.05;
+          wait_drop (tries - 1)
+        end
+      in
+      wait_drop 200;
+      (* the computed result was cached despite the dead waiter, and the
+         daemon keeps serving *)
+      check "daemon answers the same request from cache" true
+        (expect_ok ~socket req = Proto.handle req);
+      let h = health ~socket in
+      check_int "the death cost no worker rerun" 1 (counter h "worker_starts");
+      stop_daemon pid socket)
+
 let test_daemon_drain_refuses_new_connections () =
   let socket = temp_socket () in
   let pid = start_daemon socket in
@@ -493,6 +842,9 @@ let suite =
         test_frame_truncation_vs_corruption;
       Alcotest.test_case "request roundtrips" `Quick test_request_roundtrips;
       Alcotest.test_case "response roundtrips" `Quick test_response_roundtrips;
+      Alcotest.test_case "batch item codec" `Quick test_item_codec;
+      Alcotest.test_case "item stream truncation vs corruption" `Quick
+        test_item_stream_truncation_vs_corruption;
       Alcotest.test_case "spec spellings" `Quick test_spec_spellings;
       Alcotest.test_case "key canonicalization" `Quick
         test_key_canonicalization;
@@ -509,6 +861,16 @@ let suite =
         test_daemon_coalesces_identical_requests;
       Alcotest.test_case "daemon rejects corrupt frames" `Quick
         test_daemon_rejects_corrupt_and_truncated;
+      Alcotest.test_case "daemon batch byte identity" `Quick
+        test_daemon_batch_byte_identity;
+      Alcotest.test_case "batch out-of-order reassembly" `Quick
+        test_batch_out_of_order_reassembly;
+      Alcotest.test_case "daemon sheds overload deterministically" `Quick
+        test_daemon_sheds_overload_deterministically;
+      Alcotest.test_case "daemon sheds slow loris" `Quick
+        test_daemon_sheds_slow_loris;
+      Alcotest.test_case "daemon survives dead client" `Quick
+        test_daemon_survives_dead_client;
       Alcotest.test_case "daemon SIGTERM drain" `Quick
         test_daemon_drain_refuses_new_connections;
     ] )
