@@ -11,7 +11,9 @@
      dune exec bench/main.exe perf ...   # staged perf regression harness;
                                            writes BENCH_PR4.json (see Perf)
      dune exec bench/main.exe serve ...  # daemon + fleet batch perf;
-                                           writes BENCH_PR7.json (Serve_perf) *)
+                                           writes BENCH_PR7.json (Serve_perf)
+     dune exec bench/main.exe ckpt ...   # checkpoint overhead + recovery;
+                                           writes BENCH_PR8.json (Ckpt_perf) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -153,13 +155,15 @@ let () =
   | [ "timings" ] -> run_timings ()
   | "perf" :: rest -> Perf.main rest
   | "serve" :: rest -> Serve_perf.main rest
+  | "ckpt" :: rest -> Ckpt_perf.main rest
   | names ->
     List.iter
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) artifacts with
         | Some (_, _, f) -> f ()
         | None ->
-          Printf.eprintf "unknown artifact %S; known: %s timings perf serve\n"
+          Printf.eprintf
+            "unknown artifact %S; known: %s timings perf serve ckpt\n"
             name
             (String.concat " " (List.map (fun (n, _, _) -> n) artifacts));
           exit 2)

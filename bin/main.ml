@@ -97,6 +97,22 @@ let max_cycles_arg =
                each loop's budget scales with its schedule and invocation \
                count).")
 
+let checkpoint_interval_arg =
+  Arg.(value & opt int 0 & info [ "checkpoint-interval" ] ~docv:"TICKS"
+         ~doc:"Checkpoint each cell's simulation every TICKS simulated \
+               cycles into the run journal directory. An interrupted cell \
+               (crashed or SIGKILLed worker, timeout, whole-campaign \
+               restart with --resume) re-enters its in-flight loop at the \
+               last checkpointed cycle instead of restarting; the output \
+               stays byte-identical. 0 disables mid-run checkpoints.")
+
+let resync_journal_arg =
+  Arg.(value & flag & info [ "resync-journal" ]
+         ~doc:"On --resume, scan past damaged journal records (torn tail, \
+               flipped bytes) to the next intact frame instead of stopping \
+               the replay at the first defect. Each damaged record costs \
+               only itself; its work unit simply reruns.")
+
 (* Retries and give-ups go to stderr as they happen; normal completion
    stays quiet so stdout remains the figure. *)
 let runner_progress ~cmd = function
@@ -105,9 +121,13 @@ let runner_progress ~cmd = function
       cmd job attempt reason delay
   | Runner.Job_gave_up sk ->
     Printf.eprintf "flexl0 %s: %s\n%!" cmd (Runner.skip_message sk)
+  | Runner.Job_resumed { job; attempt } ->
+    Printf.eprintf "flexl0 %s: %s: attempt %d resuming from checkpoint\n%!" cmd
+      job attempt
   | Runner.Job_started _ | Runner.Job_done _ | Runner.Job_cached _ -> ()
 
-let runner_config ~cmd ~journal_dir jobs timeout retries resume =
+let runner_config ~cmd ~journal_dir ?(resync = false) jobs timeout retries
+    resume =
   if jobs < 1 then die ~cmd "--jobs must be at least 1";
   if retries < 0 then die ~cmd "--retries must not be negative";
   (match timeout with
@@ -120,6 +140,7 @@ let runner_config ~cmd ~journal_dir jobs timeout retries resume =
     retries;
     journal_dir;
     resume;
+    resync_journal = resync;
     on_progress = runner_progress ~cmd;
   }
 
@@ -181,23 +202,29 @@ let fig7_cmd =
    run journal under runs/ID makes an interrupted campaign resumable. *)
 let figures_cmd =
   let cmd = "figures" in
-  let run names dir jobs timeout retries run_id resume strict max_cycles =
+  let run names dir jobs timeout retries run_id resume strict max_cycles
+      ckpt_interval resync =
     protect ~cmd (fun () ->
+        if ckpt_interval < 0 then
+          die ~cmd "--checkpoint-interval must not be negative";
         let benchmarks = resolve_benchmarks ~cmd names in
+        let checkpoint_interval =
+          if ckpt_interval > 0 then Some ckpt_interval else None
+        in
         let runner_for part =
           runner_config ~cmd
             ~journal_dir:
               (Some (Filename.concat (Filename.concat "runs" run_id) part))
-            jobs timeout retries resume
+            ~resync jobs timeout retries resume
         in
         let f5 =
-          Experiments.fig5 ?benchmarks ~runner:(runner_for "fig5") ?max_cycles
-            ()
+          Experiments.fig5 ?benchmarks ~runner:(runner_for "fig5")
+            ?checkpoint_interval ?max_cycles ()
         in
         Report.print_figure f5;
         let f7 =
-          Experiments.fig7 ?benchmarks ~runner:(runner_for "fig7") ?max_cycles
-            ()
+          Experiments.fig7 ?benchmarks ~runner:(runner_for "fig7")
+            ?checkpoint_interval ?max_cycles ()
         in
         Report.print_figure f7;
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -221,7 +248,7 @@ let figures_cmd =
              journal")
     Term.(const run $ benchmarks_arg $ dir $ jobs_arg $ timeout_arg
           $ retries_arg $ run_id_arg "figures" $ resume_arg $ strict_arg
-          $ max_cycles_arg)
+          $ max_cycles_arg $ checkpoint_interval_arg $ resync_journal_arg)
 
 let table1_cmd =
   let cmd = "table1" in
@@ -698,19 +725,49 @@ let schedule_cmd =
 
 let cell_cmd =
   let cmd = "cell" in
-  let run bench system max_cycles =
+  let run bench system max_cycles ckpt ckpt_interval =
     protect ~cmd (fun () ->
+        if ckpt_interval < 0 then
+          die ~cmd "--checkpoint-interval must not be negative";
         let spec = resolve_spec ~cmd system in
-        print_response ~cmd
-          (Proto.handle (Proto.Cell { spec; bench; max_cycles })))
+        let req = Proto.Cell { spec; bench; max_cycles } in
+        let resp =
+          match ckpt with
+          | None -> Proto.handle req
+          | Some path ->
+            let interval =
+              if ckpt_interval > 0 then ckpt_interval else 65536
+            in
+            let prior = Flexl0_sim.Snapshot.read_last_file path in
+            Proto.handle_ckpt ~interval
+              ~save:(Flexl0_sim.Snapshot.append_file path)
+              ~prior req
+        in
+        (match (resp, ckpt) with
+        | Proto.Text _, Some path -> (
+          (* the cell completed: its checkpoint trail is spent *)
+          try Sys.remove path with Sys_error _ -> ())
+        | _ -> ());
+        print_response ~cmd resp)
   in
   let bench =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
   in
+  let ckpt =
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
+           ~doc:"Checkpoint the simulation into FILE (appended, crash-safe \
+                 frames) and, if FILE already holds a prior run's progress, \
+                 resume from its last intact checkpoint instead of starting \
+                 over — the printed cell is byte-identical either way. The \
+                 file is removed once the cell completes. Interval defaults \
+                 to 65536 simulated cycles; override with \
+                 --checkpoint-interval.")
+  in
   Cmd.v
     (Cmd.info cmd
        ~doc:"Compile and simulate one benchmark x system figure cell")
-    Term.(const run $ bench $ system_arg $ max_cycles_arg)
+    Term.(const run $ bench $ system_arg $ max_cycles_arg $ ckpt
+          $ checkpoint_interval_arg)
 
 let socket_arg =
   Arg.(value & opt string "flexl0.sock" & info [ "socket" ] ~docv:"PATH"
@@ -739,6 +796,15 @@ let max_queue_arg =
                with a typed overloaded error carrying retry advice, \
                instead of growing the queue without bound.")
 
+let ckpt_interval_serve_arg =
+  Arg.(value & opt int 0 & info [ "ckpt-interval" ] ~docv:"TICKS"
+         ~doc:"Checkpoint each keyed simulation every TICKS simulated \
+               cycles into a per-key file beside the socket. A SIGKILLed \
+               or crashed worker's retry resumes mid-simulation from the \
+               last intact checkpoint instead of restarting, and clients \
+               may ship a prior attempt's checkpoint ahead of a request; \
+               responses are byte-identical either way. 0 disables.")
+
 let serve_checks ~cmd workers cache timeout retries =
   if workers < 1 then die ~cmd "--workers must be at least 1";
   if cache < 1 then die ~cmd "--cache must be at least 1";
@@ -749,10 +815,13 @@ let serve_checks ~cmd workers cache timeout retries =
 
 let serve_cmd =
   let cmd = "serve" in
-  let run socket workers cache timeout retries seed store max_queue quiet =
+  let run socket workers cache timeout retries seed store max_queue
+      ckpt_interval quiet =
     protect ~cmd (fun () ->
         serve_checks ~cmd workers cache timeout retries;
         if max_queue < 1 then die ~cmd "--max-queue must be at least 1";
+        if ckpt_interval < 0 then
+          die ~cmd "--ckpt-interval must not be negative";
         let on_log =
           if quiet then ignore
           else fun line -> Printf.eprintf "flexl0 serve: %s\n%!" line
@@ -761,7 +830,7 @@ let serve_cmd =
           {
             (Server.default ~socket) with
             Server.workers; cache_capacity = cache; timeout; retries;
-            seed; store; max_queue; on_log;
+            seed; store; max_queue; ckpt_interval; on_log;
           })
   in
   let store =
@@ -783,18 +852,20 @@ let serve_cmd =
              are refused.")
     Term.(const run $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
           $ retries_arg $ serve_seed_arg $ store $ max_queue_arg
-          $ quiet_arg)
+          $ ckpt_interval_serve_arg $ quiet_arg)
 
 let fleet_cmd =
   let cmd = "fleet" in
   let run socket shards store workers cache timeout retries seed max_queue
-      restart_budget quiet =
+      ckpt_interval restart_budget quiet =
     protect ~cmd (fun () ->
         if shards < 1 then die ~cmd "--shards must be at least 1";
         if restart_budget < 0 then
           die ~cmd "--restart-budget must not be negative";
         serve_checks ~cmd workers cache timeout retries;
         if max_queue < 1 then die ~cmd "--max-queue must be at least 1";
+        if ckpt_interval < 0 then
+          die ~cmd "--ckpt-interval must not be negative";
         let on_log =
           if quiet then ignore
           else fun line -> Printf.eprintf "flexl0 fleet: %s\n%!" line
@@ -803,7 +874,8 @@ let fleet_cmd =
           {
             (Fleet.default ~prefix:socket ~shards) with
             Fleet.store_root = store; workers; cache_capacity = cache;
-            timeout; retries; seed; max_queue; restart_budget; on_log;
+            timeout; retries; seed; max_queue; ckpt_interval;
+            restart_budget; on_log;
           })
   in
   let shards =
@@ -833,13 +905,15 @@ let fleet_cmd =
              shard.")
     Term.(const run $ socket_arg $ shards $ store $ workers_arg $ cache_arg
           $ timeout_arg $ retries_arg $ serve_seed_arg $ max_queue_arg
-          $ restart_budget $ quiet_arg)
+          $ ckpt_interval_serve_arg $ restart_budget $ quiet_arg)
 
 let chaos_cmd =
   let cmd = "chaos" in
-  let run socket store shards benches systems seed overload quiet =
+  let run socket store shards benches systems seed overload midsim quiet =
     protect ~cmd (fun () ->
-        if (not overload) && shards < 2 then
+        if overload && midsim then
+          die ~cmd "--overload and --midsim are mutually exclusive";
+        if (not overload) && (not midsim) && shards < 2 then
           die ~cmd "--shards must be at least 2";
         let tmp_root = ref None in
         let store_root =
@@ -876,7 +950,27 @@ let chaos_cmd =
               (if systems = [] then [ "l0"; "baseline" ] else systems);
           }
         in
-        if overload then begin
+        if midsim then begin
+          let m = Flexl0_serve.Chaos.midsim cfg in
+          Printf.printf
+            "midsim verdict: %s — %d/%d byte-identical, %d kill -9 \
+             mid-simulation, %d checkpoint resumes, %d checkpoint \
+             bit-flips survived\n"
+            (if Flexl0_serve.Chaos.midsim_passed m then "PASS" else "FAIL")
+            m.Flexl0_serve.Chaos.m_matches m.Flexl0_serve.Chaos.m_requests
+            m.Flexl0_serve.Chaos.m_kills m.Flexl0_serve.Chaos.m_resumes
+            m.Flexl0_serve.Chaos.m_flips;
+          List.iter
+            (fun msg -> Printf.eprintf "flexl0 chaos: FAIL: %s\n" msg)
+            m.Flexl0_serve.Chaos.m_failures;
+          (match !tmp_root with
+          | Some dir when Flexl0_serve.Chaos.midsim_passed m ->
+            ignore
+              (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+          | _ -> ());
+          if not (Flexl0_serve.Chaos.midsim_passed m) then exit 1
+        end
+        else if overload then begin
           let v = Flexl0_serve.Chaos.overload cfg in
           Printf.printf
             "overload verdict: %s — %d/%d byte-identical, %d typed sheds \
@@ -930,6 +1024,17 @@ let chaos_cmd =
                  byte-identical), slow clients are shed on their deadlines, \
                  and the daemon never stalls or crashes.")
   in
+  let midsim =
+    Arg.(value & flag & info [ "midsim" ]
+           ~doc:"Run the mid-simulation pass instead of the failover pass: \
+                 boot one checkpointing daemon, ship a genuine mid-run \
+                 checkpoint ahead of the first request, kill -9 its worker \
+                 mid-simulation, flip a bit in the checkpoint file between \
+                 kills — and fail unless every response stays \
+                 byte-identical to the direct path, at least one attempt \
+                 resumed from a checkpoint, and the damaged checkpoint was \
+                 survived.")
+  in
   let shards =
     Arg.(value & opt int 3 & info [ "n"; "shards" ] ~docv:"N"
            ~doc:"Fleet size under attack (at least 2, so failover has \
@@ -957,9 +1062,11 @@ let chaos_cmd =
              response stays byte-identical to the direct CLI and the killed \
              shard comes back warm (store hits, zero worker forks). With \
              --overload, attack one daemon with floods, slow lorises and a \
-             mid-batch kill -9 instead. Exits 1 on any violation.")
+             mid-batch kill -9 instead; with --midsim, kill -9 workers \
+             mid-simulation and demand checkpointed resume. Exits 1 on any \
+             violation.")
     Term.(const run $ socket_arg $ store $ shards $ benchmarks_arg
-          $ systems $ seed $ overload $ quiet_arg)
+          $ systems $ seed $ overload $ midsim $ quiet_arg)
 
 let client_cmd =
   let cmd = "client" in

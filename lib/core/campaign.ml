@@ -24,16 +24,14 @@ let fuzz ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Strict) ?systems
   let jobs =
     List.mapi
       (fun bi cs ->
-        {
-          Runner.id = Printf.sprintf "fuzz-%06d" bi;
-          work =
-            (fun ~seed:_ ->
-              List.map
-                (fun (c : Fuzz.case) ->
-                  Fuzz.run_case ?faults:c.Fuzz.c_faults ~sanitizer ~systems
-                    c.Fuzz.c_kernel)
-                cs);
-        })
+        Runner.job
+          ~id:(Printf.sprintf "fuzz-%06d" bi)
+          (fun ~seed:_ ->
+            List.map
+              (fun (c : Fuzz.case) ->
+                Fuzz.run_case ?faults:c.Fuzz.c_faults ~sanitizer ~systems
+                  c.Fuzz.c_kernel)
+              cs))
       batches
   in
   let outcomes = Runner.run runner jobs in

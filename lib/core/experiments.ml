@@ -30,28 +30,44 @@ let default_benchmarks () = Mediabench.all ()
    (benchmark by benchmark, baseline first, then each system), so the
    figure's bytes are independent of worker count and completion
    order. *)
-let normalized_figure ~title ?baseline ?runner ?max_cycles ~systems benchmarks
-    =
+let normalized_figure ~title ?baseline ?runner ?checkpoint_interval ?max_cycles
+    ~systems benchmarks =
   let baseline =
     match baseline with Some b -> b | None -> Pipeline.baseline_system ()
   in
   let all_systems = baseline :: systems in
+  let cell_work sys b ~ckpt =
+    (* With an interval set, the cell simulates under mid-run
+       checkpointing through the runner's per-job channel: a retried or
+       resumed cell fast-forwards its finished loops and re-enters the
+       interrupted one at the saved cycle. Results are byte-identical
+       either way. *)
+    match checkpoint_interval with
+    | Some interval when interval > 0 ->
+      Pipeline.run_benchmark_ckpt ?max_cycles sys ~interval
+        ~save:ckpt.Runner.ck_save
+        ~prior:(ckpt.Runner.ck_load ())
+        b
+    | _ -> Pipeline.run_benchmark_result ?max_cycles sys b
+  in
   let cell_jobs (b : Mediabench.benchmark) =
     List.mapi
       (fun idx (sys : Pipeline.system) ->
-        {
-          Runner.id =
-            Printf.sprintf "%s/%d-%s" b.Mediabench.bname idx sys.Pipeline.label;
-          work =
-            (fun ~seed:_ -> Pipeline.run_benchmark_result ?max_cycles sys b);
-        })
+        Runner.job_ckpt
+          ~id:
+            (Printf.sprintf "%s/%d-%s" b.Mediabench.bname idx
+               sys.Pipeline.label)
+          (fun ~ckpt ~seed:_ -> cell_work sys b ~ckpt))
       all_systems
   in
   let jobs = List.concat_map cell_jobs benchmarks in
   let outcomes =
     match runner with
     | Some cfg -> Runner.run cfg jobs
-    | None -> List.map (fun j -> Runner.Done (j.Runner.work ~seed:0)) jobs
+    | None ->
+      List.map
+        (fun j -> Runner.Done (j.Runner.work ~ckpt:Runner.null_ckpt ~seed:0))
+        jobs
   in
   let cell = function
     | Runner.Done r -> r
@@ -145,7 +161,7 @@ let normalized_figure ~title ?baseline ?runner ?max_cycles ~systems benchmarks
     skipped = List.rev !skipped;
   }
 
-let fig5 ?benchmarks ?max_ii ?runner ?max_cycles () =
+let fig5 ?benchmarks ?max_ii ?runner ?checkpoint_interval ?max_cycles () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
@@ -160,9 +176,9 @@ let fig5 ?benchmarks ?max_ii ?runner ?max_cycles () =
   normalized_figure
     ~title:"Figure 5: execution time vs L0 buffer size (normalized to no-L0)"
     ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
-    ?runner ?max_cycles ~systems benchmarks
+    ?runner ?checkpoint_interval ?max_cycles ~systems benchmarks
 
-let fig7 ?benchmarks ?max_ii ?runner ?max_cycles () =
+let fig7 ?benchmarks ?max_ii ?runner ?checkpoint_interval ?max_cycles () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> default_benchmarks ()
   in
@@ -179,7 +195,7 @@ let fig7 ?benchmarks ?max_ii ?runner ?max_cycles () =
       "Figure 7: L0 buffers vs MultiVLIW vs word-interleaved cache \
        (normalized to no-L0 unified)"
     ?baseline:(Option.map (fun max_ii -> Pipeline.baseline_system ~max_ii ()) max_ii)
-    ?runner ?max_cycles ~systems benchmarks
+    ?runner ?checkpoint_interval ?max_cycles ~systems benchmarks
 
 type fig6_row = {
   f6_bench : string;

@@ -28,6 +28,7 @@ val normalized_figure :
   title:string ->
   ?baseline:Pipeline.system ->
   ?runner:Runner.config ->
+  ?checkpoint_interval:int ->
   ?max_cycles:int ->
   systems:Pipeline.system list ->
   Mediabench.benchmark list ->
@@ -47,12 +48,20 @@ val normalized_figure :
     canonical cell order, so its bytes are identical whatever the
     worker count or completion order. [max_cycles] overrides every
     simulation's cycle-watchdog budget
-    ({!Pipeline.run_benchmark_result}). *)
+    ({!Pipeline.run_benchmark_result}).
+
+    [checkpoint_interval] (ticks, off when absent or [<= 0]) runs each
+    cell under {!Pipeline.run_benchmark_ckpt} through the runner's
+    per-job checkpoint channel: an interrupted cell — SIGKILLed worker,
+    timeout, whole-campaign restart under [resume] — re-enters its
+    in-flight loop at the last checkpointed cycle instead of restarting
+    the cell. Figure bytes are identical with or without it. *)
 
 val fig5 :
   ?benchmarks:Mediabench.benchmark list ->
   ?max_ii:int ->
   ?runner:Runner.config ->
+  ?checkpoint_interval:int ->
   ?max_cycles:int ->
   unit ->
   figure
@@ -66,6 +75,7 @@ val fig7 :
   ?benchmarks:Mediabench.benchmark list ->
   ?max_ii:int ->
   ?runner:Runner.config ->
+  ?checkpoint_interval:int ->
   ?max_cycles:int ->
   unit ->
   figure

@@ -117,13 +117,27 @@ let run_schedule system ?(verify = true) ?(invocations = 1) ?max_cycles ?faults
     ~invocations ~verify ?max_cycles ?faults ?sanitizer ()
 
 let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ?max_cycles
-    ?faults ?sanitizer ~repeat loop =
+    ?faults ?sanitizer ?checkpoint ?resume ~repeat loop =
   let sch = compile system loop in
   let invocations = max 1 (min repeat max_sim_invocations) in
+  let hierarchy ~backing = system.make_hierarchy system.config ~backing in
+  let fresh () =
+    Exec.run system.config sch ~hierarchy ~invocations ~verify ?max_cycles
+      ?faults ?sanitizer ?checkpoint ()
+  in
   let sim =
-    Exec.run system.config sch
-      ~hierarchy:(fun ~backing -> system.make_hierarchy system.config ~backing)
-      ~invocations ~verify ?max_cycles ?faults ?sanitizer ()
+    match resume with
+    | None -> fresh ()
+    | Some payload -> (
+      (* A snapshot that no longer matches this loop's parameterization
+         (different binary, edited campaign) is not an error — the loop
+         just runs from the start, as if the checkpoint never existed. *)
+      match
+        Exec.resume_from payload system.config sch ~hierarchy ~invocations
+          ~verify ?max_cycles ?faults ?sanitizer ?checkpoint ()
+      with
+      | Ok r -> r
+      | Error _ -> fresh ())
   in
   let scale = float_of_int repeat /. float_of_int invocations in
   {
@@ -136,10 +150,10 @@ let run_loop system ?(verify = true) ?(max_sim_invocations = 4) ?max_cycles
   }
 
 let run_loop_result system ?(verify = true) ?max_sim_invocations ?max_cycles
-    ?faults ?sanitizer ~repeat loop =
+    ?faults ?sanitizer ?checkpoint ?resume ~repeat loop =
   match
     run_loop system ~verify ?max_sim_invocations ?max_cycles ?faults ?sanitizer
-      ~repeat loop
+      ?checkpoint ?resume ~repeat loop
   with
   | lr ->
     if verify && lr.sim.Exec.value_mismatches > 0 then
@@ -199,6 +213,102 @@ let run_benchmark_result system ?(verify = true) ?max_cycles
             0 loop_runs;
       })
     (go [] b.Mediabench.loops)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointed benchmark cells. One benchmark = a sequence of loop
+   simulations; the checkpoint records the completed prefix plus (when a
+   loop is mid-flight) the executor's own snapshot, so an interrupted
+   cell resumes at cycle granularity, not from the benchmark's start. *)
+
+type bench_ckpt = {
+  bc_bench : string;
+  bc_system : string;
+  bc_done : loop_run list;  (** completed loops, in benchmark order *)
+  bc_inflight : string option;
+      (** [Exec] snapshot of the next loop, when it was mid-simulation *)
+}
+
+(* Format guard in front of the marshalled record. [Marshal] offers no
+   type safety: reading a structurally different value as a [bench_ckpt]
+   is undefined behavior, not an exception — so a payload must prove it
+   was written by this codec before it is unmarshalled at all. Bump the
+   version whenever [bench_ckpt] or [loop_run] changes shape. *)
+let bench_ckpt_magic = "FLBC1\n"
+
+let run_benchmark_ckpt system ?(verify = true) ?max_cycles ~interval ~save
+    ~prior (b : Mediabench.benchmark) =
+  if interval < 1 then
+    invalid_arg "Pipeline.run_benchmark_ckpt: interval must be >= 1";
+  let nloops = List.length b.Mediabench.loops in
+  let magic_len = String.length bench_ckpt_magic in
+  let prior_done, prior_inflight =
+    match prior with
+    | None -> ([], None)
+    | Some payload
+      when String.length payload < magic_len
+           || String.sub payload 0 magic_len <> bench_ckpt_magic ->
+      (* not this codec's payload at all — a shipped checkpoint from an
+         older binary or another subsystem; start fresh *)
+      ([], None)
+    | Some payload -> (
+      (* The payload travels in digest-checked frames, but it may still
+         come from a different cell (reshuffled campaign) or an
+         incompatible binary — anything that does not validate restarts
+         the cell from scratch rather than poisoning it. *)
+      match (Marshal.from_string payload magic_len : bench_ckpt) with
+      | ck
+        when ck.bc_bench = b.Mediabench.bname
+             && ck.bc_system = system.label
+             && List.length ck.bc_done <= nloops ->
+        (ck.bc_done, ck.bc_inflight)
+      | _ -> ([], None)
+      | exception _ -> ([], None))
+  in
+  let ndone = List.length prior_done in
+  let save_ckpt done_rev inflight =
+    save
+      (bench_ckpt_magic
+      ^ Marshal.to_string
+          { bc_bench = b.Mediabench.bname; bc_system = system.label;
+            bc_done = List.rev done_rev; bc_inflight = inflight }
+          [])
+  in
+  let rec go acc idx = function
+    | [] -> Ok (List.rev acc)
+    | { Mediabench.loop; repeat } :: rest ->
+      if idx < ndone then go (List.nth prior_done idx :: acc) (idx + 1) rest
+      else begin
+        let resume = if idx = ndone then prior_inflight else None in
+        let sink snap = save_ckpt acc (Some snap) in
+        match
+          run_loop_result system ~verify ?max_cycles
+            ~checkpoint:(interval, sink) ?resume ~repeat loop
+        with
+        | Ok lr ->
+          let acc = lr :: acc in
+          (* Loop-boundary checkpoint: the finished prefix is durable
+             even between executor checkpoints. *)
+          save_ckpt acc None;
+          go acc (idx + 1) rest
+        | Error _ as e -> e
+      end
+  in
+  Result.map
+    (fun loop_runs ->
+      {
+        bench_name = b.Mediabench.bname;
+        system_label = system.label;
+        loop_runs;
+        loop_cycles =
+          List.fold_left (fun acc r -> acc +. r.scaled_cycles) 0.0 loop_runs;
+        loop_stalls =
+          List.fold_left (fun acc r -> acc +. r.scaled_stalls) 0.0 loop_runs;
+        mismatches =
+          List.fold_left
+            (fun acc r -> acc + r.sim.Exec.value_mismatches)
+            0 loop_runs;
+      })
+    (go [] 0 b.Mediabench.loops)
 
 let execution_time run ~baseline ~scalar_fraction =
   let scalar =

@@ -81,14 +81,19 @@ val run_schedule :
 val run_loop :
   system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
   ?faults:Flexl0_sim.Fault.plan -> ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?checkpoint:int * (string -> unit) -> ?resume:string ->
   repeat:int -> Loop.t -> loop_run
 (** Compiles with {!compile} and simulates [min repeat
     max_sim_invocations] back-to-back invocations, scaling cycle counts
-    to [repeat] (default cap 4). *)
+    to [repeat] (default cap 4). [checkpoint] and [resume] thread
+    through to {!Flexl0_sim.Exec.run} / {!Flexl0_sim.Exec.resume_from};
+    a [resume] snapshot that does not validate against this loop's
+    parameterization silently falls back to a fresh run. *)
 
 val run_loop_result :
   system -> ?verify:bool -> ?max_sim_invocations:int -> ?max_cycles:int ->
   ?faults:Flexl0_sim.Fault.plan -> ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?checkpoint:int * (string -> unit) -> ?resume:string ->
   repeat:int -> Loop.t -> (loop_run, Errors.t) result
 (** {!run_loop} with every failure mode in the typed channel:
     [Schedule_infeasible], [Watchdog_timeout], [Config_invalid],
@@ -109,6 +114,35 @@ val run_benchmark_result :
     ({!Flexl0_sim.Exec.default_max_cycles}) rather than being one fixed
     constant, and a tripped watchdog names the offending loop in the
     [Watchdog_timeout] payload. *)
+
+(** A benchmark cell's checkpoint: the completed loop prefix plus, when
+    a loop was mid-simulation, the executor's own cycle-level snapshot.
+    Crosses attempts as a [Marshal]ed payload inside digest-checked
+    frames (the {!Runner.ckpt} channel), same-binary contract as the
+    journal. *)
+type bench_ckpt = {
+  bc_bench : string;
+  bc_system : string;
+  bc_done : loop_run list;
+  bc_inflight : string option;
+}
+
+val run_benchmark_ckpt :
+  system ->
+  ?verify:bool ->
+  ?max_cycles:int ->
+  interval:int ->
+  save:(string -> unit) ->
+  prior:string option ->
+  Mediabench.benchmark ->
+  (bench_run, Errors.t) result
+(** {!run_benchmark_result} with mid-run checkpointing: every [interval]
+    simulated ticks (and at every loop boundary) a {!bench_ckpt} is
+    handed to [save]; [prior] (from a previous attempt's last [save])
+    fast-forwards past the completed loops and resumes the in-flight one
+    from its snapshot. A [prior] from a different cell or an
+    incompatible binary is ignored. The result is byte-identical to an
+    uninterrupted {!run_benchmark_result}. *)
 
 val execution_time :
   bench_run -> baseline:bench_run -> scalar_fraction:float -> float * float

@@ -2,7 +2,18 @@ module Journal = Flexl0_util.Journal
 module Frame = Flexl0_util.Frame
 module Rng = Flexl0_util.Rng
 
-type 'a job = { id : string; work : seed:int -> 'a }
+(* Checkpoint channel handed to a job's work. Backed by a per-job file
+   under the journal dir when one is configured, inert otherwise — jobs
+   write through it unconditionally and stay oblivious to whether
+   persistence is on. *)
+type ckpt = { ck_save : string -> unit; ck_load : unit -> string option }
+
+let null_ckpt = { ck_save = ignore; ck_load = (fun () -> None) }
+
+type 'a job = { id : string; work : ckpt:ckpt -> seed:int -> 'a }
+
+let job ~id work = { id; work = (fun ~ckpt:_ ~seed -> work ~seed) }
+let job_ckpt ~id work = { id; work }
 
 type skip = {
   sk_job : string;
@@ -21,6 +32,7 @@ let skip_message sk =
 
 type progress =
   | Job_started of { job : string; attempt : int }
+  | Job_resumed of { job : string; attempt : int }
   | Job_done of string
   | Job_cached of string
   | Job_retry of { job : string; attempt : int; delay : float; reason : string }
@@ -35,6 +47,7 @@ type config = {
   seed : int;
   journal_dir : string option;
   resume : bool;
+  resync_journal : bool;
   on_progress : progress -> unit;
 }
 
@@ -48,6 +61,7 @@ let default =
     seed = 0;
     journal_dir = None;
     resume = false;
+    resync_journal = false;
     on_progress = ignore;
   }
 
@@ -147,6 +161,59 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Per-job checkpoint files: [<journal_dir>/ckpt.<id>-<digest8>]. A
+   worker appends Frame-encoded snapshots as it runs; on a retry (or a
+   [--resume] restart) the fresh attempt reads the last intact frame
+   back and continues mid-job instead of from scratch. The digest suffix
+   keeps sanitized ids collision-free. *)
+
+let ckpt_prefix = "ckpt."
+
+let ckpt_filename id =
+  let sane =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_') as c -> c | _ -> '_')
+      id
+  in
+  Printf.sprintf "%s%s-%s" ckpt_prefix sane
+    (String.sub (Digest.to_hex (Digest.string id)) 0 8)
+
+let ckpt_save path payload =
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_creat; Open_append; Open_binary ]
+      0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Frame.encode payload);
+      flush oc)
+
+(* Last intact frame wins; the resynchronizing scan survives both a torn
+   tail (killed mid-append) and a corrupted frame in the middle. *)
+let ckpt_load path () =
+  match Journal.load_frames ~replay:Journal.Resync path with
+  | [], _ -> None
+  | frames, _ -> Some (List.nth frames (List.length frames - 1))
+
+let file_ckpt path = { ck_save = ckpt_save path; ck_load = ckpt_load path }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let remove_stale_ckpts dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun f ->
+        if starts_with ~prefix:ckpt_prefix f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      entries
+  | exception Sys_error _ -> ()
+
 let validate cfg jobs =
   if cfg.jobs < 1 then
     invalid_arg
@@ -169,6 +236,15 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
   let results : 'a outcome option array = Array.make n None in
   (* Resume: satisfy jobs from intact journal entries before running
      anything. Later entries win (a re-run job supersedes its past). *)
+  let ckpt_path id =
+    Option.map (fun dir -> Filename.concat dir (ckpt_filename id)) cfg.journal_dir
+  in
+  let remove_ckpt id =
+    match ckpt_path id with
+    | Some p when Sys.file_exists p -> (
+      try Sys.remove p with Sys_error _ -> ())
+    | _ -> ()
+  in
   let writer =
     match cfg.journal_dir with
     | None -> None
@@ -176,10 +252,14 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
       mkdir_p dir;
       let path = Filename.concat dir "journal" in
       if cfg.resume then begin
+        let replay =
+          if cfg.resync_journal then Journal.Resync
+          else Journal.Stop_at_first_defect
+        in
         let by_id = Hashtbl.create 64 in
         List.iter
           (fun (e : Journal.entry) -> Hashtbl.replace by_id e.Journal.e_job e)
-          (Journal.load path);
+          (Journal.load ~replay path);
         Array.iteri
           (fun i j ->
             match Hashtbl.find_opt by_id j.id with
@@ -190,6 +270,7 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
                 match (Marshal.from_string e.Journal.e_payload 0 : 'a) with
                 | v ->
                   results.(i) <- Some (Done v);
+                  remove_ckpt j.id;
                   cfg.on_progress (Job_cached j.id)
                 | exception _ -> () (* unreadable payload: re-run *))
               | Journal.Skipped reason ->
@@ -202,9 +283,14 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
                          sk_attempts = e.Journal.e_attempts;
                          sk_reason = reason;
                        });
+                remove_ckpt j.id;
                 cfg.on_progress (Job_cached j.id)))
           jobs
-      end;
+      end
+      else
+        (* A fresh (non-resume) campaign must not inherit mid-job state
+           from a previous one under the same journal dir. *)
+        remove_stale_ckpts dir;
       Some (Journal.open_writer ~append:cfg.resume path)
   in
   let journal idx attempts status payload =
@@ -230,9 +316,11 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
     (match outcome with
     | Done _ ->
       journal idx attempts Journal.Done payload;
+      remove_ckpt jobs.(idx).id;
       cfg.on_progress (Job_done jobs.(idx).id)
     | Gave_up sk ->
       journal idx attempts (Journal.Skipped sk.sk_reason) "";
+      remove_ckpt jobs.(idx).id;
       cfg.on_progress (Job_gave_up sk))
   in
   let attempt_failed idx ~attempt reason =
@@ -264,8 +352,19 @@ let run (cfg : config) (jobs : 'a job list) : 'a outcome list =
   let spawn idx attempt =
     let job = jobs.(idx) in
     let seed = job_seed ~seed:cfg.seed job.id in
+    let ckpt =
+      match ckpt_path job.id with Some p -> file_ckpt p | None -> null_ckpt
+    in
     cfg.on_progress (Job_started { job = job.id; attempt });
-    let pid, rd = fork_worker (fun () -> job.work ~seed) in
+    (* A checkpoint file on disk at spawn time means a previous attempt
+       (or a previous campaign under [--resume]) saved mid-job state the
+       worker can pick up. Whether it actually does is the job's call —
+       an incompatible snapshot falls back to a fresh start. *)
+    (match ckpt_path job.id with
+    | Some p when Sys.file_exists p ->
+      cfg.on_progress (Job_resumed { job = job.id; attempt })
+    | _ -> ());
+    let pid, rd = fork_worker (fun () -> job.work ~ckpt ~seed) in
     running :=
         {
           r_idx = idx;

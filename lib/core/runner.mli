@@ -40,15 +40,37 @@
     meaningful with the same binary and the same campaign parameters
     (same jobs, same seeds) — use a fresh run id when those change. *)
 
+(** A job's checkpoint channel. With [journal_dir] set, each job gets a
+    private file ([<dir>/ckpt.<id>-<digest>]): [ck_save] appends one
+    {!Flexl0_util.Frame}-encoded snapshot and flushes (crash mid-append
+    = torn tail, tolerated); [ck_load] returns the last intact snapshot
+    from a previous attempt or a [--resume]d campaign, [None] when there
+    is none. Without a journal dir the channel is inert ([ck_save]
+    drops, [ck_load] is [None]) — jobs use it unconditionally. The
+    runner deletes the file when the job reaches a terminal outcome, and
+    a fresh (non-resume) campaign clears all leftover checkpoint files
+    in its journal dir at startup. *)
+type ckpt = { ck_save : string -> unit; ck_load : unit -> string option }
+
+val null_ckpt : ckpt
+
 type 'a job = {
   id : string;
-      (** stable, campaign-unique id — the journal key and the seed key *)
-  work : seed:int -> 'a;
+      (** stable, campaign-unique id — the journal key, the seed key and
+          the checkpoint-file key *)
+  work : ckpt:ckpt -> seed:int -> 'a;
       (** runs in a forked child; must return marshallable data. An
-          exception escaping [work] fails the attempt (and is retried);
-          expected failures should be part of ['a] (e.g. a [result]) so
-          they complete the job instead. *)
+          exception escaping [work] fails the attempt (and is retried —
+          a retry sees whatever the failed attempt [ck_save]d, so a
+          checkpointing job ratchets forward across attempts instead of
+          restarting); expected failures should be part of ['a] (e.g. a
+          [result]) so they complete the job instead. *)
 }
+
+val job : id:string -> (seed:int -> 'a) -> 'a job
+(** A plain job that ignores its checkpoint channel. *)
+
+val job_ckpt : id:string -> (ckpt:ckpt -> seed:int -> 'a) -> 'a job
 
 (** A job that exhausted its retries. *)
 type skip = {
@@ -65,6 +87,9 @@ val skip_message : skip -> string
 (** Supervision events, for progress reporting. *)
 type progress =
   | Job_started of { job : string; attempt : int }
+  | Job_resumed of { job : string; attempt : int }
+      (** emitted right after [Job_started] when a checkpoint file from
+          an earlier attempt (or a resumed campaign) awaits the worker *)
   | Job_done of string
   | Job_cached of string  (** satisfied from the resume journal *)
   | Job_retry of {
@@ -83,14 +108,21 @@ type config = {
   backoff_max : float;  (** backoff growth cap, seconds *)
   seed : int;  (** master seed for per-job seeds and jitter *)
   journal_dir : string option;
-      (** journal at [<dir>/journal]; created if missing *)
+      (** journal at [<dir>/journal], checkpoint files beside it;
+          created if missing *)
   resume : bool;  (** reuse intact journal entries instead of re-running *)
+  resync_journal : bool;
+      (** replay the journal with {!Flexl0_util.Journal.Resync} — skip a
+          mid-file corrupt record and keep the entries after it, instead
+          of the default stop-at-first-defect (which re-runs every job
+          journalled after the damage). Opt-in because skipping is
+          silent. *)
   on_progress : progress -> unit;
 }
 
 val default : config
 (** One worker, no timeout, 2 retries, backoff 0.5s doubling to 30s,
-    seed 0, no journal, silent. *)
+    seed 0, no journal, stop-at-first-defect replay, silent. *)
 
 val job_seed : seed:int -> string -> int
 (** The seed a job's [work] receives: a pure function of the master

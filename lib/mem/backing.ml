@@ -42,3 +42,11 @@ let read_into t ~addr ~len dst ~pos =
 let write_bytes t ~addr b =
   check t addr (Bytes.length b);
   Bytes.blit b 0 t addr (Bytes.length b)
+
+let snap t w =
+  Flexl0_util.Flatio.W.tag w "MEM0";
+  Flexl0_util.Flatio.W.bytes w t
+
+let restore t r =
+  Flexl0_util.Flatio.R.tag r "MEM0";
+  Flexl0_util.Flatio.R.bytes_into r t

@@ -30,3 +30,10 @@ val write_bytes : t -> addr:int -> Bytes.t -> unit
 val read_into : t -> addr:int -> len:int -> Bytes.t -> pos:int -> unit
 (** Like {!read_bytes} into a caller-provided buffer at [pos] — the
     allocation-free variant for hot fill paths. *)
+
+(** {1 Snapshot} — the whole memory image as one contiguous write;
+    restore blits in place (the backing's identity is captured by
+    hierarchy closures and must never change). *)
+
+val snap : t -> Flexl0_util.Flatio.W.t -> unit
+val restore : t -> Flexl0_util.Flatio.R.t -> unit

@@ -1,29 +1,71 @@
-(* Each cluster keeps a sparse set of busy cycles near the present. A
-   hashtable keyed by cycle is plenty: the simulator advances
-   monotonically and old entries are left behind (bounded by total
-   accesses, which the experiment sizes keep small). *)
+open Flexl0_util
 
-type t = { busy : (int * int, unit) Hashtbl.t; clusters : int }
+(* Each cluster keeps its busy cycles in a flat cycle-tagged ring (the
+   same discipline as {!Unified}'s L0 port ring): slot [at mod window]
+   holds the cycle it was last claimed for, and a tag that is not the
+   probed cycle means free. The simulator's [now] never decreases within
+   a state's lifetime and claims land at most a bus wait plus the L1/L2
+   latency ahead of it — orders of magnitude below the window — so a
+   recycled slot can only ever hold an expired claim. Replacing the old
+   sparse hashtable makes bus state a contiguous int array: probes are
+   one load, and a snapshot is a single array write. *)
 
-let create ~clusters = { busy = Hashtbl.create 4096; clusters }
+let window = 1024
+
+type t = {
+  tags : int array;  (* [cluster * window + (at mod window)] = claimed cycle *)
+  clusters : int;
+  mutable hi : int;  (* highest cycle ever claimed *)
+}
+
+let create ~clusters = { tags = Array.make (clusters * window) (-1); clusters; hi = 0 }
 
 let check_cluster t cluster =
   if cluster < 0 || cluster >= t.clusters then
     invalid_arg (Printf.sprintf "Bus: cluster %d out of range" cluster)
 
+let slot cluster at = (cluster * window) + (at land (window - 1))
+
 let is_free t ~cluster ~at =
   check_cluster t cluster;
-  not (Hashtbl.mem t.busy (cluster, at))
+  t.tags.(slot cluster at) <> at
 
 let reserve t ~cluster ~at =
   check_cluster t cluster;
-  Hashtbl.replace t.busy (cluster, at) ()
+  (* Window invariant (debug-build assert, like the L0 port ring): a
+     claim must never overwrite a *newer* tag — that would erase a live
+     future claim the wraparound aliased onto this slot. Claims stay
+     within [window] of the monotone present, so the evicted tag is
+     always older. *)
+  assert (t.tags.(slot cluster at) <= at);
+  t.tags.(slot cluster at) <- at;
+  if at > t.hi then t.hi <- at
 
 let request t ~cluster ~now =
   check_cluster t cluster;
+  assert (t.hi - now < window);
   let rec find at = if is_free t ~cluster ~at then at else find (at + 1) in
   let grant = find now in
   reserve t ~cluster ~at:grant;
   grant
 
-let reset t = Hashtbl.reset t.busy
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hi <- 0
+
+let snap t w =
+  Flatio.W.tag w "BUS0";
+  Flatio.W.int w t.clusters;
+  Flatio.W.int w t.hi;
+  Flatio.W.int_array w t.tags
+
+let restore t r =
+  Flatio.R.tag r "BUS0";
+  let clusters = Flatio.R.int r in
+  if clusters <> t.clusters then
+    raise
+      (Flatio.Corrupt
+         (Printf.sprintf "Bus: snapshot has %d clusters, live bus has %d"
+            clusters t.clusters));
+  t.hi <- Flatio.R.int r;
+  Flatio.R.int_array_into r t.tags

@@ -24,3 +24,15 @@ val reserve : t -> cluster:int -> at:int -> unit
     miss cycle of a SEQ access). *)
 
 val reset : t -> unit
+
+(** {1 Snapshot}
+
+    Bus state is a flat cycle-tagged ring per cluster, so a snapshot is
+    one contiguous array write and restore is an in-place blit (the bus
+    value itself is captured by hierarchy closures and never replaced). *)
+
+val snap : t -> Flexl0_util.Flatio.W.t -> unit
+
+val restore : t -> Flexl0_util.Flatio.R.t -> unit
+(** Raises {!Flexl0_util.Flatio.Corrupt} when the snapshot's geometry
+    does not match the live bus. *)

@@ -14,7 +14,33 @@ type t = {
   invariants : unit -> string list;
   counters : Flexl0_util.Stats.Counters.t;
   backing : Backing.t;
+  snap : Flexl0_util.Flatio.W.t -> unit;
+  restore : Flexl0_util.Flatio.R.t -> unit;
 }
+
+let snap_counters counters w =
+  let open Flexl0_util in
+  let l = Flexl0_util.Stats.Counters.to_list counters in
+  Flatio.W.tag w "CNT0";
+  Flatio.W.int w (List.length l);
+  List.iter
+    (fun (name, n) ->
+      Flatio.W.string w name;
+      Flatio.W.int w n)
+    l
+
+let restore_counters counters r =
+  let open Flexl0_util in
+  Flatio.R.tag r "CNT0";
+  let n = Flatio.R.int r in
+  if n < 0 then raise (Flatio.Corrupt "counters: negative count");
+  let l =
+    List.init n (fun _ ->
+        let name = Flatio.R.string r in
+        let v = Flatio.R.int r in
+        (name, v))
+  in
+  Flexl0_util.Stats.Counters.restore counters l
 
 let served_to_string = function
   | L0 -> "L0"

@@ -37,6 +37,26 @@ type t = {
           that. Decorators must forward to the inner hierarchy. *)
   counters : Flexl0_util.Stats.Counters.t;
   backing : Backing.t;
+  snap : Flexl0_util.Flatio.W.t -> unit;
+      (** Serialize {e every} bit of dynamic state — buffers, cache tags,
+          coherence state, port/bus rings, counters and the backing
+          memory — into the flat arena. The contract is byte-identity: a
+          run restored from a snapshot must be indistinguishable, in
+          results and counters, from the run that took it. Decorators
+          with hidden state (e.g. {!Flexl0_sim.Fault}'s RNG) must
+          forward to the inner hierarchy and append their own. *)
+  restore : Flexl0_util.Flatio.R.t -> unit;
+      (** In-place inverse of [snap]: mutate the live state the
+          hierarchy's closures captured — never replace the captured
+          records. Raises {!Flexl0_util.Flatio.Corrupt} on any
+          structural disagreement with the snapshot. *)
 }
 
 val served_to_string : served -> string
+
+val snap_counters : Flexl0_util.Stats.Counters.t -> Flexl0_util.Flatio.W.t -> unit
+(** Shared counter-set codec (sorted name/value pairs) used by every
+    hierarchy's [snap]. *)
+
+val restore_counters :
+  Flexl0_util.Stats.Counters.t -> Flexl0_util.Flatio.R.t -> unit

@@ -75,6 +75,30 @@ module Attraction = struct
     let k = find t word in
     if k >= 0 then remove_at t k
 
+  (* Word tags, LRU stamps and clock as three flat fields. *)
+  let snap t w =
+    Flatio.W.tag w "ATT0";
+    Flatio.W.int w t.capacity;
+    Flatio.W.int w t.n;
+    Flatio.W.int w t.clock;
+    Flatio.W.int_array w t.words;
+    Flatio.W.int_array w t.stamps
+
+  let restore t r =
+    Flatio.R.tag r "ATT0";
+    let capacity = Flatio.R.int r in
+    if capacity <> t.capacity then
+      raise
+        (Flatio.Corrupt
+           (Printf.sprintf "Attraction: snapshot capacity %d vs live %d" capacity
+              t.capacity));
+    t.n <- Flatio.R.int r;
+    t.clock <- Flatio.R.int r;
+    Flatio.R.int_array_into r t.words;
+    Flatio.R.int_array_into r t.stamps;
+    if t.n < 0 || t.n > Array.length t.words then
+      raise (Flatio.Corrupt (Printf.sprintf "Attraction: bad entry count %d" t.n))
+
   (* Structural self-check for the sanitizer. [is_remote] decides whether
      a cached word is legal in this buffer (attraction buffers only ever
      cache remotely-homed words — local words go to the local bank). *)
@@ -180,4 +204,18 @@ let create (cfg : Config.t) ~backing =
     invariants;
     counters;
     backing;
+    snap =
+      (fun w ->
+        Flatio.W.tag w "ILV0";
+        Backing.snap backing w;
+        Hierarchy.snap_counters counters w;
+        Array.iter (fun bank -> L1_cache.snap bank w) banks;
+        Array.iter (fun ab -> Attraction.snap ab w) abs);
+    restore =
+      (fun r ->
+        Flatio.R.tag r "ILV0";
+        Backing.restore backing r;
+        Hierarchy.restore_counters counters r;
+        Array.iter (fun bank -> L1_cache.restore bank r) banks;
+        Array.iter (fun ab -> Attraction.restore ab r) abs);
   }

@@ -274,3 +274,76 @@ let next_mapping ~geometry ~distance direction mapping =
   | Interleaved { block; gran; lane } ->
     Interleaved
       { block = block + (sign * distance * geometry.Addr.block_bytes); gran; lane }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot *)
+
+let prefetch_code = function
+  | Hint.No_prefetch -> 0
+  | Hint.Positive -> 1
+  | Hint.Negative -> 2
+
+let prefetch_of_code = function
+  | 0 -> Hint.No_prefetch
+  | 1 -> Hint.Positive
+  | 2 -> Hint.Negative
+  | n -> raise (Flexl0_util.Flatio.Corrupt (Printf.sprintf "L0: bad prefetch code %d" n))
+
+let snap t w =
+  let open Flexl0_util in
+  Flatio.W.tag w "L0B0";
+  Flatio.W.int w t.n;
+  Flatio.W.int w t.clock;
+  for k = 0 to t.n - 1 do
+    let e = t.slots.(k) in
+    (match e.mapping with
+    | Linear { base } ->
+      Flatio.W.int w 0;
+      Flatio.W.int w base
+    | Interleaved { block; gran; lane } ->
+      Flatio.W.int w 1;
+      Flatio.W.int w block;
+      Flatio.W.int w gran;
+      Flatio.W.int w lane);
+    Flatio.W.bytes w e.data;
+    Flatio.W.int w e.gran;
+    Flatio.W.int w e.last_use;
+    Flatio.W.int w e.ready_at;
+    Flatio.W.int w (prefetch_code e.prefetch)
+  done
+
+let restore t r =
+  let open Flexl0_util in
+  Flatio.R.tag r "L0B0";
+  let n = Flatio.R.int r in
+  (match t.cap with
+  | Some cap when n > cap ->
+    raise
+      (Flatio.Corrupt
+         (Printf.sprintf "L0: snapshot holds %d entries, capacity is %d" n cap))
+  | _ -> ());
+  if n < 0 then raise (Flatio.Corrupt "L0: negative entry count");
+  t.clock <- Flatio.R.int r;
+  if n > Array.length t.slots then t.slots <- Array.make (max 8 n) dummy;
+  for k = 0 to n - 1 do
+    let mapping =
+      match Flatio.R.int r with
+      | 0 -> Linear { base = Flatio.R.int r }
+      | 1 ->
+        let block = Flatio.R.int r in
+        let gran = Flatio.R.int r in
+        let lane = Flatio.R.int r in
+        Interleaved { block; gran; lane }
+      | c -> raise (Flatio.Corrupt (Printf.sprintf "L0: bad mapping code %d" c))
+    in
+    let data = Flatio.R.bytes r in
+    let gran = Flatio.R.int r in
+    let last_use = Flatio.R.int r in
+    let ready_at = Flatio.R.int r in
+    let prefetch = prefetch_of_code (Flatio.R.int r) in
+    t.slots.(k) <- { mapping; data; gran; last_use; ready_at; prefetch }
+  done;
+  for k = n to t.n - 1 do
+    t.slots.(k) <- dummy
+  done;
+  t.n <- n

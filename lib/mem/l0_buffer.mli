@@ -98,3 +98,9 @@ val check_invariants : ?label:string -> t -> string list
     every entry exactly one subblock of data, LRU stamps behind the
     buffer clock and pairwise distinct. Returns one message per violated
     invariant (prefixed with [label]); healthy buffers return []. *)
+
+(** {1 Snapshot} — entry count, clock and every resident entry (mapping,
+    data bytes, LRU stamp, in-flight completion time, prefetch hint). *)
+
+val snap : t -> Flexl0_util.Flatio.W.t -> unit
+val restore : t -> Flexl0_util.Flatio.R.t -> unit

@@ -85,3 +85,29 @@ let misses t = t.miss_count
 let reset_stats t =
   t.hit_count <- 0;
   t.miss_count <- 0
+
+let snap t w =
+  let open Flexl0_util in
+  Flatio.W.tag w "L1C0";
+  Flatio.W.int w t.sets;
+  Flatio.W.int w t.ways;
+  Flatio.W.int w t.clock;
+  Flatio.W.int w t.hit_count;
+  Flatio.W.int w t.miss_count;
+  Array.iter (fun row -> Flatio.W.int_array w row) t.tags;
+  Array.iter (fun row -> Flatio.W.int_array w row) t.stamp
+
+let restore t r =
+  let open Flexl0_util in
+  Flatio.R.tag r "L1C0";
+  let sets = Flatio.R.int r and ways = Flatio.R.int r in
+  if sets <> t.sets || ways <> t.ways then
+    raise
+      (Flatio.Corrupt
+         (Printf.sprintf "L1_cache: snapshot geometry %dx%d vs live %dx%d" sets
+            ways t.sets t.ways));
+  t.clock <- Flatio.R.int r;
+  t.hit_count <- Flatio.R.int r;
+  t.miss_count <- Flatio.R.int r;
+  Array.iter (fun row -> Flatio.R.int_array_into r row) t.tags;
+  Array.iter (fun row -> Flatio.R.int_array_into r row) t.stamp

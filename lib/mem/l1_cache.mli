@@ -29,3 +29,9 @@ val probe : t -> addr:int -> bool
 val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
+
+(** {1 Snapshot} — tags, LRU stamps, clock and hit/miss counts; geometry
+    is validated against the live cache on restore. *)
+
+val snap : t -> Flexl0_util.Flatio.W.t -> unit
+val restore : t -> Flexl0_util.Flatio.R.t -> unit

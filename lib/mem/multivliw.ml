@@ -132,6 +132,62 @@ module Protocol = struct
       t.banks;
     List.rev !acc
 
+  (* MSI state flattened bank by bank, line by line: base, M/S bit,
+     LRU stamp. Geometry is validated against the live structure. *)
+  let snap t w =
+    Flatio.W.tag w "MSI0";
+    Flatio.W.int w (Array.length t.banks);
+    Flatio.W.int w t.clock;
+    Array.iter
+      (fun bank ->
+        Flatio.W.int w bank.sets;
+        Flatio.W.int w bank.ways;
+        Array.iter
+          (fun set ->
+            Array.iter
+              (fun line ->
+                Flatio.W.int w line.base;
+                Flatio.W.int w (match line.st with Modified -> 1 | Shared -> 0);
+                Flatio.W.int w line.stamp)
+              set)
+          bank.lines)
+      t.banks
+
+  let restore t r =
+    Flatio.R.tag r "MSI0";
+    let nbanks = Flatio.R.int r in
+    if nbanks <> Array.length t.banks then
+      raise
+        (Flatio.Corrupt
+           (Printf.sprintf "MultiVLIW: snapshot has %d banks, live state has %d"
+              nbanks (Array.length t.banks)));
+    t.clock <- Flatio.R.int r;
+    Array.iter
+      (fun bank ->
+        let sets = Flatio.R.int r and ways = Flatio.R.int r in
+        if sets <> bank.sets || ways <> bank.ways then
+          raise
+            (Flatio.Corrupt
+               (Printf.sprintf "MultiVLIW: snapshot bank geometry %dx%d vs live %dx%d"
+                  sets ways bank.sets bank.ways));
+        Array.iter
+          (fun set ->
+            Array.iter
+              (fun line ->
+                line.base <- Flatio.R.int r;
+                (line.st <-
+                   (match Flatio.R.int r with
+                   | 1 -> Modified
+                   | 0 -> Shared
+                   | c ->
+                     raise
+                       (Flatio.Corrupt
+                          (Printf.sprintf "MultiVLIW: bad MSI state code %d" c))));
+                line.stamp <- Flatio.R.int r)
+              set)
+          bank.lines)
+      t.banks
+
   let check_invariant t =
     (* Collect every cached block and check the MSI sharing rule. *)
     let table : (int, state list) Hashtbl.t = Hashtbl.create 64 in
@@ -213,4 +269,16 @@ let create (cfg : Config.t) ~backing =
         | Error msg -> [ "MSI: " ^ msg ]);
     counters;
     backing;
+    snap =
+      (fun w ->
+        Flatio.W.tag w "MVW0";
+        Backing.snap backing w;
+        Hierarchy.snap_counters counters w;
+        Protocol.snap protocol w);
+    restore =
+      (fun r ->
+        Flatio.R.tag r "MVW0";
+        Backing.restore backing r;
+        Hierarchy.restore_counters counters r;
+        Protocol.restore protocol r);
   }

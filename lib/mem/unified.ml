@@ -389,6 +389,44 @@ let state_invariants st () =
       buffers;
     !errs
 
+(* Flat snapshot of every dynamic field; [scratch_sb] is transient
+   staging (dead between accesses) and deliberately excluded. *)
+let snap_state st w =
+  Flatio.W.tag w "UNI0";
+  Backing.snap st.backing w;
+  Hierarchy.snap_counters st.counters w;
+  L1_cache.snap st.l1 w;
+  Bus.snap st.bus w;
+  Flatio.W.int w st.port_hi;
+  Flatio.W.int_array w st.port_used;
+  Flatio.W.int_array w st.port_tag;
+  match st.buffers with
+  | None -> Flatio.W.int w 0
+  | Some buffers ->
+    Flatio.W.int w (Array.length buffers);
+    Array.iter (fun b -> L0_buffer.snap b w) buffers
+
+let restore_state st r =
+  Flatio.R.tag r "UNI0";
+  Backing.restore st.backing r;
+  Hierarchy.restore_counters st.counters r;
+  L1_cache.restore st.l1 r;
+  Bus.restore st.bus r;
+  st.port_hi <- Flatio.R.int r;
+  Flatio.R.int_array_into r st.port_used;
+  Flatio.R.int_array_into r st.port_tag;
+  let nbuf = Flatio.R.int r in
+  match (st.buffers, nbuf) with
+  | None, 0 -> ()
+  | Some buffers, n when n = Array.length buffers ->
+    Array.iter (fun b -> L0_buffer.restore b r) buffers
+  | _, n ->
+    raise
+      (Flatio.Corrupt
+         (Printf.sprintf "Unified: snapshot has %d L0 buffers, live state has %d"
+            n
+            (match st.buffers with None -> 0 | Some b -> Array.length b)))
+
 let hierarchy_of_state name st =
   {
     Hierarchy.name;
@@ -402,6 +440,8 @@ let hierarchy_of_state name st =
     invariants = state_invariants st;
     counters = st.counters;
     backing = st.backing;
+    snap = snap_state st;
+    restore = restore_state st;
   }
 
 let create cfg ~backing =
@@ -429,4 +469,6 @@ let baseline cfg ~backing =
     invariants = (fun () -> []);
     counters = st.counters;
     backing = st.backing;
+    snap = snap_state st;
+    restore = restore_state st;
   }

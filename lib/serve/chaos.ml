@@ -668,3 +668,305 @@ let overload cfg =
             (%d slow connections shed, worst mid-storm health probe %.2fs)"
            o.v_matches o.v_requests o.v_shed o.v_slow_conns o.v_max_stall_s);
       o)
+
+(* ---- the mid-simulation pass -------------------------------------- *)
+
+type midsim_outcome = {
+  m_requests : int;
+  m_matches : int;
+  m_kills : int;
+  m_resumes : int;
+  m_flips : int;
+  m_timeouts : int;
+  m_failures : string list;
+}
+
+let midsim_passed o =
+  o.m_failures = [] && o.m_matches = o.m_requests && o.m_kills > 0
+  && o.m_resumes > 0
+
+(* The harness learns worker pids from the daemon's own lifecycle log,
+   which the forked daemon appends to a file; "start [...] attempt N
+   (pid P)" lines carry the pid. *)
+let log_pids path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let pids = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if
+               String.length line > 6
+               && String.sub line 0 6 = "start "
+             then
+               match String.rindex_opt line '(' with
+               | Some i ->
+                 let tail = String.sub line i (String.length line - i) in
+                 Scanf.sscanf tail "(pid %d)"
+                   (fun pid -> pids := pid :: !pids)
+               | None -> ()
+           done
+         with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+        List.rev !pids)
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> -1
+
+(* Flip one bit in the middle of the checkpoint file: resume must fall
+   back to the most recent frame that still digests (or start fresh),
+   never read garbage. *)
+let flip_file_bit path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size = 0 then false
+        else begin
+          let off = size / 2 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 <> 1 then false
+          else begin
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1);
+            true
+          end
+        end)
+
+let midsim cfg =
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe previous_pipe)
+  @@ fun () ->
+  let socket = cfg.prefix ^ ".midsim" in
+  let ckpt_dir = Filename.concat cfg.store_root "ckpt-midsim" in
+  let log_path = Filename.concat cfg.store_root "midsim.log" in
+  let tally_path = Filename.concat cfg.store_root "midsim.tally" in
+  let done_path = Filename.concat cfg.store_root "midsim.done" in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ log_path; tally_path; done_path ];
+  (* one Cell per (bench, system): the heavyweight simulations are the
+     requests worth interrupting *)
+  let reqs =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun name ->
+            match Proto.spec_of_string name with
+            | Ok spec -> Proto.Cell { spec; bench; max_cycles = None }
+            | Error msg -> invalid_arg ("Chaos.midsim: " ^ msg))
+          cfg.systems)
+      cfg.benches
+  in
+  let n = List.length reqs in
+  cfg.on_log
+    (Printf.sprintf
+       "midsim: %d cell requests; the first is kill -9'd mid-simulation \
+        until its checkpoints carry it over the line" n);
+  (* ground truth through the direct path — the bytes a resumed,
+     repeatedly murdered worker must still produce *)
+  let expected = List.map Proto.handle reqs in
+  let interval = 4096 in
+  (* Capture a genuine mid-run checkpoint payload by running the first
+     cell through the checkpointing direct path. Two things fall out:
+     the checkpointed path must render the exact bytes the plain path
+     does, and the captured payload gets shipped as the ['K'] wire part
+     — so the daemon's checkpoint file exists from dispatch time and
+     the very first worker attempt is already a resume. That removes
+     every race from the kill choreography: the killer can strike as
+     soon as a worker pid appears, knowing resumable progress is
+     already on disk. *)
+  let shipped = ref None in
+  let ckpt_expected =
+    Proto.handle_ckpt ~interval
+      ~save:(fun payload ->
+        if !shipped = None then shipped := Some payload)
+      ~prior:None (List.hd reqs)
+  in
+  let scfg =
+    {
+      (Server.default ~socket) with
+      Server.workers = 1;
+      retries = 20;
+      seed = cfg.seed;
+      ckpt_interval = interval;
+      ckpt_dir = Some ckpt_dir;
+      on_log =
+        (fun line ->
+          let oc =
+            open_out_gen
+              [ Open_wronly; Open_creat; Open_append ]
+              0o644 log_path
+          in
+          Printf.fprintf oc "%s\n" line;
+          close_out_noerr oc);
+    }
+  in
+  let daemon_pid =
+    match Unix.fork () with
+    | 0 ->
+      List.iter
+        (fun s -> Sys.set_signal s Sys.Signal_default)
+        [ Sys.sigterm; Sys.sigint ];
+      (try Server.run scfg
+       with e ->
+         Printf.eprintf "midsim daemon: fatal: %s\n%!" (Printexc.to_string e);
+         Stdlib.exit 1);
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill daemon_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] daemon_pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      if not (Client.wait_ready ~socket ~attempts:200 ()) then
+        failwith "midsim: daemon never became ready";
+      let failures = ref [] in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            cfg.on_log ("midsim: FAIL: " ^ msg);
+            failures := msg :: !failures)
+          fmt
+      in
+      if ckpt_expected <> List.hd expected then
+        fail
+          "the checkpointing direct path rendered different bytes than \
+           the plain direct path";
+      if !shipped = None then
+        fail
+          "the first cell produced no checkpoint to ship (simulation \
+           shorter than the %d-tick interval?)" interval;
+      let req0 = List.hd reqs in
+      let key0 =
+        match Proto.cache_key req0 with
+        | Some k -> k
+        | None -> failwith "midsim: first request has no cache key"
+      in
+      let ckpt0 = Server.ckpt_file ~dir:ckpt_dir key0 in
+      (* The killer child watches the daemon's log for worker pids and
+         the checkpoint file for progress. It only ever kills a worker
+         while the checkpoint file holds at least one frame — guaranteed
+         from dispatch time by the shipped ['K'] part — so every kill
+         leaves resumable progress on disk. After the first kill it
+         flips a bit in the middle of the file: resume must survive
+         damaged frames, falling back to the last intact one. Tallies
+         land in a file the parent reads back. *)
+      let killer_pid =
+        match Unix.fork () with
+        | 0 ->
+          let kills = ref 0 and flips = ref 0 in
+          let killed = ref [] in
+          let deadline = Unix.gettimeofday () +. 120.0 in
+          (try
+             while !kills < 2 && Unix.gettimeofday () < deadline do
+               if Sys.file_exists done_path then
+                 (* the campaign already completed — stop killing *)
+                 raise Exit;
+               let size = file_size ckpt0 in
+               if size > 0 then begin
+                 let fresh =
+                   List.filter
+                     (fun p -> not (List.mem p !killed))
+                     (log_pids log_path)
+                 in
+                 match List.rev fresh with
+                 | pid :: _ ->
+                   (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                   killed := pid :: !killed;
+                   incr kills;
+                   if !kills = 1 && flip_file_bit ckpt0 then incr flips
+                 | [] -> ()
+               end
+               else if size < 0 && !kills > 0 then
+                 (* the file is gone: the cell completed and the daemon
+                    retired its checkpoint — stop killing *)
+                 raise Exit;
+               Unix.sleepf 0.005
+             done
+           with Exit -> ());
+          let oc = open_out tally_path in
+          Printf.fprintf oc "%d %d\n" !kills !flips;
+          close_out oc;
+          Stdlib.exit 0
+        | pid -> pid
+      in
+      let deadline = Unix.gettimeofday () +. 300.0 in
+      let matches = ref 0 in
+      List.iteri
+        (fun i (req, want) ->
+          let ckpt = if i = 0 then !shipped else None in
+          match Client.request_deadline ~deadline ?ckpt ~socket req with
+          | Ok resp ->
+            if resp = want then incr matches
+            else
+              fail "response %d (%s) diverged from the direct path" i
+                (Proto.request_label req)
+          | Error msg ->
+            fail "request %d (%s): %s" i (Proto.request_label req) msg)
+        (List.combine reqs expected);
+      (let oc = open_out done_path in
+       close_out oc);
+      (try ignore (Unix.waitpid [] killer_pid) with Unix.Unix_error _ -> ());
+      let kills, flips =
+        match open_in tally_path with
+        | exception Sys_error _ ->
+          fail "midsim: killer left no tally";
+          (0, 0)
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              try Scanf.sscanf (input_line ic) "%d %d" (fun k f -> (k, f))
+              with _ ->
+                fail "midsim: unreadable killer tally";
+                (0, 0))
+      in
+      if kills = 0 then
+        fail "no worker was killed mid-simulation (cell too fast?)";
+      (* the midsim daemon is standalone, not a fleet shard: probe its
+         socket directly *)
+      let resumes, timeouts =
+        match Client.request ~socket Proto.Health with
+        | Ok (Proto.Health_report h) ->
+          if kills > 0 && counter h "ckpt_resumes" = 0 then
+            fail
+              "worker was killed mid-simulation but no attempt resumed \
+               from a checkpoint";
+          (counter h "ckpt_resumes", counter h "worker_timeouts")
+        | Ok _ | Error _ ->
+          fail "daemon unreachable after the campaign";
+          (0, 0)
+      in
+      if Sys.file_exists ckpt0 then
+        fail "checkpoint file survived its cell's completion";
+      let o =
+        {
+          m_requests = n;
+          m_matches = !matches;
+          m_kills = kills;
+          m_resumes = resumes;
+          m_flips = flips;
+          m_timeouts = timeouts;
+          m_failures = List.rev !failures;
+        }
+      in
+      cfg.on_log
+        (Printf.sprintf
+           "midsim: %d/%d responses byte-identical (%d kill -9 \
+            mid-simulation, %d checkpoint resumes, %d checkpoint-file \
+            bit-flips survived)"
+           o.m_matches o.m_requests o.m_kills o.m_resumes o.m_flips);
+      o)

@@ -95,3 +95,46 @@ val overload : config -> overload_outcome
 (** Uses the config's campaign (benches x systems) and [prefix] for the
     daemon socket; [shards]/[store_root] are not used. Never raises on
     an injected failure; [Failure] when the daemon cannot be booted. *)
+
+(** {1 The mid-simulation pass}
+
+    {!midsim} attacks the {e simulation itself}, not just the daemon
+    around it. It first runs the first cell through the checkpointing
+    direct path ({!Proto.handle_ckpt}), demanding bytes identical to
+    the plain path and capturing a genuine mid-run checkpoint payload.
+    It then boots a single checkpointing daemon (1 worker, no worker
+    deadline, a deep retry budget, checkpoints every 4096 simulated
+    ticks) and sends the campaign's cells, shipping the captured
+    payload ahead of the first request as the ['K'] wire part — so the
+    daemon's checkpoint file exists from dispatch time and the very
+    first worker attempt is already a resume. A killer process SIGKILLs
+    workers as their pids appear in the daemon log (resumable progress
+    is guaranteed on disk), flipping a bit in the middle of the
+    checkpoint file between the two kills. The pass demands: every
+    response byte-identical to the direct {!Proto.handle} path, at
+    least one kill delivered and at least one attempt resumed from a
+    checkpoint ([ckpt_resumes] in the health counters), the bit-flip
+    survived (resume falls back to the last intact frame, never reads
+    garbage), and the checkpoint file retired once its cell
+    completes. *)
+
+type midsim_outcome = {
+  m_requests : int;
+  m_matches : int;  (** responses byte-identical to the direct path *)
+  m_kills : int;  (** kill -9 events delivered mid-simulation *)
+  m_resumes : int;  (** worker attempts resumed from a checkpoint *)
+  m_flips : int;  (** checkpoint-file bit-flips survived *)
+  m_timeouts : int;  (** worker deadline expiries (informational) *)
+  m_failures : string list;  (** empty iff the pass passed *)
+}
+
+val midsim_passed : midsim_outcome -> bool
+(** No failures, every response matched, at least one mid-simulation
+    kill was delivered and at least one attempt resumed from a
+    checkpoint — a midsim pass that never resumes proves nothing. *)
+
+val midsim : config -> midsim_outcome
+(** Uses the config's campaign (benches x systems), [prefix] for the
+    daemon socket and [store_root] for the checkpoint directory and
+    harness scratch files; [shards] is not used. Never raises on an
+    injected failure; [Failure] when the daemon cannot be booted. *)

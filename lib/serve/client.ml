@@ -15,7 +15,7 @@ let rec connect_retry fd addr =
    remaining budget, so a shard that accepts the connection and then
    hangs (as opposed to one that is plain dead) still cannot hold the
    client past its deadline. *)
-let request_deadline ?deadline ~socket req =
+let request_deadline ?deadline ?ckpt ~socket req =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "socket: %s" (Unix.error_message e))
@@ -38,7 +38,16 @@ let request_deadline ?deadline ~socket req =
             Error
               (Printf.sprintf "cannot reach daemon at %s: %s" socket msg)
           | Ok () -> (
-            match Proto.write_all fd (Proto.encode_request req) with
+            (* a checkpoint part travels ahead of the request frame, so
+               the daemon can seed the key's checkpoint file before the
+               worker spawns *)
+            let bytes =
+              (match ckpt with
+              | Some payload -> Proto.encode_ckpt payload
+              | None -> "")
+              ^ Proto.encode_request req
+            in
+            match Proto.write_all fd bytes with
             | exception
                 Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
               expired ()
@@ -56,7 +65,7 @@ let request_deadline ?deadline ~socket req =
               | exception Unix.Unix_error (e, _, _) ->
                 Error (Printf.sprintf "receive: %s" (Unix.error_message e))))))
 
-let request ~socket req = request_deadline ~socket req
+let request ?ckpt ~socket req = request_deadline ?ckpt ~socket req
 
 let wait_ready ~socket ?(attempts = 100) ?(interval = 0.05) () =
   let rec go n =

@@ -13,15 +13,23 @@
     graceful-degradation contract of the fleet. *)
 
 val request :
+  ?ckpt:string ->
   socket:string -> Proto.request -> (Proto.response, string) result
 (** Connect to the daemon at [socket], send the framed request, and
     block for the framed response. [Error] covers connection failures
     (no daemon, draining daemon refusing connections) and wire failures
     (corrupt or truncated response frame) — a request the {e daemon}
-    rejected comes back as [Ok (Failed _)] instead. *)
+    rejected comes back as [Ok (Failed _)] instead.
+
+    [ckpt] ships a checkpoint payload (a prior attempt's saved
+    progress) ahead of the request as a ['K']-tagged frame
+    ({!Proto.encode_ckpt}); a checkpointing daemon seeds the key's
+    checkpoint channel with it, so the work resumes mid-simulation
+    instead of restarting. Daemons with checkpointing off ignore it. *)
 
 val request_deadline :
   ?deadline:float ->
+  ?ckpt:string ->
   socket:string -> Proto.request -> (Proto.response, string) result
 (** {!request} with an {e absolute} deadline ([Unix.gettimeofday]
     clock). The remaining budget becomes the socket send/receive

@@ -12,6 +12,7 @@ type config = {
   retries : int;
   seed : int;
   max_queue : int;
+  ckpt_interval : int;
   restart_budget : int;
   flap_window : float;
   backoff_base : float;
@@ -32,6 +33,7 @@ let default ~prefix ~shards =
     retries = 2;
     seed = 0;
     max_queue = 256;
+    ckpt_interval = 0;
     restart_budget = 5;
     flap_window = 60.0;
     backoff_base = 0.2;
@@ -84,6 +86,7 @@ let server_config cfg (sh : shard) =
     (* decorrelated jitter streams per shard *)
     seed = cfg.seed + (1000 * (sh.s_id + 1));
     max_queue = cfg.max_queue;
+    ckpt_interval = cfg.ckpt_interval;
     store =
       Option.map (fun root -> store_path ~root sh.s_id) cfg.store_root;
     generation = sh.s_generation;

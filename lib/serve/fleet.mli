@@ -42,6 +42,12 @@ type config = {
   max_queue : int;
       (** per-shard admission high-water mark ({!Server.config}); past
           it a shard sheds new work with typed [Errors.Overloaded] *)
+  ckpt_interval : int;
+      (** per-shard mid-run simulation checkpoint interval in ticks
+          ({!Server.config}); 0 disables. Checkpoint files live next to
+          each shard's socket ([<socket>.ckpt/]), so a SIGKILLed
+          worker's retry — and a restarted shard's recomputation —
+          resumes mid-simulation. *)
   restart_budget : int;
       (** restarts tolerated inside [flap_window] before degrading *)
   flap_window : float;  (** seconds of restart history considered *)
@@ -55,9 +61,9 @@ type config = {
 
 val default : prefix:string -> shards:int -> config
 (** 2 workers and 256 LRU entries per shard, no store, no worker
-    timeout, 2 worker retries, admission mark 256, restart budget 5 per
-    60s window, backoff 0.2s doubling to 5s, heartbeat every 1s with a
-    5s deadline, silent. *)
+    timeout, 2 worker retries, admission mark 256, checkpointing off,
+    restart budget 5 per 60s window, backoff 0.2s doubling to 5s,
+    heartbeat every 1s with a 5s deadline, silent. *)
 
 val socket_path : prefix:string -> int -> string
 (** [prefix ^ ".shard" ^ i] — the naming convention shared by the

@@ -290,6 +290,30 @@ let guard f =
   | Sanitizer.Violation v -> Failed (Errors.Sanitizer_violation v)
   | Invalid_argument msg -> Failed (Errors.Config_invalid msg)
 
+let unknown_bench bench =
+  Failed
+    (Errors.Protocol_error
+       (Printf.sprintf "unknown benchmark %S (known: %s)" bench
+          (String.concat ", " Mediabench.names)))
+
+(* One compute-and-render path for a figure cell, with or without
+   mid-run checkpointing — the rendered bytes are identical either way,
+   so checkpointed daemon responses still match the direct CLI. *)
+let cell_response ~spec ~bench ~max_cycles ~ckpt =
+  match Mediabench.find bench with
+  | b -> (
+    let result =
+      match ckpt with
+      | None -> Pipeline.run_benchmark_result (system spec) ?max_cycles b
+      | Some (interval, save, prior) ->
+        Pipeline.run_benchmark_ckpt (system spec) ?max_cycles ~interval ~save
+          ~prior b
+    in
+    match result with
+    | Ok br -> Text (render_cell br)
+    | Error e -> Failed e)
+  | exception Not_found -> unknown_bench bench
+
 let handle req =
   guard (fun () ->
       match req with
@@ -297,19 +321,8 @@ let handle req =
         match Pipeline.compile_result (system spec) loop with
         | Ok sch -> Text (render_schedule sch)
         | Error inf -> Failed (Errors.Schedule_infeasible inf))
-      | Cell { spec; bench; max_cycles } -> (
-        match Mediabench.find bench with
-        | b -> (
-          match
-            Pipeline.run_benchmark_result (system spec) ?max_cycles b
-          with
-          | Ok br -> Text (render_cell br)
-          | Error e -> Failed e)
-        | exception Not_found ->
-          Failed
-            (Errors.Protocol_error
-               (Printf.sprintf "unknown benchmark %S (known: %s)" bench
-                  (String.concat ", " Mediabench.names))))
+      | Cell { spec; bench; max_cycles } ->
+        cell_response ~spec ~bench ~max_cycles ~ckpt:None
       | Fuzz_batch { seed; cases; sanitizer } ->
         let systems = Fuzz.default_systems () in
         let report = Fuzz.run ~sanitizer ~systems ~seed ~cases () in
@@ -326,6 +339,14 @@ let handle req =
           (Errors.Protocol_error
              "batch requests are unpacked by the daemon; workers only \
               compute individual items"))
+
+let handle_ckpt ~interval ~save ~prior req =
+  match req with
+  | Cell { spec; bench; max_cycles } when interval > 0 ->
+    guard (fun () ->
+        cell_response ~spec ~bench ~max_cycles
+          ~ckpt:(Some (interval, save, prior)))
+  | req -> handle req
 
 (* ---- wire helpers ------------------------------------------------- *)
 
@@ -369,6 +390,25 @@ let decode_item payload =
 let item_response = function
   | Item_failed { error; _ } -> Ok (Failed error)
   | Item_done { payload; _ } -> decode_response payload
+
+(* A checkpoint part: an optional frame a client sends *ahead of* its
+   request, carrying a prior attempt's checkpoint payload so a restarted
+   client (or a client retrying against a different shard) can hand the
+   daemon the simulation progress it already paid for. Tagged with a
+   leading ['K'] — like item frames, it can never be confused with a
+   marshalled request, which always starts with the Marshal magic. *)
+
+let ckpt_tag = 'K'
+
+let is_ckpt_payload payload =
+  String.length payload > 0 && payload.[0] = ckpt_tag
+
+let encode_ckpt payload = Frame.encode (String.make 1 ckpt_tag ^ payload)
+
+let decode_ckpt payload =
+  if not (is_ckpt_payload payload) then
+    Error "frame payload is not a checkpoint part"
+  else Ok (String.sub payload 1 (String.length payload - 1))
 
 let rec write_all fd s =
   let len = String.length s in

@@ -150,6 +150,21 @@ val handle : request -> response
     lands in [Failed]. [Health] requests yield
     [Failed (Protocol_error _)]: only the daemon can answer them. *)
 
+val handle_ckpt :
+  interval:int ->
+  save:(string -> unit) ->
+  prior:string option ->
+  request ->
+  response
+(** {!handle} with mid-run simulation checkpointing for [Cell] requests
+    (every other request kind, and any [interval <= 0], falls through to
+    {!handle} unchanged). Every [interval] simulated ticks — and at
+    every loop boundary — the cell's {!Flexl0.Pipeline.bench_ckpt} is
+    handed to [save]; [prior] (a previous attempt's last saved payload)
+    resumes the cell at the checkpointed cycle instead of from the
+    start. A [prior] from a different cell or binary is ignored. The
+    response bytes are identical to {!handle}'s, checkpointed or not. *)
+
 val render_schedule : Flexl0_sched.Schedule.t -> string
 val render_cell : Flexl0.Pipeline.bench_run -> string
 
@@ -193,6 +208,18 @@ val is_item_payload : string -> bool
 val item_response : item -> (response, string) result
 (** The response a stream element stands for: the unmarshalled payload
     of an [Item_done], or [Failed error] for an [Item_failed]. *)
+
+val encode_ckpt : string -> string
+(** One framed checkpoint part, ['K']-tagged and ready to write {e
+    before} the request frame: a prior attempt's checkpoint payload the
+    daemon should seed the request's checkpoint channel with. *)
+
+val decode_ckpt : string -> (string, string) result
+(** The checkpoint payload of a ['K']-tagged frame. *)
+
+val is_ckpt_payload : string -> bool
+(** Whether a frame payload is a checkpoint part — the daemon's
+    dispatch on frames that arrive ahead of the request proper. *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Loops over partial writes and EINTR. *)

@@ -3,6 +3,7 @@ module Runner = Flexl0.Runner
 module Stats = Flexl0_util.Stats
 module Rng = Flexl0_util.Rng
 module Frame = Flexl0_util.Frame
+module Snapshot = Flexl0_sim.Snapshot
 
 type config = {
   socket : string;
@@ -19,6 +20,8 @@ type config = {
   write_deadline : float;
   max_out_buffer : int;
   sndbuf : int option;
+  ckpt_interval : int;
+  ckpt_dir : string option;
   on_log : string -> unit;
 }
 
@@ -38,8 +41,18 @@ let default ~socket =
     write_deadline = 10.0;
     max_out_buffer = 16 * 1024 * 1024;
     sndbuf = None;
+    ckpt_interval = 0;
+    ckpt_dir = None;
     on_log = ignore;
   }
+
+(* Per-key checkpoint file: appended Frame-encoded payloads, last intact
+   frame wins (a torn tail or a flipped byte costs at most one
+   checkpoint, not the job). The key is already a content digest, but it
+   is rehashed to hex so the filename is filesystem-safe regardless of
+   the key's alphabet. *)
+let ckpt_file ~dir key =
+  Filename.concat dir ("ckpt." ^ Digest.to_hex (Digest.string key))
 
 (* An accepted connection, owned by the select loop for its whole life:
    first assembling its request frame (bounded by the read deadline, so
@@ -62,6 +75,9 @@ type conn = {
   mutable c_outstanding : int;
       (** responses not yet enqueued: batch items still computing, 1
           for a plain request, -1 while the request is being read *)
+  mutable c_ckpt : string option;
+      (** a ['K']-framed checkpoint part received ahead of the request:
+          seeds the request's checkpoint file before its worker spawns *)
   mutable c_shed_slow : bool;  (** already counted as a slow-client shed *)
   mutable c_dead : bool;
 }
@@ -91,6 +107,8 @@ type worker = {
 
 type state = {
   cfg : config;
+  ckpt_dir : string option;
+      (** resolved checkpoint directory; [Some] iff checkpointing is on *)
   listen_fd : Unix.file_descr;
   mutable listening : bool;
   mutable conns : conn list;
@@ -278,6 +296,24 @@ let health st =
 let load st =
   Queue.length st.queue + List.length st.delayed + List.length st.workers
 
+(* Only keyed simulation cells checkpoint: compiles and fuzz batches
+   are either cheap or already incremental, and a keyless request has
+   nowhere durable to put its progress. *)
+let ckpt_path st task =
+  match st.ckpt_dir with
+  | None -> None
+  | Some dir -> (
+    match (task.t_req, task.t_key) with
+    | Proto.Cell _, Some key -> Some (ckpt_file ~dir key)
+    | _ -> None)
+
+(* A terminal outcome — answered or given up — retires the key's
+   checkpoint file; the next identical request starts clean. *)
+let clear_ckpt st task =
+  match ckpt_path st task with
+  | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+  | None -> ()
+
 let dispatch_item st conn idx req =
   match req with
   | Proto.Batch _ ->
@@ -347,8 +383,8 @@ let dispatch_item st conn idx req =
           answer_error st conn idx
             (Errors.Overloaded { retry_after = st.cfg.retry_after })
         end
-        else
-          Queue.add
+        else begin
+          let task =
             {
               t_req = req;
               t_key = key;
@@ -356,7 +392,17 @@ let dispatch_item st conn idx req =
               t_waiters = [ (conn, idx) ];
               t_attempt = 0;
             }
-            st.queue))
+          in
+          (* a checkpoint part shipped ahead of the request seeds this
+             key's checkpoint file, so the first worker spawn resumes
+             from the client's prior progress instead of starting over *)
+          (match (conn.c_ckpt, ckpt_path st task) with
+          | Some payload, Some path -> (
+            Stats.Counters.incr st.counters "ckpt_shipped";
+            try Snapshot.append_file path payload with Sys_error _ -> ())
+          | _ -> ());
+          Queue.add task st.queue
+        end))
 
 let handle_request st conn req =
   match req with
@@ -381,7 +427,24 @@ let start_worker st task =
   task.t_attempt <- task.t_attempt + 1;
   Stats.Counters.incr st.counters "worker_starts";
   let req = task.t_req in
-  let pid, rd = Runner.fork_worker (fun () -> Proto.handle req) in
+  let compute =
+    match ckpt_path st task with
+    | Some path ->
+      let interval = st.cfg.ckpt_interval in
+      if Sys.file_exists path then begin
+        (* a prior attempt (or a shipped part) left progress behind:
+           this spawn re-enters the simulation mid-run *)
+        Stats.Counters.incr st.counters "ckpt_resumes";
+        st.cfg.on_log
+          (Printf.sprintf "resume [%s] from checkpoint" task.t_label)
+      end;
+      fun () ->
+        let prior = Snapshot.read_last_file path in
+        Proto.handle_ckpt ~interval ~save:(Snapshot.append_file path) ~prior
+          req
+    | None -> fun () -> Proto.handle req
+  in
+  let pid, rd = Runner.fork_worker compute in
   let deadline =
     Option.map (fun t -> Unix.gettimeofday () +. t) st.cfg.timeout
   in
@@ -426,6 +489,7 @@ let retry_or_give_up st task reason =
   end
   else begin
     Stats.Counters.incr st.counters "worker_gave_up";
+    clear_ckpt st task;
     st.cfg.on_log
       (Printf.sprintf "gave up [%s] after %d attempts (%s)" task.t_label
          task.t_attempt reason);
@@ -450,6 +514,7 @@ let finish_worker st w =
   with
   | Ok resp ->
     st.cfg.on_log (Printf.sprintf "done [%s]" w.w_task.t_label);
+    clear_ckpt st w.w_task;
     let payload = Proto.encode_response resp in
     (match w.w_task.t_key with
     | Some key -> Cache.add st.cache key payload
@@ -534,21 +599,40 @@ let read_conn st conn =
         (if Buffer.length conn.c_buf = 0 then
            "connection closed before a request frame"
          else "truncated request: connection closed mid-frame")
-    | n -> (
+    | n ->
       Buffer.add_subbytes conn.c_buf chunk 0 n;
-      match Frame.check (Buffer.contents conn.c_buf) ~pos:0 with
-      | Frame.Partial -> ()
-      | Frame.Corrupt msg ->
-        conn.c_reading <- false;
-        conn.c_read_deadline <- Float.infinity;
-        protocol_failure st conn msg
-      | Frame.Frame (payload, _) -> (
-        conn.c_reading <- false;
-        conn.c_read_deadline <- Float.infinity;
-        Buffer.clear conn.c_buf;
-        match Proto.decode_request payload with
-        | Ok req -> handle_request st conn req
-        | Error msg -> protocol_failure st conn msg))
+      (* the connection may front-load a ['K'] checkpoint part (or
+         several — last wins) before the request frame proper, possibly
+         all in one read: consume frames until the request arrives *)
+      let rec consume () =
+        match Frame.check (Buffer.contents conn.c_buf) ~pos:0 with
+        | Frame.Partial -> ()
+        | Frame.Corrupt msg ->
+          conn.c_reading <- false;
+          conn.c_read_deadline <- Float.infinity;
+          protocol_failure st conn msg
+        | Frame.Frame (payload, next) ->
+          if Proto.is_ckpt_payload payload then begin
+            (match Proto.decode_ckpt payload with
+            | Ok part -> conn.c_ckpt <- Some part
+            | Error _ -> ());
+            let rest =
+              Buffer.sub conn.c_buf next (Buffer.length conn.c_buf - next)
+            in
+            Buffer.clear conn.c_buf;
+            Buffer.add_string conn.c_buf rest;
+            consume ()
+          end
+          else begin
+            conn.c_reading <- false;
+            conn.c_read_deadline <- Float.infinity;
+            Buffer.clear conn.c_buf;
+            match Proto.decode_request payload with
+            | Ok req -> handle_request st conn req
+            | Error msg -> protocol_failure st conn msg
+          end
+      in
+      consume ()
   end
 
 let accept_conn st =
@@ -574,6 +658,7 @@ let accept_conn st =
         c_off = 0;
         c_write_deadline = Float.infinity;
         c_outstanding = -1;
+        c_ckpt = None;
         c_shed_slow = false;
         c_dead = false;
       }
@@ -696,6 +781,22 @@ let run (cfg : config) =
     invalid_arg "Server.run: read and write deadlines must be positive";
   if cfg.max_out_buffer < 65536 then
     invalid_arg "Server.run: outgoing buffer cap below one write chunk";
+  if cfg.ckpt_interval < 0 then
+    invalid_arg "Server.run: checkpoint interval must not be negative";
+  let ckpt_dir =
+    if cfg.ckpt_interval = 0 then None
+    else begin
+      let dir = Option.value cfg.ckpt_dir ~default:(cfg.socket ^ ".ckpt") in
+      (try Unix.mkdir dir 0o755
+       with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | Unix.Unix_error (e, _, _) ->
+        invalid_arg
+          (Printf.sprintf "Server.run: cannot create checkpoint dir %s: %s"
+             dir (Unix.error_message e)));
+      Some dir
+    end
+  in
   (* a stale socket file from a dead daemon would make bind fail; a live
      daemon is indistinguishable from a dead one by the file alone, so
      last-started wins — the deployment contract is one daemon per path *)
@@ -718,6 +819,7 @@ let run (cfg : config) =
   let st =
     {
       cfg;
+      ckpt_dir;
       listen_fd;
       listening = true;
       conns = [];
@@ -737,6 +839,13 @@ let run (cfg : config) =
        "listening on %s (pid %d, %d workers, cache %d, admission %d)"
        cfg.socket (Unix.getpid ()) cfg.workers cfg.cache_capacity
        cfg.max_queue);
+  (match ckpt_dir with
+  | Some dir ->
+    cfg.on_log
+      (Printf.sprintf
+         "mid-run checkpoints: every %d simulated ticks into %s"
+         cfg.ckpt_interval dir)
+  | None -> ());
   (match store with
   | Some s ->
     cfg.on_log

@@ -82,6 +82,21 @@ type config = {
       (** [SO_SNDBUF] for accepted connections; [None] keeps the kernel
           default. Small values (tests, chaos) make write backpressure
           trigger early. *)
+  ckpt_interval : int;
+      (** mid-run simulation checkpoints for [Cell] workers, every this
+          many simulated ticks; 0 (the default) disables them. When on,
+          each keyed cell appends its progress to a per-key checkpoint
+          file, so a killed or timed-out worker's retry {e resumes at
+          the last checkpointed cycle} instead of restarting the cell —
+          the [worker_starts]/[ckpt_resumes] counters make the ratchet
+          observable. A client may also front-load a ['K'] checkpoint
+          part ({!Proto.encode_ckpt}) to seed the file with progress it
+          carried over from elsewhere. Response bytes are identical with
+          or without checkpointing. *)
+  ckpt_dir : string option;
+      (** directory of the per-key checkpoint files; [None] defaults to
+          [socket ^ ".ckpt"]. Created if missing; files are removed on
+          terminal outcomes (answered or gave up). *)
   on_log : string -> unit;  (** one line per lifecycle event *)
 }
 
@@ -89,7 +104,12 @@ val default : socket:string -> config
 (** 2 workers, 256 cache entries, no timeout, 2 retries, seed 0, no
     persistent store, generation 0, admission mark 256, retry advice
     0.5s, read deadline 30s, write deadline 10s, 16 MiB output cap,
-    kernel-default [SO_SNDBUF], silent. *)
+    kernel-default [SO_SNDBUF], checkpointing off, silent. *)
+
+val ckpt_file : dir:string -> string -> string
+(** The checkpoint-file path for a cache key — exposed so harnesses
+    (chaos [--midsim]) can corrupt and watch the very files the daemon
+    uses. *)
 
 val run : config -> unit
 (** Binds [config.socket] (replacing a stale socket file left by a dead

@@ -156,10 +156,33 @@ let () =
 let default_max_cycles ~invocation_span ~invocations =
   (1000 * ((invocation_span * invocations) + 1)) + 1_000_000
 
-let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
-    ?(invocations = 1) ?(seed = 42) ?(verify = true) ?max_cycles ?faults
-    ?(sanitizer = Flexl0_mem.Sanitizer.Off)
-    ?(on_event = fun (_ : trace_event) -> ()) () =
+(* Everything a tick needs, built deterministically from the run's
+   arguments by {!setup}. Splitting it from the mutable {!Snapshot.cursor}
+   is what makes checkpointing cheap: the runtime is rebuilt on resume
+   from the same arguments, only the cursor and the hierarchy's flat
+   state travel in the snapshot. *)
+type runtime = {
+  rt_cfg : Flexl0_arch.Config.t;
+  rt_sch : Schedule.t;
+  rt_trips : int;
+  rt_invocations : int;
+  rt_seed : int;
+  rt_verify : bool;
+  rt_backing : Backing.t;
+  rt_hier : Hierarchy.t;
+  rt_expected : (int * int * int, int64) Hashtbl.t;
+  rt_by_slot : event list array;
+  rt_horizon : int;
+  rt_invocation_span : int;
+  rt_limit : int;
+  rt_on_event : trace_event -> unit;
+  rt_trace : Tracegen.t;
+  rt_key : string;
+  rt_params : string;
+}
+
+let setup (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ~trips
+    ~invocations ~seed ~verify ~max_cycles ~faults ~sanitizer ~on_event =
   let trips = match trips with Some t -> t | None -> default_trips sch.loop in
   let trace = Tracegen.create sch.loop ~seed in
   let size = Tracegen.memory_size sch.loop in
@@ -183,136 +206,217 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
   Array.iteri (fun i l -> by_slot.(i) <- List.rev l) by_slot;
   let max_start = List.fold_left (fun acc e -> max acc e.ev_start) 0 events in
   let horizon = ((trips - 1) * sch.ii) + max_start in
-  let cum_stall = ref 0 in
-  let loads = ref 0 and stores = ref 0 and mismatches = ref 0 in
-  let fire ~inv now (ev : event) k =
-    match ev.kind with
-    | Ev_access (ins, p) -> (
-      let addr = Tracegen.address trace ~instr:ins ~iteration:k in
-      match ins.Instr.opcode with
-      | Opcode.Load w ->
-        incr loads;
-        let width = Opcode.bytes_of_width w in
-        let outcome =
-          hier.Hierarchy.load ~now ~cluster:ev.ev_cluster ~addr ~width
-            ~hints:p.Schedule.hints
-        in
-        if verify then begin
-          match Hashtbl.find_opt expected (inv, ins.Instr.id, k) with
-          | Some v when v <> outcome.Hierarchy.value -> incr mismatches
-          | Some _ -> ()
-          | None -> incr mismatches
-        end;
-        let deadline = now + p.Schedule.assumed_latency in
-        let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
-        on_event
-          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-            ev_kind = `Load; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-            ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
-        stall
-      | Opcode.Store w ->
-        incr stores;
-        let width = Opcode.bytes_of_width w in
-        let outcome =
-          hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
-            ~value:(store_value ins.Instr.id k) ~hints:p.Schedule.hints
-        in
-        let deadline = now + p.Schedule.assumed_latency in
-        let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
-        on_event
-          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-            ev_kind = `Store; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-            ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
-        stall
-      | _ -> 0)
-    | Ev_prefetch (ins, pf) ->
-      (* Runs [lead_iterations] ahead of the load it covers. *)
-      let future = k + pf.lead_iterations in
-      let addr = Tracegen.address trace ~instr:ins ~iteration:future in
-      let width =
-        match Opcode.width ins.Instr.opcode with
-        | Some w -> Opcode.bytes_of_width w
-        | None -> 4
-      in
-      hier.Hierarchy.prefetch ~now ~cluster:ev.ev_cluster ~addr ~width;
-      on_event
-        { ev_time = now; ev_iteration = k; ev_instr = pf.for_instr;
-          ev_kind = `Prefetch; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-          ev_served = None; ev_stall = 0 };
-      0
-    | Ev_replica (ins, _r) -> (
-      let addr = Tracegen.address trace ~instr:ins ~iteration:k in
-      match Opcode.width ins.Instr.opcode with
-      | Some w ->
-        let width = Opcode.bytes_of_width w in
-        let outcome =
-          hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
-            ~value:0L
-            ~hints:(Hint.make ~access:Hint.Inval_only ())
-        in
-        ignore outcome;
-        on_event
-          { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-            ev_kind = `Replica; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-            ev_served = None; ev_stall = 0 };
-        0
-      | None -> 0)
-  in
   let invocation_span = Schedule.compute_cycles sch ~trips in
   let limit =
     match max_cycles with
     | Some m -> m
     | None -> default_max_cycles ~invocation_span ~invocations
   in
-  for inv = 0 to invocations - 1 do
-    let offset = inv * invocation_span in
-    for t = 0 to horizon do
-      let slot = t mod sch.ii in
-      let cycle_stall = ref 0 in
-      List.iter
-        (fun ev ->
-          if t >= ev.ev_start then begin
-            let k = (t - ev.ev_start) / sch.ii in
-            if k < trips then begin
-              let now = offset + t + !cum_stall in
-              let stall = fire ~inv now ev k in
-              if stall > !cycle_stall then cycle_stall := stall
-            end
-          end)
-        by_slot.(slot);
-      cum_stall := !cum_stall + !cycle_stall;
-      let elapsed = offset + t + !cum_stall in
-      if elapsed > limit then
-        raise
-          (Watchdog_timeout
-             { wd_loop = sch.loop.Loop.name; wd_elapsed = elapsed;
-               wd_limit = limit })
+  let key = sch.loop.Loop.name in
+  (* Digest of every argument that shapes replay. A snapshot taken under
+     one configuration must never restore into another — the cursor
+     would point into a different event stream and the divergence would
+     be silent. The schedule itself may hold closures, so the digest is
+     over its observable shape, not a [Marshal] of it. *)
+  let params =
+    let fault_part =
+      match faults with
+      | None -> "none"
+      | Some (p : Fault.plan) ->
+        string_of_int p.seed ^ ":"
+        ^ String.concat "," (List.map Fault.fault_to_string p.faults)
+    in
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            [ key; string_of_int sch.ii; string_of_int trips;
+              string_of_int invocations; string_of_int seed;
+              string_of_bool verify; hier.Hierarchy.name;
+              string_of_int (List.length events); string_of_int horizon;
+              string_of_int invocation_span; string_of_int limit;
+              Flexl0_mem.Sanitizer.mode_to_string sanitizer; fault_part ]))
+  in
+  { rt_cfg = cfg; rt_sch = sch; rt_trips = trips;
+    rt_invocations = invocations; rt_seed = seed; rt_verify = verify;
+    rt_backing = backing; rt_hier = hier; rt_expected = expected;
+    rt_by_slot = by_slot; rt_horizon = horizon;
+    rt_invocation_span = invocation_span; rt_limit = limit;
+    rt_on_event = on_event; rt_trace = trace; rt_key = key;
+    rt_params = params }
+
+let fire rt (cur : Snapshot.cursor) ~inv now (ev : event) k =
+  let hier = rt.rt_hier in
+  match ev.kind with
+  | Ev_access (ins, p) -> (
+    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:k in
+    match ins.Instr.opcode with
+    | Opcode.Load w ->
+      cur.Snapshot.loads <- cur.Snapshot.loads + 1;
+      let width = Opcode.bytes_of_width w in
+      let outcome =
+        hier.Hierarchy.load ~now ~cluster:ev.ev_cluster ~addr ~width
+          ~hints:p.Schedule.hints
+      in
+      if rt.rt_verify then begin
+        match Hashtbl.find_opt rt.rt_expected (inv, ins.Instr.id, k) with
+        | Some v when v <> outcome.Hierarchy.value ->
+          cur.Snapshot.mismatches <- cur.Snapshot.mismatches + 1
+        | Some _ -> ()
+        | None -> cur.Snapshot.mismatches <- cur.Snapshot.mismatches + 1
+      end;
+      let deadline = now + p.Schedule.assumed_latency in
+      let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+      rt.rt_on_event
+        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+          ev_kind = `Load; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+          ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
+      stall
+    | Opcode.Store w ->
+      cur.Snapshot.stores <- cur.Snapshot.stores + 1;
+      let width = Opcode.bytes_of_width w in
+      let outcome =
+        hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
+          ~value:(store_value ins.Instr.id k) ~hints:p.Schedule.hints
+      in
+      let deadline = now + p.Schedule.assumed_latency in
+      let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+      rt.rt_on_event
+        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+          ev_kind = `Store; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+          ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
+      stall
+    | _ -> 0)
+  | Ev_prefetch (ins, pf) ->
+    (* Runs [lead_iterations] ahead of the load it covers. *)
+    let future = k + pf.lead_iterations in
+    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:future in
+    let width =
+      match Opcode.width ins.Instr.opcode with
+      | Some w -> Opcode.bytes_of_width w
+      | None -> 4
+    in
+    hier.Hierarchy.prefetch ~now ~cluster:ev.ev_cluster ~addr ~width;
+    rt.rt_on_event
+      { ev_time = now; ev_iteration = k; ev_instr = pf.for_instr;
+        ev_kind = `Prefetch; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+        ev_served = None; ev_stall = 0 };
+    0
+  | Ev_replica (ins, _r) -> (
+    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:k in
+    match Opcode.width ins.Instr.opcode with
+    | Some w ->
+      let width = Opcode.bytes_of_width w in
+      let outcome =
+        hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
+          ~value:0L
+          ~hints:(Hint.make ~access:Hint.Inval_only ())
+      in
+      ignore outcome;
+      rt.rt_on_event
+        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
+          ev_kind = `Replica; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
+          ev_served = None; ev_stall = 0 };
+      0
+    | None -> 0)
+
+(* One tick = one (invocation, t) position. The end-of-invocation work —
+   flushing every L0 buffer (inter-loop coherence, Section 4.1) and the
+   inter-invocation memory scramble — is folded into the tick at
+   [t = horizon], so *every* tick boundary is a clean resume point: the
+   cursor plus the hierarchy's flat state fully determine the rest of
+   the run. *)
+let exec_tick rt (cur : Snapshot.cursor) =
+  let sch = rt.rt_sch in
+  let inv = cur.Snapshot.cur_inv and t = cur.Snapshot.cur_t in
+  let offset = inv * rt.rt_invocation_span in
+  let slot = t mod sch.ii in
+  let cycle_stall = ref 0 in
+  List.iter
+    (fun ev ->
+      if t >= ev.ev_start then begin
+        let k = (t - ev.ev_start) / sch.ii in
+        if k < rt.rt_trips then begin
+          let now = offset + t + cur.Snapshot.cum_stall in
+          let stall = fire rt cur ~inv now ev k in
+          if stall > !cycle_stall then cycle_stall := stall
+        end
+      end)
+    rt.rt_by_slot.(slot);
+  cur.Snapshot.cum_stall <- cur.Snapshot.cum_stall + !cycle_stall;
+  let elapsed = offset + t + cur.Snapshot.cum_stall in
+  if elapsed > rt.rt_limit then
+    raise
+      (Watchdog_timeout
+         { wd_loop = sch.loop.Loop.name; wd_elapsed = elapsed;
+           wd_limit = rt.rt_limit });
+  if t = rt.rt_horizon then begin
+    for c = 0 to rt.rt_cfg.num_clusters - 1 do
+      rt.rt_hier.Hierarchy.invalidate ~cluster:c
     done;
-    (* Inter-loop coherence: flush every L0 buffer between invocations
-       and at loop exit (Section 4.1). *)
-    for c = 0 to cfg.num_clusters - 1 do
-      hier.Hierarchy.invalidate ~cluster:c
-    done;
-    if inv < invocations - 1 then interlude_scramble backing ~seed ~inv
+    if inv < rt.rt_invocations - 1 then
+      interlude_scramble rt.rt_backing ~seed:rt.rt_seed ~inv;
+    cur.Snapshot.cur_inv <- inv + 1;
+    cur.Snapshot.cur_t <- 0
+  end
+  else cur.Snapshot.cur_t <- t + 1;
+  cur.Snapshot.ticks <- cur.Snapshot.ticks + 1
+
+let finished rt (cur : Snapshot.cursor) =
+  cur.Snapshot.cur_inv >= rt.rt_invocations
+
+let drive rt (cur : Snapshot.cursor) ~checkpoint =
+  (match checkpoint with
+  | Some (interval, _) when interval <= 0 ->
+    invalid_arg "Exec: checkpoint interval must be positive"
+  | _ -> ());
+  while not (finished rt cur) do
+    exec_tick rt cur;
+    match checkpoint with
+    | Some (interval, sink)
+      when cur.Snapshot.ticks mod interval = 0 && not (finished rt cur) ->
+      sink (Snapshot.encode ~key:rt.rt_key ~params:rt.rt_params cur rt.rt_hier)
+    | _ -> ()
   done;
-  let compute_cycles = invocation_span * invocations in
+  let compute_cycles = rt.rt_invocation_span * rt.rt_invocations in
   {
-    trips;
+    trips = rt.rt_trips;
     compute_cycles;
-    stall_cycles = !cum_stall;
-    total_cycles = compute_cycles + !cum_stall;
-    loads = !loads;
-    stores = !stores;
-    value_mismatches = !mismatches;
-    counters = Stats.Counters.to_list hier.Hierarchy.counters;
-    counter_set = hier.Hierarchy.counters;
+    stall_cycles = cur.Snapshot.cum_stall;
+    total_cycles = compute_cycles + cur.Snapshot.cum_stall;
+    loads = cur.Snapshot.loads;
+    stores = cur.Snapshot.stores;
+    value_mismatches = cur.Snapshot.mismatches;
+    counters = Stats.Counters.to_list rt.rt_hier.Hierarchy.counters;
+    counter_set = rt.rt_hier.Hierarchy.counters;
   }
 
+let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
+    ?(invocations = 1) ?(seed = 42) ?(verify = true) ?max_cycles ?faults
+    ?(sanitizer = Flexl0_mem.Sanitizer.Off)
+    ?(on_event = fun (_ : trace_event) -> ()) ?checkpoint () =
+  let rt =
+    setup cfg sch ~hierarchy ~trips ~invocations ~seed ~verify ~max_cycles
+      ~faults ~sanitizer ~on_event
+  in
+  drive rt (Snapshot.fresh_cursor ()) ~checkpoint
+
+let resume_from payload (cfg : Flexl0_arch.Config.t) (sch : Schedule.t)
+    ~hierarchy ?trips ?(invocations = 1) ?(seed = 42) ?(verify = true)
+    ?max_cycles ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Off)
+    ?(on_event = fun (_ : trace_event) -> ()) ?checkpoint () =
+  let rt =
+    setup cfg sch ~hierarchy ~trips ~invocations ~seed ~verify ~max_cycles
+      ~faults ~sanitizer ~on_event
+  in
+  match Snapshot.restore payload ~key:rt.rt_key ~params:rt.rt_params rt.rt_hier with
+  | Error _ as e -> e
+  | Ok cur -> Ok (drive rt cur ~checkpoint)
+
 let run_result cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
-    ?faults ?sanitizer ?on_event () =
+    ?faults ?sanitizer ?on_event ?checkpoint () =
   match
     run cfg sch ~hierarchy ?trips ?invocations ?seed ?verify ?max_cycles
-      ?faults ?sanitizer ?on_event ()
+      ?faults ?sanitizer ?on_event ?checkpoint ()
   with
   | r -> Ok r
   | exception Watchdog_timeout wd -> Error wd

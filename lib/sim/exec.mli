@@ -83,6 +83,7 @@ val run :
   ?faults:Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?on_event:(trace_event -> unit) ->
+  ?checkpoint:int * (string -> unit) ->
   unit ->
   result
 (** [on_event] observes every memory event as it fires (loads, stores,
@@ -104,7 +105,47 @@ val run :
     mode raises {!Flexl0_mem.Sanitizer.Violation} at the offending
     access. [max_cycles] bounds total simulated cycles (default: a
     generous multiple of the compute time); raises {!Watchdog_timeout}
-    when exceeded. *)
+    when exceeded.
+
+    [checkpoint:(interval, sink)] hands [sink] a {!Snapshot.encode}d
+    payload every [interval] ticks (one tick = one machine cycle of one
+    invocation) — feed it {!Snapshot.file_sink} or ship it over a pipe.
+    The sink is never called after the final tick; [interval] must be
+    positive. Checkpoint capture does not perturb the simulation: the
+    run's result, counters and every loaded value are byte-identical
+    with and without it. *)
+
+val resume_from :
+  string ->
+  Flexl0_arch.Config.t ->
+  Schedule.t ->
+  hierarchy:(backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t) ->
+  ?trips:int ->
+  ?invocations:int ->
+  ?seed:int ->
+  ?verify:bool ->
+  ?max_cycles:int ->
+  ?faults:Fault.plan ->
+  ?sanitizer:Flexl0_mem.Sanitizer.mode ->
+  ?on_event:(trace_event -> unit) ->
+  ?checkpoint:int * (string -> unit) ->
+  unit ->
+  (result, Snapshot.error) Stdlib.result
+(** [resume_from payload] continues a run from a snapshot taken by
+    [run ~checkpoint]. Call it with {e exactly} the arguments of the
+    interrupted run: the static context (schedule events, reference
+    loads, watchdog budget) is rebuilt deterministically from them, the
+    snapshot supplies only the cursor and the hierarchy's dynamic state.
+    The continued run is byte-identical to one that was never
+    interrupted — same {!result}, same counters.
+
+    A snapshot from a different loop, parameterization or snapshot
+    layout version is rejected as [Error] before any replay happens
+    (the key/params digest guard in {!Snapshot}); a structurally
+    damaged payload is [Error (Damaged _)]. On [Error] nothing useful
+    was restored — fall back to a fresh {!run}. Like {!run}, raises
+    {!Watchdog_timeout} (and sanitizer violations) from the replay
+    itself. *)
 
 val run_result :
   Flexl0_arch.Config.t ->
@@ -118,6 +159,7 @@ val run_result :
   ?faults:Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?on_event:(trace_event -> unit) ->
+  ?checkpoint:int * (string -> unit) ->
   unit ->
   (result, watchdog) Stdlib.result
 (** {!run} with the watchdog surfaced as [Error] instead of an

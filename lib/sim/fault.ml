@@ -238,4 +238,17 @@ let instrument plan (inner : Hierarchy.t) =
     store;
     prefetch;
     invalidate;
+    (* The decision stream is part of the dynamic state: a resumed run
+       must draw exactly where the interrupted one left off, or the
+       injection pattern (and thus timing and counters) would diverge. *)
+    snap =
+      (fun w ->
+        inner.Hierarchy.snap w;
+        Flexl0_util.Flatio.W.tag w "FLT0";
+        Flexl0_util.Flatio.W.i64 w (Rng.state rng));
+    restore =
+      (fun r ->
+        inner.Hierarchy.restore r;
+        Flexl0_util.Flatio.R.tag r "FLT0";
+        Rng.set_state rng (Flexl0_util.Flatio.R.i64 r));
   }

@@ -1,0 +1,133 @@
+open Flexl0_util
+module Hierarchy = Flexl0_mem.Hierarchy
+
+type cursor = {
+  mutable cur_inv : int;
+  mutable cur_t : int;
+  mutable cum_stall : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable mismatches : int;
+  mutable ticks : int;
+}
+
+let fresh_cursor () =
+  { cur_inv = 0; cur_t = 0; cum_stall = 0; loads = 0; stores = 0;
+    mismatches = 0; ticks = 0 }
+
+let copy_cursor c = { c with cur_inv = c.cur_inv }
+
+let version = 1
+
+type meta = { m_version : int; m_key : string; m_params : string; m_ticks : int }
+
+type error =
+  | Damaged of string
+  | Mismatch of { field : string; snapshot : string; live : string }
+
+let error_message = function
+  | Damaged msg -> "damaged snapshot: " ^ msg
+  | Mismatch { field; snapshot; live } ->
+    Printf.sprintf "snapshot %s %S does not match the live run's %S" field
+      snapshot live
+
+(* Layout (all via {!Flatio}):
+   "FXSN" version key params | 7 cursor ints | "HIER" hier.snap | "ENDS".
+   The key/params guard comes *before* any hierarchy state so an
+   incompatible snapshot is rejected without touching the live state. *)
+
+let encode ~key ~params cur (hier : Hierarchy.t) =
+  let w = Flatio.W.create ~initial:(64 * 1024) () in
+  Flatio.W.tag w "FXSN";
+  Flatio.W.int w version;
+  Flatio.W.string w key;
+  Flatio.W.string w params;
+  Flatio.W.int w cur.cur_inv;
+  Flatio.W.int w cur.cur_t;
+  Flatio.W.int w cur.cum_stall;
+  Flatio.W.int w cur.loads;
+  Flatio.W.int w cur.stores;
+  Flatio.W.int w cur.mismatches;
+  Flatio.W.int w cur.ticks;
+  Flatio.W.tag w "HIER";
+  hier.Hierarchy.snap w;
+  Flatio.W.tag w "ENDS";
+  Flatio.W.contents w
+
+let read_header r =
+  Flatio.R.tag r "FXSN";
+  let m_version = Flatio.R.int r in
+  let m_key = Flatio.R.string r in
+  let m_params = Flatio.R.string r in
+  (m_version, m_key, m_params)
+
+let read_cursor r =
+  let cur_inv = Flatio.R.int r in
+  let cur_t = Flatio.R.int r in
+  let cum_stall = Flatio.R.int r in
+  let loads = Flatio.R.int r in
+  let stores = Flatio.R.int r in
+  let mismatches = Flatio.R.int r in
+  let ticks = Flatio.R.int r in
+  { cur_inv; cur_t; cum_stall; loads; stores; mismatches; ticks }
+
+let decode_meta payload =
+  match
+    let r = Flatio.R.of_string payload in
+    let m_version, m_key, m_params = read_header r in
+    let cur = read_cursor r in
+    { m_version; m_key; m_params; m_ticks = cur.ticks }
+  with
+  | meta -> Ok meta
+  | exception Flatio.Corrupt msg -> Error (Damaged msg)
+
+let restore payload ~key ~params (hier : Hierarchy.t) =
+  match
+    let r = Flatio.R.of_string payload in
+    let m_version, m_key, m_params = read_header r in
+    if m_version <> version then
+      Error
+        (Mismatch
+           { field = "version"; snapshot = string_of_int m_version;
+             live = string_of_int version })
+    else if m_key <> key then
+      Error (Mismatch { field = "key"; snapshot = m_key; live = key })
+    else if m_params <> params then
+      Error (Mismatch { field = "params"; snapshot = m_params; live = params })
+    else begin
+      let cur = read_cursor r in
+      Flatio.R.tag r "HIER";
+      hier.Hierarchy.restore r;
+      Flatio.R.tag r "ENDS";
+      Flatio.R.expect_end r;
+      Ok cur
+    end
+  with
+  | result -> result
+  | exception Flatio.Corrupt msg -> Error (Damaged msg)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint files: Frame-encoded snapshots appended to one file, so a
+   crash mid-append leaves at most a torn tail and the last *intact*
+   frame always wins. The resynchronizing replay additionally survives a
+   corrupted frame in the middle — the reader just falls back to the
+   most recent frame whose digest still checks. *)
+
+let append_file path payload =
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_creat; Open_append; Open_binary ]
+      0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Frame.encode payload);
+      flush oc)
+
+let file_sink path payload = append_file path payload
+
+let read_last_file path =
+  match Journal.load_frames ~replay:Journal.Resync path with
+  | [], _ -> None
+  | frames, _ -> Some (List.nth frames (List.length frames - 1))

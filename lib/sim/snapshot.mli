@@ -1,0 +1,90 @@
+(** Mid-run execution snapshots.
+
+    A snapshot is the complete dynamic state of a simulation at a tick
+    boundary: the executor's {!cursor} (loop position and accumulated
+    totals) plus the wrapped hierarchy's flat state, written through
+    {!Flexl0_util.Flatio} into one contiguous payload. Everything else a
+    run needs — the schedule, the trace generator, the event tables, the
+    reference-load table — is a pure function of the run's arguments and
+    is rebuilt deterministically on resume, so the payload stays small
+    and version drift is caught by the [key]/[params] guard rather than
+    by unmarshalling garbage.
+
+    Restoring [capture]d state and continuing is byte-identical to never
+    having stopped: same result record, same counters, same CSV bytes.
+    The executor owns that contract ({!Exec.run}'s [checkpoint] /
+    {!Exec.resume_from}); this module owns the codec and the on-disk
+    framing. *)
+
+(** The executor's position and running totals. Mutable on purpose: the
+    executor advances one cursor in place; capture copies it out. *)
+type cursor = {
+  mutable cur_inv : int;  (** current invocation, [0 .. invocations-1] *)
+  mutable cur_t : int;  (** current tick within the invocation *)
+  mutable cum_stall : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable mismatches : int;
+  mutable ticks : int;  (** total ticks executed — drives checkpoint cadence *)
+}
+
+val fresh_cursor : unit -> cursor
+val copy_cursor : cursor -> cursor
+
+val version : int
+(** Bumped whenever the payload layout changes; a mismatch is a typed
+    {!error}, never a misparse. *)
+
+type meta = {
+  m_version : int;
+  m_key : string;  (** the loop name the snapshot belongs to *)
+  m_params : string;  (** digest of every run parameter that shapes replay *)
+  m_ticks : int;
+}
+
+type error =
+  | Damaged of string  (** structurally unreadable ({!Flexl0_util.Flatio.Corrupt}) *)
+  | Mismatch of { field : string; snapshot : string; live : string }
+      (** readable but belongs to a different run configuration *)
+
+val error_message : error -> string
+
+val encode : key:string -> params:string -> cursor -> Flexl0_mem.Hierarchy.t -> string
+(** Flat payload: header guard, cursor, then [hier.snap]. Hand the
+    result to {!Flexl0_util.Frame.encode} (or {!append_file}) for
+    on-disk/on-wire integrity. *)
+
+val decode_meta : string -> (meta, error) result
+(** Reads only the header — cheap routing/validation without touching
+    any live state. *)
+
+val restore :
+  string ->
+  key:string ->
+  params:string ->
+  Flexl0_mem.Hierarchy.t ->
+  (cursor, error) result
+(** Validates the header against the live run, then restores the
+    hierarchy {e in place} and returns the saved cursor. The guard runs
+    before any mutation, but a [Damaged] payload can fail mid-restore —
+    on [Error] the caller must treat the live state as unusable and
+    rebuild from scratch (which is exactly what a fresh run does). *)
+
+(** {1 Checkpoint files}
+
+    One file, {!Flexl0_util.Frame}-encoded snapshots appended in order.
+    A crash mid-append leaves a torn tail; replay takes the last intact
+    frame. *)
+
+val append_file : string -> string -> unit
+(** [append_file path payload] appends one frame and flushes. *)
+
+val file_sink : string -> string -> unit
+(** [file_sink path] partially applied is a checkpoint sink for
+    {!Exec.run}. *)
+
+val read_last_file : string -> string option
+(** Last intact frame payload, scanning with
+    {!Flexl0_util.Journal.Resync} so a mid-file corruption falls back to
+    the most recent frame that still digests. [None] when the file is
+    missing or holds no intact frame. *)

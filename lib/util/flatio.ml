@@ -1,0 +1,152 @@
+(* Flat snapshot arena: a growable Bigarray of bytes written front to
+   back with fixed-width scalar codecs. One snapshot is one contiguous
+   region — no per-field framing, no Marshal — so capturing state is a
+   linear sweep and the resulting string can be handed to {!Frame.encode}
+   unchanged. The reader is the exact mirror and fails with a typed
+   exception instead of reading garbage when the stream is shorter than
+   the structure expects or a section tag does not match. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module W = struct
+  type t = { mutable buf : bigbytes; mutable len : int }
+
+  let create ?(initial = 4096) () =
+    {
+      buf = Bigarray.Array1.create Bigarray.char Bigarray.c_layout (max 64 initial);
+      len = 0;
+    }
+
+  let length t = t.len
+
+  let ensure t extra =
+    let cap = Bigarray.Array1.dim t.buf in
+    if t.len + extra > cap then begin
+      let cap' = max (t.len + extra) (2 * cap) in
+      let bigger = Bigarray.Array1.create Bigarray.char Bigarray.c_layout cap' in
+      Bigarray.Array1.blit t.buf (Bigarray.Array1.sub bigger 0 cap);
+      t.buf <- bigger
+    end
+
+  let byte t c =
+    ensure t 1;
+    Bigarray.Array1.unsafe_set t.buf t.len c;
+    t.len <- t.len + 1
+
+  (* Fixed 8-byte little-endian int64: platform- and word-size-independent. *)
+  let i64 t v =
+    ensure t 8;
+    let buf = t.buf and base = t.len in
+    for i = 0 to 7 do
+      Bigarray.Array1.unsafe_set buf (base + i)
+        (Char.unsafe_chr
+           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done;
+    t.len <- t.len + 8
+
+  let int t v = i64 t (Int64.of_int v)
+
+  let string t s =
+    let n = String.length s in
+    int t n;
+    ensure t n;
+    let buf = t.buf and base = t.len in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set buf (base + i) (String.unsafe_get s i)
+    done;
+    t.len <- t.len + n
+
+  let bytes t b = string t (Bytes.unsafe_to_string b)
+
+  let int_array t a =
+    int t (Array.length a);
+    Array.iter (fun v -> int t v) a
+
+  (* 4-character section marker; cheap structure check during restore. *)
+  let tag t s =
+    if String.length s <> 4 then invalid_arg "Flatio.W.tag: want 4 chars";
+    String.iter (fun c -> byte t c) s
+
+  let contents t = String.init t.len (fun i -> Bigarray.Array1.unsafe_get t.buf i)
+end
+
+module R = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let need t n what =
+    if t.pos + n > String.length t.data then
+      corrupt "truncated snapshot: need %d bytes for %s at offset %d (have %d)"
+        n what t.pos
+        (String.length t.data - t.pos)
+
+  let i64 t =
+    need t 8 "int64";
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v :=
+        Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (String.unsafe_get t.data (t.pos + i))))
+    done;
+    t.pos <- t.pos + 8;
+    !v
+
+  let int t = Int64.to_int (i64 t)
+
+  let string t =
+    let n = int t in
+    if n < 0 then corrupt "negative string length %d at offset %d" n t.pos;
+    need t n "string body";
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t = Bytes.unsafe_of_string (string t)
+
+  (* In-place restore of a fixed-size byte buffer (e.g. the backing
+     store, whose identity is captured by hierarchy closures and must
+     not change). *)
+  let bytes_into t dst =
+    let n = int t in
+    if n <> Bytes.length dst then
+      corrupt "byte buffer length %d does not match live buffer %d" n
+        (Bytes.length dst);
+    need t n "byte buffer body";
+    Bytes.blit_string t.data t.pos dst 0 n;
+    t.pos <- t.pos + n
+
+  let int_array t =
+    let n = int t in
+    if n < 0 then corrupt "negative array length %d" n;
+    need t (8 * n) "int array body";
+    Array.init n (fun _ -> int t)
+
+  let int_array_into t dst =
+    let n = int t in
+    if n <> Array.length dst then
+      corrupt "int array length %d does not match live array %d" n
+        (Array.length dst);
+    need t (8 * n) "int array body";
+    for i = 0 to n - 1 do
+      dst.(i) <- int t
+    done
+
+  let tag t want =
+    need t 4 ("section tag " ^ want);
+    let got = String.sub t.data t.pos 4 in
+    if got <> want then
+      corrupt "section tag mismatch at offset %d: want %S, got %S" t.pos want
+        got;
+    t.pos <- t.pos + 4
+
+  let expect_end t =
+    if t.pos <> String.length t.data then
+      corrupt "%d trailing bytes after the last section"
+        (String.length t.data - t.pos)
+end

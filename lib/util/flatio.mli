@@ -1,0 +1,62 @@
+(** Flat snapshot arena.
+
+    A snapshot is one contiguous byte region written front to back with
+    fixed-width codecs (8-byte little-endian integers, length-prefixed
+    strings) into a growable Bigarray — no per-field framing, no
+    [Marshal], no platform or word-size dependence. The simulator's
+    capture path is therefore a single linear sweep over its state, and
+    the resulting string is handed to {!Frame.encode} unchanged for
+    versioning, digesting and torn-tail tolerance on disk or on the
+    wire.
+
+    The reader mirrors the writer exactly. Any structural disagreement —
+    stream shorter than the structure, section tag mismatch, a length
+    that does not match the live buffer being restored into — raises
+    {!Corrupt} with a description instead of silently reading garbage;
+    restore paths catch it and report a typed error. *)
+
+exception Corrupt of string
+
+(** Writer: append-only, grows by doubling. *)
+module W : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val length : t -> int
+
+  val int : t -> int -> unit
+  (** Stored as a fixed 8-byte little-endian int64. *)
+
+  val i64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bytes : t -> Bytes.t -> unit
+  val int_array : t -> int array -> unit
+
+  val tag : t -> string -> unit
+  (** Emit a 4-character section marker — a cheap structural check the
+      reader verifies with {!R.tag}, pinning a corruption to the section
+      where reader and writer diverged. *)
+
+  val contents : t -> string
+end
+
+(** Reader: consumes the writer's output in the same order. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val int : t -> int
+  val i64 : t -> int64
+  val string : t -> string
+  val bytes : t -> Bytes.t
+
+  val bytes_into : t -> Bytes.t -> unit
+  (** Restore into an existing buffer of exactly the recorded length —
+      used for state whose identity is captured by closures (the backing
+      store) and must be mutated in place, never replaced. *)
+
+  val int_array : t -> int array
+  val int_array_into : t -> int array -> unit
+  val tag : t -> string -> unit
+  val expect_end : t -> unit
+end

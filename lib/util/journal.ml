@@ -11,8 +11,7 @@ type entry = {
 let payload_digest e = Digest.to_hex (Digest.string e.e_payload)
 
 (* The frame codec itself lives in {!Frame} — one implementation shared
-   with the runner's result pipes and the serve protocol. The journal
-   only needs the coarse decode: any defect ends the intact prefix. *)
+   with the runner's result pipes and the serve protocol. *)
 
 let encode_frame = Frame.encode
 let decode_frame = Frame.decode
@@ -32,24 +31,122 @@ let append w entry =
 
 let close w = close_out w.oc
 
-let load path =
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type defect =
+  | Torn_tail of { pos : int }
+  | Corrupt_frame of { pos : int }
+  | Oversized_frame of { pos : int; claimed : int }
+  | Unreadable_entry of { pos : int }
+
+type replay = Stop_at_first_defect | Resync
+
+let defect_message = function
+  | Torn_tail { pos } ->
+    Printf.sprintf "torn frame at offset %d (incomplete tail)" pos
+  | Corrupt_frame { pos } ->
+    Printf.sprintf "corrupt frame at offset %d (bad magic or digest)" pos
+  | Oversized_frame { pos; claimed } ->
+    Printf.sprintf
+      "frame at offset %d claims %d payload bytes, above the %d-byte limit"
+      pos claimed Frame.max_payload
+  | Unreadable_entry { pos } ->
+    Printf.sprintf "frame at offset %d holds an unreadable entry" pos
+
+(* Next candidate frame start strictly after [pos] — the resynchronizing
+   scan the serve {!Store} uses, so one flipped byte costs one record,
+   not every record after it. *)
+let next_magic text pos =
+  let n = String.length text in
+  let m = String.length Frame.magic in
+  let rec go p =
+    if p + m > n then None
+    else if String.sub text p m = Frame.magic then Some p
+    else go (p + 1)
+  in
+  go pos
+
+(* Classify a defect at [pos]. {!Frame.check} already refuses to treat an
+   oversized length field as an allocation request (satellite: the limit
+   is enforced before any buffer is sized); here we additionally surface
+   *which* kind of corruption it was as a typed defect. *)
+let classify_defect text pos =
+  if pos + 8 <= String.length text then begin
+    let claimed =
+      (Char.code text.[pos + 4] lsl 24)
+      lor (Char.code text.[pos + 5] lsl 16)
+      lor (Char.code text.[pos + 6] lsl 8)
+      lor Char.code text.[pos + 7]
+    in
+    if
+      String.sub text pos 4 = Frame.magic
+      && (claimed < 0 || claimed > Frame.max_payload)
+    then Oversized_frame { pos; claimed }
+    else Corrupt_frame { pos }
+  end
+  else Corrupt_frame { pos }
+
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error _ -> []
-  | text ->
-    let rec go acc pos =
-      match decode_frame text ~pos with
-      | None -> List.rev acc
-      | Some (payload, next) -> (
-        (* A digest-intact frame whose payload still fails to unmarshal
-           (e.g. written by an incompatible binary) ends the replay the
-           same way a torn tail does. *)
-        match (Marshal.from_string payload 0 : entry) with
-        | entry -> go (entry :: acc) next
-        | exception _ -> List.rev acc)
-    in
-    go [] 0
+  | exception Sys_error _ -> None
+  | text -> Some text
+
+let scan_frames ~replay text =
+  let frames = ref [] and defects = ref [] in
+  let rec go pos =
+    if pos < String.length text then begin
+      match Frame.check text ~pos with
+      | Frame.Frame (payload, next) ->
+        frames := (pos, payload) :: !frames;
+        go next
+      | Frame.Partial -> resync pos (Torn_tail { pos })
+      | Frame.Corrupt _ -> resync pos (classify_defect text pos)
+    end
+  and resync pos defect =
+    defects := defect :: !defects;
+    match replay with
+    | Stop_at_first_defect -> ()
+    | Resync -> (
+      (* Drop the damaged record, rescan for the next frame boundary. *)
+      match next_magic text (pos + 1) with None -> () | Some p -> go p)
+  in
+  go 0;
+  (List.rev !frames, List.rev !defects)
+
+let load_frames ?(replay = Stop_at_first_defect) path =
+  match read_file path with
+  | None -> ([], [])
+  | Some text ->
+    let frames, defects = scan_frames ~replay text in
+    (List.map snd frames, defects)
+
+let load_report ?(replay = Stop_at_first_defect) path =
+  match read_file path with
+  | None -> ([], [])
+  | Some text ->
+    let frames, frame_defects = scan_frames ~replay text in
+    let entries = ref [] and bad_entries = ref [] in
+    (try
+       List.iter
+         (fun (pos, payload) ->
+           (* A digest-intact frame whose payload still fails to unmarshal
+              (e.g. written by an incompatible binary) is a defect like any
+              other: fatal by default, skipped under [Resync]. *)
+           match (Marshal.from_string payload 0 : entry) with
+           | entry -> entries := entry :: !entries
+           | exception _ ->
+             bad_entries := Unreadable_entry { pos } :: !bad_entries;
+             (match replay with
+             | Stop_at_first_defect -> raise Exit
+             | Resync -> ()))
+         frames
+     with Exit -> ());
+    (List.rev !entries, frame_defects @ List.rev !bad_entries)
+
+let load ?replay path = fst (load_report ?replay path)

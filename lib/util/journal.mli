@@ -69,9 +69,48 @@ val append : writer -> entry -> unit
 
 val close : writer -> unit
 
-(** {1 Reading} *)
+(** {1 Reading}
 
-val load : string -> entry list
-(** All intact entries, in append order, stopping at the first
-    truncated or corrupt frame. Returns [[]] when the file is missing
-    or empty. *)
+    Two replay modes. The default, {!Stop_at_first_defect}, treats the
+    journal as an append-only log whose only legal damage is a torn
+    tail: replay stops at the first defect and returns the intact
+    prefix. {!Resync} is the mode the serve {!Store} pioneered for
+    files that may suffer mid-file corruption (bit rot, a overwritten
+    sector): a damaged record is dropped and the scan hunts for the
+    next frame magic, so one flipped byte costs one record rather than
+    everything after it. Resync is opt-in because it can silently skip
+    records — a resumed campaign would re-run those jobs, which is
+    safe but surprising, so callers must ask for it. *)
+
+(** One defect found during replay, with its byte offset. *)
+type defect =
+  | Torn_tail of { pos : int }
+      (** frame truncated by end-of-file — the normal crash signature *)
+  | Corrupt_frame of { pos : int }
+      (** bad magic or failed digest *)
+  | Oversized_frame of { pos : int; claimed : int }
+      (** intact magic but a length field above {!Frame.max_payload};
+          surfaced as a typed defect, never as an allocation attempt *)
+  | Unreadable_entry of { pos : int }
+      (** digest-intact frame whose payload fails to unmarshal *)
+
+type replay = Stop_at_first_defect | Resync
+
+val defect_message : defect -> string
+(** Human-readable one-liner for logs and CLI diagnostics. *)
+
+val load : ?replay:replay -> string -> entry list
+(** All intact entries in append order. With the default
+    [Stop_at_first_defect], stops at the first truncated or corrupt
+    frame and returns the intact prefix; with [Resync], skips damaged
+    records and continues from the next frame boundary. Returns [[]]
+    when the file is missing or empty. *)
+
+val load_report : ?replay:replay -> string -> entry list * defect list
+(** Like {!load} but also reports every defect encountered (at most
+    one under [Stop_at_first_defect]). *)
+
+val load_frames : ?replay:replay -> string -> string list * defect list
+(** Raw intact frame payloads without interpreting them as entries —
+    for callers (checkpoint files) that frame non-[entry] payloads
+    with the same codec and want the same replay semantics. *)

@@ -68,3 +68,6 @@ let shuffle t arr =
     arr.(i) <- arr.(j);
     arr.(j) <- tmp
   done
+
+let state t = t.state
+let set_state t s = t.state <- s

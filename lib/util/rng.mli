@@ -59,3 +59,11 @@ val weighted_pick : t -> (float * 'a) list -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val state : t -> int64
+(** The generator's current internal state — the splitmix64 counter.
+    Captured by simulation snapshots so a resumed run continues the
+    exact decision stream an uninterrupted run would have drawn. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state previously read with {!state}. *)

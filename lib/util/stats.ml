@@ -25,6 +25,13 @@ module Counters = struct
     List.iter (fun (name, n) -> add out name n) (to_list a);
     List.iter (fun (name, n) -> add out name n) (to_list b);
     out
+
+  let clear t = Hashtbl.reset t
+  let set t name n = cell t name := n
+
+  let restore t assoc =
+    clear t;
+    List.iter (fun (name, n) -> set t name n) assoc
 end
 
 let mean = function

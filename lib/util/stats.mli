@@ -18,6 +18,15 @@ module Counters : sig
 
   val merge : t -> t -> t
   (** Pointwise sum; inputs are not modified. *)
+
+  val clear : t -> unit
+  val set : t -> string -> int -> unit
+
+  val restore : t -> (string * int) list -> unit
+  (** Replace the counter set's contents with [assoc] — the in-place
+      inverse of {!to_list}, used when restoring a simulation snapshot
+      into live state whose identity (the table itself) is captured by
+      hierarchy closures. *)
 end
 
 val mean : float list -> float

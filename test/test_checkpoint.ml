@@ -1,0 +1,479 @@
+(* Tests for mid-run checkpointing: flat snapshot capture/restore across
+   all three hierarchies and every scheduling scheme, byte-identical
+   continuation (including in a fresh process, through a pipe), the
+   replayed-cycles bound, journal replay modes with typed defects, the
+   oversized-frame guard, and the checkpointed benchmark-cell path. *)
+
+module Rng = Flexl0_util.Rng
+module Frame = Flexl0_util.Frame
+module Journal = Flexl0_util.Journal
+module Exec = Flexl0_sim.Exec
+module Snapshot = Flexl0_sim.Snapshot
+module Sanitizer = Flexl0_mem.Sanitizer
+module Pipeline = Flexl0.Pipeline
+module Fuzz = Flexl0_workloads.Fuzz
+module Proto = Flexl0_serve.Proto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- the seed-42 corpus x every system --------------------------- *)
+
+let corpus_seed = 42
+let n_kernels = 3
+
+let kernels =
+  lazy
+    (let rng = Rng.create corpus_seed in
+     List.init n_kernels (fun id ->
+         Fuzz.materialize (Fuzz.generate (Rng.split rng) ~id)))
+
+let systems () =
+  [
+    Pipeline.baseline_system ();
+    Pipeline.l0_system ();
+    Pipeline.multivliw_system ();
+    Pipeline.interleaved_system ~locality:false ();
+    Pipeline.interleaved_system ~locality:true ();
+  ]
+
+(* Everything a run reports, as one comparable/printable value. The
+   [counters] list is the hierarchy's full dynamic state rendered to
+   stats, so equality here is the byte-identity contract. *)
+let proj (r : Exec.result) =
+  Printf.sprintf "trips=%d compute=%d stall=%d total=%d loads=%d stores=%d \
+                  mism=%d %s"
+    r.Exec.trips r.Exec.compute_cycles r.Exec.stall_cycles r.Exec.total_cycles
+    r.Exec.loads r.Exec.stores r.Exec.value_mismatches
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.Exec.counters))
+
+let interval = 64
+
+(* Compile [loop] under [system] and run it three ways: plain, with
+   checkpoints captured, and resumed from a mid-run checkpoint. Returns
+   None when the scheme cannot schedule this kernel (infeasible), which
+   is a property of the corpus, not of checkpointing. *)
+let combo system loop =
+  match Pipeline.compile system loop with
+  | exception Flexl0_sched.Engine.Infeasible _ -> None
+  | sch ->
+    let hierarchy ~backing =
+      system.Pipeline.make_hierarchy system.Pipeline.config ~backing
+    in
+    let run ?checkpoint () =
+      Exec.run system.Pipeline.config sch ~hierarchy ~invocations:2 ~seed:7
+        ?checkpoint ()
+    in
+    let resume payload ?checkpoint () =
+      Exec.resume_from payload system.Pipeline.config sch ~hierarchy
+        ~invocations:2 ~seed:7 ?checkpoint ()
+    in
+    Some (run, resume)
+
+let each_combo f =
+  let ran = ref 0 in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun loop ->
+          match combo system loop with
+          | None -> ()
+          | Some (run, resume) ->
+            incr ran;
+            f ~label:system.Pipeline.label ~run ~resume)
+        (Lazy.force kernels))
+    (systems ());
+  check "most corpus x system combos ran" true (!ran >= 10)
+
+let test_capture_restore_byte_identical () =
+  each_combo (fun ~label ~run ~resume ->
+      let plain = run () in
+      let saved = ref [] in
+      let ckpt = run ~checkpoint:(interval, fun p -> saved := p :: !saved) () in
+      check_string
+        (label ^ ": checkpoint capture does not perturb the run")
+        (proj plain) (proj ckpt);
+      let saved = List.rev !saved in
+      (* cadence: the k-th checkpoint is at tick (k+1) * interval *)
+      List.iteri
+        (fun k payload ->
+          match Snapshot.decode_meta payload with
+          | Ok m ->
+            check_int
+              (label ^ ": checkpoint cadence")
+              ((k + 1) * interval)
+              m.Snapshot.m_ticks
+          | Error e -> Alcotest.fail (Snapshot.error_message e))
+        saved;
+      (* restore from the middle and from the last, run to the end:
+         byte-identical both times *)
+      List.iter
+        (fun payload ->
+          match resume payload () with
+          | Ok r ->
+            check_string
+              (label ^ ": resumed run is byte-identical")
+              (proj plain) (proj r)
+          | Error e -> Alcotest.fail (Snapshot.error_message e))
+        (match saved with
+        | [] -> []
+        | l -> [ List.nth l (List.length l / 2); List.nth l (List.length l - 1) ]))
+
+let test_replayed_cycles_bounded () =
+  (* Resuming from the last checkpoint must replay at most [interval]
+     ticks. Tick counts are read off the checkpoint stream itself: the
+     last interval-1 checkpoint tick minus the last interval-I
+     checkpoint tick is strictly below I exactly when the cadence held
+     to the end of the run. *)
+  each_combo (fun ~label ~run ~resume:_ ->
+      let last_at ivl =
+        let last = ref None in
+        ignore (run ~checkpoint:(ivl, fun p -> last := Some p) ());
+        match !last with
+        | None -> None
+        | Some p -> (
+          match Snapshot.decode_meta p with
+          | Ok m -> Some m.Snapshot.m_ticks
+          | Error e -> Alcotest.fail (Snapshot.error_message e))
+      in
+      match (last_at interval, last_at 1) with
+      | Some coarse, Some fine ->
+        check
+          (Printf.sprintf "%s: at most one interval replayed (%d - %d < %d)"
+             label fine coarse interval)
+          true
+          (fine - coarse < interval)
+      | _ -> ( (* run shorter than one interval: nothing to replay *) ))
+
+let test_restore_in_fresh_process () =
+  (* The snapshot's contract is process-independence: ship a payload to
+     a brand-new process through a pipe and the continuation there must
+     render the same bytes the uninterrupted parent run did. *)
+  let system = Pipeline.l0_system () in
+  let loop = List.hd (Lazy.force kernels) in
+  match combo system loop with
+  | None -> Alcotest.fail "l0 could not schedule the first corpus kernel"
+  | Some (run, resume) ->
+    let plain = run () in
+    let saved = ref [] in
+    ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ());
+    let payload =
+      match !saved with
+      | p :: _ -> p (* the last checkpoint *)
+      | [] -> Alcotest.fail "no checkpoint captured"
+    in
+    let down_r, down_w = Unix.pipe () and up_r, up_w = Unix.pipe () in
+    (match Unix.fork () with
+    | 0 ->
+      Unix.close down_w;
+      Unix.close up_r;
+      let ic = Unix.in_channel_of_descr down_r in
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      let rendered =
+        match resume (Buffer.contents buf) () with
+        | Ok r -> proj r
+        | Error e -> "resume failed: " ^ Snapshot.error_message e
+      in
+      let oc = Unix.out_channel_of_descr up_w in
+      output_string oc rendered;
+      flush oc;
+      Stdlib.exit 0
+    | pid ->
+      Unix.close down_r;
+      Unix.close up_w;
+      let oc = Unix.out_channel_of_descr down_w in
+      output_string oc payload;
+      flush oc;
+      close_out oc;
+      let ic = Unix.in_channel_of_descr up_r in
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "child process failed");
+      check_string "fresh-process continuation is byte-identical"
+        (proj plain) (Buffer.contents buf))
+
+let test_sanitizer_strict_across_restore () =
+  (* Strict-mode invariants must hold on both sides of the boundary: a
+     restored hierarchy is indistinguishable from one that ran straight
+     through, so the sanitizer never fires on resumed state. *)
+  let system = Pipeline.l0_system () in
+  let loop = List.hd (Lazy.force kernels) in
+  let sch = Pipeline.compile system loop in
+  let hierarchy ~backing =
+    system.Pipeline.make_hierarchy system.Pipeline.config ~backing
+  in
+  let run ?checkpoint () =
+    Exec.run system.Pipeline.config sch ~hierarchy ~invocations:2 ~seed:7
+      ~sanitizer:Sanitizer.Strict ?checkpoint ()
+  in
+  let plain = run () in
+  let saved = ref [] in
+  ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ());
+  match !saved with
+  | [] -> Alcotest.fail "no checkpoint captured under Strict"
+  | payload :: _ -> (
+    match
+      Exec.resume_from payload system.Pipeline.config sch ~hierarchy
+        ~invocations:2 ~seed:7 ~sanitizer:Sanitizer.Strict ()
+    with
+    | Ok r ->
+      check_string "Strict-sanitized resume is byte-identical" (proj plain)
+        (proj r)
+    | Error e -> Alcotest.fail (Snapshot.error_message e))
+
+let test_snapshot_guard_rejects_foreign_and_damaged () =
+  let system = Pipeline.l0_system () in
+  match Lazy.force kernels with
+  | loop_a :: loop_b :: _ -> (
+    let saved = ref [] in
+    (match combo system loop_a with
+    | Some (run, _) ->
+      ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ())
+    | None -> Alcotest.fail "l0 could not schedule kernel 0");
+    let payload =
+      match !saved with
+      | p :: _ -> p
+      | [] -> Alcotest.fail "no checkpoint captured"
+    in
+    (* a snapshot of kernel A applied to kernel B's run: typed Mismatch,
+       before any state is touched *)
+    (match combo system loop_b with
+    | Some (_, resume) -> (
+      match resume payload () with
+      | Error (Snapshot.Mismatch _) -> ()
+      | Error e ->
+        Alcotest.fail ("expected Mismatch, got " ^ Snapshot.error_message e)
+      | Ok _ -> Alcotest.fail "foreign snapshot was accepted")
+    | None -> Alcotest.fail "l0 could not schedule kernel 1");
+    (* structurally damaged payload: typed Damaged, not an exception *)
+    match combo system loop_a with
+    | Some (_, resume) -> (
+      match resume "not a snapshot at all" () with
+      | Error (Snapshot.Damaged _) -> ()
+      | Error e ->
+        Alcotest.fail ("expected Damaged, got " ^ Snapshot.error_message e)
+      | Ok _ -> Alcotest.fail "garbage payload was accepted")
+    | None -> assert false)
+  | _ -> Alcotest.fail "corpus too small"
+
+(* ---- checkpoint files: last intact frame wins --------------------- *)
+
+let temp_path suffix =
+  let path = Filename.temp_file "flexl0-ckpt-test" suffix in
+  Sys.remove path;
+  path
+
+let flip_byte path pos =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_read_last_file_survives_damage () =
+  let path = temp_path ".ckpt" in
+  check "missing file reads as no checkpoint" true
+    (Snapshot.read_last_file path = None);
+  Snapshot.append_file path "first";
+  let s1 = file_size path in
+  Snapshot.append_file path "second";
+  let s2 = file_size path in
+  Snapshot.append_file path "third";
+  check "last intact frame wins" true
+    (Snapshot.read_last_file path = Some "third");
+  (* damage the last frame's payload: fall back to the previous one *)
+  flip_byte path (s2 + Frame.header_bytes);
+  check "damaged tail falls back to the previous frame" true
+    (Snapshot.read_last_file path = Some "second");
+  (* damage the middle frame too: resync still reaches the first *)
+  flip_byte path (s1 + Frame.header_bytes);
+  check "resync scans past mid-file damage" true
+    (Snapshot.read_last_file path = Some "first");
+  Sys.remove path
+
+(* ---- journal replay modes and typed defects ----------------------- *)
+
+let entry id =
+  {
+    Journal.e_job = id;
+    e_seed = 9;
+    e_attempts = 1;
+    e_status = Journal.Done;
+    e_payload = "payload-" ^ id;
+  }
+
+let jobs entries = List.map (fun e -> e.Journal.e_job) entries
+
+let test_journal_replay_modes () =
+  let path = temp_path ".journal" in
+  let w = Journal.open_writer path in
+  Journal.append w (entry "a");
+  let s1 = file_size path in
+  Journal.append w (entry "b");
+  Journal.append w (entry "c");
+  Journal.close w;
+  flip_byte path (s1 + Frame.header_bytes + 2);
+  (* default: the log contract — stop at the first defect *)
+  let entries, defects = Journal.load_report path in
+  Alcotest.(check (list string)) "stop mode keeps the intact prefix" [ "a" ]
+    (jobs entries);
+  (match defects with
+  | [ Journal.Corrupt_frame { pos } ] -> check_int "defect offset" s1 pos
+  | _ -> Alcotest.fail "expected exactly one Corrupt_frame defect");
+  (* opt-in: resync scans past the damage, losing only the one record *)
+  let entries, defects = Journal.load_report ~replay:Journal.Resync path in
+  Alcotest.(check (list string)) "resync drops only the damaged record"
+    [ "a"; "c" ] (jobs entries);
+  check "resync still reports the defect" true
+    (List.exists
+       (function Journal.Corrupt_frame _ -> true | _ -> false)
+       defects);
+  Sys.remove path
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.to_string b
+
+let test_oversized_frame_typed_defect () =
+  (* A length field above Frame.max_payload — e.g. one flipped high bit
+     — must surface as a typed defect, never as an allocation. *)
+  let claimed = Frame.max_payload + 1 in
+  let bogus = Frame.magic ^ be32 claimed ^ String.make 16 '\000' in
+  (match Frame.check bogus ~pos:0 with
+  | Frame.Corrupt _ -> ()
+  | Frame.Partial -> Alcotest.fail "oversized length treated as partial"
+  | Frame.Frame _ -> Alcotest.fail "oversized length decoded as a frame");
+  let path = temp_path ".journal" in
+  let w = Journal.open_writer path in
+  Journal.append w (entry "a");
+  let s1 = file_size path in
+  Journal.close w;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc bogus;
+  close_out oc;
+  List.iter
+    (fun replay ->
+      let entries, defects = Journal.load_report ~replay path in
+      Alcotest.(check (list string)) "intact prefix survives" [ "a" ]
+        (jobs entries);
+      match
+        List.find_opt
+          (function Journal.Oversized_frame _ -> true | _ -> false)
+          defects
+      with
+      | Some (Journal.Oversized_frame { pos; claimed = c }) ->
+        check_int "defect offset" s1 pos;
+        check_int "claimed length reported" claimed c
+      | _ -> Alcotest.fail "expected an Oversized_frame defect")
+    [ Journal.Stop_at_first_defect; Journal.Resync ];
+  Sys.remove path
+
+(* ---- the checkpointed benchmark cell ------------------------------ *)
+
+let cell_req () =
+  match Proto.spec_of_string "l0" with
+  | Ok spec -> Proto.Cell { spec; bench = "g721dec"; max_cycles = None }
+  | Error msg -> Alcotest.fail msg
+
+let response_text = function
+  | Proto.Text s -> s
+  | Proto.Failed e -> Alcotest.fail (Flexl0.Errors.to_string e)
+  | Proto.Health_report _ -> Alcotest.fail "unexpected health report"
+
+let test_bench_cell_ckpt_byte_identical () =
+  let req = cell_req () in
+  let plain = response_text (Proto.handle req) in
+  let saved = ref [] in
+  let ckpt =
+    Proto.handle_ckpt ~interval:512
+      ~save:(fun p -> saved := p :: !saved)
+      ~prior:None req
+  in
+  check_string "checkpointed cell renders the same bytes" plain
+    (response_text ckpt);
+  check "the cell checkpointed at least once per loop" true
+    (List.length !saved >= 4);
+  (* resume from the most recent checkpoint: same bytes again *)
+  let resumed =
+    Proto.handle_ckpt ~interval:512 ~save:ignore
+      ~prior:(Some (List.hd !saved))
+      req
+  in
+  check_string "resumed cell renders the same bytes" plain
+    (response_text resumed);
+  (* a prior that is garbage, or from another cell, falls back to a
+     fresh run instead of poisoning the result *)
+  List.iter
+    (fun prior ->
+      let r = Proto.handle_ckpt ~interval:512 ~save:ignore ~prior:(Some prior) req in
+      check_string "bad prior falls back to a fresh, identical run" plain
+        (response_text r))
+    [ "complete nonsense"; Marshal.to_string (1, "wrong", []) [] ]
+
+let test_proto_ckpt_part_codec () =
+  let payload = "resumable progress bytes \x00\x84\xff" in
+  let framed = Proto.encode_ckpt payload in
+  (match Frame.decode framed ~pos:0 with
+  | Some (p, next) ->
+    check_int "one whole frame" (String.length framed) next;
+    check "tagged as a checkpoint part" true (Proto.is_ckpt_payload p);
+    (match Proto.decode_ckpt p with
+    | Ok round -> check_string "payload roundtrips" payload round
+    | Error msg -> Alcotest.fail msg)
+  | None -> Alcotest.fail "encode_ckpt did not produce a valid frame");
+  (* a request frame must never be mistaken for a checkpoint part *)
+  match Frame.decode (Proto.encode_request Proto.Health) ~pos:0 with
+  | Some (p, _) ->
+    check "request payloads are not checkpoint parts" false
+      (Proto.is_ckpt_payload p)
+  | None -> Alcotest.fail "encode_request did not produce a valid frame"
+
+let suite =
+  ( "checkpoint",
+    [
+      Alcotest.test_case "capture/restore byte-identical across systems"
+        `Quick test_capture_restore_byte_identical;
+      Alcotest.test_case "replayed cycles bounded by the interval" `Quick
+        test_replayed_cycles_bounded;
+      Alcotest.test_case "restore in a fresh process via a pipe" `Quick
+        test_restore_in_fresh_process;
+      Alcotest.test_case "sanitizer Strict across the restore boundary"
+        `Quick test_sanitizer_strict_across_restore;
+      Alcotest.test_case "guard rejects foreign and damaged snapshots"
+        `Quick test_snapshot_guard_rejects_foreign_and_damaged;
+      Alcotest.test_case "checkpoint file: last intact frame wins" `Quick
+        test_read_last_file_survives_damage;
+      Alcotest.test_case "journal replay modes" `Quick
+        test_journal_replay_modes;
+      Alcotest.test_case "oversized frame is a typed defect" `Quick
+        test_oversized_frame_typed_defect;
+      Alcotest.test_case "benchmark cell checkpointing byte-identical"
+        `Quick test_bench_cell_ckpt_byte_identical;
+      Alcotest.test_case "checkpoint wire part codec" `Quick
+        test_proto_ckpt_part_codec;
+    ] )

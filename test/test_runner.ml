@@ -69,8 +69,7 @@ let test_parallel_order_and_seeds () =
      the per-job seed, however the OS interleaved the forks. *)
   let jobs =
     List.init 8 (fun i ->
-        { Runner.id = Printf.sprintf "job-%d" i;
-          work = (fun ~seed -> (i * i, seed)) })
+        Runner.job ~id:(Printf.sprintf "job-%d" i) (fun ~seed -> (i * i, seed)))
   in
   let outcomes = Runner.run { quick_config with jobs = 4 } jobs in
   check_int "one outcome per job" 8 (List.length outcomes);
@@ -86,7 +85,7 @@ let test_parallel_order_and_seeds () =
     outcomes
 
 let test_duplicate_ids_rejected () =
-  let job = { Runner.id = "dup"; work = (fun ~seed:_ -> 0) } in
+  let job = Runner.job ~id:"dup" (fun ~seed:_ -> 0) in
   check "duplicate ids are invalid" true
     (try
        ignore (Runner.run quick_config [ job; job ]);
@@ -98,9 +97,9 @@ let test_crashing_job_degrades () =
      to Gave_up; its neighbours are untouched. *)
   let jobs =
     [
-      { Runner.id = "ok-1"; work = (fun ~seed:_ -> 10) };
-      { Runner.id = "boom"; work = (fun ~seed:_ -> failwith "kaboom") };
-      { Runner.id = "ok-2"; work = (fun ~seed:_ -> 20) };
+      Runner.job ~id:"ok-1" (fun ~seed:_ -> 10);
+      Runner.job ~id:"boom" (fun ~seed:_ -> failwith "kaboom");
+      Runner.job ~id:"ok-2" (fun ~seed:_ -> 20);
     ]
   in
   let retried = ref 0 in
@@ -125,8 +124,8 @@ let test_hanging_job_timed_out () =
      stalling the healthy job next to it. *)
   let jobs =
     [
-      { Runner.id = "sleeper"; work = (fun ~seed:_ -> Unix.sleepf 30.0; 1) };
-      { Runner.id = "healthy"; work = (fun ~seed:_ -> 2) };
+      Runner.job ~id:"sleeper" (fun ~seed:_ -> Unix.sleepf 30.0; 1);
+      Runner.job ~id:"healthy" (fun ~seed:_ -> 2);
     ]
   in
   let cfg =
@@ -200,14 +199,10 @@ let test_resume_skips_completed_jobs () =
   let dir = temp_dir () in
   let marker id = Filename.concat dir ("exec-" ^ id) in
   let job id v =
-    {
-      Runner.id;
-      work =
-        (fun ~seed:_ ->
-          let oc = open_out (marker id) in
-          close_out oc;
-          v);
-    }
+    Runner.job ~id (fun ~seed:_ ->
+        let oc = open_out (marker id) in
+        close_out oc;
+        v)
   in
   let cfg = { quick_config with journal_dir = Some dir } in
   (match Runner.run cfg [ job "a" 1; job "b" 2 ] with
@@ -248,7 +243,7 @@ let test_gave_up_is_journalled () =
   (* A give-up is a terminal outcome too: resuming must not retry it. *)
   let dir = temp_dir () in
   let cfg = { quick_config with journal_dir = Some dir; retries = 0 } in
-  let bad = { Runner.id = "bad"; work = (fun ~seed:_ -> failwith "nope") } in
+  let bad = Runner.job ~id:"bad" (fun ~seed:_ -> failwith "nope") in
   (match Runner.run cfg [ bad ] with
   | [ Runner.Gave_up _ ] -> ()
   | _ -> Alcotest.fail "expected give-up");
@@ -256,7 +251,7 @@ let test_gave_up_is_journalled () =
   let resumed =
     Runner.run
       { cfg with resume = true }
-      [ { Runner.id = "bad"; work = (fun ~seed:_ -> ran := true; 0) } ]
+      [ Runner.job ~id:"bad" (fun ~seed:_ -> ran := true; 0) ]
   in
   (match resumed with
   | [ Runner.Gave_up sk ] ->
