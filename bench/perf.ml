@@ -1,4 +1,4 @@
-(* Performance-regression harness (PR 4).
+(* Performance-regression harness (PR 4, extended PR 9).
 
    Times the pipeline's hot stages on the real evaluation workloads and
    emits a machine-readable BENCH_PR4.json at the repo root so the perf
@@ -12,10 +12,18 @@
      the end-to-end workload the acceptance bar is set on;
    - fuzz:      the CI smoke campaign (seed 42, 200 cases, 8 systems).
 
-   Each stage records wall time and allocation (Gc.allocated_bytes).
-   "Before" numbers come from bench/perf_baseline_pr4.txt, captured on
-   the pre-optimization tree with --save-baseline; with the baseline
-   present the json carries before/after/speedup per stage. *)
+   Each stage records wall time, allocation (Gc.allocated_bytes) and
+   the minor/major GC word counts — the data-oriented executor's whole
+   point is that the simulator stage stops feeding the minor heap.
+   "Before" numbers come from bench/perf_baseline_pr9.txt, captured on
+   the pre-PR9 tree with --save-baseline; with the baseline present the
+   json carries before/after/speedup per stage. [--gate STAGE] turns a
+   stage's allocation regression into a non-zero exit for CI:
+   allocation is deterministic across machines, unlike wall time, so it
+   is the portable regression signal. Gates compare against the *gate
+   reference* (bench/perf_gate_pr9.txt, captured on the optimized PR9
+   tree), not the pre-PR9 baseline — against the old baseline even a
+   full revert of the optimizations would slip under the margin. *)
 
 module Config = Flexl0_arch.Config
 module Pipeline = Flexl0.Pipeline
@@ -24,21 +32,36 @@ module Csv_export = Flexl0.Csv_export
 module Mediabench = Flexl0_workloads.Mediabench
 module Fuzz = Flexl0_workloads.Fuzz
 
-type sample = { wall_s : float; alloc_bytes : float }
+type sample = {
+  wall_s : float;
+  alloc_bytes : float;
+  minor_words : float;
+  major_words : float;
+}
 
 type stage = { sname : string; sample : sample }
 
 let time_stage sname ~repeat f =
   let best = ref None in
   for _ = 1 to max 1 repeat do
+    let g0 = Gc.quick_stat () in
     let a0 = Gc.allocated_bytes () in
     let t0 = Unix.gettimeofday () in
     f ();
     let wall = Unix.gettimeofday () -. t0 in
     let alloc = Gc.allocated_bytes () -. a0 in
+    let g1 = Gc.quick_stat () in
     match !best with
     | Some b when b.wall_s <= wall -> ()
-    | _ -> best := Some { wall_s = wall; alloc_bytes = alloc }
+    | _ ->
+      best :=
+        Some
+          {
+            wall_s = wall;
+            alloc_bytes = alloc;
+            minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+            major_words = g1.Gc.major_words -. g0.Gc.major_words;
+          }
   done;
   { sname; sample = Option.get !best }
 
@@ -97,12 +120,11 @@ let fuzz_stage () = ignore (Fuzz.run ~seed:42 ~cases:200 ())
 
 let save_baseline path stages =
   let oc = open_out path in
-  output_string oc
-    "# pre-optimization perf baseline (bench perf --save-baseline)\n";
+  output_string oc "# perf reference (bench perf --save-baseline[-to])\n";
   List.iter
     (fun s ->
-      Printf.fprintf oc "%s %.6f %.0f\n" s.sname s.sample.wall_s
-        s.sample.alloc_bytes)
+      Printf.fprintf oc "%s %.6f %.0f %.0f %.0f\n" s.sname s.sample.wall_s
+        s.sample.alloc_bytes s.sample.minor_words s.sample.major_words)
     stages;
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -118,11 +140,23 @@ let load_baseline path =
         if line = "" || line.[0] = '#' then go acc
         else
           match String.split_on_char ' ' line with
+          (* Pre-PR9 baselines carry wall + alloc; PR9 ones add the
+             minor/major GC word counts. *)
           | [ name; wall; alloc ] ->
             go
               ((name,
                 { wall_s = float_of_string wall;
-                  alloc_bytes = float_of_string alloc })
+                  alloc_bytes = float_of_string alloc;
+                  minor_words = 0.;
+                  major_words = 0. })
+              :: acc)
+          | [ name; wall; alloc; minor; major ] ->
+            go
+              ((name,
+                { wall_s = float_of_string wall;
+                  alloc_bytes = float_of_string alloc;
+                  minor_words = float_of_string minor;
+                  major_words = float_of_string major })
               :: acc)
           | _ -> go acc)
       | exception End_of_file ->
@@ -138,8 +172,12 @@ let load_baseline path =
 let json_sample b = function
   | None -> Buffer.add_string b "null"
   | Some s ->
-    Printf.bprintf b "{\"wall_s\": %.6f, \"alloc_mb\": %.3f}" s.wall_s
+    Printf.bprintf b
+      "{\"wall_s\": %.6f, \"alloc_mb\": %.3f, \"minor_words\": %.0f, \
+       \"major_words\": %.0f}"
+      s.wall_s
       (s.alloc_bytes /. 1048576.)
+      s.minor_words s.major_words
 
 let json_speedup b = function
   | None -> Buffer.add_string b "null"
@@ -147,7 +185,7 @@ let json_speedup b = function
 
 let emit_json ~path ~baseline stages =
   let b = Buffer.create 2048 in
-  Buffer.add_string b "{\n  \"pr\": 4,\n  \"workloads\": \"mediabench fig5+fig7, fuzz seed=42 cases=200\",\n  \"stages\": [\n";
+  Buffer.add_string b "{\n  \"pr\": 9,\n  \"workloads\": \"mediabench fig5+fig7, fuzz seed=42 cases=200\",\n  \"stages\": [\n";
   let before name = List.assoc_opt name baseline in
   let speedup name (after : sample) =
     match before name with
@@ -194,11 +232,13 @@ let emit_json ~path ~baseline stages =
 
 (* ------------------------------------------------------------------ *)
 
-let default_out = "BENCH_PR4.json"
-let default_baseline = "bench/perf_baseline_pr4.txt"
+let default_out = "BENCH_PR9.json"
+let default_baseline = "bench/perf_baseline_pr9.txt"
+let default_gate_ref = "bench/perf_gate_pr9.txt"
 
 let run ?(out = default_out) ?(baseline = default_baseline)
-    ?(save_baseline_to = None) ?(repeat = 1) () =
+    ?(gate_ref = default_gate_ref) ?(save_baseline_to = None) ?(repeat = 1)
+    ?(gates = []) () =
   Printf.printf "== perf: staged wall-time + allocation ==\n%!";
   let stages =
     [
@@ -212,9 +252,12 @@ let run ?(out = default_out) ?(baseline = default_baseline)
     List.map
       (fun (name, f) ->
         let s = time_stage name ~repeat f in
-        Printf.printf "  %-10s %8.3f s  %10.1f MB allocated\n%!" name
-          s.sample.wall_s
-          (s.sample.alloc_bytes /. 1048576.);
+        Printf.printf
+          "  %-10s %8.3f s  %10.1f MB allocated  %12.0f minor / %10.0f major \
+           words\n%!"
+          name s.sample.wall_s
+          (s.sample.alloc_bytes /. 1048576.)
+          s.sample.minor_words s.sample.major_words;
         s)
       stages
   in
@@ -230,13 +273,55 @@ let run ?(out = default_out) ?(baseline = default_baseline)
         Printf.printf "  %-10s speedup vs baseline: %.2fx\n%!" s.sname
           (b.wall_s /. s.sample.wall_s)
       | _ -> ())
-    measured
+    measured;
+  (* Allocation gates: wall time varies by machine, allocation does not,
+     so CI fails a gated stage only when it allocates more than the
+     committed gate reference (with 10% headroom for stdlib drift). The
+     reference is the *optimized* tree's allocation, so losing the
+     optimization — not merely regressing past the pre-optimization
+     tree — trips the gate. *)
+  let gref = load_baseline gate_ref in
+  let failed =
+    List.filter
+      (fun gate ->
+        match
+          ( List.find_opt (fun s -> s.sname = gate) measured,
+            List.assoc_opt gate gref )
+        with
+        | Some s, Some b ->
+          let limit = b.alloc_bytes *. 1.10 in
+          let bad = s.sample.alloc_bytes > limit in
+          Printf.printf
+            "  gate %-10s alloc %.1f MB vs reference %.1f MB (limit %.1f): \
+             %s\n%!"
+            gate
+            (s.sample.alloc_bytes /. 1048576.)
+            (b.alloc_bytes /. 1048576.)
+            (limit /. 1048576.)
+            (if bad then "FAIL" else "ok");
+          bad
+        | None, _ ->
+          Printf.printf "  gate %-10s unknown stage: FAIL\n%!" gate;
+          true
+        | _, None ->
+          Printf.printf "  gate %-10s has no reference entry in %s: FAIL\n%!"
+            gate gate_ref;
+          true)
+      gates
+  in
+  if failed <> [] then begin
+    Printf.eprintf "perf: allocation gate failed for: %s\n%!"
+      (String.concat ", " failed);
+    exit 3
+  end
 
 let main args =
   let out = ref default_out in
   let baseline = ref default_baseline in
+  let gate_ref = ref default_gate_ref in
   let save = ref None in
   let repeat = ref 1 in
+  let gates = ref [] in
   let rec parse = function
     | [] -> ()
     | "--out" :: v :: rest ->
@@ -244,6 +329,9 @@ let main args =
       parse rest
     | "--baseline" :: v :: rest ->
       baseline := v;
+      parse rest
+    | "--gate-ref" :: v :: rest ->
+      gate_ref := v;
       parse rest
     | "--save-baseline" :: rest ->
       save := Some default_baseline;
@@ -254,12 +342,17 @@ let main args =
     | "--repeat" :: v :: rest ->
       repeat := int_of_string v;
       parse rest
+    | "--gate" :: v :: rest ->
+      gates := !gates @ [ v ];
+      parse rest
     | a :: _ ->
       Printf.eprintf
         "perf: unknown argument %S (known: --out PATH --baseline PATH \
-         --save-baseline --save-baseline-to PATH --repeat N)\n"
+         --gate-ref PATH --save-baseline --save-baseline-to PATH --repeat N \
+         --gate STAGE)\n"
         a;
       exit 2
   in
   parse args;
-  run ~out:!out ~baseline:!baseline ~save_baseline_to:!save ~repeat:!repeat ()
+  run ~out:!out ~baseline:!baseline ~gate_ref:!gate_ref
+    ~save_baseline_to:!save ~repeat:!repeat ~gates:!gates ()

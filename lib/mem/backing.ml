@@ -8,22 +8,38 @@ let check t addr width =
     invalid_arg (Printf.sprintf "Backing: access [%d, %d) out of bounds" addr
                    (addr + width))
 
+(* Width-dispatched little-endian accessors: the common 1/2/4/8-byte
+   shapes go through a single Bytes primitive instead of a per-byte loop
+   that boxes an Int64 on every iteration. *)
 let read t ~addr ~width =
   check t addr width;
-  let v = ref 0L in
-  for i = width - 1 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8)
-           (Int64.of_int (Char.code (Bytes.get t (addr + i))))
-  done;
-  !v
+  match width with
+  | 1 -> Int64.of_int (Bytes.get_uint8 t addr)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t addr)
+  | 4 -> Int64.of_int (Int32.to_int (Bytes.get_int32_le t addr) land 0xFFFFFFFF)
+  | 8 -> Bytes.get_int64_le t addr
+  | _ ->
+      let v = ref 0L in
+      for i = width - 1 downto 0 do
+        v := Int64.logor (Int64.shift_left !v 8)
+               (Int64.of_int (Char.code (Bytes.get t (addr + i))))
+      done;
+      !v
 
 let write t ~addr ~width value =
   check t addr width;
-  let v = ref value in
-  for i = 0 to width - 1 do
-    Bytes.set t (addr + i) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
-    v := Int64.shift_right_logical !v 8
-  done
+  match width with
+  | 1 -> Bytes.set_uint8 t addr (Int64.to_int value land 0xFF)
+  | 2 -> Bytes.set_uint16_le t addr (Int64.to_int value land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t addr (Int64.to_int32 value)
+  | 8 -> Bytes.set_int64_le t addr value
+  | _ ->
+      let v = ref value in
+      for i = 0 to width - 1 do
+        Bytes.set t (addr + i)
+          (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+        v := Int64.shift_right_logical !v 8
+      done
 
 let write8 t ~addr v =
   check t addr 1;
@@ -42,6 +58,11 @@ let read_into t ~addr ~len dst ~pos =
 let write_bytes t ~addr b =
   check t addr (Bytes.length b);
   Bytes.blit b 0 t addr (Bytes.length b)
+
+let fill_from t img =
+  if Bytes.length img < Bytes.length t then
+    invalid_arg "Backing.fill_from: image smaller than store";
+  Bytes.blit img 0 t 0 (Bytes.length t)
 
 let snap t w =
   Flexl0_util.Flatio.W.tag w "MEM0";

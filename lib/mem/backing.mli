@@ -27,6 +27,10 @@ val write8 : t -> addr:int -> int -> unit
 val read_bytes : t -> addr:int -> len:int -> Bytes.t
 val write_bytes : t -> addr:int -> Bytes.t -> unit
 
+val fill_from : t -> Bytes.t -> unit
+(** Overwrite the whole store with the prefix of [img] ([img] must be at
+    least as long) — one blit, for replaying a precomputed fill image. *)
+
 val read_into : t -> addr:int -> len:int -> Bytes.t -> pos:int -> unit
 (** Like {!read_bytes} into a caller-provided buffer at [pos] — the
     allocation-free variant for hot fill paths. *)

@@ -6,19 +6,24 @@ open Flexl0_util
    probed cycle means free. The simulator's [now] never decreases within
    a state's lifetime and claims land at most a bus wait plus the L1/L2
    latency ahead of it — orders of magnitude below the window — so a
-   recycled slot can only ever hold an expired claim. Replacing the old
-   sparse hashtable makes bus state a contiguous int array: probes are
-   one load, and a snapshot is a single array write. *)
+   recycled slot can only ever hold an expired claim. The ring lives in
+   a flat int Bigarray plane: probes are one unboxed load, and a
+   snapshot is a single plane sweep. *)
 
 let window = 1024
 
 type t = {
-  tags : int array;  (* [cluster * window + (at mod window)] = claimed cycle *)
+  tags : Flatio.intba;  (* [cluster * window + (at mod window)] = claimed cycle *)
   clusters : int;
   mutable hi : int;  (* highest cycle ever claimed *)
 }
 
-let create ~clusters = { tags = Array.make (clusters * window) (-1); clusters; hi = 0 }
+let create ~clusters =
+  let tags =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (clusters * window)
+  in
+  Bigarray.Array1.fill tags (-1);
+  { tags; clusters; hi = 0 }
 
 let check_cluster t cluster =
   if cluster < 0 || cluster >= t.clusters then
@@ -28,7 +33,7 @@ let slot cluster at = (cluster * window) + (at land (window - 1))
 
 let is_free t ~cluster ~at =
   check_cluster t cluster;
-  t.tags.(slot cluster at) <> at
+  Bigarray.Array1.unsafe_get t.tags (slot cluster at) <> at
 
 let reserve t ~cluster ~at =
   check_cluster t cluster;
@@ -37,8 +42,8 @@ let reserve t ~cluster ~at =
      future claim the wraparound aliased onto this slot. Claims stay
      within [window] of the monotone present, so the evicted tag is
      always older. *)
-  assert (t.tags.(slot cluster at) <= at);
-  t.tags.(slot cluster at) <- at;
+  assert (Bigarray.Array1.unsafe_get t.tags (slot cluster at) <= at);
+  Bigarray.Array1.unsafe_set t.tags (slot cluster at) at;
   if at > t.hi then t.hi <- at
 
 let request t ~cluster ~now =
@@ -50,14 +55,16 @@ let request t ~cluster ~now =
   grant
 
 let reset t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Bigarray.Array1.fill t.tags (-1);
   t.hi <- 0
 
+(* [int_ba] writes the same bytes [int_array] did, so the BUS0 section
+   is unchanged by the plane layout. *)
 let snap t w =
   Flatio.W.tag w "BUS0";
   Flatio.W.int w t.clusters;
   Flatio.W.int w t.hi;
-  Flatio.W.int_array w t.tags
+  Flatio.W.int_ba w t.tags
 
 let restore t r =
   Flatio.R.tag r "BUS0";
@@ -68,4 +75,4 @@ let restore t r =
          (Printf.sprintf "Bus: snapshot has %d clusters, live bus has %d"
             clusters t.clusters));
   t.hi <- Flatio.R.int r;
-  Flatio.R.int_array_into r t.tags
+  Flatio.R.int_ba_into r t.tags

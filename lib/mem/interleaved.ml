@@ -10,42 +10,50 @@ let home_of ~clusters addr = addr / word_bytes mod clusters
    store, which the write-through home banks keep current; what matters
    for the experiments is the locality timing. *)
 module Attraction = struct
-  (* Word tags and LRU stamps in two parallel dense arrays,
+  (* Word tags and LRU stamps in two parallel unboxed planes,
      [0 .. n-1] newest-touch first (the order the former assoc list
      kept): a probe is a bounded scan with zero allocation, eviction a
      min-stamp scan. Capacities are tiny, so the shifts are cheap. *)
   type t = {
     capacity : int;
-    words : int array;
-    stamps : int array;
+    words : Flatio.intba;
+    stamps : Flatio.intba;
     mutable n : int;
     mutable clock : int;
   }
 
+  let[@inline] get (p : Flatio.intba) i = Bigarray.Array1.unsafe_get p i
+  let[@inline] set (p : Flatio.intba) i v = Bigarray.Array1.unsafe_set p i v
+
+  let plane size =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout size in
+    Bigarray.Array1.fill a 0;
+    a
+
   let create capacity =
     let size = max 1 capacity in
-    {
-      capacity;
-      words = Array.make size 0;
-      stamps = Array.make size 0;
-      n = 0;
-      clock = 0;
-    }
+    { capacity; words = plane size; stamps = plane size; n = 0; clock = 0 }
 
   let find t word =
-    let rec go k = if k >= t.n then -1 else if t.words.(k) = word then k else go (k + 1) in
+    let rec go k =
+      if k >= t.n then -1 else if get t.words k = word then k else go (k + 1)
+    in
     go 0
 
   let remove_at t k =
-    Array.blit t.words (k + 1) t.words k (t.n - k - 1);
-    Array.blit t.stamps (k + 1) t.stamps k (t.n - k - 1);
+    for j = k to t.n - 2 do
+      set t.words j (get t.words (j + 1));
+      set t.stamps j (get t.stamps (j + 1))
+    done;
     t.n <- t.n - 1
 
   let put_front t word stamp =
-    Array.blit t.words 0 t.words 1 t.n;
-    Array.blit t.stamps 0 t.stamps 1 t.n;
-    t.words.(0) <- word;
-    t.stamps.(0) <- stamp;
+    for j = t.n downto 1 do
+      set t.words j (get t.words (j - 1));
+      set t.stamps j (get t.stamps (j - 1))
+    done;
+    set t.words 0 word;
+    set t.stamps 0 stamp;
     t.n <- t.n + 1
 
   let hit t word =
@@ -65,7 +73,7 @@ module Attraction = struct
     if t.n >= t.capacity then begin
       let victim = ref 0 in
       for j = 1 to t.n - 1 do
-        if t.stamps.(j) < t.stamps.(!victim) then victim := j
+        if get t.stamps j < get t.stamps !victim then victim := j
       done;
       if t.n > 0 then remove_at t !victim
     end;
@@ -75,14 +83,16 @@ module Attraction = struct
     let k = find t word in
     if k >= 0 then remove_at t k
 
-  (* Word tags, LRU stamps and clock as three flat fields. *)
+  (* Word tags, LRU stamps and clock as three flat fields. [W.int_ba]
+     emits the same bytes [W.int_array] did, so the section is
+     byte-compatible with earlier snapshots. *)
   let snap t w =
     Flatio.W.tag w "ATT0";
     Flatio.W.int w t.capacity;
     Flatio.W.int w t.n;
     Flatio.W.int w t.clock;
-    Flatio.W.int_array w t.words;
-    Flatio.W.int_array w t.stamps
+    Flatio.W.int_ba w t.words;
+    Flatio.W.int_ba w t.stamps
 
   let restore t r =
     Flatio.R.tag r "ATT0";
@@ -94,9 +104,9 @@ module Attraction = struct
               t.capacity));
     t.n <- Flatio.R.int r;
     t.clock <- Flatio.R.int r;
-    Flatio.R.int_array_into r t.words;
-    Flatio.R.int_array_into r t.stamps;
-    if t.n < 0 || t.n > Array.length t.words then
+    Flatio.R.int_ba_into r t.words;
+    Flatio.R.int_ba_into r t.stamps;
+    if t.n < 0 || t.n > Bigarray.Array1.dim t.words then
       raise (Flatio.Corrupt (Printf.sprintf "Attraction: bad entry count %d" t.n))
 
   (* Structural self-check for the sanitizer. [is_remote] decides whether
@@ -108,11 +118,11 @@ module Attraction = struct
       Printf.ksprintf (fun m -> errs := (label ^ ": " ^ m) :: !errs) fmt
     in
     if t.n > t.capacity then add "%d words exceed capacity %d" t.n t.capacity;
-    let words = List.init t.n (fun k -> t.words.(k)) in
+    let words = List.init t.n (fun k -> get t.words k) in
     if List.length (List.sort_uniq compare words) <> t.n then
       add "duplicate word entries";
     for k = 0 to t.n - 1 do
-      let w = t.words.(k) and stamp = t.stamps.(k) in
+      let w = get t.words k and stamp = get t.stamps k in
       if stamp > t.clock then
         add "word %d has LRU stamp %d ahead of the clock %d" w stamp t.clock;
       if not (is_remote w) then add "caches its own home word %d" w
@@ -140,29 +150,34 @@ let create (cfg : Config.t) ~backing =
   in
   let abs = Array.init n (fun _ -> Attraction.create cfg.distributed.attraction_entries) in
   let counters = Stats.Counters.create () in
+  let h name = Stats.Counters.handle counters name in
+  let c_loads = h "loads" and c_load_local = h "load_local"
+  and c_load_attr = h "load_attraction" and c_load_remote = h "load_remote"
+  and c_stores = h "stores" and c_store_local = h "store_local"
+  and c_store_remote = h "store_remote" in
   let bank_access ~cluster_home ~addr ~write =
     let local = bank_local_addr ~clusters:n addr in
     let result = L1_cache.access banks.(cluster_home) ~addr:local ~write in
     L1_cache.latency banks.(cluster_home) result
   in
   let load ~now ~cluster ~addr ~width ~hints:_ =
-    Stats.Counters.incr counters "loads";
+    Stats.Counters.hincr c_loads;
     let value = Backing.read backing ~addr ~width in
     let home = home_of ~clusters:n addr in
     if home = cluster then begin
-      Stats.Counters.incr counters "load_local";
+      Stats.Counters.hincr c_load_local;
       let lat = bank_access ~cluster_home:home ~addr ~write:false in
       { Hierarchy.ready_at = now + lat; value; served = Hierarchy.Local_bank }
     end
     else begin
       let word = addr / word_bytes in
       if Attraction.hit abs.(cluster) word then begin
-        Stats.Counters.incr counters "load_attraction";
+        Stats.Counters.hincr c_load_attr;
         { Hierarchy.ready_at = now + cfg.distributed.attraction_latency;
           value; served = Hierarchy.Attraction }
       end
       else begin
-        Stats.Counters.incr counters "load_remote";
+        Stats.Counters.hincr c_load_remote;
         let lat = bank_access ~cluster_home:home ~addr ~write:false in
         Attraction.fill abs.(cluster) word;
         { Hierarchy.ready_at = now + cfg.distributed.remote_latency + lat;
@@ -171,12 +186,12 @@ let create (cfg : Config.t) ~backing =
     end
   in
   let store ~now ~cluster ~addr ~width ~value ~hints:_ =
-    Stats.Counters.incr counters "stores";
+    Stats.Counters.hincr c_stores;
     Backing.write backing ~addr ~width value;
     let home = home_of ~clusters:n addr in
     let word = addr / word_bytes in
-    Stats.Counters.incr counters
-      (if home = cluster then "store_local" else "store_remote");
+    Stats.Counters.hincr
+      (if home = cluster then c_store_local else c_store_remote);
     let _ = bank_access ~cluster_home:home ~addr ~write:true in
     (* Keep the attraction buffers coherent: the writer's copy stays (the
        backing store already has the new value), other copies drop. *)

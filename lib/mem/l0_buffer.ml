@@ -1,50 +1,89 @@
+open Flexl0_util
+
 type mapping =
   | Linear of { base : int }
   | Interleaved of { block : int; gran : int; lane : int }
 
-type entry = {
-  mapping : mapping;
-  data : Bytes.t;
-  gran : int;
-  mutable last_use : int;
-  mutable ready_at : int;
-  mutable prefetch : Hint.prefetch;
-}
-
-(* Entries live in [slots.(0 .. n-1)], newest insertion first — the same
-   observable order the former list kept — so probes are a bounded scan
-   (capacity is 2–16) with zero allocation, and LRU selection stays a
-   min/max over the distinct [last_use] stamps. The array grows only in
-   the unbounded (Figure 5) configuration. *)
+(* Struct-of-arrays storage: one flat int Bigarray plane per entry field
+   plus one contiguous Bytes pool for the subblock data (slot [k]'s bytes
+   at [k * subblock_bytes]). Entries live in slots [0 .. n-1], newest
+   insertion first — the same observable order the former record array
+   kept — so probes are a bounded unboxed scan with zero allocation, and
+   LRU selection stays a min/max over the distinct [last_use] stamps.
+   The planes grow only in the unbounded (Figure 5) configuration. *)
 type t = {
   geometry : Addr.geometry;
   cap : int option;
-  mutable slots : entry array;
+  mutable size : int;  (* allocated slots *)
   mutable n : int;
   mutable clock : int;
+  mutable kind_ : Flatio.intba;  (* 0 = Linear, 1 = Interleaved *)
+  mutable base_ : Flatio.intba;  (* Linear base / Interleaved block *)
+  mutable mgran_ : Flatio.intba;  (* Interleaved mapping granularity *)
+  mutable lane_ : Flatio.intba;
+  mutable gran_ : Flatio.intba;  (* element granularity (edge trigger) *)
+  mutable last_ : Flatio.intba;  (* LRU stamps *)
+  mutable ready_ : Flatio.intba;  (* in-flight completion times *)
+  mutable pf_ : Flatio.intba;  (* prefetch hint code *)
+  mutable pool : Bytes.t;
 }
 
-(* Placeholder for free slots; never returned by any probe. *)
-let dummy =
-  {
-    mapping = Linear { base = min_int };
-    data = Bytes.empty;
-    gran = 1;
-    last_use = 0;
-    ready_at = 0;
-    prefetch = Hint.No_prefetch;
-  }
+let plane size = Bigarray.Array1.create Bigarray.int Bigarray.c_layout size
 
 let create ~geometry ~capacity =
   (match capacity with
   | Some n when n <= 0 -> invalid_arg "L0_buffer.create: capacity must be positive"
   | _ -> ());
   let size = match capacity with Some n -> n | None -> 8 in
-  { geometry; cap = capacity; slots = Array.make size dummy; n = 0; clock = 0 }
+  {
+    geometry;
+    cap = capacity;
+    size;
+    n = 0;
+    clock = 0;
+    kind_ = plane size;
+    base_ = plane size;
+    mgran_ = plane size;
+    lane_ = plane size;
+    gran_ = plane size;
+    last_ = plane size;
+    ready_ = plane size;
+    pf_ = plane size;
+    pool = Bytes.create (size * geometry.Addr.subblock_bytes);
+  }
 
 let geometry t = t.geometry
 let entry_count t = t.n
 let capacity t = t.cap
+
+(* Eta-expanded so the primitive is syntactically applied — the
+   non-flambda compiler only emits the inline Bigarray intrinsic (and
+   inlines these wrappers) for a direct application, never through a
+   closure alias. *)
+let[@inline] get (p : Flatio.intba) i = Bigarray.Array1.unsafe_get p i
+let[@inline] set (p : Flatio.intba) i v = Bigarray.Array1.unsafe_set p i v
+
+let entry_mapping t ix =
+  if get t.kind_ ix = 0 then Linear { base = get t.base_ ix }
+  else
+    Interleaved
+      { block = get t.base_ ix; gran = get t.mgran_ ix; lane = get t.lane_ ix }
+
+let entry_gran t ix = get t.gran_ ix
+let entry_ready_at t ix = get t.ready_ ix
+
+let prefetch_code = function
+  | Hint.No_prefetch -> 0
+  | Hint.Positive -> 1
+  | Hint.Negative -> 2
+
+let prefetch_of_code = function
+  | 0 -> Hint.No_prefetch
+  | 1 -> Hint.Positive
+  | 2 -> Hint.Negative
+  | n -> raise (Flatio.Corrupt (Printf.sprintf "L0: bad prefetch code %d" n))
+
+let entry_prefetch t ix = prefetch_of_code (get t.pf_ ix)
 
 let covers g mapping ~addr ~width =
   match mapping with
@@ -54,23 +93,37 @@ let covers g mapping ~addr ~width =
 
 let mapping_covers t mapping ~addr ~width = covers t.geometry mapping ~addr ~width
 
+(* Coverage test on the planes directly — no mapping value materialized
+   on the probe path. *)
+let covers_ix t ix ~addr ~width =
+  if get t.kind_ ix = 0 then
+    Addr.covers_linear t.geometry ~base:(get t.base_ ix) ~addr ~width
+  else
+    Addr.covers_interleaved t.geometry ~block:(get t.base_ ix)
+      ~gran:(get t.mgran_ ix) ~lane:(get t.lane_ ix) ~addr ~width
+
 (* An entry holds a byte iff it lies in the subblock (Linear) or in the
    lane's share of the block (Interleaved). An access *overlaps* an
    entry when any of its bytes does. Stores and invalidations must use
    this notion rather than [covers]: an access wider than an entry's
    granularity covers no entry at all, yet every narrow copy it touches
    would go stale if left in place. *)
-let holds_byte g mapping addr =
-  match mapping with
-  | Linear { base } -> addr >= base && addr < base + g.Addr.subblock_bytes
-  | Interleaved { block; gran; lane } ->
+let holds_byte_ix t ix addr =
+  let g = t.geometry in
+  if get t.kind_ ix = 0 then begin
+    let base = get t.base_ ix in
+    addr >= base && addr < base + g.Addr.subblock_bytes
+  end
+  else begin
+    let gran = get t.mgran_ ix in
     gran * g.Addr.clusters <= g.Addr.block_bytes
     && gran <= g.Addr.subblock_bytes
-    && Addr.block_base g addr = block
-    && Addr.lane_of g ~gran addr = lane
+    && Addr.block_base g addr = get t.base_ ix
+    && Addr.lane_of g ~gran addr = get t.lane_ ix
+  end
 
-let overlaps g mapping ~addr ~width =
-  let rec any i = i < width && (holds_byte g mapping (addr + i) || any (i + 1)) in
+let overlaps_ix t ix ~addr ~width =
+  let rec any i = i < width && (holds_byte_ix t ix (addr + i) || any (i + 1)) in
   any 0
 
 let tick t =
@@ -82,148 +135,215 @@ let tick t =
 let best_covering t ~addr ~width =
   let best = ref (-1) in
   for k = 0 to t.n - 1 do
-    let e = t.slots.(k) in
     if
-      covers t.geometry e.mapping ~addr ~width
-      && (!best < 0 || t.slots.(!best).last_use < e.last_use)
+      covers_ix t k ~addr ~width
+      && (!best < 0 || get t.last_ !best < get t.last_ k)
     then best := k
   done;
   !best
 
-let peek t ~addr ~width =
-  let k = best_covering t ~addr ~width in
-  if k < 0 then None else Some t.slots.(k)
+let peek t ~addr ~width = best_covering t ~addr ~width
 
 let lookup t ~now:_ ~addr ~width =
   let k = best_covering t ~addr ~width in
-  if k < 0 then None
-  else begin
-    let e = t.slots.(k) in
-    e.last_use <- tick t;
-    Some e
-  end
+  if k >= 0 then set t.last_ k (tick t);
+  k
 
 let has_mapping t mapping =
-  let rec go k = k < t.n && (t.slots.(k).mapping = mapping || go (k + 1)) in
+  let kind, base, mgran, lane =
+    match mapping with
+    | Linear { base } -> (0, base, 0, 0)
+    | Interleaved { block; gran; lane } -> (1, block, gran, lane)
+  in
+  let rec go k =
+    k < t.n
+    && ((get t.kind_ k = kind && get t.base_ k = base
+         && (kind = 0 || (get t.mgran_ k = mgran && get t.lane_ k = lane)))
+       || go (k + 1))
+  in
   go 0
 
-(* Remove every entry satisfying [pred], keeping slot order; returns how
-   many were dropped. *)
+let sb t = t.geometry.Addr.subblock_bytes
+
+(* Copy every field of slot [r] into slot [w]. *)
+let move_slot t ~src ~dst =
+  if src <> dst then begin
+    set t.kind_ dst (get t.kind_ src);
+    set t.base_ dst (get t.base_ src);
+    set t.mgran_ dst (get t.mgran_ src);
+    set t.lane_ dst (get t.lane_ src);
+    set t.gran_ dst (get t.gran_ src);
+    set t.last_ dst (get t.last_ src);
+    set t.ready_ dst (get t.ready_ src);
+    set t.pf_ dst (get t.pf_ src);
+    let s = sb t in
+    Bytes.blit t.pool (src * s) t.pool (dst * s) s
+  end
+
+(* Remove every entry satisfying [pred] (given the slot index), keeping
+   slot order; returns how many were dropped. *)
 let remove_if t pred =
   let w = ref 0 in
   for r = 0 to t.n - 1 do
-    let e = t.slots.(r) in
-    if not (pred e) then begin
-      t.slots.(!w) <- e;
+    if not (pred r) then begin
+      move_slot t ~src:r ~dst:!w;
       incr w
     end
   done;
   let removed = t.n - !w in
-  for k = !w to t.n - 1 do
-    t.slots.(k) <- dummy
-  done;
   t.n <- !w;
   removed
 
 let remove_at t idx =
-  Array.blit t.slots (idx + 1) t.slots idx (t.n - idx - 1);
-  t.n <- t.n - 1;
-  t.slots.(t.n) <- dummy
+  for k = idx + 1 to t.n - 1 do
+    move_slot t ~src:k ~dst:(k - 1)
+  done;
+  t.n <- t.n - 1
 
 let evict_lru t =
   if t.n > 0 then begin
     let victim = ref 0 in
     for k = 1 to t.n - 1 do
-      if t.slots.(k).last_use < t.slots.(!victim).last_use then victim := k
+      if get t.last_ k < get t.last_ !victim then victim := k
     done;
     remove_at t !victim
   end
 
+let grow_plane old size =
+  let bigger = plane size in
+  Bigarray.Array1.blit old (Bigarray.Array1.sub bigger 0 (Bigarray.Array1.dim old));
+  bigger
+
 let ensure_room t =
-  if t.n = Array.length t.slots then begin
-    let bigger = Array.make (max 8 (2 * t.n)) dummy in
-    Array.blit t.slots 0 bigger 0 t.n;
-    t.slots <- bigger
+  if t.n = t.size then begin
+    let size = max 8 (2 * t.n) in
+    t.kind_ <- grow_plane t.kind_ size;
+    t.base_ <- grow_plane t.base_ size;
+    t.mgran_ <- grow_plane t.mgran_ size;
+    t.lane_ <- grow_plane t.lane_ size;
+    t.gran_ <- grow_plane t.gran_ size;
+    t.last_ <- grow_plane t.last_ size;
+    t.ready_ <- grow_plane t.ready_ size;
+    t.pf_ <- grow_plane t.pf_ size;
+    let pool = Bytes.create (size * sb t) in
+    Bytes.blit t.pool 0 pool 0 (t.n * sb t);
+    t.pool <- pool;
+    t.size <- size
   end
 
+let same_mapping_ix t ix mapping =
+  match mapping with
+  | Linear { base } -> get t.kind_ ix = 0 && get t.base_ ix = base
+  | Interleaved { block; gran; lane } ->
+    get t.kind_ ix = 1 && get t.base_ ix = block && get t.mgran_ ix = gran
+    && get t.lane_ ix = lane
+
 let insert t ~now:_ ~mapping ~gran ~prefetch ~ready_at ~data =
-  if Bytes.length data <> t.geometry.Addr.subblock_bytes then
+  if Bytes.length data <> sb t then
     invalid_arg "L0_buffer.insert: data must be one subblock";
-  ignore (remove_if t (fun e -> e.mapping = mapping));
+  ignore (remove_if t (fun k -> same_mapping_ix t k mapping));
   (match t.cap with
   | Some cap -> while t.n >= cap do evict_lru t done
   | None -> ());
   ensure_room t;
-  Array.blit t.slots 0 t.slots 1 t.n;
-  t.slots.(0) <-
-    { mapping; data = Bytes.copy data; gran; last_use = tick t; ready_at; prefetch };
+  for k = t.n downto 1 do
+    move_slot t ~src:(k - 1) ~dst:k
+  done;
+  (match mapping with
+  | Linear { base } ->
+    set t.kind_ 0 0;
+    set t.base_ 0 base;
+    set t.mgran_ 0 0;
+    set t.lane_ 0 0
+  | Interleaved { block; gran; lane } ->
+    set t.kind_ 0 1;
+    set t.base_ 0 block;
+    set t.mgran_ 0 gran;
+    set t.lane_ 0 lane);
+  set t.gran_ 0 gran;
+  set t.last_ 0 (tick t);
+  set t.ready_ 0 ready_at;
+  set t.pf_ 0 (prefetch_code prefetch);
+  Bytes.blit data 0 t.pool 0 (sb t);
   t.n <- t.n + 1
 
-(* Byte position of [addr] inside an entry's data buffer. *)
-let slot g mapping addr =
-  match mapping with
-  | Linear { base } -> addr - base
-  | Interleaved { block = _; gran; lane = _ } -> Addr.interleaved_slot g ~gran addr
+(* Byte position of [addr] inside an entry's share of the pool. *)
+let slot_off t ix addr =
+  if get t.kind_ ix = 0 then addr - get t.base_ ix
+  else Addr.interleaved_slot t.geometry ~gran:(get t.mgran_ ix) addr
 
-let read_entry entry ~geometry ~addr ~width =
-  let off = slot geometry entry.mapping addr in
-  let v = ref 0L in
-  for i = width - 1 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8)
-           (Int64.of_int (Char.code (Bytes.get entry.data (off + i))))
-  done;
-  !v
+let read_entry t ix ~addr ~width =
+  let off = (ix * sb t) + slot_off t ix addr in
+  match width with
+  | 1 -> Int64.of_int (Bytes.get_uint8 t.pool off)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.pool off)
+  | 4 ->
+    Int64.of_int (Int32.to_int (Bytes.get_int32_le t.pool off) land 0xFFFFFFFF)
+  | 8 -> Bytes.get_int64_le t.pool off
+  | _ ->
+    let v = ref 0L in
+    for i = width - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Char.code (Bytes.get t.pool (off + i))))
+    done;
+    !v
 
-let write_entry entry ~geometry ~addr ~width value =
-  let off = slot geometry entry.mapping addr in
-  let v = ref value in
-  for i = 0 to width - 1 do
-    Bytes.set entry.data (off + i)
-      (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
-    v := Int64.shift_right_logical !v 8
-  done
+let write_entry t ix ~addr ~width value =
+  let off = (ix * sb t) + slot_off t ix addr in
+  match width with
+  | 1 -> Bytes.set_uint8 t.pool off (Int64.to_int value land 0xFF)
+  | 2 -> Bytes.set_uint16_le t.pool off (Int64.to_int value land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t.pool off (Int64.to_int32 value)
+  | 8 -> Bytes.set_int64_le t.pool off value
+  | _ ->
+    let v = ref value in
+    for i = 0 to width - 1 do
+      Bytes.set t.pool (off + i)
+        (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8
+    done
 
 let store_update t ~now:_ ~addr ~width ~value =
   let ui = best_covering t ~addr ~width in
   if ui >= 0 then begin
-    let updated = t.slots.(ui) in
-    write_entry updated ~geometry:t.geometry ~addr ~width value;
-    updated.last_use <- tick t;
+    write_entry t ui ~addr ~width value;
+    let stamp = tick t in
+    set t.last_ ui stamp;
     (* One write port: the other overlapping copies are invalidated
-       rather than updated (Section 4.1, intra-cluster coherence). *)
+       rather than updated (Section 4.1, intra-cluster coherence). The
+       updated entry is recognized by its fresh stamp — compaction may
+       have moved it out of slot [ui]. *)
     ignore
-      (remove_if t (fun e ->
-           e != updated && overlaps t.geometry e.mapping ~addr ~width));
+      (remove_if t (fun k ->
+           get t.last_ k <> stamp && overlaps_ix t k ~addr ~width));
     true
   end
   else begin
     (* No copy holds every byte. Partially-overlapped copies cannot be
        patched through the one port; drop them so no stale byte
        survives the write. *)
-    ignore (remove_if t (fun e -> overlaps t.geometry e.mapping ~addr ~width));
+    ignore (remove_if t (fun k -> overlaps_ix t k ~addr ~width));
     false
   end
 
 let invalidate_addr t ~addr ~width =
-  remove_if t (fun e -> overlaps t.geometry e.mapping ~addr ~width)
+  remove_if t (fun k -> overlaps_ix t k ~addr ~width)
 
-let invalidate_all t =
-  for k = 0 to t.n - 1 do
-    t.slots.(k) <- dummy
-  done;
-  t.n <- 0
+let invalidate_all t = t.n <- 0
 
-let edge_trigger entry ~geometry ~addr =
+let edge_trigger t ix ~addr =
+  let g = t.geometry in
+  let gran = get t.gran_ ix in
   let index, count =
-    match entry.mapping with
-    | Linear _ ->
-      ( Addr.element_index_linear geometry ~gran:entry.gran ~addr,
-        Addr.elements_per_subblock geometry ~gran:entry.gran )
-    | Interleaved { gran; _ } ->
-      ( Addr.element_index_interleaved geometry ~gran ~addr,
-        Addr.elements_per_lane geometry ~gran )
+    if get t.kind_ ix = 0 then
+      ( Addr.element_index_linear g ~gran ~addr,
+        Addr.elements_per_subblock g ~gran )
+    else
+      let mgran = get t.mgran_ ix in
+      ( Addr.element_index_interleaved g ~gran:mgran ~addr,
+        Addr.elements_per_lane g ~gran:mgran )
   in
-  match entry.prefetch with
+  match entry_prefetch t ix with
   | Hint.No_prefetch -> None
   | Hint.Positive -> if index = count - 1 then Some `Next else None
   | Hint.Negative -> if index = 0 then Some `Prev else None
@@ -235,7 +355,7 @@ let mapping_to_string = function
 
 let iter_entries t f =
   for k = 0 to t.n - 1 do
-    f t.slots.(k)
+    f k
   done
 
 let check_invariants ?(label = "L0") t =
@@ -247,21 +367,18 @@ let check_invariants ?(label = "L0") t =
   | Some cap when t.n > cap -> add "%d entries exceed capacity %d" t.n cap
   | _ -> ());
   let seen = Hashtbl.create 8 in
-  iter_entries t (fun e ->
-      if Hashtbl.mem seen e.mapping then
-        add "duplicate entries for mapping %s" (mapping_to_string e.mapping)
-      else Hashtbl.add seen e.mapping ();
-      if Bytes.length e.data <> t.geometry.Addr.subblock_bytes then
-        add "entry %s holds %d bytes, subblock is %d"
-          (mapping_to_string e.mapping) (Bytes.length e.data)
-          t.geometry.Addr.subblock_bytes;
-      if e.last_use > t.clock then
+  iter_entries t (fun k ->
+      let mapping = entry_mapping t k in
+      if Hashtbl.mem seen mapping then
+        add "duplicate entries for mapping %s" (mapping_to_string mapping)
+      else Hashtbl.add seen mapping ();
+      if get t.last_ k > t.clock then
         add "entry %s has LRU stamp %d ahead of the buffer clock %d"
-          (mapping_to_string e.mapping) e.last_use t.clock;
-      if e.gran <= 0 then
+          (mapping_to_string mapping) (get t.last_ k) t.clock;
+      if get t.gran_ k <= 0 then
         add "entry %s has non-positive granularity %d"
-          (mapping_to_string e.mapping) e.gran);
-  let stamps = List.init t.n (fun k -> t.slots.(k).last_use) in
+          (mapping_to_string mapping) (get t.gran_ k));
+  let stamps = List.init t.n (fun k -> get t.last_ k) in
   if List.length (List.sort_uniq compare stamps) <> List.length stamps then
     add "LRU stamps are not distinct (replacement order is ambiguous)";
   List.rev !errs
@@ -276,45 +393,31 @@ let next_mapping ~geometry ~distance direction mapping =
       { block = block + (sign * distance * geometry.Addr.block_bytes); gran; lane }
 
 (* ------------------------------------------------------------------ *)
-(* Snapshot *)
-
-let prefetch_code = function
-  | Hint.No_prefetch -> 0
-  | Hint.Positive -> 1
-  | Hint.Negative -> 2
-
-let prefetch_of_code = function
-  | 0 -> Hint.No_prefetch
-  | 1 -> Hint.Positive
-  | 2 -> Hint.Negative
-  | n -> raise (Flexl0_util.Flatio.Corrupt (Printf.sprintf "L0: bad prefetch code %d" n))
+(* Snapshot. "L0B1" (was "L0B0"): field planes are written per plane
+   (first [n] slots each) and the data pool as one block, instead of the
+   per-entry field-by-field encode of the record layout. *)
 
 let snap t w =
-  let open Flexl0_util in
-  Flatio.W.tag w "L0B0";
+  Flatio.W.tag w "L0B1";
   Flatio.W.int w t.n;
   Flatio.W.int w t.clock;
-  for k = 0 to t.n - 1 do
-    let e = t.slots.(k) in
-    (match e.mapping with
-    | Linear { base } ->
-      Flatio.W.int w 0;
-      Flatio.W.int w base
-    | Interleaved { block; gran; lane } ->
-      Flatio.W.int w 1;
-      Flatio.W.int w block;
-      Flatio.W.int w gran;
-      Flatio.W.int w lane);
-    Flatio.W.bytes w e.data;
-    Flatio.W.int w e.gran;
-    Flatio.W.int w e.last_use;
-    Flatio.W.int w e.ready_at;
-    Flatio.W.int w (prefetch_code e.prefetch)
-  done
+  let write_plane p =
+    for k = 0 to t.n - 1 do
+      Flatio.W.int w (get p k)
+    done
+  in
+  write_plane t.kind_;
+  write_plane t.base_;
+  write_plane t.mgran_;
+  write_plane t.lane_;
+  write_plane t.gran_;
+  write_plane t.last_;
+  write_plane t.ready_;
+  write_plane t.pf_;
+  Flatio.W.string w (Bytes.sub_string t.pool 0 (t.n * sb t))
 
 let restore t r =
-  let open Flexl0_util in
-  Flatio.R.tag r "L0B0";
+  Flatio.R.tag r "L0B1";
   let n = Flatio.R.int r in
   (match t.cap with
   | Some cap when n > cap ->
@@ -324,26 +427,36 @@ let restore t r =
   | _ -> ());
   if n < 0 then raise (Flatio.Corrupt "L0: negative entry count");
   t.clock <- Flatio.R.int r;
-  if n > Array.length t.slots then t.slots <- Array.make (max 8 n) dummy;
-  for k = 0 to n - 1 do
-    let mapping =
-      match Flatio.R.int r with
-      | 0 -> Linear { base = Flatio.R.int r }
-      | 1 ->
-        let block = Flatio.R.int r in
-        let gran = Flatio.R.int r in
-        let lane = Flatio.R.int r in
-        Interleaved { block; gran; lane }
-      | c -> raise (Flatio.Corrupt (Printf.sprintf "L0: bad mapping code %d" c))
-    in
-    let data = Flatio.R.bytes r in
-    let gran = Flatio.R.int r in
-    let last_use = Flatio.R.int r in
-    let ready_at = Flatio.R.int r in
-    let prefetch = prefetch_of_code (Flatio.R.int r) in
-    t.slots.(k) <- { mapping; data; gran; last_use; ready_at; prefetch }
+  while n > t.size do
+    (* Reuse the doubling growth path so planes and pool stay in step. *)
+    let saved = t.n in
+    t.n <- t.size;
+    ensure_room t;
+    t.n <- saved
   done;
-  for k = n to t.n - 1 do
-    t.slots.(k) <- dummy
-  done;
+  let read_plane p validate =
+    for k = 0 to n - 1 do
+      let v = Flatio.R.int r in
+      validate v;
+      set p k v
+    done
+  in
+  let no_check (_ : int) = () in
+  read_plane t.kind_ (fun v ->
+      if v <> 0 && v <> 1 then
+        raise (Flatio.Corrupt (Printf.sprintf "L0: bad mapping code %d" v)));
+  read_plane t.base_ no_check;
+  read_plane t.mgran_ no_check;
+  read_plane t.lane_ no_check;
+  read_plane t.gran_ no_check;
+  read_plane t.last_ no_check;
+  read_plane t.ready_ no_check;
+  read_plane t.pf_ (fun v -> ignore (prefetch_of_code v));
+  let data = Flatio.R.string r in
+  if String.length data <> n * sb t then
+    raise
+      (Flatio.Corrupt
+         (Printf.sprintf "L0: snapshot pool holds %d bytes, want %d"
+            (String.length data) (n * sb t)));
+  Bytes.blit_string data 0 t.pool 0 (String.length data);
   t.n <- n

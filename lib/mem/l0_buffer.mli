@@ -17,20 +17,18 @@
 
     Entries can be *in flight*: inserted with a [ready_at] completion
     time; an access before that time must wait (the machine stalls),
-    which is how too-late prefetches cost time. *)
+    which is how too-late prefetches cost time.
+
+    Storage is struct-of-arrays: one flat int plane per entry field plus
+    a contiguous byte pool for the data, so probes are unboxed scans and
+    the snapshot is a per-plane sweep. Entries are addressed by a slot
+    index (an [int]); indices returned by {!lookup}/{!peek} are valid
+    until the next mutating call ({!insert}, {!store_update},
+    invalidation or another {!lookup}). *)
 
 type mapping =
   | Linear of { base : int }
   | Interleaved of { block : int; gran : int; lane : int }
-
-type entry = private {
-  mapping : mapping;
-  data : Bytes.t;
-  gran : int;  (** element granularity used by the prefetch edge trigger *)
-  mutable last_use : int;
-  mutable ready_at : int;
-  mutable prefetch : Hint.prefetch;
-}
 
 type t
 
@@ -43,11 +41,12 @@ val capacity : t -> int option
 
 val mapping_covers : t -> mapping -> addr:int -> width:int -> bool
 
-val lookup : t -> now:int -> addr:int -> width:int -> entry option
-(** Most-recently-used entry fully covering the access, bumping its LRU
-    position. Partial coverage (mixed-granularity case) is a miss. *)
+val lookup : t -> now:int -> addr:int -> width:int -> int
+(** Slot index of the most-recently-used entry fully covering the
+    access, bumping its LRU position; [-1] on a miss. Partial coverage
+    (mixed-granularity case) is a miss. *)
 
-val peek : t -> addr:int -> width:int -> entry option
+val peek : t -> addr:int -> width:int -> int
 (** Like {!lookup} without touching LRU state. *)
 
 val has_mapping : t -> mapping -> bool
@@ -74,13 +73,21 @@ val invalidate_addr : t -> addr:int -> width:int -> int
 val invalidate_all : t -> unit
 (** The [invalidate_buffer] instruction: constant-latency full flush. *)
 
-val read_entry : entry -> geometry:Addr.geometry -> addr:int -> width:int -> int64
-(** Little-endian read out of an entry's data at the position the mapping
-    assigns to [addr]. The entry must cover the access. *)
+(** {1 Per-slot accessors} — [ix] must come from {!lookup}, {!peek} or
+    {!iter_entries} with no mutating call in between. *)
 
-val edge_trigger : entry -> geometry:Addr.geometry -> addr:int -> [ `Next | `Prev ] option
+val entry_mapping : t -> int -> mapping
+val entry_gran : t -> int -> int
+val entry_ready_at : t -> int -> int
+val entry_prefetch : t -> int -> Hint.prefetch
+
+val read_entry : t -> int -> addr:int -> width:int -> int64
+(** Little-endian read out of slot [ix]'s data at the position its
+    mapping assigns to [addr]. The entry must cover the access. *)
+
+val edge_trigger : t -> int -> addr:int -> [ `Next | `Prev ] option
 (** Does this access touch the last ([`Next], POSITIVE hint) or first
-    ([`Prev], NEGATIVE hint) element of the subblock, per the entry's
+    ([`Prev], NEGATIVE hint) element of the subblock, per the slot's
     prefetch hint? *)
 
 val next_mapping : geometry:Addr.geometry -> distance:int -> [ `Next | `Prev ] -> mapping -> mapping
@@ -89,18 +96,18 @@ val next_mapping : geometry:Addr.geometry -> distance:int -> [ `Next | `Prev ] -
 
 val mapping_to_string : mapping -> string
 
-val iter_entries : t -> (entry -> unit) -> unit
-(** Iterate the resident (and in-flight) entries in no particular
-    order — read-only inspection for sanitizers and debuggers. *)
+val iter_entries : t -> (int -> unit) -> unit
+(** Iterate the slot indices of resident (and in-flight) entries —
+    read-only inspection for sanitizers and debuggers. *)
 
 val check_invariants : ?label:string -> t -> string list
 (** Structural self-check: capacity respected, one entry per mapping,
-    every entry exactly one subblock of data, LRU stamps behind the
-    buffer clock and pairwise distinct. Returns one message per violated
-    invariant (prefixed with [label]); healthy buffers return []. *)
+    LRU stamps behind the buffer clock and pairwise distinct, positive
+    granularities. Returns one message per violated invariant (prefixed
+    with [label]); healthy buffers return []. *)
 
-(** {1 Snapshot} — entry count, clock and every resident entry (mapping,
-    data bytes, LRU stamp, in-flight completion time, prefetch hint). *)
+(** {1 Snapshot} — entry count, clock, the field planes and the data
+    pool. *)
 
 val snap : t -> Flexl0_util.Flatio.W.t -> unit
 val restore : t -> Flexl0_util.Flatio.R.t -> unit

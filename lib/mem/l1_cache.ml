@@ -1,15 +1,26 @@
+open Flexl0_util
+
+(* Tags and LRU stamps live in two flat [sets * ways] int Bigarray
+   planes (row-major: way [w] of set [s] at [s * ways + w]) — lookups
+   are unboxed loads over one contiguous buffer and a snapshot is two
+   plane sweeps instead of a per-row encode. *)
 type t = {
   sets : int;
   ways : int;
   block_bytes : int;
   hit_latency : int;
   l2_latency : int;
-  tags : int array array;  (* [set].(way) = block base, -1 when empty *)
-  stamp : int array array;  (* LRU stamps *)
+  tags : Flatio.intba;  (* [set * ways + way] = block base, -1 when empty *)
+  stamp : Flatio.intba;  (* LRU stamps *)
   mutable clock : int;
   mutable hit_count : int;
   mutable miss_count : int;
 }
+
+let plane n v =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a v;
+  a
 
 let create ~size_bytes ~ways ~block_bytes ~hit_latency ~l2_latency =
   let sets = size_bytes / (ways * block_bytes) in
@@ -20,8 +31,8 @@ let create ~size_bytes ~ways ~block_bytes ~hit_latency ~l2_latency =
     block_bytes;
     hit_latency;
     l2_latency;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    stamp = Array.init sets (fun _ -> Array.make ways 0);
+    tags = plane (sets * ways) (-1);
+    stamp = plane (sets * ways) 0;
     clock = 0;
     hit_count = 0;
     miss_count = 0;
@@ -35,41 +46,49 @@ let of_config (cfg : Flexl0_arch.Config.t) =
 let set_of t addr = addr / t.block_bytes mod t.sets
 let block_base t addr = addr - (addr mod t.block_bytes)
 
+(* Way index within [set] holding [base], or -1. *)
 let find_way t set base =
+  let row = set * t.ways in
   let rec go w =
-    if w >= t.ways then None
-    else if t.tags.(set).(w) = base then Some w
+    if w >= t.ways then -1
+    else if Bigarray.Array1.unsafe_get t.tags (row + w) = base then w
     else go (w + 1)
   in
   go 0
 
 let touch t set way =
   t.clock <- t.clock + 1;
-  t.stamp.(set).(way) <- t.clock
+  Bigarray.Array1.unsafe_set t.stamp ((set * t.ways) + way) t.clock
 
 let victim_way t set =
+  let row = set * t.ways in
   let best = ref 0 in
   for w = 1 to t.ways - 1 do
-    if t.stamp.(set).(w) < t.stamp.(set).(!best) then best := w
+    if
+      Bigarray.Array1.unsafe_get t.stamp (row + w)
+      < Bigarray.Array1.unsafe_get t.stamp (row + !best)
+    then best := w
   done;
   !best
 
 let access t ~addr ~write =
   let base = block_base t addr in
   let set = set_of t addr in
-  match find_way t set base with
-  | Some w ->
+  let w = find_way t set base in
+  if w >= 0 then begin
     touch t set w;
     t.hit_count <- t.hit_count + 1;
     `Hit
-  | None ->
+  end
+  else begin
     t.miss_count <- t.miss_count + 1;
     if not write then begin
       let w = victim_way t set in
-      t.tags.(set).(w) <- base;
+      Bigarray.Array1.unsafe_set t.tags ((set * t.ways) + w) base;
       touch t set w
     end;
     `Miss
+  end
 
 let latency t = function
   | `Hit -> t.hit_latency
@@ -77,7 +96,7 @@ let latency t = function
 
 let probe t ~addr =
   let base = block_base t addr in
-  find_way t (set_of t addr) base <> None
+  find_way t (set_of t addr) base >= 0
 
 let hits t = t.hit_count
 let misses t = t.miss_count
@@ -86,20 +105,20 @@ let reset_stats t =
   t.hit_count <- 0;
   t.miss_count <- 0
 
+(* "L1C1" (was "L1C0"): the per-set rows became two whole-plane writes,
+   which drops the per-row length prefixes from the section body. *)
 let snap t w =
-  let open Flexl0_util in
-  Flatio.W.tag w "L1C0";
+  Flatio.W.tag w "L1C1";
   Flatio.W.int w t.sets;
   Flatio.W.int w t.ways;
   Flatio.W.int w t.clock;
   Flatio.W.int w t.hit_count;
   Flatio.W.int w t.miss_count;
-  Array.iter (fun row -> Flatio.W.int_array w row) t.tags;
-  Array.iter (fun row -> Flatio.W.int_array w row) t.stamp
+  Flatio.W.int_ba w t.tags;
+  Flatio.W.int_ba w t.stamp
 
 let restore t r =
-  let open Flexl0_util in
-  Flatio.R.tag r "L1C0";
+  Flatio.R.tag r "L1C1";
   let sets = Flatio.R.int r and ways = Flatio.R.int r in
   if sets <> t.sets || ways <> t.ways then
     raise
@@ -109,5 +128,5 @@ let restore t r =
   t.clock <- Flatio.R.int r;
   t.hit_count <- Flatio.R.int r;
   t.miss_count <- Flatio.R.int r;
-  Array.iter (fun row -> Flatio.R.int_array_into r row) t.tags;
-  Array.iter (fun row -> Flatio.R.int_array_into r row) t.stamp
+  Flatio.R.int_ba_into r t.tags;
+  Flatio.R.int_ba_into r t.stamp

@@ -4,209 +4,206 @@ module Config = Flexl0_arch.Config
 module Protocol = struct
   type state = Modified | Shared
 
-  type line = { mutable base : int; mutable st : state; mutable stamp : int }
-  (* base = -1 encodes an empty way. *)
-
-  type bank = { sets : int; ways : int; lines : line array array }
-
+  (* One MSI line per (bank, set, way), struct-of-arrays: block base
+     (-1 = empty way), M/S bit (1 = Modified) and LRU stamp live in
+     three flat unboxed planes indexed [((bank * sets) + set) * ways +
+     way]. Probes and invalidation sweeps are plane scans with no line
+     records materialized; the snapshot is a per-plane sweep. *)
   type t = {
-    banks : bank array;
+    nbanks : int;
+    sets : int;
+    ways : int;
+    base_ : Flatio.intba;
+    st_ : Flatio.intba;
+    stamp_ : Flatio.intba;
     block_bytes : int;
     mutable clock : int;
   }
+
+  let[@inline] get (p : Flatio.intba) i = Bigarray.Array1.unsafe_get p i
+  let[@inline] set (p : Flatio.intba) i v = Bigarray.Array1.unsafe_set p i v
+
+  let plane ~fill n =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill a fill;
+    a
 
   let create (cfg : Config.t) =
     let bank_bytes = cfg.l1.size_bytes / cfg.num_clusters in
     let sets = bank_bytes / (cfg.l1.ways * cfg.l1.block_bytes) in
     if sets <= 0 then invalid_arg "Multivliw: bank geometry degenerate";
-    let make_bank () =
-      {
-        sets;
-        ways = cfg.l1.ways;
-        lines =
-          Array.init sets (fun _ ->
-              Array.init cfg.l1.ways (fun _ ->
-                  { base = -1; st = Shared; stamp = 0 }));
-      }
-    in
+    let nbanks = cfg.num_clusters in
+    let n = nbanks * sets * cfg.l1.ways in
     {
-      banks = Array.init cfg.num_clusters (fun _ -> make_bank ());
+      nbanks;
+      sets;
+      ways = cfg.l1.ways;
+      base_ = plane ~fill:(-1) n;
+      st_ = plane ~fill:0 n;
+      stamp_ = plane ~fill:0 n;
       block_bytes = cfg.l1.block_bytes;
       clock = 0;
     }
 
   let block_base t addr = addr - (addr mod t.block_bytes)
-  let set_of t bank addr = addr / t.block_bytes mod bank.sets
+  let set_of t addr = addr / t.block_bytes mod t.sets
 
+  (* First way of [cluster]'s set for [addr] in the flat planes. *)
+  let row t cluster addr = ((cluster * t.sets) + set_of t addr) * t.ways
+
+  (* Plane index of [cluster]'s copy of the block, or -1. *)
   let find t cluster addr =
-    let bank = t.banks.(cluster) in
     let base = block_base t addr in
-    let set = bank.lines.(set_of t bank addr) in
+    let r = row t cluster addr in
     let rec go w =
-      if w >= bank.ways then None
-      else if set.(w).base = base then Some set.(w)
+      if w >= t.ways then -1
+      else if get t.base_ (r + w) = base then r + w
       else go (w + 1)
     in
     go 0
 
-  let touch t line =
+  let touch t i =
     t.clock <- t.clock + 1;
-    line.stamp <- t.clock
+    set t.stamp_ i t.clock
 
+  (* Last empty way if any; else the lowest-way minimum-stamp line. *)
   let victim t cluster addr =
-    let bank = t.banks.(cluster) in
-    let set = bank.lines.(set_of t bank addr) in
-    let best = ref set.(0) in
-    Array.iter (fun l -> if l.base = -1 then best := l) set;
-    if !best.base <> -1 then
-      Array.iter (fun l -> if l.stamp < !best.stamp then best := l) set;
+    let r = row t cluster addr in
+    let best = ref r in
+    for w = 0 to t.ways - 1 do
+      if get t.base_ (r + w) = -1 then best := r + w
+    done;
+    if get t.base_ !best <> -1 then
+      for w = 0 to t.ways - 1 do
+        if get t.stamp_ (r + w) < get t.stamp_ !best then best := r + w
+      done;
     !best
 
   let remote_holder t cluster addr =
-    let n = Array.length t.banks in
     let rec go c =
-      if c >= n then None
-      else if c <> cluster then
-        match find t c addr with Some line -> Some (c, line) | None -> go (c + 1)
+      if c >= t.nbanks then -1
+      else if c <> cluster then begin
+        let i = find t c addr in
+        if i >= 0 then i else go (c + 1)
+      end
       else go (c + 1)
     in
     go 0
 
   let allocate t cluster addr st =
-    let line = victim t cluster addr in
-    line.base <- block_base t addr;
-    line.st <- st;
-    touch t line
+    let i = victim t cluster addr in
+    set t.base_ i (block_base t addr);
+    set t.st_ i (match st with Modified -> 1 | Shared -> 0);
+    touch t i
 
   let read t ~cluster ~addr =
-    match find t cluster addr with
-    | Some line ->
-      touch t line;
+    let i = find t cluster addr in
+    if i >= 0 then begin
+      touch t i;
       `Local
-    | None -> (
-      match remote_holder t cluster addr with
-      | Some (_c, line) ->
+    end
+    else begin
+      let h = remote_holder t cluster addr in
+      if h >= 0 then begin
         (* Snoop hit: owner downgrades to Shared and supplies the block. *)
-        line.st <- Shared;
+        set t.st_ h 0;
         allocate t cluster addr Shared;
         `Remote
-      | None ->
+      end
+      else begin
         allocate t cluster addr Shared;
-        `Memory)
+        `Memory
+      end
+    end
 
   let invalidate_others t cluster addr =
-    Array.iteri
-      (fun c _bank ->
-        if c <> cluster then
-          match find t c addr with
-          | Some line -> line.base <- -1
-          | None -> ())
-      t.banks
+    for c = 0 to t.nbanks - 1 do
+      if c <> cluster then begin
+        let i = find t c addr in
+        if i >= 0 then set t.base_ i (-1)
+      end
+    done
 
   let write t ~cluster ~addr =
-    match find t cluster addr with
-    | Some line when line.st = Modified ->
-      touch t line;
-      `Local
-    | Some line ->
-      (* Upgrade: invalidate the other sharers. *)
-      invalidate_others t cluster addr;
-      line.st <- Modified;
-      touch t line;
-      `Remote
-    | None -> (
+    let i = find t cluster addr in
+    if i >= 0 then begin
+      if get t.st_ i = 1 then begin
+        touch t i;
+        `Local
+      end
+      else begin
+        (* Upgrade: invalidate the other sharers. *)
+        invalidate_others t cluster addr;
+        set t.st_ i 1;
+        touch t i;
+        `Remote
+      end
+    end
+    else begin
       let origin =
-        match remote_holder t cluster addr with Some _ -> `Remote | None -> `Memory
+        if remote_holder t cluster addr >= 0 then `Remote else `Memory
       in
       invalidate_others t cluster addr;
       allocate t cluster addr Modified;
-      origin)
+      origin
+    end
 
   let holders t ~addr =
     let acc = ref [] in
-    Array.iteri
-      (fun c _ ->
-        match find t c addr with
-        | Some line -> acc := (c, line.st) :: !acc
-        | None -> ())
-      t.banks;
+    for c = 0 to t.nbanks - 1 do
+      let i = find t c addr in
+      if i >= 0 then
+        acc := (c, if get t.st_ i = 1 then Modified else Shared) :: !acc
+    done;
     List.rev !acc
 
-  (* MSI state flattened bank by bank, line by line: base, M/S bit,
-     LRU stamp. Geometry is validated against the live structure. *)
+  (* Geometry, clock and the three line planes. *)
   let snap t w =
-    Flatio.W.tag w "MSI0";
-    Flatio.W.int w (Array.length t.banks);
+    Flatio.W.tag w "MSI1";
+    Flatio.W.int w t.nbanks;
+    Flatio.W.int w t.sets;
+    Flatio.W.int w t.ways;
     Flatio.W.int w t.clock;
-    Array.iter
-      (fun bank ->
-        Flatio.W.int w bank.sets;
-        Flatio.W.int w bank.ways;
-        Array.iter
-          (fun set ->
-            Array.iter
-              (fun line ->
-                Flatio.W.int w line.base;
-                Flatio.W.int w (match line.st with Modified -> 1 | Shared -> 0);
-                Flatio.W.int w line.stamp)
-              set)
-          bank.lines)
-      t.banks
+    Flatio.W.int_ba w t.base_;
+    Flatio.W.int_ba w t.st_;
+    Flatio.W.int_ba w t.stamp_
 
   let restore t r =
-    Flatio.R.tag r "MSI0";
+    Flatio.R.tag r "MSI1";
     let nbanks = Flatio.R.int r in
-    if nbanks <> Array.length t.banks then
+    let sets = Flatio.R.int r in
+    let ways = Flatio.R.int r in
+    if nbanks <> t.nbanks || sets <> t.sets || ways <> t.ways then
       raise
         (Flatio.Corrupt
-           (Printf.sprintf "MultiVLIW: snapshot has %d banks, live state has %d"
-              nbanks (Array.length t.banks)));
+           (Printf.sprintf
+              "MultiVLIW: snapshot geometry %dx%dx%d vs live %dx%dx%d" nbanks
+              sets ways t.nbanks t.sets t.ways));
     t.clock <- Flatio.R.int r;
-    Array.iter
-      (fun bank ->
-        let sets = Flatio.R.int r and ways = Flatio.R.int r in
-        if sets <> bank.sets || ways <> bank.ways then
-          raise
-            (Flatio.Corrupt
-               (Printf.sprintf "MultiVLIW: snapshot bank geometry %dx%d vs live %dx%d"
-                  sets ways bank.sets bank.ways));
-        Array.iter
-          (fun set ->
-            Array.iter
-              (fun line ->
-                line.base <- Flatio.R.int r;
-                (line.st <-
-                   (match Flatio.R.int r with
-                   | 1 -> Modified
-                   | 0 -> Shared
-                   | c ->
-                     raise
-                       (Flatio.Corrupt
-                          (Printf.sprintf "MultiVLIW: bad MSI state code %d" c))));
-                line.stamp <- Flatio.R.int r)
-              set)
-          bank.lines)
-      t.banks
+    Flatio.R.int_ba_into r t.base_;
+    Flatio.R.int_ba_into r t.st_;
+    Flatio.R.int_ba_into r t.stamp_;
+    for i = 0 to Bigarray.Array1.dim t.st_ - 1 do
+      match get t.st_ i with
+      | 0 | 1 -> ()
+      | c ->
+        raise
+          (Flatio.Corrupt (Printf.sprintf "MultiVLIW: bad MSI state code %d" c))
+    done
 
   let check_invariant t =
     (* Collect every cached block and check the MSI sharing rule. *)
     let table : (int, state list) Hashtbl.t = Hashtbl.create 64 in
-    Array.iter
-      (fun bank ->
-        Array.iter
-          (fun set ->
-            Array.iter
-              (fun line ->
-                if line.base <> -1 then
-                  let states =
-                    match Hashtbl.find_opt table line.base with
-                    | Some s -> s
-                    | None -> []
-                  in
-                  Hashtbl.replace table line.base (line.st :: states))
-              set)
-          bank.lines)
-      t.banks;
+    for i = 0 to Bigarray.Array1.dim t.base_ - 1 do
+      let base = get t.base_ i in
+      if base <> -1 then begin
+        let states =
+          match Hashtbl.find_opt table base with Some s -> s | None -> []
+        in
+        let st = if get t.st_ i = 1 then Modified else Shared in
+        Hashtbl.replace table base (st :: states)
+      end
+    done;
     Hashtbl.fold
       (fun base states acc ->
         match acc with
@@ -229,30 +226,34 @@ end
 let create (cfg : Config.t) ~backing =
   let protocol = Protocol.create cfg in
   let counters = Stats.Counters.create () in
+  let h name = Stats.Counters.handle counters name in
+  let c_loads = h "loads" and c_stores = h "stores" in
+  let c_load = (h "load_local", h "load_remote", h "load_memory") in
+  let c_store = (h "store_local", h "store_remote", h "store_memory") in
   let latency_of = function
     | `Local -> (cfg.distributed.local_latency, Hierarchy.Local_bank)
     | `Remote -> (cfg.distributed.remote_latency, Hierarchy.Remote_bank)
     | `Memory ->
       (cfg.distributed.local_latency + cfg.l2.l2_latency, Hierarchy.L2)
   in
-  let count tag = function
-    | `Local -> Stats.Counters.incr counters (tag ^ "_local")
-    | `Remote -> Stats.Counters.incr counters (tag ^ "_remote")
-    | `Memory -> Stats.Counters.incr counters (tag ^ "_memory")
+  let count (local, remote, memory) = function
+    | `Local -> Stats.Counters.hincr local
+    | `Remote -> Stats.Counters.hincr remote
+    | `Memory -> Stats.Counters.hincr memory
   in
   let load ~now ~cluster ~addr ~width ~hints:_ =
-    Stats.Counters.incr counters "loads";
+    Stats.Counters.hincr c_loads;
     let origin = Protocol.read protocol ~cluster ~addr in
-    count "load" origin;
+    count c_load origin;
     let lat, served = latency_of origin in
     { Hierarchy.ready_at = now + lat; value = Backing.read backing ~addr ~width;
       served }
   in
   let store ~now ~cluster ~addr ~width ~value ~hints:_ =
-    Stats.Counters.incr counters "stores";
+    Stats.Counters.hincr c_stores;
     Backing.write backing ~addr ~width value;
     let origin = Protocol.write protocol ~cluster ~addr in
-    count "store" origin;
+    count c_store origin;
     let _, served = latency_of origin in
     { Hierarchy.ready_at = now + 1; value = 0L; served }
   in

@@ -9,6 +9,54 @@ module Config = Flexl0_arch.Config
    probed cycle can only be an expired claim. *)
 let port_window = 1024
 
+(* Pre-resolved handles for the per-access counters: bump sites on the
+   load/store path pay the name hash once, not per access. *)
+type cnt = {
+  c_port_conflicts : Stats.Counters.handle;
+  c_l1_accesses : Stats.Counters.handle;
+  c_l1_hits : Stats.Counters.handle;
+  c_l1_misses : Stats.Counters.handle;
+  c_sub_linear : Stats.Counters.handle;
+  c_sub_interleaved : Stats.Counters.handle;
+  c_pf_squashed : Stats.Counters.handle;
+  c_pf_oor : Stats.Counters.handle;
+  c_pf_issued : Stats.Counters.handle;
+  c_l0_hits : Stats.Counters.handle;
+  c_late_fill : Stats.Counters.handle;
+  c_loads : Stats.Counters.handle;
+  c_l0_probes : Stats.Counters.handle;
+  c_l0_misses : Stats.Counters.handle;
+  c_stores : Stats.Counters.handle;
+  c_psr_inval : Stats.Counters.handle;
+  c_store_updates : Stats.Counters.handle;
+  c_expl_prefetch : Stats.Counters.handle;
+  c_l0_invalidates : Stats.Counters.handle;
+}
+
+let make_cnt counters =
+  let h name = Stats.Counters.handle counters name in
+  {
+    c_port_conflicts = h "l0_port_conflicts";
+    c_l1_accesses = h "l1_accesses";
+    c_l1_hits = h "l1_hits";
+    c_l1_misses = h "l1_misses";
+    c_sub_linear = h "subblocks_linear";
+    c_sub_interleaved = h "subblocks_interleaved";
+    c_pf_squashed = h "prefetch_squashed";
+    c_pf_oor = h "prefetch_out_of_range";
+    c_pf_issued = h "prefetch_issued";
+    c_l0_hits = h "l0_load_hits";
+    c_late_fill = h "late_fill_wait";
+    c_loads = h "loads";
+    c_l0_probes = h "l0_load_probes";
+    c_l0_misses = h "l0_load_misses";
+    c_stores = h "stores";
+    c_psr_inval = h "psr_invalidations";
+    c_store_updates = h "l0_store_updates";
+    c_expl_prefetch = h "explicit_prefetches";
+    c_l0_invalidates = h "l0_invalidates";
+  }
+
 type state = {
   cfg : Config.t;
   geometry : Addr.geometry;
@@ -17,12 +65,13 @@ type state = {
   bus : Bus.t;
   backing : Backing.t;
   counters : Stats.Counters.t;
+  cnt : cnt;
   (* L0 port uses per (cluster, cycle): Table 2 gives each buffer a
      limited number of read/write ports. An int-keyed ring of
      [port_window] slots per cluster; [port_tag] holds the cycle a
      slot's count belongs to (tag mismatch = free). *)
-  port_used : int array;
-  port_tag : int array;
+  port_used : Flatio.intba;
+  port_tag : Flatio.intba;
   mutable port_hi : int;  (* highest cycle ever granted a port claim *)
   scratch_sb : Bytes.t;  (* one-subblock staging for fills *)
 }
@@ -56,11 +105,15 @@ let claim_port st ~cluster ~cycle =
   assert (st.port_hi - cycle < port_window);
   let rec find c =
     let k = base + (c land (port_window - 1)) in
-    let used = if st.port_tag.(k) = c then st.port_used.(k) else 0 in
+    let used =
+      if Bigarray.Array1.unsafe_get st.port_tag k = c then
+        Bigarray.Array1.unsafe_get st.port_used k
+      else 0
+    in
     if used < cap then begin
-      assert (st.port_tag.(k) <= c);
-      st.port_tag.(k) <- c;
-      st.port_used.(k) <- used + 1;
+      assert (Bigarray.Array1.unsafe_get st.port_tag k <= c);
+      Bigarray.Array1.unsafe_set st.port_tag k c;
+      Bigarray.Array1.unsafe_set st.port_used k (used + 1);
       c
     end
     else find (c + 1)
@@ -68,7 +121,7 @@ let claim_port st ~cluster ~cycle =
   let grant = find cycle in
   if grant > st.port_hi then st.port_hi <- grant;
   if grant > cycle then
-    Stats.Counters.add st.counters "l0_port_conflicts" (grant - cycle);
+    Stats.Counters.hadd st.cnt.c_port_conflicts (grant - cycle);
   grant
 
 (* One trip over a cluster's bus to the unified L1, starting no earlier
@@ -77,9 +130,9 @@ let claim_port st ~cluster ~cycle =
 let l1_trip st ~cluster ~start ~addr ~write =
   let grant = Bus.request st.bus ~cluster ~now:start in
   let result = L1_cache.access st.l1 ~addr ~write in
-  Stats.Counters.incr st.counters "l1_accesses";
-  Stats.Counters.incr st.counters
-    (match result with `Hit -> "l1_hits" | `Miss -> "l1_misses");
+  Stats.Counters.hincr st.cnt.c_l1_accesses;
+  Stats.Counters.hincr
+    (match result with `Hit -> st.cnt.c_l1_hits | `Miss -> st.cnt.c_l1_misses);
   let served = match result with `Hit -> Hierarchy.L1 | `Miss -> Hierarchy.L2 in
   (grant + L1_cache.latency st.l1 result, served)
 
@@ -121,9 +174,8 @@ let buffers_exn st =
   | None -> invalid_arg "Unified: hint requests L0 service on a no-L0 machine"
 
 let count_mapping st = function
-  | L0_buffer.Linear _ -> Stats.Counters.incr st.counters "subblocks_linear"
-  | L0_buffer.Interleaved _ ->
-    Stats.Counters.incr st.counters "subblocks_interleaved"
+  | L0_buffer.Linear _ -> Stats.Counters.hincr st.cnt.c_sub_linear
+  | L0_buffer.Interleaved _ -> Stats.Counters.hincr st.cnt.c_sub_interleaved
 
 (* Install the subblock(s) the mapping implies. A linear mapping fills one
    entry in [cluster]'s buffer; an interleaved mapping reads the whole L1
@@ -182,30 +234,33 @@ let launch_prefetch st ~now ~cluster ~gran ~prefetch mapping =
     | L0_buffer.Linear { base } -> base
     | L0_buffer.Interleaved { block; _ } -> block
   in
-  if already then Stats.Counters.incr st.counters "prefetch_squashed"
+  if already then Stats.Counters.hincr st.cnt.c_pf_squashed
   else if not (in_range st ~addr:target_addr ~len:1) then
-    Stats.Counters.incr st.counters "prefetch_out_of_range"
+    Stats.Counters.hincr st.cnt.c_pf_oor
   else begin
-    Stats.Counters.incr st.counters "prefetch_issued";
+    Stats.Counters.hincr st.cnt.c_pf_issued;
     let result = l1_trip st ~cluster ~start:(now + 1) ~addr:target_addr ~write:false in
     let ready_at = fill_latency st ~result mapping in
     install st ~cluster ~gran ~prefetch ~ready_at mapping
   end
 
-(* After touching [entry], fire its POSITIVE/NEGATIVE hint if the access
-   reached the edge element. *)
-let maybe_autoprefetch st ~now ~cluster ~(entry : L0_buffer.entry) ~addr =
+(* After touching slot [ix] of [buf], fire its POSITIVE/NEGATIVE hint if
+   the access reached the edge element. Every field of the slot is read
+   before {!launch_prefetch} can insert and shift slots. *)
+let maybe_autoprefetch st ~now ~cluster ~buf ~ix ~addr =
   if st.cfg.l0.prefetch_distance = 0 then ()
   else
-  match L0_buffer.edge_trigger entry ~geometry:st.geometry ~addr with
+  match L0_buffer.edge_trigger buf ix ~addr with
   | None -> ()
   | Some direction ->
+    let gran = L0_buffer.entry_gran buf ix in
+    let prefetch = L0_buffer.entry_prefetch buf ix in
     let target =
       L0_buffer.next_mapping ~geometry:st.geometry
-        ~distance:st.cfg.l0.prefetch_distance direction entry.L0_buffer.mapping
+        ~distance:st.cfg.l0.prefetch_distance direction
+        (L0_buffer.entry_mapping buf ix)
     in
-    launch_prefetch st ~now ~cluster ~gran:entry.L0_buffer.gran
-      ~prefetch:entry.L0_buffer.prefetch target
+    launch_prefetch st ~now ~cluster ~gran ~prefetch target
 
 let mapping_for st ~cluster:_ ~addr ~width (hints : Hint.t) =
   match hints.mapping with
@@ -218,15 +273,15 @@ let mapping_for st ~cluster:_ ~addr ~width (hints : Hint.t) =
         lane = Addr.lane_of st.geometry ~gran:width addr;
       }
 
-let load_l0_hit st ~now ~cluster ~(entry : L0_buffer.entry) ~addr ~width =
-  Stats.Counters.incr st.counters "l0_load_hits";
+let load_l0_hit st ~now ~cluster ~buf ~ix ~addr ~width =
+  Stats.Counters.hincr st.cnt.c_l0_hits;
   let probe_start = claim_port st ~cluster ~cycle:now in
   let probe_done = probe_start + st.cfg.l0.l0_latency in
-  let ready_at = max probe_done entry.L0_buffer.ready_at in
+  let ready_at = max probe_done (L0_buffer.entry_ready_at buf ix) in
   if ready_at > probe_done then
-    Stats.Counters.add st.counters "late_fill_wait" (ready_at - probe_done);
-  let value = L0_buffer.read_entry entry ~geometry:st.geometry ~addr ~width in
-  maybe_autoprefetch st ~now ~cluster ~entry ~addr;
+    Stats.Counters.hadd st.cnt.c_late_fill (ready_at - probe_done);
+  let value = L0_buffer.read_entry buf ix ~addr ~width in
+  maybe_autoprefetch st ~now ~cluster ~buf ~ix ~addr;
   { Hierarchy.ready_at; value; served = Hierarchy.L0 }
 
 let load_l1_path st ~now ~cluster ~start ~addr ~width ~allocate (hints : Hint.t) =
@@ -240,9 +295,9 @@ let load_l1_path st ~now ~cluster ~start ~addr ~width ~allocate (hints : Hint.t)
       (* The element just loaded may itself be the subblock edge. *)
       (match st.buffers with
       | Some buffers ->
-        (match L0_buffer.peek buffers.(cluster) ~addr ~width with
-        | Some entry -> maybe_autoprefetch st ~now ~cluster ~entry ~addr
-        | None -> ())
+        let buf = buffers.(cluster) in
+        let ix = L0_buffer.peek buf ~addr ~width in
+        if ix >= 0 then maybe_autoprefetch st ~now ~cluster ~buf ~ix ~addr
       | None -> ());
       (ready_at, snd result)
     end
@@ -251,38 +306,43 @@ let load_l1_path st ~now ~cluster ~start ~addr ~width ~allocate (hints : Hint.t)
   { Hierarchy.ready_at; value; served }
 
 let load st ~now ~cluster ~addr ~width ~hints =
-  Stats.Counters.incr st.counters "loads";
+  Stats.Counters.hincr st.cnt.c_loads;
   match (hints : Hint.t).access with
   | Hint.No_access -> load_l1_path st ~now ~cluster ~start:now ~addr ~width
                         ~allocate:false hints
   | Hint.Inval_only -> invalid_arg "Unified.load: INVAL_ONLY is a store hint"
   | Hint.Seq_access -> begin
     let buffers = buffers_exn st in
-    Stats.Counters.incr st.counters "l0_load_probes";
-    match L0_buffer.lookup buffers.(cluster) ~now ~addr ~width with
-    | Some entry -> load_l0_hit st ~now ~cluster ~entry ~addr ~width
-    | None ->
-      Stats.Counters.incr st.counters "l0_load_misses";
+    Stats.Counters.hincr st.cnt.c_l0_probes;
+    let buf = buffers.(cluster) in
+    let ix = L0_buffer.lookup buf ~now ~addr ~width in
+    if ix >= 0 then load_l0_hit st ~now ~cluster ~buf ~ix ~addr ~width
+    else begin
+      Stats.Counters.hincr st.cnt.c_l0_misses;
       (* Miss request leaves on the bus the cycle after the L0 probe —
          the cycle the scheduler guaranteed free. *)
       load_l1_path st ~now ~cluster ~start:(now + st.cfg.l0.l0_latency) ~addr
         ~width ~allocate:true hints
+    end
   end
   | Hint.Par_access -> begin
     let buffers = buffers_exn st in
-    Stats.Counters.incr st.counters "l0_load_probes";
+    Stats.Counters.hincr st.cnt.c_l0_probes;
     (* The parallel L1 probe consumes the bus regardless of the outcome. *)
-    match L0_buffer.lookup buffers.(cluster) ~now ~addr ~width with
-    | Some entry ->
+    let buf = buffers.(cluster) in
+    let ix = L0_buffer.lookup buf ~now ~addr ~width in
+    if ix >= 0 then begin
       let _discarded_reply = Bus.request st.bus ~cluster ~now in
-      load_l0_hit st ~now ~cluster ~entry ~addr ~width
-    | None ->
-      Stats.Counters.incr st.counters "l0_load_misses";
+      load_l0_hit st ~now ~cluster ~buf ~ix ~addr ~width
+    end
+    else begin
+      Stats.Counters.hincr st.cnt.c_l0_misses;
       load_l1_path st ~now ~cluster ~start:now ~addr ~width ~allocate:true hints
+    end
   end
 
 let store st ~now ~cluster ~addr ~width ~value ~hints =
-  Stats.Counters.incr st.counters "stores";
+  Stats.Counters.hincr st.cnt.c_stores;
   match (hints : Hint.t).access with
   | Hint.Inval_only ->
     (* PSR non-primary replica: local invalidation only, no L1 traffic. *)
@@ -291,7 +351,7 @@ let store st ~now ~cluster ~addr ~width ~value ~hints =
       | Some buffers -> L0_buffer.invalidate_addr buffers.(cluster) ~addr ~width
       | None -> 0
     in
-    Stats.Counters.add st.counters "psr_invalidations" dropped;
+    Stats.Counters.hadd st.cnt.c_psr_inval dropped;
     { Hierarchy.ready_at = now + 1; value = 0L; served = Hierarchy.L0 }
   | Hint.Seq_access -> invalid_arg "Unified.store: stores cannot be SEQ_ACCESS"
   | (Hint.No_access | Hint.Par_access) as access ->
@@ -302,7 +362,7 @@ let store st ~now ~cluster ~addr ~width ~value ~hints =
       | Some buffers ->
         if L0_buffer.store_update buffers.(cluster) ~now ~addr ~width ~value then begin
           ignore (claim_port st ~cluster ~cycle:now);
-          Stats.Counters.incr st.counters "l0_store_updates"
+          Stats.Counters.hincr st.cnt.c_store_updates
         end
       | None -> ()
     end;
@@ -314,7 +374,7 @@ let explicit_prefetch st ~now ~cluster ~addr ~width =
   | None -> ()
   | Some _ ->
     if in_range st ~addr ~len:width then begin
-      Stats.Counters.incr st.counters "explicit_prefetches";
+      Stats.Counters.hincr st.cnt.c_expl_prefetch;
       let mapping = L0_buffer.Linear { base = Addr.subblock_base st.geometry addr } in
       launch_prefetch st ~now ~cluster ~gran:width ~prefetch:Hint.No_prefetch
         mapping
@@ -324,11 +384,12 @@ let invalidate st ~cluster =
   match st.buffers with
   | None -> ()
   | Some buffers ->
-    Stats.Counters.incr st.counters "l0_invalidates";
+    Stats.Counters.hincr st.cnt.c_l0_invalidates;
     L0_buffer.invalidate_all buffers.(cluster)
 
 let make_state (cfg : Config.t) ~backing ~with_l0 =
   let geometry = Addr.geometry_of_config cfg in
+  let counters = Stats.Counters.create () in
   let buffers =
     if not with_l0 then None
     else
@@ -350,9 +411,22 @@ let make_state (cfg : Config.t) ~backing ~with_l0 =
     l1 = L1_cache.of_config cfg;
     bus = Bus.create ~clusters:cfg.num_clusters;
     backing;
-    counters = Stats.Counters.create ();
-    port_used = Array.make (cfg.num_clusters * port_window) 0;
-    port_tag = Array.make (cfg.num_clusters * port_window) (-1);
+    counters;
+    cnt = make_cnt counters;
+    port_used =
+      (let a =
+         Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+           (cfg.num_clusters * port_window)
+       in
+       Bigarray.Array1.fill a 0;
+       a);
+    port_tag =
+      (let a =
+         Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+           (cfg.num_clusters * port_window)
+       in
+       Bigarray.Array1.fill a (-1);
+       a);
     port_hi = 0;
     scratch_sb = Bytes.create geometry.Addr.subblock_bytes;
   }
@@ -370,9 +444,10 @@ let state_invariants st () =
       (fun c buf ->
         let label = Printf.sprintf "cluster %d L0" c in
         errs := !errs @ L0_buffer.check_invariants ~label buf;
-        L0_buffer.iter_entries buf (fun e ->
+        L0_buffer.iter_entries buf (fun ix ->
+            let mapping = L0_buffer.entry_mapping buf ix in
             let ok =
-              match e.L0_buffer.mapping with
+              match mapping with
               | L0_buffer.Linear { base } ->
                 in_range st ~addr:base ~len:g.Addr.subblock_bytes
               | L0_buffer.Interleaved { block; _ } ->
@@ -384,7 +459,7 @@ let state_invariants st () =
                 @ [
                     Printf.sprintf "%s: entry %s maps outside backing memory"
                       label
-                      (L0_buffer.mapping_to_string e.L0_buffer.mapping);
+                      (L0_buffer.mapping_to_string mapping);
                   ]))
       buffers;
     !errs
@@ -398,8 +473,8 @@ let snap_state st w =
   L1_cache.snap st.l1 w;
   Bus.snap st.bus w;
   Flatio.W.int w st.port_hi;
-  Flatio.W.int_array w st.port_used;
-  Flatio.W.int_array w st.port_tag;
+  Flatio.W.int_ba w st.port_used;
+  Flatio.W.int_ba w st.port_tag;
   match st.buffers with
   | None -> Flatio.W.int w 0
   | Some buffers ->
@@ -413,8 +488,8 @@ let restore_state st r =
   L1_cache.restore st.l1 r;
   Bus.restore st.bus r;
   st.port_hi <- Flatio.R.int r;
-  Flatio.R.int_array_into r st.port_used;
-  Flatio.R.int_array_into r st.port_tag;
+  Flatio.R.int_ba_into r st.port_used;
+  Flatio.R.int_ba_into r st.port_tag;
   let nbuf = Flatio.R.int r in
   match (st.buffers, nbuf) with
   | None, 0 -> ()
@@ -450,12 +525,12 @@ let create cfg ~backing =
 let baseline cfg ~backing =
   let st = make_state cfg ~backing ~with_l0:false in
   let base_load ~now ~cluster ~addr ~width ~hints:_ =
-    Stats.Counters.incr st.counters "loads";
+    Stats.Counters.hincr st.cnt.c_loads;
     load_l1_path st ~now ~cluster ~start:now ~addr ~width ~allocate:false
       Hint.default
   in
   let base_store ~now ~cluster ~addr ~width ~value ~hints:_ =
-    Stats.Counters.incr st.counters "stores";
+    Stats.Counters.hincr st.cnt.c_stores;
     Backing.write st.backing ~addr ~width value;
     let _, served = l1_trip st ~cluster ~start:now ~addr ~write:true in
     { Hierarchy.ready_at = now + 1; value = 0L; served }

@@ -44,52 +44,208 @@ let pp_trace_event ppf e =
     | None -> "")
     (if e.ev_stall > 0 then Printf.sprintf " (stall %d)" e.ev_stall else "")
 
-type event_kind =
-  | Ev_access of Instr.t * Schedule.placement
-  | Ev_prefetch of Instr.t * Schedule.prefetch_op
-  | Ev_replica of Instr.t * Schedule.replica
+(* ------------------------------------------------------------------ *)
+(* Compiled event tables.
 
-type event = { ev_start : int; ev_cluster : int; ev_order : int; kind : event_kind }
+   The schedule is compiled once per run into flat, slot-major arrays:
+   slot [s] owns indices [slot_off.(s) .. slot_off.(s+1) - 1], sorted by
+   (start, cluster, order) within the slot — the exact firing order the
+   old per-slot event lists had. A tick then walks one contiguous index
+   range with no list cells, no closures and no polymorphic compare. *)
 
-let events_of (sch : Schedule.t) =
+(* Event kind codes. *)
+let k_load = 0
+and k_store = 1
+and k_access_nop = 2  (* memory-access instr that is neither load nor store *)
+and k_prefetch = 3
+and k_replica = 4
+and k_nop = 5  (* replica of an instruction without a width: fires nothing *)
+
+type etab = {
+  total : int;  (* every scheduled event, including nops (digest input) *)
+  max_start : int;
+  slot_off : int array;  (* length ii+1: prefix offsets into the arrays below *)
+  e_start : int array;
+  e_cluster : int array;
+  e_kind : int array;
+  e_id : int array;  (* instruction id (prefetches: the covered load's index) *)
+  e_width : int array;
+  e_lat : int array;  (* assumed latency (access events) *)
+  e_lead : int array;  (* prefetch lead iterations *)
+  e_load : int array;  (* dense load index for the expected table; -1 otherwise *)
+  e_hints : Hint.t array;
+  e_addr : Tracegen.compiled array;
+}
+
+(* One shared hint value for every PSR replica event. *)
+let inval_hints = Hint.make ~access:Hint.Inval_only ()
+
+(* Intermediate, pre-sort representation of one scheduled event. *)
+type pre = {
+  p_start : int;
+  p_cluster : int;
+  p_order : int;
+  p_kind : int;
+  p_ins : Instr.t;
+  p_id : int;
+  p_lat : int;
+  p_lead : int;
+  p_hints : Hint.t;
+}
+
+(* Monomorphic (start, cluster, order) comparator — no polymorphic
+   [compare] over allocated tuples, and no surprises if a non-int field
+   is ever added to the key. *)
+let icmp (a : int) (b : int) = if a < b then -1 else if a > b then 1 else 0
+
+let pre_compare a b =
+  let c = icmp a.p_start b.p_start in
+  if c <> 0 then c
+  else
+    let c = icmp a.p_cluster b.p_cluster in
+    if c <> 0 then c else icmp a.p_order b.p_order
+
+let compile_events (sch : Schedule.t) trace ~load_ix_by_id =
   let acc = ref [] in
   Array.iteri
-    (fun i p ->
+    (fun i (p : Schedule.placement) ->
       let ins = Ddg.instr sch.ddg i in
-      if Instr.is_memory_access ins then
+      if Instr.is_memory_access ins then begin
+        let kind =
+          match ins.Instr.opcode with
+          | Opcode.Load _ -> k_load
+          | Opcode.Store _ -> k_store
+          | _ -> k_access_nop
+        in
         acc :=
-          { ev_start = p.Schedule.start; ev_cluster = p.Schedule.cluster;
-            ev_order = i; kind = Ev_access (ins, p) }
-          :: !acc)
+          { p_start = p.Schedule.start; p_cluster = p.Schedule.cluster;
+            p_order = i; p_kind = kind; p_ins = ins; p_id = ins.Instr.id;
+            p_lat = p.Schedule.assumed_latency; p_lead = 0;
+            p_hints = p.Schedule.hints }
+          :: !acc
+      end)
     sch.placements;
   List.iter
     (fun (pf : Schedule.prefetch_op) ->
       let ins = Ddg.instr sch.ddg pf.for_instr in
       acc :=
-        { ev_start = pf.pf_start; ev_cluster = pf.pf_cluster;
-          ev_order = 10_000 + pf.for_instr; kind = Ev_prefetch (ins, pf) }
+        { p_start = pf.pf_start; p_cluster = pf.pf_cluster;
+          p_order = 10_000 + pf.for_instr; p_kind = k_prefetch; p_ins = ins;
+          p_id = pf.for_instr; p_lat = 0; p_lead = pf.lead_iterations;
+          p_hints = Hint.default }
         :: !acc)
     sch.prefetches;
   List.iter
     (fun (r : Schedule.replica) ->
       let ins = Ddg.instr sch.ddg r.for_store in
+      let kind =
+        match Opcode.width ins.Instr.opcode with
+        | Some _ -> k_replica
+        | None -> k_nop
+      in
       acc :=
-        { ev_start = r.rep_start; ev_cluster = r.rep_cluster;
-          ev_order = 20_000 + r.for_store; kind = Ev_replica (ins, r) }
+        { p_start = r.rep_start; p_cluster = r.rep_cluster;
+          p_order = 20_000 + r.for_store; p_kind = kind; p_ins = ins;
+          p_id = ins.Instr.id; p_lat = 0; p_lead = 0; p_hints = inval_hints }
         :: !acc)
     sch.replicas;
-  List.sort (fun a b -> compare (a.ev_start, a.ev_cluster, a.ev_order)
-                (b.ev_start, b.ev_cluster, b.ev_order))
-    !acc
+  let sorted = Array.of_list (List.stable_sort pre_compare !acc) in
+  let n = Array.length sorted in
+  let max_start = Array.fold_left (fun m p -> max m p.p_start) 0 sorted in
+  let ii = sch.ii in
+  (* Counting sort by slot, preserving the global order within each slot. *)
+  let slot_off = Array.make (ii + 1) 0 in
+  Array.iter
+    (fun p -> slot_off.((p.p_start mod ii) + 1) <- slot_off.((p.p_start mod ii) + 1) + 1)
+    sorted;
+  for s = 1 to ii do
+    slot_off.(s) <- slot_off.(s) + slot_off.(s - 1)
+  done;
+  let cursor = Array.sub slot_off 0 ii in
+  let e_start = Array.make n 0 in
+  let e_cluster = Array.make n 0 in
+  let e_kind = Array.make n 0 in
+  let e_id = Array.make n 0 in
+  let e_width = Array.make n 0 in
+  let e_lat = Array.make n 0 in
+  let e_lead = Array.make n 0 in
+  let e_load = Array.make n (-1) in
+  let e_hints = Array.make n Hint.default in
+  let e_addr =
+    Array.map (fun p -> Tracegen.compile trace ~instr:p.p_ins) sorted
+  in
+  (* [e_addr] above is in sorted order; permute it alongside the rest. *)
+  let e_addr' = Array.copy e_addr in
+  Array.iteri
+    (fun i p ->
+      let s = p.p_start mod ii in
+      let j = cursor.(s) in
+      cursor.(s) <- j + 1;
+      e_start.(j) <- p.p_start;
+      e_cluster.(j) <- p.p_cluster;
+      e_kind.(j) <- p.p_kind;
+      e_id.(j) <- p.p_id;
+      e_lat.(j) <- p.p_lat;
+      e_lead.(j) <- p.p_lead;
+      e_hints.(j) <- p.p_hints;
+      e_addr'.(j) <- e_addr.(i);
+      (e_width.(j) <-
+        (match p.p_kind with
+        | k when k = k_load || k = k_store || k = k_replica -> (
+          match Opcode.width p.p_ins.Instr.opcode with
+          | Some w -> Opcode.bytes_of_width w
+          | None -> 0)
+        | k when k = k_prefetch -> (
+          match Opcode.width p.p_ins.Instr.opcode with
+          | Some w -> Opcode.bytes_of_width w
+          | None -> 4)
+        | _ -> 0));
+      if p.p_kind = k_load && p.p_id < Array.length load_ix_by_id then
+        e_load.(j) <- load_ix_by_id.(p.p_id))
+    sorted;
+  { total = n; max_start; slot_off; e_start; e_cluster; e_kind; e_id; e_width;
+    e_lat; e_lead; e_load; e_hints; e_addr = e_addr' }
 
 (* Unique, deterministic value written by store [i] at iteration [k]. *)
 let store_value i k =
   Int64.add (Int64.mul (Int64.of_int (i + 1)) 0x1000003L) (Int64.of_int k)
 
+(* The deterministic fill byte depends only on (seed, addr), so the
+   image is computed once per seed in a grow-only cache and replayed
+   with a single blit: [hash_mix] costs ~10 boxed Int64 ops per byte,
+   and every run fills two stores (machine + reference). The cache is
+   bounded — fuzz campaigns cycle through many seeds. *)
+let image_cache : (int, Bytes.t ref) Hashtbl.t = Hashtbl.create 8
+let image_cache_max = 16
+
+(* [c] is 17 (initial fill) or 23 (interlude scramble), so [2s + (c=23)]
+   keys the cache injectively. *)
+let fill_image ~salt ~c n =
+  let key = (2 * salt) + if c = 23 then 1 else 0 in
+  let r =
+    match Hashtbl.find_opt image_cache key with
+    | Some r -> r
+    | None ->
+      if Hashtbl.length image_cache >= image_cache_max then
+        Hashtbl.reset image_cache;
+      let r = ref Bytes.empty in
+      Hashtbl.add image_cache key r;
+      r
+  in
+  let have = Bytes.length !r in
+  if have < n then begin
+    let fresh = Bytes.create n in
+    Bytes.blit !r 0 fresh 0 have;
+    for addr = have to n - 1 do
+      Bytes.unsafe_set fresh addr
+        (Char.unsafe_chr (Tracegen.hash_mix salt addr c land 0xFF))
+    done;
+    r := fresh
+  end;
+  !r
+
 let init_memory backing ~seed =
-  for addr = 0 to Backing.size backing - 1 do
-    Backing.write8 backing ~addr (Tracegen.hash_mix seed addr 17)
-  done
+  Backing.fill_from backing (fill_image ~salt:seed ~c:17 (Backing.size backing))
 
 (* Deterministic inter-invocation scramble: models the rest of the
    benchmark dirtying memory between two invocations of the loop.
@@ -103,37 +259,98 @@ let init_memory backing ~seed =
    [init_memory]'s salt 17. *)
 let interlude_scramble mem ~seed ~inv =
   let salt = seed + ((inv + 1) * 1_000_003) in
-  for addr = 0 to Backing.size mem - 1 do
-    Backing.write8 mem ~addr (Tracegen.hash_mix salt addr 23)
-  done
+  Backing.fill_from mem (fill_image ~salt ~c:23 (Backing.size mem))
 
-(* Sequential reference replay: expected value of every dynamic load,
-   keyed by (invocation, instruction, iteration). *)
-let reference_loads (sch : Schedule.t) trace ~trips ~invocations ~seed =
+(* Dense numbering of the loop's load instructions: [load_ix_by_id.(id)]
+   is the load's row in the expected-value table, -1 for non-loads. *)
+let compile_loads (sch : Schedule.t) =
+  let accesses = Loop.memory_accesses sch.loop in
+  let max_id =
+    List.fold_left (fun m (i : Instr.t) -> max m i.Instr.id) (-1) accesses
+  in
+  let load_ix_by_id = Array.make (max_id + 2) (-1) in
+  let n_loads = ref 0 in
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.opcode with
+      | Opcode.Load _ ->
+        if load_ix_by_id.(i.Instr.id) < 0 then begin
+          load_ix_by_id.(i.Instr.id) <- !n_loads;
+          incr n_loads
+        end
+      | _ -> ())
+    accesses;
+  (accesses, load_ix_by_id, !n_loads)
+
+type expected =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let expected_index ~n_loads ~trips ~inv ~load_ix ~k =
+  (((inv * n_loads) + load_ix) * trips) + k
+
+(* Sequential reference replay: expected value of every dynamic load, in
+   a dense (invocation, load, iteration) table — no per-probe key
+   allocation when the run checks loaded values against it. *)
+let reference_loads (sch : Schedule.t) trace ~trips ~invocations ~seed
+    ~accesses ~load_ix_by_id ~n_loads : expected =
   let size = Tracegen.memory_size sch.loop in
   let ref_mem = Backing.create ~size in
   init_memory ref_mem ~seed;
-  let expected = Hashtbl.create (trips * 4) in
-  let accesses = Loop.memory_accesses sch.loop in
+  let expected =
+    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout
+      (max 1 (invocations * n_loads * trips))
+  in
+  (* Compile the sequential access list once: kind, width, dense load
+     index and address program per access, in program order. *)
+  let arr = Array.of_list accesses in
+  let n_acc = Array.length arr in
+  let a_kind = Array.make n_acc k_access_nop in
+  let a_width = Array.make n_acc 0 in
+  let a_id = Array.make n_acc 0 in
+  let a_load = Array.make n_acc (-1) in
+  let a_addr = Array.map (fun ins -> Tracegen.compile trace ~instr:ins) arr in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      a_id.(i) <- ins.Instr.id;
+      match ins.Instr.opcode with
+      | Opcode.Load w ->
+        a_kind.(i) <- k_load;
+        a_width.(i) <- Opcode.bytes_of_width w;
+        a_load.(i) <- load_ix_by_id.(ins.Instr.id)
+      | Opcode.Store w ->
+        a_kind.(i) <- k_store;
+        a_width.(i) <- Opcode.bytes_of_width w
+      | _ -> ())
+    arr;
   for inv = 0 to invocations - 1 do
     for k = 0 to trips - 1 do
-      List.iter
-        (fun (ins : Instr.t) ->
-          let addr = Tracegen.address trace ~instr:ins ~iteration:k in
-          match ins.Instr.opcode with
-          | Opcode.Load w ->
-            let width = Opcode.bytes_of_width w in
-            Hashtbl.replace expected (inv, ins.Instr.id, k)
-              (Backing.read ref_mem ~addr ~width)
-          | Opcode.Store w ->
-            Backing.write ref_mem ~addr ~width:(Opcode.bytes_of_width w)
-              (store_value ins.Instr.id k)
-          | _ -> ())
-        accesses
+      for i = 0 to n_acc - 1 do
+        let kind = Array.unsafe_get a_kind i in
+        if kind = k_load then begin
+          let addr =
+            Tracegen.compiled_address (Array.unsafe_get a_addr i) ~iteration:k
+          in
+          let lix = Array.unsafe_get a_load i in
+          if lix >= 0 then
+            Bigarray.Array1.unsafe_set expected
+              (expected_index ~n_loads ~trips ~inv ~load_ix:lix ~k)
+              (Backing.read ref_mem ~addr ~width:(Array.unsafe_get a_width i))
+        end
+        else if kind = k_store then begin
+          let addr =
+            Tracegen.compiled_address (Array.unsafe_get a_addr i) ~iteration:k
+          in
+          Backing.write ref_mem ~addr ~width:(Array.unsafe_get a_width i)
+            (store_value (Array.unsafe_get a_id i) k)
+        end
+      done
     done;
     if inv < invocations - 1 then interlude_scramble ref_mem ~seed ~inv
   done;
   expected
+
+let no_expected : expected =
+  Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 1
 
 let default_trips (loop : Loop.t) = min loop.Loop.trip_count 2048
 
@@ -170,12 +387,13 @@ type runtime = {
   rt_verify : bool;
   rt_backing : Backing.t;
   rt_hier : Hierarchy.t;
-  rt_expected : (int * int * int, int64) Hashtbl.t;
-  rt_by_slot : event list array;
+  rt_expected : expected;
+  rt_n_loads : int;
+  rt_tab : etab;
   rt_horizon : int;
   rt_invocation_span : int;
   rt_limit : int;
-  rt_on_event : trace_event -> unit;
+  rt_on_event : (trace_event -> unit) option;
   rt_trace : Tracegen.t;
   rt_key : string;
   rt_params : string;
@@ -194,18 +412,15 @@ let setup (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ~trips
   in
   (* Sanitizer outermost: it must observe fault-perturbed behaviour. *)
   let hier = Flexl0_mem.Sanitizer.wrap sanitizer hier in
+  let accesses, load_ix_by_id, n_loads = compile_loads sch in
   let expected =
-    if verify then reference_loads sch trace ~trips ~invocations ~seed
-    else Hashtbl.create 1
+    if verify then
+      reference_loads sch trace ~trips ~invocations ~seed ~accesses
+        ~load_ix_by_id ~n_loads
+    else no_expected
   in
-  let events = events_of sch in
-  let by_slot = Array.make sch.ii [] in
-  List.iter
-    (fun e -> by_slot.(e.ev_start mod sch.ii) <- e :: by_slot.(e.ev_start mod sch.ii))
-    events;
-  Array.iteri (fun i l -> by_slot.(i) <- List.rev l) by_slot;
-  let max_start = List.fold_left (fun acc e -> max acc e.ev_start) 0 events in
-  let horizon = ((trips - 1) * sch.ii) + max_start in
+  let tab = compile_events sch trace ~load_ix_by_id in
+  let horizon = ((trips - 1) * sch.ii) + tab.max_start in
   let invocation_span = Schedule.compute_cycles sch ~trips in
   let limit =
     match max_cycles with
@@ -232,92 +447,119 @@ let setup (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ~trips
             [ key; string_of_int sch.ii; string_of_int trips;
               string_of_int invocations; string_of_int seed;
               string_of_bool verify; hier.Hierarchy.name;
-              string_of_int (List.length events); string_of_int horizon;
+              string_of_int tab.total; string_of_int horizon;
               string_of_int invocation_span; string_of_int limit;
               Flexl0_mem.Sanitizer.mode_to_string sanitizer; fault_part ]))
   in
   { rt_cfg = cfg; rt_sch = sch; rt_trips = trips;
     rt_invocations = invocations; rt_seed = seed; rt_verify = verify;
     rt_backing = backing; rt_hier = hier; rt_expected = expected;
-    rt_by_slot = by_slot; rt_horizon = horizon;
+    rt_n_loads = n_loads; rt_tab = tab; rt_horizon = horizon;
     rt_invocation_span = invocation_span; rt_limit = limit;
     rt_on_event = on_event; rt_trace = trace; rt_key = key;
     rt_params = params }
 
-let fire rt (cur : Snapshot.cursor) ~inv now (ev : event) k =
+(* Fire event [j] of the compiled table at iteration [k]; returns the
+   stall it causes. Allocation here is limited to what the hierarchy
+   itself returns (one outcome record per access) — trace records exist
+   only when an [on_event] observer is attached. *)
+let fire rt (cur : Snapshot.cursor) ~inv now j k =
+  let tab = rt.rt_tab in
   let hier = rt.rt_hier in
-  match ev.kind with
-  | Ev_access (ins, p) -> (
-    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:k in
-    match ins.Instr.opcode with
-    | Opcode.Load w ->
-      cur.Snapshot.loads <- cur.Snapshot.loads + 1;
-      let width = Opcode.bytes_of_width w in
-      let outcome =
-        hier.Hierarchy.load ~now ~cluster:ev.ev_cluster ~addr ~width
-          ~hints:p.Schedule.hints
-      in
-      if rt.rt_verify then begin
-        match Hashtbl.find_opt rt.rt_expected (inv, ins.Instr.id, k) with
-        | Some v when v <> outcome.Hierarchy.value ->
-          cur.Snapshot.mismatches <- cur.Snapshot.mismatches + 1
-        | Some _ -> ()
-        | None -> cur.Snapshot.mismatches <- cur.Snapshot.mismatches + 1
-      end;
-      let deadline = now + p.Schedule.assumed_latency in
-      let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
-      rt.rt_on_event
-        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-          ev_kind = `Load; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-          ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
-      stall
-    | Opcode.Store w ->
-      cur.Snapshot.stores <- cur.Snapshot.stores + 1;
-      let width = Opcode.bytes_of_width w in
-      let outcome =
-        hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
-          ~value:(store_value ins.Instr.id k) ~hints:p.Schedule.hints
-      in
-      let deadline = now + p.Schedule.assumed_latency in
-      let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
-      rt.rt_on_event
-        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-          ev_kind = `Store; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-          ev_served = Some outcome.Hierarchy.served; ev_stall = stall };
-      stall
-    | _ -> 0)
-  | Ev_prefetch (ins, pf) ->
-    (* Runs [lead_iterations] ahead of the load it covers. *)
-    let future = k + pf.lead_iterations in
-    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:future in
-    let width =
-      match Opcode.width ins.Instr.opcode with
-      | Some w -> Opcode.bytes_of_width w
-      | None -> 4
+  let kind = Array.unsafe_get tab.e_kind j in
+  let cluster = Array.unsafe_get tab.e_cluster j in
+  if kind = k_load then begin
+    cur.Snapshot.loads <- cur.Snapshot.loads + 1;
+    let addr =
+      Tracegen.compiled_address (Array.unsafe_get tab.e_addr j) ~iteration:k
     in
-    hier.Hierarchy.prefetch ~now ~cluster:ev.ev_cluster ~addr ~width;
-    rt.rt_on_event
-      { ev_time = now; ev_iteration = k; ev_instr = pf.for_instr;
-        ev_kind = `Prefetch; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-        ev_served = None; ev_stall = 0 };
+    let width = Array.unsafe_get tab.e_width j in
+    let outcome =
+      hier.Hierarchy.load ~now ~cluster ~addr ~width
+        ~hints:(Array.unsafe_get tab.e_hints j)
+    in
+    if rt.rt_verify then begin
+      let lix = Array.unsafe_get tab.e_load j in
+      if
+        lix < 0
+        || Bigarray.Array1.unsafe_get rt.rt_expected
+             (expected_index ~n_loads:rt.rt_n_loads ~trips:rt.rt_trips ~inv
+                ~load_ix:lix ~k)
+           <> outcome.Hierarchy.value
+      then cur.Snapshot.mismatches <- cur.Snapshot.mismatches + 1
+    end;
+    let deadline = now + Array.unsafe_get tab.e_lat j in
+    let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+    (match rt.rt_on_event with
+    | None -> ()
+    | Some f ->
+      f
+        { ev_time = now; ev_iteration = k;
+          ev_instr = Array.unsafe_get tab.e_id j; ev_kind = `Load;
+          ev_cluster_id = cluster; ev_addr = addr;
+          ev_served = Some outcome.Hierarchy.served; ev_stall = stall });
+    stall
+  end
+  else if kind = k_store then begin
+    cur.Snapshot.stores <- cur.Snapshot.stores + 1;
+    let addr =
+      Tracegen.compiled_address (Array.unsafe_get tab.e_addr j) ~iteration:k
+    in
+    let width = Array.unsafe_get tab.e_width j in
+    let id = Array.unsafe_get tab.e_id j in
+    let outcome =
+      hier.Hierarchy.store ~now ~cluster ~addr ~width
+        ~value:(store_value id k) ~hints:(Array.unsafe_get tab.e_hints j)
+    in
+    let deadline = now + Array.unsafe_get tab.e_lat j in
+    let stall = max 0 (outcome.Hierarchy.ready_at - deadline) in
+    (match rt.rt_on_event with
+    | None -> ()
+    | Some f ->
+      f
+        { ev_time = now; ev_iteration = k; ev_instr = id; ev_kind = `Store;
+          ev_cluster_id = cluster; ev_addr = addr;
+          ev_served = Some outcome.Hierarchy.served; ev_stall = stall });
+    stall
+  end
+  else if kind = k_prefetch then begin
+    (* Runs [lead_iterations] ahead of the load it covers. *)
+    let future = k + Array.unsafe_get tab.e_lead j in
+    let addr =
+      Tracegen.compiled_address (Array.unsafe_get tab.e_addr j)
+        ~iteration:future
+    in
+    hier.Hierarchy.prefetch ~now ~cluster ~addr
+      ~width:(Array.unsafe_get tab.e_width j);
+    (match rt.rt_on_event with
+    | None -> ()
+    | Some f ->
+      f
+        { ev_time = now; ev_iteration = k;
+          ev_instr = Array.unsafe_get tab.e_id j; ev_kind = `Prefetch;
+          ev_cluster_id = cluster; ev_addr = addr; ev_served = None;
+          ev_stall = 0 });
     0
-  | Ev_replica (ins, _r) -> (
-    let addr = Tracegen.address rt.rt_trace ~instr:ins ~iteration:k in
-    match Opcode.width ins.Instr.opcode with
-    | Some w ->
-      let width = Opcode.bytes_of_width w in
-      let outcome =
-        hier.Hierarchy.store ~now ~cluster:ev.ev_cluster ~addr ~width
-          ~value:0L
-          ~hints:(Hint.make ~access:Hint.Inval_only ())
-      in
-      ignore outcome;
-      rt.rt_on_event
-        { ev_time = now; ev_iteration = k; ev_instr = ins.Instr.id;
-          ev_kind = `Replica; ev_cluster_id = ev.ev_cluster; ev_addr = addr;
-          ev_served = None; ev_stall = 0 };
-      0
-    | None -> 0)
+  end
+  else if kind = k_replica then begin
+    let addr =
+      Tracegen.compiled_address (Array.unsafe_get tab.e_addr j) ~iteration:k
+    in
+    let width = Array.unsafe_get tab.e_width j in
+    ignore
+      (hier.Hierarchy.store ~now ~cluster ~addr ~width ~value:0L
+         ~hints:(Array.unsafe_get tab.e_hints j));
+    (match rt.rt_on_event with
+    | None -> ()
+    | Some f ->
+      f
+        { ev_time = now; ev_iteration = k;
+          ev_instr = Array.unsafe_get tab.e_id j; ev_kind = `Replica;
+          ev_cluster_id = cluster; ev_addr = addr; ev_served = None;
+          ev_stall = 0 });
+    0
+  end
+  else 0
 
 (* One tick = one (invocation, t) position. The end-of-invocation work —
    flushing every L0 buffer (inter-loop coherence, Section 4.1) and the
@@ -327,21 +569,24 @@ let fire rt (cur : Snapshot.cursor) ~inv now (ev : event) k =
    the run. *)
 let exec_tick rt (cur : Snapshot.cursor) =
   let sch = rt.rt_sch in
+  let tab = rt.rt_tab in
   let inv = cur.Snapshot.cur_inv and t = cur.Snapshot.cur_t in
   let offset = inv * rt.rt_invocation_span in
   let slot = t mod sch.ii in
   let cycle_stall = ref 0 in
-  List.iter
-    (fun ev ->
-      if t >= ev.ev_start then begin
-        let k = (t - ev.ev_start) / sch.ii in
-        if k < rt.rt_trips then begin
-          let now = offset + t + cur.Snapshot.cum_stall in
-          let stall = fire rt cur ~inv now ev k in
-          if stall > !cycle_stall then cycle_stall := stall
-        end
-      end)
-    rt.rt_by_slot.(slot);
+  let lo = Array.unsafe_get tab.slot_off slot in
+  let hi = Array.unsafe_get tab.slot_off (slot + 1) in
+  for j = lo to hi - 1 do
+    let start = Array.unsafe_get tab.e_start j in
+    if t >= start then begin
+      let k = (t - start) / sch.ii in
+      if k < rt.rt_trips then begin
+        let now = offset + t + cur.Snapshot.cum_stall in
+        let stall = fire rt cur ~inv now j k in
+        if stall > !cycle_stall then cycle_stall := stall
+      end
+    end
+  done;
   cur.Snapshot.cum_stall <- cur.Snapshot.cum_stall + !cycle_stall;
   let elapsed = offset + t + cur.Snapshot.cum_stall in
   if elapsed > rt.rt_limit then
@@ -392,8 +637,7 @@ let drive rt (cur : Snapshot.cursor) ~checkpoint =
 
 let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
     ?(invocations = 1) ?(seed = 42) ?(verify = true) ?max_cycles ?faults
-    ?(sanitizer = Flexl0_mem.Sanitizer.Off)
-    ?(on_event = fun (_ : trace_event) -> ()) ?checkpoint () =
+    ?(sanitizer = Flexl0_mem.Sanitizer.Off) ?on_event ?checkpoint () =
   let rt =
     setup cfg sch ~hierarchy ~trips ~invocations ~seed ~verify ~max_cycles
       ~faults ~sanitizer ~on_event
@@ -402,8 +646,8 @@ let run (cfg : Flexl0_arch.Config.t) (sch : Schedule.t) ~hierarchy ?trips
 
 let resume_from payload (cfg : Flexl0_arch.Config.t) (sch : Schedule.t)
     ~hierarchy ?trips ?(invocations = 1) ?(seed = 42) ?(verify = true)
-    ?max_cycles ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Off)
-    ?(on_event = fun (_ : trace_event) -> ()) ?checkpoint () =
+    ?max_cycles ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Off) ?on_event
+    ?checkpoint () =
   let rt =
     setup cfg sch ~hierarchy ~trips ~invocations ~seed ~verify ~max_cycles
       ~faults ~sanitizer ~on_event

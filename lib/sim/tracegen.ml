@@ -57,3 +57,44 @@ let address t ~instr ~iteration =
         hash_mix t.seed instr.Instr.id iteration mod info.Loop.length
     in
     base + (elem * r.Memref.elem_bytes)
+
+(* Address generation resolved once per instruction: the layout and
+   array-info list lookups, the stride shape and the negative-stride
+   start element are all folded into a flat record, so the per-iteration
+   address is pure int arithmetic (same formula as {!address}). *)
+type compiled = {
+  c_unknown : bool;
+  c_base : int;
+  c_ebytes : int;
+  c_len : int;
+  c_start : int;  (* constant-stride start element *)
+  c_stride : int;
+  c_seed : int;
+  c_id : int;
+}
+
+let compile t ~instr =
+  match (instr : Instr.t).memref with
+  | None -> invalid_arg "Tracegen.compile: instruction has no memref"
+  | Some r ->
+    let base = List.assoc r.Memref.array_id t.layout in
+    let info = List.assq r.Memref.array_id t.arrays in
+    let common =
+      { c_unknown = true; c_base = base; c_ebytes = r.Memref.elem_bytes;
+        c_len = info.Loop.length; c_start = 0; c_stride = 0; c_seed = t.seed;
+        c_id = instr.Instr.id }
+    in
+    (match r.Memref.stride with
+    | Memref.Const s ->
+      let start =
+        if s < 0 then info.Loop.length - 1 - r.Memref.offset else r.Memref.offset
+      in
+      { common with c_unknown = false; c_start = start; c_stride = s }
+    | Memref.Unknown -> common)
+
+let compiled_address c ~iteration =
+  let elem =
+    if c.c_unknown then hash_mix c.c_seed c.c_id iteration mod c.c_len
+    else positive_mod (c.c_start + (c.c_stride * iteration)) c.c_len
+  in
+  c.c_base + (elem * c.c_ebytes)

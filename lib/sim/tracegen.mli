@@ -22,6 +22,18 @@ val address : t -> instr:Instr.t -> iteration:int -> int
 val footprint_bytes : t -> int
 (** Total bytes spanned by the layout (for sizing the backing store). *)
 
+type compiled
+(** {!address} with the per-call layout and array-info lookups resolved
+    once: the executor compiles one of these per scheduled event, so the
+    per-iteration address is pure int arithmetic. *)
+
+val compile : t -> instr:Instr.t -> compiled
+(** Raises [Invalid_argument] for instructions without a memref, exactly
+    like {!address}. *)
+
+val compiled_address : compiled -> iteration:int -> int
+(** Identical result to {!address} on the compiled instruction. *)
+
 val hash_mix : int -> int -> int -> int
 (** The stateless non-negative mixing function behind unknown-stride
     addresses; also used to fill simulated memories deterministically. *)

@@ -1,52 +1,48 @@
-(* Flat snapshot arena: a growable Bigarray of bytes written front to
-   back with fixed-width scalar codecs. One snapshot is one contiguous
+(* Flat snapshot arena: a growable byte buffer written front to back
+   with fixed-width scalar codecs. One snapshot is one contiguous
    region — no per-field framing, no Marshal — so capturing state is a
    linear sweep and the resulting string can be handed to {!Frame.encode}
    unchanged. The reader is the exact mirror and fails with a typed
    exception instead of reading garbage when the stream is shorter than
-   the structure expects or a section tag does not match. *)
+   the structure expects or a section tag does not match.
+
+   All scalar codecs go through [Bytes.set_int64_le] /
+   [String.get_int64_le] and bulk copies through [Bytes.blit_string], so
+   a snapshot of flat state (Bytes pools, int Bigarray planes) is a
+   bounds-checked blit rather than a per-byte loop. *)
 
 exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 
-type bigbytes =
-  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type intba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 module W = struct
-  type t = { mutable buf : bigbytes; mutable len : int }
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
   let create ?(initial = 4096) () =
-    {
-      buf = Bigarray.Array1.create Bigarray.char Bigarray.c_layout (max 64 initial);
-      len = 0;
-    }
+    { buf = Bytes.create (max 64 initial); len = 0 }
 
   let length t = t.len
 
   let ensure t extra =
-    let cap = Bigarray.Array1.dim t.buf in
+    let cap = Bytes.length t.buf in
     if t.len + extra > cap then begin
       let cap' = max (t.len + extra) (2 * cap) in
-      let bigger = Bigarray.Array1.create Bigarray.char Bigarray.c_layout cap' in
-      Bigarray.Array1.blit t.buf (Bigarray.Array1.sub bigger 0 cap);
+      let bigger = Bytes.create cap' in
+      Bytes.blit t.buf 0 bigger 0 t.len;
       t.buf <- bigger
     end
 
   let byte t c =
     ensure t 1;
-    Bigarray.Array1.unsafe_set t.buf t.len c;
+    Bytes.unsafe_set t.buf t.len c;
     t.len <- t.len + 1
 
   (* Fixed 8-byte little-endian int64: platform- and word-size-independent. *)
   let i64 t v =
     ensure t 8;
-    let buf = t.buf and base = t.len in
-    for i = 0 to 7 do
-      Bigarray.Array1.unsafe_set buf (base + i)
-        (Char.unsafe_chr
-           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
-    done;
+    Bytes.set_int64_le t.buf t.len v;
     t.len <- t.len + 8
 
   let int t v = i64 t (Int64.of_int v)
@@ -55,10 +51,7 @@ module W = struct
     let n = String.length s in
     int t n;
     ensure t n;
-    let buf = t.buf and base = t.len in
-    for i = 0 to n - 1 do
-      Bigarray.Array1.unsafe_set buf (base + i) (String.unsafe_get s i)
-    done;
+    Bytes.blit_string s 0 t.buf t.len n;
     t.len <- t.len + n
 
   let bytes t b = string t (Bytes.unsafe_to_string b)
@@ -67,12 +60,28 @@ module W = struct
     int t (Array.length a);
     Array.iter (fun v -> int t v) a
 
+  (* Same wire format as [int_array] — a length followed by that many
+     8-byte little-endian words — so flattening an int array into a
+     Bigarray plane does not change a single snapshot byte. *)
+  let int_ba t (a : intba) =
+    let n = Bigarray.Array1.dim a in
+    int t n;
+    ensure t (8 * n);
+    let buf = t.buf in
+    let base = t.len in
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le buf
+        (base + (8 * i))
+        (Int64.of_int (Bigarray.Array1.unsafe_get a i))
+    done;
+    t.len <- t.len + (8 * n)
+
   (* 4-character section marker; cheap structure check during restore. *)
   let tag t s =
     if String.length s <> 4 then invalid_arg "Flatio.W.tag: want 4 chars";
     String.iter (fun c -> byte t c) s
 
-  let contents t = String.init t.len (fun i -> Bigarray.Array1.unsafe_get t.buf i)
+  let contents t = Bytes.sub_string t.buf 0 t.len
 end
 
 module R = struct
@@ -88,14 +97,9 @@ module R = struct
 
   let i64 t =
     need t 8 "int64";
-    let v = ref 0L in
-    for i = 7 downto 0 do
-      v :=
-        Int64.logor (Int64.shift_left !v 8)
-          (Int64.of_int (Char.code (String.unsafe_get t.data (t.pos + i))))
-    done;
+    let v = String.get_int64_le t.data t.pos in
     t.pos <- t.pos + 8;
-    !v
+    v
 
   let int t = Int64.to_int (i64 t)
 
@@ -136,6 +140,22 @@ module R = struct
     for i = 0 to n - 1 do
       dst.(i) <- int t
     done
+
+  (* Mirror of [W.int_ba]: in-place restore of an int Bigarray plane of
+     exactly the recorded length. *)
+  let int_ba_into t (dst : intba) =
+    let n = int t in
+    if n <> Bigarray.Array1.dim dst then
+      corrupt "int plane length %d does not match live plane %d" n
+        (Bigarray.Array1.dim dst);
+    need t (8 * n) "int plane body";
+    let data = t.data in
+    let base = t.pos in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set dst i
+        (Int64.to_int (String.get_int64_le data (base + (8 * i))))
+    done;
+    t.pos <- t.pos + (8 * n)
 
   let tag t want =
     need t 4 ("section tag " ^ want);

@@ -2,7 +2,7 @@
 
     A snapshot is one contiguous byte region written front to back with
     fixed-width codecs (8-byte little-endian integers, length-prefixed
-    strings) into a growable Bigarray — no per-field framing, no
+    strings) into a growable byte buffer — no per-field framing, no
     [Marshal], no platform or word-size dependence. The simulator's
     capture path is therefore a single linear sweep over its state, and
     the resulting string is handed to {!Frame.encode} unchanged for
@@ -16,6 +16,11 @@
     restore paths catch it and report a typed error. *)
 
 exception Corrupt of string
+
+type intba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A flat plane of native ints — the struct-of-arrays building block of
+    the data-oriented memory models. Reads and writes on it are unboxed,
+    and it snapshots as one bounds-checked sweep. *)
 
 (** Writer: append-only, grows by doubling. *)
 module W : sig
@@ -31,6 +36,11 @@ module W : sig
   val string : t -> string -> unit
   val bytes : t -> Bytes.t -> unit
   val int_array : t -> int array -> unit
+
+  val int_ba : t -> intba -> unit
+  (** Same wire format as {!int_array} (length, then 8-byte LE words):
+      flattening an [int array] into a Bigarray plane is byte-invisible
+      in the snapshot stream. *)
 
   val tag : t -> string -> unit
   (** Emit a 4-character section marker — a cheap structural check the
@@ -57,6 +67,11 @@ module R : sig
 
   val int_array : t -> int array
   val int_array_into : t -> int array -> unit
+
+  val int_ba_into : t -> intba -> unit
+  (** Mirror of {!W.int_ba}: restore into an existing plane of exactly
+      the recorded length. *)
+
   val tag : t -> string -> unit
   val expect_end : t -> unit
 end

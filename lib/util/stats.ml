@@ -1,23 +1,31 @@
 module Counters = struct
-  type t = (string, int ref) Hashtbl.t
+  type t = { tbl : (string, int ref) Hashtbl.t; mutable gen : int }
 
-  let create () = Hashtbl.create 32
+  let create () = { tbl = Hashtbl.create 32; gen = 0 }
 
   let cell t name =
-    match Hashtbl.find_opt t name with
+    match Hashtbl.find_opt t.tbl name with
     | Some r -> r
     | None ->
       let r = ref 0 in
-      Hashtbl.add t name r;
+      Hashtbl.add t.tbl name r;
       r
 
-  let add t name n = cell t name := !(cell t name) + n
+  (* Single hash probe per bump, and no [find_opt] option box — counter
+     bumps sit on the simulator's per-access path. *)
+  let add t name n =
+    match Hashtbl.find t.tbl name with
+    | r -> r := !r + n
+    | exception Not_found -> Hashtbl.add t.tbl name (ref n)
+
   let incr t name = add t name 1
-  let find t name = Option.map ( ! ) (Hashtbl.find_opt t name)
-  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+  let find t name = Option.map ( ! ) (Hashtbl.find_opt t.tbl name)
+
+  let get t name =
+    match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0
 
   let to_list t =
-    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   let merge a b =
@@ -26,12 +34,45 @@ module Counters = struct
     List.iter (fun (name, n) -> add out name n) (to_list b);
     out
 
-  let clear t = Hashtbl.reset t
+  (* [clear] and [restore] detach every live cell ref, so they bump the
+     generation: handles below revalidate against it before reusing a
+     cached cell. *)
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.gen <- t.gen + 1
+
   let set t name n = cell t name := n
 
   let restore t assoc =
     clear t;
     List.iter (fun (name, n) -> set t name n) assoc
+
+  (* Pre-resolved bump site: the string hash is paid once per counter
+     set (and once more after any clear/restore), not on every bump.
+     Resolution happens on the first bump, never at handle creation, so
+     an untouched counter still does not appear in {!to_list}. *)
+  type handle = {
+    h_t : t;
+    h_name : string;
+    mutable h_gen : int;
+    mutable h_cell : int ref;
+  }
+
+  let handle t name = { h_t = t; h_name = name; h_gen = -1; h_cell = ref 0 }
+
+  let hadd h n =
+    if h.h_gen = h.h_t.gen then begin
+      let r = h.h_cell in
+      r := !r + n
+    end
+    else begin
+      let r = cell h.h_t h.h_name in
+      r := !r + n;
+      h.h_cell <- r;
+      h.h_gen <- h.h_t.gen
+    end
+
+  let hincr h = hadd h 1
 end
 
 let mean = function

@@ -27,6 +27,16 @@ module Counters : sig
       inverse of {!to_list}, used when restoring a simulation snapshot
       into live state whose identity (the table itself) is captured by
       hierarchy closures. *)
+
+  type handle
+  (** A pre-resolved bump site for one counter name: the name is hashed
+      on the first bump (and again after a {!clear}/{!restore}, which
+      detach cells), not on every bump. Creating a handle does not
+      create the counter. *)
+
+  val handle : t -> string -> handle
+  val hincr : handle -> unit
+  val hadd : handle -> int -> unit
 end
 
 val mean : float list -> float

@@ -147,64 +147,81 @@ let test_replayed_cycles_bounded () =
           (fine - coarse < interval)
       | _ -> ( (* run shorter than one interval: nothing to replay *) ))
 
+(* Ship [payload] to a forked child through a pipe, resume there, and
+   return the bytes the child rendered. *)
+let restore_in_child ~resume payload =
+  let down_r, down_w = Unix.pipe () and up_r, up_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close down_w;
+    Unix.close up_r;
+    let ic = Unix.in_channel_of_descr down_r in
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    let rendered =
+      match resume (Buffer.contents buf) () with
+      | Ok r -> proj r
+      | Error e -> "resume failed: " ^ Snapshot.error_message e
+    in
+    let oc = Unix.out_channel_of_descr up_w in
+    output_string oc rendered;
+    flush oc;
+    Stdlib.exit 0
+  | pid ->
+    Unix.close down_r;
+    Unix.close up_w;
+    let oc = Unix.out_channel_of_descr down_w in
+    output_string oc payload;
+    flush oc;
+    close_out oc;
+    let ic = Unix.in_channel_of_descr up_r in
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.fail "child process failed");
+    Buffer.contents buf
+
 let test_restore_in_fresh_process () =
   (* The snapshot's contract is process-independence: ship a payload to
      a brand-new process through a pipe and the continuation there must
-     render the same bytes the uninterrupted parent run did. *)
-  let system = Pipeline.l0_system () in
-  let loop = List.hd (Lazy.force kernels) in
-  match combo system loop with
-  | None -> Alcotest.fail "l0 could not schedule the first corpus kernel"
-  | Some (run, resume) ->
-    let plain = run () in
-    let saved = ref [] in
-    ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ());
-    let payload =
-      match !saved with
-      | p :: _ -> p (* the last checkpoint *)
-      | [] -> Alcotest.fail "no checkpoint captured"
-    in
-    let down_r, down_w = Unix.pipe () and up_r, up_w = Unix.pipe () in
-    (match Unix.fork () with
-    | 0 ->
-      Unix.close down_w;
-      Unix.close up_r;
-      let ic = Unix.in_channel_of_descr down_r in
-      let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf ic 1
-         done
-       with End_of_file -> ());
-      let rendered =
-        match resume (Buffer.contents buf) () with
-        | Ok r -> proj r
-        | Error e -> "resume failed: " ^ Snapshot.error_message e
+     render the same bytes the uninterrupted parent run did. Every
+     hierarchy family runs, so the child decodes each flat snapshot
+     section shape (UNI0/L1C1/L0B1, MSI1, ATT0/BUS0) from scratch. *)
+  let tested = ref 0 in
+  List.iter
+    (fun system ->
+      let rec first = function
+        | [] -> None
+        | loop :: rest -> (
+          match combo system loop with Some c -> Some c | None -> first rest)
       in
-      let oc = Unix.out_channel_of_descr up_w in
-      output_string oc rendered;
-      flush oc;
-      Stdlib.exit 0
-    | pid ->
-      Unix.close down_r;
-      Unix.close up_w;
-      let oc = Unix.out_channel_of_descr down_w in
-      output_string oc payload;
-      flush oc;
-      close_out oc;
-      let ic = Unix.in_channel_of_descr up_r in
-      let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf ic 1
-         done
-       with End_of_file -> ());
-      close_in ic;
-      (match Unix.waitpid [] pid with
-      | _, Unix.WEXITED 0 -> ()
-      | _ -> Alcotest.fail "child process failed");
-      check_string "fresh-process continuation is byte-identical"
-        (proj plain) (Buffer.contents buf))
+      match first (Lazy.force kernels) with
+      | None -> ()
+      | Some (run, resume) -> (
+        let plain = run () in
+        let saved = ref [] in
+        ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ());
+        match !saved with
+        | [] -> ()
+        | payload :: _ ->
+          incr tested;
+          check_string
+            (system.Pipeline.label
+            ^ ": fresh-process continuation is byte-identical")
+            (proj plain)
+            (restore_in_child ~resume:(fun p () -> resume p ()) payload)))
+    (systems ());
+  check "every hierarchy family restored in a fresh process" true (!tested >= 4)
 
 let test_sanitizer_strict_across_restore () =
   (* Strict-mode invariants must hold on both sides of the boundary: a
@@ -269,6 +286,56 @@ let test_snapshot_guard_rejects_foreign_and_damaged () =
       | Ok _ -> Alcotest.fail "garbage payload was accepted")
     | None -> assert false)
   | _ -> Alcotest.fail "corpus too small"
+
+let flip_payload_byte payload pos =
+  let b = Bytes.of_string payload in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  Bytes.to_string b
+
+let test_single_byte_flip_typed_damaged () =
+  (* A real captured payload with exactly one byte flipped at a
+     structural position — the leading magic, the section tag guarding
+     the flat hierarchy planes, the trailing end marker — must be
+     refused with a typed [Damaged], never an exception and never a
+     silent acceptance. A one-byte truncation is Damaged too. *)
+  each_combo (fun ~label ~run ~resume ->
+      let saved = ref [] in
+      ignore (run ~checkpoint:(interval, fun p -> saved := p :: !saved) ());
+      match !saved with
+      | [] -> () (* run shorter than one interval: nothing to corrupt *)
+      | payload :: _ ->
+        let find tag =
+          let rec scan i =
+            if i + 4 > String.length payload then
+              Alcotest.fail (label ^ ": payload has no " ^ tag ^ " section")
+            else if String.sub payload i 4 = tag then i
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        let expect_damaged what p =
+          match resume p () with
+          | Error (Snapshot.Damaged _) -> ()
+          | Error e ->
+            Alcotest.fail
+              (Printf.sprintf "%s: %s: expected Damaged, got %s" label what
+                 (Snapshot.error_message e))
+          | Ok _ ->
+            Alcotest.fail
+              (Printf.sprintf "%s: %s was accepted" label what)
+        in
+        List.iter
+          (fun (what, pos) ->
+            expect_damaged
+              (Printf.sprintf "one flipped byte (%s)" what)
+              (flip_payload_byte payload pos))
+          [
+            ("magic", 0);
+            ("hierarchy section tag", find "HIER" + 1);
+            ("end marker", String.length payload - 1);
+          ];
+        expect_damaged "one-byte truncation"
+          (String.sub payload 0 (String.length payload - 1)))
 
 (* ---- checkpoint files: last intact frame wins --------------------- *)
 
@@ -466,6 +533,8 @@ let suite =
         `Quick test_sanitizer_strict_across_restore;
       Alcotest.test_case "guard rejects foreign and damaged snapshots"
         `Quick test_snapshot_guard_rejects_foreign_and_damaged;
+      Alcotest.test_case "single flipped byte is a typed Damaged" `Quick
+        test_single_byte_flip_typed_damaged;
       Alcotest.test_case "checkpoint file: last intact frame wins" `Quick
         test_read_last_file_survives_damage;
       Alcotest.test_case "journal replay modes" `Quick

@@ -132,13 +132,13 @@ let test_l0_insert_lookup () =
   L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x50 }) ~gran:2
     ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "ABCDEFGH");
   (match L0_buffer.lookup buf ~now:1 ~addr:0x52 ~width:2 with
-  | Some e ->
+  | ix when ix >= 0 ->
     Alcotest.(check int64) "data at slot"
       (Int64.of_int ((Char.code 'D' lsl 8) lor Char.code 'C'))
-      (L0_buffer.read_entry e ~geometry ~addr:0x52 ~width:2)
-  | None -> Alcotest.fail "expected hit");
+      (L0_buffer.read_entry buf ix ~addr:0x52 ~width:2)
+  | _ -> Alcotest.fail "expected hit");
   check "outside subblock misses" true
-    (L0_buffer.lookup buf ~now:2 ~addr:0x58 ~width:2 = None)
+    (L0_buffer.lookup buf ~now:2 ~addr:0x58 ~width:2 < 0)
 
 let test_l0_capacity_lru () =
   let buf = fresh_buffer ~capacity:(Some 2) () in
@@ -153,9 +153,9 @@ let test_l0_capacity_lru () =
   insert 0x10;
   check_int "capacity respected" 2 (L0_buffer.entry_count buf);
   check "0x00 survives (recently used)" true
-    (L0_buffer.peek buf ~addr:0x00 ~width:2 <> None);
-  check "0x08 evicted" true (L0_buffer.peek buf ~addr:0x08 ~width:2 = None);
-  check "0x10 present" true (L0_buffer.peek buf ~addr:0x10 ~width:2 <> None)
+    (L0_buffer.peek buf ~addr:0x00 ~width:2 >= 0);
+  check "0x08 evicted" true (L0_buffer.peek buf ~addr:0x08 ~width:2 < 0);
+  check "0x10 present" true (L0_buffer.peek buf ~addr:0x10 ~width:2 >= 0)
 
 let test_l0_unbounded () =
   let buf = fresh_buffer ~capacity:None () in
@@ -190,10 +190,10 @@ let test_l0_store_update_and_intra_cluster_coherence () =
   check "store updated a copy" true updated;
   check_int "other copy invalidated" 1 (L0_buffer.entry_count buf);
   match L0_buffer.peek buf ~addr:0x00 ~width:2 with
-  | Some e ->
+  | ix when ix >= 0 ->
     Alcotest.(check int64) "updated value visible" 0x1234L
-      (L0_buffer.read_entry e ~geometry ~addr:0x00 ~width:2)
-  | None -> Alcotest.fail "updated copy must remain"
+      (L0_buffer.read_entry buf ix ~addr:0x00 ~width:2)
+  | _ -> Alcotest.fail "updated copy must remain"
 
 let test_l0_store_update_misses_cleanly () =
   let buf = fresh_buffer () in
@@ -223,32 +223,34 @@ let test_l0_interleaved_read () =
     ~mapping:(L0_buffer.Interleaved { block = 0x40; gran = 2; lane = 1 })
     ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:0 ~data;
   (match L0_buffer.lookup buf ~now:1 ~addr:(0x40 + 18) ~width:2 with
-  | Some e ->
+  | ix when ix >= 0 ->
     (* Element index 2 of the lane -> data bytes 4,5 = 'e','f'. *)
     Alcotest.(check int64) "third element"
       (Int64.of_int ((Char.code 'f' lsl 8) lor Char.code 'e'))
-      (L0_buffer.read_entry e ~geometry ~addr:(0x40 + 18) ~width:2)
-  | None -> Alcotest.fail "lane should cover block offset 18");
+      (L0_buffer.read_entry buf ix ~addr:(0x40 + 18) ~width:2)
+  | _ -> Alcotest.fail "lane should cover block offset 18");
   check "other lane's element misses" true
-    (L0_buffer.lookup buf ~now:2 ~addr:(0x40 + 4) ~width:2 = None)
+    (L0_buffer.lookup buf ~now:2 ~addr:(0x40 + 4) ~width:2 < 0)
 
 let test_l0_edge_triggers () =
   let buf = fresh_buffer () in
   L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 0x00 }) ~gran:2
     ~prefetch:Hint.Positive ~ready_at:0 ~data:(data_of_string "AAAAAAAA");
-  let entry = Option.get (L0_buffer.peek buf ~addr:0x00 ~width:2) in
+  let ix = L0_buffer.peek buf ~addr:0x00 ~width:2 in
+  check "entry present" true (ix >= 0);
   check "first element: no positive trigger" true
-    (L0_buffer.edge_trigger entry ~geometry ~addr:0x00 = None);
+    (L0_buffer.edge_trigger buf ix ~addr:0x00 = None);
   check "last element triggers next" true
-    (L0_buffer.edge_trigger entry ~geometry ~addr:0x06 = Some `Next);
+    (L0_buffer.edge_trigger buf ix ~addr:0x06 = Some `Next);
   L0_buffer.invalidate_all buf;
   L0_buffer.insert buf ~now:1 ~mapping:(L0_buffer.Linear { base = 0x08 }) ~gran:2
     ~prefetch:Hint.Negative ~ready_at:1 ~data:(data_of_string "BBBBBBBB");
-  let entry = Option.get (L0_buffer.peek buf ~addr:0x08 ~width:2) in
+  let ix = L0_buffer.peek buf ~addr:0x08 ~width:2 in
+  check "entry present after reinsert" true (ix >= 0);
   check "first element triggers prev" true
-    (L0_buffer.edge_trigger entry ~geometry ~addr:0x08 = Some `Prev);
+    (L0_buffer.edge_trigger buf ix ~addr:0x08 = Some `Prev);
   check "last element: no negative trigger" true
-    (L0_buffer.edge_trigger entry ~geometry ~addr:0x0e = None)
+    (L0_buffer.edge_trigger buf ix ~addr:0x0e = None)
 
 let test_l0_next_mapping () =
   let lin = L0_buffer.Linear { base = 0x40 } in
@@ -272,7 +274,7 @@ let test_l0_lru_eviction_order () =
     L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base }) ~gran:2
       ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(data_of_string "12345678")
   in
-  let present base = L0_buffer.peek buf ~addr:base ~width:2 <> None in
+  let present base = L0_buffer.peek buf ~addr:base ~width:2 >= 0 in
   List.iter insert [ 0x00; 0x08; 0x10; 0x18 ];
   (* Recency (oldest first) is now 0x00 0x08 0x10 0x18; touch them into
      the order 0x18 0x00 0x10 0x08. *)
@@ -308,16 +310,16 @@ let test_l0_capacity_pressure () =
   check_int "bounded holds cap entries" 3 (L0_buffer.entry_count bounded);
   for k = 37 to 39 do
     check "survivors are the most recent" true
-      (L0_buffer.peek bounded ~addr:(8 * k) ~width:2 <> None)
+      (L0_buffer.peek bounded ~addr:(8 * k) ~width:2 >= 0)
   done;
   check "older mappings evicted" true
-    (L0_buffer.peek bounded ~addr:(8 * 36) ~width:2 = None);
+    (L0_buffer.peek bounded ~addr:(8 * 36) ~width:2 < 0);
   check "bounded invariants clean" true (L0_buffer.check_invariants bounded = []);
   let unbounded = churn None 40 in
   check_int "unbounded grew past initial slots" 40
     (L0_buffer.entry_count unbounded);
   check "growth preserved oldest entry" true
-    (L0_buffer.peek unbounded ~addr:0 ~width:2 <> None);
+    (L0_buffer.peek unbounded ~addr:0 ~width:2 >= 0);
   check "unbounded invariants clean" true
     (L0_buffer.check_invariants unbounded = [])
 
@@ -343,7 +345,7 @@ let test_l0_overlap_vs_cover_invalidation () =
     (L0_buffer.store_update buf ~now:5 ~addr:0x00 ~width:4 ~value:0xAABBCCDDL);
   check_int "every overlapped narrow copy dropped" 1 (L0_buffer.entry_count buf);
   check "disjoint subblock untouched" true
-    (L0_buffer.peek buf ~addr:0x40 ~width:2 <> None);
+    (L0_buffer.peek buf ~addr:0x40 ~width:2 >= 0);
   (* invalidate_addr uses the same overlap notion. *)
   check_int "invalidate overlapping subblock" 1
     (L0_buffer.invalidate_addr buf ~addr:0x42 ~width:4);
@@ -369,7 +371,7 @@ let qcheck_l0_props =
         let buf = L0_buffer.create ~geometry ~capacity:(Some 4) in
         L0_buffer.insert buf ~now:0 ~mapping:(L0_buffer.Linear { base = 8 * b })
           ~gran:2 ~prefetch:Hint.No_prefetch ~ready_at:0 ~data:(Bytes.make 8 'x');
-        L0_buffer.lookup buf ~now:1 ~addr:(8 * b) ~width:2 <> None);
+        L0_buffer.lookup buf ~now:1 ~addr:(8 * b) ~width:2 >= 0);
     QCheck.Test.make ~name:"read_entry agrees with source bytes" ~count:100
       QCheck.(pair (int_range 0 3) (int_range 0 3))
       (fun (lane, element) ->
@@ -387,9 +389,9 @@ let qcheck_l0_props =
           ~prefetch:Hint.No_prefetch ~ready_at:0 ~data;
         let addr = ((element * 4) + lane) * gran in
         match L0_buffer.lookup buf ~now:1 ~addr ~width:gran with
-        | None -> false
-        | Some e ->
-          L0_buffer.read_entry e ~geometry ~addr ~width:gran
+        | ix when ix < 0 -> false
+        | ix ->
+          L0_buffer.read_entry buf ix ~addr ~width:gran
           = Int64.of_int ((addr + 1) * 256 + addr));
   ]
 

@@ -291,6 +291,56 @@ let test_trips_override () =
   check_int "explicit trips honoured" 10 r.Exec.trips;
   check_int "loads follow" 10 r.Exec.loads
 
+(* Zero-allocation guard for the data-oriented executor: steady-state
+   ticks of the heaviest Mediabench loop must not feed the minor heap.
+   Measured differentially — two runs differing only in trip count, so
+   per-run setup (state creation, schedule compilation into event
+   tables, result assembly) cancels and only the extra steady-state
+   ticks remain. The budget is per *tick*, covers the hierarchy's
+   per-access result records plus Int64 values, and is far below what
+   any list/tuple/closure machinery on the tick path would cost. *)
+let test_steady_state_allocation_budget () =
+  let module Pipeline = Flexl0.Pipeline in
+  let module Mediabench = Flexl0_workloads.Mediabench in
+  let sys = Pipeline.l0_system ~capacity:(Config.Entries 8) () in
+  (* Heaviest loop: most memory accesses per body iteration among the
+     loops that compile for the L0 system. *)
+  let heaviest =
+    List.concat_map
+      (fun (b : Mediabench.benchmark) ->
+        List.filter_map
+          (fun { Mediabench.loop; _ } ->
+            match Pipeline.compile_result sys loop with
+            | Ok sch ->
+              Some (List.length (Loop.memory_accesses loop), loop, sch)
+            | Error _ -> None)
+          b.Mediabench.loops)
+      (Mediabench.all ())
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare b a)
+    |> List.hd
+  in
+  let _, _, sch = heaviest in
+  let measure trips =
+    let m0 = Gc.minor_words () in
+    let r =
+      Exec.run sys.Pipeline.config sch
+        ~hierarchy:(sys.Pipeline.make_hierarchy sys.Pipeline.config)
+        ~trips ~verify:false ()
+    in
+    (Gc.minor_words () -. m0, r.Exec.total_cycles)
+  in
+  ignore (measure 64) (* warm the memory-image cache *);
+  let w1, c1 = measure 200 in
+  let w2, c2 = measure 1200 in
+  check "longer run takes more cycles" true (c2 > c1);
+  let per_tick = (w2 -. w1) /. float_of_int (c2 - c1) in
+  check
+    (Printf.sprintf
+       "steady-state minor words per tick within budget (measured %.2f)"
+       per_tick)
+    true
+    (per_tick <= 32.0)
+
 let suite =
   ( "sim",
     [
@@ -318,4 +368,6 @@ let suite =
       Alcotest.test_case "PSR value coherence" `Quick test_psr_value_coherence;
       Alcotest.test_case "deterministic runs" `Quick test_deterministic_runs;
       Alcotest.test_case "trips override" `Quick test_trips_override;
+      Alcotest.test_case "steady-state allocation budget" `Quick
+        test_steady_state_allocation_budget;
     ] )
