@@ -1,0 +1,208 @@
+(* Optimality-audit perf harness (PR 10).
+
+   Times the exact-backend pipeline the `flexl0 audit` subcommand runs —
+   the branch-and-bound solver itself, the audited Mediabench subset
+   (heuristic + exact + the three certification oracles per cell) and
+   the fuzz-corpus slice — and writes BENCH_PR10.json at the repo root,
+   before/after against the committed bench/perf_baseline_pr10.txt.
+
+   Reuses Perf's measurement kit (best-of-repeat wall time, allocation
+   and GC word counts; "name wall alloc minor major" baseline lines) so
+   the trend files stay format-compatible across PRs. [--gate STAGE]
+   fails on allocation regressions against the committed baseline with
+   the same 10% headroom perf uses — allocation is deterministic across
+   machines, wall time on shared runners is not. Independently of the
+   gates, a model bug or given-up cell in either audit stage hard-fails
+   the run: a perf number for a broken audit is worthless. *)
+
+module Config = Flexl0_arch.Config
+module Audit = Flexl0.Audit
+module Scheme = Flexl0_sched.Scheme
+module Exact = Flexl0_sched.Exact
+module Mediabench = Flexl0_workloads.Mediabench
+
+(* The subset is two suites: big enough to exercise every verdict path
+   (recurrence- and resource-bound loops, gapped and tight cells),
+   small enough for a time-boxed CI stage. *)
+let bench_subset = [ "g721dec"; "gsmdec" ]
+
+let subset_loops () =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun wl -> wl.Mediabench.loop)
+        (Mediabench.find name).Mediabench.loops)
+    bench_subset
+
+(* Raw solver cost: every subset loop under every audited scheme, no
+   heuristic run and no certification — isolates the search itself. *)
+let solver_stage () =
+  let loops = subset_loops () in
+  List.iter
+    (fun loop ->
+      List.iter
+        (fun scheme ->
+          ignore (Exact.solve Config.default scheme ~budget:20_000 loop))
+        Audit.schemes)
+    loops
+
+let check name (s : Audit.summary) =
+  if s.Audit.s_model_bugs > 0 || s.Audit.s_skipped <> [] then begin
+    Printf.eprintf "audit bench: %s stage found %d model bugs, %d skips\n%!"
+      name s.Audit.s_model_bugs
+      (List.length s.Audit.s_skipped);
+    exit 3
+  end
+
+let audit_bench_stage () =
+  check "audit-bench"
+    (Audit.run_seq ~benchmarks:bench_subset ~fuzz_cases:0 ())
+
+(* [~benchmarks:[]] keeps no suite: the stage is the fuzz corpus only. *)
+let audit_fuzz_stage () =
+  check "audit-fuzz" (Audit.run_seq ~benchmarks:[] ~fuzz_cases:6 ())
+
+(* ------------------------------------------------------------------ *)
+
+let json_sample b = function
+  | None -> Buffer.add_string b "null"
+  | Some (s : Perf.sample) ->
+    Printf.bprintf b
+      "{\"wall_s\": %.6f, \"alloc_mb\": %.3f, \"minor_words\": %.0f, \
+       \"major_words\": %.0f}"
+      s.Perf.wall_s
+      (s.Perf.alloc_bytes /. 1048576.)
+      s.Perf.minor_words s.Perf.major_words
+
+let emit_json ~path ~baseline (stages : Perf.stage list) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "{\n  \"pr\": 10,\n  \"workloads\": \"optimality audit: g721dec+gsmdec \
+     x 3 schemes + fuzz seed=42 cases=6, exact solver budget=20k\",\n  \
+     \"stages\": [\n";
+  let before name = List.assoc_opt name baseline in
+  List.iteri
+    (fun i (s : Perf.stage) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"before\": " s.Perf.sname;
+      json_sample b (before s.Perf.sname);
+      Buffer.add_string b ", \"after\": ";
+      json_sample b (Some s.Perf.sample);
+      Buffer.add_string b ", \"speedup\": ";
+      (match before s.Perf.sname with
+      | Some (bs : Perf.sample) when s.Perf.sample.Perf.wall_s > 0.0 ->
+        Printf.bprintf b "%.3f" (bs.Perf.wall_s /. s.Perf.sample.Perf.wall_s)
+      | _ -> Buffer.add_string b "null");
+      Buffer.add_string b "}";
+      if i < List.length stages - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    stages;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+
+let default_out = "BENCH_PR10.json"
+let default_baseline = "bench/perf_baseline_pr10.txt"
+
+let run ?(out = default_out) ?(baseline = default_baseline)
+    ?(save_baseline_to = None) ?(repeat = 1) ?(gates = []) () =
+  Printf.printf "== audit: exact-backend wall-time + allocation ==\n%!";
+  let stages =
+    [
+      ("solver", solver_stage);
+      ("audit-bench", audit_bench_stage);
+      ("audit-fuzz", audit_fuzz_stage);
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, f) ->
+        let s = Perf.time_stage name ~repeat f in
+        Printf.printf
+          "  %-12s %8.3f s  %10.1f MB allocated  %12.0f minor / %10.0f \
+           major words\n%!"
+          name s.Perf.sample.Perf.wall_s
+          (s.Perf.sample.Perf.alloc_bytes /. 1048576.)
+          s.Perf.sample.Perf.minor_words s.Perf.sample.Perf.major_words;
+        s)
+      stages
+  in
+  (match save_baseline_to with
+  | Some path -> Perf.save_baseline path measured
+  | None -> ());
+  let base = Perf.load_baseline baseline in
+  emit_json ~path:out ~baseline:base measured;
+  let failed =
+    List.filter
+      (fun gate ->
+        match
+          ( List.find_opt (fun (s : Perf.stage) -> s.Perf.sname = gate)
+              measured,
+            List.assoc_opt gate base )
+        with
+        | Some s, Some (b : Perf.sample) ->
+          let limit = b.Perf.alloc_bytes *. 1.10 in
+          let bad = s.Perf.sample.Perf.alloc_bytes > limit in
+          Printf.printf
+            "  gate %-12s alloc %.1f MB vs reference %.1f MB (limit %.1f): \
+             %s\n%!"
+            gate
+            (s.Perf.sample.Perf.alloc_bytes /. 1048576.)
+            (b.Perf.alloc_bytes /. 1048576.)
+            (limit /. 1048576.)
+            (if bad then "FAIL" else "ok");
+          bad
+        | None, _ ->
+          Printf.printf "  gate %-12s unknown stage: FAIL\n%!" gate;
+          true
+        | _, None ->
+          Printf.printf "  gate %-12s has no reference entry in %s: FAIL\n%!"
+            gate baseline;
+          true)
+      gates
+  in
+  if failed <> [] then begin
+    Printf.eprintf "audit bench: allocation gate failed for: %s\n%!"
+      (String.concat ", " failed);
+    exit 3
+  end
+
+let main args =
+  let out = ref default_out in
+  let baseline = ref default_baseline in
+  let save = ref None in
+  let repeat = ref 1 in
+  let gates = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--baseline" :: v :: rest ->
+      baseline := v;
+      parse rest
+    | "--save-baseline" :: rest ->
+      save := Some default_baseline;
+      parse rest
+    | "--save-baseline-to" :: v :: rest ->
+      save := Some v;
+      parse rest
+    | "--repeat" :: v :: rest ->
+      repeat := int_of_string v;
+      parse rest
+    | "--gate" :: v :: rest ->
+      gates := !gates @ [ v ];
+      parse rest
+    | a :: _ ->
+      Printf.eprintf
+        "audit: unknown argument %S (known: --out PATH --baseline PATH \
+         --save-baseline --save-baseline-to PATH --repeat N --gate STAGE)\n"
+        a;
+      exit 2
+  in
+  parse args;
+  run ~out:!out ~baseline:!baseline ~save_baseline_to:!save ~repeat:!repeat
+    ~gates:!gates ()

@@ -13,7 +13,9 @@
      dune exec bench/main.exe serve ...  # daemon + fleet batch perf;
                                            writes BENCH_PR7.json (Serve_perf)
      dune exec bench/main.exe ckpt ...   # checkpoint overhead + recovery;
-                                           writes BENCH_PR8.json (Ckpt_perf) *)
+                                           writes BENCH_PR8.json (Ckpt_perf)
+     dune exec bench/main.exe audit ...  # exact-backend solver + audit perf;
+                                           writes BENCH_PR10.json (Audit_perf) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -156,6 +158,7 @@ let () =
   | "perf" :: rest -> Perf.main rest
   | "serve" :: rest -> Serve_perf.main rest
   | "ckpt" :: rest -> Ckpt_perf.main rest
+  | "audit" :: rest -> Audit_perf.main rest
   | names ->
     List.iter
       (fun name ->
@@ -163,7 +166,7 @@ let () =
         | Some (_, _, f) -> f ()
         | None ->
           Printf.eprintf
-            "unknown artifact %S; known: %s timings perf serve ckpt\n"
+            "unknown artifact %S; known: %s timings perf serve ckpt audit\n"
             name
             (String.concat " " (List.map (fun (n, _, _) -> n) artifacts));
           exit 2)

@@ -6,6 +6,7 @@ module Mediabench = Flexl0_workloads.Mediabench
 module Pipeline = Flexl0.Pipeline
 module Experiments = Flexl0.Experiments
 module Report = Flexl0.Report
+module Audit = Flexl0.Audit
 module Engine = Flexl0_sched.Engine
 module Exec = Flexl0_sim.Exec
 module Fault = Flexl0_sim.Fault
@@ -265,6 +266,157 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Machine configuration (Table 2)")
     Term.(const run $ const ())
 
+(* Optimality audit: heuristic vs the exact backend, under the
+   supervised runner. The gate file pins a committed reference so CI
+   fails on a gap regression (fewer certified-optimal cells, or more /
+   larger heuristic gaps) rather than on absolute thresholds. *)
+let audit_cmd =
+  let cmd = "audit" in
+  let gate_of_summary (s : Audit.summary) =
+    Printf.sprintf "cells %d\noptimal %d\ngap_sum %d\nmax_gap %d\n"
+      s.Audit.s_total s.Audit.s_optimal s.Audit.s_gap_sum s.Audit.s_max_gap
+  in
+  let read_gate path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let tbl = Hashtbl.create 8 in
+        (try
+           while true do
+             match String.split_on_char ' ' (String.trim (input_line ic)) with
+             | [ k; v ] -> Hashtbl.replace tbl k (int_of_string v)
+             | [ "" ] | [] -> ()
+             | _ -> failwith ("unreadable gate line in " ^ path)
+           done
+         with End_of_file -> ());
+        let get k =
+          match Hashtbl.find_opt tbl k with
+          | Some v -> v
+          | None -> failwith (Printf.sprintf "gate file %s lacks %S" path k)
+        in
+        (get "cells", get "optimal", get "gap_sum", get "max_gap"))
+  in
+  let check_gate path (s : Audit.summary) =
+    let cells, optimal, gap_sum, max_gap = read_gate path in
+    let complaints = ref [] in
+    let complain fmt = Printf.ksprintf (fun m -> complaints := m :: !complaints) fmt in
+    if s.Audit.s_total <> cells then
+      complain "cell count %d differs from reference %d (run the same \
+                subjects as the committed gate)" s.Audit.s_total cells;
+    if s.Audit.s_optimal < optimal then
+      complain "optimal cells regressed: %d < reference %d" s.Audit.s_optimal
+        optimal;
+    if s.Audit.s_gap_sum > gap_sum then
+      complain "summed optimality gap regressed: %d > reference %d"
+        s.Audit.s_gap_sum gap_sum;
+    if s.Audit.s_max_gap > max_gap then
+      complain "max optimality gap regressed: %d > reference %d"
+        s.Audit.s_max_gap max_gap;
+    if s.Audit.s_model_bugs > 0 then
+      complain "%d model bugs: an oracle rejected an exact schedule"
+        s.Audit.s_model_bugs;
+    if s.Audit.s_skipped <> [] then
+      complain "%d audit jobs gave up" (List.length s.Audit.s_skipped);
+    List.rev !complaints
+  in
+  let run names budget fuzz_cases fuzz_seed csv figure gate save_gate strict
+      jobs timeout retries run_id resume resync =
+    protect ~cmd (fun () ->
+        if budget < 1 then die ~cmd "--budget must be at least 1";
+        if fuzz_cases < 0 then die ~cmd "--fuzz-cases must not be negative";
+        let benchmarks =
+          match names with
+          | [] -> None
+          | ns ->
+            List.iter (fun n -> ignore (find_benchmark ~cmd n)) ns;
+            Some ns
+        in
+        let runner =
+          runner_config ~cmd
+            ~journal_dir:(Some (Filename.concat "runs" run_id))
+            ~resync jobs timeout retries resume
+        in
+        let summary =
+          Audit.run ~budget ?benchmarks ~fuzz_seed ~fuzz_cases ~runner ()
+        in
+        Report.print_audit summary;
+        (match csv with
+        | Some path ->
+          Csv_export.save ~path (Audit.to_csv summary);
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        (match figure with
+        | Some path ->
+          Csv_export.save ~path (Audit.gap_figure summary);
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        (match save_gate with
+        | Some path ->
+          Csv_export.save ~path (gate_of_summary summary);
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        let complaints =
+          match gate with Some path -> check_gate path summary | None -> []
+        in
+        List.iter
+          (fun m -> Printf.eprintf "flexl0 %s: gate: %s\n" cmd m)
+          complaints;
+        if complaints <> [] then exit 1;
+        if strict && not (Audit.passed summary) then begin
+          Printf.eprintf
+            "flexl0 %s: --strict: audit failed its acceptance bar\n" cmd;
+          exit 1
+        end)
+  in
+  let budget =
+    Arg.(value & opt int Flexl0_sched.Exact.default_budget
+         & info [ "budget" ] ~docv:"NODES"
+             ~doc:"Per-II node budget for the exact search (a node is one \
+                   placement attempt); deterministic, no wall clock.")
+  in
+  let fuzz_cases =
+    Arg.(value & opt int 12 & info [ "fuzz-cases" ] ~docv:"N"
+           ~doc:"Size of the deterministic fuzz corpus audited alongside \
+                 Mediabench (0 disables it).")
+  in
+  let fuzz_seed =
+    Arg.(value & opt int 42 & info [ "fuzz-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the fuzz corpus.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH"
+           ~doc:"Write the per-cell audit rows (II pair, gap, MII \
+                 breakdown, oracle verdicts) as CSV.")
+  in
+  let figure =
+    Arg.(value & opt (some string) None & info [ "figure" ] ~docv:"PATH"
+           ~doc:"Write the plottable gap figure \
+                 (scheme,loop,heuristic_ii,exact_ii,gap) as CSV.")
+  in
+  let gate =
+    Arg.(value & opt (some string) None & info [ "gate" ] ~docv:"FILE"
+           ~doc:"Compare against a committed reference written by \
+                 --save-gate and exit 1 on any gap regression, model bug \
+                 or given-up job.")
+  in
+  let save_gate =
+    Arg.(value & opt (some string) None & info [ "save-gate" ] ~docv:"FILE"
+           ~doc:"Write this run's aggregate as the reference for --gate.")
+  in
+  Cmd.v
+    (Cmd.info cmd
+       ~doc:"Optimality audit: schedule every Mediabench inner loop (and a \
+             seeded fuzz corpus) with both the heuristic and the exact \
+             backend across the three distributed schemes, certify every \
+             exact schedule against the validator, verifier and Strict \
+             sanitizer, and report the heuristic's optimality gaps with \
+             their ResMII/RecMII attribution")
+    Term.(const run $ benchmarks_arg $ budget $ fuzz_cases $ fuzz_seed $ csv
+          $ figure $ gate $ save_gate $ strict_arg $ jobs_arg $ timeout_arg
+          $ retries_arg $ run_id_arg "audit" $ resume_arg
+          $ resync_journal_arg)
+
 let extras_cmd =
   let cmd = "extras" in
   let run () = protect ~cmd (fun () -> Report.print_extras (Experiments.extras ())) in
@@ -463,8 +615,8 @@ let faults_cmd =
 
 let fuzz_cmd =
   let cmd = "fuzz" in
-  let run seed cases specs fault_seed mode max_seconds repro_out jobs timeout
-      retries run_id resume =
+  let run seed cases specs fault_seed mode backend max_seconds repro_out jobs
+      timeout retries run_id resume =
     protect ~cmd (fun () ->
         let sanitizer =
           match Sanitizer.mode_of_string mode with
@@ -492,6 +644,11 @@ let fuzz_cmd =
         print_string
           (Proto.fuzz_header ~seed ~cases ~systems:(List.length systems)
              ~sanitizer);
+        if backend = Engine.Exact then
+          print_string
+            "backend: exact (differential mode) — schedules are \
+             solver-certified, so any failure below is a model bug, not a \
+             kernel bug; the PSR system is skipped\n";
         (match faults with
         | Some p ->
           Printf.printf "fault plan (%s, per-case seeds from --seed): %s\n"
@@ -513,7 +670,7 @@ let fuzz_cmd =
                 ~journal_dir:(Some (Filename.concat "runs" run_id))
                 jobs timeout retries resume
             in
-            Campaign.fuzz ?faults ~sanitizer ~runner ~seed ~cases ()
+            Campaign.fuzz ~backend ?faults ~sanitizer ~runner ~seed ~cases ()
           end
           else begin
             let start = Sys.time () in
@@ -522,7 +679,8 @@ let fuzz_cmd =
               | None -> true
               | Some s -> Sys.time () -. start < s
             in
-            (Fuzz.run ?faults ~sanitizer ~keep_going ~seed ~cases (), [])
+            (Fuzz.run ~backend ?faults ~sanitizer ~keep_going ~seed ~cases (),
+             [])
           end
         in
         if gave_up <> [] then
@@ -543,7 +701,7 @@ let fuzz_cmd =
           else print_string (Proto.fuzz_verdict report)
         | f :: _ ->
           print_string (Proto.fuzz_verdict report);
-          let shrunk = Fuzz.shrink ~sanitizer f in
+          let shrunk = Fuzz.shrink ~backend ~sanitizer f in
           let instrs = Fuzz.instruction_count shrunk in
           let comment =
             Printf.sprintf "shrunk fuzz reproducer: %s on %s (seed %d, case %d)%s"
@@ -571,6 +729,12 @@ let fuzz_cmd =
           if breaking then
             Printf.printf
               "\ncoherence-breaking plan detected and shrunk, as it should be\n"
+          else if backend = Engine.Exact then
+            die ~cmd
+              "%d MODEL BUG%s — the solver certified schedules the machine \
+               model rejects; reproducer above"
+              (List.length report.Fuzz.r_failures)
+              (if List.length report.Fuzz.r_failures = 1 then "" else "S")
           else
             die ~cmd "%d differential failure%s — reproducer above"
               (List.length report.Fuzz.r_failures)
@@ -600,6 +764,17 @@ let fuzz_cmd =
     Arg.(value & opt string "strict" & info [ "mode" ] ~docv:"MODE"
            ~doc:"Sanitizer mode: off, log or strict.")
   in
+  let backend =
+    Arg.(value
+         & opt (enum [ ("heuristic", Engine.Heuristic); ("exact", Engine.Exact) ])
+             Engine.Heuristic
+         & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Scheduler backend. With $(b,exact), every kernel is \
+                 scheduled by the branch-and-bound solver and a sanitizer \
+                 or verifier failure is reported as a model bug (solver \
+                 and simulator disagree about the machine), not a kernel \
+                 bug.")
+  in
   let max_seconds =
     Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S"
            ~doc:"Stop starting new cases after S seconds of CPU time \
@@ -614,8 +789,8 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random kernels over every scheme and \
              hierarchy under the invariant sanitizer, with automatic \
              shrinking of any failure")
-    Term.(const run $ seed $ cases $ specs $ fault_seed $ mode $ max_seconds
-          $ repro_out $ jobs_arg $ timeout_arg $ retries_arg
+    Term.(const run $ seed $ cases $ specs $ fault_seed $ mode $ backend
+          $ max_seconds $ repro_out $ jobs_arg $ timeout_arg $ retries_arg
           $ run_id_arg "fuzz" $ resume_arg)
 
 let export_cmd =
@@ -706,22 +881,40 @@ let print_response ~cmd = function
 
 let schedule_cmd =
   let cmd = "schedule" in
-  let run bench_name system =
+  let run bench_name system mii =
     protect ~cmd (fun () ->
         let b = find_benchmark ~cmd bench_name in
         let spec = resolve_spec ~cmd system in
+        (* [--mii] recompiles outside the Proto path and appends one line
+           per loop, leaving the cached/daemon-shared dump bytes alone. *)
+        let sys = if mii then Some (Proto.system spec) else None in
         List.iter
           (fun { Mediabench.loop; repeat = _ } ->
-            print_response ~cmd (Proto.handle (Proto.Compile { spec; loop })))
+            print_response ~cmd (Proto.handle (Proto.Compile { spec; loop }));
+            match sys with
+            | None -> ()
+            | Some sys -> (
+              match Pipeline.compile_result sys loop with
+              | Ok sch ->
+                print_endline
+                  (Flexl0_sched.Schedule.mii_line sys.Pipeline.config sch)
+              | Error _ -> ()))
           b.Mediabench.loops)
   in
   let bench =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
   in
+  let mii =
+    Arg.(value & flag
+         & info [ "mii" ]
+             ~doc:"After each schedule, print its MII breakdown: ResMII vs \
+                   RecMII, the binding resource class, and the achieved \
+                   II's slack over the bound.")
+  in
   Cmd.v
     (Cmd.info cmd
        ~doc:"Print the schedules of a benchmark's inner loops")
-    Term.(const run $ bench $ system_arg)
+    Term.(const run $ bench $ system_arg $ mii)
 
 let cell_cmd =
   let cmd = "cell" in
@@ -1276,6 +1469,7 @@ let () =
        (Cmd.group info
           [
             fig5_cmd; fig6_cmd; fig7_cmd; figures_cmd; table1_cmd; table2_cmd;
+            audit_cmd;
             extras_cmd; sensitivity_cmd; ablation_cmd; export_cmd; all_cmd;
             schedule_cmd; cell_cmd; trace_cmd; faults_cmd; fuzz_cmd;
             serve_cmd; client_cmd; fleet_cmd; chaos_cmd;

@@ -1,0 +1,265 @@
+open Flexl0_ir
+open Flexl0_sched
+module Sanitizer = Flexl0_mem.Sanitizer
+module Mediabench = Flexl0_workloads.Mediabench
+module Fuzz = Flexl0_workloads.Fuzz
+
+type row = {
+  a_source : string;
+  a_loop : string;
+  a_scheme : string;
+  a_res_mii : int;
+  a_rec_mii : int;
+  a_binding : string;
+  a_lower : int;
+  a_heuristic_ii : int option;
+  a_exact_ii : int option;
+  a_verdict : string;
+  a_nodes : int;
+  a_gap : int option;
+  a_failures : string list;
+}
+
+type summary = {
+  s_rows : row list;
+  s_total : int;
+  s_optimal : int;
+  s_gapped : int;
+  s_max_gap : int;
+  s_gap_sum : int;
+  s_model_bugs : int;
+  s_skipped : Runner.skip list;
+}
+
+let schemes =
+  [ Scheme.L0 { selective = true }; Scheme.Multivliw;
+    Scheme.Interleaved_locality ]
+
+let system_for ~backend scheme =
+  match (scheme : Scheme.t) with
+  | Scheme.L0 _ -> Pipeline.l0_system ~backend ()
+  | Scheme.Multivliw -> Pipeline.multivliw_system ~backend ()
+  | Scheme.Interleaved_locality ->
+    Pipeline.interleaved_system ~backend ~locality:true ()
+  | Scheme.Interleaved_naive ->
+    Pipeline.interleaved_system ~backend ~locality:false ()
+  | Scheme.Base_unified -> Pipeline.baseline_system ~backend ()
+
+(* Execute one exact schedule under every oracle we have: the static
+   validator, the differential value verifier and the Strict sanitizer.
+   Any complaint is a *model bug* — a schedule the exact backend claims
+   legal that the machine model rejects — and is reported verbatim. *)
+let certify sys sch =
+  let cfg = sys.Pipeline.config in
+  match Schedule.validate cfg sch with
+  | Error e -> [ "validate: " ^ e ]
+  | Ok () -> (
+    match
+      Pipeline.run_schedule sys ~verify:true ~sanitizer:Sanitizer.Strict sch
+    with
+    | res ->
+      if res.Flexl0_sim.Exec.value_mismatches > 0 then
+        [ Printf.sprintf "verifier: %d value mismatches"
+            res.Flexl0_sim.Exec.value_mismatches ]
+      else []
+    | exception Sanitizer.Violation v ->
+      [ "sanitizer: " ^ Sanitizer.violation_message v ]
+    | exception Flexl0_sim.Exec.Watchdog_timeout _ -> [ "watchdog timeout" ]
+    | exception (Invalid_argument m | Failure m) -> [ "crash: " ^ m ])
+
+let audit_one ~budget ~source ~label (loop : Loop.t) scheme =
+  let sys = system_for ~backend:Engine.Exact scheme in
+  let cfg = sys.Pipeline.config and coherence = sys.Pipeline.coherence in
+  let bd = Exact.lower_breakdown cfg scheme ~coherence loop in
+  let heuristic_ii =
+    match Engine.schedule_opt cfg scheme ~coherence loop with
+    | Ok sch -> Some sch.Schedule.ii
+    | Error _ -> None
+  in
+  let base =
+    {
+      a_source = source;
+      a_loop = label;
+      a_scheme = Scheme.to_string scheme;
+      a_res_mii = bd.Mii.bd_res;
+      a_rec_mii = bd.Mii.bd_rec;
+      a_binding = Mii.binding_to_string bd.Mii.bd_binding;
+      a_lower = max 1 (max bd.Mii.bd_res bd.Mii.bd_rec);
+      a_heuristic_ii = heuristic_ii;
+      a_exact_ii = None;
+      a_verdict = "infeasible";
+      a_nodes = 0;
+      a_gap = None;
+      a_failures = [];
+    }
+  in
+  match Exact.solve cfg scheme ~coherence ~budget loop with
+  | Error _ -> base
+  | Ok r ->
+    let exact_ii =
+      Option.map (fun s -> s.Schedule.ii) r.Exact.exact_schedule
+    in
+    let gap =
+      match (heuristic_ii, exact_ii) with
+      | Some h, Some e -> Some (h - e)
+      | _ -> None
+    in
+    let failures =
+      match r.Exact.exact_schedule with
+      | None -> []
+      | Some sch -> certify sys sch
+    in
+    {
+      base with
+      a_lower = r.Exact.exact_lower;
+      a_exact_ii = exact_ii;
+      a_verdict = Exact.verdict_to_string r.Exact.exact_verdict;
+      a_nodes = r.Exact.exact_nodes;
+      a_gap = gap;
+      a_failures = failures;
+    }
+
+(* ---- subjects ----------------------------------------------------- *)
+
+let mediabench_subjects benchmarks =
+  let benches =
+    match benchmarks with
+    | Some names ->
+      List.filter
+        (fun (b : Mediabench.benchmark) -> List.mem b.Mediabench.bname names)
+        (Mediabench.all ())
+    | None -> Mediabench.all ()
+  in
+  List.concat_map
+    (fun (b : Mediabench.benchmark) ->
+      List.map
+        (fun wl ->
+          (b.Mediabench.bname ^ "/" ^ wl.Mediabench.loop.Loop.name,
+           wl.Mediabench.loop))
+        b.Mediabench.loops)
+    benches
+
+let fuzz_subjects ~seed ~cases =
+  if cases = 0 then []
+  else
+    List.map
+      (fun (c : Fuzz.case) ->
+        ( Printf.sprintf "fuzz-%d-%04d" seed c.Fuzz.c_index,
+          Fuzz.materialize c.Fuzz.c_kernel ))
+      (Fuzz.plan_cases ~seed ~cases ())
+
+(* ---- the campaign ------------------------------------------------- *)
+
+let summarize rows skipped =
+  let total = List.length rows in
+  let optimal =
+    List.length (List.filter (fun r -> r.a_verdict = "optimal") rows)
+  in
+  let gaps = List.filter_map (fun r -> r.a_gap) rows in
+  let gapped = List.length (List.filter (fun g -> g > 0) gaps) in
+  {
+    s_rows = rows;
+    s_total = total;
+    s_optimal = optimal;
+    s_gapped = gapped;
+    s_max_gap = List.fold_left max 0 gaps;
+    s_gap_sum = List.fold_left ( + ) 0 (List.filter (fun g -> g > 0) gaps);
+    s_model_bugs =
+      List.length (List.filter (fun r -> r.a_failures <> []) rows);
+    s_skipped = skipped;
+  }
+
+let subjects ?benchmarks ~fuzz_seed ~fuzz_cases () =
+  List.map (fun (l, loop) -> ("mediabench", l, loop))
+    (mediabench_subjects benchmarks)
+  @ List.map (fun (l, loop) -> ("fuzz", l, loop))
+      (fuzz_subjects ~seed:fuzz_seed ~cases:fuzz_cases)
+
+let run ?(budget = Exact.default_budget) ?benchmarks ?(fuzz_seed = 42)
+    ?(fuzz_cases = 12) ~runner () =
+  let jobs =
+    List.concat_map
+      (fun (source, label, loop) ->
+        List.map
+          (fun scheme ->
+            Runner.job
+              ~id:
+                (Printf.sprintf "audit-%s-%s" label (Scheme.to_string scheme))
+              (fun ~seed:_ -> audit_one ~budget ~source ~label loop scheme))
+          schemes)
+      (subjects ?benchmarks ~fuzz_seed ~fuzz_cases ())
+  in
+  let rows = ref [] and skipped = ref [] in
+  List.iter
+    (function
+      | Runner.Done row -> rows := row :: !rows
+      | Runner.Gave_up sk -> skipped := sk :: !skipped)
+    (Runner.run runner jobs);
+  summarize (List.rev !rows) (List.rev !skipped)
+
+(* Sequential variant for in-process callers (tests, benches). *)
+let run_seq ?(budget = Exact.default_budget) ?benchmarks ?(fuzz_seed = 42)
+    ?(fuzz_cases = 12) () =
+  let rows =
+    List.concat_map
+      (fun (source, label, loop) ->
+        List.map
+          (fun scheme -> audit_one ~budget ~source ~label loop scheme)
+          schemes)
+      (subjects ?benchmarks ~fuzz_seed ~fuzz_cases ())
+  in
+  summarize rows []
+
+(* ---- CSV ---------------------------------------------------------- *)
+
+let csv_header =
+  [
+    "source"; "loop"; "scheme"; "res_mii"; "rec_mii"; "binding"; "lower";
+    "heuristic_ii"; "exact_ii"; "verdict"; "nodes"; "gap"; "failures";
+  ]
+
+let opt_str = function None -> "" | Some i -> string_of_int i
+
+let to_csv s =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Csv_export.record csv_header);
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Csv_export.record
+           [
+             r.a_source; r.a_loop; r.a_scheme; string_of_int r.a_res_mii;
+             string_of_int r.a_rec_mii; r.a_binding; string_of_int r.a_lower;
+             opt_str r.a_heuristic_ii; opt_str r.a_exact_ii; r.a_verdict;
+             string_of_int r.a_nodes; opt_str r.a_gap;
+             String.concat "; " r.a_failures;
+           ]))
+    s.s_rows;
+  Buffer.contents b
+
+(* The plottable companion of {!to_csv}: one series per scheme, one
+   point per cell that both backends scheduled — the data behind a
+   heuristic-vs-optimal gap chart. *)
+let gap_figure s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Csv_export.record
+       [ "scheme"; "loop"; "heuristic_ii"; "exact_ii"; "gap" ]);
+  List.iter
+    (fun r ->
+      match (r.a_heuristic_ii, r.a_exact_ii) with
+      | Some h, Some e ->
+        Buffer.add_string b
+          (Csv_export.record
+             [
+               r.a_scheme; r.a_loop; string_of_int h; string_of_int e;
+               string_of_int (h - e);
+             ])
+      | _ -> ())
+    s.s_rows;
+  Buffer.contents b
+
+let passed s =
+  s.s_model_bugs = 0 && s.s_skipped = []
+  && s.s_total > 0
+  && 10 * s.s_optimal >= 9 * s.s_total

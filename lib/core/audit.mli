@@ -1,0 +1,99 @@
+(** Optimality audit (PR 10): heuristic II vs the exact backend's
+    certified optimum, across every Mediabench inner loop and a
+    deterministic fuzz corpus, under the three distributed schemes the
+    paper compares.
+
+    Each (loop, scheme) pair is one supervised {!Runner} job: the
+    heuristic schedules it, {!Flexl0_sched.Exact} searches it with a
+    node budget, and — whenever the exact backend produces a schedule —
+    the static validator, the differential value verifier and the Strict
+    sanitizer all certify it. A complaint from any of those oracles on
+    an exact schedule is a {e model bug} (the solver claimed legality
+    the machine model rejects), reported verbatim in the row.
+
+    The per-row MII breakdown (ResMII vs RecMII and the binding
+    resource class, under the exact backend's optimistic latency model)
+    attributes every optimality gap: a recurrence-bound loop the
+    heuristic misses is a scheduling deficiency; a resource-bound one
+    may simply be saturated. *)
+
+type row = {
+  a_source : string;  (** ["mediabench"] or ["fuzz"] *)
+  a_loop : string;  (** [bench/loop] or [fuzz-seed-index] *)
+  a_scheme : string;
+  a_res_mii : int;
+  a_rec_mii : int;
+  a_binding : string;  (** {!Flexl0_sched.Mii.binding_to_string} *)
+  a_lower : int;  (** the exact backend's certified lower bound *)
+  a_heuristic_ii : int option;  (** [None]: heuristic infeasible *)
+  a_exact_ii : int option;  (** [None]: no witness within budget *)
+  a_verdict : string;  (** {!Flexl0_sched.Exact.verdict_to_string} *)
+  a_nodes : int;
+  a_gap : int option;  (** heuristic II - exact II, when both exist *)
+  a_failures : string list;  (** oracle complaints — model bugs *)
+}
+
+type summary = {
+  s_rows : row list;  (** deterministic order: subjects x schemes *)
+  s_total : int;
+  s_optimal : int;  (** rows whose verdict is [optimal] *)
+  s_gapped : int;  (** rows with a strictly positive gap *)
+  s_max_gap : int;
+  s_gap_sum : int;  (** sum of the positive gaps *)
+  s_model_bugs : int;  (** rows with oracle complaints *)
+  s_skipped : Runner.skip list;  (** jobs that gave up under the runner *)
+}
+
+val schemes : Flexl0_sched.Scheme.t list
+(** The audited schemes: selective L0, MultiVLIW, locality-aware
+    interleaved. *)
+
+val audit_one :
+  budget:int ->
+  source:string ->
+  label:string ->
+  Flexl0_ir.Loop.t ->
+  Flexl0_sched.Scheme.t ->
+  row
+(** One cell of the matrix, in-process. *)
+
+val run :
+  ?budget:int ->
+  ?benchmarks:string list ->
+  ?fuzz_seed:int ->
+  ?fuzz_cases:int ->
+  runner:Runner.config ->
+  unit ->
+  summary
+(** The full campaign under the supervised parallel runner — forked,
+    timed-out, retried, journaled for [--resume]. [benchmarks] filters
+    the Mediabench suites; [fuzz_cases] (default 12, seed 42) sizes the
+    deterministic fuzz corpus; [budget] is the per-II node budget handed
+    to {!Flexl0_sched.Exact.solve}. A job that gives up lands in
+    [s_skipped], not in the rows. *)
+
+val run_seq :
+  ?budget:int ->
+  ?benchmarks:string list ->
+  ?fuzz_seed:int ->
+  ?fuzz_cases:int ->
+  unit ->
+  summary
+(** {!run} without the runner: sequential and in-process, for tests and
+    benches. Row order is identical to {!run}'s. *)
+
+val csv_header : string list
+
+val to_csv : summary -> string
+(** The audit as CSV ({!Csv_export.record} formatting), one row per
+    (loop, scheme) cell, gaps and the MII split as columns. *)
+
+val gap_figure : summary -> string
+(** The plottable companion of {!to_csv}:
+    [scheme,loop,heuristic_ii,exact_ii,gap], one record per cell both
+    backends scheduled — the data behind a heuristic-vs-optimal bar
+    chart, grouped by scheme. *)
+
+val passed : summary -> bool
+(** The PR 10 acceptance gate: no model bugs, no given-up jobs, and at
+    least 90% of the cells resolved [optimal] within budget. *)

@@ -12,7 +12,7 @@ let rec chunk per = function
     let b, rest = take per [] l in
     b :: chunk per rest
 
-let fuzz ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Strict) ?systems
+let fuzz ?backend ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Strict) ?systems
     ?(max_failures = 5) ?(batch = 1) ~runner ~seed ~cases () =
   if batch < 1 then invalid_arg "Campaign.fuzz: batch must be >= 1";
   let systems =
@@ -29,8 +29,8 @@ let fuzz ?faults ?(sanitizer = Flexl0_mem.Sanitizer.Strict) ?systems
           (fun ~seed:_ ->
             List.map
               (fun (c : Fuzz.case) ->
-                Fuzz.run_case ?faults:c.Fuzz.c_faults ~sanitizer ~systems
-                  c.Fuzz.c_kernel)
+                Fuzz.run_case ?backend ?faults:c.Fuzz.c_faults ~sanitizer
+                  ~systems c.Fuzz.c_kernel)
               cs))
       batches
   in

@@ -16,6 +16,7 @@
 open Flexl0_workloads
 
 val fuzz :
+  ?backend:Flexl0_sched.Engine.backend ->
   ?faults:Flexl0_sim.Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?systems:Fuzz.sys list ->
@@ -42,4 +43,8 @@ val fuzz :
     failure budget, exactly as in the sequential fuzzer; cases after
     the budget trips are not counted even though they may have
     executed. [keep_going] has no parallel equivalent — time-box
-    campaigns with the per-job timeout instead. *)
+    campaigns with the per-job timeout instead.
+
+    [backend] selects the scheduler for every compile; under
+    [Engine.Exact] failures are model bugs — see
+    {!Flexl0_workloads.Fuzz.run_system}. *)

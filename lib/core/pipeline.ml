@@ -13,19 +13,22 @@ type system = {
   scheme : Scheme.t;
   coherence : Engine.coherence_mode;
   max_ii : int;
+  backend : Engine.backend;
   make_hierarchy :
     Config.t -> backing:Flexl0_mem.Backing.t -> Flexl0_mem.Hierarchy.t;
 }
 
 let default_max_ii = 256
 
-let baseline_system ?(config = Config.default) ?(max_ii = default_max_ii) () =
+let baseline_system ?(config = Config.default) ?(max_ii = default_max_ii)
+    ?(backend = Engine.Heuristic) () =
   {
     label = "unified-baseline";
     config = Config.with_l0 Config.No_l0 config;
     scheme = Scheme.Base_unified;
     coherence = Engine.Auto;
     max_ii;
+    backend;
     make_hierarchy = (fun cfg ~backing -> Unified.baseline cfg ~backing);
   }
 
@@ -37,7 +40,7 @@ let coherence_label = function
 
 let l0_system ?(config = Config.default) ?(capacity = Config.Entries 8)
     ?(selective = true) ?(prefetch_distance = 1) ?(coherence = Engine.Auto)
-    ?(max_ii = default_max_ii) () =
+    ?(max_ii = default_max_ii) ?(backend = Engine.Heuristic) () =
   let config =
     config |> Config.with_l0 capacity
     |> Config.with_prefetch_distance prefetch_distance
@@ -59,21 +62,24 @@ let l0_system ?(config = Config.default) ?(capacity = Config.Entries 8)
     scheme = Scheme.L0 { selective };
     coherence;
     max_ii;
+    backend;
     make_hierarchy = (fun cfg ~backing -> Unified.create cfg ~backing);
   }
 
-let multivliw_system ?(config = Config.default) ?(max_ii = default_max_ii) () =
+let multivliw_system ?(config = Config.default) ?(max_ii = default_max_ii)
+    ?(backend = Engine.Heuristic) () =
   {
     label = "multivliw";
     config = Config.with_l0 Config.No_l0 config;
     scheme = Scheme.Multivliw;
     coherence = Engine.Auto;
     max_ii;
+    backend;
     make_hierarchy = (fun cfg ~backing -> Multivliw.create cfg ~backing);
   }
 
 let interleaved_system ?(config = Config.default) ?(max_ii = default_max_ii)
-    ~locality () =
+    ?(backend = Engine.Heuristic) ~locality () =
   {
     label = (if locality then "interleaved-2" else "interleaved-1");
     config = Config.with_l0 Config.No_l0 config;
@@ -81,16 +87,18 @@ let interleaved_system ?(config = Config.default) ?(max_ii = default_max_ii)
       (if locality then Scheme.Interleaved_locality else Scheme.Interleaved_naive);
     coherence = Engine.Auto;
     max_ii;
+    backend;
     make_hierarchy = (fun cfg ~backing -> Interleaved.create cfg ~backing);
   }
 
 let compile_result system loop =
   Compile.compile_result system.config system.scheme
-    ~coherence:system.coherence ~max_ii:system.max_ii loop
+    ~coherence:system.coherence ~max_ii:system.max_ii ~backend:system.backend
+    loop
 
 let compile system loop =
   Compile.compile system.config system.scheme ~coherence:system.coherence
-    ~max_ii:system.max_ii loop
+    ~max_ii:system.max_ii ~backend:system.backend loop
 
 type loop_run = {
   loop_name : string;

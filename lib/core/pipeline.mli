@@ -12,6 +12,7 @@ type system = {
   scheme : Scheme.t;
   coherence : Engine.coherence_mode;
   max_ii : int;  (** II search ceiling handed to the scheduler *)
+  backend : Engine.backend;  (** heuristic SMS or the exact solver *)
   make_hierarchy :
     Flexl0_arch.Config.t -> backing:Flexl0_mem.Backing.t ->
     Flexl0_mem.Hierarchy.t;
@@ -21,8 +22,12 @@ val default_max_ii : int
 (** 256 — the historical scheduler default. *)
 
 val baseline_system :
-  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> unit -> system
-(** Unified L1, no L0 buffers — the normalization reference. *)
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int ->
+  ?backend:Engine.backend -> unit -> system
+(** Unified L1, no L0 buffers — the normalization reference. Every
+    constructor takes [?backend] (default [Heuristic]); an [Exact]
+    system compiles through {!Flexl0_sched.Exact} and simulates the
+    provably minimal-II schedule. *)
 
 val l0_system :
   ?config:Flexl0_arch.Config.t ->
@@ -31,17 +36,19 @@ val l0_system :
   ?prefetch_distance:int ->
   ?coherence:Engine.coherence_mode ->
   ?max_ii:int ->
+  ?backend:Engine.backend ->
   unit ->
   system
 (** The proposed architecture; defaults to 8 entries, selective marking,
     prefetch distance 1, automatic (1C-else-NL0) coherence. *)
 
 val multivliw_system :
-  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> unit -> system
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int ->
+  ?backend:Engine.backend -> unit -> system
 
 val interleaved_system :
-  ?config:Flexl0_arch.Config.t -> ?max_ii:int -> locality:bool -> unit ->
-  system
+  ?config:Flexl0_arch.Config.t -> ?max_ii:int ->
+  ?backend:Engine.backend -> locality:bool -> unit -> system
 (** [locality:false] is "Interleaved 1", [true] is "Interleaved 2". *)
 
 val compile : system -> Loop.t -> Schedule.t

@@ -132,3 +132,73 @@ let print_steering rows =
         r.Experiments.with_steering_cycles r.Experiments.without_steering_cycles
         r.Experiments.with_interleaved r.Experiments.without_interleaved)
     rows
+
+(* Optimality audit (PR 10): per-scheme aggregate plus the gap rows. *)
+let print_audit (s : Audit.summary) =
+  Printf.printf "\nOptimality audit: heuristic II vs exact backend\n";
+  Printf.printf "%-14s | %5s | %7s | %6s | %7s | %7s | %s\n" "scheme" "cells"
+    "optimal" "gapped" "max-gap" "nodes" "model-bugs";
+  let schemes =
+    List.sort_uniq compare
+      (List.map (fun (r : Audit.row) -> r.Audit.a_scheme) s.Audit.s_rows)
+  in
+  List.iter
+    (fun scheme ->
+      let rows =
+        List.filter
+          (fun (r : Audit.row) -> r.Audit.a_scheme = scheme)
+          s.Audit.s_rows
+      in
+      let count p = List.length (List.filter p rows) in
+      let gaps = List.filter_map (fun (r : Audit.row) -> r.Audit.a_gap) rows in
+      Printf.printf "%-14s | %5d | %7d | %6d | %7d | %7d | %d\n" scheme
+        (List.length rows)
+        (count (fun r -> r.Audit.a_verdict = "optimal"))
+        (List.length (List.filter (fun g -> g > 0) gaps))
+        (List.fold_left max 0 gaps)
+        (List.fold_left (fun a (r : Audit.row) -> a + r.Audit.a_nodes) 0 rows)
+        (count (fun r -> r.Audit.a_failures <> [])))
+    schemes;
+  let gapped =
+    List.filter
+      (fun (r : Audit.row) ->
+        match r.Audit.a_gap with Some g -> g > 0 | None -> false)
+      s.Audit.s_rows
+  in
+  if gapped <> [] then begin
+    Printf.printf "\nHeuristic left cycles on the table:\n";
+    List.iter
+      (fun (r : Audit.row) ->
+        Printf.printf
+          "  %-28s %-14s II %s -> %s (lower %d, res=%d rec=%d bound=%s, %s)\n"
+          r.Audit.a_loop r.Audit.a_scheme
+          (match r.Audit.a_heuristic_ii with
+          | Some i -> string_of_int i
+          | None -> "-")
+          (match r.Audit.a_exact_ii with
+          | Some i -> string_of_int i
+          | None -> "-")
+          r.Audit.a_lower r.Audit.a_res_mii r.Audit.a_rec_mii
+          r.Audit.a_binding r.Audit.a_verdict)
+      gapped
+  end;
+  List.iter
+    (fun (r : Audit.row) ->
+      List.iter
+        (fun msg ->
+          Printf.printf "MODEL BUG %s (%s): %s\n" r.Audit.a_loop
+            r.Audit.a_scheme msg)
+        r.Audit.a_failures)
+    s.Audit.s_rows;
+  List.iter
+    (fun sk -> Printf.printf "SKIPPED %s\n" (Runner.skip_message sk))
+    s.Audit.s_skipped;
+  Printf.printf
+    "\naudit: %d cells, %d optimal (%.0f%%), %d with gaps (sum %d, max %d), \
+     %d model bugs, %d skipped -> %s\n"
+    s.Audit.s_total s.Audit.s_optimal
+    (100.0 *. float_of_int s.Audit.s_optimal
+    /. float_of_int (max 1 s.Audit.s_total))
+    s.Audit.s_gapped s.Audit.s_gap_sum s.Audit.s_max_gap s.Audit.s_model_bugs
+    (List.length s.Audit.s_skipped)
+    (if Audit.passed s then "PASS" else "FAIL")

@@ -23,3 +23,8 @@ val print_specialization : Experiments.specialization_row list -> unit
 val print_flush : Experiments.flush_row list -> unit
 
 val print_steering : Experiments.steering_row list -> unit
+
+val print_audit : Audit.summary -> unit
+(** Per-scheme optimality aggregate, every positive gap with its MII
+    attribution, model bugs and given-up jobs, and a PASS/FAIL verdict
+    line ({!Audit.passed}). *)

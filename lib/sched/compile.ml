@@ -3,23 +3,53 @@ open Flexl0_ir
 let estimated_compute (sch : Schedule.t) =
   Schedule.compute_cycles sch ~trips:sch.loop.Loop.trip_count
 
-let compile_fixed_result cfg scheme ?coherence ?max_ii ~unroll loop =
-  Engine.schedule_opt cfg scheme ?coherence ?max_ii
+(* Backend dispatch. The exact backend's budget-exhausted-without-a-
+   schedule outcome has no schedule to return, so at this layer it
+   degrades to the typed infeasibility (the audit path calls
+   [Exact.solve] directly and sees the verdict). *)
+let schedule_backend cfg scheme ?coherence ?max_ii ?budget ~backend loop =
+  match (backend : Engine.backend) with
+  | Engine.Heuristic -> Engine.schedule_opt cfg scheme ?coherence ?max_ii loop
+  | Engine.Exact -> (
+    match Exact.solve cfg scheme ?coherence ?budget ?max_ii loop with
+    | Error _ as e -> e
+    | Ok { Exact.exact_schedule = Some sch; _ } -> Ok sch
+    | Ok { Exact.exact_schedule = None; exact_lower; _ } ->
+      Error
+        {
+          Engine.inf_loop = loop.Loop.name;
+          inf_mii = exact_lower;
+          inf_max_ii = Option.value ~default:256 max_ii;
+          inf_scheme = scheme;
+          inf_backend = Engine.Exact;
+        })
+
+let compile_fixed_result cfg scheme ?coherence ?max_ii
+    ?(backend = Engine.Heuristic) ?budget ~unroll loop =
+  schedule_backend cfg scheme ?coherence ?max_ii ?budget ~backend
     (Unroll.apply ~factor:unroll loop)
 
-let compile_fixed cfg scheme ?coherence ?max_ii ~unroll loop =
-  Engine.schedule cfg scheme ?coherence ?max_ii
-    (Unroll.apply ~factor:unroll loop)
+let compile_fixed cfg scheme ?coherence ?max_ii ?backend ?budget ~unroll loop =
+  match
+    compile_fixed_result cfg scheme ?coherence ?max_ii ?backend ?budget ~unroll
+      loop
+  with
+  | Ok sch -> sch
+  | Error inf -> raise (Engine.Infeasible inf)
 
-let compile_result (cfg : Flexl0_arch.Config.t) scheme ?coherence ?max_ii loop =
-  match compile_fixed_result cfg scheme ?coherence ?max_ii ~unroll:1 loop with
+let compile_result (cfg : Flexl0_arch.Config.t) scheme ?coherence ?max_ii
+    ?backend ?budget loop =
+  match
+    compile_fixed_result cfg scheme ?coherence ?max_ii ?backend ?budget
+      ~unroll:1 loop
+  with
   | Error _ as e -> e
   | Ok rolled ->
     if loop.Loop.trip_count < cfg.num_clusters then Ok rolled
     else begin
       (* An infeasible unrolled body is not fatal: fall back to rolled. *)
       match
-        compile_fixed_result cfg scheme ?coherence ?max_ii
+        compile_fixed_result cfg scheme ?coherence ?max_ii ?backend ?budget
           ~unroll:cfg.num_clusters loop
       with
       | Error _ -> Ok rolled
@@ -29,7 +59,7 @@ let compile_result (cfg : Flexl0_arch.Config.t) scheme ?coherence ?max_ii loop =
         else Ok rolled
     end
 
-let compile cfg scheme ?coherence ?max_ii loop =
-  match compile_result cfg scheme ?coherence ?max_ii loop with
+let compile cfg scheme ?coherence ?max_ii ?backend ?budget loop =
+  match compile_result cfg scheme ?coherence ?max_ii ?backend ?budget loop with
   | Ok sch -> sch
   | Error inf -> raise (Engine.Infeasible inf)

@@ -5,7 +5,15 @@
     for the loop's trip count — [(SC - 1 + trips/factor) * II] — exactly
     the criterion of Section 4.3 step 1. The same heuristic runs for
     every scheme so that cross-architecture comparisons are not biased by
-    unrolling (Section 5.1). *)
+    unrolling (Section 5.1).
+
+    [backend] (default [Engine.Heuristic]) selects the scheduler: the
+    paper's heuristic, or the PR 10 {!Exact} branch-and-bound backend.
+    Both produce ordinary {!Schedule.t} values, so everything downstream
+    (verifier, sanitizer, executor, serve cache) runs unchanged.
+    [budget] is the exact backend's per-II node budget and is ignored by
+    the heuristic; an exact search that exhausts it without finding any
+    schedule surfaces as the typed infeasibility. *)
 
 open Flexl0_ir
 
@@ -14,6 +22,8 @@ val compile_result :
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
   ?max_ii:int ->
+  ?backend:Engine.backend ->
+  ?budget:int ->
   Loop.t ->
   (Schedule.t, Engine.infeasible) result
 (** Returns [Error] only when the rolled body itself has no schedule
@@ -25,6 +35,8 @@ val compile :
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
   ?max_ii:int ->
+  ?backend:Engine.backend ->
+  ?budget:int ->
   Loop.t ->
   Schedule.t
 (** {!compile_result}, raising {!Engine.Infeasible} on failure. *)
@@ -34,6 +46,8 @@ val compile_fixed :
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
   ?max_ii:int ->
+  ?backend:Engine.backend ->
+  ?budget:int ->
   unroll:int ->
   Loop.t ->
   Schedule.t
@@ -44,6 +58,8 @@ val compile_fixed_result :
   Scheme.t ->
   ?coherence:Engine.coherence_mode ->
   ?max_ii:int ->
+  ?backend:Engine.backend ->
+  ?budget:int ->
   unroll:int ->
   Loop.t ->
   (Schedule.t, Engine.infeasible) result

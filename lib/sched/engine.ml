@@ -844,13 +844,26 @@ let initial_mii cfg scheme coherence ~prep loop =
   let st = make_state cfg scheme coherence ~steering:true ~prep loop ~ii:1 in
   Mii.mii cfg st.ddg ~lat:(cur_lat st)
 
-type infeasible = { inf_loop : string; inf_mii : int; inf_max_ii : int }
+type backend = Heuristic | Exact
+
+let backend_to_string = function Heuristic -> "heuristic" | Exact -> "exact"
+
+type infeasible = {
+  inf_loop : string;
+  inf_mii : int;
+  inf_max_ii : int;
+  inf_scheme : Scheme.t;
+  inf_backend : backend;
+}
 
 exception Infeasible of infeasible
 
-let infeasible_message { inf_loop; inf_mii; inf_max_ii } =
-  Printf.sprintf "no schedule for %s between MII=%d and max II=%d" inf_loop
-    inf_mii inf_max_ii
+let infeasible_message { inf_loop; inf_mii; inf_max_ii; inf_scheme; inf_backend }
+    =
+  Printf.sprintf "no schedule for %s between MII=%d and max II=%d (scheme %s, %s backend)"
+    inf_loop inf_mii inf_max_ii
+    (Scheme.to_string inf_scheme)
+    (backend_to_string inf_backend)
 
 let () =
   Printexc.register_printer (function
@@ -863,7 +876,9 @@ let schedule_opt cfg scheme ?(coherence = Auto) ?(steering = true)
   let mii = initial_mii cfg scheme coherence ~prep loop in
   let rec search ii =
     if ii > max_ii then
-      Error { inf_loop = loop.Loop.name; inf_mii = mii; inf_max_ii = max_ii }
+      Error
+        { inf_loop = loop.Loop.name; inf_mii = mii; inf_max_ii = max_ii;
+          inf_scheme = scheme; inf_backend = Heuristic }
     else
       match try_schedule_prep cfg scheme ~coherence ~steering ~prep loop ~ii with
       | None -> search (ii + 1)

@@ -34,9 +34,25 @@ val try_schedule :
     placed (the caller increases the II). Hints are *not* assigned here —
     see {!Hint_assign} and {!Prefetch_insert}. *)
 
+(** Which scheduler produced (or failed to produce) a schedule: the
+    paper's heuristic SMS variant, or the PR 10 exact branch-and-bound
+    backend ({!Exact}). Lives here so every layer that reports or keys on
+    a scheduling outcome can name the backend without depending on the
+    solver module. *)
+type backend = Heuristic | Exact
+
+val backend_to_string : backend -> string
+(** ["heuristic"] or ["exact"]. *)
+
 (** Why the II search gave up: no feasible schedule between the computed
-    MII and the caller's II ceiling. *)
-type infeasible = { inf_loop : string; inf_mii : int; inf_max_ii : int }
+    MII and the caller's II ceiling, under the given scheme and backend. *)
+type infeasible = {
+  inf_loop : string;
+  inf_mii : int;
+  inf_max_ii : int;
+  inf_scheme : Scheme.t;
+  inf_backend : backend;
+}
 
 exception Infeasible of infeasible
 

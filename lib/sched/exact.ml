@@ -1,0 +1,662 @@
+(* Exact modulo scheduler (PR 10).
+
+   A branch-and-bound / CDCL-lite search over the same model the
+   heuristic engine schedules against: the MRT's per-cluster FU slots and
+   shared bus pool, broadcast cross-cluster communications, L0 capacity
+   and the 1C coherence discipline. The search enumerates, per
+   instruction in SMS priority order, every (cluster, latency-option,
+   cycle) choice whose cycle lies in the Rau window [EST, EST + II) of
+   the partial schedule, backtracking with full undo (Mrt release ops) and
+   backjumping to the deepest culprit when an instruction fails for pure
+   dependence-window reasons. IIs are tried from a certified lower bound
+   upward, so the first full placement that also passes the register
+   pressure estimate is a provably minimal-II schedule — unless an
+   earlier II exhausted its node budget, in which case the verdict
+   honestly degrades to [Feasible_at].
+
+   Model caveats, shared with the heuristic (documented in
+   docs/architecture.md): cycles are enumerated inside the II-wide Rau
+   window only, and the PSR coherence ablation is not supported. *)
+
+open Flexl0_ir
+module Config = Flexl0_arch.Config
+module Hint = Flexl0_mem.Hint
+module Interleaved_mem = Flexl0_mem.Interleaved
+
+type verdict = Optimal | Feasible_at of int | Budget_exhausted
+
+let verdict_to_string = function
+  | Optimal -> "optimal"
+  | Feasible_at ii -> Printf.sprintf "feasible-at-%d" ii
+  | Budget_exhausted -> "budget-exhausted"
+
+type t = {
+  exact_schedule : Schedule.t option;
+  exact_verdict : verdict;
+  exact_lower : int;
+  exact_nodes : int;
+}
+
+let default_budget = 400_000
+
+(* ------------------------------------------------------------------ *)
+(* Per-II search state                                                  *)
+
+type st = {
+  cfg : Config.t;
+  scheme : Scheme.t;
+  coherence : Engine.coherence_mode;
+  ddg : Ddg.t;
+  ii : int;
+  mrt : Mrt.t;
+  placed : Schedule.placement option array;
+  depth_of : int array;  (* DFS depth at which a placed instr was committed *)
+  mutable comms : Schedule.comm list;
+  free_l0 : int array;
+  candidate : bool array;  (* L0-candidate load *)
+  home : int option array;  (* static home cluster (interleaved locality) *)
+  coh_set : Memdep.set option array;  (* needs_coherence set of i, if any *)
+  usage : int array;
+  (* Tentative bus-slot claims within one plan_comms attempt, the same
+     generation-stamp scheme the heuristic uses. *)
+  slot_mark : int array;
+  mutable slot_gen : int;
+  mutable nodes : int;
+  budget : int;
+}
+
+exception Budget
+
+let selective st =
+  match st.scheme with Scheme.L0 { selective } -> selective | _ -> true
+
+let unbounded_l0 st =
+  match st.cfg.l0.capacity with
+  | Config.Unbounded -> true
+  | Config.No_l0 | Config.Entries _ -> false
+
+let distributed_remote_total (cfg : Config.t) =
+  cfg.distributed.remote_latency + cfg.distributed.local_latency
+
+(* Same stream-home computation as the heuristic (Engine.static_home). *)
+let static_home (cfg : Config.t) (loop : Loop.t) (ins : Instr.t) =
+  match ins.memref with
+  | None -> None
+  | Some r -> (
+    match r.Memref.stride with
+    | Memref.Unknown -> None
+    | Memref.Const s -> (
+      let byte_stride = s * r.Memref.elem_bytes in
+      let period = Interleaved_mem.word_bytes * cfg.num_clusters in
+      if byte_stride mod period <> 0 then None
+      else
+        match List.assoc_opt r.Memref.array_id (Loop.layout loop) with
+        | None -> None
+        | Some base ->
+          Some
+            (Interleaved_mem.home_of ~clusters:cfg.num_clusters
+               (base + (r.Memref.offset * r.Memref.elem_bytes)))))
+
+let cur_lat st min_lat i =
+  match st.placed.(i) with
+  | Some p -> p.Schedule.assumed_latency
+  | None -> min_lat i
+
+(* ------------------------------------------------------------------ *)
+(* Legality propagators                                                 *)
+
+let l0_capacity_ok st cluster =
+  (not (selective st)) || unbounded_l0 st || st.free_l0.(cluster) > 0
+
+(* The validator's coherence rule: every L0-hinted load of a
+   needs_coherence set must be co-located with every store of the set.
+   Exact never replicates, so the propagator is plain co-location. *)
+let l0_coherence_ok st i cluster =
+  match st.coh_set.(i) with
+  | None -> true
+  | Some s -> (
+    match st.coherence with
+    | Engine.Force_nl0 -> false
+    | Engine.Force_psr -> assert false (* rejected in [solve] *)
+    | Engine.Auto | Engine.Force_1c ->
+      List.for_all
+        (fun j ->
+          match st.placed.(j) with
+          | Some p -> p.Schedule.cluster = cluster
+          | None -> true)
+        s.Memdep.stores
+      && List.for_all
+           (fun j ->
+             j = i
+             ||
+             match st.placed.(j) with
+             | Some p -> (not p.Schedule.uses_l0) || p.Schedule.cluster = cluster
+             | None -> true)
+           s.Memdep.loads)
+
+let store_cluster_ok st i cluster =
+  match st.coh_set.(i) with
+  | None -> true
+  | Some s ->
+    List.for_all
+      (fun j ->
+        match st.placed.(j) with
+        | Some p -> (not p.Schedule.uses_l0) || p.Schedule.cluster = cluster
+        | None -> true)
+      s.Memdep.loads
+
+(* The (latency, uses_l0) options of [i] in [cluster]; [] = cluster
+   illegal. Unlike the heuristic's single slack-driven choice, candidate
+   loads under an L0 scheme expose BOTH the L0 and the L1 option — the
+   search decides. *)
+let options st i cluster =
+  let ins = Ddg.instr st.ddg i in
+  match ins.Instr.opcode with
+  | Opcode.Load _ -> (
+    match st.scheme with
+    | Scheme.Base_unified -> [ (st.cfg.l1.l1_latency, false) ]
+    | Scheme.Multivliw -> [ (st.cfg.distributed.local_latency, false) ]
+    | Scheme.Interleaved_naive -> [ (distributed_remote_total st.cfg, false) ]
+    | Scheme.Interleaved_locality -> (
+      match st.home.(i) with
+      | Some h when h = cluster -> [ (st.cfg.distributed.local_latency, false) ]
+      | Some _ | None -> [ (distributed_remote_total st.cfg, false) ])
+    | Scheme.L0 _ ->
+      let l1 = (st.cfg.l1.l1_latency, false) in
+      if
+        st.candidate.(i)
+        && l0_coherence_ok st i cluster
+        && l0_capacity_ok st cluster
+      then [ (st.cfg.l0.l0_latency, true); l1 ]
+      else [ l1 ])
+  | Opcode.Store _ when Scheme.uses_l0_buffers st.scheme ->
+    if store_cluster_ok st i cluster then
+      [ (Opcode.base_latency ins.Instr.opcode, false) ]
+    else []
+  | op -> [ (Opcode.base_latency op, false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Windows and comm planning (mirrors Engine's formulas, minus PSR)     *)
+
+let comm_for st producer =
+  List.find_opt (fun (c : Schedule.comm) -> c.Schedule.producer = producer)
+    st.comms
+
+let earliest_start st min_lat i cluster =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match st.placed.(e.src) with
+      | None -> acc
+      | Some p ->
+        let lat = Ddg.edge_latency ~lat:(cur_lat st min_lat) e in
+        let avail =
+          if e.kind <> Ddg.Reg_flow || p.Schedule.cluster = cluster then
+            p.Schedule.start + lat
+          else
+            match comm_for st e.src with
+            | Some c -> c.Schedule.comm_cycle + st.cfg.comm_latency
+            | None -> p.Schedule.start + lat + st.cfg.comm_latency
+        in
+        max acc (avail - (st.ii * e.distance)))
+    0
+    (Ddg.preds st.ddg i)
+
+let latest_start st i cluster ~latency =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match st.placed.(e.dst) with
+      | None -> acc
+      | Some s ->
+        let lat = match e.kind with Ddg.Reg_flow -> latency | _ -> 1 in
+        let extra =
+          if s.Schedule.cluster <> cluster && e.kind = Ddg.Reg_flow then
+            st.cfg.comm_latency
+          else 0
+        in
+        let bound = s.Schedule.start + (st.ii * e.distance) - lat - extra in
+        Some (match acc with None -> bound | Some b -> min b bound))
+    None
+    (Ddg.succs st.ddg i)
+
+let self_edges_ok st i ~latency =
+  List.for_all
+    (fun (e : Ddg.edge) ->
+      e.dst <> i
+      ||
+      let lat = match e.kind with Ddg.Reg_flow -> latency | _ -> 1 in
+      lat <= st.ii * e.distance)
+    (Ddg.succs st.ddg i)
+
+let mod_slot st c = ((c mod st.ii) + st.ii) mod st.ii
+
+let bus_ok st cycle =
+  Mrt.bus_free st.mrt ~cycle && st.slot_mark.(mod_slot st cycle) <> st.slot_gen
+
+let claim_slot st cycle = st.slot_mark.(mod_slot st cycle) <- st.slot_gen
+
+let find_bus_slot st ~from_ ~until =
+  let rec go b =
+    if b > until then None else if bus_ok st b then Some b else go (b + 1)
+  in
+  if from_ > until then None else go (max 0 from_)
+
+let plan_comms st i cluster cycle ~latency =
+  let exception Infeasible in
+  try
+    st.slot_gen <- st.slot_gen + 1;
+    let tentative = ref [] in
+    let budget_by_producer = Hashtbl.create 4 in
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.kind = Ddg.Reg_flow && e.src <> i then
+          match st.placed.(e.src) with
+          | Some p when p.Schedule.cluster <> cluster ->
+            let budget = cycle + (st.ii * e.distance) in
+            let prev =
+              match Hashtbl.find_opt budget_by_producer e.src with
+              | Some b -> min b budget
+              | None -> budget
+            in
+            Hashtbl.replace budget_by_producer e.src prev
+          | Some _ | None -> ())
+      (Ddg.preds st.ddg i);
+    Hashtbl.iter
+      (fun producer budget ->
+        let p = Option.get st.placed.(producer) in
+        match comm_for st producer with
+        | Some c ->
+          if c.Schedule.comm_cycle + st.cfg.comm_latency > budget then
+            raise Infeasible
+        | None -> (
+          let ready = p.Schedule.start + p.Schedule.assumed_latency in
+          match
+            find_bus_slot st ~from_:ready ~until:(budget - st.cfg.comm_latency)
+          with
+          | Some b ->
+            claim_slot st b;
+            tentative := (producer, b) :: !tentative
+          | None -> raise Infeasible))
+      budget_by_producer;
+    let budgets =
+      List.filter_map
+        (fun (e : Ddg.edge) ->
+          if e.kind <> Ddg.Reg_flow || e.dst = i then None
+          else
+            match st.placed.(e.dst) with
+            | Some s when s.Schedule.cluster <> cluster ->
+              Some (s.Schedule.start + (st.ii * e.distance) - st.cfg.comm_latency)
+            | Some _ | None -> None)
+        (Ddg.succs st.ddg i)
+    in
+    (match budgets with
+    | [] -> ()
+    | _ -> (
+      let until = List.fold_left min max_int budgets in
+      match find_bus_slot st ~from_:(cycle + latency) ~until with
+      | Some b ->
+        claim_slot st b;
+        tentative := (i, b) :: !tentative
+      | None -> raise Infeasible));
+    Some !tentative
+  with Infeasible -> None
+
+(* ------------------------------------------------------------------ *)
+(* Commit / undo                                                        *)
+
+let commit st i ~depth cluster cycle ~latency ~uses_l0 ~new_comms =
+  let ins = Ddg.instr st.ddg i in
+  Mrt.reserve_fu st.mrt ~cluster ~fu:(Opcode.fu_class ins.Instr.opcode) ~cycle;
+  List.iter
+    (fun (producer, b) ->
+      Mrt.reserve_bus st.mrt ~cycle:b;
+      st.comms <- { Schedule.producer; comm_cycle = b } :: st.comms)
+    new_comms;
+  st.placed.(i) <-
+    Some
+      {
+        Schedule.cluster;
+        start = cycle;
+        assumed_latency = latency;
+        uses_l0;
+        hints = Hint.default;
+      };
+  st.depth_of.(i) <- depth;
+  st.usage.(cluster) <- st.usage.(cluster) + 1;
+  if uses_l0 && selective st && not (unbounded_l0 st) then
+    st.free_l0.(cluster) <- st.free_l0.(cluster) - 1
+
+let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l)
+
+let undo st i cluster cycle ~uses_l0 ~new_comms =
+  let ins = Ddg.instr st.ddg i in
+  Mrt.release_fu st.mrt ~cluster ~fu:(Opcode.fu_class ins.Instr.opcode) ~cycle;
+  List.iter (fun (_, b) -> Mrt.release_bus st.mrt ~cycle:b) new_comms;
+  (* Stack discipline: deeper frames were undone first, so the comms this
+     commit consed are exactly the list head. *)
+  st.comms <- drop (List.length new_comms) st.comms;
+  st.placed.(i) <- None;
+  st.usage.(cluster) <- st.usage.(cluster) - 1;
+  if uses_l0 && selective st && not (unbounded_l0 st) then
+    st.free_l0.(cluster) <- st.free_l0.(cluster) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Choice ordering                                                      *)
+
+let comm_cost st i cluster =
+  let cost = ref 0 in
+  let count (e : Ddg.edge) other =
+    if e.kind = Ddg.Reg_flow then
+      match st.placed.(other) with
+      | Some p when p.Schedule.cluster <> cluster -> incr cost
+      | Some _ | None -> ()
+  in
+  List.iter (fun (e : Ddg.edge) -> count e e.src) (Ddg.preds st.ddg i);
+  List.iter (fun (e : Ddg.edge) -> count e e.dst) (Ddg.succs st.ddg i);
+  !cost
+
+(* All (cluster, latency, uses_l0) choices of [i], most promising first
+   (the first descent then tracks the heuristic's greedy placement), with
+   empty-cluster symmetry breaking: among untouched clusters offering the
+   same option list, only the lowest-numbered one is explored — the
+   machine is homogeneous, so the rest are renamings. *)
+let ordered_choices st i =
+  let n = st.cfg.num_clusters in
+  let fresh_seen = ref [] in
+  let per_cluster =
+    List.filter_map
+      (fun c ->
+        match options st i c with
+        | [] -> None
+        | opts ->
+          if st.usage.(c) = 0 then
+            if List.mem opts !fresh_seen then None
+            else begin
+              fresh_seen := opts :: !fresh_seen;
+              Some (c, opts)
+            end
+          else Some (c, opts))
+      (List.init n (fun c -> c))
+  in
+  List.concat_map
+    (fun (c, opts) ->
+      List.map
+        (fun (latency, uses_l0) ->
+          let l0_bonus = if uses_l0 then 0 else 1 in
+          let home_bonus =
+            match (st.scheme, st.home.(i)) with
+            | Scheme.Interleaved_locality, Some h
+              when Instr.is_memory_access (Ddg.instr st.ddg i) ->
+              if h = c then 0 else 1
+            | _ -> 0
+          in
+          ((l0_bonus, home_bonus, comm_cost st i c, st.usage.(c), c),
+           (c, latency, uses_l0)))
+        opts)
+    per_cluster
+  |> List.sort compare
+  |> List.map snd
+
+(* Deepest DFS level whose placement constrains [i] through dependence
+   windows or coherence legality; -1 when nothing placed does. *)
+let culprit_depth st i =
+  let d = ref (-1) in
+  let see j =
+    match st.placed.(j) with
+    | Some _ -> if st.depth_of.(j) > !d then d := st.depth_of.(j)
+    | None -> ()
+  in
+  List.iter (fun (e : Ddg.edge) -> see e.src) (Ddg.preds st.ddg i);
+  List.iter (fun (e : Ddg.edge) -> see e.dst) (Ddg.succs st.ddg i);
+  (match st.coh_set.(i) with
+  | Some s ->
+    List.iter see s.Memdep.loads;
+    List.iter see s.Memdep.stores
+  | None -> ());
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* The DFS                                                              *)
+
+type dfs = Solved of Schedule.t | Fail of int
+(* [Fail level]: no completion exists without revising a choice at depth
+   <= [level]; a frame deeper than [level] propagates it unchanged. *)
+
+let search_ii st ~loop ~order ~regs_check =
+  let n = Array.length order in
+  let rec dfs depth =
+    if depth = n then begin
+      let sch =
+        {
+          Schedule.loop;
+          ddg = st.ddg;
+          scheme = st.scheme;
+          ii = st.ii;
+          placements = Array.map Option.get st.placed;
+          comms = List.rev st.comms;
+          prefetches = [];
+          replicas = [];
+        }
+      in
+      if regs_check sch then Solved sch else Fail (n - 1)
+    end
+    else begin
+      let i = order.(depth) in
+      let culprit = culprit_depth st i in
+      let committed_any = ref false in
+      let resource_seen = ref false in
+      let ins = Ddg.instr st.ddg i in
+      let fu = Opcode.fu_class ins.Instr.opcode in
+      (* Try one (cluster, latency) choice across its cycle window;
+         [Some r] short-circuits the whole frame. *)
+      let try_choice (cluster, latency, uses_l0) =
+        if not (self_edges_ok st i ~latency) then None
+        else begin
+          let est = earliest_start st
+              (fun _ -> latency (* only placed nodes are queried *)) i cluster
+          in
+          let last =
+            match latest_start st i cluster ~latency with
+            | Some l when l < est -> est - 1
+            | Some l -> est + min st.ii (l - est + 1) - 1
+            | None -> est + st.ii - 1
+          in
+          let rec try_from t =
+            if t > last then None
+            else if t < 0 then try_from (t + 1)
+            else begin
+              st.nodes <- st.nodes + 1;
+              if st.nodes > st.budget then raise Budget;
+              if not (Mrt.fu_free st.mrt ~cluster ~fu ~cycle:t) then begin
+                resource_seen := true;
+                try_from (t + 1)
+              end
+              else
+                match plan_comms st i cluster t ~latency with
+                | None ->
+                  resource_seen := true;
+                  try_from (t + 1)
+                | Some new_comms -> (
+                  commit st i ~depth cluster t ~latency ~uses_l0 ~new_comms;
+                  committed_any := true;
+                  match dfs (depth + 1) with
+                  | Solved _ as s -> Some s
+                  | Fail bj ->
+                    undo st i cluster t ~uses_l0 ~new_comms;
+                    if bj < depth then Some (Fail bj) else try_from (t + 1))
+            end
+          in
+          try_from est
+        end
+      in
+      let rec over = function
+        | [] ->
+          (* A frame that never even committed and never hit a resource
+             failed purely on windows/legality: only its culprits can
+             change that, so jump straight to the deepest one. *)
+          if (not !committed_any) && not !resource_seen then Fail culprit
+          else Fail (depth - 1)
+        | choice :: rest -> (
+          match try_choice choice with Some r -> r | None -> over rest)
+      in
+      over (ordered_choices st i)
+    end
+  in
+  match dfs 0 with
+  | Solved sch -> `Solved sch
+  | Fail _ -> `Refuted
+  | exception Budget -> `Budget
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+
+(* The most optimistic latency an instruction could be scheduled with
+   under this scheme — the sound latency function for the recurrence
+   lower bound and the SMS priority order. *)
+let min_latency (cfg : Config.t) scheme coherence ~candidate ~home ~coh_set
+    ddg i =
+  let ins = Ddg.instr ddg i in
+  match ins.Instr.opcode with
+  | Opcode.Load _ -> (
+    match scheme with
+    | Scheme.Base_unified -> cfg.l1.l1_latency
+    | Scheme.Multivliw -> cfg.distributed.local_latency
+    | Scheme.Interleaved_naive -> distributed_remote_total cfg
+    | Scheme.Interleaved_locality -> (
+      match home.(i) with
+      | Some _ -> cfg.distributed.local_latency
+      | None -> distributed_remote_total cfg)
+    | Scheme.L0 _ ->
+      if
+        candidate.(i)
+        && not (coherence = Engine.Force_nl0 && coh_set.(i) <> None)
+      then min cfg.l0.l0_latency cfg.l1.l1_latency
+      else cfg.l1.l1_latency)
+  | op -> Opcode.base_latency op
+
+(* The optimistic per-instruction model the lower bound is certified
+   against: DDG plus candidate / home / coherence-set analyses and the
+   minimal legal latency assignment. *)
+let optimistic_model (cfg : Config.t) scheme coherence loop =
+  let ddg = Loop.ddg loop in
+  let deps = Memdep.compute ddg in
+  let n = Ddg.node_count ddg in
+  let candidate =
+    Array.init n (fun i ->
+        let ins = Ddg.instr ddg i in
+        Instr.is_load ins && Instr.is_candidate ins
+        &&
+        match ins.Instr.memref with
+        | Some r -> r.Memref.elem_bytes <= cfg.Config.l0.subblock_bytes
+        | None -> false)
+  in
+  let home = Array.init n (fun i -> static_home cfg loop (Ddg.instr ddg i)) in
+  let coh_set =
+    Array.init n (fun i ->
+        match Memdep.set_of deps i with
+        | Some s when Memdep.needs_coherence s -> Some s
+        | Some _ | None -> None)
+  in
+  let min_lat =
+    min_latency cfg scheme coherence ~candidate ~home ~coh_set ddg
+  in
+  (ddg, candidate, home, coh_set, min_lat)
+
+let lower_breakdown (cfg : Config.t) scheme ?(coherence = Engine.Auto) loop =
+  let ddg, _, _, _, min_lat = optimistic_model cfg scheme coherence loop in
+  Mii.breakdown cfg ddg ~lat:min_lat
+
+let solve (cfg : Config.t) scheme ?(coherence = Engine.Auto)
+    ?(budget = default_budget) ?(max_ii = 256) loop =
+  if coherence = Engine.Force_psr then
+    invalid_arg "Exact.solve: the PSR coherence ablation is not supported by \
+                 the exact backend";
+  let ddg, candidate, home, coh_set, min_lat =
+    optimistic_model cfg scheme coherence loop
+  in
+  let n = Ddg.node_count ddg in
+  let lower =
+    max 1 (max (Mii.res_mii cfg ddg) (Ddg.rec_mii ddg ~lat:min_lat))
+  in
+  let entries_per_cluster =
+    match cfg.Config.l0.capacity with
+    | Config.Entries e -> e
+    | Config.Unbounded -> max_int / 2
+    | Config.No_l0 -> 0
+  in
+  let total_nodes = ref 0 in
+  let budget_hit_below = ref false in
+  let attempt ii =
+    let st =
+      {
+        cfg;
+        scheme;
+        coherence;
+        ddg;
+        ii;
+        mrt = Mrt.create cfg ~ii;
+        placed = Array.make n None;
+        depth_of = Array.make n (-1);
+        comms = [];
+        free_l0 = Array.make cfg.num_clusters entries_per_cluster;
+        candidate;
+        home;
+        coh_set;
+        usage = Array.make cfg.num_clusters 0;
+        slot_mark = Array.make ii 0;
+        slot_gen = 0;
+        nodes = 0;
+        budget;
+      }
+    in
+    let times = Ddg.compute_times ddg ~ii ~lat:min_lat in
+    let order = Array.of_list (Sms.order ?times ddg ~lat:min_lat ~ii) in
+    let regs_check sch =
+      not
+        (Array.exists
+           (fun p -> p > cfg.regs_per_cluster)
+           (Engine.max_live cfg sch))
+    in
+    let r = search_ii st ~loop ~order ~regs_check in
+    total_nodes := !total_nodes + st.nodes;
+    r
+  in
+  let rec search ii =
+    if ii > max_ii then
+      if !budget_hit_below then
+        Ok
+          {
+            exact_schedule = None;
+            exact_verdict = Budget_exhausted;
+            exact_lower = lower;
+            exact_nodes = !total_nodes;
+          }
+      else
+        Error
+          {
+            Engine.inf_loop = loop.Loop.name;
+            inf_mii = lower;
+            inf_max_ii = max_ii;
+            inf_scheme = scheme;
+            inf_backend = Engine.Exact;
+          }
+    else
+      match attempt ii with
+      | `Solved sch ->
+        let sch =
+          if Scheme.uses_l0_buffers scheme then Hint_assign.apply cfg sch
+          else sch
+        in
+        Ok
+          {
+            exact_schedule = Some sch;
+            exact_verdict =
+              (if !budget_hit_below then Feasible_at ii else Optimal);
+            exact_lower = lower;
+            exact_nodes = !total_nodes;
+          }
+      | `Refuted -> search (ii + 1)
+      | `Budget ->
+        budget_hit_below := true;
+        search (ii + 1)
+  in
+  search lower

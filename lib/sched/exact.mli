@@ -1,0 +1,77 @@
+(** Exact modulo-scheduler backend (PR 10).
+
+    A pure-OCaml branch-and-bound search over the same machine model the
+    heuristic {!Engine} schedules against — MRT functional-unit slots,
+    the shared comm-bus pool with broadcast communications, L0 capacity
+    and the 1C coherence co-location discipline. IIs are tried from a
+    certified lower bound ([max(ResMII, RecMII)] under the most
+    optimistic latency assignment) upward; within an II the search
+    enumerates every (cluster, latency-option, cycle) choice per
+    instruction in SMS priority order, with full backtracking undo,
+    empty-cluster symmetry breaking, and backjumping to the deepest
+    culprit placement when an instruction fails for pure
+    dependence-window reasons.
+
+    Because the exact search's choice space is a superset of the
+    heuristic's greedy choices (both L0 and L1 latency options are
+    branched on, every cluster and every window cycle is tried), a
+    completed search never reports a larger II than the heuristic for
+    the same inputs.
+
+    Limits, by design: cycles are enumerated inside the Rau window
+    [EST, EST + II) only (the standard modulo-scheduling discipline, the
+    same window the heuristic uses), and the PSR coherence ablation is
+    not supported ({!solve} rejects [Force_psr]). *)
+
+open Flexl0_ir
+
+type verdict =
+  | Optimal  (** schedule found and provably minimal-II *)
+  | Feasible_at of int
+      (** schedule found at this II, but some smaller II exhausted its
+          node budget before being refuted — minimality unproven *)
+  | Budget_exhausted
+      (** no schedule found and at least one II's search was cut short
+          by the budget — infeasibility unproven *)
+
+val verdict_to_string : verdict -> string
+(** ["optimal"], ["feasible-at-<ii>"] or ["budget-exhausted"]. *)
+
+type t = {
+  exact_schedule : Schedule.t option;
+      (** present for [Optimal] and [Feasible_at] *)
+  exact_verdict : verdict;
+  exact_lower : int;  (** the certified II lower bound *)
+  exact_nodes : int;  (** placement attempts across all IIs tried *)
+}
+
+val default_budget : int
+(** Node budget per II (a node = one placement attempt); deterministic,
+    no wall clock involved. *)
+
+val lower_breakdown :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  Loop.t ->
+  Mii.breakdown
+(** The ResMII / RecMII split behind {!solve}'s certified lower bound —
+    computed under the same optimistic latency model (candidate loads at
+    the L0 latency, locality-homed loads local), so
+    [max bd_res bd_rec = exact_lower] up to the floor of 1. *)
+
+val solve :
+  Flexl0_arch.Config.t ->
+  Scheme.t ->
+  ?coherence:Engine.coherence_mode ->
+  ?budget:int ->
+  ?max_ii:int ->
+  Loop.t ->
+  (t, Engine.infeasible) result
+(** Find a minimal-II schedule for the loop, or prove infeasibility up
+    to [max_ii] (default 256). [Error] is returned only when every II up
+    to the ceiling was {e fully refuted} — with a partial search the
+    result is [Ok] with [Budget_exhausted] instead. Schedules have hints
+    assigned (under L0 schemes) exactly like the heuristic's output, so
+    the verifier, sanitizer, executor and serve cache run on them
+    unchanged. Raises [Invalid_argument] for [Force_psr]. *)

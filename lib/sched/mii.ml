@@ -1,6 +1,16 @@
 open Flexl0_ir
 
-let res_mii (cfg : Flexl0_arch.Config.t) ddg =
+type binding = Int_bound | Mem_bound | Fp_bound | Recurrence_bound
+
+let binding_to_string = function
+  | Int_bound -> "int"
+  | Mem_bound -> "mem"
+  | Fp_bound -> "fp"
+  | Recurrence_bound -> "recurrence"
+
+type breakdown = { bd_res : int; bd_rec : int; bd_binding : binding }
+
+let res_mii_by_class (cfg : Flexl0_arch.Config.t) ddg =
   let int_ops = ref 0 and mem_ops = ref 0 and fp_ops = ref 0 in
   Array.iter
     (fun (ins : Instr.t) ->
@@ -14,8 +24,26 @@ let res_mii (cfg : Flexl0_arch.Config.t) ddg =
     if ops = 0 then 1 else (ops + units - 1) / units
   in
   let n = cfg.num_clusters in
-  max
-    (bound !int_ops (cfg.int_units * n))
-    (max (bound !mem_ops (cfg.mem_units * n)) (bound !fp_ops (cfg.fp_units * n)))
+  ( bound !int_ops (cfg.int_units * n),
+    bound !mem_ops (cfg.mem_units * n),
+    bound !fp_ops (cfg.fp_units * n) )
+
+let res_mii cfg ddg =
+  let i, m, f = res_mii_by_class cfg ddg in
+  max i (max m f)
 
 let mii cfg ddg ~lat = max (res_mii cfg ddg) (Ddg.rec_mii ddg ~lat)
+
+let breakdown cfg ddg ~lat =
+  let i, m, f = res_mii_by_class cfg ddg in
+  let bd_res = max i (max m f) in
+  let bd_rec = Ddg.rec_mii ddg ~lat in
+  (* Recurrence wins ties: a loop whose dependence cycles already force
+     the resource bound is recurrence-limited, not unit-limited. *)
+  let bd_binding =
+    if bd_rec >= bd_res then Recurrence_bound
+    else if i = bd_res then Int_bound
+    else if m = bd_res then Mem_bound
+    else Fp_bound
+  in
+  { bd_res; bd_rec; bd_binding }

@@ -11,3 +11,20 @@ val res_mii : Flexl0_arch.Config.t -> Ddg.t -> int
 
 val mii : Flexl0_arch.Config.t -> Ddg.t -> lat:(int -> int) -> int
 (** [max (res_mii cfg ddg) (Ddg.rec_mii ddg ~lat)], at least 1. *)
+
+(** Which constraint class sets the MII. A tie between recurrence and a
+    resource class reports [Recurrence_bound]. *)
+type binding = Int_bound | Mem_bound | Fp_bound | Recurrence_bound
+
+val binding_to_string : binding -> string
+(** ["int"], ["mem"], ["fp"] or ["recurrence"]. *)
+
+type breakdown = {
+  bd_res : int;  (** the resource bound, max over FU classes *)
+  bd_rec : int;  (** the recurrence bound under [lat] *)
+  bd_binding : binding;  (** which class attains [max bd_res bd_rec] *)
+}
+
+val breakdown : Flexl0_arch.Config.t -> Ddg.t -> lat:(int -> int) -> breakdown
+(** The attributable form of {!mii}: [mii = max bd_res bd_rec]. New in
+    PR 10 — lets the audit CSV say {e why} a loop's floor is what it is. *)

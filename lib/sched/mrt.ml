@@ -56,10 +56,27 @@ let reserve_fu t ~cluster ~fu ~cycle =
     let table, _ = table_and_cap t fu in
     table.(slot t cycle).(cluster) <- table.(slot t cycle).(cluster) + 1
 
+let release_fu t ~cluster ~fu ~cycle =
+  match fu with
+  | Opcode.Bus ->
+    if t.bus_used.(slot t cycle) <= 0 then
+      invalid_arg "Mrt.release_fu: bus slot already empty";
+    t.bus_used.(slot t cycle) <- t.bus_used.(slot t cycle) - 1
+  | _ ->
+    let table, _ = table_and_cap t fu in
+    if table.(slot t cycle).(cluster) <= 0 then
+      invalid_arg "Mrt.release_fu: slot already empty";
+    table.(slot t cycle).(cluster) <- table.(slot t cycle).(cluster) - 1
+
 let bus_free t ~cycle = t.bus_used.(slot t cycle) < t.capacity_bus
 
 let reserve_bus t ~cycle =
   if not (bus_free t ~cycle) then invalid_arg "Mrt.reserve_bus: no bus slot";
   t.bus_used.(slot t cycle) <- t.bus_used.(slot t cycle) + 1
+
+let release_bus t ~cycle =
+  if t.bus_used.(slot t cycle) <= 0 then
+    invalid_arg "Mrt.release_bus: bus slot already empty";
+  t.bus_used.(slot t cycle) <- t.bus_used.(slot t cycle) - 1
 
 let mem_slot_used t ~cluster ~cycle = t.mem_used.(slot t cycle).(cluster) > 0

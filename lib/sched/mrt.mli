@@ -19,8 +19,16 @@ val reserve_fu : t -> cluster:int -> fu:Opcode.fu_class -> cycle:int -> unit
 (** Raises [Invalid_argument] when the slot is full — callers must check
     {!fu_free} first. *)
 
+val release_fu : t -> cluster:int -> fu:Opcode.fu_class -> cycle:int -> unit
+(** Undo of {!reserve_fu} — the exact backend's backtracking needs to
+    retract reservations. Raises [Invalid_argument] when the slot is
+    already empty (a retract that was never reserved is a solver bug). *)
+
 val bus_free : t -> cycle:int -> bool
 val reserve_bus : t -> cycle:int -> unit
+
+val release_bus : t -> cycle:int -> unit
+(** Undo of {!reserve_bus}; raises [Invalid_argument] on empty slot. *)
 
 val mem_slot_used : t -> cluster:int -> cycle:int -> bool
 (** Is the memory unit of [cluster] busy at [cycle] mod II? Drives the

@@ -253,6 +253,15 @@ let validate (cfg : Flexl0_arch.Config.t) t =
   | [] -> Ok ()
   | errs -> Error (String.concat "; " (List.rev errs))
 
+let mii_line (cfg : Flexl0_arch.Config.t) t =
+  let lat i = t.placements.(i).assumed_latency in
+  let bd = Mii.breakdown cfg t.ddg ~lat in
+  Printf.sprintf "mii: res=%d rec=%d bound=%s ii=%d slack=%d" bd.Mii.bd_res
+    bd.Mii.bd_rec
+    (Mii.binding_to_string bd.Mii.bd_binding)
+    t.ii
+    (t.ii - max bd.Mii.bd_res bd.Mii.bd_rec)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>schedule %s: II=%d SC=%d scheme=%s@," t.loop.Loop.name
     t.ii (stage_count t) (Scheme.to_string t.scheme);

@@ -89,6 +89,14 @@ val validate : Flexl0_arch.Config.t -> t -> (unit, string) result
       those stores update L0 ([PAR_ACCESS]) — unless the store is
       PSR-replicated into every other cluster. *)
 
+val mii_line : Flexl0_arch.Config.t -> t -> string
+(** One-line MII breakdown under this schedule's assumed latencies —
+    ["mii: res=R rec=C bound=CLASS ii=I slack=S"], where [slack] is how
+    far the achieved II sits above [max R C]. Kept out of {!pp} so the
+    historical dump bytes (and everything cached under them) are
+    untouched; the CLI appends it on demand and the audit CSV carries
+    the same split per row. *)
+
 val pp : Format.formatter -> t -> unit
 
 val pp_kernel : Format.formatter -> t -> unit

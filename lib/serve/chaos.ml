@@ -264,7 +264,11 @@ let run cfg =
       List.iteri
         (fun i (req, want) ->
           if i = kill_at then begin
-            let victim = Rng.int rng cfg.shards in
+            (* like the flip: spare req0's home, whose persisted entry
+               the end-of-run probe depends on — a kill -9 racing the
+               asynchronous store append would make the probe measure a
+               lost write instead of replay recovery *)
+            let victim = other_than home0 in
             if kill9 cfg victim then incr kills
           end;
           if i >= flip_at && !flips = 0 then begin

@@ -93,6 +93,10 @@ let coherence = function
   | Flexl0_sched.Engine.Force_1c -> "1c"
   | Flexl0_sched.Engine.Force_psr -> "psr"
 
+let backend = function
+  | Flexl0_sched.Engine.Heuristic -> "heuristic"
+  | Flexl0_sched.Engine.Exact -> "exact"
+
 let digest parts =
   let b = Buffer.create 1024 in
   Printf.bprintf b "%d:%s" (String.length version) version;

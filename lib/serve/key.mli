@@ -29,5 +29,9 @@ val scheme : Flexl0_sched.Scheme.t -> string
 
 val coherence : Flexl0_sched.Engine.coherence_mode -> string
 
+val backend : Flexl0_sched.Engine.backend -> string
+(** Scheduler backend tag — a heuristic and an exact schedule for the
+    same system must never share a cache entry. *)
+
 val digest : string list -> string
 (** Hex MD5 over [version] plus the length-prefixed parts. *)

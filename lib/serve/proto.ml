@@ -20,6 +20,7 @@ type system_spec =
     }
   | Spec_multivliw
   | Spec_interleaved of { locality : bool }
+  | Spec_exact of system_spec
 
 let default_l0 =
   Spec_l0
@@ -41,7 +42,9 @@ let l0_entries n =
   | Spec_l0 s -> Spec_l0 { s with capacity = Config.Entries n }
   | _ -> assert false
 
-let spec_of_string = function
+let exact_suffix = "+exact"
+
+let rec spec_of_string = function
   | "baseline" -> Ok Spec_baseline
   | "l0" | "l0-8" -> Ok (l0_entries 8)
   | "l0-4" -> Ok (l0_entries 4)
@@ -53,12 +56,27 @@ let spec_of_string = function
   | "multivliw" -> Ok Spec_multivliw
   | "interleaved1" -> Ok (Spec_interleaved { locality = false })
   | "interleaved2" -> Ok (Spec_interleaved { locality = true })
+  | s
+    when String.length s > String.length exact_suffix
+         && String.sub s
+              (String.length s - String.length exact_suffix)
+              (String.length exact_suffix)
+            = exact_suffix -> (
+    match
+      spec_of_string
+        (String.sub s 0 (String.length s - String.length exact_suffix))
+    with
+    | Ok (Spec_exact _ as sp) -> Ok sp
+    | Ok sp -> Ok (Spec_exact sp)
+    | Error _ as e -> e)
   | s ->
     Error
-      (Printf.sprintf "unknown system %S (want %s)" s
-         (String.concat "|" spec_names))
+      (Printf.sprintf "unknown system %S (want %s, each also with a %s \
+                       suffix for the exact scheduler backend)" s
+         (String.concat "|" spec_names)
+         exact_suffix)
 
-let spec_to_string = function
+let rec spec_to_string = function
   | Spec_baseline -> "baseline"
   | Spec_l0 { capacity; selective; prefetch_distance; coherence } ->
     (* the named shorthands render back to their flag spelling; anything
@@ -85,13 +103,16 @@ let spec_to_string = function
   | Spec_multivliw -> "multivliw"
   | Spec_interleaved { locality = false } -> "interleaved1"
   | Spec_interleaved { locality = true } -> "interleaved2"
+  | Spec_exact sp -> spec_to_string sp ^ exact_suffix
 
-let system = function
+let rec system = function
   | Spec_baseline -> Pipeline.baseline_system ()
   | Spec_l0 { capacity; selective; prefetch_distance; coherence } ->
     Pipeline.l0_system ~capacity ~selective ~prefetch_distance ~coherence ()
   | Spec_multivliw -> Pipeline.multivliw_system ()
   | Spec_interleaved { locality } -> Pipeline.interleaved_system ~locality ()
+  | Spec_exact sp ->
+    { (system sp) with Pipeline.backend = Flexl0_sched.Engine.Exact }
 
 type request =
   | Compile of { spec : system_spec; loop : Loop.t }
@@ -156,6 +177,13 @@ let request_label = function
    {!Key} renderings: system identity is the *expanded* configuration,
    scheme, coherence mode and II ceiling (not the spec name, so two
    spellings of the same system share cache entries). *)
+let rec hierarchy_tag = function
+  | Spec_baseline -> "h:unified"
+  | Spec_l0 _ -> "h:l0"
+  | Spec_multivliw -> "h:multivliw"
+  | Spec_interleaved { locality } -> Printf.sprintf "h:interleaved%b" locality
+  | Spec_exact sp -> hierarchy_tag sp
+
 let system_parts spec =
   let sys = system spec in
   [
@@ -163,14 +191,12 @@ let system_parts spec =
     Key.scheme sys.Pipeline.scheme;
     Key.coherence sys.Pipeline.coherence;
     Printf.sprintf "maxii%d" sys.Pipeline.max_ii;
+    (* heuristic and exact schedules for the same system are different
+       response bytes — they must never share a cache entry *)
+    "b:" ^ Key.backend sys.Pipeline.backend;
     (* the hierarchy constructor is a closure; its identity is the spec
        constructor, which is what selects it *)
-    (match spec with
-    | Spec_baseline -> "h:unified"
-    | Spec_l0 _ -> "h:l0"
-    | Spec_multivliw -> "h:multivliw"
-    | Spec_interleaved { locality } ->
-      Printf.sprintf "h:interleaved%b" locality);
+    hierarchy_tag spec;
   ]
 
 let bench_part name =

@@ -44,10 +44,16 @@ type system_spec =
     }
   | Spec_multivliw
   | Spec_interleaved of { locality : bool }
+  | Spec_exact of system_spec
+      (** the same system compiled with the exact scheduler backend
+          ({!Flexl0_sched.Exact}); cache keys incorporate the backend, so
+          heuristic and exact results never alias *)
 
 val spec_of_string : string -> (system_spec, string) result
 (** Accepts [baseline], [l0], [l0-4], [l0-8], [l0-16], [l0-unbounded],
-    [multivliw], [interleaved1], [interleaved2]. *)
+    [multivliw], [interleaved1], [interleaved2] — each also with a
+    [+exact] suffix (e.g. [l0+exact]) selecting the exact scheduler
+    backend. *)
 
 val spec_to_string : system_spec -> string
 val spec_names : string list

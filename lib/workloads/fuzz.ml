@@ -532,10 +532,17 @@ type outcome = Pass | Skip of string | Fail of failure_kind
 let fuzz_max_ii = 128
 let fuzz_invocations = 2
 
-let run_system ?faults ?(sanitizer = Sanitizer.Strict) sys loop =
+let run_system ?(backend = Engine.Heuristic) ?faults
+    ?(sanitizer = Sanitizer.Strict) sys loop =
+  (* PSR replication is a heuristic-only coherence mode: the exact
+     backend's search space has no replica placement, so differential
+     runs skip that system rather than crash in [Exact.solve]. *)
+  if backend = Engine.Exact && sys.s_coherence = Engine.Force_psr then
+    Skip "exact backend: PSR replication not searched"
+  else
   match
     Compile.compile_result sys.s_cfg sys.s_scheme ~coherence:sys.s_coherence
-      ~max_ii:fuzz_max_ii loop
+      ~backend ~max_ii:fuzz_max_ii loop
   with
   | Error inf -> Skip (Engine.infeasible_message inf)
   | exception Invalid_argument msg -> Fail (Crash ("compile: " ^ msg))
@@ -556,7 +563,7 @@ let run_system ?faults ?(sanitizer = Sanitizer.Strict) sys loop =
     | exception Invalid_argument msg -> Fail (Crash ("run: " ^ msg))
     | exception Failure msg -> Fail (Crash ("run: " ^ msg)))
 
-let run_case ?faults ?sanitizer ~systems kernel =
+let run_case ?backend ?faults ?sanitizer ~systems kernel =
   match materialize kernel with
   | exception Invalid_argument msg ->
     List.map
@@ -564,7 +571,7 @@ let run_case ?faults ?sanitizer ~systems kernel =
       systems
   | loop ->
     List.map
-      (fun s -> (s.s_label, run_system ?faults ?sanitizer s loop))
+      (fun s -> (s.s_label, run_system ?backend ?faults ?sanitizer s loop))
       systems
 
 type failure = {
@@ -616,8 +623,8 @@ let plan_cases ?faults ~seed ~cases () =
   done;
   List.rev !planned
 
-let run ?faults ?(sanitizer = Sanitizer.Strict) ?systems ?(max_failures = 5)
-    ?(keep_going = fun () -> true) ~seed ~cases () =
+let run ?backend ?faults ?(sanitizer = Sanitizer.Strict) ?systems
+    ?(max_failures = 5) ?(keep_going = fun () -> true) ~seed ~cases () =
   let systems = match systems with Some s -> s | None -> default_systems () in
   let planned = plan_cases ?faults ~seed ~cases () in
   let runs = ref 0 and passes = ref 0 and skips = ref 0 in
@@ -648,7 +655,8 @@ let run ?faults ?(sanitizer = Sanitizer.Strict) ?systems ?(max_failures = 5)
                    f_faults = c.c_faults;
                  }
                  :: !failures)
-           (run_case ?faults:c.c_faults ~sanitizer ~systems c.c_kernel);
+           (run_case ?backend ?faults:c.c_faults ~sanitizer ~systems
+              c.c_kernel);
          incr done_cases)
        planned
    with Exit -> ());
@@ -703,8 +711,8 @@ let candidates k =
   in
   drops @ trips @ carry @ alias @ simpler @ arrays
 
-let shrink ?(sanitizer = Sanitizer.Strict) ?systems ?(max_attempts = 400)
-    (f : failure) =
+let shrink ?backend ?(sanitizer = Sanitizer.Strict) ?systems
+    ?(max_attempts = 400) (f : failure) =
   let systems = match systems with Some s -> s | None -> default_systems () in
   let sys =
     match List.find_opt (fun s -> s.s_label = f.f_system) systems with
@@ -715,7 +723,7 @@ let shrink ?(sanitizer = Sanitizer.Strict) ?systems ?(max_attempts = 400)
     match materialize k with
     | exception Invalid_argument _ -> false
     | loop -> (
-      match run_system ?faults:f.f_faults ~sanitizer sys loop with
+      match run_system ?backend ?faults:f.f_faults ~sanitizer sys loop with
       | Fail fk -> same_class fk f.f_kind
       | Pass | Skip _ -> false)
   in

@@ -120,15 +120,26 @@ val same_class : failure_kind -> failure_kind -> bool
 type outcome = Pass | Skip of string  (** infeasible *) | Fail of failure_kind
 
 val run_system :
+  ?backend:Flexl0_sched.Engine.backend ->
   ?faults:Flexl0_sim.Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   sys ->
   Loop.t ->
   outcome
 (** Compile (II capped) and run one loop on one system under the
-    sanitizer (default [Strict]), classifying the result. *)
+    sanitizer (default [Strict]), classifying the result.
+
+    [backend] (default [Heuristic]) selects the scheduler. Under
+    [Exact] this is the fuzzer's {e differential mode}: the schedule
+    was certified minimal and legal by the solver, so any [Fail] here —
+    sanitizer trip, verifier mismatch, broken stat identity — is a
+    {e model bug} (the solver's machine model disagrees with the
+    simulator's), not a kernel bug. The PSR coherence system is
+    skipped under [Exact]: replica placement is outside the exact
+    search space. *)
 
 val run_case :
+  ?backend:Flexl0_sched.Engine.backend ->
   ?faults:Flexl0_sim.Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   systems:sys list ->
@@ -172,6 +183,7 @@ val plan_cases :
     sequential fuzzer would — whatever the execution order. *)
 
 val run :
+  ?backend:Flexl0_sched.Engine.backend ->
   ?faults:Flexl0_sim.Fault.plan ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?systems:sys list ->
@@ -185,9 +197,13 @@ val run :
     [faults] is a plan template whose seed is re-derived per case from
     an independent substream. [max_failures] (default 5) bounds failure
     collection; [keep_going] is polled between cases (wire it to a
-    deadline for time-boxed CI runs). *)
+    deadline for time-boxed CI runs). [backend] selects the scheduler
+    for every compile — see {!run_system} for the [Exact] differential
+    semantics. The case stream is backend-independent: the same seed
+    fuzzes the same kernels under either scheduler. *)
 
 val shrink :
+  ?backend:Flexl0_sched.Engine.backend ->
   ?sanitizer:Flexl0_mem.Sanitizer.mode ->
   ?systems:sys list ->
   ?max_attempts:int ->

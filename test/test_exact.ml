@@ -1,0 +1,347 @@
+(* Tests for the exact modulo-scheduler backend (PR 10): verdict
+   semantics, MRT undo operations, the MII breakdown, optimality against
+   the heuristic on Mediabench, hand-built loops with known optimal IIs
+   (including one where the recurrence / bus-latency interplay provably
+   forces II above MII), budget determinism, and the backend-aware cache
+   keys of the serve protocol. *)
+
+open Flexl0_ir
+open Flexl0_sched
+module Config = Flexl0_arch.Config
+module Kernels = Flexl0_workloads.Kernels
+module Mediabench = Flexl0_workloads.Mediabench
+module Sanitizer = Flexl0_mem.Sanitizer
+module Pipeline = Flexl0.Pipeline
+module Proto = Flexl0_serve.Proto
+
+let cfg = Config.default
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let l0_scheme = Scheme.L0 { selective = true }
+
+let assert_valid c sch =
+  match Schedule.validate c sch with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "invalid exact schedule for %s: %s"
+      sch.Schedule.loop.Loop.name e
+
+let solved c scheme ?budget ?max_ii loop =
+  match Exact.solve c scheme ?budget ?max_ii loop with
+  | Error inf -> Alcotest.failf "unexpectedly infeasible: %s"
+                   (Engine.infeasible_message inf)
+  | Ok r -> r
+
+let schedule_of (r : Exact.t) =
+  match r.Exact.exact_schedule with
+  | Some sch -> sch
+  | None -> Alcotest.fail "exact result carries no schedule"
+
+let vadd () = Kernels.vector_add ~name:"vadd" ~trip:64 ~len:256 Opcode.W2
+let iir () = Kernels.iir_inplace ~name:"iir" ~trip:64 ~len:64
+
+(* ------------------------------------------------------------------ *)
+(* MRT release ops *)
+
+let test_mrt_release_roundtrip () =
+  let mrt = Mrt.create cfg ~ii:2 in
+  Mrt.reserve_fu mrt ~cluster:1 ~fu:Opcode.Int_fu ~cycle:5;
+  check "slot taken" false
+    (Mrt.fu_free mrt ~cluster:1 ~fu:Opcode.Int_fu ~cycle:3);
+  Mrt.release_fu mrt ~cluster:1 ~fu:Opcode.Int_fu ~cycle:3;
+  check "slot free again" true
+    (Mrt.fu_free mrt ~cluster:1 ~fu:Opcode.Int_fu ~cycle:5);
+  Mrt.reserve_bus mrt ~cycle:0;
+  Mrt.release_bus mrt ~cycle:4;
+  check "bus free again" true (Mrt.bus_free mrt ~cycle:0);
+  check "double release rejected" true
+    (try
+       Mrt.release_bus mrt ~cycle:0;
+       false
+     with Invalid_argument _ -> true);
+  check "release of empty fu slot rejected" true
+    (try
+       Mrt.release_fu mrt ~cluster:0 ~fu:Opcode.Mem_fu ~cycle:1;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* MII breakdown *)
+
+let test_mii_breakdown () =
+  let check_one loop =
+    let ddg = Loop.ddg loop in
+    let lat i = Opcode.base_latency (Ddg.instr ddg i).Instr.opcode in
+    let bd = Mii.breakdown cfg ddg ~lat in
+    check_int "res part matches res_mii" (Mii.res_mii cfg ddg) bd.Mii.bd_res;
+    check_int "rec part matches rec_mii" (Ddg.rec_mii ddg ~lat) bd.Mii.bd_rec;
+    check_int "max of parts is the mii"
+      (Mii.mii cfg ddg ~lat)
+      (max bd.Mii.bd_res bd.Mii.bd_rec);
+    (* Recurrence wins ties: the binding class is the recurrence exactly
+       when the recurrence part reaches the resource part. *)
+    check "binding attribution" true
+      (if bd.Mii.bd_rec >= bd.Mii.bd_res then
+         bd.Mii.bd_binding = Mii.Recurrence_bound
+       else bd.Mii.bd_binding <> Mii.Recurrence_bound)
+  in
+  check_one (vadd ());
+  check_one (iir ());
+  let bd = Mii.breakdown cfg (Loop.ddg (iir ())) ~lat:(fun _ -> 6) in
+  check_string "iir at L1 latency is recurrence-bound" "recurrence"
+    (Mii.binding_to_string bd.Mii.bd_binding)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built loops with known optimal IIs *)
+
+(* [b[i] = a[i] + C]: no recurrence, plenty of resources — the exact
+   backend must certify II = 1. *)
+let test_known_optimal_chain () =
+  let b = Builder.create ~name:"chain" ~trip_count:64 () in
+  let src = Builder.array b ~name:"a" ~elem_bytes:4 ~length:256 in
+  let dst = Builder.array b ~name:"b" ~elem_bytes:4 ~length:256 in
+  let c = Builder.imove b in
+  let x = Builder.load b ~arr:src ~stride:(Memref.Const 1) Opcode.W4 in
+  let y = Builder.iadd b x c in
+  let _ = Builder.store b ~arr:dst ~stride:(Memref.Const 1) Opcode.W4 y in
+  let loop = Builder.finish b in
+  let r = solved cfg Scheme.Base_unified loop in
+  check "chain optimal" true (r.Exact.exact_verdict = Exact.Optimal);
+  check_int "chain lower bound" 1 r.Exact.exact_lower;
+  check_int "chain ii" 1 (schedule_of r).Schedule.ii;
+  assert_valid cfg (schedule_of r)
+
+(* [acc = acc +. a[i]; b[i] = acc]: the carried fadd chain pins the
+   optimal II at the fadd latency (3), and the certified lower bound is
+   tight. *)
+let test_known_optimal_accumulator () =
+  let b = Builder.create ~name:"acc" ~trip_count:64 () in
+  let src = Builder.array b ~name:"a" ~elem_bytes:4 ~length:256 in
+  let dst = Builder.array b ~name:"b" ~elem_bytes:4 ~length:256 in
+  let x = Builder.load b ~arr:src ~stride:(Memref.Const 1) Opcode.W4 in
+  let seed = Builder.imove b in
+  let acc = Builder.fadd b seed x in
+  let _ = Builder.store b ~arr:dst ~stride:(Memref.Const 1) Opcode.W4 acc in
+  Builder.carry b ~def:acc ~use:acc ~distance:1;
+  let loop = Builder.finish b in
+  let fadd_lat = Opcode.base_latency Opcode.Fadd in
+  let r = solved cfg Scheme.Base_unified loop in
+  check "accumulator optimal" true (r.Exact.exact_verdict = Exact.Optimal);
+  check_int "accumulator lower = fadd latency" fadd_lat r.Exact.exact_lower;
+  check_int "accumulator ii" fadd_lat (schedule_of r).Schedule.ii;
+  assert_valid cfg (schedule_of r)
+
+(* A 2-cluster, 1-bus machine and a 4-instruction body built so that II
+   = MII = 2 is impossible for *every* cluster partition:
+
+     c = a + b,  d = a + b,  carried c -> a and d -> b (distance 1).
+
+   Each cluster issues one integer op per cycle, so ResMII = 2 and the
+   two 2-op recurrences give RecMII = 2. Any split puts some producer
+   away from a consumer; crossing the 2-cycle bus stretches a carried
+   2-op recurrence past II = 2 (and II = 3), while packing all four ops
+   into one cluster needs 4 issue slots. First feasible II is 4, with
+   everything co-located — a gap of 2 over MII the solver must both
+   *find* and *certify*. *)
+let gap_cfg = { Config.default with Config.num_clusters = 2; comm_buses = 1 }
+
+let gap_loop () =
+  let b = Builder.create ~name:"gap" ~trip_count:64 () in
+  let a = Builder.imove b in
+  let bb = Builder.imove b in
+  let c = Builder.iadd b a bb in
+  let d = Builder.iadd b a bb in
+  Builder.carry b ~def:c ~use:a ~distance:1;
+  Builder.carry b ~def:d ~use:bb ~distance:1;
+  Builder.finish b
+
+let test_gap_forces_ii_above_mii () =
+  let r = solved gap_cfg Scheme.Base_unified (gap_loop ()) in
+  check "gap loop optimal" true (r.Exact.exact_verdict = Exact.Optimal);
+  check_int "gap loop lower bound (MII)" 2 r.Exact.exact_lower;
+  check_int "gap loop certified optimum" 4 (schedule_of r).Schedule.ii;
+  assert_valid gap_cfg (schedule_of r);
+  (* The heuristic cannot beat a certified optimum. *)
+  match Engine.schedule_opt gap_cfg Scheme.Base_unified (gap_loop ()) with
+  | Error inf -> Alcotest.fail (Engine.infeasible_message inf)
+  | Ok hs -> check "heuristic >= certified optimum" true (hs.Schedule.ii >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Mediabench: exact vs heuristic under a bounded budget *)
+
+let audit_schemes =
+  [ l0_scheme; Scheme.Multivliw; Scheme.Interleaved_locality ]
+
+let mediabench_loops () =
+  List.concat_map
+    (fun (b : Mediabench.benchmark) ->
+      List.map (fun wl -> wl.Mediabench.loop) b.Mediabench.loops)
+    (Mediabench.all ())
+
+let test_exact_never_worse_on_mediabench () =
+  let budget = 20_000 in
+  let compared = ref 0 and tight = ref 0 in
+  List.iter
+    (fun loop ->
+      List.iter
+        (fun scheme ->
+          let r = solved cfg scheme ~budget loop in
+          match r.Exact.exact_schedule with
+          | None -> () (* budget exhausted without a witness: no claim *)
+          | Some sch -> (
+            assert_valid cfg sch;
+            check "ii >= certified lower bound" true
+              (sch.Schedule.ii >= r.Exact.exact_lower);
+            match Engine.schedule_opt cfg scheme loop with
+            | Error _ -> ()
+            | Ok hs ->
+              incr compared;
+              if sch.Schedule.ii > hs.Schedule.ii then
+                Alcotest.failf "exact ii %d > heuristic ii %d on %s (%s)"
+                  sch.Schedule.ii hs.Schedule.ii loop.Loop.name
+                  (Scheme.to_string scheme);
+              (* Where the heuristic already sits on the certified lower
+                 bound it is provably optimal — exact must agree. *)
+              if hs.Schedule.ii = r.Exact.exact_lower then begin
+                incr tight;
+                check_int "exact matches known-optimal heuristic"
+                  hs.Schedule.ii sch.Schedule.ii
+              end))
+        audit_schemes)
+    (mediabench_loops ());
+  check "compared many pairs" true (!compared > 50);
+  check "hit known-optimal cases" true (!tight > 10)
+
+(* Every exact schedule must execute cleanly: correct values under the
+   verifier and no invariant break under the Strict sanitizer. *)
+let test_exact_schedules_execute () =
+  let sys = Pipeline.l0_system ~backend:Engine.Exact () in
+  let ran = ref 0 in
+  List.iter
+    (fun (loop : Loop.t) ->
+      if List.length loop.Loop.instrs <= 16 && !ran < 12 then begin
+        incr ran;
+        let r = solved sys.Pipeline.config sys.Pipeline.scheme loop in
+        let res =
+          Pipeline.run_schedule sys ~verify:true ~sanitizer:Sanitizer.Strict
+            (schedule_of r)
+        in
+        check_int
+          (Printf.sprintf "no mismatches on %s" loop.Loop.name)
+          0 res.Flexl0_sim.Exec.value_mismatches
+      end)
+    (mediabench_loops ());
+  check "simulated a sample" true (!ran >= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Budget semantics *)
+
+let test_budget_determinism () =
+  (* Three placement attempts can never place a four-instruction body,
+     so every II exhausts its budget: the verdict must degrade to
+     [Budget_exhausted] — never a false [Optimal] — and byte-for-byte
+     deterministically so. *)
+  let run () =
+    solved gap_cfg Scheme.Base_unified ~budget:3 ~max_ii:8 (gap_loop ())
+  in
+  let r1 = run () and r2 = run () in
+  check "verdicts agree" true (r1.Exact.exact_verdict = r2.Exact.exact_verdict);
+  check_int "node counts agree" r1.Exact.exact_nodes r2.Exact.exact_nodes;
+  check_int "lower bounds agree" r1.Exact.exact_lower r2.Exact.exact_lower;
+  check "starved search reports budget exhaustion" true
+    (r1.Exact.exact_verdict = Exact.Budget_exhausted);
+  check "starved search carries no witness" true
+    (r1.Exact.exact_schedule = None);
+  (* A second full-budget run reproduces the certified optimum bit for
+     bit. *)
+  let f1 = solved gap_cfg Scheme.Base_unified (gap_loop ()) in
+  let f2 = solved gap_cfg Scheme.Base_unified (gap_loop ()) in
+  check_int "full runs agree on ii" (schedule_of f1).Schedule.ii
+    (schedule_of f2).Schedule.ii;
+  check_int "full runs agree on nodes" f1.Exact.exact_nodes
+    f2.Exact.exact_nodes
+
+let test_infeasible_carries_backend () =
+  (* MII for the gap loop is 2, so a ceiling of 1 leaves nothing to try:
+     a fully-refuted, typed infeasibility naming scheme and backend. *)
+  match Exact.solve gap_cfg Scheme.Base_unified ~max_ii:1 (gap_loop ()) with
+  | Ok _ -> Alcotest.fail "expected infeasibility below the MII"
+  | Error inf ->
+    check "backend recorded" true (inf.Engine.inf_backend = Engine.Exact);
+    check "scheme recorded" true
+      (inf.Engine.inf_scheme = Scheme.Base_unified);
+    let msg = Engine.infeasible_message inf in
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check "message names the exact backend" true (contains msg "exact");
+    check "message names the scheme" true
+      (contains msg (Scheme.to_string Scheme.Base_unified))
+
+let test_force_psr_rejected () =
+  check "psr unsupported" true
+    (try
+       ignore
+         (Exact.solve cfg l0_scheme ~coherence:Engine.Force_psr (iir ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Serve keys and spec spelling *)
+
+let test_key_differs_across_backends () =
+  let loop = vadd () in
+  let key_of s =
+    match Proto.cache_key (Proto.Compile { spec = s; loop }) with
+    | Some k -> k
+    | None -> Alcotest.fail "compile requests must be cacheable"
+  in
+  let spec s =
+    match Proto.spec_of_string s with
+    | Ok sp -> sp
+    | Error e -> Alcotest.failf "spec %s: %s" s e
+  in
+  List.iter
+    (fun name ->
+      let heuristic = spec name and exact = spec (name ^ "+exact") in
+      check ("wrapped spec for " ^ name) true
+        (match exact with Proto.Spec_exact _ -> true | _ -> false);
+      check_string "suffix round-trips" (name ^ "+exact")
+        (Proto.spec_to_string exact);
+      check
+        ("backend changes the digest for " ^ name)
+        false
+        (String.equal (key_of heuristic) (key_of exact)))
+    [ "baseline"; "l0"; "multivliw"; "interleaved2" ];
+  (* Normalization: a doubled suffix still denotes one exact wrapper,
+     so it cannot mint a third distinct cache population. *)
+  match Proto.spec_of_string "l0+exact+exact" with
+  | Ok sp -> check_string "nested suffix normalized" "l0+exact"
+               (Proto.spec_to_string sp)
+  | Error _ -> ()
+
+let suite =
+  ( "exact",
+    [
+      Alcotest.test_case "mrt release roundtrip" `Quick
+        test_mrt_release_roundtrip;
+      Alcotest.test_case "mii breakdown" `Quick test_mii_breakdown;
+      Alcotest.test_case "known-optimal chain" `Quick test_known_optimal_chain;
+      Alcotest.test_case "known-optimal accumulator" `Quick
+        test_known_optimal_accumulator;
+      Alcotest.test_case "recurrence+bus gap forces ii > mii" `Quick
+        test_gap_forces_ii_above_mii;
+      Alcotest.test_case "never worse than heuristic on mediabench" `Slow
+        test_exact_never_worse_on_mediabench;
+      Alcotest.test_case "exact schedules execute clean" `Slow
+        test_exact_schedules_execute;
+      Alcotest.test_case "budget determinism" `Quick test_budget_determinism;
+      Alcotest.test_case "infeasible carries backend" `Quick
+        test_infeasible_carries_backend;
+      Alcotest.test_case "force_psr rejected" `Quick test_force_psr_rejected;
+      Alcotest.test_case "cache keys differ across backends" `Quick
+        test_key_differs_across_backends;
+    ] )

@@ -365,7 +365,8 @@ let test_errors_to_string () =
     (contains ~needle:"infeasible"
        (Errors.to_string
           (Errors.Schedule_infeasible
-             { Engine.inf_loop = "l"; inf_mii = 3; inf_max_ii = 2 })));
+             { Engine.inf_loop = "l"; inf_mii = 3; inf_max_ii = 2;
+               inf_scheme = l0_scheme; inf_backend = Engine.Heuristic })));
   check "watchdog" true
     (contains ~needle:"watchdog"
        (Errors.to_string

@@ -1,4 +1,4 @@
 (* Test aggregator: one alcotest suite per library. *)
 let () =
   Alcotest.run "flexl0"
-    [ Test_util.suite; Test_arch.suite; Test_ir.suite; Test_mem.suite; Test_sched.suite; Test_sim.suite; Test_workloads.suite; Test_experiments.suite; Test_extensions.suite; Test_reporting.suite; Test_runner.suite; Test_checkpoint.suite; Test_serve.suite; Test_fleet.suite; Test_faults.suite; Test_sanitizer.suite; Test_misc.suite; Test_perf_diff.suite ]
+    [ Test_util.suite; Test_arch.suite; Test_ir.suite; Test_mem.suite; Test_sched.suite; Test_sim.suite; Test_workloads.suite; Test_experiments.suite; Test_extensions.suite; Test_reporting.suite; Test_runner.suite; Test_checkpoint.suite; Test_serve.suite; Test_fleet.suite; Test_faults.suite; Test_sanitizer.suite; Test_misc.suite; Test_exact.suite; Test_perf_diff.suite ]
